@@ -1,0 +1,129 @@
+//! Walk-to-graph assembly: the "merging" stage shared by the walk-based
+//! baselines. Sampled temporal walks deposit their edges into per-timestep
+//! edge sets until each snapshot reaches its target edge budget — the
+//! path-merging / graph-assembly process the VRDAG paper identifies as a
+//! main cost driver of these methods.
+
+use crate::walks::TemporalWalk;
+use std::collections::HashSet;
+
+/// Accumulates walk edges into per-timestep snapshots.
+pub struct WalkAssembler {
+    budgets: Vec<usize>,
+    sets: Vec<HashSet<(u32, u32)>>,
+}
+
+impl WalkAssembler {
+    /// `budgets[t]` is the target edge count of snapshot `t`.
+    pub fn new(budgets: Vec<usize>) -> Self {
+        let sets = budgets.iter().map(|_| HashSet::new()).collect();
+        WalkAssembler { budgets, sets }
+    }
+
+    /// Deposit all edges of a walk whose timestep still has budget.
+    /// Returns the number of edges actually absorbed.
+    pub fn deposit(&mut self, walk: &TemporalWalk) -> usize {
+        let mut absorbed = 0;
+        for (u, v, t) in walk.edges() {
+            if u == v {
+                continue;
+            }
+            let t = t as usize;
+            if t < self.sets.len() && self.sets[t].len() < self.budgets[t]
+                && self.sets[t].insert((u, v)) {
+                    absorbed += 1;
+                }
+        }
+        absorbed
+    }
+
+    /// True when every snapshot has reached its budget.
+    pub fn complete(&self) -> bool {
+        self.sets
+            .iter()
+            .zip(self.budgets.iter())
+            .all(|(s, &b)| s.len() >= b)
+    }
+
+    /// Fraction of the total budget filled so far.
+    pub fn fill_ratio(&self) -> f64 {
+        let filled: usize = self.sets.iter().map(|s| s.len()).sum();
+        let total: usize = self.budgets.iter().sum();
+        if total == 0 {
+            1.0
+        } else {
+            filled as f64 / total as f64
+        }
+    }
+
+    /// Finish assembly, producing per-timestep edge lists.
+    pub fn into_edge_lists(self) -> Vec<Vec<(u32, u32)>> {
+        self.sets
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<(u32, u32)> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+}
+
+/// Repeat or truncate the observed per-timestep budgets to `t_len` steps
+/// (generation beyond the training horizon reuses the tail budget).
+pub fn extend_budgets(observed: &[usize], t_len: usize) -> Vec<usize> {
+    assert!(!observed.is_empty(), "need at least one observed budget");
+    (0..t_len)
+        .map(|t| observed[t.min(observed.len() - 1)])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk(nodes: &[u32], times: &[u32]) -> TemporalWalk {
+        TemporalWalk { nodes: nodes.to_vec(), times: times.to_vec() }
+    }
+
+    #[test]
+    fn deposit_respects_budget() {
+        let mut asm = WalkAssembler::new(vec![1, 2]);
+        let w = walk(&[0, 1, 2, 3], &[0, 0, 1, 1]);
+        let got = asm.deposit(&w);
+        assert_eq!(got, 3); // (0,1)@0, (1,2)@1, (2,3)@1
+        assert!(asm.complete());
+        let lists = asm.into_edge_lists();
+        assert_eq!(lists[0], vec![(0, 1)]);
+        assert_eq!(lists[1], vec![(1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn duplicate_edges_not_double_counted() {
+        let mut asm = WalkAssembler::new(vec![5]);
+        let w = walk(&[0, 1], &[0, 0]);
+        assert_eq!(asm.deposit(&w), 1);
+        assert_eq!(asm.deposit(&w), 0);
+        assert!((asm.fill_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_skipped() {
+        let mut asm = WalkAssembler::new(vec![5]);
+        let w = walk(&[2, 2], &[0, 0]);
+        assert_eq!(asm.deposit(&w), 0);
+    }
+
+    #[test]
+    fn extend_budgets_repeats_tail() {
+        assert_eq!(extend_budgets(&[3, 7], 4), vec![3, 7, 7, 7]);
+        assert_eq!(extend_budgets(&[3, 7, 9], 2), vec![3, 7]);
+    }
+
+    #[test]
+    fn zero_budget_is_complete() {
+        let asm = WalkAssembler::new(vec![0, 0]);
+        assert!(asm.complete());
+        assert_eq!(asm.fill_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The "Normal" attribute baseline of Fig. 3: node attributes drawn iid
+//! from a normal distribution whose mean and variance are estimated from
+//! the ground-truth data. Structure is carried over from the observed
+//! graph (the baseline only exists to compare *attribute* synthesis).
+
+use rand::RngCore;
+use std::time::Instant;
+use vrdag_graph::generator::{DynamicGraphGenerator, FitReport, GeneratorError};
+use vrdag_graph::{DynamicGraph, Snapshot};
+use vrdag_tensor::Matrix;
+
+/// See module docs.
+pub struct NormalBaseline {
+    state: Option<Fitted>,
+}
+
+struct Fitted {
+    structure: DynamicGraph,
+    /// Per-attribute-dimension mean and std pooled over nodes and time.
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl NormalBaseline {
+    pub fn new() -> Self {
+        NormalBaseline { state: None }
+    }
+}
+
+impl Default for NormalBaseline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DynamicGraphGenerator for NormalBaseline {
+    fn name(&self) -> &str {
+        "Normal"
+    }
+
+    fn supports_attributes(&self) -> bool {
+        true
+    }
+
+    fn is_dynamic(&self) -> bool {
+        false
+    }
+
+    fn fit(&mut self, graph: &DynamicGraph, _rng: &mut dyn RngCore) -> Result<FitReport, GeneratorError> {
+        let started = Instant::now();
+        let f = graph.n_attrs();
+        let mut mean = vec![0.0f64; f];
+        let mut sq = vec![0.0f64; f];
+        let mut count = 0.0f64;
+        for (_, s) in graph.iter() {
+            for i in 0..s.n_nodes() {
+                for d in 0..f {
+                    let x = s.attrs().get(i, d) as f64;
+                    mean[d] += x;
+                    sq[d] += x * x;
+                }
+            }
+            count += s.n_nodes() as f64;
+        }
+        let std: Vec<f64> = if count > 0.0 {
+            (0..f)
+                .map(|d| {
+                    mean[d] /= count;
+                    (sq[d] / count - mean[d] * mean[d]).max(1e-12).sqrt()
+                })
+                .collect()
+        } else {
+            vec![1.0; f]
+        };
+        self.state = Some(Fitted { structure: graph.clone(), mean, std });
+        Ok(FitReport {
+            train_seconds: started.elapsed().as_secs_f64(),
+            epochs: 1,
+            final_loss: 0.0,
+        })
+    }
+
+    fn generate(&self, t_len: usize, rng: &mut dyn RngCore) -> Result<DynamicGraph, GeneratorError> {
+        let fitted = self.state.as_ref().ok_or(GeneratorError::NotFitted)?;
+        let src = &fitted.structure;
+        let f = src.n_attrs();
+        let snapshots = (0..t_len)
+            .map(|t| {
+                let s = src.snapshot(t.min(src.t_len() - 1));
+                let mut attrs = Matrix::zeros(s.n_nodes(), f);
+                for i in 0..s.n_nodes() {
+                    for d in 0..f {
+                        let u1 = ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+                        let u2 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                        let z = (-2.0 * u1.ln()).sqrt()
+                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        attrs.set(i, d, (fitted.mean[d] + fitted.std[d] * z) as f32);
+                    }
+                }
+                Snapshot::new(s.n_nodes(), s.edges().to_vec(), attrs)
+            })
+            .collect();
+        Ok(DynamicGraph::new(snapshots))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preserves_structure_replaces_attributes() {
+        let g = vrdag_datasets::generate(&vrdag_datasets::tiny(), 11);
+        let mut gen = NormalBaseline::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        gen.fit(&g, &mut rng).unwrap();
+        let out = gen.generate(g.t_len(), &mut rng).unwrap();
+        for t in 0..g.t_len() {
+            assert_eq!(out.snapshot(t).edges(), g.snapshot(t).edges());
+            assert_ne!(out.snapshot(t).attrs().data(), g.snapshot(t).attrs().data());
+        }
+    }
+
+    #[test]
+    fn moments_match_training_data() {
+        let g = vrdag_datasets::generate(&vrdag_datasets::tiny(), 12);
+        let mut gen = NormalBaseline::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        gen.fit(&g, &mut rng).unwrap();
+        let out = gen.generate(g.t_len(), &mut rng).unwrap();
+        let moments = |g: &DynamicGraph| {
+            let mut acc = 0.0f64;
+            let mut cnt = 0.0;
+            for (_, s) in g.iter() {
+                for &x in s.attrs().data() {
+                    acc += x as f64;
+                    cnt += 1.0;
+                }
+            }
+            acc / cnt
+        };
+        assert!((moments(&g) - moments(&out)).abs() < 0.2);
+    }
+
+    #[test]
+    fn metadata() {
+        let gen = NormalBaseline::new();
+        assert_eq!(gen.name(), "Normal");
+        assert!(gen.supports_attributes());
+        assert!(!gen.is_dynamic());
+    }
+}

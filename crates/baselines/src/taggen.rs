@@ -1,0 +1,235 @@
+//! TagGen-like baseline (Zhou et al., KDD 2020): temporal random-walk
+//! sampling with a plausibility **discriminator** and iterative assembly.
+//!
+//! Mechanism preserved from the original: (1) extract joint
+//! structural-temporal context by sampling many temporal walks; (2) a
+//! discriminator filters candidate walks before they are merged (here: an
+//! empirical log-likelihood threshold learned from the training walks, in
+//! place of the original's neural discriminator); (3) accepted walks are
+//! merged into the output graph until per-timestep edge budgets are met.
+//! The heavy candidate-sampling + discrimination + merging pipeline is
+//! exactly what makes TagGen orders of magnitude slower at generation than
+//! VRDAG (Fig. 9, Tables III/IV).
+
+use crate::merge::{extend_budgets, WalkAssembler};
+use crate::walks::{sample_walk, TemporalWalk, TransitionTable};
+use rand::RngCore;
+use std::time::Instant;
+use vrdag_graph::generator::{DynamicGraphGenerator, FitReport, GeneratorError};
+use vrdag_graph::{DynamicGraph, Snapshot};
+use vrdag_tensor::Matrix;
+
+/// Tuning knobs (defaults follow the original's cost profile).
+#[derive(Clone, Debug)]
+pub struct TagGenConfig {
+    /// Training/candidate walks per observed temporal edge.
+    pub walks_per_edge: f64,
+    /// Maximum walk length `l'`.
+    pub walk_len: usize,
+    /// Temporal window for time-respecting steps.
+    pub window: usize,
+    /// Quantile of training-walk log-likelihoods used as the acceptance
+    /// threshold (higher = pickier discriminator = more rejections).
+    pub accept_quantile: f64,
+    /// Hard cap on candidate walks per generation call.
+    pub max_candidates_factor: usize,
+}
+
+impl Default for TagGenConfig {
+    fn default() -> Self {
+        TagGenConfig {
+            walks_per_edge: 4.0,
+            walk_len: 16,
+            window: 2,
+            accept_quantile: 0.3,
+            max_candidates_factor: 40,
+        }
+    }
+}
+
+/// See module docs.
+pub struct TagGenLike {
+    cfg: TagGenConfig,
+    state: Option<Fitted>,
+}
+
+struct Fitted {
+    table: TransitionTable,
+    starts: Vec<(u32, u32)>,
+    budgets: Vec<usize>,
+    threshold: f64,
+    n: usize,
+    f: usize,
+}
+
+impl TagGenLike {
+    pub fn new(cfg: TagGenConfig) -> Self {
+        TagGenLike { cfg, state: None }
+    }
+
+    pub fn with_defaults() -> Self {
+        Self::new(TagGenConfig::default())
+    }
+
+    fn sample_from_table(
+        fitted: &Fitted,
+        walk_len: usize,
+        rng: &mut dyn RngCore,
+    ) -> TemporalWalk {
+        let (n0, t0) = fitted.starts[(rng.next_u64() % fitted.starts.len() as u64) as usize];
+        let mut nodes = vec![n0];
+        let mut times = vec![t0];
+        let (mut cur, mut cur_t) = (n0, t0);
+        for _ in 1..walk_len {
+            match fitted.table.sample_smoothed(cur, cur_t, 0.15, &fitted.starts, rng) {
+                Some((nxt, nt)) => {
+                    nodes.push(nxt);
+                    times.push(nt);
+                    cur = nxt;
+                    cur_t = nt;
+                }
+                None => break,
+            }
+        }
+        TemporalWalk { nodes, times }
+    }
+}
+
+impl DynamicGraphGenerator for TagGenLike {
+    fn name(&self) -> &str {
+        "TagGen"
+    }
+
+    fn supports_attributes(&self) -> bool {
+        false
+    }
+
+    fn is_dynamic(&self) -> bool {
+        true
+    }
+
+    fn fit(&mut self, graph: &DynamicGraph, rng: &mut dyn RngCore) -> Result<FitReport, GeneratorError> {
+        let started = Instant::now();
+        let m = graph.temporal_edge_count();
+        if m == 0 {
+            return Err(GeneratorError::Other("empty edge stream".into()));
+        }
+        let n_walks = ((m as f64 * self.cfg.walks_per_edge) as usize).max(100);
+        let mut table = TransitionTable::new(graph.n_nodes(), graph.t_len());
+        let mut walks = Vec::with_capacity(n_walks);
+        for _ in 0..n_walks {
+            let w = sample_walk(graph, self.cfg.walk_len, self.cfg.window, rng);
+            if w.len() >= 2 {
+                table.absorb(&w);
+                walks.push(w);
+            }
+        }
+        // Discriminator training surrogate: score every training walk and
+        // set the acceptance threshold at the configured quantile.
+        let mut scores: Vec<f64> = walks
+            .iter()
+            .map(|w| table.walk_log_prob(w) / w.len().max(1) as f64)
+            .collect();
+        scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((scores.len() as f64 * self.cfg.accept_quantile) as usize)
+            .min(scores.len().saturating_sub(1));
+        let threshold = scores.get(idx).copied().unwrap_or(f64::NEG_INFINITY);
+        let starts = table.active_states();
+        if starts.is_empty() {
+            return Err(GeneratorError::Other("no transitions learned".into()));
+        }
+        self.state = Some(Fitted {
+            table,
+            starts,
+            budgets: graph.iter().map(|(_, s)| s.n_edges()).collect(),
+            threshold,
+            n: graph.n_nodes(),
+            f: graph.n_attrs(),
+        });
+        Ok(FitReport {
+            train_seconds: started.elapsed().as_secs_f64(),
+            epochs: 1,
+            final_loss: -threshold,
+        })
+    }
+
+    fn generate(&self, t_len: usize, rng: &mut dyn RngCore) -> Result<DynamicGraph, GeneratorError> {
+        let fitted = self.state.as_ref().ok_or(GeneratorError::NotFitted)?;
+        let budgets = extend_budgets(&fitted.budgets, t_len.max(1));
+        let budgets = budgets[..t_len].to_vec();
+        let mut asm = WalkAssembler::new(budgets);
+        let total_budget: usize = fitted.budgets.iter().sum::<usize>().max(1);
+        let max_candidates = total_budget * self.cfg.max_candidates_factor;
+        let mut candidates = 0usize;
+        while !asm.complete() && candidates < max_candidates {
+            candidates += 1;
+            let w = Self::sample_from_table(fitted, self.cfg.walk_len, rng);
+            if w.len() < 2 {
+                continue;
+            }
+            // Discrimination stage: reject implausible candidate walks.
+            let score = fitted.table.walk_log_prob(&w) / w.len() as f64;
+            if score < fitted.threshold {
+                continue;
+            }
+            asm.deposit(&w);
+        }
+        let lists = asm.into_edge_lists();
+        let snapshots = lists
+            .into_iter()
+            .map(|edges| Snapshot::new(fitted.n, edges, Matrix::zeros(fitted.n, fitted.f)))
+            .collect();
+        Ok(DynamicGraph::new(snapshots))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> DynamicGraph {
+        vrdag_datasets::generate(&vrdag_datasets::tiny(), 2)
+    }
+
+    #[test]
+    fn fit_and_generate() {
+        let g = toy();
+        let mut gen = TagGenLike::with_defaults();
+        let mut rng = StdRng::seed_from_u64(1);
+        gen.fit(&g, &mut rng).unwrap();
+        let out = gen.generate(g.t_len(), &mut rng).unwrap();
+        assert_eq!(out.t_len(), g.t_len());
+        assert_eq!(out.n_nodes(), g.n_nodes());
+        let m = out.temporal_edge_count();
+        assert!(m > 0, "no edges generated");
+        // Assembly targets the observed per-snapshot budgets.
+        assert!(m <= g.temporal_edge_count());
+    }
+
+    #[test]
+    fn generate_without_fit_errors() {
+        let gen = TagGenLike::with_defaults();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(gen.generate(3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn longer_horizon_reuses_tail_budget() {
+        let g = toy();
+        let mut gen = TagGenLike::with_defaults();
+        let mut rng = StdRng::seed_from_u64(3);
+        gen.fit(&g, &mut rng).unwrap();
+        let out = gen.generate(g.t_len() + 3, &mut rng).unwrap();
+        assert_eq!(out.t_len(), g.t_len() + 3);
+    }
+
+    #[test]
+    fn is_structure_only_dynamic_method() {
+        let gen = TagGenLike::with_defaults();
+        assert_eq!(gen.name(), "TagGen");
+        assert!(!gen.supports_attributes());
+        assert!(gen.is_dynamic());
+    }
+}

@@ -1,0 +1,43 @@
+//! The headline comparison at micro scale: VRDAG's one-shot snapshot
+//! decode vs. walk-based sampling + merging (TIGGER-like) for the same
+//! edge budget — the algorithmic asymmetry behind Fig. 9 and Tables
+//! III/IV.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vrdag::{Vrdag, VrdagConfig};
+use vrdag_baselines::TiggerLike;
+use vrdag_graph::DynamicGraphGenerator;
+
+fn bench_generation(c: &mut Criterion) {
+    let spec = vrdag_datasets::email().scaled(0.05);
+    let graph = vrdag_datasets::generate(&spec, 11);
+
+    // Pre-fit both models outside the measured region.
+    let mut vrdag = Vrdag::new(VrdagConfig { epochs: 3, ..VrdagConfig::test_small() });
+    let mut rng = StdRng::seed_from_u64(1);
+    vrdag.fit(&graph, &mut rng).unwrap();
+
+    let mut tigger = TiggerLike::with_defaults();
+    DynamicGraphGenerator::fit(&mut tigger, &graph, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("generation_per_sequence");
+    group.sample_size(10);
+    group.bench_function("vrdag_one_shot", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(2);
+            black_box(vrdag.generate(graph.t_len(), &mut r).unwrap())
+        });
+    });
+    group.bench_function("tigger_walk_merge", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(2);
+            black_box(DynamicGraphGenerator::generate(&tigger, graph.t_len(), &mut r).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

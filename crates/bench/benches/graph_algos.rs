@@ -1,0 +1,36 @@
+//! Micro-benchmarks for the graph algorithm substrate (the metric hot
+//! paths: components, clustering, coreness).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vrdag_graph::algo;
+use vrdag_graph::Snapshot;
+
+fn synthetic_snapshot(scale: f64) -> Snapshot {
+    let spec = vrdag_datasets::email().scaled(scale);
+    let g = vrdag_datasets::generate(&spec, 7);
+    g.snapshot(0).clone()
+}
+
+fn bench_algos(c: &mut Criterion) {
+    for &scale in &[0.05f64, 0.2] {
+        let s = synthetic_snapshot(scale);
+        let label = format!("n={}", s.n_nodes());
+        let mut group = c.benchmark_group(format!("graph_algos/{label}"));
+        group.bench_with_input(BenchmarkId::new("components", &label), &s, |b, s| {
+            b.iter(|| black_box(algo::weakly_connected_components(s)));
+        });
+        group.bench_with_input(BenchmarkId::new("clustering", &label), &s, |b, s| {
+            b.iter(|| black_box(algo::local_clustering(s)));
+        });
+        group.bench_with_input(BenchmarkId::new("coreness", &label), &s, |b, s| {
+            b.iter(|| black_box(algo::coreness(s)));
+        });
+        group.bench_with_input(BenchmarkId::new("wedges", &label), &s, |b, s| {
+            b.iter(|| black_box(algo::wedge_count(s)));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_algos);
+criterion_main!(benches);

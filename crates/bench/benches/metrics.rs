@@ -1,0 +1,34 @@
+//! Micro-benchmarks for the evaluation metrics (they run once per
+//! timestep per method per dataset in the Table I harness, so their cost
+//! matters).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vrdag_metrics::{attribute_report, emd_1d, jsd, mmd_gaussian, structure_report};
+
+fn bench_metrics(c: &mut Criterion) {
+    let spec = vrdag_datasets::email().scaled(0.08);
+    let a = vrdag_datasets::generate(&spec, 3);
+    let b = vrdag_datasets::generate(&spec, 4);
+
+    c.bench_function("structure_report_email_small", |bch| {
+        bch.iter(|| black_box(structure_report(&a, &b)));
+    });
+    c.bench_function("attribute_report_email_small", |bch| {
+        bch.iter(|| black_box(attribute_report(&a, &b)));
+    });
+
+    let xs: Vec<f64> = (0..2000).map(|i| ((i * 37) % 100) as f64).collect();
+    let ys: Vec<f64> = (0..2000).map(|i| ((i * 53) % 120) as f64).collect();
+    c.bench_function("mmd_gaussian_2k_samples", |bch| {
+        bch.iter(|| black_box(mmd_gaussian(&xs, &ys, 64, 0.1)));
+    });
+    c.bench_function("jsd_2k_samples", |bch| {
+        bch.iter(|| black_box(jsd(&xs, &ys, 50)));
+    });
+    c.bench_function("emd_2k_samples", |bch| {
+        bch.iter(|| black_box(emd_1d(&xs, &ys)));
+    });
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

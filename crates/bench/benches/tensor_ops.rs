@@ -1,0 +1,73 @@
+//! Micro-benchmarks for the tensor substrate: matmul kernels, sparse
+//! aggregation, and autograd overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::rc::Rc;
+use vrdag_tensor::ops::{self, SparseAdj};
+use vrdag_tensor::{Matrix, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[64usize, 256] {
+        let a = Matrix::rand_uniform(n, n, -1.0, 1.0, &mut rng);
+        let b = Matrix::rand_uniform(n, n, -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul_nt(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul_tn(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm_sum");
+    let mut rng = StdRng::seed_from_u64(2);
+    for &n in &[1000usize, 4000] {
+        // ~8 neighbors per node.
+        let lists: Vec<Vec<u32>> = (0..n)
+            .map(|i| (0..8).map(|k| ((i * 7 + k * 131) % n) as u32).collect())
+            .collect();
+        let adj = Rc::new(SparseAdj::from_lists(&lists));
+        let x = Tensor::constant(Matrix::rand_uniform(n, 32, -1.0, 1.0, &mut rng));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(ops::spmm_sum(Rc::clone(&adj), &x)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_autograd_overhead(c: &mut Criterion) {
+    // Forward+backward of a small MLP step: measures tape cost.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mlp = vrdag_tensor::nn::Mlp::new(
+        &[32, 64, 32],
+        vrdag_tensor::nn::Activation::LeakyRelu(0.2),
+        vrdag_tensor::nn::Activation::Identity,
+        &mut rng,
+    );
+    let x = Tensor::constant(Matrix::rand_uniform(256, 32, -1.0, 1.0, &mut rng));
+    c.bench_function("mlp_forward_backward_256x32", |b| {
+        b.iter(|| {
+            let loss = ops::sum_all(&mlp.forward(&x));
+            loss.backward();
+            for p in mlp.parameters() {
+                p.zero_grad();
+            }
+            black_box(loss.item())
+        });
+    });
+    c.bench_function("mlp_forward_no_grad_256x32", |b| {
+        b.iter(|| vrdag_tensor::no_grad(|| black_box(mlp.forward(&x).value().sum())));
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_spmm, bench_autograd_overhead);
+criterion_main!(benches);

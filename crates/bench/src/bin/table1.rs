@@ -1,0 +1,62 @@
+//! **Table I** — network structure generation performance: eight structure
+//! metrics × six datasets × {GRAN, GenCAT, TagGen, Dymond, TGGAN, TIGGER,
+//! VRDAG}. Dymond rows that hit the motif budget are reported as missing,
+//! matching the paper's note that Dymond only runs on the smallest dataset.
+
+use vrdag_bench::harness::{fit_and_generate, load_dataset, make_method, selected_specs, RunOpts};
+use vrdag_bench::report::{results_dir, Table};
+use vrdag_graph::GeneratorError;
+use vrdag_metrics::structure::{structure_report, StructureReport};
+
+const METHODS: [&str; 7] = ["GRAN", "GenCAT", "TagGen", "Dymond", "TGGAN", "TIGGER", "VRDAG"];
+const ALL_DATASETS: [&str; 6] = ["Email", "Bitcoin", "Wiki", "Guarantee", "Brain", "GDELT"];
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let specs = selected_specs(&opts, &ALL_DATASETS);
+    println!(
+        "Table I reproduction | scale={} seed={} ({} datasets)\n",
+        opts.scale.name(),
+        opts.seed,
+        specs.len()
+    );
+    let headers = StructureReport::headers();
+    let mut combined = Table::new("Table I (all datasets)", &headers);
+    for spec in &specs {
+        let graph = load_dataset(spec, opts.seed);
+        println!(
+            "-- {}: N={} M={} X={} T={}",
+            spec.name,
+            graph.n_nodes(),
+            graph.temporal_edge_count(),
+            graph.n_attrs(),
+            graph.t_len()
+        );
+        let mut table = Table::new(format!("Table I — {}", spec.name), &headers);
+        for method in METHODS {
+            let mut gen = make_method(method, opts.scale, opts.seed);
+            match fit_and_generate(&mut gen, &graph, opts.seed ^ 0x1AB1) {
+                Ok(run) => {
+                    let rep = structure_report(&graph, &run.generated);
+                    table.push_row(method, rep.as_row().to_vec());
+                    combined.push_row(format!("{}/{}", spec.name, method), rep.as_row().to_vec());
+                }
+                Err(GeneratorError::ResourceLimit(msg)) => {
+                    eprintln!("   {method}: resource limit ({msg}) — skipped, as in the paper");
+                    table.push_row_opt(method, vec![None; headers.len()]);
+                    combined.push_row_opt(format!("{}/{}", spec.name, method), vec![None; headers.len()]);
+                }
+                Err(e) => {
+                    eprintln!("   {method}: failed: {e}");
+                    table.push_row_opt(method, vec![None; headers.len()]);
+                    combined.push_row_opt(format!("{}/{}", spec.name, method), vec![None; headers.len()]);
+                }
+            }
+        }
+        table.print();
+        println!();
+    }
+    let out = results_dir().join("table1.tsv");
+    combined.write_tsv(&out).expect("write results");
+    println!("wrote {}", out.display());
+}

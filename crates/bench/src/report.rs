@@ -1,0 +1,239 @@
+//! Result tables: aligned stdout rendering + TSV artifacts under
+//! `results/`.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A simple result table: a label column followed by numeric columns.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<(String, Vec<Option<f64>>)>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a fully populated row.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.headers.len(), "row width mismatch");
+        self.rows.push((label.into(), values.into_iter().map(Some).collect()));
+    }
+
+    /// Add a row that may contain missing entries (rendered as `—`, e.g.
+    /// Dymond hitting its motif budget as in the paper's Table I).
+    pub fn push_row_opt(&mut self, label: impl Into<String>, values: Vec<Option<f64>>) {
+        assert_eq!(values.len(), self.headers.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    fn fmt_value(v: Option<f64>) -> String {
+        match v {
+            None => "—".to_string(),
+            Some(x) => {
+                if x == 0.0 {
+                    "0".into()
+                } else if x.abs() >= 1000.0 || (x.abs() < 0.001 && x != 0.0) {
+                    format!("{x:.3e}")
+                } else {
+                    format!("{x:.4}")
+                }
+            }
+        }
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut label_w = "".len();
+        let mut cells: Vec<(String, Vec<String>)> = Vec::new();
+        for (label, vals) in &self.rows {
+            label_w = label_w.max(label.len());
+            let rendered: Vec<String> = vals.iter().map(|&v| Self::fmt_value(v)).collect();
+            for (w, c) in widths.iter_mut().zip(rendered.iter()) {
+                *w = (*w).max(c.len());
+            }
+            cells.push((label.clone(), rendered));
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = write!(out, "{:label_w$}", "");
+        for (h, w) in self.headers.iter().zip(widths.iter()) {
+            let _ = write!(out, "  {h:>w$}");
+        }
+        let _ = writeln!(out);
+        for (label, rendered) in &cells {
+            let _ = write!(out, "{label:label_w$}");
+            for (c, w) in rendered.iter().zip(widths.iter()) {
+                let _ = write!(out, "  {c:>w$}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Write as TSV (tab-separated, `NA` for missing).
+    pub fn write_tsv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        if let Some(dir) = path.as_ref().parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        write!(f, "label")?;
+        for h in &self.headers {
+            write!(f, "\t{h}")?;
+        }
+        writeln!(f)?;
+        for (label, vals) in &self.rows {
+            write!(f, "{label}")?;
+            for v in vals {
+                match v {
+                    Some(x) => write!(f, "\t{x}")?,
+                    None => write!(f, "\tNA")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        f.flush()
+    }
+}
+
+/// Canonical results directory (`results/` at the workspace root, or the
+/// `VRDAG_RESULTS` override).
+pub fn results_dir() -> PathBuf {
+    std::env::var("VRDAG_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// A per-timestep series artifact (for the figure reproductions).
+pub struct SeriesSet {
+    pub title: String,
+    /// (series name, values per timestep)
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl SeriesSet {
+    pub fn new(title: impl Into<String>) -> Self {
+        SeriesSet { title: title.into(), series: Vec::new() }
+    }
+
+    pub fn push(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        self.series.push((name.into(), values));
+    }
+
+    /// Render aligned columns: timestep index + one column per series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let t_max = self.series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+        let _ = write!(out, "{:>4}", "t");
+        for (name, _) in &self.series {
+            let _ = write!(out, "  {name:>12}");
+        }
+        let _ = writeln!(out);
+        for t in 0..t_max {
+            let _ = write!(out, "{t:>4}");
+            for (_, vals) in &self.series {
+                match vals.get(t) {
+                    Some(v) => {
+                        let _ = write!(out, "  {v:>12.5}");
+                    }
+                    None => {
+                        let _ = write!(out, "  {:>12}", "—");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// TSV with a `t` column.
+    pub fn write_tsv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        if let Some(dir) = path.as_ref().parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        write!(f, "t")?;
+        for (name, _) in &self.series {
+            write!(f, "\t{name}")?;
+        }
+        writeln!(f)?;
+        let t_max = self.series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+        for t in 0..t_max {
+            write!(f, "{t}")?;
+            for (_, vals) in &self.series {
+                match vals.get(t) {
+                    Some(v) => write!(f, "\t{v}")?,
+                    None => write!(f, "\tNA")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        f.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_cells() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row("x", vec![1.0, 0.00001]);
+        t.push_row_opt("y", vec![None, Some(2.0)]);
+        let r = t.render();
+        assert!(r.contains("demo"));
+        assert!(r.contains('—'));
+        assert!(r.contains("1.000e-5") || r.contains("1e-5") || r.contains("1.0000e-5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_bad_width() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row("x", vec![1.0]);
+    }
+
+    #[test]
+    fn tsv_round_trip_format() {
+        let dir = std::env::temp_dir().join("vrdag_bench_test");
+        let mut t = Table::new("demo", &["a"]);
+        t.push_row("x", vec![0.5]);
+        let path = dir.join("t.tsv");
+        t.write_tsv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "label\ta\nx\t0.5\n");
+    }
+
+    #[test]
+    fn series_renders_and_writes() {
+        let mut s = SeriesSet::new("series");
+        s.push("orig", vec![1.0, 2.0]);
+        s.push("gen", vec![1.5]);
+        let r = s.render();
+        assert!(r.contains("orig"));
+        let dir = std::env::temp_dir().join("vrdag_bench_test");
+        s.write_tsv(dir.join("s.tsv")).unwrap();
+        let content = std::fs::read_to_string(dir.join("s.tsv")).unwrap();
+        assert!(content.contains("NA"));
+    }
+}

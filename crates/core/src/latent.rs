@@ -1,0 +1,167 @@
+//! The latent variable sampler (§III-B): conditional prior
+//! `p_φ(z_{i,t} | h_{i,t−1})` (Eq. 3–4) and posterior
+//! `q_ψ(z_{i,t} | ε(v_{i,t}), h_{i,t−1})` (Eq. 8–9), both diagonal
+//! Gaussians with the reparameterization trick.
+
+use rand::Rng;
+use vrdag_tensor::nn::{Activation, Linear};
+use vrdag_tensor::{ops, Matrix, Tensor};
+
+/// Log-variance clamp bounds (numerical stability of the KL term).
+const LOGVAR_MIN: f32 = -8.0;
+const LOGVAR_MAX: f32 = 4.0;
+
+/// An MLP head mapping a conditioning vector to the mean and log-variance
+/// of a diagonal Gaussian (the paper's prior and posterior networks share
+/// this architecture, Eq. 4 / Eq. 9).
+#[derive(Clone)]
+pub struct GaussianHead {
+    shared: Linear,
+    mu: Linear,
+    logvar: Linear,
+    act: Activation,
+}
+
+impl GaussianHead {
+    pub fn new(d_in: usize, d_hidden: usize, d_z: usize, slope: f32, rng: &mut impl Rng) -> Self {
+        GaussianHead {
+            shared: Linear::new(d_in, d_hidden, rng),
+            mu: Linear::new(d_hidden, d_z, rng),
+            logvar: Linear::new(d_hidden, d_z, rng),
+            act: Activation::LeakyRelu(slope),
+        }
+    }
+
+    /// `(μ, log σ²)`, each `[n, d_z]`.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, Tensor) {
+        let h = self.act.apply(&self.shared.forward(x));
+        let mu = self.mu.forward(&h);
+        let logvar = ops::clamp(&self.logvar.forward(&h), LOGVAR_MIN, LOGVAR_MAX);
+        (mu, logvar)
+    }
+
+    pub fn d_z(&self) -> usize {
+        self.mu.d_out()
+    }
+
+    pub fn d_in(&self) -> usize {
+        self.shared.d_in()
+    }
+
+    pub fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.shared.parameters();
+        p.extend(self.mu.parameters());
+        p.extend(self.logvar.parameters());
+        p
+    }
+}
+
+/// Reparameterized sample `z = μ + ε ⊙ exp(½ log σ²)`, `ε ∼ N(0, I)`
+/// (Eq. 4 / Eq. 9). Gradients flow into `μ` and `log σ²`; the noise is a
+/// constant.
+pub fn reparam_sample(mu: &Tensor, logvar: &Tensor, rng: &mut impl Rng) -> Tensor {
+    let (r, c) = mu.shape();
+    let eps = Tensor::constant(Matrix::rand_normal(r, c, 0.0, 1.0, rng));
+    let sigma = ops::exp(&ops::scale(logvar, 0.5));
+    ops::add(mu, &ops::mul(&eps, &sigma))
+}
+
+/// Deterministic mean "sample" (used when evaluating reconstruction
+/// without sampling noise).
+pub fn mean_sample(mu: &Tensor) -> Tensor {
+    mu.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn head_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let head = GaussianHead::new(10, 8, 4, 0.2, &mut rng);
+        let x = Tensor::constant(Matrix::ones(5, 10));
+        let (mu, lv) = head.forward(&x);
+        assert_eq!(mu.shape(), (5, 4));
+        assert_eq!(lv.shape(), (5, 4));
+        assert_eq!(head.parameters().len(), 6);
+        assert_eq!(head.d_z(), 4);
+        assert_eq!(head.d_in(), 10);
+    }
+
+    #[test]
+    fn logvar_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let head = GaussianHead::new(4, 4, 2, 0.2, &mut rng);
+        let x = Tensor::constant(Matrix::full(3, 4, 1e6));
+        let (_, lv) = head.forward(&x);
+        for &v in lv.value_clone().data() {
+            assert!((LOGVAR_MIN..=LOGVAR_MAX).contains(&v));
+        }
+    }
+
+    #[test]
+    fn reparam_sample_moments() {
+        // With μ = 2, log σ² = 0 (σ = 1), samples must average near 2 with
+        // unit variance.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mu = Tensor::constant(Matrix::full(2000, 1, 2.0));
+        let lv = Tensor::constant(Matrix::zeros(2000, 1));
+        let z = reparam_sample(&mu, &lv, &mut rng).value_clone();
+        let mean = z.mean();
+        let var = z.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+            / (z.len() - 1) as f32;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn reparam_sample_keeps_gradient_path() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mu = Tensor::param(Matrix::zeros(3, 2));
+        let lv = Tensor::param(Matrix::zeros(3, 2));
+        let z = reparam_sample(&mu, &lv, &mut rng);
+        let loss = ops::sum_all(&z);
+        loss.backward();
+        assert!(mu.grad().is_some());
+        assert!(lv.grad().is_some());
+        // dz/dμ = 1 exactly.
+        for &g in mu.grad().unwrap().data() {
+            assert!((g - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn prior_posterior_kl_is_trainable() {
+        // Minimizing KL(q‖p) with Adam must reduce it.
+        let mut rng = StdRng::seed_from_u64(5);
+        let prior = GaussianHead::new(6, 8, 3, 0.2, &mut rng);
+        let post = GaussianHead::new(6, 8, 3, 0.2, &mut rng);
+        let x = Tensor::constant(Matrix::rand_uniform(10, 6, -1.0, 1.0, &mut rng));
+        let mut params = prior.parameters();
+        params.extend(post.parameters());
+        let mut adam = vrdag_tensor::optim::Adam::new(0.01);
+        let kl0 = {
+            let (mq, lq) = post.forward(&x);
+            let (mp, lp) = prior.forward(&x);
+            ops::kl_diag_gaussian(&mq, &lq, &mp, &lp).item()
+        };
+        for _ in 0..60 {
+            vrdag_tensor::optim::zero_grad(&params);
+            let (mq, lq) = post.forward(&x);
+            let (mp, lp) = prior.forward(&x);
+            let kl = ops::kl_diag_gaussian(&mq, &lq, &mp, &lp);
+            kl.backward();
+            adam.step(&params);
+        }
+        let kl1 = {
+            let (mq, lq) = post.forward(&x);
+            let (mp, lp) = prior.forward(&x);
+            ops::kl_diag_gaussian(&mq, &lq, &mp, &lp).item()
+        };
+        assert!(kl1 < kl0, "KL did not decrease: {kl0} -> {kl1}");
+        assert!(kl1 >= -1e-4, "KL must stay non-negative");
+    }
+}

@@ -1,0 +1,369 @@
+//! Model persistence: save a fitted VRDAG to a compact binary file and
+//! load it back for generation-only deployments (the paper's intended use:
+//! train once inside the data owner's perimeter, generate anywhere).
+//!
+//! Format (little-endian): magic, version, config block, train-stats
+//! block, then every parameter matrix in the deterministic order of
+//! `Modules::parameters()`.
+
+use crate::config::{AttrLoss, VrdagConfig};
+use crate::model::{TrainStats, Vrdag};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: u32 = 0x5652_4447; // "VRDG"
+const VERSION: u32 = 1;
+
+/// Errors from model (de)serialization.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(std::io::Error),
+    Format(String),
+    /// Saving requires a fitted model.
+    NotFitted,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Format(m) => write!(f, "format error: {m}"),
+            PersistError::NotFitted => write!(f, "cannot save an unfitted model"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+struct Writer<W: Write> {
+    w: W,
+}
+
+impl<W: Write> Writer<W> {
+    fn u32(&mut self, v: u32) -> Result<(), PersistError> {
+        self.w.write_all(&v.to_le_bytes())?;
+        Ok(())
+    }
+    fn u64(&mut self, v: u64) -> Result<(), PersistError> {
+        self.w.write_all(&v.to_le_bytes())?;
+        Ok(())
+    }
+    fn f32(&mut self, v: f32) -> Result<(), PersistError> {
+        self.w.write_all(&v.to_le_bytes())?;
+        Ok(())
+    }
+    fn f64(&mut self, v: f64) -> Result<(), PersistError> {
+        self.w.write_all(&v.to_le_bytes())?;
+        Ok(())
+    }
+    fn bool(&mut self, v: bool) -> Result<(), PersistError> {
+        self.u32(v as u32)
+    }
+    fn f32s(&mut self, vs: &[f32]) -> Result<(), PersistError> {
+        self.u64(vs.len() as u64)?;
+        for &v in vs {
+            self.f32(v)?;
+        }
+        Ok(())
+    }
+    fn f64s(&mut self, vs: &[f64]) -> Result<(), PersistError> {
+        self.u64(vs.len() as u64)?;
+        for &v in vs {
+            self.f64(v)?;
+        }
+        Ok(())
+    }
+}
+
+struct Reader<R: Read> {
+    r: R,
+}
+
+impl<R: Read> Reader<R> {
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        let mut b = [0u8; 4];
+        self.r.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        let mut b = [0u8; 8];
+        self.r.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn f32(&mut self) -> Result<f32, PersistError> {
+        let mut b = [0u8; 4];
+        self.r.read_exact(&mut b)?;
+        Ok(f32::from_le_bytes(b))
+    }
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        let mut b = [0u8; 8];
+        self.r.read_exact(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+    fn bool(&mut self) -> Result<bool, PersistError> {
+        Ok(self.u32()? != 0)
+    }
+    fn f32s(&mut self) -> Result<Vec<f32>, PersistError> {
+        let n = self.u64()? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f32()?);
+        }
+        Ok(out)
+    }
+    fn f64s(&mut self) -> Result<Vec<f64>, PersistError> {
+        let n = self.u64()? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+}
+
+fn write_config<W: Write>(w: &mut Writer<W>, c: &VrdagConfig) -> Result<(), PersistError> {
+    for v in [
+        c.d_h, c.d_z, c.d_e, c.d_t, c.gnn_layers, c.k_mix, c.decoder_hidden, c.gat_hidden,
+        c.epochs, c.neg_samples, c.alpha_ref_samples, c.tbptt_window,
+    ] {
+        w.u64(v as u64)?;
+    }
+    for v in [
+        c.sce_alpha, c.lr, c.grad_clip, c.kl_weight, c.attr_weight, c.attr_mse_anchor,
+        c.leaky_slope,
+    ] {
+        w.f32(v)?;
+    }
+    w.u32(match c.attr_loss {
+        AttrLoss::Sce => 0,
+        AttrLoss::Mse => 1,
+    })?;
+    for v in [
+        c.bi_flow, c.use_time2vec, c.use_recurrence, c.calibrate_density, c.calibrate_attributes,
+    ] {
+        w.bool(v)?;
+    }
+    w.u64(c.seed)?;
+    Ok(())
+}
+
+fn read_config<R: Read>(r: &mut Reader<R>) -> Result<VrdagConfig, PersistError> {
+    let mut us = [0u64; 12];
+    for u in us.iter_mut() {
+        *u = r.u64()?;
+    }
+    let mut fs = [0f32; 7];
+    for f in fs.iter_mut() {
+        *f = r.f32()?;
+    }
+    let attr_loss = match r.u32()? {
+        0 => AttrLoss::Sce,
+        1 => AttrLoss::Mse,
+        other => return Err(PersistError::Format(format!("bad attr_loss tag {other}"))),
+    };
+    let mut bs = [false; 5];
+    for b in bs.iter_mut() {
+        *b = r.bool()?;
+    }
+    let seed = r.u64()?;
+    Ok(VrdagConfig {
+        d_h: us[0] as usize,
+        d_z: us[1] as usize,
+        d_e: us[2] as usize,
+        d_t: us[3] as usize,
+        gnn_layers: us[4] as usize,
+        k_mix: us[5] as usize,
+        decoder_hidden: us[6] as usize,
+        gat_hidden: us[7] as usize,
+        epochs: us[8] as usize,
+        neg_samples: us[9] as usize,
+        alpha_ref_samples: us[10] as usize,
+        tbptt_window: us[11] as usize,
+        sce_alpha: fs[0],
+        lr: fs[1],
+        grad_clip: fs[2],
+        kl_weight: fs[3],
+        attr_weight: fs[4],
+        attr_mse_anchor: fs[5],
+        leaky_slope: fs[6],
+        attr_loss,
+        bi_flow: bs[0],
+        use_time2vec: bs[1],
+        use_recurrence: bs[2],
+        calibrate_density: bs[3],
+        calibrate_attributes: bs[4],
+        seed,
+    })
+}
+
+impl Vrdag {
+    /// Serialize a fitted model to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let modules = self.modules.as_ref().ok_or(PersistError::NotFitted)?;
+        let stats = self.stats.as_ref().ok_or(PersistError::NotFitted)?;
+        let file = std::fs::File::create(path)?;
+        let mut w = Writer { w: std::io::BufWriter::new(file) };
+        w.u32(MAGIC)?;
+        w.u32(VERSION)?;
+        write_config(&mut w, &self.cfg)?;
+        w.u64(modules.n as u64)?;
+        w.u64(modules.f as u64)?;
+        // Train stats.
+        w.f64s(&stats.edges_per_step)?;
+        w.f64s(&stats.loss_history)?;
+        w.f64(stats.final_terms.0)?;
+        w.f64(stats.final_terms.1)?;
+        w.f64(stats.final_terms.2)?;
+        w.u64(stats.train_t as u64)?;
+        w.f64(stats.mean_new_active_per_step)?;
+        w.u64(stats.attr_means.len() as u64)?;
+        for (m, s) in stats.attr_means.iter().zip(stats.attr_stds.iter()) {
+            w.f32s(m)?;
+            w.f32s(s)?;
+        }
+        // Parameters in deterministic module order.
+        let params = modules.parameters();
+        w.u64(params.len() as u64)?;
+        for p in &params {
+            let v = p.value_clone();
+            w.u64(v.rows() as u64)?;
+            w.u64(v.cols() as u64)?;
+            w.f32s(v.data())?;
+        }
+        w.w.flush()?;
+        Ok(())
+    }
+
+    /// Load a model saved with [`Vrdag::save`]; the result is ready to
+    /// [`Vrdag::generate`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Vrdag, PersistError> {
+        let file = std::fs::File::open(path)?;
+        let mut r = Reader { r: std::io::BufReader::new(file) };
+        if r.u32()? != MAGIC {
+            return Err(PersistError::Format("bad magic".into()));
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(PersistError::Format(format!("unsupported version {version}")));
+        }
+        let cfg = read_config(&mut r)?;
+        cfg.validate().map_err(PersistError::Format)?;
+        let n = r.u64()? as usize;
+        let f = r.u64()? as usize;
+        let edges_per_step = r.f64s()?;
+        let loss_history = r.f64s()?;
+        let final_terms = (r.f64()?, r.f64()?, r.f64()?);
+        let train_t = r.u64()? as usize;
+        let mean_new_active_per_step = r.f64()?;
+        let t_moments = r.u64()? as usize;
+        let mut attr_means = Vec::with_capacity(t_moments);
+        let mut attr_stds = Vec::with_capacity(t_moments);
+        for _ in 0..t_moments {
+            attr_means.push(r.f32s()?);
+            attr_stds.push(r.f32s()?);
+        }
+        let stats = TrainStats {
+            edges_per_step,
+            loss_history,
+            final_terms,
+            train_t,
+            mean_new_active_per_step,
+            attr_means,
+            attr_stds,
+        };
+
+        let mut model = Vrdag::new(cfg);
+        let mut rng = StdRng::seed_from_u64(model.cfg.seed);
+        let modules = model.build_modules_for_load(f, n, &mut rng);
+        let params = modules.parameters();
+        let n_params = r.u64()? as usize;
+        if n_params != params.len() {
+            return Err(PersistError::Format(format!(
+                "parameter count mismatch: file has {n_params}, architecture needs {}",
+                params.len()
+            )));
+        }
+        for p in &params {
+            let rows = r.u64()? as usize;
+            let cols = r.u64()? as usize;
+            let data = r.f32s()?;
+            if data.len() != rows * cols || (rows, cols) != p.shape() {
+                return Err(PersistError::Format(format!(
+                    "parameter shape mismatch: file [{rows},{cols}], architecture {:?}",
+                    p.shape()
+                )));
+            }
+            p.set_value(vrdag_tensor::Matrix::from_vec(rows, cols, data));
+        }
+        model.modules = Some(modules);
+        model.stats = Some(stats);
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn save_load_round_trip_preserves_generation() {
+        let g = vrdag_datasets::generate(&vrdag_datasets::tiny(), 31);
+        let mut cfg = VrdagConfig::test_small();
+        cfg.epochs = 2;
+        let mut model = Vrdag::new(cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        model.fit(&g, &mut rng).unwrap();
+
+        let dir = std::env::temp_dir().join("vrdag_persist");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.vrdg");
+        model.save(&path).unwrap();
+        let loaded = Vrdag::load(&path).unwrap();
+
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let a = model.generate(3, &mut r1).unwrap();
+        let b = loaded.generate(3, &mut r2).unwrap();
+        assert_eq!(a, b, "loaded model must generate identically");
+    }
+
+    #[test]
+    fn save_unfitted_fails() {
+        let model = Vrdag::new(VrdagConfig::test_small());
+        let dir = std::env::temp_dir().join("vrdag_persist");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            model.save(dir.join("nope.vrdg")),
+            Err(PersistError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("vrdag_persist");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.vrdg");
+        std::fs::write(&path, b"not a model").unwrap();
+        assert!(Vrdag::load(&path).is_err());
+    }
+
+    #[test]
+    fn config_round_trips_through_binary() {
+        let mut buf = Vec::new();
+        let cfg = VrdagConfig::default();
+        write_config(&mut Writer { w: &mut buf }, &cfg).unwrap();
+        let decoded = read_config(&mut Reader { r: buf.as_slice() }).unwrap();
+        assert_eq!(format!("{cfg:?}"), format!("{decoded:?}"));
+    }
+}

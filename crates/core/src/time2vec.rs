@@ -1,0 +1,158 @@
+//! Time2Vec timestep embedding (Eq. 13 of the paper, after Kazemi et al.):
+//!
+//! `f_T(t)[0] = w_0 t + φ_0` (linear / non-periodic component) and
+//! `f_T(t)[r] = sin(w_r t + φ_r)` for `r ≥ 1` (periodic components).
+
+use rand::Rng;
+use vrdag_tensor::{ops, Matrix, Tensor};
+
+/// Learnable Time2Vec module with parameters `w, φ ∈ R^{d_T}` shared across
+/// timesteps.
+#[derive(Clone)]
+pub struct Time2Vec {
+    w: Tensor,
+    phi: Tensor,
+    d_t: usize,
+}
+
+/// `sin` applied to every column except column 0 (which stays linear) — the
+/// piecewise definition of Eq. 13 as a single differentiable op.
+fn sin_except_first(u: &Tensor) -> Tensor {
+    let value = {
+        let uv = u.value();
+        let mut out = uv.clone();
+        let cols = out.cols();
+        for r in 0..out.rows() {
+            for c in 1..cols {
+                let v = out.get(r, c);
+                out.set(r, c, v.sin());
+            }
+        }
+        out
+    };
+    Tensor::from_op(
+        value,
+        vec![u.clone()],
+        Box::new(|g, _out, parents| {
+            if parents[0].participates() {
+                let uv = parents[0].value();
+                let mut gi = g.clone();
+                let cols = gi.cols();
+                for r in 0..gi.rows() {
+                    for c in 1..cols {
+                        let gv = gi.get(r, c);
+                        gi.set(r, c, gv * uv.get(r, c).cos());
+                    }
+                }
+                parents[0].accumulate_grad_owned(gi);
+            }
+        }),
+    )
+}
+
+impl Time2Vec {
+    /// New module with frequencies spread across scales so different
+    /// periodicities are representable from initialization.
+    pub fn new(d_t: usize, rng: &mut impl Rng) -> Self {
+        assert!(d_t >= 1, "Time2Vec needs at least the linear component");
+        let mut w = Matrix::zeros(1, d_t);
+        let mut phi = Matrix::zeros(1, d_t);
+        for c in 0..d_t {
+            // Frequencies log-spaced in (0, 1]; the linear slope small.
+            let base = if c == 0 {
+                0.1
+            } else {
+                1.0 / (1 << (c % 6).min(5)) as f32
+            };
+            w.set(0, c, base * rng.gen_range(0.5..1.5));
+            phi.set(0, c, rng.gen_range(0.0..std::f32::consts::PI));
+        }
+        Time2Vec { w: Tensor::param(w), phi: Tensor::param(phi), d_t }
+    }
+
+    /// Embedding dimensionality `d_T`.
+    pub fn d_t(&self) -> usize {
+        self.d_t
+    }
+
+    /// Embed integer timestep `t` as a `[1, d_T]` tensor.
+    pub fn forward(&self, t: usize) -> Tensor {
+        let u = ops::add(&ops::scale(&self.w, t as f32), &self.phi);
+        sin_except_first(&u)
+    }
+
+    /// Embed and broadcast to `[n, d_T]` (one copy per node), staying on the
+    /// tape so `w, φ` receive gradients from every node row.
+    pub fn forward_broadcast(&self, t: usize, n: usize) -> Tensor {
+        let row = self.forward(t);
+        let ones = Tensor::constant(Matrix::ones(n, 1));
+        ops::matmul(&ones, &row)
+    }
+
+    pub fn parameters(&self) -> Vec<Tensor> {
+        vec![self.w.clone(), self.phi.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vrdag_tensor::testing::check_gradients;
+
+    #[test]
+    fn shape_and_broadcast() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t2v = Time2Vec::new(5, &mut rng);
+        assert_eq!(t2v.forward(3).shape(), (1, 5));
+        assert_eq!(t2v.forward_broadcast(3, 7).shape(), (7, 5));
+        assert_eq!(t2v.parameters().len(), 2);
+    }
+
+    #[test]
+    fn periodic_components_are_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t2v = Time2Vec::new(6, &mut rng);
+        for t in 0..50 {
+            let v = t2v.forward(t).value_clone();
+            for c in 1..6 {
+                assert!(v.get(0, c).abs() <= 1.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_component_grows_with_t() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t2v = Time2Vec::new(4, &mut rng);
+        let a = t2v.forward(1).value_clone().get(0, 0);
+        let b = t2v.forward(100).value_clone().get(0, 0);
+        assert!(b > a, "linear component must be monotone for positive w0");
+    }
+
+    #[test]
+    fn broadcast_rows_are_identical() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t2v = Time2Vec::new(3, &mut rng);
+        let m = t2v.forward_broadcast(5, 4).value_clone();
+        for r in 1..4 {
+            assert_eq!(m.row(r), m.row(0));
+        }
+    }
+
+    #[test]
+    fn sin_except_first_gradient() {
+        check_gradients(&[(2, 4)], |t| sin_except_first(&t[0]), "sin_except_first");
+    }
+
+    #[test]
+    fn parameters_receive_gradients() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t2v = Time2Vec::new(4, &mut rng);
+        let out = ops::sum_all(&t2v.forward_broadcast(2, 3));
+        out.backward();
+        assert!(t2v.w.grad().is_some());
+        assert!(t2v.phi.grad().is_some());
+    }
+}

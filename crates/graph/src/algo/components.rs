@@ -1,0 +1,114 @@
+//! Weakly connected components via union-find (path halving + union by
+//! size). Used for the NC (number of components) and LCC (largest connected
+//! component size) metrics of Table I.
+
+use crate::snapshot::Snapshot;
+
+/// Result of a component decomposition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComponentInfo {
+    /// Component label per node (labels are arbitrary but consistent).
+    pub labels: Vec<u32>,
+    /// Size of each component, indexed by label.
+    pub sizes: Vec<u32>,
+}
+
+impl ComponentInfo {
+    /// Number of components (isolated nodes count as singleton components).
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0) as usize
+    }
+}
+
+/// Weakly connected components of a directed snapshot (edge direction
+/// ignored, as in the paper's NC/LCC metrics).
+pub fn weakly_connected_components(s: &Snapshot) -> ComponentInfo {
+    let n = s.n_nodes();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut size: Vec<u32> = vec![1; n];
+
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+
+    for &(u, v) in s.edges() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            let (big, small) = if size[ru as usize] >= size[rv as usize] {
+                (ru, rv)
+            } else {
+                (rv, ru)
+            };
+            parent[small as usize] = big;
+            size[big as usize] += size[small as usize];
+        }
+    }
+
+    let mut label_of_root = vec![u32::MAX; n];
+    let mut labels = vec![0u32; n];
+    let mut sizes = Vec::new();
+    for i in 0..n as u32 {
+        let r = find(&mut parent, i);
+        if label_of_root[r as usize] == u32::MAX {
+            label_of_root[r as usize] = sizes.len() as u32;
+            sizes.push(0);
+        }
+        let l = label_of_root[r as usize];
+        labels[i as usize] = l;
+        sizes[l as usize] += 1;
+    }
+    ComponentInfo { labels, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrdag_tensor::Matrix;
+
+    fn snap(n: usize, edges: Vec<(u32, u32)>) -> Snapshot {
+        Snapshot::new(n, edges, Matrix::zeros(n, 0))
+    }
+
+    #[test]
+    fn empty_graph_is_all_singletons() {
+        let info = weakly_connected_components(&snap(5, vec![]));
+        assert_eq!(info.count(), 5);
+        assert_eq!(info.largest(), 1);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // 0 -> 1 and 2 -> 1 form one weak component with 3 nodes.
+        let info = weakly_connected_components(&snap(4, vec![(0, 1), (2, 1)]));
+        assert_eq!(info.count(), 2); // {0,1,2} and {3}
+        assert_eq!(info.largest(), 3);
+        assert_eq!(info.labels[0], info.labels[1]);
+        assert_eq!(info.labels[1], info.labels[2]);
+        assert_ne!(info.labels[3], info.labels[0]);
+    }
+
+    #[test]
+    fn chain_is_one_component() {
+        let edges: Vec<(u32, u32)> = (0..9).map(|i| (i, i + 1)).collect();
+        let info = weakly_connected_components(&snap(10, edges));
+        assert_eq!(info.count(), 1);
+        assert_eq!(info.largest(), 10);
+    }
+
+    #[test]
+    fn sizes_sum_to_n() {
+        let info = weakly_connected_components(&snap(7, vec![(0, 1), (2, 3), (3, 4)]));
+        let total: u32 = info.sizes.iter().sum();
+        assert_eq!(total, 7);
+        assert_eq!(info.count(), 4); // {0,1}, {2,3,4}, {5}, {6}
+    }
+}

@@ -1,0 +1,103 @@
+//! K-core decomposition (coreness) on the undirected projection, used by
+//! the Fig. 6 temporal structure difference metric.
+
+use crate::snapshot::Snapshot;
+
+/// Coreness of every node: the largest `k` such that the node belongs to
+/// the `k`-core of the undirected projection. Linear-time bucket peeling
+/// (Batagelj–Zaveršnik).
+pub fn coreness(s: &Snapshot) -> Vec<u32> {
+    let adj = s.undirected_adj();
+    let n = s.n_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<u32> = (0..n).map(|i| adj.degree(i) as u32).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket sort nodes by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bin[d as usize + 1] += 1;
+    }
+    for i in 1..bin.len() {
+        bin[i] += bin[i - 1];
+    }
+    let mut pos = vec![0usize; n]; // position of node in vert
+    let mut vert = vec![0u32; n]; // nodes sorted by degree
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            let d = degree[v] as usize;
+            pos[v] = cursor[d];
+            vert[cursor[d]] = v as u32;
+            cursor[d] += 1;
+        }
+    }
+
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = vert[i] as usize;
+        core[v] = degree[v];
+        for &u in adj.neighbors(v) {
+            let u = u as usize;
+            if degree[u] > degree[v] {
+                // Move u one bucket down: swap with the first node of its
+                // current degree bucket.
+                let du = degree[u] as usize;
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw] as usize;
+                if u != w {
+                    pos[u] = pw;
+                    pos[w] = pu;
+                    vert[pu] = w as u32;
+                    vert[pw] = u as u32;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrdag_tensor::Matrix;
+
+    fn snap(n: usize, edges: Vec<(u32, u32)>) -> Snapshot {
+        Snapshot::new(n, edges, Matrix::zeros(n, 0))
+    }
+
+    #[test]
+    fn isolated_nodes_have_core_zero() {
+        assert_eq!(coreness(&snap(3, vec![])), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn path_is_one_core() {
+        assert_eq!(coreness(&snap(4, vec![(0, 1), (1, 2), (2, 3)])), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn triangle_is_two_core() {
+        assert_eq!(coreness(&snap(3, vec![(0, 1), (1, 2), (2, 0)])), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn clique_with_pendant() {
+        // K4 on {0,1,2,3} plus pendant 4-0: clique nodes have coreness 3,
+        // the pendant 1.
+        let edges = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 0)];
+        assert_eq!(coreness(&snap(5, edges)), vec![3, 3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn two_triangles_joined_by_edge() {
+        // Triangles {0,1,2} and {3,4,5} joined by 2-3: all coreness 2.
+        let edges = vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)];
+        assert_eq!(coreness(&snap(6, edges)), vec![2; 6]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Degree utilities: in/out degree sequences, histograms, and wedge counts.
+
+use crate::snapshot::Snapshot;
+
+/// In-degree of every node.
+pub fn in_degrees(s: &Snapshot) -> Vec<usize> {
+    (0..s.n_nodes()).map(|i| s.in_degree(i)).collect()
+}
+
+/// Out-degree of every node.
+pub fn out_degrees(s: &Snapshot) -> Vec<usize> {
+    (0..s.n_nodes()).map(|i| s.out_degree(i)).collect()
+}
+
+/// Distinct-neighbor degree on the undirected projection.
+pub fn undirected_degrees(s: &Snapshot) -> Vec<usize> {
+    s.undirected_degrees()
+}
+
+/// Histogram of a degree sequence as raw counts (index = degree). Returns
+/// an empty vector for an empty sequence.
+pub fn degree_histogram(degrees: &[usize]) -> Vec<usize> {
+    let Some(&max) = degrees.iter().max() else {
+        return Vec::new();
+    };
+    let mut hist = vec![0usize; max + 1];
+    for &d in degrees {
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Wedge (open-triad) count `Σ_i C(d_i, 2)` over undirected degrees — the
+/// "Wedge count" column of Table I.
+pub fn wedge_count(s: &Snapshot) -> u64 {
+    s.undirected_degrees()
+        .iter()
+        .map(|&d| (d as u64) * (d.saturating_sub(1) as u64) / 2)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrdag_tensor::Matrix;
+
+    fn snap(n: usize, edges: Vec<(u32, u32)>) -> Snapshot {
+        Snapshot::new(n, edges, Matrix::zeros(n, 0))
+    }
+
+    #[test]
+    fn degree_sequences() {
+        let s = snap(3, vec![(0, 1), (0, 2), (2, 1)]);
+        assert_eq!(out_degrees(&s), vec![2, 0, 1]);
+        assert_eq!(in_degrees(&s), vec![0, 2, 1]);
+        assert_eq!(undirected_degrees(&s), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        assert_eq!(degree_histogram(&[0, 1, 1, 3]), vec![1, 2, 0, 1]);
+        assert!(degree_histogram(&[]).is_empty());
+    }
+
+    #[test]
+    fn wedge_count_star() {
+        // Star K1,4: center degree 4 => C(4,2)=6 wedges; leaves contribute 0.
+        let s = snap(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(wedge_count(&s), 6);
+    }
+
+    #[test]
+    fn wedge_count_triangle() {
+        let s = snap(3, vec![(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(wedge_count(&s), 3);
+    }
+}

@@ -1,0 +1,13 @@
+//! Graph algorithms needed by the paper's evaluation metrics: weakly
+//! connected components (NC / LCC), local clustering coefficients,
+//! k-core decomposition (coreness), and degree utilities.
+
+mod clustering;
+mod components;
+mod core;
+mod degree;
+
+pub use clustering::local_clustering;
+pub use components::{weakly_connected_components, ComponentInfo};
+pub use core::coreness;
+pub use degree::{degree_histogram, in_degrees, out_degrees, undirected_degrees, wedge_count};

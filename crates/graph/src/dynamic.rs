@@ -1,0 +1,178 @@
+//! The dynamic attributed graph `G = {G_t(A_t, X_t)}_{t=1..T}` (§II-A of
+//! the paper): a sequence of snapshots over a unified node set.
+
+use crate::snapshot::Snapshot;
+
+/// A sequence of attributed snapshots over the same `n` nodes with the same
+/// attribute dimensionality `f`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DynamicGraph {
+    n: usize,
+    f: usize,
+    snapshots: Vec<Snapshot>,
+}
+
+impl DynamicGraph {
+    /// Build from snapshots (all must agree on `n` and `f`).
+    ///
+    /// # Panics
+    /// Panics on an empty sequence or mismatched shapes.
+    pub fn new(snapshots: Vec<Snapshot>) -> Self {
+        assert!(!snapshots.is_empty(), "a dynamic graph needs at least one snapshot");
+        let n = snapshots[0].n_nodes();
+        let f = snapshots[0].n_attrs();
+        for (t, s) in snapshots.iter().enumerate() {
+            assert_eq!(s.n_nodes(), n, "snapshot {t}: node count mismatch");
+            assert_eq!(s.n_attrs(), f, "snapshot {t}: attribute dim mismatch");
+        }
+        DynamicGraph { n, f, snapshots }
+    }
+
+    /// Number of nodes `N = |V|` (union node set, fixed across snapshots).
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Attribute dimensionality `F`.
+    pub fn n_attrs(&self) -> usize {
+        self.f
+    }
+
+    /// Number of timesteps `T`.
+    pub fn t_len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Total number of temporal edges `M = Σ_t |E_t|` (the paper's `M`).
+    pub fn temporal_edge_count(&self) -> usize {
+        self.snapshots.iter().map(|s| s.n_edges()).sum()
+    }
+
+    /// Snapshot at timestep `t` (0-based).
+    pub fn snapshot(&self, t: usize) -> &Snapshot {
+        &self.snapshots[t]
+    }
+
+    /// All snapshots in order.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Iterate over `(t, snapshot)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Snapshot)> {
+        self.snapshots.iter().enumerate()
+    }
+
+    /// The prefix `G_{1..=t_len}` as a new graph (used by the downstream
+    /// case study, which trains on the prefix and tests on the final
+    /// snapshot).
+    pub fn prefix(&self, t_len: usize) -> DynamicGraph {
+        assert!(t_len >= 1 && t_len <= self.t_len(), "invalid prefix length");
+        DynamicGraph::new(self.snapshots[..t_len].to_vec())
+    }
+
+    /// Concatenate two graphs over the same node set in time (used for data
+    /// augmentation: original ++ synthetic).
+    pub fn concat_time(&self, other: &DynamicGraph) -> DynamicGraph {
+        assert_eq!(self.n, other.n, "node count mismatch");
+        assert_eq!(self.f, other.f, "attribute dim mismatch");
+        let mut snaps = self.snapshots.clone();
+        snaps.extend(other.snapshots.iter().cloned());
+        DynamicGraph::new(snaps)
+    }
+
+    /// Nodes that have at least one (in or out) edge in any snapshot.
+    pub fn active_nodes(&self) -> Vec<u32> {
+        let mut active = vec![false; self.n];
+        for s in &self.snapshots {
+            for &(u, v) in s.edges() {
+                active[u as usize] = true;
+                active[v as usize] = true;
+            }
+        }
+        (0..self.n as u32).filter(|&i| active[i as usize]).collect()
+    }
+
+    /// Mean per-snapshot edge count.
+    pub fn mean_edges_per_snapshot(&self) -> f64 {
+        self.temporal_edge_count() as f64 / self.t_len() as f64
+    }
+
+    /// Truncate the temporal edge stream to the first `k` temporal edges
+    /// (in timestep order, then `(src,dst)` order inside a timestep),
+    /// keeping attributes. Used by the Table III/IV scalability sweep.
+    pub fn truncate_temporal_edges(&self, k: usize) -> DynamicGraph {
+        let mut remaining = k;
+        let mut snaps = Vec::with_capacity(self.t_len());
+        for s in &self.snapshots {
+            let take = remaining.min(s.n_edges());
+            let edges: Vec<(u32, u32)> = s.edges()[..take].to_vec();
+            remaining -= take;
+            snaps.push(Snapshot::new(self.n, edges, s.attrs().clone()));
+        }
+        DynamicGraph::new(snaps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrdag_tensor::Matrix;
+
+    fn toy() -> DynamicGraph {
+        let s0 = Snapshot::new(3, vec![(0, 1)], Matrix::zeros(3, 1));
+        let s1 = Snapshot::new(3, vec![(0, 1), (1, 2)], Matrix::ones(3, 1));
+        DynamicGraph::new(vec![s0, s1])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = toy();
+        assert_eq!(g.n_nodes(), 3);
+        assert_eq!(g.n_attrs(), 1);
+        assert_eq!(g.t_len(), 2);
+        assert_eq!(g.temporal_edge_count(), 3);
+        assert!((g.mean_edges_per_snapshot() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_takes_leading_snapshots() {
+        let g = toy();
+        let p = g.prefix(1);
+        assert_eq!(p.t_len(), 1);
+        assert_eq!(p.snapshot(0).n_edges(), 1);
+    }
+
+    #[test]
+    fn concat_time_appends() {
+        let g = toy();
+        let cat = g.concat_time(&g);
+        assert_eq!(cat.t_len(), 4);
+        assert_eq!(cat.temporal_edge_count(), 6);
+    }
+
+    #[test]
+    fn active_nodes_excludes_isolated() {
+        let s = Snapshot::new(4, vec![(0, 1)], Matrix::zeros(4, 0));
+        let g = DynamicGraph::new(vec![s]);
+        assert_eq!(g.active_nodes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn truncate_temporal_edges_respects_budget() {
+        let g = toy();
+        let t = g.truncate_temporal_edges(2);
+        assert_eq!(t.t_len(), 2);
+        assert_eq!(t.temporal_edge_count(), 2);
+        assert_eq!(t.snapshot(0).n_edges(), 1);
+        assert_eq!(t.snapshot(1).n_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "node count mismatch")]
+    fn mismatched_snapshots_rejected() {
+        let s0 = Snapshot::empty(2, 0);
+        let s1 = Snapshot::empty(3, 0);
+        let _ = DynamicGraph::new(vec![s0, s1]);
+    }
+}

@@ -1,0 +1,127 @@
+//! The common interface implemented by VRDAG and every baseline generator.
+
+use crate::dynamic::DynamicGraph;
+use rand::RngCore;
+use std::fmt;
+
+/// Errors surfaced by generator fitting/generation.
+#[derive(Debug)]
+pub enum GeneratorError {
+    /// The generator cannot handle the input (e.g. Dymond's motif storage
+    /// exceeding its memory budget, as observed in the paper where Dymond
+    /// only runs on the smallest dataset).
+    ResourceLimit(String),
+    /// The generator was asked to generate before being fitted.
+    NotFitted,
+    /// Any other failure.
+    Other(String),
+}
+
+impl fmt::Display for GeneratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeneratorError::ResourceLimit(m) => write!(f, "resource limit: {m}"),
+            GeneratorError::NotFitted => write!(f, "generator has not been fitted"),
+            GeneratorError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for GeneratorError {}
+
+/// Statistics reported by [`DynamicGraphGenerator::fit`].
+#[derive(Clone, Debug, Default)]
+pub struct FitReport {
+    /// Wall-clock training time in seconds.
+    pub train_seconds: f64,
+    /// Number of optimization epochs / passes performed.
+    pub epochs: usize,
+    /// Final training objective (loss, negative log-likelihood, ...);
+    /// semantics are generator-specific, used for smoke checks only.
+    pub final_loss: f64,
+}
+
+/// A dynamic (attributed) graph generator: fit on an observed graph, then
+/// sample synthetic sequences of a requested length.
+///
+/// The trait is object-safe (the harness iterates over
+/// `Box<dyn DynamicGraphGenerator>`), so randomness comes in as
+/// `&mut dyn RngCore`.
+pub trait DynamicGraphGenerator {
+    /// Human-readable name used in result tables (e.g. `"VRDAG"`).
+    fn name(&self) -> &str;
+
+    /// Whether the generator synthesizes node attributes (VRDAG, GenCAT,
+    /// Normal) or structure only (TagGen, TGGAN, TIGGER, Dymond, GRAN).
+    fn supports_attributes(&self) -> bool;
+
+    /// Whether the model treats snapshots as a correlated sequence (dynamic
+    /// methods) or generates them independently (static methods).
+    fn is_dynamic(&self) -> bool;
+
+    /// Learn the generator's parameters from the observed graph.
+    fn fit(
+        &mut self,
+        graph: &DynamicGraph,
+        rng: &mut dyn RngCore,
+    ) -> Result<FitReport, GeneratorError>;
+
+    /// Generate a synthetic dynamic graph with `t_len` snapshots.
+    fn generate(
+        &self,
+        t_len: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<DynamicGraph, GeneratorError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::Snapshot;
+    use vrdag_tensor::Matrix;
+
+    /// Minimal generator used to validate object safety and the contract.
+    struct Memorizer {
+        graph: Option<DynamicGraph>,
+    }
+
+    impl DynamicGraphGenerator for Memorizer {
+        fn name(&self) -> &str {
+            "Memorizer"
+        }
+        fn supports_attributes(&self) -> bool {
+            true
+        }
+        fn is_dynamic(&self) -> bool {
+            true
+        }
+        fn fit(
+            &mut self,
+            graph: &DynamicGraph,
+            _rng: &mut dyn RngCore,
+        ) -> Result<FitReport, GeneratorError> {
+            self.graph = Some(graph.clone());
+            Ok(FitReport { train_seconds: 0.0, epochs: 1, final_loss: 0.0 })
+        }
+        fn generate(
+            &self,
+            t_len: usize,
+            _rng: &mut dyn RngCore,
+        ) -> Result<DynamicGraph, GeneratorError> {
+            let g = self.graph.as_ref().ok_or(GeneratorError::NotFitted)?;
+            Ok(g.prefix(t_len.min(g.t_len())))
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_round_trips() {
+        let s = Snapshot::new(2, vec![(0, 1)], Matrix::zeros(2, 1));
+        let g = DynamicGraph::new(vec![s]);
+        let mut boxed: Box<dyn DynamicGraphGenerator> = Box::new(Memorizer { graph: None });
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        assert!(boxed.generate(1, &mut rng).is_err());
+        boxed.fit(&g, &mut rng).unwrap();
+        let out = boxed.generate(1, &mut rng).unwrap();
+        assert_eq!(out, g);
+    }
+}

@@ -1,0 +1,281 @@
+//! Dynamic-graph I/O: a human-readable TSV temporal format (so real
+//! datasets such as Emails-DNC or Bitcoin-Alpha can be dropped in) and a
+//! compact binary format for caching generated graphs.
+
+use crate::dynamic::DynamicGraph;
+use crate::snapshot::Snapshot;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use vrdag_tensor::Matrix;
+
+/// I/O error for graph (de)serialization.
+#[derive(Debug)]
+pub enum GraphIoError {
+    Io(std::io::Error),
+    Parse(String),
+}
+
+impl fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "io error: {e}"),
+            GraphIoError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl From<std::io::Error> for GraphIoError {
+    fn from(e: std::io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> GraphIoError {
+    GraphIoError::Parse(msg.into())
+}
+
+/// Write a dynamic graph as TSV:
+///
+/// ```text
+/// # vrdag-dynamic-graph v1
+/// n <N> f <F> t <T>
+/// T <t> <m>
+/// <src>\t<dst>           (m lines)
+/// X
+/// <x1>\t<x2>...          (N lines, F columns)
+/// ...repeated per snapshot
+/// ```
+pub fn save_tsv(g: &DynamicGraph, path: impl AsRef<Path>) -> Result<(), GraphIoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# vrdag-dynamic-graph v1")?;
+    writeln!(w, "n {} f {} t {}", g.n_nodes(), g.n_attrs(), g.t_len())?;
+    for (t, s) in g.iter() {
+        writeln!(w, "T {} {}", t, s.n_edges())?;
+        for &(u, v) in s.edges() {
+            writeln!(w, "{u}\t{v}")?;
+        }
+        writeln!(w, "X")?;
+        for r in 0..s.n_nodes() {
+            let row = s.attrs().row(r);
+            let mut line = String::with_capacity(row.len() * 8);
+            for (i, x) in row.iter().enumerate() {
+                if i > 0 {
+                    line.push('\t');
+                }
+                line.push_str(&format!("{x}"));
+            }
+            writeln!(w, "{line}")?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Load a dynamic graph saved by [`save_tsv`].
+pub fn load_tsv(path: impl AsRef<Path>) -> Result<DynamicGraph, GraphIoError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut line = String::new();
+
+    let read_line = |r: &mut BufReader<std::fs::File>, line: &mut String| -> Result<bool, GraphIoError> {
+        line.clear();
+        Ok(r.read_line(line)? > 0)
+    };
+
+    // Header.
+    if !read_line(&mut r, &mut line)? || !line.starts_with("# vrdag-dynamic-graph") {
+        return Err(parse_err("missing magic header"));
+    }
+    if !read_line(&mut r, &mut line)? {
+        return Err(parse_err("missing size header"));
+    }
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    if toks.len() != 6 || toks[0] != "n" || toks[2] != "f" || toks[4] != "t" {
+        return Err(parse_err(format!("bad size header: {line}")));
+    }
+    let n: usize = toks[1].parse().map_err(|_| parse_err("bad n"))?;
+    let f: usize = toks[3].parse().map_err(|_| parse_err("bad f"))?;
+    let t_len: usize = toks[5].parse().map_err(|_| parse_err("bad t"))?;
+
+    let mut snaps = Vec::with_capacity(t_len);
+    for t in 0..t_len {
+        if !read_line(&mut r, &mut line)? {
+            return Err(parse_err(format!("missing snapshot {t}")));
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() != 3 || toks[0] != "T" {
+            return Err(parse_err(format!("bad snapshot header: {line}")));
+        }
+        let m: usize = toks[2].parse().map_err(|_| parse_err("bad edge count"))?;
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            if !read_line(&mut r, &mut line)? {
+                return Err(parse_err("truncated edge list"));
+            }
+            let mut it = line.split_whitespace();
+            let u: u32 = it
+                .next()
+                .ok_or_else(|| parse_err("missing src"))?
+                .parse()
+                .map_err(|_| parse_err("bad src"))?;
+            let v: u32 = it
+                .next()
+                .ok_or_else(|| parse_err("missing dst"))?
+                .parse()
+                .map_err(|_| parse_err("bad dst"))?;
+            edges.push((u, v));
+        }
+        if !read_line(&mut r, &mut line)? || line.trim() != "X" {
+            return Err(parse_err("missing attribute marker"));
+        }
+        let mut attrs = Matrix::zeros(n, f);
+        for row in 0..n {
+            if !read_line(&mut r, &mut line)? {
+                return Err(parse_err("truncated attribute block"));
+            }
+            let vals: Result<Vec<f32>, _> =
+                line.split_whitespace().map(|x| x.parse::<f32>()).collect();
+            let vals = vals.map_err(|_| parse_err("bad attribute value"))?;
+            if vals.len() != f {
+                return Err(parse_err(format!(
+                    "attribute row {row} has {} values, expected {f}",
+                    vals.len()
+                )));
+            }
+            attrs.row_mut(row).copy_from_slice(&vals);
+        }
+        snaps.push(Snapshot::new(n, edges, attrs));
+    }
+    Ok(DynamicGraph::new(snaps))
+}
+
+const BIN_MAGIC: u32 = 0x5644_4147; // "VDAG"
+
+/// Encode a dynamic graph into a compact binary buffer.
+pub fn encode_binary(g: &DynamicGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        16 + g.temporal_edge_count() * 8 + g.t_len() * g.n_nodes() * g.n_attrs() * 4,
+    );
+    buf.put_u32_le(BIN_MAGIC);
+    buf.put_u32_le(g.n_nodes() as u32);
+    buf.put_u32_le(g.n_attrs() as u32);
+    buf.put_u32_le(g.t_len() as u32);
+    for (_, s) in g.iter() {
+        buf.put_u32_le(s.n_edges() as u32);
+        for &(u, v) in s.edges() {
+            buf.put_u32_le(u);
+            buf.put_u32_le(v);
+        }
+        for &x in s.attrs().data() {
+            buf.put_f32_le(x);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a buffer produced by [`encode_binary`].
+pub fn decode_binary(mut buf: impl Buf) -> Result<DynamicGraph, GraphIoError> {
+    if buf.remaining() < 16 {
+        return Err(parse_err("buffer too short"));
+    }
+    if buf.get_u32_le() != BIN_MAGIC {
+        return Err(parse_err("bad magic"));
+    }
+    let n = buf.get_u32_le() as usize;
+    let f = buf.get_u32_le() as usize;
+    let t_len = buf.get_u32_le() as usize;
+    let mut snaps = Vec::with_capacity(t_len);
+    for _ in 0..t_len {
+        if buf.remaining() < 4 {
+            return Err(parse_err("truncated snapshot header"));
+        }
+        let m = buf.get_u32_le() as usize;
+        if buf.remaining() < m * 8 + n * f * 4 {
+            return Err(parse_err("truncated snapshot body"));
+        }
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            let u = buf.get_u32_le();
+            let v = buf.get_u32_le();
+            edges.push((u, v));
+        }
+        let mut attrs = Matrix::zeros(n, f);
+        for i in 0..n * f {
+            attrs.data_mut()[i] = buf.get_f32_le();
+        }
+        snaps.push(Snapshot::new(n, edges, attrs));
+    }
+    Ok(DynamicGraph::new(snaps))
+}
+
+/// Save in the binary format.
+pub fn save_binary(g: &DynamicGraph, path: impl AsRef<Path>) -> Result<(), GraphIoError> {
+    let bytes = encode_binary(g);
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Load from the binary format.
+pub fn load_binary(path: impl AsRef<Path>) -> Result<DynamicGraph, GraphIoError> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut data)?;
+    decode_binary(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> DynamicGraph {
+        let s0 = Snapshot::new(
+            3,
+            vec![(0, 1), (2, 0)],
+            Matrix::from_fn(3, 2, |r, c| (r as f32) + 0.5 * c as f32),
+        );
+        let s1 = Snapshot::new(3, vec![(1, 2)], Matrix::ones(3, 2));
+        DynamicGraph::new(vec![s0, s1])
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let g = toy();
+        let dir = std::env::temp_dir().join("vrdag_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.tsv");
+        save_tsv(&g, &path).unwrap();
+        let loaded = load_tsv(&path).unwrap();
+        assert_eq!(g, loaded);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = toy();
+        let bytes = encode_binary(&g);
+        let decoded = decode_binary(bytes).unwrap();
+        assert_eq!(g, decoded);
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        let bytes = Bytes::from_static(&[1, 2, 3]);
+        assert!(decode_binary(bytes).is_err());
+        let bad_magic = Bytes::from(vec![0u8; 32]);
+        assert!(decode_binary(bad_magic).is_err());
+    }
+
+    #[test]
+    fn tsv_rejects_missing_header() {
+        let dir = std::env::temp_dir().join("vrdag_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.tsv");
+        std::fs::write(&path, "nonsense\n").unwrap();
+        assert!(load_tsv(&path).is_err());
+    }
+}

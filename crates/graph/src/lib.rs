@@ -1,0 +1,27 @@
+//! # vrdag-graph
+//!
+//! Storage and algorithms for **dynamic directed attributed graphs** — the
+//! data substrate of the VRDAG reproduction (*Efficient Dynamic Attributed
+//! Graph Generation*, ICDE 2025).
+//!
+//! * [`Snapshot`] — one timestep `G_t(V, E_t, X_t)`: directed CSR adjacency
+//!   in both directions, an `[n, f]` attribute matrix, and a cached
+//!   undirected projection.
+//! * [`DynamicGraph`] — the snapshot sequence `{G_t}_{t=1..T}` over a
+//!   unified node set (§II-A).
+//! * [`algo`] — weakly connected components, local clustering, k-core
+//!   decomposition, degree utilities (everything the Table I metrics need).
+//! * [`io`] — TSV temporal format for dropping in real datasets, plus a
+//!   compact binary cache format.
+//! * [`generator`] — the [`generator::DynamicGraphGenerator`] trait
+//!   implemented by VRDAG and all baselines.
+
+pub mod algo;
+pub mod dynamic;
+pub mod generator;
+pub mod io;
+pub mod snapshot;
+
+pub use dynamic::DynamicGraph;
+pub use generator::{DynamicGraphGenerator, FitReport, GeneratorError};
+pub use snapshot::Snapshot;

@@ -1,0 +1,266 @@
+//! A single directed attributed graph snapshot `G_t(V, E_t, X_t)`.
+
+use std::sync::OnceLock;
+use vrdag_tensor::ops::SparseAdj;
+use vrdag_tensor::Matrix;
+
+/// One snapshot of a dynamic attributed graph: a fixed node set `0..n`,
+/// a directed edge set, and an `[n, f]` node-attribute matrix.
+///
+/// Edges are stored sorted by `(src, dst)` with duplicates and self-loops
+/// removed; both out- and in-CSR adjacency are materialized eagerly (they
+/// are read many times by the encoder and the metrics), the undirected
+/// projection lazily.
+#[derive(Debug)]
+pub struct Snapshot {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+    out_adj: SparseAdj,
+    in_adj: SparseAdj,
+    attrs: Matrix,
+    undirected: OnceLock<SparseAdj>,
+}
+
+impl Clone for Snapshot {
+    fn clone(&self) -> Self {
+        Snapshot {
+            n: self.n,
+            edges: self.edges.clone(),
+            out_adj: self.out_adj.clone(),
+            in_adj: self.in_adj.clone(),
+            attrs: self.attrs.clone(),
+            undirected: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Snapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.edges == other.edges && self.attrs == other.attrs
+    }
+}
+
+impl Snapshot {
+    /// Build a snapshot from a directed edge list and attribute matrix.
+    ///
+    /// Self-loops and duplicate edges are dropped. `attrs` must be `[n, f]`
+    /// (use `f = 0` columns for attribute-free graphs).
+    ///
+    /// # Panics
+    /// Panics when an endpoint is `>= n` or the attribute matrix has the
+    /// wrong number of rows.
+    pub fn new(n: usize, mut edges: Vec<(u32, u32)>, attrs: Matrix) -> Self {
+        assert_eq!(attrs.rows(), n, "attribute matrix must have n rows");
+        edges.retain(|&(u, v)| u != v);
+        for &(u, v) in &edges {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range for n={n}"
+            );
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let (out_adj, in_adj) = build_csr(n, &edges);
+        Snapshot { n, edges, out_adj, in_adj, attrs, undirected: OnceLock::new() }
+    }
+
+    /// An empty snapshot (no edges, zero attributes) over `n` nodes and `f`
+    /// attribute columns.
+    pub fn empty(n: usize, f: usize) -> Self {
+        Snapshot::new(n, Vec::new(), Matrix::zeros(n, f))
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Attribute dimensionality `F`.
+    pub fn n_attrs(&self) -> usize {
+        self.attrs.cols()
+    }
+
+    /// Sorted, deduplicated directed edge list.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Out-neighborhood CSR (`neighbors(i)` = successors of `i`).
+    pub fn out_adj(&self) -> &SparseAdj {
+        &self.out_adj
+    }
+
+    /// In-neighborhood CSR (`neighbors(i)` = predecessors of `i`).
+    pub fn in_adj(&self) -> &SparseAdj {
+        &self.in_adj
+    }
+
+    /// Node-attribute matrix `X_t ∈ R^{n×f}`.
+    pub fn attrs(&self) -> &Matrix {
+        &self.attrs
+    }
+
+    /// Mutable access to the attributes (used by dataset generators).
+    pub fn attrs_mut(&mut self) -> &mut Matrix {
+        &mut self.attrs
+    }
+
+    /// Out-degree of node `i`.
+    pub fn out_degree(&self, i: usize) -> usize {
+        self.out_adj.degree(i)
+    }
+
+    /// In-degree of node `i`.
+    pub fn in_degree(&self, i: usize) -> usize {
+        self.in_adj.degree(i)
+    }
+
+    /// True when the directed edge `(u, v)` exists.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.out_adj.neighbors(u as usize).binary_search(&v).is_ok()
+    }
+
+    /// Graph density `|E| / (n(n-1))`.
+    pub fn density(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        self.edges.len() as f64 / (self.n as f64 * (self.n as f64 - 1.0))
+    }
+
+    /// Undirected projection as CSR with sorted, deduplicated neighbor
+    /// lists (computed once, cached).
+    pub fn undirected_adj(&self) -> &SparseAdj {
+        self.undirected.get_or_init(|| {
+            let mut lists: Vec<Vec<u32>> = vec![Vec::new(); self.n];
+            for &(u, v) in &self.edges {
+                lists[u as usize].push(v);
+                lists[v as usize].push(u);
+            }
+            for l in &mut lists {
+                l.sort_unstable();
+                l.dedup();
+            }
+            SparseAdj::from_lists(&lists)
+        })
+    }
+
+    /// Distinct-neighbor (undirected) degree of every node.
+    pub fn undirected_degrees(&self) -> Vec<usize> {
+        let adj = self.undirected_adj();
+        (0..self.n).map(|i| adj.degree(i)).collect()
+    }
+}
+
+fn build_csr(n: usize, sorted_edges: &[(u32, u32)]) -> (SparseAdj, SparseAdj) {
+    // Out CSR directly from the sorted edge list.
+    let mut out_offsets = vec![0usize; n + 1];
+    let mut out_targets = Vec::with_capacity(sorted_edges.len());
+    for &(u, v) in sorted_edges {
+        out_offsets[u as usize + 1] += 1;
+        out_targets.push(v);
+    }
+    for i in 1..out_offsets.len() {
+        out_offsets[i] += out_offsets[i - 1];
+    }
+    // In CSR via counting sort on destination.
+    let mut in_counts = vec![0usize; n + 1];
+    for &(_, v) in sorted_edges {
+        in_counts[v as usize + 1] += 1;
+    }
+    for i in 1..in_counts.len() {
+        in_counts[i] += in_counts[i - 1];
+    }
+    let in_offsets = in_counts.clone();
+    let mut cursor = in_counts;
+    let mut in_targets = vec![0u32; sorted_edges.len()];
+    for &(u, v) in sorted_edges {
+        in_targets[cursor[v as usize]] = u;
+        cursor[v as usize] += 1;
+    }
+    // Sources arrive in (src,dst) order, so each in-list is already sorted.
+    (
+        SparseAdj::from_raw(out_offsets, out_targets),
+        SparseAdj::from_raw(in_offsets, in_targets),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Snapshot {
+        // 0->1, 0->2, 2->0, 1->2 (+ a duplicate and a self loop to sanitize)
+        Snapshot::new(
+            3,
+            vec![(0, 1), (0, 2), (2, 0), (1, 2), (0, 1), (1, 1)],
+            Matrix::from_fn(3, 2, |r, c| (r + c) as f32),
+        )
+    }
+
+    #[test]
+    fn sanitizes_edges() {
+        let s = toy();
+        assert_eq!(s.n_edges(), 4);
+        assert_eq!(s.edges(), &[(0, 1), (0, 2), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn csr_directions_are_correct() {
+        let s = toy();
+        assert_eq!(s.out_adj().neighbors(0), &[1, 2]);
+        assert_eq!(s.out_adj().neighbors(1), &[2]);
+        assert_eq!(s.in_adj().neighbors(2), &[0, 1]);
+        assert_eq!(s.in_adj().neighbors(0), &[2]);
+        assert_eq!(s.out_degree(0), 2);
+        assert_eq!(s.in_degree(0), 1);
+    }
+
+    #[test]
+    fn has_edge_is_directional() {
+        let s = toy();
+        assert!(s.has_edge(0, 1));
+        assert!(!s.has_edge(1, 0));
+    }
+
+    #[test]
+    fn undirected_projection_dedups() {
+        // 0->2 and 2->0 collapse to one undirected neighbor relation.
+        let s = toy();
+        assert_eq!(s.undirected_adj().neighbors(0), &[1, 2]);
+        assert_eq!(s.undirected_degrees(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn density_of_toy() {
+        let s = toy();
+        assert!((s.density() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        let _ = Snapshot::new(2, vec![(0, 5)], Matrix::zeros(2, 0));
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = Snapshot::empty(4, 3);
+        assert_eq!(s.n_nodes(), 4);
+        assert_eq!(s.n_edges(), 0);
+        assert_eq!(s.n_attrs(), 3);
+        assert_eq!(s.density(), 0.0);
+    }
+
+    #[test]
+    fn clone_preserves_content() {
+        let s = toy();
+        let c = s.clone();
+        assert_eq!(s, c);
+    }
+}

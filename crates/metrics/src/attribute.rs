@@ -1,0 +1,220 @@
+//! Node-attribute metrics: JSD / EMD between attribute distributions
+//! (Fig. 3) and the mean absolute error of Spearman correlation matrices
+//! (Table II).
+
+use crate::distribution::{emd_1d, jsd};
+use vrdag_graph::DynamicGraph;
+
+/// Number of histogram bins for attribute JSD.
+pub const ATTR_BINS: usize = 50;
+
+/// Attribute distribution comparison (Fig. 3): JSD and EMD between original
+/// and generated attribute value distributions, averaged over timesteps and
+/// attribute dimensions.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AttributeReport {
+    /// Mean Jensen–Shannon divergence.
+    pub jsd: f64,
+    /// Mean Earth Mover's Distance.
+    pub emd: f64,
+}
+
+/// Per-attribute value samples of one snapshot (one sample per node).
+fn attr_column(g: &DynamicGraph, t: usize, f: usize) -> Vec<f64> {
+    let s = g.snapshot(t);
+    (0..s.n_nodes()).map(|i| s.attrs().get(i, f) as f64).collect()
+}
+
+/// Compute the Fig. 3 attribute report between two dynamic graphs.
+///
+/// # Panics
+/// Panics when either graph has no attributes.
+pub fn attribute_report(original: &DynamicGraph, generated: &DynamicGraph) -> AttributeReport {
+    let f = original.n_attrs();
+    assert!(f > 0, "attribute_report requires attributed graphs");
+    assert_eq!(f, generated.n_attrs(), "attribute dimension mismatch");
+    let t = original.t_len().min(generated.t_len());
+    let mut jsd_acc = 0.0;
+    let mut emd_acc = 0.0;
+    for ti in 0..t {
+        for fi in 0..f {
+            let a = attr_column(original, ti, fi);
+            let b = attr_column(generated, ti, fi);
+            jsd_acc += jsd(&a, &b, ATTR_BINS);
+            emd_acc += emd_1d(&a, &b);
+        }
+    }
+    let denom = (t * f) as f64;
+    AttributeReport { jsd: jsd_acc / denom, emd: emd_acc / denom }
+}
+
+/// Ranks with average tie handling (1-based average ranks).
+fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Spearman rank correlation coefficient between two equal-length samples.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spearman: length mismatch");
+    pearson(&average_ranks(a), &average_ranks(b))
+}
+
+/// Pairwise Spearman correlation matrix among the `f` attribute columns of
+/// snapshot `t` (symmetric, unit diagonal).
+pub fn spearman_matrix(g: &DynamicGraph, t: usize) -> Vec<Vec<f64>> {
+    let f = g.n_attrs();
+    let cols: Vec<Vec<f64>> = (0..f).map(|fi| attr_column(g, t, fi)).collect();
+    let mut m = vec![vec![0.0; f]; f];
+    for i in 0..f {
+        m[i][i] = 1.0;
+        for j in i + 1..f {
+            let r = spearman(&cols[i], &cols[j]);
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    m
+}
+
+/// Table II: mean absolute error between the Spearman correlation matrices
+/// of the original and generated graph, averaged over off-diagonal pairs
+/// and timesteps.
+///
+/// # Panics
+/// Panics when the graphs have fewer than two attributes (the correlation
+/// structure is undefined).
+pub fn spearman_mae(original: &DynamicGraph, generated: &DynamicGraph) -> f64 {
+    let f = original.n_attrs();
+    assert!(f >= 2, "spearman_mae requires at least two attributes");
+    assert_eq!(f, generated.n_attrs(), "attribute dimension mismatch");
+    let t = original.t_len().min(generated.t_len());
+    let mut acc = 0.0;
+    let mut count = 0usize;
+    for ti in 0..t {
+        let mo = spearman_matrix(original, ti);
+        let mg = spearman_matrix(generated, ti);
+        for i in 0..f {
+            for j in i + 1..f {
+                acc += (mo[i][j] - mg[i][j]).abs();
+                count += 1;
+            }
+        }
+    }
+    acc / count.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrdag_graph::Snapshot;
+    use vrdag_tensor::Matrix;
+
+    fn graph_with_attrs(attr_fn: impl Fn(usize, usize) -> f32) -> DynamicGraph {
+        let n = 50;
+        let attrs = Matrix::from_fn(n, 2, attr_fn);
+        let s = Snapshot::new(n, vec![(0, 1), (1, 2)], attrs);
+        DynamicGraph::new(vec![s])
+    }
+
+    #[test]
+    fn spearman_perfect_monotone_is_one() {
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x * x).collect(); // monotone
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_reversed_is_minus_one() {
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((spearman(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = vec![1.0, 1.0, 2.0, 3.0];
+        let b = vec![2.0, 2.0, 4.0, 6.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_constant_input_is_zero() {
+        let a = vec![1.0; 10];
+        let b: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(spearman(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn attribute_report_zero_for_identical() {
+        let g = graph_with_attrs(|r, c| (r * (c + 1)) as f32 * 0.1);
+        let rep = attribute_report(&g, &g.clone());
+        assert!(rep.jsd < 1e-12);
+        assert!(rep.emd < 1e-12);
+    }
+
+    #[test]
+    fn attribute_report_positive_for_shifted() {
+        let a = graph_with_attrs(|r, _| r as f32 * 0.1);
+        let b = graph_with_attrs(|r, _| r as f32 * 0.1 + 5.0);
+        let rep = attribute_report(&a, &b);
+        assert!(rep.jsd > 0.1);
+        assert!((rep.emd - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn spearman_matrix_is_symmetric_unit_diagonal() {
+        let g = graph_with_attrs(|r, c| ((r * 7 + 3 * c) % 13) as f32);
+        let m = spearman_matrix(&g, 0);
+        assert_eq!(m.len(), 2);
+        assert!((m[0][0] - 1.0).abs() < 1e-12);
+        assert!((m[1][1] - 1.0).abs() < 1e-12);
+        assert!((m[0][1] - m[1][0]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn spearman_mae_detects_broken_correlation() {
+        // Original: attr1 = rank, attr2 = rank (corr 1). Generated: attr2
+        // reversed (corr −1). MAE of the off-diagonal = 2.
+        let orig = graph_with_attrs(|r, _| r as f32);
+        let gen = graph_with_attrs(|r, c| if c == 0 { r as f32 } else { -(r as f32) });
+        let mae = spearman_mae(&orig, &gen);
+        assert!((mae - 2.0).abs() < 1e-9);
+    }
+}

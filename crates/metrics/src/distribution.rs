@@ -1,0 +1,261 @@
+//! Distribution-level discrepancy primitives: histograms, Maximum Mean
+//! Discrepancy (MMD), Jensen–Shannon divergence, and 1-D Earth Mover's
+//! Distance.
+
+/// A normalized histogram over uniform bins of a real interval.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub lo: f64,
+    /// Right edge of the last bin.
+    pub hi: f64,
+    /// Normalized bin masses (sum to 1 unless the input was empty).
+    pub probs: Vec<f64>,
+}
+
+impl Histogram {
+    /// Histogram of `values` over `[lo, hi]` with `bins` uniform bins.
+    /// Values outside the range are clamped into the boundary bins.
+    pub fn from_values(values: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "empty histogram range");
+        let mut counts = vec![0.0f64; bins];
+        for &v in values {
+            let pos = ((v - lo) / (hi - lo) * bins as f64).floor();
+            let idx = (pos.max(0.0) as usize).min(bins - 1);
+            counts[idx] += 1.0;
+        }
+        let total: f64 = counts.iter().sum();
+        if total > 0.0 {
+            counts.iter_mut().for_each(|c| *c /= total);
+        }
+        Histogram { lo, hi, probs: counts }
+    }
+
+    /// Center value of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.probs.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.probs.len()
+    }
+}
+
+/// Shared range covering both sample sets (guarding the degenerate case of
+/// identical constants).
+pub fn joint_range(a: &[f64], b: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in a.iter().chain(b.iter()) {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 1.0);
+    }
+    if hi - lo < 1e-12 {
+        hi = lo + 1.0;
+    }
+    (lo, hi)
+}
+
+/// Squared Maximum Mean Discrepancy between two sample sets under a
+/// Gaussian kernel, computed in closed form from histograms:
+///
+/// `MMD² = Σ_{ij} p_i p_j k(x_i,x_j) + Σ_{ij} q_i q_j k(x_i,x_j)
+///        − 2 Σ_{ij} p_i q_j k(x_i,x_j)`
+///
+/// Bin centers are rescaled to `[0, 1]` before applying the kernel so that
+/// `sigma` is scale-free (the paper computes MMD between degree /
+/// clustering-coefficient distributions per timestep, following CPGAN).
+/// Returns the non-negative `MMD²` value.
+pub fn mmd_gaussian(a: &[f64], b: &[f64], bins: usize, sigma: f64) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let (lo, hi) = joint_range(a, b);
+    let pa = Histogram::from_values(a, lo, hi, bins);
+    let pb = Histogram::from_values(b, lo, hi, bins);
+    let nb = pa.bins();
+    let scale = 1.0 / nb as f64;
+    let gamma = 1.0 / (2.0 * sigma * sigma);
+    let kernel = |i: usize, j: usize| {
+        let d = (i as f64 - j as f64) * scale;
+        (-gamma * d * d).exp()
+    };
+    let mut kpp = 0.0;
+    let mut kqq = 0.0;
+    let mut kpq = 0.0;
+    for i in 0..nb {
+        let (pi, qi) = (pa.probs[i], pb.probs[i]);
+        if pi == 0.0 && qi == 0.0 {
+            continue;
+        }
+        for j in 0..nb {
+            let k = kernel(i, j);
+            kpp += pi * pa.probs[j] * k;
+            kqq += qi * pb.probs[j] * k;
+            kpq += pi * pb.probs[j] * k;
+        }
+    }
+    (kpp + kqq - 2.0 * kpq).max(0.0)
+}
+
+/// Jensen–Shannon divergence (natural log, bounded by `ln 2`) between the
+/// histograms of two sample sets over their joint range.
+pub fn jsd(a: &[f64], b: &[f64], bins: usize) -> f64 {
+    let (lo, hi) = joint_range(a, b);
+    let pa = Histogram::from_values(a, lo, hi, bins);
+    let pb = Histogram::from_values(b, lo, hi, bins);
+    jsd_hist(&pa.probs, &pb.probs)
+}
+
+/// Jensen–Shannon divergence between two probability vectors.
+pub fn jsd_hist(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "jsd: histogram sizes differ");
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q.iter()) {
+        let mi = 0.5 * (pi + qi);
+        if pi > 0.0 {
+            acc += 0.5 * pi * (pi / mi).ln();
+        }
+        if qi > 0.0 {
+            acc += 0.5 * qi * (qi / mi).ln();
+        }
+    }
+    acc.max(0.0)
+}
+
+/// Exact 1-D Earth Mover's Distance (Wasserstein-1) between two empirical
+/// distributions: `∫ |F_a(v) − F_b(v)| dv` via a merged sweep.
+pub fn emd_1d(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return if a.is_empty() && b.is_empty() { 0.0 } else { f64::INFINITY };
+    }
+    let mut xs: Vec<f64> = a.to_vec();
+    let mut ys: Vec<f64> = b.to_vec();
+    xs.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap());
+    ys.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap());
+    let (na, nb) = (xs.len() as f64, ys.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut emd = 0.0;
+    let mut prev = xs[0].min(ys[0]);
+    while i < xs.len() || j < ys.len() {
+        let next = match (xs.get(i), ys.get(j)) {
+            (Some(&x), Some(&y)) => x.min(y),
+            (Some(&x), None) => x,
+            (None, Some(&y)) => y,
+            (None, None) => break,
+        };
+        let fa = i as f64 / na;
+        let fb = j as f64 / nb;
+        emd += (fa - fb).abs() * (next - prev);
+        prev = next;
+        while i < xs.len() && xs[i] <= next {
+            i += 1;
+        }
+        while j < ys.len() && ys[j] <= next {
+            j += 1;
+        }
+    }
+    emd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn histogram_normalizes() {
+        let h = Histogram::from_values(&[0.0, 0.5, 1.0, 1.0], 0.0, 1.0, 2);
+        assert!((h.probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((h.probs[0] - 0.25).abs() < 1e-12);
+        assert!((h.probs[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let h = Histogram::from_values(&[-5.0, 10.0], 0.0, 1.0, 4);
+        assert!((h.probs[0] - 0.5).abs() < 1e-12);
+        assert!((h.probs[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmd_zero_for_identical_samples() {
+        let xs: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        assert!(mmd_gaussian(&xs, &xs, 32, 0.1) < 1e-12);
+    }
+
+    #[test]
+    fn mmd_grows_with_separation() {
+        let a: Vec<f64> = (0..200).map(|i| (i % 5) as f64).collect();
+        let b_close: Vec<f64> = (0..200).map(|i| (i % 5) as f64 + 0.5).collect();
+        let b_far: Vec<f64> = (0..200).map(|i| (i % 5) as f64 + 10.0).collect();
+        let close = mmd_gaussian(&a, &b_close, 64, 0.1);
+        let far = mmd_gaussian(&a, &b_far, 64, 0.1);
+        assert!(far > close, "far {far} close {close}");
+    }
+
+    #[test]
+    fn mmd_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a: Vec<f64> = (0..300).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let b: Vec<f64> = (0..300).map(|_| rng.gen_range(3.0..12.0)).collect();
+        let ab = mmd_gaussian(&a, &b, 50, 0.1);
+        let ba = mmd_gaussian(&b, &a, 50, 0.1);
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsd_bounds() {
+        // Identical => 0; disjoint => ln 2.
+        let a = vec![1.0, 1.0, 2.0];
+        assert!(jsd(&a, &a, 16) < 1e-12);
+        let b = vec![100.0, 101.0, 102.0];
+        let d = jsd(&a, &b, 16);
+        assert!(d <= std::f64::consts::LN_2 + 1e-12);
+        assert!(d > std::f64::consts::LN_2 - 1e-6);
+    }
+
+    #[test]
+    fn jsd_hist_symmetry() {
+        let p = vec![0.2, 0.3, 0.5];
+        let q = vec![0.5, 0.25, 0.25];
+        assert!((jsd_hist(&p, &q) - jsd_hist(&q, &p)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn emd_of_identical_is_zero() {
+        let a = vec![1.0, 2.0, 3.0];
+        assert_eq!(emd_1d(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn emd_of_shifted_is_shift() {
+        let a = vec![0.0, 1.0, 2.0, 3.0];
+        let b: Vec<f64> = a.iter().map(|x| x + 2.5).collect();
+        assert!((emd_1d(&a, &b) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emd_handles_different_sizes() {
+        // {0,1} vs {0.5}: EMD = 0.5
+        let a = vec![0.0, 1.0];
+        let b = vec![0.5];
+        assert!((emd_1d(&a, &b) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emd_triangle_inequality_spot_check() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a: Vec<f64> = (0..50).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let b: Vec<f64> = (0..50).map(|_| rng.gen_range(0.5..1.5)).collect();
+        let c: Vec<f64> = (0..50).map(|_| rng.gen_range(1.0..2.0)).collect();
+        assert!(emd_1d(&a, &c) <= emd_1d(&a, &b) + emd_1d(&b, &c) + 1e-9);
+    }
+}

@@ -1,0 +1,31 @@
+//! # vrdag-metrics
+//!
+//! The evaluation metrics of the VRDAG paper (§IV-A2), implemented from
+//! scratch:
+//!
+//! * [`structure`] — the eight Table I metrics: in/out-degree distribution
+//!   MMD, clustering-coefficient MMD, in/out power-law exponent (PLE)
+//!   discrepancy, wedge count, number of components (NC) and largest
+//!   connected component (LCC) relative discrepancy (Eq. 19).
+//! * [`attribute`] — Fig. 3 (JSD / EMD of attribute distributions) and
+//!   Table II (MAE of Spearman attribute correlation matrices).
+//! * [`dynamic`] — Figures 4–8: consecutive-snapshot difference series for
+//!   degree / clustering / coreness (Eq. 20) and attribute MAE / RMSE
+//!   (Eq. 21).
+//! * [`distribution`] — the underlying histogram / MMD / JSD / EMD
+//!   primitives.
+
+pub mod attribute;
+pub mod distribution;
+pub mod dynamic;
+pub mod structure;
+pub mod summary;
+
+pub use attribute::{attribute_report, spearman, spearman_mae, AttributeReport};
+pub use distribution::{emd_1d, jsd, mmd_gaussian, Histogram};
+pub use dynamic::{
+    attribute_difference_series, series_alignment_error, structure_difference_series,
+    AttributeDifference, StructuralProperty,
+};
+pub use structure::{power_law_exponent, structure_report, StructureReport};
+pub use summary::{summarize, GraphSummary};

@@ -1,0 +1,214 @@
+//! Descriptive statistics of a dynamic attributed graph — the left-hand
+//! columns of the paper's Table I plus the temporal characteristics the
+//! dataset generators target. Useful for sanity-checking synthetic data
+//! against a real dataset before swapping it in.
+
+use vrdag_graph::algo;
+use vrdag_graph::DynamicGraph;
+
+/// Aggregate statistics of a dynamic attributed graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphSummary {
+    /// Node count `N`.
+    pub n: usize,
+    /// Temporal edge count `M`.
+    pub m: usize,
+    /// Attribute dimensionality `F`.
+    pub f: usize,
+    /// Snapshot count `T`.
+    pub t: usize,
+    /// Mean edges per snapshot.
+    pub mean_edges_per_snapshot: f64,
+    /// Mean directed density per snapshot.
+    pub mean_density: f64,
+    /// Max out-degree observed in any snapshot.
+    pub max_out_degree: usize,
+    /// Max in-degree observed in any snapshot.
+    pub max_in_degree: usize,
+    /// Mean local clustering coefficient (averaged over snapshots).
+    pub mean_clustering: f64,
+    /// Mean reciprocity: fraction of edges whose reverse also exists in the
+    /// same snapshot.
+    pub mean_reciprocity: f64,
+    /// Mean edge persistence: fraction of a snapshot's edges that also
+    /// exist in the next snapshot.
+    pub mean_edge_persistence: f64,
+    /// Mean in-degree power-law exponent across snapshots (0 if
+    /// inestimable).
+    pub mean_in_ple: f64,
+    /// Fraction of nodes with at least one edge in any snapshot.
+    pub active_fraction: f64,
+}
+
+/// Compute the summary (single pass over snapshots plus the per-snapshot
+/// metric helpers).
+pub fn summarize(g: &DynamicGraph) -> GraphSummary {
+    let t = g.t_len();
+    let mut max_out = 0usize;
+    let mut max_in = 0usize;
+    let mut clus_acc = 0.0f64;
+    let mut recip_acc = 0.0f64;
+    let mut ple_acc = 0.0f64;
+    let mut ple_count = 0usize;
+    let mut density_acc = 0.0f64;
+    for (_, s) in g.iter() {
+        for i in 0..s.n_nodes() {
+            max_out = max_out.max(s.out_degree(i));
+            max_in = max_in.max(s.in_degree(i));
+        }
+        let clus = algo::local_clustering(s);
+        if !clus.is_empty() {
+            clus_acc += clus.iter().sum::<f64>() / clus.len() as f64;
+        }
+        if s.n_edges() > 0 {
+            let recip = s
+                .edges()
+                .iter()
+                .filter(|&&(u, v)| s.has_edge(v, u))
+                .count() as f64
+                / s.n_edges() as f64;
+            recip_acc += recip;
+        }
+        if let Some(ple) = crate::structure::power_law_exponent(&algo::in_degrees(s)) {
+            ple_acc += ple;
+            ple_count += 1;
+        }
+        density_acc += s.density();
+    }
+    let mut persist_acc = 0.0f64;
+    for ti in 0..t.saturating_sub(1) {
+        let cur = g.snapshot(ti);
+        let nxt = g.snapshot(ti + 1);
+        if cur.n_edges() > 0 {
+            let kept = cur
+                .edges()
+                .iter()
+                .filter(|&&(u, v)| nxt.has_edge(u, v))
+                .count() as f64;
+            persist_acc += kept / cur.n_edges() as f64;
+        }
+    }
+    GraphSummary {
+        n: g.n_nodes(),
+        m: g.temporal_edge_count(),
+        f: g.n_attrs(),
+        t,
+        mean_edges_per_snapshot: g.mean_edges_per_snapshot(),
+        mean_density: density_acc / t as f64,
+        max_out_degree: max_out,
+        max_in_degree: max_in,
+        mean_clustering: clus_acc / t as f64,
+        mean_reciprocity: recip_acc / t as f64,
+        mean_edge_persistence: if t > 1 {
+            persist_acc / (t - 1) as f64
+        } else {
+            0.0
+        },
+        mean_in_ple: if ple_count > 0 { ple_acc / ple_count as f64 } else { 0.0 },
+        active_fraction: g.active_nodes().len() as f64 / g.n_nodes().max(1) as f64,
+    }
+}
+
+impl GraphSummary {
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "N={} M={} F={} T={}\n\
+             edges/snapshot={:.1} density={:.5}\n\
+             max out-degree={} max in-degree={}\n\
+             clustering={:.4} reciprocity={:.3} persistence={:.3}\n\
+             in-PLE={:.2} active nodes={:.1}%",
+            self.n,
+            self.m,
+            self.f,
+            self.t,
+            self.mean_edges_per_snapshot,
+            self.mean_density,
+            self.max_out_degree,
+            self.max_in_degree,
+            self.mean_clustering,
+            self.mean_reciprocity,
+            self.mean_edge_persistence,
+            self.mean_in_ple,
+            100.0 * self.active_fraction,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrdag_graph::Snapshot;
+    use vrdag_tensor::Matrix;
+
+    fn toy() -> DynamicGraph {
+        // t0: 0->1, 1->0 (reciprocal pair), 1->2 ; t1: 0->1, 2->0
+        let s0 = Snapshot::new(3, vec![(0, 1), (1, 0), (1, 2)], Matrix::zeros(3, 1));
+        let s1 = Snapshot::new(3, vec![(0, 1), (2, 0)], Matrix::zeros(3, 1));
+        DynamicGraph::new(vec![s0, s1])
+    }
+
+    #[test]
+    fn shape_fields_match() {
+        let g = toy();
+        let s = summarize(&g);
+        assert_eq!((s.n, s.m, s.f, s.t), (3, 5, 1, 2));
+        assert!((s.mean_edges_per_snapshot - 2.5).abs() < 1e-12);
+        assert_eq!(s.max_out_degree, 2); // node 1 at t0
+        assert_eq!(s.max_in_degree, 1);
+    }
+
+    #[test]
+    fn reciprocity_counts_mutual_edges() {
+        let g = toy();
+        let s = summarize(&g);
+        // t0: 2 of 3 edges reciprocated; t1: 0 of 2. Mean = (2/3)/2 = 1/3.
+        assert!((s.mean_reciprocity - (2.0 / 3.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn persistence_counts_surviving_edges() {
+        let g = toy();
+        let s = summarize(&g);
+        // Of t0's 3 edges only (0,1) survives to t1 => 1/3.
+        assert!((s.mean_edge_persistence - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn active_fraction_counts_touched_nodes() {
+        let g = toy();
+        assert!((summarize(&g).active_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_is_nonempty_and_mentions_shape() {
+        let s = summarize(&toy());
+        let r = s.render();
+        assert!(r.contains("N=3"));
+        assert!(r.contains("T=2"));
+    }
+
+    #[test]
+    fn synthetic_dataset_matches_spec_regime() {
+        let spec = vrdag_datasets_testhelper();
+        let g = vrdag_graph_from(&spec);
+        let s = summarize(&g);
+        // Persistence parameter should be visible in the measured value.
+        assert!(s.mean_edge_persistence > 0.15, "persistence {:.3}", s.mean_edge_persistence);
+        assert!(s.mean_reciprocity >= 0.0);
+    }
+
+    // Local shims to avoid a dev-dependency cycle with vrdag-datasets:
+    // build a persistence-heavy graph by hand.
+    fn vrdag_datasets_testhelper() -> Vec<(u32, u32)> {
+        (0..30u32).map(|i| (i % 10, (i + 1) % 10)).collect()
+    }
+
+    fn vrdag_graph_from(edges: &[(u32, u32)]) -> DynamicGraph {
+        let s0 = Snapshot::new(10, edges.to_vec(), Matrix::zeros(10, 0));
+        let mut e1 = edges.to_vec();
+        e1.truncate(edges.len() / 2);
+        let s1 = Snapshot::new(10, e1, Matrix::zeros(10, 0));
+        DynamicGraph::new(vec![s0, s1])
+    }
+}

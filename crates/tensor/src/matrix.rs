@@ -1,0 +1,617 @@
+//! Dense row-major `f32` matrix with the kernels needed by the VRDAG model.
+//!
+//! This is deliberately a small, predictable 2-D type rather than a general
+//! n-d array: every tensor in the paper is either a node-feature matrix
+//! `[N, d]`, a weight matrix `[d_in, d_out]`, a bias row `[1, d]`, or a
+//! scalar loss `[1, 1]`.
+
+use crate::par;
+use rand::Rng;
+
+/// Row-major dense matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Matrix[{}x{}]", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// All-ones matrix.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![1.0; rows * cols] }
+    }
+
+    /// Matrix filled with a constant.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Matrix { rows, cols, data: vec![v; rows * cols] }
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build element-wise from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// A `[1, 1]` matrix holding a single scalar.
+    pub fn scalar(v: f32) -> Self {
+        Matrix::from_vec(1, 1, vec![v])
+    }
+
+    /// Uniform random matrix on `[lo, hi)`.
+    pub fn rand_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Standard-normal random matrix (Box–Muller; `rand_distr` is not a
+    /// dependency of this workspace).
+    pub fn rand_normal(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut impl Rng) -> Self {
+        let n = rows * cols;
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let (z0, z1) = box_muller(rng);
+            data.push(mean + std * z0);
+            if data.len() < n {
+                data.push(mean + std * z1);
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` weight.
+    pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Self {
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Matrix::rand_uniform(fan_in, fan_out, -limit, limit, rng)
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume and return the backing vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single element of a `[1,1]` matrix.
+    ///
+    /// # Panics
+    /// Panics when the matrix is not `1x1`.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 matrix");
+        self.data[0]
+    }
+
+    /// Set every element to `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Element-wise map in place (parallel for large matrices).
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        if self.data.len() >= 1 << 16 {
+            let cols = self.cols.max(1);
+            par::par_row_chunks_mut(&mut self.data, cols, 64, |_, chunk| {
+                chunk.iter_mut().for_each(|x| *x = f(*x));
+            });
+        } else {
+            self.data.iter_mut().for_each(|x| *x = f(*x));
+        }
+    }
+
+    /// Element-wise combination of two same-shape matrices.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// `self += other`
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other`
+    pub fn scaled_add_assign(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "scaled_add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self *= alpha`
+    pub fn scale_assign(&mut self, alpha: f32) {
+        self.data.iter_mut().for_each(|x| *x *= alpha);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty matrices).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute element (0 for empty).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, x| m.max(x.abs()))
+    }
+
+    /// True when any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// `C = A · B` (standard matrix product, parallel over row blocks).
+    pub fn matmul(&self, b: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, b.rows,
+            "matmul shape mismatch: [{},{}] x [{},{}]",
+            self.rows, self.cols, b.rows, b.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, b.cols);
+        let mut out = Matrix::zeros(m, n);
+        let a = &self.data;
+        let bd = &b.data;
+        par::par_row_chunks_mut(&mut out.data, n.max(1), 8, |row0, chunk| {
+            for (ri, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+                let i = row0 + ri;
+                let a_row = &a[i * k..(i + 1) * k];
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &bd[kk * n..(kk + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += aik * bv;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// `C = A · Bᵀ` without materializing the transpose.
+    pub fn matmul_nt(&self, b: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, b.cols,
+            "matmul_nt shape mismatch: [{},{}] x [{},{}]^T",
+            self.rows, self.cols, b.rows, b.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, b.rows);
+        let mut out = Matrix::zeros(m, n);
+        let a = &self.data;
+        let bd = &b.data;
+        par::par_row_chunks_mut(&mut out.data, n.max(1), 8, |row0, chunk| {
+            for (ri, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+                let i = row0 + ri;
+                let a_row = &a[i * k..(i + 1) * k];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &bd[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (x, y) in a_row.iter().zip(b_row.iter()) {
+                        acc += x * y;
+                    }
+                    *o = acc;
+                }
+            }
+        });
+        out
+    }
+
+    /// `C = Aᵀ · B` without materializing the transpose.
+    pub fn matmul_tn(&self, b: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, b.rows,
+            "matmul_tn shape mismatch: [{},{}]^T x [{},{}]",
+            self.rows, self.cols, b.rows, b.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, b.cols);
+        // out is [k, n]; accumulate row i of A scaled into out rows.
+        let mut out = Matrix::zeros(k, n);
+        let a = &self.data;
+        let bd = &b.data;
+        // Parallelize over columns of A (rows of the output) to keep writes
+        // disjoint: thread handling output rows [lo,hi) scans all of A/B.
+        let nt = par::num_threads().min(k).max(1);
+        if nt <= 1 || k * n < 4096 {
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let b_row = &bd[i * n..(i + 1) * n];
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[kk * n..(kk + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += aik * bv;
+                    }
+                }
+            }
+        } else {
+            par::par_row_chunks_mut(&mut out.data, n, 1, |row0, chunk| {
+                let rows_here = chunk.len() / n;
+                for i in 0..m {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let b_row = &bd[i * n..(i + 1) * n];
+                    for r in 0..rows_here {
+                        let aik = a_row[row0 + r];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let out_row = &mut chunk[r * n..(r + 1) * n];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += aik * bv;
+                        }
+                    }
+                }
+            });
+        }
+        out
+    }
+
+    /// Concatenate matrices horizontally (same row count).
+    pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_cols needs at least one part");
+        let rows = parts[0].rows;
+        assert!(
+            parts.iter().all(|p| p.rows == rows),
+            "concat_cols requires equal row counts"
+        );
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let mut off = 0;
+            let out_row = &mut out.data[r * cols..(r + 1) * cols];
+            for p in parts {
+                out_row[off..off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Stack matrices vertically (same column count).
+    pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_rows needs at least one part");
+        let cols = parts[0].cols;
+        assert!(
+            parts.iter().all(|p| p.cols == cols),
+            "concat_rows requires equal column counts"
+        );
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Copy of the sub-matrix of columns `lo..hi`.
+    pub fn slice_cols(&self, lo: usize, hi: usize) -> Matrix {
+        assert!(lo <= hi && hi <= self.cols, "slice_cols out of bounds");
+        let mut out = Matrix::zeros(self.rows, hi - lo);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[lo..hi]);
+        }
+        out
+    }
+
+    /// Copy of the sub-matrix of rows selected by `idx` (with repetition
+    /// allowed).
+    pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (r, &i) in idx.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.row(i as usize));
+        }
+        out
+    }
+
+    /// Per-row sums as an `[rows, 1]` column.
+    pub fn sum_cols(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = self.row(r).iter().sum();
+        }
+        out
+    }
+
+    /// Per-column sums as a `[1, cols]` row.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r).iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+}
+
+/// One Box–Muller draw: two independent standard normal samples.
+fn box_muller(rng: &mut impl Rng) -> (f32, f32) {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn constructors_have_expected_shapes() {
+        assert_eq!(Matrix::zeros(3, 4).shape(), (3, 4));
+        assert_eq!(Matrix::ones(2, 2).sum(), 4.0);
+        assert_eq!(Matrix::scalar(7.0).item(), 7.0);
+        assert_eq!(Matrix::full(2, 3, 0.5).mean(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (17, 9, 23), (64, 32, 48)] {
+            let a = Matrix::rand_uniform(m, k, -1.0, 1.0, &mut rng);
+            let b = Matrix::rand_uniform(k, n, -1.0, 1.0, &mut rng);
+            assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_transpose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Matrix::rand_uniform(13, 7, -1.0, 1.0, &mut rng);
+        let b = Matrix::rand_uniform(11, 7, -1.0, 1.0, &mut rng);
+        assert_close(&a.matmul_nt(&b), &a.matmul(&b.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::rand_uniform(9, 6, -1.0, 1.0, &mut rng);
+        let b = Matrix::rand_uniform(9, 8, -1.0, 1.0, &mut rng);
+        assert_close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_parallel_path_matches() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Matrix::rand_uniform(70, 90, -1.0, 1.0, &mut rng);
+        let b = Matrix::rand_uniform(70, 110, -1.0, 1.0, &mut rng);
+        assert_close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-3);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Matrix::rand_uniform(5, 9, -1.0, 1.0, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn concat_and_slice_cols_round_trip() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Matrix::rand_uniform(4, 3, -1.0, 1.0, &mut rng);
+        let b = Matrix::rand_uniform(4, 5, -1.0, 1.0, &mut rng);
+        let cat = Matrix::concat_cols(&[&a, &b]);
+        assert_eq!(cat.shape(), (4, 8));
+        assert_eq!(cat.slice_cols(0, 3), a);
+        assert_eq!(cat.slice_cols(3, 8), b);
+    }
+
+    #[test]
+    fn concat_rows_stacks() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let cat = Matrix::concat_rows(&[&a, &b]);
+        assert_eq!(cat.shape(), (3, 2));
+        assert_eq!(cat.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn gather_rows_picks_rows() {
+        let a = Matrix::from_fn(5, 2, |r, c| (r * 10 + c) as f32);
+        let g = a.gather_rows(&[4, 0, 4]);
+        assert_eq!(g.row(0), &[40.0, 41.0]);
+        assert_eq!(g.row(1), &[0.0, 1.0]);
+        assert_eq!(g.row(2), &[40.0, 41.0]);
+    }
+
+    #[test]
+    fn reductions_match_manual() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.sum(), 21.0);
+        assert!((a.mean() - 3.5).abs() < 1e-6);
+        assert_eq!(a.sum_cols().into_vec(), vec![6.0, 15.0]);
+        assert_eq!(a.sum_rows().into_vec(), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn rand_normal_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Matrix::rand_normal(200, 200, 1.0, 2.0, &mut rng);
+        let mean = a.mean();
+        let var = a.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+            / (a.len() - 1) as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn xavier_uniform_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let w = Matrix::xavier_uniform(64, 32, &mut rng);
+        let limit = (6.0f32 / 96.0).sqrt();
+        assert!(w.max_abs() <= limit);
+    }
+
+    #[test]
+    fn map_inplace_parallel_path() {
+        let mut big = Matrix::ones(300, 300);
+        big.map_inplace(|x| x * 2.0);
+        assert_eq!(big.sum(), 180_000.0);
+    }
+
+    #[test]
+    fn has_non_finite_detects_nan() {
+        let mut a = Matrix::zeros(2, 2);
+        assert!(!a.has_non_finite());
+        a.set(1, 1, f32::NAN);
+        assert!(a.has_non_finite());
+    }
+}

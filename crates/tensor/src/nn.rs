@@ -1,0 +1,355 @@
+//! Neural-network building blocks: linear layers, MLPs (the paper's
+//! `f_in`/`f_out`/`f_agg`/`f_pool`/`f_α`/`f_θ`), and the GRU cell of the
+//! recurrence state updater (§III-D).
+
+use crate::autograd::Tensor;
+use crate::matrix::Matrix;
+use crate::ops;
+use rand::Rng;
+
+/// Activation functions used across the paper's MLPs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Activation {
+    Identity,
+    Relu,
+    /// Leaky ReLU with the given negative slope (the paper's ω, Eq. 4).
+    LeakyRelu(f32),
+    Sigmoid,
+    Tanh,
+}
+
+impl Activation {
+    /// Apply to a tensor.
+    pub fn apply(&self, x: &Tensor) -> Tensor {
+        match self {
+            Activation::Identity => x.clone(),
+            Activation::Relu => ops::relu(x),
+            Activation::LeakyRelu(s) => ops::leaky_relu(x, *s),
+            Activation::Sigmoid => ops::sigmoid(x),
+            Activation::Tanh => ops::tanh(x),
+        }
+    }
+
+    /// Apply to a plain matrix (inference path).
+    pub fn apply_matrix(&self, x: &mut Matrix) {
+        match self {
+            Activation::Identity => {}
+            Activation::Relu => x.map_inplace(|v| v.max(0.0)),
+            Activation::LeakyRelu(s) => {
+                let s = *s;
+                x.map_inplace(move |v| if v > 0.0 { v } else { s * v })
+            }
+            Activation::Sigmoid => x.map_inplace(|v| 1.0 / (1.0 + (-v).exp())),
+            Activation::Tanh => x.map_inplace(|v| v.tanh()),
+        }
+    }
+}
+
+/// Fully connected layer `y = x·W + b`.
+#[derive(Clone)]
+pub struct Linear {
+    pub weight: Tensor,
+    pub bias: Tensor,
+}
+
+impl Linear {
+    /// Xavier-initialized layer.
+    pub fn new(d_in: usize, d_out: usize, rng: &mut impl Rng) -> Self {
+        Linear {
+            weight: Tensor::param(Matrix::xavier_uniform(d_in, d_out, rng)),
+            bias: Tensor::param(Matrix::zeros(1, d_out)),
+        }
+    }
+
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        ops::add_row(&ops::matmul(x, &self.weight), &self.bias)
+    }
+
+    /// Inference-path forward on a plain matrix (no tape).
+    pub fn forward_matrix(&self, x: &Matrix) -> Matrix {
+        let mut out = x.matmul(&self.weight.value());
+        let b = self.bias.value();
+        for r in 0..out.rows() {
+            for (o, &bv) in out.row_mut(r).iter_mut().zip(b.row(0).iter()) {
+                *o += bv;
+            }
+        }
+        out
+    }
+
+    pub fn d_in(&self) -> usize {
+        self.weight.shape().0
+    }
+
+    pub fn d_out(&self) -> usize {
+        self.weight.shape().1
+    }
+
+    pub fn parameters(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+/// Multi-layer perceptron with a shared hidden activation and an optional
+/// output activation.
+#[derive(Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_act: Activation,
+    output_act: Activation,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer widths, e.g. `[d_in, h, d_out]`.
+    ///
+    /// # Panics
+    /// Panics when fewer than two widths are given.
+    pub fn new(
+        widths: &[usize],
+        hidden_act: Activation,
+        output_act: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least [d_in, d_out]");
+        let layers = widths
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Mlp { layers, hidden_act, output_act }
+    }
+
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            h = if i == last {
+                self.output_act.apply(&h)
+            } else {
+                self.hidden_act.apply(&h)
+            };
+        }
+        h
+    }
+
+    /// Inference-path forward on a plain matrix (no tape).
+    pub fn forward_matrix(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward_matrix(&h);
+            if i == last {
+                self.output_act.apply_matrix(&mut h);
+            } else {
+                self.hidden_act.apply_matrix(&mut h);
+            }
+        }
+        h
+    }
+
+    pub fn d_in(&self) -> usize {
+        self.layers[0].d_in()
+    }
+
+    pub fn d_out(&self) -> usize {
+        self.layers.last().unwrap().d_out()
+    }
+
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub fn layer(&self, i: usize) -> &Linear {
+        &self.layers[i]
+    }
+
+    pub fn parameters(&self) -> Vec<Tensor> {
+        self.layers.iter().flat_map(|l| l.parameters()).collect()
+    }
+}
+
+/// Gated recurrent unit cell (Cho et al.), used as the recurrence state
+/// updater (§III-D):
+///
+/// ```text
+/// r  = σ(x·Wxr + h·Whr + br)
+/// z  = σ(x·Wxz + h·Whz + bz)
+/// ñ  = tanh(x·Wxn + r ⊙ (h·Whn) + bn)
+/// h' = (1 − z) ⊙ ñ + z ⊙ h
+/// ```
+#[derive(Clone)]
+pub struct GruCell {
+    wxr: Tensor,
+    whr: Tensor,
+    br: Tensor,
+    wxz: Tensor,
+    whz: Tensor,
+    bz: Tensor,
+    wxn: Tensor,
+    whn: Tensor,
+    bn: Tensor,
+    d_hidden: usize,
+}
+
+impl GruCell {
+    pub fn new(d_in: usize, d_hidden: usize, rng: &mut impl Rng) -> Self {
+        let w = |i, o, rng: &mut _| Tensor::param(Matrix::xavier_uniform(i, o, rng));
+        GruCell {
+            wxr: w(d_in, d_hidden, rng),
+            whr: w(d_hidden, d_hidden, rng),
+            br: Tensor::param(Matrix::zeros(1, d_hidden)),
+            wxz: w(d_in, d_hidden, rng),
+            whz: w(d_hidden, d_hidden, rng),
+            // Bias the update gate towards keeping state early in training.
+            bz: Tensor::param(Matrix::full(1, d_hidden, 1.0)),
+            wxn: w(d_in, d_hidden, rng),
+            whn: w(d_hidden, d_hidden, rng),
+            bn: Tensor::param(Matrix::zeros(1, d_hidden)),
+            d_hidden,
+        }
+    }
+
+    pub fn d_hidden(&self) -> usize {
+        self.d_hidden
+    }
+
+    pub fn d_in(&self) -> usize {
+        self.wxr.shape().0
+    }
+
+    /// One step: `x: [n, d_in]`, `h: [n, d_hidden]` → new hidden `[n, d_hidden]`.
+    pub fn forward(&self, x: &Tensor, h: &Tensor) -> Tensor {
+        let r = ops::sigmoid(&ops::add_row(
+            &ops::add(&ops::matmul(x, &self.wxr), &ops::matmul(h, &self.whr)),
+            &self.br,
+        ));
+        let z = ops::sigmoid(&ops::add_row(
+            &ops::add(&ops::matmul(x, &self.wxz), &ops::matmul(h, &self.whz)),
+            &self.bz,
+        ));
+        let n = ops::tanh(&ops::add_row(
+            &ops::add(&ops::matmul(x, &self.wxn), &ops::mul(&r, &ops::matmul(h, &self.whn))),
+            &self.bn,
+        ));
+        ops::add(&ops::mul(&ops::one_minus(&z), &n), &ops::mul(&z, h))
+    }
+
+    pub fn parameters(&self) -> Vec<Tensor> {
+        vec![
+            self.wxr.clone(),
+            self.whr.clone(),
+            self.br.clone(),
+            self.wxz.clone(),
+            self.whz.clone(),
+            self.bz.clone(),
+            self.wxn.clone(),
+            self.whn.clone(),
+            self.bn.clone(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes_and_forward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::new(4, 3, &mut rng);
+        let x = Tensor::constant(Matrix::ones(2, 4));
+        assert_eq!(l.forward(&x).shape(), (2, 3));
+        assert_eq!(l.d_in(), 4);
+        assert_eq!(l.d_out(), 3);
+        assert_eq!(l.parameters().len(), 2);
+    }
+
+    #[test]
+    fn linear_matrix_path_matches_tensor_path() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let l = Linear::new(5, 4, &mut rng);
+        let x = Matrix::rand_uniform(3, 5, -1.0, 1.0, &mut rng);
+        let a = l.forward(&Tensor::constant(x.clone())).value_clone();
+        let b = l.forward_matrix(&x);
+        for (u, v) in a.data().iter().zip(b.data().iter()) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mlp_matrix_path_matches_tensor_path() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&[6, 8, 3], Activation::LeakyRelu(0.2), Activation::Sigmoid, &mut rng);
+        let x = Matrix::rand_uniform(4, 6, -1.0, 1.0, &mut rng);
+        let a = mlp.forward(&Tensor::constant(x.clone())).value_clone();
+        let b = mlp.forward_matrix(&x);
+        for (u, v) in a.data().iter().zip(b.data().iter()) {
+            assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mlp_end_to_end_gradient() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mlp = Mlp::new(&[3, 5, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        check_gradients(
+            &[(4, 3)],
+            move |t| mlp.forward(&t[0]),
+            "mlp_input_grad",
+        );
+    }
+
+    #[test]
+    fn gru_step_shape_and_gradient() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cell = GruCell::new(3, 4, &mut rng);
+        let x = Tensor::constant(Matrix::ones(2, 3));
+        let h = Tensor::constant(Matrix::zeros(2, 4));
+        assert_eq!(cell.forward(&x, &h).shape(), (2, 4));
+        assert_eq!(cell.parameters().len(), 9);
+
+        let cell2 = GruCell::new(3, 4, &mut rng);
+        check_gradients(
+            &[(2, 3), (2, 4)],
+            move |t| cell2.forward(&t[0], &t[1]),
+            "gru_cell",
+        );
+    }
+
+    #[test]
+    fn gru_with_zero_update_gate_keeps_candidate() {
+        // With bz very negative, z≈0 and h' ≈ tanh candidate; with bz very
+        // positive, z≈1 and h' ≈ h.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut cell = GruCell::new(2, 2, &mut rng);
+        cell.bz = Tensor::param(Matrix::full(1, 2, 50.0));
+        let x = Tensor::constant(Matrix::ones(1, 2));
+        let h = Tensor::constant(Matrix::from_vec(1, 2, vec![0.7, -0.3]));
+        let out = cell.forward(&x, &h).value_clone();
+        assert!((out.get(0, 0) - 0.7).abs() < 1e-3);
+        assert!((out.get(0, 1) + 0.3).abs() < 1e-3);
+    }
+
+    #[test]
+    fn activation_matrix_matches_tensor() {
+        let acts = [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::LeakyRelu(0.1),
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ];
+        let x = Matrix::from_vec(1, 4, vec![-2.0, -0.5, 0.5, 2.0]);
+        for a in acts {
+            let t = a.apply(&Tensor::constant(x.clone())).value_clone();
+            let mut m = x.clone();
+            a.apply_matrix(&mut m);
+            for (u, v) in t.data().iter().zip(m.data().iter()) {
+                assert!((u - v).abs() < 1e-6, "{a:?}");
+            }
+        }
+    }
+}

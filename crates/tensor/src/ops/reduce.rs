@@ -1,0 +1,106 @@
+//! Reduction ops producing scalars or per-row / per-column aggregates.
+
+use crate::autograd::Tensor;
+use crate::matrix::Matrix;
+
+/// Sum of all elements as a `[1,1]` tensor.
+pub fn sum_all(a: &Tensor) -> Tensor {
+    let value = Matrix::scalar(a.value().sum());
+    Tensor::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(|g, _out, parents| {
+            if parents[0].participates() {
+                let (r, c) = parents[0].shape();
+                parents[0].accumulate_grad_owned(Matrix::full(r, c, g.item()));
+            }
+        }),
+    )
+}
+
+/// Mean of all elements as a `[1,1]` tensor.
+pub fn mean_all(a: &Tensor) -> Tensor {
+    let n = {
+        let v = a.value();
+        v.len().max(1)
+    };
+    let value = Matrix::scalar(a.value().mean());
+    Tensor::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(move |g, _out, parents| {
+            if parents[0].participates() {
+                let (r, c) = parents[0].shape();
+                parents[0].accumulate_grad_owned(Matrix::full(r, c, g.item() / n as f32));
+            }
+        }),
+    )
+}
+
+/// Per-row sums: `[r, c] -> [r, 1]`.
+pub fn sum_cols(a: &Tensor) -> Tensor {
+    let value = a.value().sum_cols();
+    Tensor::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(|g, _out, parents| {
+            if parents[0].participates() {
+                let (r, c) = parents[0].shape();
+                let mut ga = Matrix::zeros(r, c);
+                for i in 0..r {
+                    let gv = g.get(i, 0);
+                    ga.row_mut(i).iter_mut().for_each(|x| *x = gv);
+                }
+                parents[0].accumulate_grad_owned(ga);
+            }
+        }),
+    )
+}
+
+/// Per-column sums: `[r, c] -> [1, c]`.
+pub fn sum_rows(a: &Tensor) -> Tensor {
+    let value = a.value().sum_rows();
+    Tensor::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(|g, _out, parents| {
+            if parents[0].participates() {
+                let (r, c) = parents[0].shape();
+                let mut ga = Matrix::zeros(r, c);
+                for i in 0..r {
+                    ga.row_mut(i).copy_from_slice(g.row(0));
+                }
+                parents[0].accumulate_grad_owned(ga);
+            }
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::check_gradients;
+
+    #[test]
+    fn reduction_gradients() {
+        check_gradients(&[(3, 4)], |t| sum_all(&t[0]), "sum_all");
+        check_gradients(&[(3, 4)], |t| mean_all(&t[0]), "mean_all");
+        check_gradients(
+            &[(3, 4)],
+            |t| crate::ops::sum_all(&crate::ops::sigmoid(&sum_cols(&t[0]))),
+            "sum_cols",
+        );
+        check_gradients(
+            &[(3, 4)],
+            |t| crate::ops::sum_all(&crate::ops::sigmoid(&sum_rows(&t[0]))),
+            "sum_rows",
+        );
+    }
+
+    #[test]
+    fn sum_all_value() {
+        let a = crate::Tensor::constant(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(sum_all(&a).item(), 10.0);
+        assert_eq!(mean_all(&a).item(), 2.5);
+    }
+}

@@ -1,0 +1,131 @@
+//! Structural ops: concatenation, gather, scatter.
+
+use crate::autograd::Tensor;
+use crate::matrix::Matrix;
+use std::rc::Rc;
+
+/// Concatenate tensors horizontally (matching row counts).
+pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat_cols needs at least one input");
+    let value = {
+        let borrowed: Vec<_> = parts.iter().map(|p| p.value_clone()).collect();
+        let refs: Vec<&Matrix> = borrowed.iter().collect();
+        Matrix::concat_cols(&refs)
+    };
+    let widths: Vec<usize> = parts.iter().map(|p| p.shape().1).collect();
+    Tensor::from_op(
+        value,
+        parts.iter().map(|p| (*p).clone()).collect(),
+        Box::new(move |g, _out, parents| {
+            let mut off = 0;
+            for (p, &w) in parents.iter().zip(widths.iter()) {
+                if p.participates() {
+                    p.accumulate_grad_owned(g.slice_cols(off, off + w));
+                }
+                off += w;
+            }
+        }),
+    )
+}
+
+/// Select rows of `a` by index (repetition allowed): `out[e] = a[idx[e]]`.
+///
+/// Backward scatters gradient rows back: `ga[idx[e]] += g[e]`.
+pub fn gather_rows(a: &Tensor, idx: Rc<Vec<u32>>) -> Tensor {
+    let value = a.value().gather_rows(&idx);
+    let idx_b = Rc::clone(&idx);
+    Tensor::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(move |g, _out, parents| {
+            if parents[0].participates() {
+                let (r, c) = parents[0].shape();
+                let mut ga = Matrix::zeros(r, c);
+                for (e, &i) in idx_b.iter().enumerate() {
+                    let row = ga.row_mut(i as usize);
+                    for (o, &v) in row.iter_mut().zip(g.row(e).iter()) {
+                        *o += v;
+                    }
+                }
+                parents[0].accumulate_grad_owned(ga);
+            }
+        }),
+    )
+}
+
+/// Scatter-add rows of `src` into an `[n_out, c]` output: `out[idx[e]] += src[e]`.
+///
+/// Backward gathers: `g_src[e] = g[idx[e]]`.
+pub fn scatter_add_rows(src: &Tensor, idx: Rc<Vec<u32>>, n_out: usize) -> Tensor {
+    let (m, c) = src.shape();
+    assert_eq!(idx.len(), m, "scatter_add_rows: one index per source row");
+    let value = {
+        let sv = src.value();
+        let mut out = Matrix::zeros(n_out, c);
+        for (e, &i) in idx.iter().enumerate() {
+            let row = out.row_mut(i as usize);
+            for (o, &v) in row.iter_mut().zip(sv.row(e).iter()) {
+                *o += v;
+            }
+        }
+        out
+    };
+    let idx_b = Rc::clone(&idx);
+    Tensor::from_op(
+        value,
+        vec![src.clone()],
+        Box::new(move |g, _out, parents| {
+            if parents[0].participates() {
+                let idx_usize: Vec<u32> = idx_b.iter().copied().collect();
+                parents[0].accumulate_grad_owned(g.gather_rows(&idx_usize));
+            }
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::check_gradients;
+
+    #[test]
+    fn concat_cols_gradient() {
+        check_gradients(
+            &[(3, 2), (3, 4), (3, 1)],
+            |t| concat_cols(&[&t[0], &t[1], &t[2]]),
+            "concat_cols",
+        );
+    }
+
+    #[test]
+    fn gather_rows_gradient() {
+        let idx = Rc::new(vec![0u32, 2, 2, 1]);
+        check_gradients(
+            &[(3, 4)],
+            move |t| gather_rows(&t[0], Rc::clone(&idx)),
+            "gather_rows",
+        );
+    }
+
+    #[test]
+    fn scatter_add_rows_gradient() {
+        let idx = Rc::new(vec![1u32, 0, 1, 3]);
+        check_gradients(
+            &[(4, 3)],
+            move |t| scatter_add_rows(&t[0], Rc::clone(&idx), 5),
+            "scatter_add_rows",
+        );
+    }
+
+    #[test]
+    fn gather_then_scatter_round_trip_values() {
+        let a = crate::Tensor::constant(Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32));
+        let idx = Rc::new(vec![3u32, 1]);
+        let g = gather_rows(&a, Rc::clone(&idx));
+        assert_eq!(g.value_clone().row(0), &[6.0, 7.0]);
+        let s = scatter_add_rows(&g, Rc::new(vec![0, 0]), 2);
+        // rows 3 and 1 of a summed into row 0
+        assert_eq!(s.value_clone().row(0), &[8.0, 10.0]);
+        assert_eq!(s.value_clone().row(1), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Scoped-thread parallel helpers used by the hot kernels.
+//!
+//! The VRDAG paper relies on GPU batching to parallelize row-wise adjacency
+//! decoding; on CPU we parallelize with `std::thread::scope` over contiguous
+//! index ranges. Everything here is allocation-light: workers receive a
+//! `Range<usize>` and operate on shared slices.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use for parallel sections.
+///
+/// Controlled by the `VRDAG_THREADS` environment variable; defaults to the
+/// machine's available parallelism (capped at 16 — beyond that the kernels in
+/// this crate are memory-bound).
+pub fn num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("VRDAG_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .min(16);
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Split `0..n` into at most `num_threads()` contiguous ranges and run `f` on
+/// each range in parallel. Falls back to a single inline call when the work
+/// is too small to amortize thread spawning.
+///
+/// `min_per_thread` is the smallest number of items worth giving a thread.
+pub fn par_ranges<F>(n: usize, min_per_thread: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let threads = num_threads().min(n / min_per_thread.max(1)).max(1);
+    if threads <= 1 {
+        f(0..n);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let f = &f;
+            s.spawn(move || f(lo..hi));
+        }
+    });
+}
+
+/// Parallel map over `0..n` collecting results in order.
+pub fn par_map_collect<T, F>(n: usize, min_per_thread: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    {
+        let slots = SendPtr(out.as_mut_ptr());
+        par_ranges(n, min_per_thread, |range| {
+            let slots = &slots;
+            for i in range {
+                // SAFETY: ranges are disjoint, so each slot is written by
+                // exactly one thread; the Vec outlives the scope.
+                unsafe { *slots.0.add(i) = f(i) };
+            }
+        });
+    }
+    out
+}
+
+/// Pointer wrapper asserting cross-thread transfer is safe for our
+/// disjoint-range writes.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Sync for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+
+/// Run `f` on disjoint mutable row chunks of `data` (row-major with `cols`
+/// columns). The closure receives the starting row index and the chunk.
+pub fn par_row_chunks_mut<F>(data: &mut [f32], cols: usize, min_rows: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(cols > 0, "cols must be positive");
+    let rows = data.len() / cols;
+    if rows == 0 {
+        return;
+    }
+    let threads = num_threads().min(rows / min_rows.max(1)).max(1);
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut row0 = 0usize;
+        while !rest.is_empty() {
+            let take = (chunk_rows * cols).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let f = &f;
+            let start = row0;
+            s.spawn(move || f(start, head));
+            row0 += take / cols;
+            rest = tail;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn par_ranges_covers_all_indices() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        par_ranges(1000, 1, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_ranges_handles_empty() {
+        par_ranges(0, 1, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let v = par_map_collect(257, 1, |i| i * 3);
+        assert_eq!(v.len(), 257);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 3);
+        }
+    }
+
+    #[test]
+    fn par_row_chunks_mut_writes_disjoint_rows() {
+        let mut data = vec![0.0f32; 64 * 7];
+        par_row_chunks_mut(&mut data, 7, 1, |row0, chunk| {
+            for (r, row) in chunk.chunks_exact_mut(7).enumerate() {
+                for x in row.iter_mut() {
+                    *x = (row0 + r) as f32;
+                }
+            }
+        });
+        for (r, row) in data.chunks_exact(7).enumerate() {
+            assert!(row.iter().all(|&x| x == r as f32));
+        }
+    }
+}

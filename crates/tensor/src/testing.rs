@@ -1,0 +1,108 @@
+//! Test support: numerical gradient checking against finite differences.
+//!
+//! Exposed as a normal module (not `#[cfg(test)]`) so downstream crates can
+//! gradient-check their composite modules (encoder, decoder, GAT) too.
+
+use crate::autograd::Tensor;
+use crate::matrix::Matrix;
+use crate::ops;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Verify analytic gradients of `f` against central finite differences.
+///
+/// `shapes` gives the input tensor shapes; inputs are filled with
+/// reproducible uniform values in `[-0.8, 0.8]`. The output of `f` is
+/// reduced with `sum_all` (if not already scalar) to obtain a scalar loss.
+///
+/// # Panics
+/// Panics (with a diagnostic including `name`) when any gradient entry
+/// deviates by more than `2e-2` relative (with a `2e-3` absolute floor).
+pub fn check_gradients<F>(shapes: &[(usize, usize)], f: F, name: &str)
+where
+    F: Fn(&[Tensor]) -> Tensor,
+{
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let inputs: Vec<Tensor> = shapes
+        .iter()
+        .map(|&(r, c)| Tensor::param(Matrix::rand_uniform(r, c, -0.8, 0.8, &mut rng)))
+        .collect();
+
+    let scalarize = |t: &Tensor| -> Tensor {
+        if t.shape() == (1, 1) {
+            t.clone()
+        } else {
+            ops::sum_all(t)
+        }
+    };
+
+    // Analytic gradients.
+    for t in &inputs {
+        t.zero_grad();
+    }
+    let loss = scalarize(&f(&inputs));
+    loss.backward();
+    let analytic: Vec<Matrix> = inputs
+        .iter()
+        .map(|t| {
+            let (r, c) = t.shape();
+            t.grad().unwrap_or_else(|| Matrix::zeros(r, c))
+        })
+        .collect();
+
+    // Numeric gradients via central differences on each input element.
+    const H: f32 = 5e-3;
+    for (k, t) in inputs.iter().enumerate() {
+        let (r, c) = t.shape();
+        for i in 0..r * c {
+            let orig = t.value().data()[i];
+            t.update_value(|m| m.data_mut()[i] = orig + H);
+            let up = crate::autograd::no_grad(|| scalarize(&f(&inputs)).item()) as f64;
+            t.update_value(|m| m.data_mut()[i] = orig - H);
+            let down = crate::autograd::no_grad(|| scalarize(&f(&inputs)).item()) as f64;
+            t.update_value(|m| m.data_mut()[i] = orig);
+            let numeric = ((up - down) / (2.0 * H as f64)) as f32;
+            let got = analytic[k].data()[i];
+            let denom = numeric.abs().max(got.abs()).max(1.0);
+            let rel = (numeric - got).abs() / denom;
+            assert!(
+                rel < 2e-2 || (numeric - got).abs() < 2e-3,
+                "{name}: gradient mismatch at input {k} elem {i}: analytic {got} vs numeric {numeric}"
+            );
+        }
+    }
+}
+
+/// Assert two matrices are element-wise close.
+pub fn assert_matrix_close(a: &Matrix, b: &Matrix, tol: f32, ctx: &str) {
+    assert_eq!(a.shape(), b.shape(), "{ctx}: shape mismatch");
+    for (i, (x, y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+        assert!((x - y).abs() <= tol, "{ctx}: elem {i}: {x} vs {y}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_gradients_accepts_correct_op() {
+        check_gradients(&[(2, 2)], |t| ops::tanh(&t[0]), "tanh_ok");
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn check_gradients_rejects_wrong_gradient() {
+        // An op with a deliberately wrong backward: forward x*3, backward 1.
+        let bad = |t: &[Tensor]| {
+            Tensor::from_op(
+                t[0].value().map(|x| 3.0 * x),
+                vec![t[0].clone()],
+                Box::new(|g, _out, parents| {
+                    parents[0].accumulate_grad(g); // should be 3*g
+                }),
+            )
+        };
+        check_gradients(&[(2, 2)], bad, "bad_op");
+    }
+}

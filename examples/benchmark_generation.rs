@@ -1,0 +1,69 @@
+//! The benchmarking scenario from the paper's introduction: a graph
+//! processing system needs realistic test data at several sizes. This
+//! example fits VRDAG once on an observed graph, then generates synthetic
+//! workloads at multiple horizon lengths, reporting throughput — and
+//! contrasts the one-shot decoder with a walk-based baseline (the Fig. 9
+//! efficiency story at example scale).
+//!
+//! ```sh
+//! cargo run --release --example benchmark_generation
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use vrdag_suite::baselines::TiggerLike;
+use vrdag_suite::prelude::*;
+
+fn main() {
+    let spec = datasets::wiki().scaled(0.04);
+    let observed = datasets::generate(&spec, 7);
+    println!(
+        "observed workload: N={} M={} T={}",
+        observed.n_nodes(),
+        observed.temporal_edge_count(),
+        observed.t_len()
+    );
+
+    // Fit both generators once.
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = VrdagConfig { epochs: 8, seed: 1, ..VrdagConfig::default() };
+    let mut vrdag = Vrdag::new(cfg);
+    let t0 = Instant::now();
+    vrdag.fit(&observed, &mut rng).expect("vrdag fit");
+    println!("VRDAG trained in {:.2}s", t0.elapsed().as_secs_f64());
+
+    let mut tigger: Box<dyn DynamicGraphGenerator> = Box::new(TiggerLike::with_defaults());
+    let t1 = Instant::now();
+    tigger.fit(&observed, &mut rng).expect("tigger fit");
+    println!("TIGGER trained in {:.2}s", t1.elapsed().as_secs_f64());
+
+    // Generate benchmark workloads at increasing horizons.
+    println!(
+        "\n{:>6} {:>14} {:>14} {:>16} {:>16}",
+        "T", "VRDAG (s)", "TIGGER (s)", "VRDAG edges/s", "TIGGER edges/s"
+    );
+    for t_len in [5usize, 10, 20, 40] {
+        let t = Instant::now();
+        let g_v = vrdag.generate(t_len, &mut rng).expect("vrdag generate");
+        let v_secs = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let g_t = tigger.generate(t_len, &mut rng).expect("tigger generate");
+        let t_secs = t.elapsed().as_secs_f64();
+        println!(
+            "{:>6} {:>14.3} {:>14.3} {:>16.0} {:>16.0}",
+            t_len,
+            v_secs,
+            t_secs,
+            g_v.temporal_edge_count() as f64 / v_secs.max(1e-9),
+            g_t.temporal_edge_count() as f64 / t_secs.max(1e-9),
+        );
+    }
+
+    println!(
+        "\nNote: VRDAG decodes each snapshot in one shot (O(N²·(h+K)) with the \
+         difference factorization), while walk-based generators must sample and \
+         merge a number of temporal walks proportional to the edge budget — the \
+         asymmetry behind the paper's Fig. 9 and Tables III/IV."
+    );
+}

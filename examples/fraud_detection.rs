@@ -1,0 +1,109 @@
+//! The paper's motivating scenario (§I): a financial-transaction network
+//! with co-evolving topology (who transacts with whom) and node attributes
+//! (transaction behavior). The real data is locked inside a bank; VRDAG
+//! learns its distribution and emits a shareable synthetic twin, which an
+//! analyst then uses to study dynamic node behavior — here, how quickly
+//! high-activity accounts change their counterparties.
+//!
+//! ```sh
+//! cargo run --release --example fraud_detection
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vrdag_suite::metrics;
+use vrdag_suite::prelude::*;
+
+/// Per-timestep counterparty turnover of the top-k most active nodes: the
+/// fraction of a node's out-neighbors that were not out-neighbors in the
+/// previous snapshot (a behavioral fingerprint fraud teams track).
+fn counterparty_turnover(g: &DynamicGraph, top_k: usize) -> Vec<f64> {
+    // Rank by total out-degree.
+    let n = g.n_nodes();
+    let mut activity = vec![0usize; n];
+    for (_, s) in g.iter() {
+        for (i, a) in activity.iter_mut().enumerate() {
+            *a += s.out_degree(i);
+        }
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by_key(|&i| std::cmp::Reverse(activity[i]));
+    let hot: Vec<usize> = idx.into_iter().take(top_k).collect();
+
+    (1..g.t_len())
+        .map(|t| {
+            let prev = g.snapshot(t - 1);
+            let cur = g.snapshot(t);
+            let mut turnover = 0.0;
+            let mut counted = 0usize;
+            for &i in &hot {
+                let cur_nbrs = cur.out_adj().neighbors(i);
+                if cur_nbrs.is_empty() {
+                    continue;
+                }
+                let fresh = cur_nbrs
+                    .iter()
+                    .filter(|&&v| !prev.has_edge(i as u32, v))
+                    .count();
+                turnover += fresh as f64 / cur_nbrs.len() as f64;
+                counted += 1;
+            }
+            if counted == 0 {
+                0.0
+            } else {
+                turnover / counted as f64
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    // The "bank-internal" graph: a guaranteed-loan-like network (sparse,
+    // directed guarantor → borrower flows, two account attributes).
+    let spec = datasets::guarantee().scaled(0.08);
+    let private_graph = datasets::generate(&spec, 2024);
+    println!(
+        "private transaction graph: N={} M={} F={} T={}",
+        private_graph.n_nodes(),
+        private_graph.temporal_edge_count(),
+        private_graph.n_attrs(),
+        private_graph.t_len()
+    );
+
+    // Train inside the institution...
+    let cfg = VrdagConfig { epochs: 10, seed: 99, ..VrdagConfig::default() };
+    let mut model = Vrdag::new(cfg);
+    let mut rng = StdRng::seed_from_u64(99);
+    model.fit(&private_graph, &mut rng).expect("fit");
+    // ...and release only the synthetic twin.
+    let synthetic = model.generate(private_graph.t_len(), &mut rng).expect("generate");
+    println!(
+        "released synthetic twin: M={} temporal edges",
+        synthetic.temporal_edge_count()
+    );
+
+    // The analyst's study runs on the synthetic twin.
+    let orig_turnover = counterparty_turnover(&private_graph, 20);
+    let synth_turnover = counterparty_turnover(&synthetic, 20);
+    println!("\ncounterparty turnover of the 20 most active accounts:");
+    println!("{:>4}  {:>10}  {:>10}", "t", "private", "synthetic");
+    for (t, (o, s)) in orig_turnover.iter().zip(synth_turnover.iter()).enumerate() {
+        println!("{:>4}  {o:>10.4}  {s:>10.4}", t + 1);
+    }
+    println!(
+        "\nturnover series alignment error: {:.4}",
+        metrics::series_alignment_error(&orig_turnover, &synth_turnover)
+    );
+
+    // Attribute realism check (Fig. 3-style) — what makes the twin usable
+    // for attribute-aware fraud models.
+    let rep = attribute_report(&private_graph, &synthetic);
+    println!("attribute fidelity: JSD={:.4} EMD={:.4}", rep.jsd, rep.emd);
+    // Dynamic behavior check (Fig. 4-style).
+    let o = metrics::structure_difference_series(&private_graph, metrics::StructuralProperty::Degree);
+    let s = metrics::structure_difference_series(&synthetic, metrics::StructuralProperty::Degree);
+    println!(
+        "degree-dynamics alignment error: {:.4}",
+        metrics::series_alignment_error(&o, &s)
+    );
+}

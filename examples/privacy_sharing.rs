@@ -1,0 +1,66 @@
+//! Privacy-preserving data sharing + downstream augmentation (the paper's
+//! third motivation and its Fig. 10 case study): a data owner publishes a
+//! VRDAG-generated synthetic graph instead of the raw one; a downstream
+//! team augments its scarce training data with the synthetic sequence and
+//! trains a CoEvoGNN-like forecaster.
+//!
+//! ```sh
+//! cargo run --release --example privacy_sharing
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vrdag_suite::downstream::{evaluate_augmentation, CoEvoConfig};
+use vrdag_suite::prelude::*;
+
+fn main() {
+    let spec = datasets::email().scaled(0.06);
+    let private = datasets::generate(&spec, 11);
+    println!(
+        "private graph: N={} M={} F={} T={}",
+        private.n_nodes(),
+        private.temporal_edge_count(),
+        private.n_attrs(),
+        private.t_len()
+    );
+
+    // Owner side: train the generator and publish a synthetic sequence.
+    let cfg = VrdagConfig { epochs: 10, seed: 5, ..VrdagConfig::default() };
+    let mut model = Vrdag::new(cfg);
+    let mut rng = StdRng::seed_from_u64(5);
+    model.fit(&private, &mut rng).expect("fit");
+    let published = model.generate(private.t_len(), &mut rng).expect("generate");
+
+    // No raw edge should be traceable 1:1 — report the overlap (a simple
+    // disclosure proxy: lower is safer).
+    let mut overlap = 0usize;
+    let mut total = 0usize;
+    for t in 0..private.t_len() {
+        let orig = private.snapshot(t);
+        for &(u, v) in published.snapshot(t).edges() {
+            total += 1;
+            if orig.has_edge(u, v) {
+                overlap += 1;
+            }
+        }
+    }
+    println!(
+        "published synthetic graph: {} temporal edges, {:.1}% overlapping the private edge set",
+        total,
+        100.0 * overlap as f64 / total.max(1) as f64
+    );
+
+    // Downstream side (Fig. 10): forecast the final snapshot with and
+    // without augmentation.
+    let coevo = CoEvoConfig { epochs: 20, seed: 13, ..CoEvoConfig::default() };
+    let base = evaluate_augmentation(&private, None, coevo.clone());
+    let augmented = evaluate_augmentation(&private, Some(&published), coevo);
+    println!("\ndownstream forecasting of the final snapshot:");
+    println!("  without augmentation: F1={:.4} RMSE={:.4}", base.f1, base.rmse);
+    println!("  with VRDAG synthetic: F1={:.4} RMSE={:.4}", augmented.f1, augmented.rmse);
+    if augmented.f1 >= base.f1 {
+        println!("  → augmentation improved link prediction, as in Fig. 10(a)");
+    } else {
+        println!("  → augmentation did not help on this run/scale");
+    }
+}

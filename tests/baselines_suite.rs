@@ -1,0 +1,130 @@
+//! Cross-crate integration: every baseline generator fits and generates on
+//! every (tiny) dataset flavor, through the shared trait object interface
+//! the bench harness uses.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vrdag_suite::baselines::{
+    DymondConfig, DymondLike, GenCatLike, GranLike, NormalBaseline, TagGenLike, TgganLike,
+    TiggerLike,
+};
+use vrdag_suite::prelude::*;
+
+fn methods() -> Vec<Box<dyn DynamicGraphGenerator>> {
+    vec![
+        Box::new(TagGenLike::with_defaults()),
+        Box::new(TgganLike::with_defaults()),
+        Box::new(TiggerLike::with_defaults()),
+        Box::new(DymondLike::new(DymondConfig { motif_budget: 5_000_000 })),
+        Box::new(GranLike::with_defaults()),
+        Box::new(GenCatLike::with_defaults()),
+        Box::new(NormalBaseline::new()),
+    ]
+}
+
+#[test]
+fn all_baselines_round_trip_on_tiny_dataset() {
+    let graph = datasets::generate(&datasets::tiny(), 17);
+    for mut m in methods() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let name = m.name().to_string();
+        m.fit(&graph, &mut rng).unwrap_or_else(|e| panic!("{name} fit: {e}"));
+        let out = m
+            .generate(graph.t_len(), &mut rng)
+            .unwrap_or_else(|e| panic!("{name} generate: {e}"));
+        assert_eq!(out.n_nodes(), graph.n_nodes(), "{name}: node count");
+        assert_eq!(out.t_len(), graph.t_len(), "{name}: sequence length");
+        assert!(out.temporal_edge_count() > 0, "{name}: no edges");
+        // Structure metrics must be computable on every output.
+        let rep = structure_report(&graph, &out);
+        for v in rep.as_row() {
+            assert!(v.is_finite(), "{name}: non-finite metric");
+        }
+    }
+}
+
+#[test]
+fn all_baselines_error_before_fit() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for m in methods() {
+        assert!(
+            m.generate(2, &mut rng).is_err(),
+            "{} generated without fitting",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn attribute_capable_baselines_fill_attributes() {
+    let graph = datasets::generate(&datasets::tiny(), 18);
+    for mut m in methods() {
+        let mut rng = StdRng::seed_from_u64(3);
+        m.fit(&graph, &mut rng).unwrap();
+        let out = m.generate(2, &mut rng).unwrap();
+        let has_values = out
+            .snapshot(0)
+            .attrs()
+            .data()
+            .iter()
+            .any(|&x| x != 0.0);
+        assert_eq!(
+            has_values,
+            m.supports_attributes(),
+            "{}: attribute support flag does not match output",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn walk_based_methods_are_slower_at_generation_than_vrdag() {
+    // The paper's efficiency headline, checked directionally at tiny scale:
+    // TagGen generation ≥ VRDAG generation (walk sampling + discrimination
+    // + merging vs one-shot decoding).
+    let graph = datasets::generate(&datasets::tiny(), 19);
+    let mut rng = StdRng::seed_from_u64(4);
+
+    let mut cfg = VrdagConfig::test_small();
+    cfg.epochs = 2;
+    let mut vr = Vrdag::new(cfg);
+    vr.fit(&graph, &mut rng).unwrap();
+    let t0 = std::time::Instant::now();
+    let _ = vr.generate(graph.t_len(), &mut rng).unwrap();
+    let vrdag_time = t0.elapsed();
+
+    let mut tag: Box<dyn DynamicGraphGenerator> = Box::new(TagGenLike::with_defaults());
+    tag.fit(&graph, &mut rng).unwrap();
+    let t1 = std::time::Instant::now();
+    let _ = tag.generate(graph.t_len(), &mut rng).unwrap();
+    let tag_time = t1.elapsed();
+
+    // Allow generous slack — this is a directional check, not a benchmark.
+    assert!(
+        tag_time.as_secs_f64() > vrdag_time.as_secs_f64() * 0.2,
+        "unexpected: TagGen {tag_time:?} far faster than VRDAG {vrdag_time:?}"
+    );
+}
+
+#[test]
+fn gencat_tracks_attribute_distribution_better_than_normal_on_classes() {
+    // GenCAT models per-class attribute distributions; Normal pools
+    // everything. On a community-structured dataset GenCAT's JSD should
+    // not be worse by a large factor.
+    let graph = datasets::generate(&datasets::tiny(), 20);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut gencat: Box<dyn DynamicGraphGenerator> = Box::new(GenCatLike::with_defaults());
+    gencat.fit(&graph, &mut rng).unwrap();
+    let g_out = gencat.generate(graph.t_len(), &mut rng).unwrap();
+    let mut normal: Box<dyn DynamicGraphGenerator> = Box::new(NormalBaseline::new());
+    normal.fit(&graph, &mut rng).unwrap();
+    let n_out = normal.generate(graph.t_len(), &mut rng).unwrap();
+    let g_rep = attribute_report(&graph, &g_out);
+    let n_rep = attribute_report(&graph, &n_out);
+    assert!(
+        g_rep.jsd <= n_rep.jsd * 3.0 + 0.05,
+        "GenCAT JSD {} vastly worse than Normal {}",
+        g_rep.jsd,
+        n_rep.jsd
+    );
+}

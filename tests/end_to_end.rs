@@ -1,0 +1,117 @@
+//! Cross-crate integration: the full VRDAG pipeline — synthetic dataset →
+//! fit → generate → evaluate with the paper's metrics.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vrdag_suite::prelude::*;
+use vrdag_suite::metrics;
+
+fn train_graph(seed: u64) -> DynamicGraph {
+    datasets::generate(&datasets::tiny(), seed)
+}
+
+fn quick_model() -> Vrdag {
+    let mut cfg = VrdagConfig::test_small();
+    cfg.epochs = 6;
+    Vrdag::new(cfg)
+}
+
+#[test]
+fn pipeline_produces_scorable_graphs() {
+    let graph = train_graph(1);
+    let mut model = quick_model();
+    let mut rng = StdRng::seed_from_u64(2);
+    let report = model.fit(&graph, &mut rng).expect("fit");
+    assert!(report.final_loss.is_finite());
+    let generated = model.generate(graph.t_len(), &mut rng).expect("generate");
+
+    // Structure metrics (Table I) all finite and non-negative.
+    let s = structure_report(&graph, &generated);
+    for (name, v) in metrics::StructureReport::headers().iter().zip(s.as_row()) {
+        assert!(v.is_finite() && v >= 0.0, "{name} = {v}");
+    }
+    // Attribute metrics (Fig. 3) finite, JSD within its bound.
+    let a = attribute_report(&graph, &generated);
+    assert!(a.jsd >= 0.0 && a.jsd <= std::f64::consts::LN_2 + 1e-9);
+    assert!(a.emd.is_finite());
+}
+
+#[test]
+fn vrdag_beats_mismatched_random_graph_on_structure() {
+    // The fitted model must track the original better than an arbitrary
+    // different dataset does (a weak but meaningful end-to-end quality
+    // bar at tiny scale).
+    let graph = train_graph(3);
+    let unrelated = datasets::generate(&datasets::guarantee().scaled(0.012), 99);
+    let mut model = quick_model();
+    let mut rng = StdRng::seed_from_u64(4);
+    model.fit(&graph, &mut rng).unwrap();
+    let generated = model.generate(graph.t_len(), &mut rng).unwrap();
+
+    let ours = structure_report(&graph, &generated);
+    // Compare against the unrelated graph truncated/extended to same T.
+    let t = graph.t_len().min(unrelated.t_len());
+    let theirs = structure_report(&graph.prefix(t), &unrelated.prefix(t));
+    // Win on at least degree-distribution tracking (the headline metric).
+    let our_deg = ours.in_deg_dist + ours.out_deg_dist;
+    let their_deg = theirs.in_deg_dist + theirs.out_deg_dist;
+    assert!(
+        our_deg <= their_deg * 1.5,
+        "VRDAG degree MMD {our_deg} not competitive vs unrelated graph {their_deg}"
+    );
+}
+
+#[test]
+fn generation_is_reproducible_for_fixed_seeds() {
+    let graph = train_graph(5);
+    let mut m1 = quick_model();
+    let mut m2 = quick_model();
+    let mut r1 = StdRng::seed_from_u64(7);
+    let mut r2 = StdRng::seed_from_u64(7);
+    m1.fit(&graph, &mut r1).unwrap();
+    m2.fit(&graph, &mut r2).unwrap();
+    let g1 = m1.generate(4, &mut r1).unwrap();
+    let g2 = m2.generate(4, &mut r2).unwrap();
+    assert_eq!(g1, g2, "identical seeds must yield identical graphs");
+}
+
+#[test]
+fn generated_graph_survives_io_round_trip() {
+    let graph = train_graph(8);
+    let mut model = quick_model();
+    let mut rng = StdRng::seed_from_u64(9);
+    model.fit(&graph, &mut rng).unwrap();
+    let generated = model.generate(3, &mut rng).unwrap();
+
+    let dir = std::env::temp_dir().join("vrdag_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tsv = dir.join("gen.tsv");
+    vrdag_suite::graph::io::save_tsv(&generated, &tsv).unwrap();
+    let loaded = vrdag_suite::graph::io::load_tsv(&tsv).unwrap();
+    assert_eq!(generated, loaded);
+
+    let bin = dir.join("gen.bin");
+    vrdag_suite::graph::io::save_binary(&generated, &bin).unwrap();
+    let loaded = vrdag_suite::graph::io::load_binary(&bin).unwrap();
+    assert_eq!(generated, loaded);
+}
+
+#[test]
+fn dynamic_difference_metrics_are_consistent() {
+    let graph = train_graph(10);
+    let mut model = quick_model();
+    let mut rng = StdRng::seed_from_u64(11);
+    model.fit(&graph, &mut rng).unwrap();
+    let generated = model.generate(graph.t_len(), &mut rng).unwrap();
+    for prop in [
+        metrics::StructuralProperty::Degree,
+        metrics::StructuralProperty::Clustering,
+        metrics::StructuralProperty::Coreness,
+    ] {
+        let orig = metrics::structure_difference_series(&graph, prop);
+        let gen = metrics::structure_difference_series(&generated, prop);
+        assert_eq!(orig.len(), graph.t_len() - 1);
+        assert_eq!(gen.len(), generated.t_len() - 1);
+        assert!(metrics::series_alignment_error(&orig, &gen).is_finite());
+    }
+}

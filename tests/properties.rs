@@ -1,0 +1,142 @@
+//! Property-based tests (proptest) over the cross-crate invariants: graph
+//! storage, metrics, and dataset generation.
+
+use proptest::prelude::*;
+use vrdag_suite::graph::algo;
+use vrdag_suite::metrics;
+use vrdag_suite::prelude::*;
+
+/// Strategy: a random directed edge list over `n` nodes.
+fn edges_strategy(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn snapshot_invariants(edges in edges_strategy(24, 120)) {
+        let s = Snapshot::new(24, edges.clone(), Matrix::zeros(24, 0));
+        // No self loops, sorted, deduped.
+        let mut prev: Option<(u32, u32)> = None;
+        for &(u, v) in s.edges() {
+            prop_assert_ne!(u, v);
+            if let Some(p) = prev {
+                prop_assert!((u, v) > p);
+            }
+            prev = Some((u, v));
+        }
+        // Degree sums equal edge count in both directions.
+        let out_sum: usize = (0..24).map(|i| s.out_degree(i)).sum();
+        let in_sum: usize = (0..24).map(|i| s.in_degree(i)).sum();
+        prop_assert_eq!(out_sum, s.n_edges());
+        prop_assert_eq!(in_sum, s.n_edges());
+        // has_edge agrees with the edge list.
+        for &(u, v) in s.edges() {
+            prop_assert!(s.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn component_sizes_partition_nodes(edges in edges_strategy(20, 60)) {
+        let s = Snapshot::new(20, edges, Matrix::zeros(20, 0));
+        let info = algo::weakly_connected_components(&s);
+        let total: u32 = info.sizes.iter().sum();
+        prop_assert_eq!(total as usize, 20);
+        prop_assert!(info.largest() <= 20);
+        prop_assert!(info.count() >= 1);
+        // Endpoint pairs share labels.
+        for &(u, v) in s.edges() {
+            prop_assert_eq!(info.labels[u as usize], info.labels[v as usize]);
+        }
+    }
+
+    #[test]
+    fn coreness_bounded_by_degree(edges in edges_strategy(18, 80)) {
+        let s = Snapshot::new(18, edges, Matrix::zeros(18, 0));
+        let core = algo::coreness(&s);
+        let und = s.undirected_degrees();
+        for (c, d) in core.iter().zip(und.iter()) {
+            prop_assert!(*c as usize <= *d);
+        }
+    }
+
+    #[test]
+    fn clustering_in_unit_interval(edges in edges_strategy(16, 70)) {
+        let s = Snapshot::new(16, edges, Matrix::zeros(16, 0));
+        for c in algo::local_clustering(&s) {
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn mmd_properties(
+        a in prop::collection::vec(0.0f64..50.0, 1..80),
+        b in prop::collection::vec(0.0f64..50.0, 1..80),
+    ) {
+        let ab = metrics::mmd_gaussian(&a, &b, 32, 0.1);
+        let ba = metrics::mmd_gaussian(&b, &a, 32, 0.1);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9, "asymmetric MMD: {} vs {}", ab, ba);
+        let aa = metrics::mmd_gaussian(&a, &a, 32, 0.1);
+        prop_assert!(aa < 1e-9, "self-MMD {} not ~0", aa);
+    }
+
+    #[test]
+    fn jsd_bounds_hold(
+        a in prop::collection::vec(-10.0f64..10.0, 1..60),
+        b in prop::collection::vec(-10.0f64..10.0, 1..60),
+    ) {
+        let d = metrics::jsd(&a, &b, 24);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= std::f64::consts::LN_2 + 1e-9);
+        prop_assert!(metrics::jsd(&a, &a, 24) < 1e-12);
+    }
+
+    #[test]
+    fn emd_is_a_metric_on_samples(
+        a in prop::collection::vec(0.0f64..10.0, 1..40),
+        b in prop::collection::vec(0.0f64..10.0, 1..40),
+    ) {
+        let ab = metrics::emd_1d(&a, &b);
+        let ba = metrics::emd_1d(&b, &a);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(metrics::emd_1d(&a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn spearman_within_bounds(
+        a in prop::collection::vec(-100.0f64..100.0, 3..40),
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x * 2.0 + 1.0).collect();
+        let r = metrics::spearman(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+    }
+
+    #[test]
+    fn binary_io_round_trips(edges in edges_strategy(12, 40), seed in 0u64..1000) {
+        let attrs = Matrix::rand_uniform(12, 2, -1.0, 1.0,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed));
+        let s = Snapshot::new(12, edges, attrs);
+        let g = DynamicGraph::new(vec![s]);
+        let bytes = vrdag_suite::graph::io::encode_binary(&g);
+        let decoded = vrdag_suite::graph::io::decode_binary(bytes).unwrap();
+        prop_assert_eq!(g, decoded);
+    }
+
+    #[test]
+    fn dataset_generator_respects_shape(seed in 0u64..50) {
+        let spec = datasets::tiny();
+        let g = datasets::generate(&spec, seed);
+        prop_assert_eq!(g.n_nodes(), spec.n);
+        prop_assert_eq!(g.n_attrs(), spec.f);
+        prop_assert_eq!(g.t_len(), spec.t);
+        for (_, s) in g.iter() {
+            for &(u, v) in s.edges() {
+                prop_assert!(u != v);
+                prop_assert!((u as usize) < spec.n && (v as usize) < spec.n);
+            }
+        }
+    }
+}
