@@ -1,0 +1,64 @@
+//! Serving-layer throughput: jobs/sec of the `vrdag-serve` scheduler
+//! draining a fixed batch of seed-addressed generation requests at 1, 2,
+//! and 4 workers (the scaling knob every future async-frontend PR will
+//! push on).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vrdag::{Vrdag, VrdagConfig};
+use vrdag_serve::{GenRequest, GenSink, ModelRegistry, Scheduler};
+
+const JOBS: usize = 8;
+const T_LEN: usize = 4;
+
+fn registry() -> ModelRegistry {
+    let spec = vrdag_datasets::tiny();
+    let graph = vrdag_datasets::generate(&spec, 17);
+    let mut model = Vrdag::new(VrdagConfig { epochs: 2, ..VrdagConfig::test_small() });
+    let mut rng = StdRng::seed_from_u64(1);
+    model.fit(&graph, &mut rng).unwrap();
+    let registry = ModelRegistry::new();
+    registry.register("bench", &model).unwrap();
+    registry
+}
+
+fn drain_batch(registry: &ModelRegistry, workers: usize) -> f64 {
+    let mut scheduler = Scheduler::new(registry.clone(), workers);
+    for seed in 0..JOBS as u64 {
+        scheduler
+            .submit(GenRequest {
+                model: "bench".into(),
+                t_len: T_LEN,
+                seed,
+                sink: GenSink::Discard,
+            })
+            .unwrap();
+    }
+    let report = scheduler.join();
+    assert!(report.all_ok());
+    report.jobs_per_sec
+}
+
+fn bench_generation_throughput(c: &mut Criterion) {
+    // Pin intra-op tensor parallelism to one thread (must happen before
+    // the first tensor op caches the count), so what this bench measures
+    // is the scheduler's inter-job scaling, not kernel-level threading.
+    std::env::set_var("VRDAG_THREADS", "1");
+    let registry = registry();
+    let mut group = c.benchmark_group("generation_throughput");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("scheduler_drain_8_jobs", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| black_box(drain_batch(&registry, workers)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation_throughput);
+criterion_main!(benches);

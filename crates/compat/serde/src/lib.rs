@@ -1,0 +1,14 @@
+//! Offline API-compatible subset of `serde` 1.x (vendored; see
+//! `crates/compat/README.md`).
+//!
+//! Exposes `Serialize` / `Deserialize` as both marker traits and no-op
+//! derive macros, mirroring upstream's type- and macro-namespace overlap.
+//! No serializer exists in-tree yet, so the traits carry no methods.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

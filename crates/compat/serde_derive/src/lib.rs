@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde shim.
+//!
+//! Nothing in-tree consumes serde impls yet (no serializer is vendored),
+//! so the derives only need to make `#[derive(Serialize, Deserialize)]`
+//! compile. They intentionally emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

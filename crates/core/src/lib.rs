@@ -36,4 +36,4 @@ pub mod time2vec;
 
 pub use config::{AttrLoss, VrdagConfig};
 pub use persist::PersistError;
-pub use model::{TrainStats, Vrdag};
+pub use model::{GenerationState, TrainStats, Vrdag};

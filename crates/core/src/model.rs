@@ -123,6 +123,16 @@ impl Vrdag {
         self.stats.as_ref()
     }
 
+    /// Node count of the fitted node universe (`None` before `fit`).
+    pub fn n_nodes(&self) -> Option<usize> {
+        self.modules.as_ref().map(|m| m.n)
+    }
+
+    /// Attribute dimensionality of the fitted model (`None` before `fit`).
+    pub fn n_attrs(&self) -> Option<usize> {
+        self.modules.as_ref().map(|m| m.f)
+    }
+
     /// Rebuild the architecture for deserialization (values are
     /// overwritten by the loader).
     pub(crate) fn build_modules_for_load(&self, f: usize, n: usize, rng: &mut StdRng) -> Modules {
@@ -340,64 +350,124 @@ impl Vrdag {
         })
     }
 
-    /// Generate a synthetic dynamic attributed graph (Algorithm 1).
-    pub fn generate(&self, t_len: usize, rng: &mut dyn RngCore) -> Result<DynamicGraph, GeneratorError> {
+    /// Start a resumable generation run (Algorithm 1).
+    ///
+    /// The returned [`GenerationState`] carries everything the recurrence
+    /// needs between timesteps — the hidden state `H_t`, the timestep
+    /// counter, and a derived RNG — so snapshots can be produced one at a
+    /// time with memory bounded by a single snapshot. `rng` is consumed
+    /// exactly as by [`Vrdag::generate`] (one `next_u64` call to derive
+    /// the stream seed), so stepping a state to `t_len` yields the same
+    /// sequence as a one-shot `generate(t_len, rng)` call from the same
+    /// RNG state.
+    pub fn begin_generation(
+        &self,
+        rng: &mut dyn RngCore,
+    ) -> Result<GenerationState, GeneratorError> {
         let modules = self.modules.as_ref().ok_or(GeneratorError::NotFitted)?;
-        let stats = self.stats.as_ref().ok_or(GeneratorError::NotFitted)?;
+        self.stats.as_ref().ok_or(GeneratorError::NotFitted)?;
+        Ok(GenerationState {
+            h: Matrix::zeros(modules.n, self.cfg.d_h),
+            t: 0,
+            rng: StdRng::seed_from_u64(rng.next_u64()),
+        })
+    }
+
+    /// Advance a generation run by one timestep and return snapshot
+    /// `G̃_{t+1}` (lines 3–7 of Algorithm 1).
+    ///
+    /// `state` must come from [`Vrdag::begin_generation`] on this (or an
+    /// identically-loaded) model.
+    pub fn step_generation(&self, state: &mut GenerationState) -> Snapshot {
+        let modules = self.modules.as_ref().expect("state comes from begin_generation");
+        let stats = self.stats.as_ref().expect("state comes from begin_generation");
         let n = modules.n;
         let f = modules.f;
-        let mut local_rng = StdRng::seed_from_u64(rng.next_u64());
-        let snapshots = no_grad(|| {
-            let mut h = Tensor::constant(Matrix::zeros(n, self.cfg.d_h));
-            let mut out = Vec::with_capacity(t_len);
-            for t in 0..t_len {
-                // Line 3: Z_{t+1} ~ p_φ(H_t).
-                let (mu_p, lv_p) = modules.prior.forward(&h);
-                let z = reparam_sample(&mu_p, &lv_p, &mut local_rng);
-                let s = ops::concat_cols(&[&z, &h]);
-                let s_mat = s.value_clone();
-                // Line 4: Ã_{t+1} via the MixBernoulli sampler.
-                let m_target = if self.cfg.calibrate_density {
-                    let idx = t.min(stats.edges_per_step.len().saturating_sub(1));
-                    stats.edges_per_step.get(idx).copied()
-                } else {
-                    None
-                };
-                let edges = modules.decoder.generate_edges(&s_mat, m_target, local_rng.gen());
-                // Line 5: X̃_{t+1} conditioned on the generated topology.
-                let attrs = if f > 0 {
-                    let (src, dst, segs) = gat_arrays(n, &edges);
-                    let mut x = modules.attr_dec.forward(&s, &src, &dst, &segs, n).value_clone();
-                    if self.cfg.calibrate_attributes {
-                        let idx = t.min(stats.attr_means.len().saturating_sub(1));
-                        calibrate_attributes(&mut x, &stats.attr_means[idx], &stats.attr_stds[idx]);
-                    }
-                    x
-                } else {
-                    Matrix::zeros(n, 0)
-                };
-                let snapshot = Snapshot::new(n, edges, attrs);
-                // Line 7: H_{t+1} = GRU([ε(G̃) ‖ Z ‖ f_T(t+1)], H_t).
-                if self.cfg.use_recurrence {
-                    let feats = Tensor::constant(snapshot_features(&snapshot));
-                    let in_adj = Rc::new(snapshot.in_adj().clone());
-                    let out_adj = Rc::new(snapshot.out_adj().clone());
-                    let enc = modules.encoder.forward(&feats, &in_adj, &out_adj);
-                    let gru_in = if self.cfg.use_time2vec {
-                        let tv = modules.t2v.forward_broadcast(t, n);
-                        ops::concat_cols(&[&enc, &z, &tv])
-                    } else {
-                        ops::concat_cols(&[&enc, &z])
-                    };
-                    h = modules.gru.forward(&gru_in, &h);
-                } else {
-                    h = Tensor::constant(Matrix::zeros(n, self.cfg.d_h));
+        let t = state.t;
+        no_grad(|| {
+            let h = Tensor::constant(std::mem::replace(&mut state.h, Matrix::zeros(0, 0)));
+            // Line 3: Z_{t+1} ~ p_φ(H_t).
+            let (mu_p, lv_p) = modules.prior.forward(&h);
+            let z = reparam_sample(&mu_p, &lv_p, &mut state.rng);
+            let s = ops::concat_cols(&[&z, &h]);
+            let s_mat = s.value_clone();
+            // Line 4: Ã_{t+1} via the MixBernoulli sampler.
+            let m_target = if self.cfg.calibrate_density {
+                let idx = t.min(stats.edges_per_step.len().saturating_sub(1));
+                stats.edges_per_step.get(idx).copied()
+            } else {
+                None
+            };
+            let edges = modules.decoder.generate_edges(&s_mat, m_target, state.rng.gen());
+            // Line 5: X̃_{t+1} conditioned on the generated topology.
+            let attrs = if f > 0 {
+                let (src, dst, segs) = gat_arrays(n, &edges);
+                let mut x = modules.attr_dec.forward(&s, &src, &dst, &segs, n).value_clone();
+                if self.cfg.calibrate_attributes {
+                    let idx = t.min(stats.attr_means.len().saturating_sub(1));
+                    calibrate_attributes(&mut x, &stats.attr_means[idx], &stats.attr_stds[idx]);
                 }
-                out.push(snapshot);
-            }
-            out
-        });
+                x
+            } else {
+                Matrix::zeros(n, 0)
+            };
+            let snapshot = Snapshot::new(n, edges, attrs);
+            // Line 7: H_{t+1} = GRU([ε(G̃) ‖ Z ‖ f_T(t+1)], H_t).
+            state.h = if self.cfg.use_recurrence {
+                let feats = Tensor::constant(snapshot_features(&snapshot));
+                let in_adj = Rc::new(snapshot.in_adj().clone());
+                let out_adj = Rc::new(snapshot.out_adj().clone());
+                let enc = modules.encoder.forward(&feats, &in_adj, &out_adj);
+                let gru_in = if self.cfg.use_time2vec {
+                    let tv = modules.t2v.forward_broadcast(t, n);
+                    ops::concat_cols(&[&enc, &z, &tv])
+                } else {
+                    ops::concat_cols(&[&enc, &z])
+                };
+                modules.gru.forward(&gru_in, &h).value_clone()
+            } else {
+                Matrix::zeros(n, self.cfg.d_h)
+            };
+            state.t = t + 1;
+            snapshot
+        })
+    }
+
+    /// Generate a synthetic dynamic attributed graph (Algorithm 1).
+    ///
+    /// One-shot convenience over [`Vrdag::begin_generation`] /
+    /// [`GenerationState::step`]: materializes all `t_len` snapshots.
+    pub fn generate(&self, t_len: usize, rng: &mut dyn RngCore) -> Result<DynamicGraph, GeneratorError> {
+        let mut state = self.begin_generation(rng)?;
+        let snapshots = (0..t_len).map(|_| state.step(self)).collect();
         Ok(DynamicGraph::new(snapshots))
+    }
+}
+
+/// Resumable state of a generation run: the recurrent hidden state
+/// `H_t`, the timestep counter, and the derived sampling RNG.
+///
+/// Produced by [`Vrdag::begin_generation`]; advanced one snapshot at a
+/// time by [`GenerationState::step`]. Holds plain values (no borrows of
+/// the model and no autograd tape), so it is cheap to keep alive between
+/// requests and can be moved across threads together with its model.
+#[derive(Clone, Debug)]
+pub struct GenerationState {
+    h: Matrix,
+    t: usize,
+    rng: StdRng,
+}
+
+impl GenerationState {
+    /// Number of snapshots produced so far (the next step generates
+    /// snapshot index `t()`).
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Produce the next snapshot from `model` (Algorithm 1, one timestep).
+    pub fn step(&mut self, model: &Vrdag) -> Snapshot {
+        model.step_generation(self)
     }
 }
 
@@ -585,6 +655,52 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let report = model.fit(&g, &mut rng).unwrap();
         assert!(report.final_loss.is_finite());
+    }
+
+    #[test]
+    fn stepper_matches_one_shot_generate() {
+        let g = tiny_graph();
+        let mut model = Vrdag::new(VrdagConfig::test_small());
+        let mut rng = StdRng::seed_from_u64(21);
+        model.fit(&g, &mut rng).unwrap();
+
+        let mut r1 = StdRng::seed_from_u64(77);
+        let one_shot = model.generate(4, &mut r1).unwrap();
+
+        let mut r2 = StdRng::seed_from_u64(77);
+        let mut state = model.begin_generation(&mut r2).unwrap();
+        let stepped: Vec<Snapshot> = (0..4).map(|_| state.step(&model)).collect();
+        assert_eq!(state.t(), 4);
+        assert_eq!(one_shot, DynamicGraph::new(stepped));
+    }
+
+    #[test]
+    fn begin_generation_before_fit_errors() {
+        let model = Vrdag::new(VrdagConfig::test_small());
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(matches!(model.begin_generation(&mut rng), Err(GeneratorError::NotFitted)));
+    }
+
+    #[test]
+    fn generation_state_is_resumable_mid_sequence() {
+        // Pausing and resuming a state must not perturb the stream: steps
+        // 0..2 then 2..5 equal one uninterrupted 0..5 run.
+        let g = tiny_graph();
+        let mut model = Vrdag::new(VrdagConfig::test_small());
+        let mut rng = StdRng::seed_from_u64(22);
+        model.fit(&g, &mut rng).unwrap();
+
+        let mut ra = StdRng::seed_from_u64(5);
+        let full = model.generate(5, &mut ra).unwrap();
+
+        let mut rb = StdRng::seed_from_u64(5);
+        let mut state = model.begin_generation(&mut rb).unwrap();
+        let mut parts: Vec<Snapshot> = (0..2).map(|_| state.step(&model)).collect();
+        let paused = state.clone(); // a checkpointed copy resumes identically
+        drop(state);
+        let mut resumed = paused;
+        parts.extend((2..5).map(|_| resumed.step(&model)));
+        assert_eq!(full, DynamicGraph::new(parts));
     }
 
     #[test]

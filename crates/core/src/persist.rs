@@ -208,10 +208,22 @@ fn read_config<R: Read>(r: &mut Reader<R>) -> Result<VrdagConfig, PersistError> 
 impl Vrdag {
     /// Serialize a fitted model to `path`.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        // Refuse before touching the filesystem: an unfitted model must
+        // not truncate an existing artifact at `path`.
+        if self.modules.is_none() || self.stats.is_none() {
+            return Err(PersistError::NotFitted);
+        }
+        let file = std::fs::File::create(path)?;
+        self.save_to(std::io::BufWriter::new(file))
+    }
+
+    /// Serialize a fitted model to an arbitrary writer (the format of
+    /// [`Vrdag::save`]). Useful for in-memory artifacts — e.g. the
+    /// serving layer's model registry — and network transports.
+    pub fn save_to(&self, writer: impl Write) -> Result<(), PersistError> {
         let modules = self.modules.as_ref().ok_or(PersistError::NotFitted)?;
         let stats = self.stats.as_ref().ok_or(PersistError::NotFitted)?;
-        let file = std::fs::File::create(path)?;
-        let mut w = Writer { w: std::io::BufWriter::new(file) };
+        let mut w = Writer { w: writer };
         w.u32(MAGIC)?;
         w.u32(VERSION)?;
         write_config(&mut w, &self.cfg)?;
@@ -243,11 +255,31 @@ impl Vrdag {
         Ok(())
     }
 
+    /// Serialize a fitted model into a byte buffer (the format of
+    /// [`Vrdag::save`]).
+    pub fn to_bytes(&self) -> Result<Vec<u8>, PersistError> {
+        let mut buf = Vec::new();
+        self.save_to(&mut buf)?;
+        Ok(buf)
+    }
+
     /// Load a model saved with [`Vrdag::save`]; the result is ready to
     /// [`Vrdag::generate`].
     pub fn load(path: impl AsRef<Path>) -> Result<Vrdag, PersistError> {
         let file = std::fs::File::open(path)?;
-        let mut r = Reader { r: std::io::BufReader::new(file) };
+        Vrdag::load_from(std::io::BufReader::new(file))
+    }
+
+    /// Deserialize a model from a byte buffer produced by
+    /// [`Vrdag::to_bytes`] / [`Vrdag::save_to`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Vrdag, PersistError> {
+        Vrdag::load_from(bytes)
+    }
+
+    /// Load a model from an arbitrary reader (the format of
+    /// [`Vrdag::save`]).
+    pub fn load_from(reader: impl Read) -> Result<Vrdag, PersistError> {
+        let mut r = Reader { r: reader };
         if r.u32()? != MAGIC {
             return Err(PersistError::Format("bad magic".into()));
         }
@@ -339,14 +371,34 @@ mod tests {
     }
 
     #[test]
+    fn bytes_round_trip_preserves_generation() {
+        let g = vrdag_datasets::generate(&vrdag_datasets::tiny(), 13);
+        let mut cfg = VrdagConfig::test_small();
+        cfg.epochs = 2;
+        let mut model = Vrdag::new(cfg);
+        let mut rng = StdRng::seed_from_u64(8);
+        model.fit(&g, &mut rng).unwrap();
+
+        let bytes = model.to_bytes().unwrap();
+        let loaded = Vrdag::from_bytes(&bytes).unwrap();
+
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        let a = model.generate(2, &mut r1).unwrap();
+        let b = loaded.generate(2, &mut r2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn save_unfitted_fails() {
         let model = Vrdag::new(VrdagConfig::test_small());
         let dir = std::env::temp_dir().join("vrdag_persist");
         std::fs::create_dir_all(&dir).unwrap();
-        assert!(matches!(
-            model.save(dir.join("nope.vrdg")),
-            Err(PersistError::NotFitted)
-        ));
+        // A failed save must not clobber an existing artifact at the path.
+        let path = dir.join("nope.vrdg");
+        std::fs::write(&path, b"precious existing artifact").unwrap();
+        assert!(matches!(model.save(&path), Err(PersistError::NotFitted)));
+        assert_eq!(std::fs::read(&path).unwrap(), b"precious existing artifact");
     }
 
     #[test]

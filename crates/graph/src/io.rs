@@ -15,6 +15,8 @@ use vrdag_tensor::Matrix;
 pub enum GraphIoError {
     Io(std::io::Error),
     Parse(String),
+    /// A streamed snapshot does not match the declared header shape.
+    Shape(String),
 }
 
 impl fmt::Display for GraphIoError {
@@ -22,6 +24,7 @@ impl fmt::Display for GraphIoError {
         match self {
             GraphIoError::Io(e) => write!(f, "io error: {e}"),
             GraphIoError::Parse(m) => write!(f, "parse error: {m}"),
+            GraphIoError::Shape(m) => write!(f, "shape error: {m}"),
         }
     }
 }
@@ -38,7 +41,12 @@ fn parse_err(msg: impl Into<String>) -> GraphIoError {
     GraphIoError::Parse(msg.into())
 }
 
-/// Write a dynamic graph as TSV:
+/// Streaming TSV writer: emits the header up front, then one snapshot at
+/// a time to any [`io::Write`](Write), flushing after every snapshot so a
+/// generation run can spill incrementally with memory bounded by a single
+/// snapshot (and tail-readers see progress).
+///
+/// The byte stream is identical to [`save_tsv`]'s:
 ///
 /// ```text
 /// # vrdag-dynamic-graph v1
@@ -49,17 +57,45 @@ fn parse_err(msg: impl Into<String>) -> GraphIoError {
 /// <x1>\t<x2>...          (N lines, F columns)
 /// ...repeated per snapshot
 /// ```
-pub fn save_tsv(g: &DynamicGraph, path: impl AsRef<Path>) -> Result<(), GraphIoError> {
-    let file = std::fs::File::create(path)?;
-    let mut w = BufWriter::new(file);
-    writeln!(w, "# vrdag-dynamic-graph v1")?;
-    writeln!(w, "n {} f {} t {}", g.n_nodes(), g.n_attrs(), g.t_len())?;
-    for (t, s) in g.iter() {
-        writeln!(w, "T {} {}", t, s.n_edges())?;
-        for &(u, v) in s.edges() {
-            writeln!(w, "{u}\t{v}")?;
+pub struct TsvStreamWriter<W: Write> {
+    w: W,
+    n: usize,
+    f: usize,
+    t_len: usize,
+    written: usize,
+}
+
+impl<W: Write> TsvStreamWriter<W> {
+    /// Write the header for a `t_len`-snapshot graph over `n` nodes with
+    /// `f` attributes.
+    pub fn new(mut w: W, n: usize, f: usize, t_len: usize) -> Result<Self, GraphIoError> {
+        writeln!(w, "# vrdag-dynamic-graph v1")?;
+        writeln!(w, "n {n} f {f} t {t_len}")?;
+        Ok(TsvStreamWriter { w, n, f, t_len, written: 0 })
+    }
+
+    /// Append the next snapshot and flush.
+    pub fn write_snapshot(&mut self, s: &Snapshot) -> Result<(), GraphIoError> {
+        if self.written >= self.t_len {
+            return Err(GraphIoError::Shape(format!(
+                "already wrote the declared {} snapshots",
+                self.t_len
+            )));
         }
-        writeln!(w, "X")?;
+        if s.n_nodes() != self.n || s.n_attrs() != self.f {
+            return Err(GraphIoError::Shape(format!(
+                "snapshot is [n={}, f={}], header declared [n={}, f={}]",
+                s.n_nodes(),
+                s.n_attrs(),
+                self.n,
+                self.f
+            )));
+        }
+        writeln!(self.w, "T {} {}", self.written, s.n_edges())?;
+        for &(u, v) in s.edges() {
+            writeln!(self.w, "{u}\t{v}")?;
+        }
+        writeln!(self.w, "X")?;
         for r in 0..s.n_nodes() {
             let row = s.attrs().row(r);
             let mut line = String::with_capacity(row.len() * 8);
@@ -69,11 +105,44 @@ pub fn save_tsv(g: &DynamicGraph, path: impl AsRef<Path>) -> Result<(), GraphIoE
                 }
                 line.push_str(&format!("{x}"));
             }
-            writeln!(w, "{line}")?;
+            writeln!(self.w, "{line}")?;
         }
+        self.written += 1;
+        self.w.flush()?;
+        Ok(())
     }
-    w.flush()?;
-    Ok(())
+
+    /// Snapshots written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Validate that all declared snapshots were written and return the
+    /// inner writer.
+    pub fn finish(self) -> Result<W, GraphIoError> {
+        if self.written != self.t_len {
+            return Err(GraphIoError::Shape(format!(
+                "wrote {} of the declared {} snapshots",
+                self.written, self.t_len
+            )));
+        }
+        Ok(self.w)
+    }
+}
+
+/// Write a dynamic graph as TSV (see [`TsvStreamWriter`] for the format).
+pub fn save_tsv(g: &DynamicGraph, path: impl AsRef<Path>) -> Result<(), GraphIoError> {
+    let file = std::fs::File::create(path)?;
+    write_tsv(g, BufWriter::new(file)).map(|_| ())
+}
+
+/// Write a dynamic graph as TSV to an arbitrary writer.
+pub fn write_tsv<W: Write>(g: &DynamicGraph, w: W) -> Result<W, GraphIoError> {
+    let mut sw = TsvStreamWriter::new(w, g.n_nodes(), g.n_attrs(), g.t_len())?;
+    for (_, s) in g.iter() {
+        sw.write_snapshot(s)?;
+    }
+    sw.finish()
 }
 
 /// Load a dynamic graph saved by [`save_tsv`].
@@ -156,6 +225,80 @@ pub fn load_tsv(path: impl AsRef<Path>) -> Result<DynamicGraph, GraphIoError> {
 
 const BIN_MAGIC: u32 = 0x5644_4147; // "VDAG"
 
+/// Streaming binary writer: the compact format of [`encode_binary`], one
+/// snapshot at a time over any [`io::Write`](Write), flushed per
+/// snapshot. This is the serving layer's spill path — a multi-thousand
+/// timestep generation run never holds more than one snapshot in memory.
+pub struct BinaryStreamWriter<W: Write> {
+    w: W,
+    n: usize,
+    f: usize,
+    t_len: usize,
+    written: usize,
+}
+
+impl<W: Write> BinaryStreamWriter<W> {
+    /// Write the 16-byte header for a `t_len`-snapshot graph.
+    pub fn new(mut w: W, n: usize, f: usize, t_len: usize) -> Result<Self, GraphIoError> {
+        w.write_all(&BIN_MAGIC.to_le_bytes())?;
+        w.write_all(&(n as u32).to_le_bytes())?;
+        w.write_all(&(f as u32).to_le_bytes())?;
+        w.write_all(&(t_len as u32).to_le_bytes())?;
+        Ok(BinaryStreamWriter { w, n, f, t_len, written: 0 })
+    }
+
+    /// Append the next snapshot and flush.
+    pub fn write_snapshot(&mut self, s: &Snapshot) -> Result<(), GraphIoError> {
+        if self.written >= self.t_len {
+            return Err(GraphIoError::Shape(format!(
+                "already wrote the declared {} snapshots",
+                self.t_len
+            )));
+        }
+        if s.n_nodes() != self.n || s.n_attrs() != self.f {
+            return Err(GraphIoError::Shape(format!(
+                "snapshot is [n={}, f={}], header declared [n={}, f={}]",
+                s.n_nodes(),
+                s.n_attrs(),
+                self.n,
+                self.f
+            )));
+        }
+        self.w.write_all(&(s.n_edges() as u32).to_le_bytes())?;
+        // Edge list, then the row-major attribute block, as one buffer per
+        // snapshot to keep syscall counts low.
+        let mut buf = Vec::with_capacity(s.n_edges() * 8 + s.attrs().data().len() * 4);
+        for &(u, v) in s.edges() {
+            buf.extend_from_slice(&u.to_le_bytes());
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        for &x in s.attrs().data() {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        self.w.write_all(&buf)?;
+        self.written += 1;
+        self.w.flush()?;
+        Ok(())
+    }
+
+    /// Snapshots written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Validate that all declared snapshots were written and return the
+    /// inner writer.
+    pub fn finish(self) -> Result<W, GraphIoError> {
+        if self.written != self.t_len {
+            return Err(GraphIoError::Shape(format!(
+                "wrote {} of the declared {} snapshots",
+                self.written, self.t_len
+            )));
+        }
+        Ok(self.w)
+    }
+}
+
 /// Encode a dynamic graph into a compact binary buffer.
 pub fn encode_binary(g: &DynamicGraph) -> Bytes {
     let mut buf = BytesMut::with_capacity(
@@ -213,12 +356,14 @@ pub fn decode_binary(mut buf: impl Buf) -> Result<DynamicGraph, GraphIoError> {
     Ok(DynamicGraph::new(snaps))
 }
 
-/// Save in the binary format.
+/// Save in the binary format (streamed snapshot-by-snapshot).
 pub fn save_binary(g: &DynamicGraph, path: impl AsRef<Path>) -> Result<(), GraphIoError> {
-    let bytes = encode_binary(g);
-    let mut w = BufWriter::new(std::fs::File::create(path)?);
-    w.write_all(&bytes)?;
-    w.flush()?;
+    let w = BufWriter::new(std::fs::File::create(path)?);
+    let mut sw = BinaryStreamWriter::new(w, g.n_nodes(), g.n_attrs(), g.t_len())?;
+    for (_, s) in g.iter() {
+        sw.write_snapshot(s)?;
+    }
+    sw.finish()?;
     Ok(())
 }
 
@@ -268,6 +413,57 @@ mod tests {
         assert!(decode_binary(bytes).is_err());
         let bad_magic = Bytes::from(vec![0u8; 32]);
         assert!(decode_binary(bad_magic).is_err());
+    }
+
+    #[test]
+    fn streamed_tsv_is_byte_identical_to_one_shot() {
+        let g = toy();
+        let mut streamed = Vec::new();
+        let mut sw = TsvStreamWriter::new(&mut streamed, g.n_nodes(), g.n_attrs(), g.t_len())
+            .unwrap();
+        for (_, s) in g.iter() {
+            sw.write_snapshot(s).unwrap();
+        }
+        sw.finish().unwrap();
+        let one_shot = write_tsv(&g, Vec::new()).unwrap();
+        assert_eq!(streamed, one_shot);
+    }
+
+    #[test]
+    fn streamed_binary_is_byte_identical_to_encode() {
+        let g = toy();
+        let mut streamed = Vec::new();
+        let mut sw = BinaryStreamWriter::new(&mut streamed, g.n_nodes(), g.n_attrs(), g.t_len())
+            .unwrap();
+        for (_, s) in g.iter() {
+            sw.write_snapshot(s).unwrap();
+        }
+        sw.finish().unwrap();
+        assert_eq!(streamed.as_slice(), encode_binary(&g).as_ref());
+        let decoded = decode_binary(Bytes::from(streamed)).unwrap();
+        assert_eq!(g, decoded);
+    }
+
+    #[test]
+    fn stream_writers_enforce_declared_shape() {
+        let g = toy();
+        // Wrong n/f rejected.
+        let mut sw = TsvStreamWriter::new(Vec::new(), 99, 1, 2).unwrap();
+        assert!(matches!(
+            sw.write_snapshot(g.snapshot(0)),
+            Err(GraphIoError::Shape(_))
+        ));
+        // Underfilled stream rejected at finish.
+        let mut sw = BinaryStreamWriter::new(Vec::new(), 3, 2, 2).unwrap();
+        sw.write_snapshot(g.snapshot(0)).unwrap();
+        assert!(matches!(sw.finish(), Err(GraphIoError::Shape(_))));
+        // Overfilled stream rejected per write.
+        let mut sw = BinaryStreamWriter::new(Vec::new(), 3, 2, 1).unwrap();
+        sw.write_snapshot(g.snapshot(0)).unwrap();
+        assert!(matches!(
+            sw.write_snapshot(g.snapshot(1)),
+            Err(GraphIoError::Shape(_))
+        ));
     }
 
     #[test]

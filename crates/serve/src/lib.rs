@@ -1,0 +1,110 @@
+//! # vrdag-serve
+//!
+//! Model-serving subsystem for the VRDAG reproduction: the bridge from
+//! "a blocking `Vrdag::generate` call" to a system that can answer many
+//! concurrent generation requests against shared, trained models.
+//!
+//! Three pieces:
+//!
+//! * [`ModelRegistry`] — loads trained models (the `vrdag::persist`
+//!   binary format), keeps the serialized artifact behind an `Arc`, and
+//!   hands out cheap, thread-safe [`ModelHandle`]s keyed by name.
+//!   Handles are `Send + Sync`; each worker *instantiates* a private
+//!   `Vrdag` from the shared bytes (the model's autograd tensors are
+//!   `Rc`-based and deliberately stay single-threaded) and caches it
+//!   thread-locally, so the steady-state per-request cost is one hash
+//!   lookup.
+//! * [`SnapshotStream`] — a pull-based iterator over
+//!   `vrdag::GenerationState` (Algorithm 1, one snapshot per step) that
+//!   produces a seed-addressed synthetic sequence with memory bounded by
+//!   a single snapshot, and can spill incrementally through the
+//!   streaming TSV/binary writers of `vrdag_graph::io`.
+//! * [`Scheduler`] / [`JobQueue`] — a multi-threaded worker pool
+//!   (`std::thread`) executing batched [`GenRequest`]s concurrently,
+//!   reporting per-job and aggregate throughput ([`JobResult`],
+//!   [`BatchReport`]).
+//!
+//! ```no_run
+//! use vrdag_serve::{GenRequest, GenSink, ModelRegistry, Scheduler};
+//!
+//! let registry = ModelRegistry::new();
+//! registry.load_file("email", "model.vrdg").unwrap();
+//! let mut scheduler = Scheduler::new(registry, 4);
+//! for seed in 0..16 {
+//!     scheduler
+//!         .submit(GenRequest {
+//!             model: "email".into(),
+//!             t_len: 14,
+//!             seed,
+//!             sink: GenSink::TsvFile(format!("out/gen-{seed}.tsv").into()),
+//!         })
+//!         .unwrap();
+//! }
+//! let report = scheduler.join();
+//! println!("{}", report.render());
+//! ```
+
+mod registry;
+mod scheduler;
+mod stream;
+
+pub use registry::{ModelHandle, ModelRegistry};
+pub use scheduler::{
+    BatchReport, GenRequest, GenSink, JobId, JobQueue, JobResult, Scheduler, SnapshotCallback,
+};
+pub use stream::{SnapshotStream, StreamStats};
+
+use std::fmt;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Model artifact (de)serialization failed.
+    Persist(vrdag::PersistError),
+    /// Generation failed (e.g. the artifact was never fitted).
+    Generate(vrdag_graph::GeneratorError),
+    /// Graph spill I/O failed.
+    GraphIo(vrdag_graph::io::GraphIoError),
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// The requested model name is not registered.
+    UnknownModel(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Persist(e) => write!(f, "model artifact error: {e}"),
+            ServeError::Generate(e) => write!(f, "generation error: {e}"),
+            ServeError::GraphIo(e) => write!(f, "graph spill error: {e}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<vrdag::PersistError> for ServeError {
+    fn from(e: vrdag::PersistError) -> Self {
+        ServeError::Persist(e)
+    }
+}
+
+impl From<vrdag_graph::GeneratorError> for ServeError {
+    fn from(e: vrdag_graph::GeneratorError) -> Self {
+        ServeError::Generate(e)
+    }
+}
+
+impl From<vrdag_graph::io::GraphIoError> for ServeError {
+    fn from(e: vrdag_graph::io::GraphIoError) -> Self {
+        ServeError::GraphIo(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

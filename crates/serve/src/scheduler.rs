@@ -1,0 +1,561 @@
+//! Concurrent execution of batched generation requests: a [`JobQueue`]
+//! drained by a fixed pool of `std::thread` workers.
+//!
+//! Each worker keeps a private cache of instantiated models keyed by
+//! registered name (invalidated when the artifact is re-registered), so
+//! a batch of `k` jobs against one model pays the deserialization cost
+//! once per worker, not once per job. Peak memory is bounded by one
+//! in-flight snapshot per worker for the streaming sinks
+//! ([`GenSink::TsvFile`], [`GenSink::BinaryFile`], [`GenSink::Callback`],
+//! [`GenSink::Discard`]); only [`GenSink::InMemory`] materializes a full
+//! sequence, by request.
+
+use crate::registry::{ModelHandle, ModelRegistry};
+use crate::stream::StreamStats;
+use crate::ServeError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+use vrdag::Vrdag;
+use vrdag_graph::io::{BinaryStreamWriter, TsvStreamWriter};
+use vrdag_graph::{DynamicGraph, Snapshot};
+
+/// Per-snapshot streaming consumer (see [`GenSink::Callback`]).
+pub type SnapshotCallback = Box<dyn FnMut(usize, &Snapshot) + Send>;
+
+/// Where a job's snapshots go, one at a time.
+pub enum GenSink {
+    /// Stream to a TSV file (`vrdag_graph::io` temporal format),
+    /// flushed per snapshot.
+    TsvFile(PathBuf),
+    /// Stream to a compact binary file, flushed per snapshot.
+    BinaryFile(PathBuf),
+    /// Hand each `(timestep, snapshot)` to a consumer as it is produced.
+    Callback(SnapshotCallback),
+    /// Collect the full sequence into [`JobResult::graph`] (unbounded
+    /// memory — intended for small sequences and tests).
+    InMemory,
+    /// Generate and drop (throughput measurement).
+    Discard,
+}
+
+impl std::fmt::Debug for GenSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenSink::TsvFile(p) => f.debug_tuple("TsvFile").field(p).finish(),
+            GenSink::BinaryFile(p) => f.debug_tuple("BinaryFile").field(p).finish(),
+            GenSink::Callback(_) => f.write_str("Callback(..)"),
+            GenSink::InMemory => f.write_str("InMemory"),
+            GenSink::Discard => f.write_str("Discard"),
+        }
+    }
+}
+
+/// A batched, seed-addressed generation request.
+#[derive(Debug)]
+pub struct GenRequest {
+    /// Registered model name (resolved against the registry at submit
+    /// time, so unknown names fail fast).
+    pub model: String,
+    /// Number of snapshots to generate.
+    pub t_len: usize,
+    /// Determinism address: the same `(model, t_len, seed)` always yields
+    /// the same sequence, regardless of which worker runs it.
+    pub seed: u64,
+    /// Where the snapshots go.
+    pub sink: GenSink,
+}
+
+/// Opaque job identifier (submission order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+struct Job {
+    id: JobId,
+    handle: ModelHandle,
+    t_len: usize,
+    seed: u64,
+    sink: GenSink,
+}
+
+/// Outcome and throughput of one executed job.
+#[derive(Debug)]
+pub struct JobResult {
+    pub id: JobId,
+    pub model: String,
+    pub t_len: usize,
+    pub seed: u64,
+    /// Snapshots produced (`t_len` on success; 0 on failure — a failed
+    /// file-sink job also has its partial output file removed).
+    pub snapshots: usize,
+    /// Total temporal edges produced.
+    pub edges: usize,
+    /// Wall-clock job duration in seconds (excluding queue wait).
+    pub seconds: f64,
+    /// Generation rate of this job.
+    pub snapshots_per_sec: f64,
+    /// The generated sequence, for [`GenSink::InMemory`] jobs.
+    pub graph: Option<DynamicGraph>,
+    /// Error message if the job failed.
+    pub error: Option<String>,
+}
+
+impl JobResult {
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Aggregate statistics of a drained batch.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-job results, in completion order.
+    pub jobs: Vec<JobResult>,
+    /// Wall-clock from scheduler creation to drain.
+    pub total_seconds: f64,
+    /// Completed jobs per wall-clock second.
+    pub jobs_per_sec: f64,
+    /// Snapshots per wall-clock second across all workers.
+    pub snapshots_per_sec: f64,
+    /// Highest number of jobs that were executing simultaneously —
+    /// `>= 2` demonstrates actual concurrency.
+    pub max_in_flight: usize,
+    /// Number of workers the pool ran.
+    pub workers: usize,
+}
+
+impl BatchReport {
+    pub fn all_ok(&self) -> bool {
+        self.jobs.iter().all(JobResult::is_ok)
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "batch: {} jobs on {} workers in {:.3}s  ({:.2} jobs/s, {:.1} snapshots/s, peak {} in flight)",
+            self.jobs.len(),
+            self.workers,
+            self.total_seconds,
+            self.jobs_per_sec,
+            self.snapshots_per_sec,
+            self.max_in_flight,
+        );
+        for j in &self.jobs {
+            match &j.error {
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  job {:>3}  model={} t={} seed={}  {:.3}s  {:.1} snapshots/s  {} edges",
+                        j.id.0, j.model, j.t_len, j.seed, j.seconds, j.snapshots_per_sec, j.edges
+                    );
+                }
+                Some(e) => {
+                    let _ = writeln!(
+                        out,
+                        "  job {:>3}  model={} t={} seed={}  FAILED: {e}",
+                        j.id.0, j.model, j.t_len, j.seed
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The shared work queue drained by the worker pool. Public so callers
+/// can build custom pools; most users go through [`Scheduler`].
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    in_flight: AtomicUsize,
+    max_in_flight: AtomicUsize,
+}
+
+impl JobQueue {
+    pub fn new() -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+            max_in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        assert!(!state.closed, "submit after close");
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Blocks until a job is available or the queue is closed and empty.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                self.max_in_flight.fetch_max(now, Ordering::SeqCst);
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    fn finish_one(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// No more submissions; wakes idle workers so they can exit.
+    fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Highest observed number of simultaneously executing jobs.
+    pub fn max_in_flight(&self) -> usize {
+        self.max_in_flight.load(Ordering::SeqCst)
+    }
+}
+
+impl Default for JobQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fixed worker pool executing [`GenRequest`]s from a [`JobQueue`].
+pub struct Scheduler {
+    registry: ModelRegistry,
+    queue: Arc<JobQueue>,
+    results: Arc<Mutex<Vec<JobResult>>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    next_id: u64,
+    started: Instant,
+}
+
+impl Scheduler {
+    /// Spawn `workers` threads (min 1) draining a fresh queue.
+    pub fn new(registry: ModelRegistry, workers: usize) -> Scheduler {
+        let workers = workers.max(1);
+        let queue = Arc::new(JobQueue::new());
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let handles = (0..workers)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let results = Arc::clone(&results);
+                std::thread::Builder::new()
+                    .name(format!("vrdag-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &results))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Scheduler {
+            registry,
+            queue,
+            results,
+            workers: handles,
+            next_id: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// The registry this scheduler resolves model names against.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Enqueue a request. Fails fast with
+    /// [`ServeError::UnknownModel`] if the model name is not registered.
+    pub fn submit(&mut self, req: GenRequest) -> Result<JobId, ServeError> {
+        let handle = self.registry.resolve(&req.model)?;
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.queue.push(Job { id, handle, t_len: req.t_len, seed: req.seed, sink: req.sink });
+        Ok(id)
+    }
+
+    /// Close the queue, wait for every submitted job to finish, and
+    /// return the batch report.
+    pub fn join(self) -> BatchReport {
+        self.queue.close();
+        let worker_count = self.workers.len();
+        for handle in self.workers {
+            handle.join().expect("worker thread panicked");
+        }
+        let jobs = Arc::try_unwrap(self.results)
+            .expect("all workers joined")
+            .into_inner()
+            .expect("results lock poisoned");
+        let total_seconds = self.started.elapsed().as_secs_f64().max(1e-9);
+        let snapshots: usize = jobs.iter().map(|j| j.snapshots).sum();
+        BatchReport {
+            jobs_per_sec: jobs.len() as f64 / total_seconds,
+            snapshots_per_sec: snapshots as f64 / total_seconds,
+            max_in_flight: self.queue.max_in_flight(),
+            workers: worker_count,
+            jobs,
+            total_seconds,
+        }
+    }
+}
+
+fn worker_loop(queue: &JobQueue, results: &Mutex<Vec<JobResult>>) {
+    // Thread-local instance cache: artifact bytes -> deserialized model.
+    let mut cache: HashMap<String, (ModelHandle, Vrdag)> = HashMap::new();
+    while let Some(job) = queue.pop() {
+        let result = run_job(job, &mut cache);
+        results.lock().expect("results lock poisoned").push(result);
+        queue.finish_one();
+    }
+}
+
+fn run_job(job: Job, cache: &mut HashMap<String, (ModelHandle, Vrdag)>) -> JobResult {
+    let Job { id, handle, t_len, seed, mut sink } = job;
+    let model_name = handle.name().to_string();
+    let started = Instant::now();
+    let outcome = (|| -> Result<(StreamStats, Option<DynamicGraph>), ServeError> {
+        // Reuse the cached instance unless the artifact was re-registered.
+        let needs_load = match cache.get(&model_name) {
+            Some((cached_handle, _)) => !cached_handle.same_artifact(&handle),
+            None => true,
+        };
+        if needs_load {
+            let model = handle.instantiate()?;
+            cache.insert(model_name.clone(), (handle.clone(), model));
+        }
+        let model = &cache.get(&model_name).expect("just inserted").1;
+        generate_into_sink(model, t_len, seed, &mut sink)
+    })();
+    if outcome.is_err() {
+        // Never leave a truncated file (header promises t_len snapshots)
+        // next to complete ones in the output directory.
+        if let GenSink::TsvFile(path) | GenSink::BinaryFile(path) = &sink {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    let seconds = started.elapsed().as_secs_f64().max(1e-9);
+    match outcome {
+        Ok((stats, graph)) => JobResult {
+            id,
+            model: model_name,
+            t_len,
+            seed,
+            snapshots: stats.snapshots,
+            edges: stats.edges,
+            seconds,
+            snapshots_per_sec: stats.snapshots as f64 / seconds,
+            graph,
+            error: None,
+        },
+        Err(e) => JobResult {
+            id,
+            model: model_name,
+            t_len,
+            seed,
+            snapshots: 0,
+            edges: 0,
+            seconds,
+            snapshots_per_sec: 0.0,
+            graph: None,
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+/// Drive Algorithm 1 one snapshot at a time straight into the sink —
+/// the full sequence is only ever materialized for [`GenSink::InMemory`].
+fn generate_into_sink(
+    model: &Vrdag,
+    t_len: usize,
+    seed: u64,
+    sink: &mut GenSink,
+) -> Result<(StreamStats, Option<DynamicGraph>), ServeError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = model.begin_generation(&mut rng)?;
+    let n = model.n_nodes().expect("begin_generation succeeded");
+    let f = model.n_attrs().expect("begin_generation succeeded");
+    let mut stats = StreamStats::default();
+
+    enum SinkState<'a> {
+        Tsv(TsvStreamWriter<BufWriter<std::fs::File>>),
+        Bin(BinaryStreamWriter<BufWriter<std::fs::File>>),
+        Callback(&'a mut (dyn FnMut(usize, &Snapshot) + Send)),
+        Collect(Vec<Snapshot>),
+        Discard,
+    }
+
+    let mut sink_state = match sink {
+        GenSink::TsvFile(path) => {
+            let w = BufWriter::new(std::fs::File::create(path)?);
+            SinkState::Tsv(TsvStreamWriter::new(w, n, f, t_len)?)
+        }
+        GenSink::BinaryFile(path) => {
+            let w = BufWriter::new(std::fs::File::create(path)?);
+            SinkState::Bin(BinaryStreamWriter::new(w, n, f, t_len)?)
+        }
+        GenSink::Callback(cb) => SinkState::Callback(cb.as_mut()),
+        GenSink::InMemory => SinkState::Collect(Vec::with_capacity(t_len)),
+        GenSink::Discard => SinkState::Discard,
+    };
+
+    for t in 0..t_len {
+        let snapshot = state.step(model);
+        stats.snapshots += 1;
+        stats.edges += snapshot.n_edges();
+        match &mut sink_state {
+            SinkState::Tsv(w) => w.write_snapshot(&snapshot)?,
+            SinkState::Bin(w) => w.write_snapshot(&snapshot)?,
+            SinkState::Callback(cb) => cb(t, &snapshot),
+            SinkState::Collect(v) => v.push(snapshot),
+            SinkState::Discard => {}
+        }
+    }
+
+    let graph = match sink_state {
+        SinkState::Tsv(w) => {
+            w.finish()?;
+            None
+        }
+        SinkState::Bin(w) => {
+            w.finish()?;
+            None
+        }
+        SinkState::Collect(v) => Some(DynamicGraph::new(v)),
+        _ => None,
+    };
+    Ok((stats, graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vrdag::VrdagConfig;
+
+    fn registry_with_tiny() -> (ModelRegistry, Vrdag) {
+        let g = vrdag_datasets::generate(&vrdag_datasets::tiny(), 6);
+        let mut cfg = VrdagConfig::test_small();
+        cfg.epochs = 2;
+        let mut m = Vrdag::new(cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        m.fit(&g, &mut rng).unwrap();
+        let registry = ModelRegistry::new();
+        registry.register("tiny", &m).unwrap();
+        (registry, m)
+    }
+
+    #[test]
+    fn scheduler_jobs_match_direct_generation() {
+        let (registry, model) = registry_with_tiny();
+        let mut scheduler = Scheduler::new(registry, 2);
+        for seed in [5u64, 6, 7, 8] {
+            scheduler
+                .submit(GenRequest {
+                    model: "tiny".into(),
+                    t_len: 3,
+                    seed,
+                    sink: GenSink::InMemory,
+                })
+                .unwrap();
+        }
+        let report = scheduler.join();
+        assert!(report.all_ok(), "{}", report.render());
+        assert_eq!(report.jobs.len(), 4);
+        for job in &report.jobs {
+            let mut rng = StdRng::seed_from_u64(job.seed);
+            let expected = model.generate(3, &mut rng).unwrap();
+            assert_eq!(job.graph.as_ref().unwrap(), &expected, "seed {}", job.seed);
+            assert_eq!(job.snapshots, 3);
+        }
+    }
+
+    #[test]
+    fn unknown_model_fails_at_submit() {
+        let (registry, _) = registry_with_tiny();
+        let mut scheduler = Scheduler::new(registry, 1);
+        let err = scheduler.submit(GenRequest {
+            model: "missing".into(),
+            t_len: 1,
+            seed: 0,
+            sink: GenSink::Discard,
+        });
+        assert!(matches!(err, Err(ServeError::UnknownModel(_))));
+        let report = scheduler.join();
+        assert!(report.jobs.is_empty());
+    }
+
+    #[test]
+    fn two_jobs_run_concurrently() {
+        // Deterministic concurrency proof: both jobs block in their
+        // callback sink until the *other* job has produced its first
+        // snapshot. This only completes if two workers execute
+        // simultaneously.
+        let (registry, _) = registry_with_tiny();
+        let mut scheduler = Scheduler::new(registry, 2);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        for seed in [1u64, 2] {
+            let barrier = Arc::clone(&barrier);
+            let mut synced = false;
+            scheduler
+                .submit(GenRequest {
+                    model: "tiny".into(),
+                    t_len: 2,
+                    seed,
+                    sink: GenSink::Callback(Box::new(move |_, _| {
+                        if !synced {
+                            barrier.wait();
+                            synced = true;
+                        }
+                    })),
+                })
+                .unwrap();
+        }
+        let report = scheduler.join();
+        assert!(report.all_ok(), "{}", report.render());
+        assert!(
+            report.max_in_flight >= 2,
+            "expected >=2 jobs in flight, saw {}",
+            report.max_in_flight
+        );
+    }
+
+    #[test]
+    fn report_renders_throughput() {
+        let (registry, _) = registry_with_tiny();
+        let mut scheduler = Scheduler::new(registry, 2);
+        for seed in 0..3u64 {
+            scheduler
+                .submit(GenRequest {
+                    model: "tiny".into(),
+                    t_len: 2,
+                    seed,
+                    sink: GenSink::Discard,
+                })
+                .unwrap();
+        }
+        let report = scheduler.join();
+        assert!(report.all_ok());
+        let rendered = report.render();
+        assert!(rendered.contains("3 jobs on 2 workers"), "{rendered}");
+        assert!(report.jobs_per_sec > 0.0);
+        assert!(report.snapshots_per_sec > 0.0);
+    }
+}

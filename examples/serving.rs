@@ -1,0 +1,79 @@
+//! The serving workflow end to end: train once, register the artifact,
+//! stream one sequence to disk with bounded memory, then serve a batch
+//! of concurrent seed-addressed generation requests.
+//!
+//! ```sh
+//! cargo run --release --example serving
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vrdag_suite::prelude::*;
+
+fn main() {
+    let dir = std::env::temp_dir().join("vrdag_serving_example");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // 1. Train a small model (the data owner's side of the paper's
+    //    train-once / generate-anywhere deployment) and persist it.
+    let graph = datasets::generate(&datasets::tiny(), 42);
+    let mut model = Vrdag::new(VrdagConfig::test_small());
+    let mut rng = StdRng::seed_from_u64(0);
+    let report = model.fit(&graph, &mut rng).unwrap();
+    println!(
+        "trained on N={} T={} in {:.2}s (final loss {:.4})",
+        graph.n_nodes(),
+        graph.t_len(),
+        report.train_seconds,
+        report.final_loss
+    );
+    let model_path = dir.join("model.vrdg");
+    model.save(&model_path).unwrap();
+
+    // 2. Register the artifact. Handles are cheap and thread-safe.
+    let registry = ModelRegistry::new();
+    let handle = registry.load_file("tiny", &model_path).unwrap();
+    println!(
+        "registered {:?}: {} bytes, n={} nodes, f={} attrs",
+        handle.name(),
+        handle.size_bytes(),
+        handle.n_nodes(),
+        handle.n_attrs()
+    );
+
+    // 3. Stream a sequence snapshot-by-snapshot (memory stays bounded by
+    //    one snapshot) straight into the TSV format.
+    let stream = handle.stream(graph.t_len(), 7).unwrap();
+    let tsv_path = dir.join("streamed.tsv");
+    let stats = stream
+        .spill_tsv(std::io::BufWriter::new(std::fs::File::create(&tsv_path).unwrap()))
+        .unwrap();
+    println!(
+        "streamed {} snapshots / {} edges to {}",
+        stats.snapshots,
+        stats.edges,
+        tsv_path.display()
+    );
+
+    // 4. Serve a batch: 8 seed-addressed jobs over 4 workers.
+    let mut scheduler = Scheduler::new(registry, 4);
+    for seed in 0..8u64 {
+        scheduler
+            .submit(GenRequest {
+                model: "tiny".into(),
+                t_len: graph.t_len(),
+                seed,
+                sink: GenSink::TsvFile(dir.join(format!("gen-{seed}.tsv"))),
+            })
+            .unwrap();
+    }
+    let batch = scheduler.join();
+    print!("{}", batch.render());
+    assert!(batch.all_ok());
+
+    // 5. Determinism across the fleet: job seed 7 equals the stream above.
+    let streamed = vrdag_suite::graph::io::load_tsv(&tsv_path).unwrap();
+    let job7 = vrdag_suite::graph::io::load_tsv(dir.join("gen-7.tsv")).unwrap();
+    assert_eq!(streamed, job7, "seed-addressed generation is deterministic");
+    println!("seed 7 via stream == seed 7 via scheduler ✓");
+}

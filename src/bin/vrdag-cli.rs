@@ -1,11 +1,12 @@
 //! `vrdag-cli` — command-line interface for the VRDAG reproduction.
 //!
 //! ```text
-//! vrdag-cli synth     --dataset Email --scale 0.08 --seed 42 --out graph.tsv
-//! vrdag-cli summarize --graph graph.tsv
-//! vrdag-cli fit       --graph graph.tsv --epochs 12 --model model.vrdg
-//! vrdag-cli generate  --model model.vrdg --t 14 --out synthetic.tsv
-//! vrdag-cli evaluate  --original graph.tsv --generated synthetic.tsv
+//! vrdag-cli synth          --dataset Email --scale 0.08 --seed 42 --out graph.tsv
+//! vrdag-cli summarize      --graph graph.tsv
+//! vrdag-cli fit            --graph graph.tsv --epochs 12 --model model.vrdg
+//! vrdag-cli generate       --model model.vrdg --t 14 --out synthetic.tsv
+//! vrdag-cli batch-generate --model model.vrdg --t 14 --jobs 8 --workers 4 --out-dir runs/
+//! vrdag-cli evaluate       --original graph.tsv --generated synthetic.tsv
 //! ```
 //!
 //! Graphs use the TSV format of `vrdag_graph::io` (drop in real datasets
@@ -38,13 +39,15 @@ fn parse_kv(args: &[String]) -> HashMap<String, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: vrdag-cli <synth|summarize|fit|generate|evaluate> [--key value ...]\n\
+        "usage: vrdag-cli <synth|summarize|fit|generate|batch-generate|evaluate> [--key value ...]\n\
          \n\
-         synth     --dataset <name> [--scale F] [--seed N] --out <graph.tsv>\n\
-         summarize --graph <graph.tsv>\n\
-         fit       --graph <graph.tsv> [--epochs N] [--seed N] --model <model.vrdg>\n\
-         generate  --model <model.vrdg> --t <T> [--seed N] --out <synthetic.tsv>\n\
-         evaluate  --original <graph.tsv> --generated <graph.tsv>"
+         synth          --dataset <name> [--scale F] [--seed N] --out <graph.tsv>\n\
+         summarize      --graph <graph.tsv>\n\
+         fit            --graph <graph.tsv> [--epochs N] [--seed N] --model <model.vrdg>\n\
+         generate       --model <model.vrdg> --t <T> [--seed N] --out <synthetic.tsv>\n\
+         batch-generate --model <model.vrdg> --t <T> [--jobs N] [--workers N] [--seed N]\n\
+         \x20              [--format tsv|bin] --out-dir <dir>   (one file per job, seed-addressed)\n\
+         evaluate       --original <graph.tsv> --generated <graph.tsv>"
     );
     ExitCode::FAILURE
 }
@@ -122,6 +125,10 @@ fn main() -> ExitCode {
                 eprintln!("--t <snapshots> is required");
                 return ExitCode::FAILURE;
             };
+            if t == 0 {
+                eprintln!("--t must be >= 1 (a dynamic graph needs at least one snapshot)");
+                return ExitCode::FAILURE;
+            }
             let model = match Vrdag::load(model_path) {
                 Ok(m) => m,
                 Err(e) => {
@@ -142,6 +149,58 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("wrote {out}: M={} temporal edges", g.temporal_edge_count());
+        }
+        "batch-generate" => {
+            // Serving-layer batch: load the model once into the registry,
+            // fan T-snapshot generation jobs (seeds seed..seed+jobs) over
+            // a worker pool, stream every sequence straight to disk.
+            let (Some(model_path), Some(out_dir)) = (kv.get("model"), kv.get("out-dir")) else {
+                return usage();
+            };
+            let Some(t): Option<usize> = kv.get("t").and_then(|s| s.parse().ok()) else {
+                eprintln!("--t <snapshots> is required");
+                return ExitCode::FAILURE;
+            };
+            if t == 0 {
+                eprintln!("--t must be >= 1 (a dynamic graph needs at least one snapshot)");
+                return ExitCode::FAILURE;
+            }
+            let jobs: usize = kv.get("jobs").and_then(|s| s.parse().ok()).unwrap_or(4);
+            let workers: usize = kv.get("workers").and_then(|s| s.parse().ok()).unwrap_or(2);
+            let format = kv.get("format").map(String::as_str).unwrap_or("tsv");
+            if !matches!(format, "tsv" | "bin") {
+                eprintln!("--format must be tsv or bin, got {format:?}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::create_dir_all(out_dir) {
+                eprintln!("cannot create {out_dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let registry = ModelRegistry::new();
+            if let Err(e) = registry.load_file("model", model_path) {
+                eprintln!("model load failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            let mut scheduler = Scheduler::new(registry, workers);
+            for job_seed in (0..jobs as u64).map(|i| seed.wrapping_add(i)) {
+                let ext = if format == "tsv" { "tsv" } else { "vdag" };
+                let path = std::path::Path::new(out_dir).join(format!("gen-{job_seed}.{ext}"));
+                let sink = if format == "tsv" {
+                    GenSink::TsvFile(path)
+                } else {
+                    GenSink::BinaryFile(path)
+                };
+                let req = GenRequest { model: "model".into(), t_len: t, seed: job_seed, sink };
+                if let Err(e) = scheduler.submit(req) {
+                    eprintln!("submit failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let report = scheduler.join();
+            print!("{}", report.render());
+            if !report.all_ok() {
+                return ExitCode::FAILURE;
+            }
         }
         "evaluate" => {
             let (Some(orig), Some(gen)) = (kv.get("original"), kv.get("generated")) else {

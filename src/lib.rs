@@ -24,13 +24,17 @@ pub use vrdag_datasets as datasets;
 pub use vrdag_downstream as downstream;
 pub use vrdag_graph as graph;
 pub use vrdag_metrics as metrics;
+pub use vrdag_serve as serve;
 pub use vrdag_tensor as tensor;
 
 /// Everything a typical user needs, flat.
 pub mod prelude {
-    pub use vrdag::{AttrLoss, Vrdag, VrdagConfig};
+    pub use vrdag::{AttrLoss, GenerationState, Vrdag, VrdagConfig};
     pub use vrdag_datasets as datasets;
     pub use vrdag_graph::{DynamicGraph, DynamicGraphGenerator, FitReport, GeneratorError, Snapshot};
     pub use vrdag_metrics::{attribute_report, structure_report};
+    pub use vrdag_serve::{
+        BatchReport, GenRequest, GenSink, ModelRegistry, Scheduler, SnapshotStream,
+    };
     pub use vrdag_tensor::{Matrix, Tensor};
 }
