@@ -24,18 +24,13 @@ fn registry() -> ModelRegistry {
 }
 
 fn drain_batch(registry: &ModelRegistry, workers: usize) -> f64 {
-    let mut scheduler = Scheduler::new(registry.clone(), workers);
+    let mut scheduler = Scheduler::new(registry.clone(), workers).unwrap();
     for seed in 0..JOBS as u64 {
         scheduler
-            .submit(GenRequest {
-                model: "bench".into(),
-                t_len: T_LEN,
-                seed,
-                sink: GenSink::Discard,
-            })
+            .submit(GenRequest::new("bench", T_LEN, seed, GenSink::Discard))
             .unwrap();
     }
-    let report = scheduler.join();
+    let report = scheduler.join().unwrap();
     assert!(report.all_ok());
     report.jobs_per_sec
 }

@@ -17,6 +17,26 @@ use std::path::Path;
 const MAGIC: u32 = 0x5652_4447; // "VRDG"
 const VERSION: u32 = 1;
 
+/// Stable content fingerprint of a serialized model artifact (FNV-1a over
+/// the bytes of the [`Vrdag::save`] format).
+///
+/// This is a *probabilistic* content hash, not a guarantee: equal bytes
+/// always give equal fingerprints (re-registering the same bytes under a
+/// new name, or in a new registry, keeps it; any parameter, config, or
+/// train-stats change alters it), but distinct artifacts collide with
+/// the ~2⁻⁶⁴ probability of any 64-bit non-cryptographic hash. Callers
+/// using it as a cache identity should pair it with a second cheap
+/// discriminator (the serving layer's snapshot cache also keys on the
+/// artifact's byte length) and must not rely on it adversarially.
+pub fn artifact_fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Errors from model (de)serialization.
 #[derive(Debug)]
 pub enum PersistError {
@@ -263,6 +283,14 @@ impl Vrdag {
         Ok(buf)
     }
 
+    /// Stable content fingerprint of this fitted model (the
+    /// [`artifact_fingerprint`] of its serialized form). Serializes the
+    /// model, so prefer fingerprinting the bytes directly when they are
+    /// already at hand.
+    pub fn fingerprint(&self) -> Result<u64, PersistError> {
+        Ok(artifact_fingerprint(&self.to_bytes()?))
+    }
+
     /// Load a model saved with [`Vrdag::save`]; the result is ready to
     /// [`Vrdag::generate`].
     pub fn load(path: impl AsRef<Path>) -> Result<Vrdag, PersistError> {
@@ -387,6 +415,34 @@ mod tests {
         let a = model.generate(2, &mut r1).unwrap();
         let b = loaded.generate(2, &mut r2).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_is_content_addressed() {
+        let g = vrdag_datasets::generate(&vrdag_datasets::tiny(), 5);
+        let mut cfg = VrdagConfig::test_small();
+        cfg.epochs = 2;
+        let mut a = Vrdag::new(cfg.clone());
+        let mut rng = StdRng::seed_from_u64(4);
+        a.fit(&g, &mut rng).unwrap();
+
+        // Same bytes => same fingerprint; round-tripping preserves it.
+        let bytes = a.to_bytes().unwrap();
+        assert_eq!(a.fingerprint().unwrap(), artifact_fingerprint(&bytes));
+        let loaded = Vrdag::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.fingerprint().unwrap(), a.fingerprint().unwrap());
+
+        // A differently-trained model => different fingerprint.
+        let mut b = Vrdag::new(cfg);
+        let mut rng = StdRng::seed_from_u64(5);
+        b.fit(&g, &mut rng).unwrap();
+        assert_ne!(a.fingerprint().unwrap(), b.fingerprint().unwrap());
+
+        // Any byte flip changes the fingerprint.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        assert_ne!(artifact_fingerprint(&bytes), artifact_fingerprint(&flipped));
     }
 
     #[test]

@@ -63,6 +63,14 @@ impl DynamicGraph {
         self.snapshots.iter().enumerate()
     }
 
+    /// Approximate resident size in bytes: the sum of
+    /// [`Snapshot::approx_bytes`] over all snapshots. O(T); used by
+    /// byte-budgeted caches in the serving layer.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<DynamicGraph>()
+            + self.snapshots.iter().map(Snapshot::approx_bytes).sum::<usize>()
+    }
+
     /// The prefix `G_{1..=t_len}` as a new graph (used by the downstream
     /// case study, which trains on the prefix and tests on the final
     /// snapshot).
@@ -156,6 +164,14 @@ mod tests {
         let s = Snapshot::new(4, vec![(0, 1)], Matrix::zeros(4, 0));
         let g = DynamicGraph::new(vec![s]);
         assert_eq!(g.active_nodes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn approx_bytes_sums_snapshots() {
+        let g = toy();
+        let per_snapshot: usize = g.snapshots().iter().map(|s| s.approx_bytes()).sum();
+        assert!(g.approx_bytes() >= per_snapshot);
+        assert!(g.concat_time(&g).approx_bytes() > g.approx_bytes());
     }
 
     #[test]

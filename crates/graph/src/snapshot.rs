@@ -133,6 +133,22 @@ impl Snapshot {
         self.edges.len() as f64 / (self.n as f64 * (self.n as f64 - 1.0))
     }
 
+    /// Approximate resident size of this snapshot in bytes, computed in
+    /// O(1) from the container lengths: the edge list, both CSR
+    /// adjacencies, and the attribute matrix. Used by byte-budgeted
+    /// caches; intentionally excludes the lazily-built undirected
+    /// projection (absent on freshly generated snapshots) and allocator
+    /// slack, so treat it as an accounting estimate, not `malloc` truth.
+    pub fn approx_bytes(&self) -> usize {
+        let edge_bytes = self.edges.len() * std::mem::size_of::<(u32, u32)>();
+        // Each CSR stores `n + 1` usize offsets and one u32 per edge.
+        let csr_bytes = 2
+            * ((self.n + 1) * std::mem::size_of::<usize>()
+                + self.edges.len() * std::mem::size_of::<u32>());
+        let attr_bytes = self.attrs.rows() * self.attrs.cols() * std::mem::size_of::<f32>();
+        std::mem::size_of::<Snapshot>() + edge_bytes + csr_bytes + attr_bytes
+    }
+
     /// Undirected projection as CSR with sorted, deduplicated neighbor
     /// lists (computed once, cached).
     pub fn undirected_adj(&self) -> &SparseAdj {
@@ -255,6 +271,16 @@ mod tests {
         assert_eq!(s.n_edges(), 0);
         assert_eq!(s.n_attrs(), 3);
         assert_eq!(s.density(), 0.0);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_content() {
+        let empty = Snapshot::empty(3, 2);
+        let s = toy();
+        // Same shape, more edges => strictly larger accounting.
+        assert!(s.approx_bytes() > empty.approx_bytes());
+        // At minimum the attribute matrix and edge list are counted.
+        assert!(s.approx_bytes() >= 3 * 2 * 4 + s.n_edges() * 8);
     }
 
     #[test]

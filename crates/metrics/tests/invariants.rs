@@ -1,0 +1,140 @@
+//! Integration-level invariants of the metrics crate on known tiny
+//! graphs: the degree-distribution metrics and the attribute/summary
+//! reports that validate generated output must behave as mathematical
+//! objects (identity ⇒ zero, symmetry where promised, hand-computable
+//! values on toy inputs) before any fidelity number is trusted.
+
+use vrdag_graph::{algo, DynamicGraph, Snapshot};
+use vrdag_metrics::{
+    attribute_report, jsd, mmd_gaussian, spearman_mae, structure_report, summarize,
+    StructureReport,
+};
+use vrdag_tensor::Matrix;
+
+/// A hand-checkable two-snapshot graph: a directed triangle that loses
+/// one edge at t1, with monotone attributes.
+fn toy() -> DynamicGraph {
+    let attrs0 = Matrix::from_fn(4, 2, |r, c| (r + c) as f32);
+    let attrs1 = Matrix::from_fn(4, 2, |r, c| (r * (c + 2)) as f32);
+    let s0 = Snapshot::new(4, vec![(0, 1), (1, 2), (2, 0), (0, 3)], attrs0);
+    let s1 = Snapshot::new(4, vec![(0, 1), (1, 2), (2, 0)], attrs1);
+    DynamicGraph::new(vec![s0, s1])
+}
+
+/// A structurally different graph over the same nodes: a star.
+fn star() -> DynamicGraph {
+    let attrs = Matrix::from_fn(4, 2, |r, _| (10 - r) as f32);
+    let s0 = Snapshot::new(4, vec![(0, 1), (0, 2), (0, 3)], attrs.clone());
+    let s1 = Snapshot::new(4, vec![(0, 1), (0, 2), (0, 3)], attrs);
+    DynamicGraph::new(vec![s0, s1])
+}
+
+#[test]
+fn degree_sequences_are_consistent_with_edge_counts() {
+    let g = toy();
+    for (_, s) in g.iter() {
+        let in_deg = algo::in_degrees(s);
+        let out_deg = algo::out_degrees(s);
+        // Every directed edge contributes one in- and one out-degree.
+        assert_eq!(in_deg.iter().sum::<usize>(), s.n_edges());
+        assert_eq!(out_deg.iter().sum::<usize>(), s.n_edges());
+        // The histogram partitions the nodes.
+        let hist = algo::degree_histogram(&in_deg);
+        assert_eq!(hist.iter().sum::<usize>(), s.n_nodes());
+    }
+}
+
+#[test]
+fn degree_distribution_mmd_is_a_discrepancy() {
+    let a: Vec<f64> =
+        algo::in_degrees(toy().snapshot(0)).iter().map(|&d| d as f64).collect();
+    let b: Vec<f64> =
+        algo::in_degrees(star().snapshot(0)).iter().map(|&d| d as f64).collect();
+    // Identity of indiscernibles, non-negativity, symmetry.
+    assert!(mmd_gaussian(&a, &a, 64, 0.1) < 1e-12);
+    let ab = mmd_gaussian(&a, &b, 64, 0.1);
+    let ba = mmd_gaussian(&b, &a, 64, 0.1);
+    assert!(ab > 0.0, "triangle vs star degree distributions must differ");
+    assert!((ab - ba).abs() < 1e-12);
+}
+
+#[test]
+fn structure_report_is_zero_on_identical_graphs() {
+    let g = toy();
+    let report = structure_report(&g, &g.clone());
+    for (name, v) in StructureReport::headers().iter().zip(report.as_row()) {
+        assert!(v.abs() < 1e-9, "{name} = {v} on identical graphs");
+    }
+}
+
+#[test]
+fn structure_report_detects_different_topology() {
+    let report = structure_report(&toy(), &star());
+    let total: f64 = report.as_row().iter().map(|v| v.abs()).sum();
+    assert!(total > 1e-6, "star vs triangle must register structural discrepancy");
+    // Every Table-I column is finite (no NaN leaks from degenerate cases).
+    for (name, v) in StructureReport::headers().iter().zip(report.as_row()) {
+        assert!(v.is_finite(), "{name} is not finite");
+    }
+}
+
+#[test]
+fn attribute_report_identity_and_sensitivity() {
+    let g = toy();
+    let zero = attribute_report(&g, &g.clone());
+    assert!(zero.jsd < 1e-12, "identical attributes must have zero JSD");
+    assert!(zero.emd < 1e-12, "identical attributes must have zero EMD");
+
+    let diff = attribute_report(&toy(), &star());
+    assert!(diff.jsd > 0.0);
+    assert!(diff.emd > 0.0);
+    // JSD is bounded by ln 2 per construction.
+    assert!(diff.jsd <= std::f64::consts::LN_2 + 1e-12);
+}
+
+#[test]
+fn spearman_mae_is_zero_for_identical_and_bounded() {
+    let g = toy();
+    assert!(spearman_mae(&g, &g.clone()).abs() < 1e-12);
+    // MAE of correlations in [-1, 1] can never exceed 2.
+    let mae = spearman_mae(&toy(), &star());
+    assert!((0.0..=2.0).contains(&mae), "mae {mae} out of bounds");
+}
+
+#[test]
+fn summary_matches_hand_computed_values() {
+    let g = toy();
+    let s = summarize(&g);
+    assert_eq!((s.n, s.m, s.f, s.t), (4, 7, 2, 2));
+    assert!((s.mean_edges_per_snapshot - 3.5).abs() < 1e-12);
+    // t0 density 4/12, t1 density 3/12.
+    assert!((s.mean_density - (4.0 / 12.0 + 3.0 / 12.0) / 2.0).abs() < 1e-12);
+    // Node 0 at t0 has out-degree 2; nobody exceeds in-degree 1.
+    assert_eq!(s.max_out_degree, 2);
+    assert_eq!(s.max_in_degree, 1);
+    // All of t1's edges existed at t0 is irrelevant; persistence looks
+    // forward: 3 of t0's 4 edges survive to t1.
+    assert!((s.mean_edge_persistence - 3.0 / 4.0).abs() < 1e-12);
+    // Every node touches an edge at t0.
+    assert!((s.active_fraction - 1.0).abs() < 1e-12);
+    // No reciprocal pairs anywhere.
+    assert_eq!(s.mean_reciprocity, 0.0);
+}
+
+#[test]
+fn summary_render_reports_every_headline_number() {
+    let s = summarize(&toy());
+    let r = s.render();
+    for needle in ["N=4", "M=7", "F=2", "T=2"] {
+        assert!(r.contains(needle), "render missing {needle}: {r}");
+    }
+}
+
+#[test]
+fn jsd_of_disjoint_attribute_columns_saturates() {
+    // Two constant columns far apart: maximal divergence, exactly ln 2.
+    let a: Vec<f64> = vec![0.0; 32];
+    let b: Vec<f64> = vec![100.0; 32];
+    let d = jsd(&a, &b, 16);
+    assert!((d - std::f64::consts::LN_2).abs() < 1e-9);
+}

@@ -1,0 +1,407 @@
+//! Bounded, thread-safe LRU cache over generated snapshot sequences.
+//!
+//! The generator is seed-addressed and deterministic: a
+//! `(model, t_len, seed)` triple always yields the same sequence (the
+//! contract `tests/cache_determinism.rs` locks down). That makes whole
+//! sequences perfectly cacheable — a [`SnapshotCache`] entry is the
+//! `Arc<DynamicGraph>` a cold generation produced, keyed by
+//! [`CacheKey`], and a hit is bit-identical to regenerating.
+//!
+//! The model component of the key is the **artifact fingerprint**
+//! (`vrdag::artifact_fingerprint` over the serialized bytes), not the
+//! registry name: re-registering identical bytes under another name (or
+//! in another registry) still hits, while any retrain misses.
+//!
+//! Bounded by a [`CacheBudget`] — max entries *and* max bytes (sizes from
+//! `DynamicGraph::approx_bytes`). Eviction is least-recently-used; every
+//! `get` hit refreshes recency. Counters ([`CacheStats`]) feed
+//! `BatchReport`.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::sync::Mutex;
+use vrdag_graph::DynamicGraph;
+
+/// Identity of a cached generation: which artifact, how many snapshots,
+/// which seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// `vrdag::artifact_fingerprint` of the serialized model artifact.
+    pub model_fingerprint: u64,
+    /// Serialized artifact length in bytes — a second, free
+    /// discriminator so two artifacts must collide in *both* hash and
+    /// size before the cache could ever conflate them (the fingerprint
+    /// alone is a probabilistic 64-bit content hash).
+    pub model_size: usize,
+    /// Number of snapshots generated.
+    pub t_len: usize,
+    /// RNG seed of the request.
+    pub seed: u64,
+}
+
+/// Capacity limits of a [`SnapshotCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheBudget {
+    /// Maximum number of cached sequences; `0` disables the cache.
+    pub max_entries: usize,
+    /// Maximum total `approx_bytes` across cached sequences. A single
+    /// sequence larger than this is never admitted.
+    pub max_bytes: usize,
+}
+
+impl Default for CacheBudget {
+    fn default() -> Self {
+        CacheBudget { max_entries: 64, max_bytes: 256 << 20 }
+    }
+}
+
+impl CacheBudget {
+    /// Budget of `max_entries` sequences with the default byte cap.
+    pub fn entries(max_entries: usize) -> Self {
+        CacheBudget { max_entries, ..CacheBudget::default() }
+    }
+
+    /// A budget that admits nothing (every request is a miss).
+    pub fn disabled() -> Self {
+        CacheBudget { max_entries: 0, max_bytes: 0 }
+    }
+
+    /// True when the budget can admit at least one entry.
+    pub fn is_enabled(&self) -> bool {
+        self.max_entries > 0 && self.max_bytes > 0
+    }
+}
+
+/// Point-in-time counters of a [`SnapshotCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `get` calls that returned a cached sequence.
+    pub hits: u64,
+    /// `get` calls that found nothing.
+    pub misses: u64,
+    /// Sequences admitted by `insert`.
+    pub insertions: u64,
+    /// Sequences evicted to satisfy the budget.
+    pub evictions: u64,
+    /// Sequences currently resident.
+    pub entries: usize,
+    /// Approximate bytes currently resident.
+    pub bytes: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups so far (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    graph: Arc<DynamicGraph>,
+    bytes: usize,
+    /// Stamp of this entry's newest ticket in `recency`; older tickets
+    /// for the same key are stale and skipped during eviction.
+    stamp: u64,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    /// Recency tickets, oldest first. Touching a key pushes a new ticket
+    /// instead of moving the old one (O(1)); stale tickets are discarded
+    /// lazily during eviction and compaction.
+    recency: VecDeque<(u64, CacheKey)>,
+    clock: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+/// Bounded, thread-safe LRU over generated [`DynamicGraph`] sequences.
+///
+/// Cloneable and `Send + Sync`; clones share the same storage. All
+/// operations take one short mutex-guarded critical section — the cached
+/// sequences themselves are shared immutably behind `Arc`, so a hit never
+/// copies graph data.
+#[derive(Clone)]
+pub struct SnapshotCache {
+    inner: Arc<Mutex<Inner>>,
+    budget: CacheBudget,
+}
+
+impl SnapshotCache {
+    /// An empty cache bounded by `budget`.
+    pub fn new(budget: CacheBudget) -> Self {
+        SnapshotCache {
+            inner: Arc::new(Mutex::new(Inner {
+                map: HashMap::new(),
+                recency: VecDeque::new(),
+                clock: 0,
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                insertions: 0,
+                evictions: 0,
+            })),
+            budget,
+        }
+    }
+
+    /// The budget this cache enforces.
+    pub fn budget(&self) -> CacheBudget {
+        self.budget
+    }
+
+    /// True when the budget can admit at least one entry.
+    pub fn is_enabled(&self) -> bool {
+        self.budget.is_enabled()
+    }
+
+    /// True when `key` is currently resident. Unlike [`get`](Self::get)
+    /// this touches neither the hit/miss counters nor the entry's
+    /// recency — it is a scheduling peek (the job queue uses it to
+    /// decide whether a duplicate of an in-flight request still needs to
+    /// be held back), not a lookup.
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.inner.lock().expect("cache lock poisoned").map.contains_key(key)
+    }
+
+    /// Look up a sequence, refreshing its recency on a hit. Counts a hit
+    /// or miss either way.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<DynamicGraph>> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let inner = &mut *inner;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                inner.clock += 1;
+                entry.stamp = inner.clock;
+                inner.recency.push_back((inner.clock, *key));
+                inner.hits += 1;
+                let graph = Arc::clone(&entry.graph);
+                Self::maybe_compact(inner);
+                Some(graph)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Admit a sequence, evicting least-recently-used entries until the
+    /// budget holds. Returns `false` (and stores nothing) when the cache
+    /// is disabled or the sequence alone exceeds the byte budget.
+    /// Re-inserting an existing key replaces the entry and refreshes its
+    /// recency.
+    pub fn insert(&self, key: CacheKey, graph: Arc<DynamicGraph>) -> bool {
+        let bytes = graph.approx_bytes();
+        if !self.budget.is_enabled() || bytes > self.budget.max_bytes {
+            return false;
+        }
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let inner = &mut *inner;
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(old) = inner.map.insert(key, Entry { graph, bytes, stamp }) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        inner.recency.push_back((stamp, key));
+        inner.insertions += 1;
+        while inner.map.len() > self.budget.max_entries || inner.bytes > self.budget.max_bytes {
+            let (old_stamp, old_key) =
+                inner.recency.pop_front().expect("budget exceeded with empty recency queue");
+            // Skip stale tickets (the key was touched or replaced since).
+            let is_current =
+                inner.map.get(&old_key).is_some_and(|e| e.stamp == old_stamp);
+            if is_current {
+                let evicted = inner.map.remove(&old_key).expect("checked above");
+                inner.bytes -= evicted.bytes;
+                inner.evictions += 1;
+            }
+        }
+        Self::maybe_compact(inner);
+        true
+    }
+
+    /// Drop every cached sequence (counters keep their totals).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.map.clear();
+        inner.recency.clear();
+        inner.bytes = 0;
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+        }
+    }
+
+    /// Keep the ticket queue proportional to the live entry count: when
+    /// touches have piled up stale tickets, rebuild the queue from the
+    /// live stamps.
+    fn maybe_compact(inner: &mut Inner) {
+        if inner.recency.len() > 8 * inner.map.len() + 16 {
+            let mut live: Vec<(u64, CacheKey)> =
+                inner.map.iter().map(|(k, e)| (e.stamp, *k)).collect();
+            live.sort_unstable_by_key(|&(stamp, _)| stamp);
+            inner.recency = live.into();
+        }
+    }
+}
+
+impl std::fmt::Debug for SnapshotCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("SnapshotCache")
+            .field("budget", &self.budget)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrdag_graph::Snapshot;
+    use vrdag_tensor::Matrix;
+
+    fn key(seed: u64) -> CacheKey {
+        CacheKey { model_fingerprint: 7, model_size: 100, t_len: 2, seed }
+    }
+
+    fn tiny_graph(edge_count: usize) -> Arc<DynamicGraph> {
+        let n = 8;
+        let edges: Vec<(u32, u32)> =
+            (0..edge_count as u32).map(|i| (i % n, (i + 1) % n)).collect();
+        let s = Snapshot::new(n as usize, edges, Matrix::zeros(n as usize, 1));
+        Arc::new(DynamicGraph::new(vec![s]))
+    }
+
+    #[test]
+    fn hit_returns_the_same_arc() {
+        let cache = SnapshotCache::new(CacheBudget::entries(4));
+        let g = tiny_graph(3);
+        assert!(cache.insert(key(1), Arc::clone(&g)));
+        let hit = cache.get(&key(1)).expect("hit");
+        assert!(Arc::ptr_eq(&hit, &g));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 0, 1));
+    }
+
+    #[test]
+    fn miss_on_any_key_component_change() {
+        let cache = SnapshotCache::new(CacheBudget::entries(4));
+        cache.insert(key(1), tiny_graph(1));
+        assert!(cache.get(&CacheKey { seed: 2, ..key(1) }).is_none());
+        assert!(cache.get(&CacheKey { t_len: 3, ..key(1) }).is_none());
+        assert!(cache.get(&CacheKey { model_fingerprint: 8, ..key(1) }).is_none());
+        assert!(cache.get(&CacheKey { model_size: 101, ..key(1) }).is_none());
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let cache = SnapshotCache::new(CacheBudget::entries(2));
+        cache.insert(key(1), tiny_graph(1));
+        cache.insert(key(2), tiny_graph(1));
+        // Touch key 1 so key 2 becomes the LRU entry.
+        cache.get(&key(1)).unwrap();
+        cache.insert(key(3), tiny_graph(1));
+        assert!(cache.get(&key(1)).is_some(), "recently used entry survived");
+        assert!(cache.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn byte_budget_evicts_and_rejects() {
+        let unit = tiny_graph(2).approx_bytes();
+        let cache = SnapshotCache::new(CacheBudget {
+            max_entries: 100,
+            max_bytes: 2 * unit + unit / 2,
+        });
+        assert!(cache.insert(key(1), tiny_graph(2)));
+        assert!(cache.insert(key(2), tiny_graph(2)));
+        // Third entry exceeds the byte budget: the oldest is evicted.
+        assert!(cache.insert(key(3), tiny_graph(2)));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes <= cache.budget().max_bytes);
+        assert!(cache.get(&key(1)).is_none());
+
+        // A single oversized sequence is never admitted.
+        let n = 4096;
+        let huge = Snapshot::new(n, vec![(0, 1)], Matrix::zeros(n, 8));
+        let huge = Arc::new(DynamicGraph::new(vec![huge]));
+        assert!(huge.approx_bytes() > cache.budget().max_bytes);
+        assert!(!cache.insert(key(9), huge));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let cache = SnapshotCache::new(CacheBudget::disabled());
+        assert!(!cache.is_enabled());
+        assert!(!cache.insert(key(1), tiny_graph(1)));
+        assert!(cache.get(&key(1)).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.insertions, stats.misses), (0, 0, 1));
+    }
+
+    #[test]
+    fn reinsert_replaces_and_accounts_bytes() {
+        let cache = SnapshotCache::new(CacheBudget::entries(4));
+        cache.insert(key(1), tiny_graph(1));
+        let small = cache.stats().bytes;
+        cache.insert(key(1), tiny_graph(6));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > small);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn heavy_touching_compacts_recency_queue() {
+        let cache = SnapshotCache::new(CacheBudget::entries(2));
+        cache.insert(key(1), tiny_graph(1));
+        cache.insert(key(2), tiny_graph(1));
+        for _ in 0..10_000 {
+            cache.get(&key(1)).unwrap();
+            cache.get(&key(2)).unwrap();
+        }
+        let inner = cache.inner.lock().unwrap();
+        assert!(
+            inner.recency.len() <= 8 * inner.map.len() + 16,
+            "recency queue unbounded: {}",
+            inner.recency.len()
+        );
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = SnapshotCache::new(CacheBudget::entries(4));
+        cache.insert(key(1), tiny_graph(1));
+        cache.get(&key(1)).unwrap();
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.bytes), (0, 0));
+        assert_eq!((stats.hits, stats.insertions), (1, 1));
+        assert!(cache.get(&key(1)).is_none());
+    }
+}

@@ -20,37 +20,50 @@
 //!   a single snapshot, and can spill incrementally through the
 //!   streaming TSV/binary writers of `vrdag_graph::io`.
 //! * [`Scheduler`] / [`JobQueue`] — a multi-threaded worker pool
-//!   (`std::thread`) executing batched [`GenRequest`]s concurrently,
-//!   reporting per-job and aggregate throughput ([`JobResult`],
+//!   (`std::thread`) executing batched [`GenRequest`]s concurrently with
+//!   model-affinity batching (jobs sharing an artifact drain from one
+//!   instantiation), per-model priorities, and queue-depth admission
+//!   control, reporting per-job and aggregate throughput ([`JobResult`],
 //!   [`BatchReport`]).
+//! * [`SnapshotCache`] — a bounded, thread-safe LRU over generated
+//!   sequences keyed by `(model fingerprint, t_len, seed)`. The
+//!   generator's determinism contract makes hits bit-identical to cold
+//!   generation; hit/miss/eviction counters surface in [`BatchReport`].
 //!
 //! ```no_run
-//! use vrdag_serve::{GenRequest, GenSink, ModelRegistry, Scheduler};
+//! use vrdag_serve::{CacheBudget, GenRequest, GenSink, ModelRegistry, Scheduler, SchedulerConfig};
 //!
 //! let registry = ModelRegistry::new();
 //! registry.load_file("email", "model.vrdg").unwrap();
-//! let mut scheduler = Scheduler::new(registry, 4);
+//! let mut scheduler = Scheduler::with_config(
+//!     registry,
+//!     SchedulerConfig { workers: 4, cache: CacheBudget::entries(64), ..Default::default() },
+//! )
+//! .unwrap();
 //! for seed in 0..16 {
 //!     scheduler
-//!         .submit(GenRequest {
-//!             model: "email".into(),
-//!             t_len: 14,
+//!         .submit(GenRequest::new(
+//!             "email",
+//!             14,
 //!             seed,
-//!             sink: GenSink::TsvFile(format!("out/gen-{seed}.tsv").into()),
-//!         })
+//!             GenSink::TsvFile(format!("out/gen-{seed}.tsv").into()),
+//!         ))
 //!         .unwrap();
 //! }
-//! let report = scheduler.join();
+//! let report = scheduler.join().unwrap();
 //! println!("{}", report.render());
 //! ```
 
+mod cache;
 mod registry;
 mod scheduler;
 mod stream;
 
+pub use cache::{CacheBudget, CacheKey, CacheStats, SnapshotCache};
 pub use registry::{ModelHandle, ModelRegistry};
 pub use scheduler::{
-    BatchReport, GenRequest, GenSink, JobId, JobQueue, JobResult, Scheduler, SnapshotCallback,
+    AffinityStats, BatchReport, GenRequest, GenSink, JobId, JobQueue, JobResult, Scheduler,
+    SchedulerConfig, SnapshotCallback,
 };
 pub use stream::{SnapshotStream, StreamStats};
 
@@ -69,6 +82,20 @@ pub enum ServeError {
     Io(std::io::Error),
     /// The requested model name is not registered.
     UnknownModel(String),
+    /// A scheduler cannot be built with zero workers.
+    NoWorkers,
+    /// `submit` or `join` was called after `join` already drained the
+    /// scheduler.
+    SchedulerClosed,
+    /// Admission control: the queue already holds `cap` jobs.
+    QueueFull {
+        /// Jobs queued at rejection time.
+        depth: usize,
+        /// The configured queue-depth cap.
+        cap: usize,
+    },
+    /// The request is malformed (e.g. `t_len == 0`).
+    InvalidRequest(String),
 }
 
 impl fmt::Display for ServeError {
@@ -79,6 +106,14 @@ impl fmt::Display for ServeError {
             ServeError::GraphIo(e) => write!(f, "graph spill error: {e}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
             ServeError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+            ServeError::NoWorkers => write!(f, "scheduler needs at least one worker"),
+            ServeError::SchedulerClosed => {
+                write!(f, "scheduler already joined; create a new one to submit more jobs")
+            }
+            ServeError::QueueFull { depth, cap } => {
+                write!(f, "queue full: {depth} jobs queued at cap {cap}")
+            }
+            ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
         }
     }
 }

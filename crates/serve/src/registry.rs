@@ -23,6 +23,7 @@ use vrdag::Vrdag;
 pub struct ModelHandle {
     name: Arc<str>,
     bytes: Arc<Vec<u8>>,
+    fingerprint: u64,
     n_nodes: usize,
     n_attrs: usize,
 }
@@ -36,6 +37,15 @@ impl ModelHandle {
     /// Size of the serialized artifact in bytes.
     pub fn size_bytes(&self) -> usize {
         self.bytes.len()
+    }
+
+    /// Stable content fingerprint of the artifact
+    /// (`vrdag::artifact_fingerprint` over the serialized bytes, computed
+    /// once at registration). Equal fingerprints mean byte-identical
+    /// artifacts — the identity the snapshot cache keys on, so identical
+    /// bytes registered under different names share cache entries.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Node universe size of the trained model.
@@ -75,6 +85,7 @@ impl std::fmt::Debug for ModelHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ModelHandle")
             .field("name", &self.name)
+            .field("fingerprint", &self.fingerprint)
             .field("size_bytes", &self.bytes.len())
             .field("n_nodes", &self.n_nodes)
             .field("n_attrs", &self.n_attrs)
@@ -101,9 +112,11 @@ impl ModelRegistry {
         // not inside a worker thread mid-batch. The probe instance also
         // supplies the shape metadata and is dropped immediately.
         let probe = Vrdag::from_bytes(&bytes)?;
+        let fingerprint = vrdag::artifact_fingerprint(&bytes);
         let handle = ModelHandle {
             name: Arc::from(name),
             bytes: Arc::new(bytes),
+            fingerprint,
             n_nodes: probe.n_nodes().unwrap_or(0),
             n_attrs: probe.n_attrs().unwrap_or(0),
         };
@@ -220,6 +233,20 @@ mod tests {
         assert!(!old.same_artifact(&new));
         // The old handle still instantiates fine.
         old.instantiate().unwrap();
+        // Serialization is deterministic, so re-registering the same model
+        // keeps the content fingerprint even though the Arc differs.
+        assert_eq!(old.fingerprint(), new.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_models_but_not_names() {
+        let registry = ModelRegistry::new();
+        let model = fitted();
+        let bytes = model.to_bytes().unwrap();
+        let a = registry.register_bytes("a", bytes.clone()).unwrap();
+        let b = registry.register_bytes("b", bytes).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same bytes, same identity");
+        assert_eq!(a.fingerprint(), model.fingerprint().unwrap());
     }
 
     #[test]

@@ -46,6 +46,7 @@ fn usage() -> ExitCode {
          fit            --graph <graph.tsv> [--epochs N] [--seed N] --model <model.vrdg>\n\
          generate       --model <model.vrdg> --t <T> [--seed N] --out <synthetic.tsv>\n\
          batch-generate --model <model.vrdg> --t <T> [--jobs N] [--workers N] [--seed N]\n\
+         \x20              [--repeat R] [--cache-entries N] [--priority P] [--queue-depth N]\n\
          \x20              [--format tsv|bin] --out-dir <dir>   (one file per job, seed-addressed)\n\
          evaluate       --original <graph.tsv> --generated <graph.tsv>"
     );
@@ -154,6 +155,10 @@ fn main() -> ExitCode {
             // Serving-layer batch: load the model once into the registry,
             // fan T-snapshot generation jobs (seeds seed..seed+jobs) over
             // a worker pool, stream every sequence straight to disk.
+            // `--repeat R` resubmits the whole seed range R more times
+            // with discarded output (two rounds writing one path would
+            // race) — combined with `--cache-entries N` the later rounds
+            // are served from the snapshot LRU instead of regenerating.
             let (Some(model_path), Some(out_dir)) = (kv.get("model"), kv.get("out-dir")) else {
                 return usage();
             };
@@ -167,6 +172,11 @@ fn main() -> ExitCode {
             }
             let jobs: usize = kv.get("jobs").and_then(|s| s.parse().ok()).unwrap_or(4);
             let workers: usize = kv.get("workers").and_then(|s| s.parse().ok()).unwrap_or(2);
+            let repeat: usize = kv.get("repeat").and_then(|s| s.parse().ok()).unwrap_or(1);
+            let cache_entries: usize =
+                kv.get("cache-entries").and_then(|s| s.parse().ok()).unwrap_or(0);
+            let priority: i32 = kv.get("priority").and_then(|s| s.parse().ok()).unwrap_or(0);
+            let queue_depth: Option<usize> = kv.get("queue-depth").and_then(|s| s.parse().ok());
             let format = kv.get("format").map(String::as_str).unwrap_or("tsv");
             if !matches!(format, "tsv" | "bin") {
                 eprintln!("--format must be tsv or bin, got {format:?}");
@@ -181,22 +191,65 @@ fn main() -> ExitCode {
                 eprintln!("model load failed: {e}");
                 return ExitCode::FAILURE;
             }
-            let mut scheduler = Scheduler::new(registry, workers);
-            for job_seed in (0..jobs as u64).map(|i| seed.wrapping_add(i)) {
-                let ext = if format == "tsv" { "tsv" } else { "vdag" };
-                let path = std::path::Path::new(out_dir).join(format!("gen-{job_seed}.{ext}"));
-                let sink = if format == "tsv" {
-                    GenSink::TsvFile(path)
-                } else {
-                    GenSink::BinaryFile(path)
-                };
-                let req = GenRequest { model: "model".into(), t_len: t, seed: job_seed, sink };
-                if let Err(e) = scheduler.submit(req) {
-                    eprintln!("submit failed: {e}");
+            let config = SchedulerConfig {
+                workers,
+                max_queue_depth: queue_depth,
+                cache: CacheBudget::entries(cache_entries),
+            };
+            let mut scheduler = match Scheduler::with_config(registry, config) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("scheduler construction failed: {e}");
                     return ExitCode::FAILURE;
                 }
+            };
+            for round in 0..repeat.max(1) {
+                for job_seed in (0..jobs as u64).map(|i| seed.wrapping_add(i)) {
+                    // Only the first round owns the output files; repeat
+                    // rounds exist to exercise the cache and must not
+                    // write paths another in-flight job may hold open.
+                    // (submit consumes the sink, so build one per try.)
+                    let make_sink = || {
+                        if round > 0 {
+                            return GenSink::Discard;
+                        }
+                        let ext = if format == "tsv" { "tsv" } else { "vdag" };
+                        let path =
+                            std::path::Path::new(out_dir).join(format!("gen-{job_seed}.{ext}"));
+                        if format == "tsv" {
+                            GenSink::TsvFile(path)
+                        } else {
+                            GenSink::BinaryFile(path)
+                        }
+                    };
+                    loop {
+                        let req = GenRequest::new("model", t, job_seed, make_sink())
+                            .with_priority(priority);
+                        match scheduler.submit(req) {
+                            Ok(_) => break,
+                            Err(ServeError::QueueFull { .. }) => {
+                                // QueueFull is our own backpressure on
+                                // our own finite batch — wait for the
+                                // workers to drain a slot and retry,
+                                // instead of aborting with partial
+                                // output.
+                                std::thread::sleep(std::time::Duration::from_millis(2));
+                            }
+                            Err(e) => {
+                                eprintln!("submit failed: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                }
             }
-            let report = scheduler.join();
+            let report = match scheduler.join() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("join failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             print!("{}", report.render());
             if !report.all_ok() {
                 return ExitCode::FAILURE;

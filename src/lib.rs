@@ -34,7 +34,8 @@ pub mod prelude {
     pub use vrdag_graph::{DynamicGraph, DynamicGraphGenerator, FitReport, GeneratorError, Snapshot};
     pub use vrdag_metrics::{attribute_report, structure_report};
     pub use vrdag_serve::{
-        BatchReport, GenRequest, GenSink, ModelRegistry, Scheduler, SnapshotStream,
+        BatchReport, CacheBudget, CacheStats, GenRequest, GenSink, ModelRegistry, Scheduler,
+        SchedulerConfig, ServeError, SnapshotCache, SnapshotStream,
     };
     pub use vrdag_tensor::{Matrix, Tensor};
 }

@@ -87,18 +87,16 @@ fn scheduler_streams_to_disk_with_bounded_memory_sinks() {
     let registry = ModelRegistry::new();
     registry.register("m", &model).unwrap();
 
-    let mut scheduler = Scheduler::new(registry, 2);
+    let mut scheduler = Scheduler::new(registry, 2).unwrap();
     for seed in 0..4u64 {
         let sink = if seed % 2 == 0 {
             GenSink::TsvFile(dir.join(format!("gen-{seed}.tsv")))
         } else {
             GenSink::BinaryFile(dir.join(format!("gen-{seed}.vdag")))
         };
-        scheduler
-            .submit(GenRequest { model: "m".into(), t_len: 3, seed, sink })
-            .unwrap();
+        scheduler.submit(GenRequest::new("m", 3, seed, sink)).unwrap();
     }
-    let report = scheduler.join();
+    let report = scheduler.join().unwrap();
     assert!(report.all_ok(), "{}", report.render());
     assert_eq!(report.jobs.len(), 4);
     // The streaming sinks never materialize a DynamicGraph.
@@ -138,8 +136,90 @@ fn facade_prelude_exposes_the_serving_surface() {
     let registry: ModelRegistry = ModelRegistry::new();
     assert!(registry.is_empty());
     let _stats: vrdag_suite::serve::StreamStats = Default::default();
+    let _cache: SnapshotCache = SnapshotCache::new(CacheBudget::entries(2));
+    let _cache_stats: CacheStats = _cache.stats();
+    let _config: SchedulerConfig = SchedulerConfig::default();
     let model = fitted_model(6);
     let mut rng = StdRng::seed_from_u64(0);
     let state: GenerationState = model.begin_generation(&mut rng).unwrap();
     assert_eq!(state.t(), 0);
+}
+
+#[test]
+fn affinity_batching_matches_per_job_scheduling() {
+    // N same-model jobs drained with model-affinity batching must produce
+    // exactly the sequences that one-scheduler-per-job scheduling (a pool
+    // that can never batch) produces for the same seeds.
+    let model = fitted_model(7);
+    let seeds: Vec<u64> = (0..6).collect();
+
+    let registry = ModelRegistry::new();
+    registry.register("m", &model).unwrap();
+    let mut batched = Scheduler::new(registry.clone(), 2).unwrap();
+    for &seed in &seeds {
+        batched.submit(GenRequest::new("m", 4, seed, GenSink::InMemory)).unwrap();
+    }
+    let report = batched.join().unwrap();
+    assert!(report.all_ok(), "{}", report.render());
+    assert!(report.affinity.batches >= 1);
+    assert!(report.affinity.max_batch_len >= 2, "{:?}", report.affinity);
+
+    for &seed in &seeds {
+        let mut solo = Scheduler::new(registry.clone(), 1).unwrap();
+        solo.submit(GenRequest::new("m", 4, seed, GenSink::InMemory)).unwrap();
+        let solo_report = solo.join().unwrap();
+        assert!(solo_report.all_ok(), "{}", solo_report.render());
+        let expected = solo_report.jobs[0].graph.as_deref().unwrap();
+        let batched_job = report.jobs.iter().find(|j| j.seed == seed).unwrap();
+        assert_eq!(batched_job.graph.as_deref().unwrap(), expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn admission_control_rejects_overflow_and_report_stays_consistent() {
+    let model = fitted_model(8);
+    let registry = ModelRegistry::new();
+    registry.register("m", &model).unwrap();
+    let mut scheduler = Scheduler::with_config(
+        registry,
+        SchedulerConfig { workers: 1, max_queue_depth: Some(1), ..Default::default() },
+    )
+    .unwrap();
+
+    // Pin the single worker inside a job so submissions stay queued.
+    let (started_tx, started_rx) = std::sync::mpsc::channel();
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let mut fired = false;
+    scheduler
+        .submit(GenRequest::new(
+            "m",
+            1,
+            0,
+            GenSink::Callback(Box::new(move |_, _| {
+                if !fired {
+                    fired = true;
+                    started_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                }
+            })),
+        ))
+        .unwrap();
+    started_rx.recv().unwrap();
+
+    let accepted = scheduler.submit(GenRequest::new("m", 1, 1, GenSink::Discard)).unwrap();
+    let rejected = scheduler.submit(GenRequest::new("m", 1, 2, GenSink::Discard));
+    match rejected {
+        Err(ServeError::QueueFull { depth, cap }) => {
+            assert_eq!((depth, cap), (1, 1));
+        }
+        other => panic!("expected QueueFull, got {:?}", other.map(|_| ())),
+    }
+
+    release_tx.send(()).unwrap();
+    let report = scheduler.join().unwrap();
+    assert!(report.all_ok(), "{}", report.render());
+    // Exactly the accepted jobs ran; the rejected seed never appears.
+    assert_eq!(report.jobs.len(), 2);
+    assert!(report.jobs.iter().any(|j| j.id == accepted));
+    assert!(report.jobs.iter().all(|j| j.seed != 2));
 }
