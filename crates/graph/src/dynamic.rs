@@ -64,11 +64,23 @@ impl DynamicGraph {
     }
 
     /// Approximate resident size in bytes: the sum of
-    /// [`Snapshot::approx_bytes`] over all snapshots. O(T); used by
-    /// byte-budgeted caches in the serving layer.
+    /// [`Snapshot::approx_bytes`] over all snapshots. O(T). This tracks
+    /// what is resident *now* — it grows when undirected projections are
+    /// lazily materialized; byte-budgeted caches should charge
+    /// [`approx_bytes_reserved`](Self::approx_bytes_reserved) instead.
     pub fn approx_bytes(&self) -> usize {
         std::mem::size_of::<DynamicGraph>()
             + self.snapshots.iter().map(Snapshot::approx_bytes).sum::<usize>()
+    }
+
+    /// Lifetime upper bound on [`approx_bytes`](Self::approx_bytes): the
+    /// sum of [`Snapshot::approx_bytes_reserved`], which pre-accounts the
+    /// lazily-built undirected projections. Used by the serving layer's
+    /// byte-budgeted snapshot cache so cached sequences cannot outgrow
+    /// their accounted size when metrics touch them later.
+    pub fn approx_bytes_reserved(&self) -> usize {
+        std::mem::size_of::<DynamicGraph>()
+            + self.snapshots.iter().map(Snapshot::approx_bytes_reserved).sum::<usize>()
     }
 
     /// The prefix `G_{1..=t_len}` as a new graph (used by the downstream
@@ -172,6 +184,13 @@ mod tests {
         let per_snapshot: usize = g.snapshots().iter().map(|s| s.approx_bytes()).sum();
         assert!(g.approx_bytes() >= per_snapshot);
         assert!(g.concat_time(&g).approx_bytes() > g.approx_bytes());
+        // The reserved bound dominates the resident size even after every
+        // undirected projection has been materialized.
+        assert!(g.approx_bytes_reserved() >= g.approx_bytes());
+        for (_, s) in g.iter() {
+            s.undirected_adj();
+        }
+        assert!(g.approx_bytes_reserved() >= g.approx_bytes());
     }
 
     #[test]

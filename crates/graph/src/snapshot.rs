@@ -135,16 +135,45 @@ impl Snapshot {
 
     /// Approximate resident size of this snapshot in bytes, computed in
     /// O(1) from the container lengths: the edge list, both CSR
-    /// adjacencies, and the attribute matrix. Used by byte-budgeted
-    /// caches; intentionally excludes the lazily-built undirected
-    /// projection (absent on freshly generated snapshots) and allocator
-    /// slack, so treat it as an accounting estimate, not `malloc` truth.
+    /// adjacencies, the attribute matrix, and — once it has been
+    /// materialized by [`undirected_adj`](Self::undirected_adj) — the
+    /// lazily-built undirected projection. Excludes allocator slack, so
+    /// treat it as an accounting estimate, not `malloc` truth. Because the
+    /// undirected CSR appears in the total only after it is built, this
+    /// value can *grow* over a snapshot's lifetime; byte-budgeted caches
+    /// should charge [`approx_bytes_reserved`](Self::approx_bytes_reserved)
+    /// instead, which bounds it from above.
     pub fn approx_bytes(&self) -> usize {
+        let undirected_bytes = self
+            .undirected
+            .get()
+            .map_or(0, |adj| Self::csr_bytes(self.n, adj.n_edges()));
+        self.base_bytes() + undirected_bytes
+    }
+
+    /// Upper bound on [`approx_bytes`](Self::approx_bytes) over the whole
+    /// lifetime of the snapshot: the base containers plus a reserved
+    /// estimate for the undirected projection *as if it were built*
+    /// (`n + 1` offsets plus at most two adjacency entries per directed
+    /// edge). Never grows and never falls below `approx_bytes`, so
+    /// byte-budgeted caches that charge this value cannot drift over
+    /// budget when metrics later materialize the projection on a cached
+    /// snapshot.
+    pub fn approx_bytes_reserved(&self) -> usize {
+        self.base_bytes() + Self::csr_bytes(self.n, 2 * self.edges.len())
+    }
+
+    /// Size of a CSR with `n + 1` usize offsets and `targets` u32 entries.
+    fn csr_bytes(n: usize, targets: usize) -> usize {
+        (n + 1) * std::mem::size_of::<usize>() + targets * std::mem::size_of::<u32>()
+    }
+
+    /// Accounting shared by `approx_bytes` and `approx_bytes_reserved`:
+    /// everything except the lazily-built undirected projection.
+    fn base_bytes(&self) -> usize {
         let edge_bytes = self.edges.len() * std::mem::size_of::<(u32, u32)>();
-        // Each CSR stores `n + 1` usize offsets and one u32 per edge.
-        let csr_bytes = 2
-            * ((self.n + 1) * std::mem::size_of::<usize>()
-                + self.edges.len() * std::mem::size_of::<u32>());
+        // Out- and in-CSR each store `n + 1` offsets and one u32 per edge.
+        let csr_bytes = 2 * Self::csr_bytes(self.n, self.edges.len());
         let attr_bytes = self.attrs.rows() * self.attrs.cols() * std::mem::size_of::<f32>();
         std::mem::size_of::<Snapshot>() + edge_bytes + csr_bytes + attr_bytes
     }
@@ -281,6 +310,25 @@ mod tests {
         assert!(s.approx_bytes() > empty.approx_bytes());
         // At minimum the attribute matrix and edge list are counted.
         assert!(s.approx_bytes() >= 3 * 2 * 4 + s.n_edges() * 8);
+
+        // Materializing the undirected projection grows the accounting by
+        // exactly the projection's CSR size...
+        let before = s.approx_bytes();
+        let adj = s.undirected_adj();
+        let undirected_csr = (s.n_nodes() + 1) * std::mem::size_of::<usize>()
+            + adj.n_edges() * std::mem::size_of::<u32>();
+        assert_eq!(s.approx_bytes(), before + undirected_csr);
+        // ...and the reserved upper bound covers it before *and* after the
+        // build (the estimate assumes two entries per directed edge, the
+        // worst case), so budgeted caches charging the reserve never
+        // undercount a cached snapshot that metrics later touch.
+        assert!(s.approx_bytes_reserved() >= s.approx_bytes());
+        assert!(before + undirected_csr <= s.approx_bytes_reserved());
+        // The reserve itself is stable across the build.
+        let c = toy();
+        let reserved_unbuilt = c.approx_bytes_reserved();
+        c.undirected_adj();
+        assert_eq!(c.approx_bytes_reserved(), reserved_unbuilt);
     }
 
     #[test]

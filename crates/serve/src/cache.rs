@@ -12,10 +12,14 @@
 //! registry name: re-registering identical bytes under another name (or
 //! in another registry) still hits, while any retrain misses.
 //!
-//! Bounded by a [`CacheBudget`] — max entries *and* max bytes (sizes from
-//! `DynamicGraph::approx_bytes`). Eviction is least-recently-used; every
-//! `get` hit refreshes recency. Counters ([`CacheStats`]) feed
-//! `BatchReport`.
+//! Bounded by a [`CacheBudget`] — max entries *and* max bytes. Byte
+//! accounting charges `DynamicGraph::approx_bytes_reserved`, the lifetime
+//! upper bound that pre-accounts each snapshot's lazily-built undirected
+//! projection: metrics code touching a *cached* graph can materialize
+//! those projections after admission, and charging the reserve keeps the
+//! budget honest instead of drifting over it. Eviction is
+//! least-recently-used; every `get` hit refreshes recency. Counters
+//! ([`CacheStats`]) feed `BatchReport` and the service `stats()` snapshot.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -44,8 +48,8 @@ pub struct CacheKey {
 pub struct CacheBudget {
     /// Maximum number of cached sequences; `0` disables the cache.
     pub max_entries: usize,
-    /// Maximum total `approx_bytes` across cached sequences. A single
-    /// sequence larger than this is never admitted.
+    /// Maximum total `approx_bytes_reserved` across cached sequences. A
+    /// single sequence larger than this is never admitted.
     pub max_bytes: usize,
 }
 
@@ -85,7 +89,8 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Sequences currently resident.
     pub entries: usize,
-    /// Approximate bytes currently resident.
+    /// Approximate bytes currently resident (reserved accounting, an
+    /// upper bound on the actual resident size).
     pub bytes: usize,
 }
 
@@ -200,7 +205,7 @@ impl SnapshotCache {
     /// Re-inserting an existing key replaces the entry and refreshes its
     /// recency.
     pub fn insert(&self, key: CacheKey, graph: Arc<DynamicGraph>) -> bool {
-        let bytes = graph.approx_bytes();
+        let bytes = graph.approx_bytes_reserved();
         if !self.budget.is_enabled() || bytes > self.budget.max_bytes {
             return false;
         }
@@ -331,7 +336,7 @@ mod tests {
 
     #[test]
     fn byte_budget_evicts_and_rejects() {
-        let unit = tiny_graph(2).approx_bytes();
+        let unit = tiny_graph(2).approx_bytes_reserved();
         let cache = SnapshotCache::new(CacheBudget {
             max_entries: 100,
             max_bytes: 2 * unit + unit / 2,
@@ -349,9 +354,23 @@ mod tests {
         let n = 4096;
         let huge = Snapshot::new(n, vec![(0, 1)], Matrix::zeros(n, 8));
         let huge = Arc::new(DynamicGraph::new(vec![huge]));
-        assert!(huge.approx_bytes() > cache.budget().max_bytes);
+        assert!(huge.approx_bytes_reserved() > cache.budget().max_bytes);
         assert!(!cache.insert(key(9), huge));
         assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn accounting_covers_lazily_built_projections() {
+        // The resident accounting is the *reserved* size: building the
+        // undirected CSR on a cached snapshot (as metrics do) must never
+        // push actual residency past what the budget was charged.
+        let cache = SnapshotCache::new(CacheBudget::default());
+        let g = tiny_graph(6);
+        assert!(cache.insert(key(1), Arc::clone(&g)));
+        let charged = cache.stats().bytes;
+        assert!(charged >= g.approx_bytes());
+        g.snapshot(0).undirected_adj();
+        assert!(charged >= g.approx_bytes(), "projection build outgrew the charge");
     }
 
     #[test]

@@ -1,0 +1,1279 @@
+//! The long-lived, non-blocking service core: a [`ServeHandle`] is a
+//! cheaply clonable, `Send + Sync` front door to a fixed pool of
+//! `std::thread` workers draining a shared [`JobQueue`](crate::JobQueue).
+//!
+//! `submit` never blocks on generation — it resolves the model, applies
+//! admission control, enqueues, and returns a [`Ticket`] the caller can
+//! [`wait`](Ticket::wait) on or poll; each job's [`JobResult`] is
+//! delivered over the ticket's private channel by the worker that ran it
+//! ("workers push completions"). There is no end-of-batch report baked
+//! into the lifecycle: [`ServeHandle::stats`] takes an on-demand
+//! [`ServeStats`] snapshot (running cache / affinity / latency counters)
+//! at any point while the service keeps accepting traffic. The batch
+//! convenience wrapper [`Scheduler`](crate::Scheduler) and the TCP
+//! [`Frontend`](crate::Frontend) are both thin layers over this core.
+//!
+//! Shutdown is explicit and layered: [`close`](ServeHandle::close) stops
+//! admission and lets workers drain, [`abort`](ServeHandle::abort)
+//! additionally discards queued jobs (counted in
+//! [`ServeStats::dropped_jobs`]; their tickets observe the dropped reply
+//! channel as [`ServeError::JobDropped`]), and dropping the last handle
+//! aborts and joins the workers so a core can never leak parked threads.
+
+use crate::cache::{CacheKey, SnapshotCache};
+use crate::queue::{Job, JobQueue};
+use crate::registry::{ModelHandle, ModelRegistry};
+use crate::stream::StreamStats;
+use crate::{CacheBudget, ServeError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use vrdag::Vrdag;
+use vrdag_graph::io::{BinaryStreamWriter, TsvStreamWriter};
+use vrdag_graph::{DynamicGraph, Snapshot};
+
+/// Per-snapshot streaming consumer (see [`GenSink::Callback`]).
+pub type SnapshotCallback = Box<dyn FnMut(usize, &Snapshot) + Send>;
+
+/// Where a job's snapshots go, one at a time.
+pub enum GenSink {
+    /// Stream to a TSV file (`vrdag_graph::io` temporal format),
+    /// flushed per snapshot.
+    TsvFile(PathBuf),
+    /// Stream to a compact binary file, flushed per snapshot.
+    BinaryFile(PathBuf),
+    /// Hand each `(timestep, snapshot)` to a consumer as it is produced.
+    Callback(SnapshotCallback),
+    /// Collect the full sequence into [`JobResult::graph`] (unbounded
+    /// memory — intended for small sequences, tests, and cached serving).
+    InMemory,
+    /// Generate and drop (throughput measurement / cache warming).
+    Discard,
+}
+
+impl std::fmt::Debug for GenSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenSink::TsvFile(p) => f.debug_tuple("TsvFile").field(p).finish(),
+            GenSink::BinaryFile(p) => f.debug_tuple("BinaryFile").field(p).finish(),
+            GenSink::Callback(_) => f.write_str("Callback(..)"),
+            GenSink::InMemory => f.write_str("InMemory"),
+            GenSink::Discard => f.write_str("Discard"),
+        }
+    }
+}
+
+/// A seed-addressed generation request.
+#[derive(Debug)]
+pub struct GenRequest {
+    /// Registered model name (resolved against the registry at submit
+    /// time, so unknown names fail fast).
+    pub model: String,
+    /// Number of snapshots to generate (must be `>= 1`).
+    pub t_len: usize,
+    /// Determinism address: the same `(model, t_len, seed)` always yields
+    /// the same sequence, regardless of which worker runs it and whether
+    /// the snapshot cache serves it.
+    pub seed: u64,
+    /// Scheduling priority. Higher drains first; the scheduler treats it
+    /// per model group (a group's priority is the max over its queued
+    /// jobs), and jobs within a group stay FIFO.
+    pub priority: i32,
+    /// Where the snapshots go.
+    pub sink: GenSink,
+}
+
+impl GenRequest {
+    /// A request with default (zero) priority.
+    pub fn new(model: impl Into<String>, t_len: usize, seed: u64, sink: GenSink) -> Self {
+        GenRequest { model: model.into(), t_len, seed, priority: 0, sink }
+    }
+
+    /// Set the scheduling priority (higher drains first).
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Opaque job identifier (submission order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+/// Outcome and throughput of one executed job, delivered on its
+/// [`Ticket`]'s channel by the worker that ran it.
+#[derive(Debug)]
+pub struct JobResult {
+    pub id: JobId,
+    pub model: String,
+    pub t_len: usize,
+    pub seed: u64,
+    /// Snapshots produced (`t_len` on success; 0 on failure — a failed
+    /// file-sink job also has its partial output file removed).
+    pub snapshots: usize,
+    /// Total temporal edges produced.
+    pub edges: usize,
+    /// Wall-clock job duration in seconds (excluding queue wait).
+    pub seconds: f64,
+    /// Generation rate of this job.
+    pub snapshots_per_sec: f64,
+    /// True when the snapshot cache served this job without regenerating.
+    pub cache_hit: bool,
+    /// Service-wide completion sequence number (1-based): results sorted
+    /// by `seq` are in completion order, even though each travels on its
+    /// own ticket channel.
+    pub seq: u64,
+    /// The generated sequence, for [`GenSink::InMemory`] jobs. Shared
+    /// with the snapshot cache when caching is enabled.
+    pub graph: Option<Arc<DynamicGraph>>,
+    /// Error message if the job failed.
+    pub error: Option<String>,
+}
+
+impl JobResult {
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Coalescing identity of a job — exactly the snapshot-cache key, so
+/// "identical request" means "would be served by the same cache entry".
+pub(crate) fn job_cache_key(handle: &ModelHandle, t_len: usize, seed: u64) -> CacheKey {
+    CacheKey {
+        model_fingerprint: handle.fingerprint(),
+        model_size: handle.size_bytes(),
+        t_len,
+        seed,
+    }
+}
+
+/// Construction-time knobs of a [`ServeHandle`] (and, through it, of the
+/// batch [`Scheduler`](crate::Scheduler) facade).
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads (must be `>= 1`).
+    pub workers: usize,
+    /// Admission control: `submit` fails with [`ServeError::QueueFull`]
+    /// once this many jobs are queued (in-flight jobs do not count).
+    /// `None` disables the cap.
+    pub max_queue_depth: Option<usize>,
+    /// Snapshot-cache budget; [`CacheBudget::disabled`] turns caching off.
+    pub cache: CacheBudget,
+}
+
+/// The pre-refactor name of [`ServeConfig`], kept as an alias for the
+/// batch-era API surface.
+pub type SchedulerConfig = ServeConfig;
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 2, max_queue_depth: None, cache: CacheBudget::disabled() }
+    }
+}
+
+/// How well model-affinity batching amortized instantiation: a "run" is a
+/// maximal stretch of consecutive same-model jobs executed by one worker
+/// (one model instantiation each, at most). Live snapshots count each
+/// worker's currently open run, so the numbers are meaningful mid-flight.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AffinityStats {
+    /// Number of same-model runs across all workers (open runs included).
+    pub batches: usize,
+    /// Length of the longest run.
+    pub max_batch_len: usize,
+    /// Mean jobs per run.
+    pub mean_batch_len: f64,
+}
+
+/// Wall-clock latency distribution over the most recent completed jobs
+/// (a bounded sliding window, so a long-lived service pays O(window), not
+/// O(lifetime)).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Total jobs ever measured (window or not).
+    pub samples: u64,
+    /// Jobs inside the current window the percentiles are computed over.
+    pub window: usize,
+    pub mean_seconds: f64,
+    /// Median wall time.
+    pub p50_seconds: f64,
+    /// 95th-percentile wall time.
+    pub p95_seconds: f64,
+    /// 99th-percentile wall time.
+    pub p99_seconds: f64,
+    pub max_seconds: f64,
+}
+
+impl LatencyStats {
+    /// `p50/p95/p99` rendered in milliseconds.
+    pub fn render(&self) -> String {
+        format!(
+            "p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms  (mean {:.2}ms, max {:.2}ms over {} of {} jobs)",
+            self.p50_seconds * 1e3,
+            self.p95_seconds * 1e3,
+            self.p99_seconds * 1e3,
+            self.mean_seconds * 1e3,
+            self.max_seconds * 1e3,
+            self.window,
+            self.samples,
+        )
+    }
+}
+
+/// On-demand point-in-time snapshot of a running service — the
+/// replacement for the retired end-of-batch report: callers pull it
+/// whenever they want instead of waiting for a drain.
+#[derive(Clone, Debug)]
+pub struct ServeStats {
+    /// Worker threads the pool was built with.
+    pub workers: usize,
+    /// Seconds since the core was created.
+    pub uptime_seconds: f64,
+    /// Jobs accepted by `submit`.
+    pub submitted: u64,
+    /// Jobs that finished executing (success or failure).
+    pub completed: u64,
+    /// Completed jobs that failed.
+    pub failed: u64,
+    /// Queued jobs discarded by `abort`/drop without ever running.
+    pub dropped_jobs: u64,
+    /// Jobs queued and not yet picked up by a worker.
+    pub queue_depth: usize,
+    /// Jobs currently executing.
+    pub in_flight: usize,
+    /// Highest observed number of simultaneously executing jobs.
+    pub max_in_flight: usize,
+    /// Snapshots produced by completed jobs.
+    pub snapshots: u64,
+    /// Temporal edges produced by completed jobs.
+    pub edges: u64,
+    /// Snapshot-cache counters (all zero when disabled).
+    pub cache: crate::CacheStats,
+    /// Model-affinity batching statistics.
+    pub affinity: AffinityStats,
+    /// Per-job wall-time percentiles.
+    pub latency: LatencyStats,
+}
+
+impl ServeStats {
+    /// Completed jobs per uptime second (coarse; prefer your own clock
+    /// for micro-benchmarks).
+    pub fn jobs_per_sec(&self) -> f64 {
+        self.completed as f64 / self.uptime_seconds.max(1e-9)
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serve: {} submitted / {} completed ({} failed, {} dropped) on {} workers in {:.3}s  (peak {} in flight, {} queued now)",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.dropped_jobs,
+            self.workers,
+            self.uptime_seconds,
+            self.max_in_flight,
+            self.queue_depth,
+        );
+        let _ = writeln!(
+            out,
+            "  throughput: {} snapshots / {} edges total",
+            self.snapshots, self.edges,
+        );
+        let _ = writeln!(out, "  latency: {}", self.latency.render());
+        let _ = writeln!(
+            out,
+            "  cache: {} hits / {} misses ({:.0}% hit rate), {} evictions, {} entries / {} KiB resident",
+            self.cache.hits,
+            self.cache.misses,
+            100.0 * self.cache.hit_rate(),
+            self.cache.evictions,
+            self.cache.entries,
+            self.cache.bytes / 1024,
+        );
+        let _ = writeln!(
+            out,
+            "  affinity: {} model batches, max {} jobs/batch, mean {:.1}",
+            self.affinity.batches, self.affinity.max_batch_len, self.affinity.mean_batch_len,
+        );
+        out
+    }
+}
+
+/// Claim on one submitted job: the receive side of its private result
+/// channel. The result is delivered exactly once — after a successful
+/// [`try_wait`](Ticket::try_wait)/[`wait_timeout`](Ticket::wait_timeout),
+/// further waits report [`ServeError::JobDropped`].
+#[derive(Debug)]
+pub struct Ticket {
+    id: JobId,
+    model: String,
+    t_len: usize,
+    seed: u64,
+    rx: Receiver<JobResult>,
+}
+
+impl Ticket {
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The request's registered model name.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    pub fn t_len(&self) -> usize {
+        self.t_len
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Block until the job completes. Returns
+    /// [`ServeError::JobDropped`] when the job was discarded by an
+    /// abort/drop before a worker ran it (or its result was already
+    /// consumed by a poll).
+    pub fn wait(self) -> Result<JobResult, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::JobDropped)
+    }
+
+    /// Non-blocking poll: `Ok(None)` while the job is still queued or
+    /// running.
+    pub fn try_wait(&mut self) -> Result<Option<JobResult>, ServeError> {
+        match self.rx.try_recv() {
+            Ok(result) => Ok(Some(result)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(ServeError::JobDropped),
+        }
+    }
+
+    /// Bounded wait: `Ok(None)` on timeout.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<Option<JobResult>, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Ok(Some(result)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::JobDropped),
+        }
+    }
+}
+
+/// Latency samples kept for percentile estimation (per core).
+const LATENCY_WINDOW: usize = 4096;
+
+/// Mutable running statistics updated by workers as they complete jobs.
+struct RunningStats {
+    /// Closed affinity runs: count / total jobs / longest.
+    runs: usize,
+    runs_sum: usize,
+    runs_max: usize,
+    /// Per-worker open run: (model fingerprint, jobs so far).
+    open_runs: Vec<(Option<u64>, usize)>,
+    /// Ring buffer of recent per-job wall times (seconds).
+    latency: Vec<f64>,
+    latency_next: usize,
+    latency_total: u64,
+}
+
+impl RunningStats {
+    fn new(workers: usize) -> Self {
+        RunningStats {
+            runs: 0,
+            runs_sum: 0,
+            runs_max: 0,
+            open_runs: vec![(None, 0); workers],
+            latency: Vec::with_capacity(LATENCY_WINDOW.min(1024)),
+            latency_next: 0,
+            latency_total: 0,
+        }
+    }
+
+    fn close_run(&mut self, worker: usize) {
+        let (_, len) = self.open_runs[worker];
+        if len > 0 {
+            self.runs += 1;
+            self.runs_sum += len;
+            self.runs_max = self.runs_max.max(len);
+        }
+        self.open_runs[worker] = (None, 0);
+    }
+
+    fn record_latency(&mut self, seconds: f64) {
+        if self.latency.len() < LATENCY_WINDOW {
+            self.latency.push(seconds);
+        } else {
+            self.latency[self.latency_next] = seconds;
+            self.latency_next = (self.latency_next + 1) % LATENCY_WINDOW;
+        }
+        self.latency_total += 1;
+    }
+
+    fn affinity(&self) -> AffinityStats {
+        let open: Vec<usize> =
+            self.open_runs.iter().map(|&(_, len)| len).filter(|&len| len > 0).collect();
+        let batches = self.runs + open.len();
+        let sum = self.runs_sum + open.iter().sum::<usize>();
+        let max = self.runs_max.max(open.iter().copied().max().unwrap_or(0));
+        AffinityStats {
+            batches,
+            max_batch_len: max,
+            mean_batch_len: if batches == 0 { 0.0 } else { sum as f64 / batches as f64 },
+        }
+    }
+
+    fn latency_stats(&self) -> LatencyStats {
+        if self.latency.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut window = self.latency.clone();
+        window.sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        // Nearest-rank percentile over the sorted window.
+        let rank = |q: f64| -> f64 {
+            let idx = ((q * window.len() as f64).ceil() as usize).clamp(1, window.len()) - 1;
+            window[idx]
+        };
+        LatencyStats {
+            samples: self.latency_total,
+            window: window.len(),
+            mean_seconds: window.iter().sum::<f64>() / window.len() as f64,
+            p50_seconds: rank(0.50),
+            p95_seconds: rank(0.95),
+            p99_seconds: rank(0.99),
+            max_seconds: *window.last().expect("non-empty"),
+        }
+    }
+}
+
+/// State shared between handles and workers (workers hold only this, so
+/// dropping the last handle — which owns the join handles — can never
+/// deadlock on a worker keeping the core alive).
+struct Shared {
+    queue: JobQueue,
+    cache: SnapshotCache,
+    stats: Mutex<RunningStats>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    dropped: AtomicU64,
+    snapshots: AtomicU64,
+    edges: AtomicU64,
+    /// Completion sequence; see [`JobResult::seq`].
+    seq: AtomicU64,
+    closed: AtomicBool,
+}
+
+struct Core {
+    shared: Arc<Shared>,
+    registry: ModelRegistry,
+    next_id: AtomicU64,
+    max_queue_depth: Option<usize>,
+    worker_count: usize,
+    started: Instant,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Drop for Core {
+    fn drop(&mut self) {
+        // The last handle is gone: abort (a drop is not a drain — error
+        // paths must exit promptly instead of silently finishing minutes
+        // of submitted work) and join so no worker is leaked parked on
+        // the condvar. Discarded jobs stay observable as `dropped_jobs`
+        // right until the counters themselves go away with the core.
+        self.shared.closed.store(true, Ordering::SeqCst);
+        let dropped = self.shared.queue.close_discard();
+        self.shared.dropped.fetch_add(dropped as u64, Ordering::SeqCst);
+        for handle in self.workers.get_mut().expect("workers lock poisoned").drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Cheap, clonable, `Send + Sync` front door to a running service core.
+///
+/// All clones share one worker pool, queue, cache, and statistics; the
+/// core shuts down (abort + join) when the last clone drops. See the
+/// [module docs](self) for the lifecycle.
+#[derive(Clone)]
+pub struct ServeHandle {
+    core: Arc<Core>,
+}
+
+impl ServeHandle {
+    /// Spawn `workers` threads draining a fresh queue, with caching and
+    /// admission control disabled. Fails with [`ServeError::NoWorkers`]
+    /// when `workers == 0`.
+    pub fn new(registry: ModelRegistry, workers: usize) -> Result<ServeHandle, ServeError> {
+        ServeHandle::with_config(registry, ServeConfig { workers, ..Default::default() })
+    }
+
+    /// Spawn a pool with explicit [`ServeConfig`]. Fails with
+    /// [`ServeError::NoWorkers`] when `config.workers == 0` — a pool
+    /// without workers would accept jobs that can never run.
+    pub fn with_config(
+        registry: ModelRegistry,
+        config: ServeConfig,
+    ) -> Result<ServeHandle, ServeError> {
+        if config.workers == 0 {
+            return Err(ServeError::NoWorkers);
+        }
+        let cache = SnapshotCache::new(config.cache);
+        // Coalescing only pays off when finished twins can be served
+        // from the cache.
+        let queue = JobQueue::with_cache(cache.is_enabled().then(|| cache.clone()));
+        let shared = Arc::new(Shared {
+            queue,
+            cache,
+            stats: Mutex::new(RunningStats::new(config.workers)),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            edges: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vrdag-serve-worker-{i}"))
+                    .spawn(move || worker_loop(i, &shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Ok(ServeHandle {
+            core: Arc::new(Core {
+                shared,
+                registry,
+                next_id: AtomicU64::new(0),
+                max_queue_depth: config.max_queue_depth,
+                worker_count: config.workers,
+                started: Instant::now(),
+                workers: Mutex::new(workers),
+            }),
+        })
+    }
+
+    /// The registry this service resolves model names against. Models
+    /// registered or removed here are picked up by subsequent submits —
+    /// the registry is shared, not snapshotted.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.core.registry
+    }
+
+    /// The snapshot cache shared by this service's workers.
+    pub fn cache(&self) -> &SnapshotCache {
+        &self.core.shared.cache
+    }
+
+    /// Jobs queued and not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.core.shared.queue.depth()
+    }
+
+    /// Worker threads the pool was built with.
+    pub fn workers(&self) -> usize {
+        self.core.worker_count
+    }
+
+    /// Enqueue a request without blocking on generation and return the
+    /// [`Ticket`] its result will be delivered on. Fails fast with a
+    /// typed error instead of accepting work it cannot run:
+    ///
+    /// * [`ServeError::SchedulerClosed`] after [`close`](Self::close) /
+    ///   [`abort`](Self::abort),
+    /// * [`ServeError::UnknownModel`] for unregistered names,
+    /// * [`ServeError::InvalidRequest`] for `t_len == 0`,
+    /// * [`ServeError::QueueFull`] when the admission cap is reached —
+    ///   the caller's backpressure signal.
+    pub fn submit(&self, req: GenRequest) -> Result<Ticket, ServeError> {
+        if self.core.shared.closed.load(Ordering::SeqCst) {
+            return Err(ServeError::SchedulerClosed);
+        }
+        if req.t_len == 0 {
+            return Err(ServeError::InvalidRequest(
+                "t_len must be >= 1 (a dynamic graph needs at least one snapshot)".into(),
+            ));
+        }
+        let handle = self.core.registry.resolve(&req.model)?;
+        let (tx, rx) = mpsc::channel();
+        let id = JobId(self.core.next_id.fetch_add(1, Ordering::SeqCst));
+        let ticket =
+            Ticket { id, model: req.model, t_len: req.t_len, seed: req.seed, rx };
+        let job = Job {
+            id,
+            handle,
+            t_len: req.t_len,
+            seed: req.seed,
+            priority: req.priority,
+            sink: req.sink,
+            reply: tx,
+        };
+        match self.core.shared.queue.push_checked(job, self.core.max_queue_depth) {
+            Ok(()) => {
+                self.core.shared.submitted.fetch_add(1, Ordering::SeqCst);
+                Ok(ticket)
+            }
+            // A close/abort from another handle clone can win the race
+            // against the pre-flight `closed` check above; that is the
+            // same typed error, not a panic.
+            Err(crate::queue::PushRejected::Closed) => Err(ServeError::SchedulerClosed),
+            Err(crate::queue::PushRejected::Full { depth }) => Err(ServeError::QueueFull {
+                depth,
+                cap: self.core.max_queue_depth.expect("cap enforced implies cap set"),
+            }),
+        }
+    }
+
+    /// Stop accepting submissions; workers finish everything already
+    /// queued and then exit. Idempotent.
+    pub fn close(&self) {
+        self.core.shared.closed.store(true, Ordering::SeqCst);
+        self.core.shared.queue.close();
+    }
+
+    /// Stop accepting submissions *and* discard queued jobs (in-flight
+    /// jobs finish). Each discarded job counts into
+    /// [`ServeStats::dropped_jobs`] and its ticket reports
+    /// [`ServeError::JobDropped`]. Idempotent.
+    pub fn abort(&self) {
+        self.core.shared.closed.store(true, Ordering::SeqCst);
+        let dropped = self.core.shared.queue.close_discard();
+        self.core.shared.dropped.fetch_add(dropped as u64, Ordering::SeqCst);
+    }
+
+    /// Block until every worker thread has exited. Only meaningful after
+    /// [`close`](Self::close) or [`abort`](Self::abort) — otherwise the
+    /// workers never exit and this blocks forever. Safe to call from
+    /// multiple handles; later callers return once the first join is
+    /// done.
+    pub fn join_workers(&self) {
+        let handles: Vec<_> =
+            self.core.workers.lock().expect("workers lock poisoned").drain(..).collect();
+        for handle in handles {
+            handle.join().expect("worker thread panicked");
+        }
+    }
+
+    /// Graceful shutdown: close, drain, join, and return the final
+    /// statistics snapshot.
+    pub fn shutdown(&self) -> ServeStats {
+        self.close();
+        self.join_workers();
+        self.stats()
+    }
+
+    /// On-demand statistics snapshot; callable at any time, including
+    /// while jobs are queued and executing.
+    pub fn stats(&self) -> ServeStats {
+        let shared = &self.core.shared;
+        let (affinity, latency) = {
+            let stats = shared.stats.lock().expect("stats lock poisoned");
+            (stats.affinity(), stats.latency_stats())
+        };
+        ServeStats {
+            workers: self.core.worker_count,
+            uptime_seconds: self.core.started.elapsed().as_secs_f64().max(1e-9),
+            submitted: shared.submitted.load(Ordering::SeqCst),
+            completed: shared.completed.load(Ordering::SeqCst),
+            failed: shared.failed.load(Ordering::SeqCst),
+            dropped_jobs: shared.dropped.load(Ordering::SeqCst),
+            queue_depth: shared.queue.depth(),
+            in_flight: shared.queue.in_flight(),
+            max_in_flight: shared.queue.max_in_flight(),
+            snapshots: shared.snapshots.load(Ordering::SeqCst),
+            edges: shared.edges.load(Ordering::SeqCst),
+            cache: shared.cache.stats(),
+            affinity,
+            latency,
+        }
+    }
+}
+
+/// A worker's single cached model instance: the artifact it belongs to
+/// and the deserialized model. Affinity scheduling makes one instance
+/// (instead of a per-model map) the right shape — switching models is
+/// exactly the batch boundary.
+struct WorkerInstance {
+    fingerprint: u64,
+    model: Vrdag,
+}
+
+fn worker_loop(worker: usize, shared: &Shared) {
+    let mut instance: Option<WorkerInstance> = None;
+    // Run accounting follows the *jobs* (consecutive same-model
+    // stretches), not the instance: a cache-hit job for another model
+    // never needs an instance, so the old one is kept until a miss
+    // actually demands a different artifact (see run_job).
+    while let Some(job) = shared.queue.pop(instance.as_ref().map(|i| i.fingerprint)) {
+        let fp = job.handle.fingerprint();
+        {
+            let mut stats = shared.stats.lock().expect("stats lock poisoned");
+            if stats.open_runs[worker].0 != Some(fp) {
+                stats.close_run(worker);
+                stats.open_runs[worker].0 = Some(fp);
+            }
+        }
+        let key = job_cache_key(&job.handle, job.t_len, job.seed);
+        let reply = job.reply.clone();
+        // User code runs inside run_job (Callback sinks): contain a
+        // panic to this *job* instead of killing the worker — a dead
+        // worker would strand every queued job's reply channel inside
+        // the queue, deadlocking the tickets waiting on them.
+        let id = job.id;
+        let model_name = job.handle.name().to_string();
+        let (t_len, seed) = (job.t_len, job.seed);
+        let sink_path = match &job.sink {
+            GenSink::TsvFile(p) | GenSink::BinaryFile(p) => Some(p.clone()),
+            _ => None,
+        };
+        let started = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(job, &mut instance, &shared.cache)
+        }));
+        let mut result = match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                // The panic may have unwound mid-generation: discard the
+                // cached model instance and any truncated output file.
+                instance = None;
+                if let Some(path) = &sink_path {
+                    let _ = std::fs::remove_file(path);
+                }
+                JobResult {
+                    id,
+                    model: model_name,
+                    t_len,
+                    seed,
+                    snapshots: 0,
+                    edges: 0,
+                    seconds: started.elapsed().as_secs_f64().max(1e-9),
+                    snapshots_per_sec: 0.0,
+                    cache_hit: false,
+                    seq: 0,
+                    graph: None,
+                    error: Some(format!("job panicked: {}", panic_message(payload.as_ref()))),
+                }
+            }
+        };
+        shared.completed.fetch_add(1, Ordering::SeqCst);
+        if result.error.is_some() {
+            shared.failed.fetch_add(1, Ordering::SeqCst);
+        }
+        shared.snapshots.fetch_add(result.snapshots as u64, Ordering::SeqCst);
+        shared.edges.fetch_add(result.edges as u64, Ordering::SeqCst);
+        result.seq = shared.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        {
+            let mut stats = shared.stats.lock().expect("stats lock poisoned");
+            stats.open_runs[worker].1 += 1;
+            stats.record_latency(result.seconds);
+        }
+        // The caller may have dropped its ticket; completion is still
+        // fully accounted above, so ignore a closed channel.
+        let _ = reply.send(result);
+        shared.queue.finish_one(&key);
+    }
+    // Fold the final open run into the closed totals so post-shutdown
+    // snapshots see every run.
+    shared.stats.lock().expect("stats lock poisoned").close_run(worker);
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCache) -> JobResult {
+    let Job { id, handle, t_len, seed, priority: _, mut sink, reply: _ } = job;
+    let model_name = handle.name().to_string();
+    let key = job_cache_key(&handle, t_len, seed);
+    let started = Instant::now();
+    let mut cache_hit = false;
+    let outcome = (|| -> Result<(StreamStats, Option<Arc<DynamicGraph>>), ServeError> {
+        if cache.is_enabled() {
+            if let Some(graph) = cache.get(&key) {
+                // Hit: replay the cached sequence into the sink (no
+                // model instance needed, so the worker's current one is
+                // left alone). The determinism contract makes this
+                // bit-identical to regenerating
+                // (tests/cache_determinism.rs).
+                cache_hit = true;
+                let stats = replay_into_sink(&graph, &mut sink)?;
+                let out = matches!(sink, GenSink::InMemory).then_some(graph);
+                return Ok((stats, out));
+            }
+        }
+        // Miss: make sure this worker's instance matches the artifact
+        // (invalidated lazily, only when a miss actually needs another
+        // model — the worker still holds at most one instance).
+        if instance.as_ref().map(|i| i.fingerprint) != Some(handle.fingerprint()) {
+            *instance = None;
+            let model = handle.instantiate()?;
+            *instance = Some(WorkerInstance { fingerprint: handle.fingerprint(), model });
+        }
+        let model = &instance.as_ref().expect("just ensured").model;
+        // One generation pass: the sink streams per snapshot exactly as
+        // with caching off, and the sequence is additionally retained
+        // for the cache only while it fits the byte budget.
+        let budget = cache.is_enabled().then(|| cache.budget().max_bytes);
+        let (stats, graph) = generate_into_sink(model, t_len, seed, &mut sink, budget)?;
+        let graph = graph.map(Arc::new);
+        if cache.is_enabled() {
+            if let Some(g) = &graph {
+                cache.insert(key, Arc::clone(g));
+            }
+        }
+        let out = if matches!(sink, GenSink::InMemory) { graph } else { None };
+        Ok((stats, out))
+    })();
+    if outcome.is_err() {
+        // Never leave a truncated file (header promises t_len snapshots)
+        // next to complete ones in the output directory.
+        if let GenSink::TsvFile(path) | GenSink::BinaryFile(path) = &sink {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    let seconds = started.elapsed().as_secs_f64().max(1e-9);
+    match outcome {
+        Ok((stats, graph)) => JobResult {
+            id,
+            model: model_name,
+            t_len,
+            seed,
+            snapshots: stats.snapshots,
+            edges: stats.edges,
+            seconds,
+            snapshots_per_sec: stats.snapshots as f64 / seconds,
+            cache_hit,
+            seq: 0,
+            graph,
+            error: None,
+        },
+        Err(e) => JobResult {
+            id,
+            model: model_name,
+            t_len,
+            seed,
+            snapshots: 0,
+            edges: 0,
+            seconds,
+            snapshots_per_sec: 0.0,
+            cache_hit: false,
+            seq: 0,
+            graph: None,
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+/// The emitting half of a [`GenSink`], shared by cold generation and
+/// cache-hit replay so the two paths can never desynchronize (same
+/// writer construction, same per-snapshot flushing, same finish). The
+/// in-memory collection of [`GenSink::InMemory`] is handled by the
+/// callers — for this writer it is a no-op like [`GenSink::Discard`].
+enum SinkWriter<'a> {
+    Tsv(TsvStreamWriter<BufWriter<std::fs::File>>),
+    Bin(BinaryStreamWriter<BufWriter<std::fs::File>>),
+    Callback(&'a mut (dyn FnMut(usize, &Snapshot) + Send)),
+    Null,
+}
+
+impl<'a> SinkWriter<'a> {
+    fn open(
+        sink: &'a mut GenSink,
+        n: usize,
+        f: usize,
+        t_len: usize,
+    ) -> Result<SinkWriter<'a>, ServeError> {
+        Ok(match sink {
+            GenSink::TsvFile(path) => {
+                let w = BufWriter::new(std::fs::File::create(path)?);
+                SinkWriter::Tsv(TsvStreamWriter::new(w, n, f, t_len)?)
+            }
+            GenSink::BinaryFile(path) => {
+                let w = BufWriter::new(std::fs::File::create(path)?);
+                SinkWriter::Bin(BinaryStreamWriter::new(w, n, f, t_len)?)
+            }
+            GenSink::Callback(cb) => SinkWriter::Callback(cb.as_mut()),
+            GenSink::InMemory | GenSink::Discard => SinkWriter::Null,
+        })
+    }
+
+    fn write(&mut self, t: usize, snapshot: &Snapshot) -> Result<(), ServeError> {
+        match self {
+            SinkWriter::Tsv(w) => w.write_snapshot(snapshot)?,
+            SinkWriter::Bin(w) => w.write_snapshot(snapshot)?,
+            SinkWriter::Callback(cb) => cb(t, snapshot),
+            SinkWriter::Null => {}
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<(), ServeError> {
+        match self {
+            SinkWriter::Tsv(w) => {
+                w.finish()?;
+            }
+            SinkWriter::Bin(w) => {
+                w.finish()?;
+            }
+            SinkWriter::Callback(_) | SinkWriter::Null => {}
+        }
+        Ok(())
+    }
+}
+
+/// Feed a cached sequence through a sink, exactly as generation would
+/// have (same writers, same per-snapshot flushing).
+fn replay_into_sink(
+    graph: &DynamicGraph,
+    sink: &mut GenSink,
+) -> Result<StreamStats, ServeError> {
+    let stats = StreamStats {
+        snapshots: graph.t_len(),
+        edges: graph.temporal_edge_count(),
+    };
+    let mut writer = SinkWriter::open(sink, graph.n_nodes(), graph.n_attrs(), graph.t_len())?;
+    for (t, s) in graph.iter() {
+        writer.write(t, s)?;
+    }
+    writer.finish()?;
+    Ok(stats)
+}
+
+/// Drive Algorithm 1 one snapshot at a time straight into the sink.
+///
+/// The full sequence is materialized only when the caller needs it: for
+/// [`GenSink::InMemory`] (the job asked for it), or opportunistically
+/// for the snapshot cache when `collect_budget` is set — in which case
+/// collection is abandoned the moment the accumulated reserved bytes
+/// exceed the budget, so an uncacheable (oversized) sequence never
+/// breaks the streaming sinks' memory bound.
+fn generate_into_sink(
+    model: &Vrdag,
+    t_len: usize,
+    seed: u64,
+    sink: &mut GenSink,
+    collect_budget: Option<usize>,
+) -> Result<(StreamStats, Option<DynamicGraph>), ServeError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = model.begin_generation(&mut rng)?;
+    let n = model.n_nodes().expect("begin_generation succeeded");
+    let f = model.n_attrs().expect("begin_generation succeeded");
+    let mut stats = StreamStats::default();
+    let want_result = matches!(sink, GenSink::InMemory);
+    let mut collected =
+        (want_result || collect_budget.is_some()).then(|| Vec::with_capacity(t_len));
+    let mut collected_bytes = 0usize;
+    let mut writer = SinkWriter::open(sink, n, f, t_len)?;
+    for t in 0..t_len {
+        let snapshot = state.step(model);
+        stats.snapshots += 1;
+        stats.edges += snapshot.n_edges();
+        writer.write(t, &snapshot)?;
+        if collected.is_some() {
+            // Reserved accounting to match the cache's admission charge.
+            collected_bytes += snapshot.approx_bytes_reserved();
+            let over = collect_budget.is_some_and(|max| collected_bytes > max);
+            if over && !want_result {
+                collected = None;
+            } else if let Some(v) = &mut collected {
+                v.push(snapshot);
+            }
+        }
+    }
+    writer.finish()?;
+    Ok((stats, collected.map(DynamicGraph::new)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::atomic::AtomicUsize;
+    use vrdag::VrdagConfig;
+
+    fn fitted(fit_seed: u64) -> Vrdag {
+        let g = vrdag_datasets::generate(&vrdag_datasets::tiny(), fit_seed);
+        let mut cfg = VrdagConfig::test_small();
+        cfg.epochs = 2;
+        let mut m = Vrdag::new(cfg);
+        let mut rng = StdRng::seed_from_u64(fit_seed);
+        m.fit(&g, &mut rng).unwrap();
+        m
+    }
+
+    fn registry_with_tiny() -> (ModelRegistry, Vrdag) {
+        let m = fitted(3);
+        let registry = ModelRegistry::new();
+        registry.register("tiny", &m).unwrap();
+        (registry, m)
+    }
+
+    /// Deterministic blocker: a callback job that signals when it starts
+    /// and then parks until released, pinning one worker.
+    fn blocking_request(
+        model: &str,
+        seed: u64,
+        started_tx: std::sync::mpsc::Sender<()>,
+        release_rx: std::sync::mpsc::Receiver<()>,
+    ) -> GenRequest {
+        let mut fired = false;
+        GenRequest::new(
+            model,
+            1,
+            seed,
+            GenSink::Callback(Box::new(move |_, _| {
+                if !fired {
+                    fired = true;
+                    started_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                }
+            })),
+        )
+    }
+
+    #[test]
+    fn submit_is_non_blocking_and_tickets_deliver_results() {
+        let (registry, model) = registry_with_tiny();
+        let handle = ServeHandle::new(registry, 2).unwrap();
+        // Submitting never waits for generation: collect all tickets
+        // first, then wait on them in any order.
+        let tickets: Vec<Ticket> = (0..4u64)
+            .map(|seed| {
+                handle.submit(GenRequest::new("tiny", 3, seed, GenSink::InMemory)).unwrap()
+            })
+            .collect();
+        for ticket in tickets.into_iter().rev() {
+            let seed = ticket.seed();
+            let result = ticket.wait().unwrap();
+            assert!(result.is_ok(), "{:?}", result.error);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let expected = model.generate(3, &mut rng).unwrap();
+            assert_eq!(result.graph.as_deref().unwrap(), &expected, "seed {seed}");
+            assert!(result.seq >= 1);
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.dropped_jobs, 0);
+    }
+
+    #[test]
+    fn handle_is_clonable_and_usable_from_threads() {
+        let (registry, model) = registry_with_tiny();
+        let handle = ServeHandle::new(registry, 2).unwrap();
+        let threads: Vec<_> = (0..3u64)
+            .map(|seed| {
+                let handle = handle.clone();
+                std::thread::spawn(move || {
+                    let ticket = handle
+                        .submit(GenRequest::new("tiny", 2, seed, GenSink::InMemory))
+                        .unwrap();
+                    ticket.wait().unwrap()
+                })
+            })
+            .collect();
+        for t in threads {
+            let result = t.join().unwrap();
+            assert!(result.is_ok());
+            let mut rng = StdRng::seed_from_u64(result.seed);
+            let expected = model.generate(2, &mut rng).unwrap();
+            assert_eq!(result.graph.as_deref().unwrap(), &expected);
+        }
+    }
+
+    #[test]
+    fn try_wait_polls_without_blocking() {
+        let (registry, _) = registry_with_tiny();
+        let handle = ServeHandle::new(registry, 1).unwrap();
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel();
+        let blocker =
+            handle.submit(blocking_request("tiny", 0, started_tx, release_rx)).unwrap();
+        started_rx.recv().unwrap();
+        let mut ticket =
+            handle.submit(GenRequest::new("tiny", 1, 1, GenSink::Discard)).unwrap();
+        // Queued behind the pinned worker: polling sees nothing yet.
+        assert!(ticket.try_wait().unwrap().is_none());
+        assert!(ticket.wait_timeout(Duration::from_millis(10)).unwrap().is_none());
+        release_tx.send(()).unwrap();
+        let result = loop {
+            if let Some(r) = ticket.wait_timeout(Duration::from_secs(30)).unwrap() {
+                break r;
+            }
+        };
+        assert!(result.is_ok());
+        blocker.wait().unwrap();
+    }
+
+    #[test]
+    fn stats_report_latency_percentiles() {
+        let (registry, _) = registry_with_tiny();
+        let handle = ServeHandle::new(registry, 2).unwrap();
+        let tickets: Vec<Ticket> = (0..6u64)
+            .map(|seed| {
+                handle.submit(GenRequest::new("tiny", 2, seed, GenSink::Discard)).unwrap()
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.latency.samples, 6);
+        assert_eq!(stats.latency.window, 6);
+        assert!(stats.latency.p50_seconds > 0.0);
+        assert!(stats.latency.p50_seconds <= stats.latency.p95_seconds);
+        assert!(stats.latency.p95_seconds <= stats.latency.p99_seconds);
+        assert!(stats.latency.p99_seconds <= stats.latency.max_seconds);
+        let rendered = stats.render();
+        assert!(rendered.contains("latency: p50"), "{rendered}");
+    }
+
+    #[test]
+    fn abort_counts_dropped_jobs_and_tickets_observe_it() {
+        let (registry, _) = registry_with_tiny();
+        let handle = ServeHandle::new(registry, 1).unwrap();
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel();
+        let blocker =
+            handle.submit(blocking_request("tiny", 0, started_tx, release_rx)).unwrap();
+        started_rx.recv().unwrap();
+        let queued: Vec<Ticket> = (1..4u64)
+            .map(|seed| {
+                handle.submit(GenRequest::new("tiny", 1, seed, GenSink::Discard)).unwrap()
+            })
+            .collect();
+        handle.abort();
+        release_tx.send(()).unwrap();
+        // The in-flight blocker still completes; the queued jobs were
+        // discarded, observable both on the tickets and in the stats.
+        assert!(blocker.wait().unwrap().is_ok());
+        for ticket in queued {
+            assert!(matches!(ticket.wait(), Err(ServeError::JobDropped)));
+        }
+        handle.join_workers();
+        let stats = handle.stats();
+        assert_eq!(stats.dropped_jobs, 3);
+        assert_eq!(stats.completed, 1);
+        assert!(matches!(
+            handle.submit(GenRequest::new("tiny", 1, 9, GenSink::Discard)),
+            Err(ServeError::SchedulerClosed)
+        ));
+    }
+
+    #[test]
+    fn service_stays_live_across_waves_and_stats_accumulate() {
+        // The core outlives any single "batch": submit, drain, submit
+        // again — no re-construction, stats keep accumulating.
+        let (registry, _) = registry_with_tiny();
+        let handle = ServeHandle::with_config(
+            registry,
+            ServeConfig { workers: 2, cache: CacheBudget::entries(8), ..Default::default() },
+        )
+        .unwrap();
+        for wave in 0..3u64 {
+            let tickets: Vec<Ticket> = (0..2u64)
+                .map(|seed| {
+                    handle
+                        .submit(GenRequest::new("tiny", 2, seed, GenSink::InMemory))
+                        .unwrap()
+                })
+                .collect();
+            for t in tickets {
+                assert!(t.wait().unwrap().is_ok());
+            }
+            let stats = handle.stats();
+            assert_eq!(stats.completed, 2 * (wave + 1));
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.completed, 6);
+        // Waves 2 and 3 were served from the cache.
+        assert_eq!(stats.cache.misses, 2);
+        assert_eq!(stats.cache.hits, 4);
+    }
+
+    #[test]
+    fn dropping_the_last_handle_aborts_and_joins() {
+        let (registry, _) = registry_with_tiny();
+        let handle = ServeHandle::new(registry, 2).unwrap();
+        let clone = handle.clone();
+        drop(handle);
+        // The clone keeps the core alive and working.
+        let t = clone.submit(GenRequest::new("tiny", 1, 0, GenSink::Discard)).unwrap();
+        assert!(t.wait().unwrap().is_ok());
+        drop(clone); // joins workers; must not hang
+    }
+
+    #[test]
+    fn panicking_callback_sink_fails_the_job_not_the_worker() {
+        // A user callback that panics must be contained to its job: the
+        // single worker survives, the panicking job resolves with a
+        // typed error, and jobs queued behind it still run (a dead
+        // worker would strand their reply channels forever).
+        let (registry, _) = registry_with_tiny();
+        let handle = ServeHandle::new(registry, 1).unwrap();
+        let bomb = handle
+            .submit(GenRequest::new(
+                "tiny",
+                1,
+                0,
+                GenSink::Callback(Box::new(|_, _| panic!("sink exploded"))),
+            ))
+            .unwrap();
+        let follow = handle.submit(GenRequest::new("tiny", 2, 1, GenSink::InMemory)).unwrap();
+        let failed = bomb.wait().unwrap();
+        assert!(!failed.is_ok());
+        assert!(
+            failed.error.as_deref().unwrap().contains("sink exploded"),
+            "{:?}",
+            failed.error
+        );
+        let ok = follow.wait().unwrap();
+        assert!(ok.is_ok(), "{:?}", ok.error);
+        let stats = handle.shutdown();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn dropped_ticket_does_not_stall_the_worker() {
+        let (registry, _) = registry_with_tiny();
+        let handle = ServeHandle::new(registry, 1).unwrap();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran_in_cb = Arc::clone(&ran);
+        let ticket = handle
+            .submit(GenRequest::new(
+                "tiny",
+                1,
+                0,
+                GenSink::Callback(Box::new(move |_, _| {
+                    ran_in_cb.fetch_add(1, Ordering::SeqCst);
+                })),
+            ))
+            .unwrap();
+        drop(ticket); // fire-and-forget
+        let follow = handle.submit(GenRequest::new("tiny", 1, 1, GenSink::Discard)).unwrap();
+        assert!(follow.wait().unwrap().is_ok());
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "forgotten job still ran");
+        assert_eq!(handle.stats().completed, 2);
+    }
+}

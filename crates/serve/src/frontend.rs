@@ -1,0 +1,514 @@
+//! TCP frontend for the line protocol of [`protocol`](crate::protocol):
+//! a `std::net` listener (one thread per connection — no async runtime
+//! in this offline tree) that parses newline-delimited requests, drives
+//! the shared [`ServeHandle`], and routes each streamed reply back to
+//! the connection that asked for it.
+//!
+//! The frontend is deliberately thin: all scheduling, caching,
+//! coalescing, and admission control live in the service core. What it
+//! owns is *framing* (capped line reads, length-prefixed payloads) and
+//! *error translation* — every [`ServeError`] becomes a structured
+//! `ERR <code> …` line on the same connection, so a saturated queue
+//! ([`ServeError::QueueFull`]) is a backpressure *response*, never a
+//! dropped connection.
+
+use crate::core::{GenRequest, GenSink, ServeHandle};
+use crate::protocol::{
+    parse_reply, parse_request, ErrorCode, GenSpec, ProtocolError, ReplyHeader, Request,
+    WireFormat, MAX_LINE_BYTES,
+};
+use crate::ServeError;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use vrdag_graph::DynamicGraph;
+
+/// One line read from the wire, or the reasons there is none.
+enum ReadLine {
+    Line(Vec<u8>),
+    /// The line blew past [`MAX_LINE_BYTES`]; the overflow has been
+    /// consumed up to (and including) its newline so the connection can
+    /// keep going.
+    TooLong { len: usize },
+    Eof,
+}
+
+/// Read one `\n`-terminated line, enforcing the protocol's line cap
+/// without ever buffering an unbounded line in memory. A final line
+/// without a terminator (client shut down its write side) still counts.
+fn read_capped_line(reader: &mut impl BufRead) -> io::Result<ReadLine> {
+    let mut line = Vec::new();
+    let mut overflow = 0usize;
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if overflow > 0 {
+                ReadLine::TooLong { len: line.len() + overflow }
+            } else if line.is_empty() {
+                ReadLine::Eof
+            } else {
+                ReadLine::Line(line)
+            });
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buf.len(), |i| i + 1);
+        if overflow == 0 {
+            let keep = take - usize::from(newline.is_some());
+            if line.len() + keep <= MAX_LINE_BYTES {
+                line.extend_from_slice(&buf[..keep]);
+            } else {
+                overflow = line.len() + keep;
+                line.clear();
+            }
+        } else {
+            overflow += take - usize::from(newline.is_some());
+        }
+        let done = newline.is_some();
+        reader.consume(take);
+        if done {
+            return Ok(if overflow > 0 {
+                ReadLine::TooLong { len: overflow }
+            } else {
+                ReadLine::Line(line)
+            });
+        }
+    }
+}
+
+/// Serialize `graph` in the requested wire format. TSV is byte-identical
+/// to `vrdag_graph::io::write_tsv`; binary to the streaming writer — so
+/// a TCP reply equals what a direct [`ServeHandle`] caller would encode.
+fn encode_graph(graph: &DynamicGraph, fmt: WireFormat) -> Result<Vec<u8>, ServeError> {
+    match fmt {
+        WireFormat::Tsv => Ok(vrdag_graph::io::write_tsv(graph, Vec::new())?),
+        WireFormat::Bin => Ok(vrdag_graph::io::encode_binary(graph).as_slice().to_vec()),
+    }
+}
+
+/// Translate a service error into its wire code; the message is the
+/// error's display form except for `QueueFull`, which gets structured
+/// `depth=… cap=…` fields a client can parse and back off on.
+fn translate(err: &ServeError) -> (ErrorCode, String) {
+    match err {
+        ServeError::QueueFull { depth, cap } => {
+            (ErrorCode::QueueFull, format!("depth={depth} cap={cap}"))
+        }
+        ServeError::UnknownModel(name) => (ErrorCode::UnknownModel, format!("{name:?}")),
+        ServeError::InvalidRequest(msg) => (ErrorCode::InvalidRequest, msg.clone()),
+        ServeError::SchedulerClosed | ServeError::JobDropped => {
+            (ErrorCode::Shutdown, err.to_string())
+        }
+        other => (ErrorCode::Internal, other.to_string()),
+    }
+}
+
+fn write_header(w: &mut impl Write, header: &ReplyHeader) -> io::Result<()> {
+    w.write_all(header.to_line().as_bytes())?;
+    w.write_all(b"\n")
+}
+
+fn write_err(w: &mut impl Write, code: ErrorCode, message: impl Into<String>) -> io::Result<()> {
+    write_header(w, &ReplyHeader::Err { code, message: message.into() })
+}
+
+/// Handle one parsed request; returns `false` when the connection should
+/// close (QUIT).
+fn handle_request(
+    handle: &ServeHandle,
+    req: Request,
+    w: &mut impl Write,
+) -> io::Result<bool> {
+    match req {
+        Request::Gen(spec) => {
+            let GenSpec { model, t_len, seed, fmt, priority } = spec;
+            let submitted = handle.submit(
+                GenRequest::new(model, t_len, seed, GenSink::InMemory).with_priority(priority),
+            );
+            let ticket = match submitted {
+                Ok(ticket) => ticket,
+                Err(e) => {
+                    let (code, message) = translate(&e);
+                    write_err(w, code, message)?;
+                    return Ok(true);
+                }
+            };
+            let id = ticket.id();
+            let result = match ticket.wait() {
+                Ok(result) => result,
+                Err(e) => {
+                    let (code, message) = translate(&e);
+                    write_err(w, code, message)?;
+                    return Ok(true);
+                }
+            };
+            if let Some(error) = &result.error {
+                write_err(w, ErrorCode::Internal, error.clone())?;
+                return Ok(true);
+            }
+            let graph = result.graph.as_deref().expect("InMemory success carries the graph");
+            let payload = match encode_graph(graph, fmt) {
+                Ok(payload) => payload,
+                Err(e) => {
+                    write_err(w, ErrorCode::Internal, e.to_string())?;
+                    return Ok(true);
+                }
+            };
+            write_header(
+                w,
+                &ReplyHeader::Gen {
+                    id: id.0,
+                    model: result.model.clone(),
+                    t_len: result.t_len,
+                    seed: result.seed,
+                    fmt,
+                    snapshots: result.snapshots,
+                    edges: result.edges,
+                    cache_hit: result.cache_hit,
+                    bytes: payload.len(),
+                },
+            )?;
+            w.write_all(&payload)?;
+            Ok(true)
+        }
+        Request::Stats => {
+            let payload = handle.stats().render().into_bytes();
+            write_header(w, &ReplyHeader::Stats { bytes: payload.len() })?;
+            w.write_all(&payload)?;
+            Ok(true)
+        }
+        Request::Models => {
+            let mut listing = String::new();
+            for h in handle.registry().handles() {
+                use std::fmt::Write as _;
+                let _ = writeln!(
+                    listing,
+                    "{} nodes={} attrs={} size={} fingerprint={:016x}",
+                    h.name(),
+                    h.n_nodes(),
+                    h.n_attrs(),
+                    h.size_bytes(),
+                    h.fingerprint(),
+                );
+            }
+            let payload = listing.into_bytes();
+            write_header(w, &ReplyHeader::Models { bytes: payload.len() })?;
+            w.write_all(&payload)?;
+            Ok(true)
+        }
+        Request::Ping => {
+            write_header(w, &ReplyHeader::Pong)?;
+            Ok(true)
+        }
+        Request::Quit => {
+            write_header(w, &ReplyHeader::Bye)?;
+            Ok(false)
+        }
+    }
+}
+
+/// One connection: read a line, answer it, repeat. Requests on a single
+/// connection are served in order (pipeline across connections for
+/// parallelism); malformed lines get an `ERR` and the loop continues.
+fn serve_connection(handle: ServeHandle, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let outcome = (|| -> io::Result<bool> {
+            match read_capped_line(&mut reader)? {
+                ReadLine::Eof => Ok(false),
+                ReadLine::TooLong { len } => {
+                    write_err(
+                        &mut writer,
+                        ErrorCode::LineTooLong,
+                        ProtocolError::LineTooLong { len }.to_string(),
+                    )?;
+                    writer.flush()?;
+                    Ok(true)
+                }
+                ReadLine::Line(raw) => {
+                    let keep_going = match String::from_utf8(raw) {
+                        Err(_) => {
+                            write_err(
+                                &mut writer,
+                                ErrorCode::BadRequest,
+                                ProtocolError::NotUtf8.to_string(),
+                            )?;
+                            true
+                        }
+                        Ok(line) => match parse_request(&line) {
+                            // An empty line is a keep-alive no-op, not an error.
+                            Err(ProtocolError::Empty) => true,
+                            Err(e) => {
+                                write_err(&mut writer, e.code(), e.to_string())?;
+                                true
+                            }
+                            Ok(req) => handle_request(&handle, req, &mut writer)?,
+                        },
+                    };
+                    writer.flush()?;
+                    Ok(keep_going)
+                }
+            }
+        })();
+        match outcome {
+            Ok(true) => {}
+            // Clean close (EOF / QUIT) or transport failure: either way
+            // this connection is done.
+            Ok(false) | Err(_) => break,
+        }
+    }
+    // Send the FIN explicitly: the accept loop's tracked peer clone
+    // keeps the file descriptor alive until it is reaped, so merely
+    // dropping our reader/writer would leave the client waiting for an
+    // EOF that never comes. `shutdown` acts on the socket itself, across
+    // every clone.
+    if let Ok(stream) = writer.into_inner() {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Live connections: the peer stream (for severing on shutdown) and the
+/// handler thread serving it.
+type ConnTable = Vec<(TcpStream, std::thread::JoinHandle<()>)>;
+
+/// The TCP line-protocol frontend: accepts connections on its own
+/// thread, one handler thread per connection, all submitting into the
+/// shared service core. Dropping (or [`shutdown`](Frontend::shutdown))
+/// stops accepting, severs open connections, and joins every thread —
+/// the core itself stays up for other handles.
+pub struct Frontend {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<ConnTable>>,
+}
+
+impl Frontend {
+    /// Bind `addr` (use port 0 for an ephemeral port, see
+    /// [`local_addr`](Self::local_addr)) and start accepting.
+    pub fn bind(handle: ServeHandle, addr: impl ToSocketAddrs) -> io::Result<Frontend> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // The accept loop polls a non-blocking listener instead of
+        // parking in accept(2): shutdown never depends on being able to
+        // connect back to the bind address (interface-specific binds or
+        // local firewalls would leave a parked accept thread unjoinable
+        // forever), and transient accept errors (EMFILE when the
+        // thread-per-connection model runs out of descriptors) back off
+        // instead of busy-spinning the exact moment the host is
+        // saturated.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<ConnTable>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("vrdag-serve-accept".to_string())
+                .spawn(move || {
+                    const POLL: Duration = Duration::from_millis(10);
+                    while !stop.load(Ordering::SeqCst) {
+                        let stream = match listener.accept() {
+                            Ok((stream, _)) => stream,
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(POLL);
+                                continue;
+                            }
+                            Err(_) => {
+                                std::thread::sleep(POLL);
+                                continue;
+                            }
+                        };
+                        // Connection handlers use blocking reads; not
+                        // every platform resets the inherited
+                        // non-blocking flag on accept.
+                        if stream.set_nonblocking(false).is_err() {
+                            continue;
+                        }
+                        let Ok(peer) = stream.try_clone() else { continue };
+                        let handle = handle.clone();
+                        let worker = std::thread::Builder::new()
+                            .name("vrdag-serve-conn".to_string())
+                            .spawn(move || serve_connection(handle, stream))
+                            .expect("spawn connection thread");
+                        let mut table = conns.lock().expect("conn table poisoned");
+                        // Reap finished connections so the table tracks
+                        // live ones, not connection history.
+                        table.retain(|(_, h)| !h.is_finished());
+                        table.push((peer, worker));
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(Frontend { local_addr, stop, accept: Some(accept), conns })
+    }
+
+    /// The address the frontend is actually listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections currently being served.
+    pub fn open_connections(&self) -> usize {
+        let table = self.conns.lock().expect("conn table poisoned");
+        table.iter().filter(|(_, h)| !h.is_finished()).count()
+    }
+
+    /// Stop accepting, sever open connections, and join all frontend
+    /// threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop polls the stop flag (non-blocking listener),
+        // so it exits within one poll interval with no wake-up tricks.
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let conns: Vec<_> =
+            std::mem::take(&mut *self.conns.lock().expect("conn table poisoned"));
+        for (peer, worker) in conns {
+            let _ = peer.shutdown(Shutdown::Both);
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Frontend {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Minimal blocking client for the line protocol — the shape an `nc`
+/// session takes, with framing handled for you. Used by the loopback
+/// tests, the serving example, and handy for smoke-testing a live
+/// `vrdag-cli serve`.
+pub struct LineClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A complete reply: the parsed header line plus its payload bytes
+/// (empty for `PONG`/`BYE`/`ERR`).
+#[derive(Debug)]
+pub struct Reply {
+    pub header: ReplyHeader,
+    pub payload: Vec<u8>,
+}
+
+impl LineClient {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<LineClient> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(LineClient { reader: BufReader::new(stream), writer })
+    }
+
+    /// Send one request and read its complete reply.
+    pub fn request(&mut self, req: &Request) -> io::Result<Reply> {
+        self.send_line(&req.to_line())
+    }
+
+    /// Send a raw line (no newline) and read the reply — for exercising
+    /// malformed input on purpose.
+    pub fn send_line(&mut self, line: &str) -> io::Result<Reply> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> io::Result<Reply> {
+        let header_line = match read_capped_line(&mut self.reader)? {
+            ReadLine::Line(raw) => String::from_utf8(raw)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 reply"))?,
+            ReadLine::TooLong { len } => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("reply header of {len} bytes exceeds the line cap"),
+                ))
+            }
+            ReadLine::Eof => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before a reply header",
+                ))
+            }
+        };
+        let header = parse_reply(&header_line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let expect = match &header {
+            ReplyHeader::Gen { bytes, .. }
+            | ReplyHeader::Stats { bytes }
+            | ReplyHeader::Models { bytes } => *bytes,
+            _ => 0,
+        };
+        // Never pre-allocate the header-declared size: a malformed or
+        // hostile `bytes=` value must surface as an I/O error, not an
+        // allocation abort. `take` bounds the read and the buffer grows
+        // only with bytes that actually arrive.
+        let mut payload = Vec::new();
+        (&mut self.reader).take(expect as u64).read_to_end(&mut payload)?;
+        if payload.len() != expect {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("reply payload truncated: got {} of {expect} bytes", payload.len()),
+            ));
+        }
+        Ok(Reply { header, payload })
+    }
+
+    /// Convenience: issue a `GEN` and return the reply.
+    pub fn gen(&mut self, spec: GenSpec) -> io::Result<Reply> {
+        self.request(&Request::Gen(spec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capped_reader_splits_lines_and_reports_overflow() {
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(b"PING\n");
+        input.extend_from_slice(&vec![b'x'; MAX_LINE_BYTES + 10]);
+        input.push(b'\n');
+        input.extend_from_slice(b"STATS"); // unterminated final line
+        let mut reader = BufReader::with_capacity(16, &input[..]);
+        match read_capped_line(&mut reader).unwrap() {
+            ReadLine::Line(l) => assert_eq!(l, b"PING"),
+            _ => panic!("expected a line"),
+        }
+        match read_capped_line(&mut reader).unwrap() {
+            ReadLine::TooLong { len } => assert_eq!(len, MAX_LINE_BYTES + 10),
+            _ => panic!("expected overflow"),
+        }
+        match read_capped_line(&mut reader).unwrap() {
+            ReadLine::Line(l) => assert_eq!(l, b"STATS"),
+            _ => panic!("expected the unterminated tail"),
+        }
+        assert!(matches!(read_capped_line(&mut reader).unwrap(), ReadLine::Eof));
+    }
+
+    #[test]
+    fn capped_reader_line_exactly_at_cap_is_accepted() {
+        let mut input = vec![b'a'; MAX_LINE_BYTES];
+        input.push(b'\n');
+        let mut reader = BufReader::new(&input[..]);
+        match read_capped_line(&mut reader).unwrap() {
+            ReadLine::Line(l) => assert_eq!(l.len(), MAX_LINE_BYTES),
+            _ => panic!("cap is inclusive"),
+        }
+    }
+
+    #[test]
+    fn queue_full_translates_to_structured_backpressure() {
+        let (code, message) = translate(&ServeError::QueueFull { depth: 7, cap: 8 });
+        assert_eq!(code, ErrorCode::QueueFull);
+        assert_eq!(message, "depth=7 cap=8");
+    }
+}

@@ -1,10 +1,11 @@
 //! # vrdag-serve
 //!
 //! Model-serving subsystem for the VRDAG reproduction: the bridge from
-//! "a blocking `Vrdag::generate` call" to a system that can answer many
-//! concurrent generation requests against shared, trained models.
+//! "a blocking `Vrdag::generate` call" to a long-lived service that
+//! answers many concurrent generation requests against shared, trained
+//! models — over an in-process handle or a TCP wire protocol.
 //!
-//! Three pieces:
+//! The pieces, bottom up:
 //!
 //! * [`ModelRegistry`] — loads trained models (the `vrdag::persist`
 //!   binary format), keeps the serialized artifact behind an `Arc`, and
@@ -19,52 +20,73 @@
 //!   produces a seed-addressed synthetic sequence with memory bounded by
 //!   a single snapshot, and can spill incrementally through the
 //!   streaming TSV/binary writers of `vrdag_graph::io`.
-//! * [`Scheduler`] / [`JobQueue`] — a multi-threaded worker pool
-//!   (`std::thread`) executing batched [`GenRequest`]s concurrently with
-//!   model-affinity batching (jobs sharing an artifact drain from one
-//!   instantiation), per-model priorities, and queue-depth admission
-//!   control, reporting per-job and aggregate throughput ([`JobResult`],
-//!   [`BatchReport`]).
-//! * [`SnapshotCache`] — a bounded, thread-safe LRU over generated
-//!   sequences keyed by `(model fingerprint, t_len, seed)`. The
-//!   generator's determinism contract makes hits bit-identical to cold
-//!   generation; hit/miss/eviction counters surface in [`BatchReport`].
+//! * [`JobQueue`] + [`SnapshotCache`] — the scheduling spine: per-model
+//!   affinity groups with priority-first selection, admission control,
+//!   in-flight coalescing of identical requests, and a bounded LRU over
+//!   generated sequences keyed by `(artifact fingerprint, t_len, seed)`.
+//!   The generator's determinism contract makes hits bit-identical to
+//!   cold generation.
+//! * [`ServeHandle`] — the **service core**: a cheaply clonable,
+//!   `Send + Sync` front door whose non-blocking `submit` returns a
+//!   [`Ticket`] per job (result delivered over the ticket's private
+//!   channel by the worker that ran it) and whose [`ServeStats`]
+//!   snapshot exposes running cache / affinity / latency(p50/p95/p99) /
+//!   dropped-job counters on demand.
+//! * [`Scheduler`] — a thin batch facade over the core for
+//!   submit-everything-then-drain workloads ([`BatchReport`]).
+//! * [`protocol`] + [`Frontend`] — a newline-delimited TCP line
+//!   protocol (`GEN model=<name> t=<T> seed=<S> fmt=tsv|bin
+//!   [priority=P]`) and the `std::net` listener that serves it,
+//!   translating admission control into structured backpressure
+//!   (`ERR queue-full …`) instead of dropped connections.
 //!
 //! ```no_run
-//! use vrdag_serve::{CacheBudget, GenRequest, GenSink, ModelRegistry, Scheduler, SchedulerConfig};
+//! use vrdag_serve::{CacheBudget, GenRequest, GenSink, ModelRegistry, ServeConfig, ServeHandle};
 //!
 //! let registry = ModelRegistry::new();
 //! registry.load_file("email", "model.vrdg").unwrap();
-//! let mut scheduler = Scheduler::with_config(
+//! let handle = ServeHandle::with_config(
 //!     registry,
-//!     SchedulerConfig { workers: 4, cache: CacheBudget::entries(64), ..Default::default() },
+//!     ServeConfig { workers: 4, cache: CacheBudget::entries(64), ..Default::default() },
 //! )
 //! .unwrap();
-//! for seed in 0..16 {
-//!     scheduler
-//!         .submit(GenRequest::new(
-//!             "email",
-//!             14,
-//!             seed,
-//!             GenSink::TsvFile(format!("out/gen-{seed}.tsv").into()),
-//!         ))
-//!         .unwrap();
+//! // Non-blocking: fire all submissions, then wait on the tickets.
+//! let tickets: Vec<_> = (0..16u64)
+//!     .map(|seed| {
+//!         handle
+//!             .submit(GenRequest::new(
+//!                 "email",
+//!                 14,
+//!                 seed,
+//!                 GenSink::TsvFile(format!("out/gen-{seed}.tsv").into()),
+//!             ))
+//!             .unwrap()
+//!     })
+//!     .collect();
+//! for ticket in tickets {
+//!     ticket.wait().unwrap();
 //! }
-//! let report = scheduler.join().unwrap();
-//! println!("{}", report.render());
+//! println!("{}", handle.stats().render());
 //! ```
 
 mod cache;
+mod core;
+mod frontend;
+pub mod protocol;
+mod queue;
 mod registry;
 mod scheduler;
 mod stream;
 
 pub use cache::{CacheBudget, CacheKey, CacheStats, SnapshotCache};
-pub use registry::{ModelHandle, ModelRegistry};
-pub use scheduler::{
-    AffinityStats, BatchReport, GenRequest, GenSink, JobId, JobQueue, JobResult, Scheduler,
-    SchedulerConfig, SnapshotCallback,
+pub use core::{
+    AffinityStats, GenRequest, GenSink, JobId, JobResult, LatencyStats, SchedulerConfig,
+    ServeConfig, ServeHandle, ServeStats, SnapshotCallback, Ticket,
 };
+pub use frontend::{Frontend, LineClient, Reply};
+pub use queue::JobQueue;
+pub use registry::{ModelHandle, ModelRegistry};
+pub use scheduler::{BatchReport, Scheduler};
 pub use stream::{SnapshotStream, StreamStats};
 
 use std::fmt;
@@ -82,12 +104,13 @@ pub enum ServeError {
     Io(std::io::Error),
     /// The requested model name is not registered.
     UnknownModel(String),
-    /// A scheduler cannot be built with zero workers.
+    /// A service core cannot be built with zero workers.
     NoWorkers,
-    /// `submit` or `join` was called after `join` already drained the
-    /// scheduler.
+    /// `submit` after the core was closed (graceful `close`/`shutdown`,
+    /// `abort`, or a batch `Scheduler`'s `join`).
     SchedulerClosed,
-    /// Admission control: the queue already holds `cap` jobs.
+    /// Admission control: the queue already holds `cap` jobs. This is
+    /// the backpressure signal — retry later or shed load.
     QueueFull {
         /// Jobs queued at rejection time.
         depth: usize,
@@ -96,6 +119,10 @@ pub enum ServeError {
     },
     /// The request is malformed (e.g. `t_len == 0`).
     InvalidRequest(String),
+    /// The job was discarded before a worker ran it (the core was
+    /// aborted/dropped while the job sat queued), or its result was
+    /// already consumed from the ticket.
+    JobDropped,
 }
 
 impl fmt::Display for ServeError {
@@ -106,14 +133,17 @@ impl fmt::Display for ServeError {
             ServeError::GraphIo(e) => write!(f, "graph spill error: {e}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
             ServeError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
-            ServeError::NoWorkers => write!(f, "scheduler needs at least one worker"),
+            ServeError::NoWorkers => write!(f, "service needs at least one worker"),
             ServeError::SchedulerClosed => {
-                write!(f, "scheduler already joined; create a new one to submit more jobs")
+                write!(f, "service closed; create a new one to submit more jobs")
             }
             ServeError::QueueFull { depth, cap } => {
                 write!(f, "queue full: {depth} jobs queued at cap {cap}")
             }
             ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::JobDropped => {
+                write!(f, "job dropped before completion (service aborted while it was queued)")
+            }
         }
     }
 }

@@ -1,0 +1,675 @@
+//! The newline-delimited line protocol spoken by the TCP
+//! [`Frontend`](crate::Frontend).
+//!
+//! Every request is one UTF-8 line of at most [`MAX_LINE_BYTES`] bytes
+//! (newline excluded), a command word followed by space-separated
+//! `key=value` fields:
+//!
+//! ```text
+//! GEN model=<name> t=<T> seed=<S> fmt=tsv|bin [priority=<P>]
+//! STATS
+//! MODELS
+//! PING
+//! QUIT
+//! ```
+//!
+//! Replies are a single header line, optionally followed by exactly
+//! `bytes=<N>` bytes of payload (the generated sequence for `GEN`, a
+//! text listing for `STATS`/`MODELS`):
+//!
+//! ```text
+//! OK GEN id=<id> model=<name> t=<T> seed=<S> fmt=<F> snapshots=<n> edges=<m> cache=hit|miss bytes=<N>
+//! OK STATS bytes=<N>
+//! OK MODELS bytes=<N>
+//! OK PONG
+//! OK BYE
+//! ERR <code> [message…]
+//! ```
+//!
+//! Errors never close the connection (except transport failures): a
+//! saturated queue answers `ERR queue-full depth=<d> cap=<c>` as a
+//! structured backpressure signal, a malformed line answers
+//! `ERR bad-request …`, and the client may keep pipelining. Wire `GEN`
+//! requests are size-capped at `t <= `[`MAX_WIRE_T`] because a reply
+//! buffers the full sequence; longer sequences belong on the in-process
+//! streaming API.
+//!
+//! This module is pure parsing/serialization — no sockets — so it can be
+//! property-tested exhaustively (see `tests/protocol.rs`): arbitrary
+//! byte noise must never panic the parser, and every parsed value
+//! re-serializes to a line that parses back to the same value.
+
+use std::fmt;
+
+/// Upper bound on a request or reply-header line, newline excluded.
+/// Longer lines are rejected with [`ProtocolError::LineTooLong`] before
+/// any field parsing happens.
+pub const MAX_LINE_BYTES: usize = 4096;
+
+/// Upper bound on `t` in a wire `GEN` request. A wire reply buffers the
+/// full sequence (header carries `bytes=<N>`), so an uncapped `t` would
+/// let a single request pin a worker and exhaust server memory — the
+/// admission cap bounds queue *depth*, this bounds per-job *size*.
+/// Callers needing longer sequences use the in-process API
+/// (`ServeHandle` with a streaming sink), which keeps memory bounded by
+/// one snapshot.
+pub const MAX_WIRE_T: usize = 100_000;
+
+/// Payload encoding of a `GEN` reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WireFormat {
+    /// The TSV temporal format of `vrdag_graph::io` (text).
+    Tsv,
+    /// The compact binary snapshot format of `vrdag_graph::io`.
+    Bin,
+}
+
+impl WireFormat {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WireFormat::Tsv => "tsv",
+            WireFormat::Bin => "bin",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<WireFormat> {
+        match s {
+            "tsv" => Some(WireFormat::Tsv),
+            "bin" => Some(WireFormat::Bin),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for WireFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A parsed `GEN` request: the wire-level twin of
+/// [`GenRequest`](crate::GenRequest) (the sink is always the reply
+/// stream, so it carries a [`WireFormat`] instead).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenSpec {
+    /// Registered model name. May not be empty or contain whitespace
+    /// (the field grammar cannot express either).
+    pub model: String,
+    /// Number of snapshots (`>= 1`, enforced at parse time).
+    pub t_len: usize,
+    /// Determinism address.
+    pub seed: u64,
+    /// Reply payload encoding.
+    pub fmt: WireFormat,
+    /// Scheduling priority (optional on the wire, default 0).
+    pub priority: i32,
+}
+
+/// One request line, parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    Gen(GenSpec),
+    Stats,
+    Models,
+    Ping,
+    Quit,
+}
+
+impl Request {
+    /// Canonical single-line serialization (no trailing newline).
+    /// `parse_request(req.to_line()) == Ok(req)` for every value, and a
+    /// parsed request re-serializes to a stable canonical line.
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Gen(spec) => {
+                let mut line = format!(
+                    "GEN model={} t={} seed={} fmt={}",
+                    spec.model, spec.t_len, spec.seed, spec.fmt
+                );
+                if spec.priority != 0 {
+                    line.push_str(&format!(" priority={}", spec.priority));
+                }
+                line
+            }
+            Request::Stats => "STATS".to_string(),
+            Request::Models => "MODELS".to_string(),
+            Request::Ping => "PING".to_string(),
+            Request::Quit => "QUIT".to_string(),
+        }
+    }
+}
+
+/// Machine-readable error category carried on `ERR` reply lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Admission control rejected the job; retry later (backpressure,
+    /// not failure). Carries `depth=<d> cap=<c>` in the message.
+    QueueFull,
+    /// The requested model name is not registered.
+    UnknownModel,
+    /// The request parsed but was semantically rejected (e.g. `t=0`).
+    InvalidRequest,
+    /// The line did not parse.
+    BadRequest,
+    /// The line exceeded [`MAX_LINE_BYTES`].
+    LineTooLong,
+    /// The service is shutting down.
+    Shutdown,
+    /// Generation failed server-side.
+    Internal,
+}
+
+impl ErrorCode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::QueueFull => "queue-full",
+            ErrorCode::UnknownModel => "unknown-model",
+            ErrorCode::InvalidRequest => "invalid-request",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::LineTooLong => "line-too-long",
+            ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "queue-full" => ErrorCode::QueueFull,
+            "unknown-model" => ErrorCode::UnknownModel,
+            "invalid-request" => ErrorCode::InvalidRequest,
+            "bad-request" => ErrorCode::BadRequest,
+            "line-too-long" => ErrorCode::LineTooLong,
+            "shutdown" => ErrorCode::Shutdown,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Typed parse failure. Every malformed input maps here — the parser
+/// never panics, whatever the bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Empty or whitespace-only line.
+    Empty,
+    /// Line longer than [`MAX_LINE_BYTES`].
+    LineTooLong { len: usize },
+    /// The bytes were not valid UTF-8 (reported by the frontend's
+    /// capped reader; `&str` inputs cannot hit it).
+    NotUtf8,
+    /// First word is not a known command.
+    UnknownCommand(String),
+    /// A required `key=value` field is absent.
+    MissingField(&'static str),
+    /// The same field appeared twice.
+    DuplicateField(&'static str),
+    /// A field this command does not define.
+    UnknownField(String),
+    /// A field value failed to parse or violates its constraint.
+    InvalidValue { field: &'static str, value: String, expected: &'static str },
+    /// A bare word where `key=value` was expected, or trailing tokens on
+    /// a command that takes none.
+    UnexpectedToken(String),
+}
+
+impl ProtocolError {
+    /// The wire error code a frontend should answer this failure with.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ProtocolError::LineTooLong { .. } => ErrorCode::LineTooLong,
+            _ => ErrorCode::BadRequest,
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Empty => write!(f, "empty line"),
+            ProtocolError::LineTooLong { len } => {
+                write!(f, "line of {len} bytes exceeds the {MAX_LINE_BYTES}-byte cap")
+            }
+            ProtocolError::NotUtf8 => write!(f, "line is not valid utf-8"),
+            ProtocolError::UnknownCommand(cmd) => write!(f, "unknown command {cmd:?}"),
+            ProtocolError::MissingField(field) => write!(f, "missing field {field}"),
+            ProtocolError::DuplicateField(field) => write!(f, "duplicate field {field}"),
+            ProtocolError::UnknownField(field) => write!(f, "unknown field {field:?}"),
+            ProtocolError::InvalidValue { field, value, expected } => {
+                write!(f, "invalid {field}={value:?} (expected {expected})")
+            }
+            ProtocolError::UnexpectedToken(token) => write!(f, "unexpected token {token:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Split a line into its command word and the remaining tokens,
+/// tolerating any amount of inter-token whitespace. Also handles the
+/// shared length / emptiness checks.
+fn tokenize(line: &str) -> Result<(String, Vec<&str>), ProtocolError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(ProtocolError::LineTooLong { len: line.len() });
+    }
+    let mut tokens = line.split_whitespace();
+    let Some(command) = tokens.next() else {
+        return Err(ProtocolError::Empty);
+    };
+    Ok((command.to_ascii_uppercase(), tokens.collect()))
+}
+
+/// Accumulates `key=value` tokens for one command, with
+/// duplicate/unknown detection against the command's field list.
+struct Fields<'a> {
+    known: &'static [&'static str],
+    values: Vec<(&'static str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn parse(known: &'static [&'static str], tokens: &[&'a str]) -> Result<Self, ProtocolError> {
+        let mut fields = Fields { known, values: Vec::new() };
+        for token in tokens {
+            let Some((key, value)) = token.split_once('=') else {
+                return Err(ProtocolError::UnexpectedToken(token.to_string()));
+            };
+            let Some(&canon) = fields.known.iter().find(|&&k| k == key) else {
+                return Err(ProtocolError::UnknownField(key.to_string()));
+            };
+            if fields.values.iter().any(|&(k, _)| k == canon) {
+                return Err(ProtocolError::DuplicateField(canon));
+            }
+            fields.values.push((canon, value));
+        }
+        Ok(fields)
+    }
+
+    fn get(&self, key: &'static str) -> Option<&'a str> {
+        debug_assert!(self.known.contains(&key));
+        self.values.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    fn require(&self, key: &'static str) -> Result<&'a str, ProtocolError> {
+        self.get(key).ok_or(ProtocolError::MissingField(key))
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(
+    field: &'static str,
+    value: &str,
+    expected: &'static str,
+) -> Result<T, ProtocolError> {
+    value.parse().map_err(|_| ProtocolError::InvalidValue {
+        field,
+        value: value.to_string(),
+        expected,
+    })
+}
+
+/// Require that a command came with no arguments at all.
+fn no_tokens(tokens: &[&str]) -> Result<(), ProtocolError> {
+    match tokens.first() {
+        None => Ok(()),
+        Some(extra) => Err(ProtocolError::UnexpectedToken(extra.to_string())),
+    }
+}
+
+/// Parse one request line (without its newline; a trailing `\r` is
+/// tolerated). Never panics: every input yields `Ok` or a typed
+/// [`ProtocolError`].
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let (command, tokens) = tokenize(line.trim_end_matches(['\r', '\n']))?;
+    match command.as_str() {
+        "GEN" => {
+            let fields = Fields::parse(&["model", "t", "seed", "fmt", "priority"], &tokens)?;
+            let model = fields.require("model")?;
+            if model.is_empty() {
+                return Err(ProtocolError::InvalidValue {
+                    field: "model",
+                    value: String::new(),
+                    expected: "a non-empty registered model name",
+                });
+            }
+            let raw_t = fields.require("t")?;
+            let t_len: usize = parse_num("t", raw_t, "a positive integer")?;
+            if t_len == 0 {
+                return Err(ProtocolError::InvalidValue {
+                    field: "t",
+                    value: "0".to_string(),
+                    expected: "at least 1 snapshot",
+                });
+            }
+            if t_len > MAX_WIRE_T {
+                return Err(ProtocolError::InvalidValue {
+                    field: "t",
+                    value: raw_t.to_string(),
+                    expected: "at most MAX_WIRE_T (100000) snapshots per wire request",
+                });
+            }
+            let seed: u64 = parse_num("seed", fields.require("seed")?, "an unsigned integer")?;
+            let fmt_raw = fields.require("fmt")?;
+            let fmt = WireFormat::parse(fmt_raw).ok_or(ProtocolError::InvalidValue {
+                field: "fmt",
+                value: fmt_raw.to_string(),
+                expected: "tsv or bin",
+            })?;
+            let priority: i32 = match fields.get("priority") {
+                Some(raw) => parse_num("priority", raw, "a signed integer")?,
+                None => 0,
+            };
+            Ok(Request::Gen(GenSpec { model: model.to_string(), t_len, seed, fmt, priority }))
+        }
+        "STATS" => no_tokens(&tokens).map(|()| Request::Stats),
+        "MODELS" => no_tokens(&tokens).map(|()| Request::Models),
+        "PING" => no_tokens(&tokens).map(|()| Request::Ping),
+        "QUIT" => no_tokens(&tokens).map(|()| Request::Quit),
+        other => Err(ProtocolError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// One reply header line, parsed. `Gen`/`Stats`/`Models` headers are
+/// followed on the wire by exactly `bytes` bytes of payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplyHeader {
+    Gen {
+        id: u64,
+        model: String,
+        t_len: usize,
+        seed: u64,
+        fmt: WireFormat,
+        snapshots: usize,
+        edges: usize,
+        cache_hit: bool,
+        bytes: usize,
+    },
+    Stats { bytes: usize },
+    Models { bytes: usize },
+    Pong,
+    Bye,
+    Err { code: ErrorCode, message: String },
+}
+
+impl ReplyHeader {
+    /// Canonical single-line serialization (no trailing newline).
+    /// Control characters in `Err` messages are flattened to spaces so a
+    /// header can never smuggle extra protocol lines.
+    pub fn to_line(&self) -> String {
+        match self {
+            ReplyHeader::Gen { id, model, t_len, seed, fmt, snapshots, edges, cache_hit, bytes } => {
+                format!(
+                    "OK GEN id={id} model={model} t={t_len} seed={seed} fmt={fmt} snapshots={snapshots} edges={edges} cache={} bytes={bytes}",
+                    if *cache_hit { "hit" } else { "miss" },
+                )
+            }
+            ReplyHeader::Stats { bytes } => format!("OK STATS bytes={bytes}"),
+            ReplyHeader::Models { bytes } => format!("OK MODELS bytes={bytes}"),
+            ReplyHeader::Pong => "OK PONG".to_string(),
+            ReplyHeader::Bye => "OK BYE".to_string(),
+            ReplyHeader::Err { code, message } => {
+                let sanitized: String = message
+                    .trim()
+                    .chars()
+                    .map(|c| if c.is_control() { ' ' } else { c })
+                    .collect();
+                if sanitized.is_empty() {
+                    format!("ERR {code}")
+                } else {
+                    format!("ERR {code} {sanitized}")
+                }
+            }
+        }
+    }
+}
+
+/// Parse one reply header line. Never panics; every input yields `Ok` or
+/// a typed [`ProtocolError`].
+pub fn parse_reply(line: &str) -> Result<ReplyHeader, ProtocolError> {
+    let trimmed = line.trim_end_matches(['\r', '\n']);
+    let (command, tokens) = tokenize(trimmed)?;
+    match command.as_str() {
+        "OK" => {
+            let Some((&kind, rest)) = tokens.split_first() else {
+                return Err(ProtocolError::MissingField("reply kind"));
+            };
+            match kind.to_ascii_uppercase().as_str() {
+                "GEN" => {
+                    let fields = Fields::parse(
+                        &["id", "model", "t", "seed", "fmt", "snapshots", "edges", "cache", "bytes"],
+                        rest,
+                    )?;
+                    let fmt_raw = fields.require("fmt")?;
+                    let fmt = WireFormat::parse(fmt_raw).ok_or(ProtocolError::InvalidValue {
+                        field: "fmt",
+                        value: fmt_raw.to_string(),
+                        expected: "tsv or bin",
+                    })?;
+                    let cache_raw = fields.require("cache")?;
+                    let cache_hit = match cache_raw {
+                        "hit" => true,
+                        "miss" => false,
+                        other => {
+                            return Err(ProtocolError::InvalidValue {
+                                field: "cache",
+                                value: other.to_string(),
+                                expected: "hit or miss",
+                            })
+                        }
+                    };
+                    Ok(ReplyHeader::Gen {
+                        id: parse_num("id", fields.require("id")?, "an unsigned integer")?,
+                        model: fields.require("model")?.to_string(),
+                        t_len: parse_num("t", fields.require("t")?, "an unsigned integer")?,
+                        seed: parse_num("seed", fields.require("seed")?, "an unsigned integer")?,
+                        fmt,
+                        snapshots: parse_num(
+                            "snapshots",
+                            fields.require("snapshots")?,
+                            "an unsigned integer",
+                        )?,
+                        edges: parse_num("edges", fields.require("edges")?, "an unsigned integer")?,
+                        cache_hit,
+                        bytes: parse_num("bytes", fields.require("bytes")?, "an unsigned integer")?,
+                    })
+                }
+                "STATS" => {
+                    let fields = Fields::parse(&["bytes"], rest)?;
+                    Ok(ReplyHeader::Stats {
+                        bytes: parse_num("bytes", fields.require("bytes")?, "an unsigned integer")?,
+                    })
+                }
+                "MODELS" => {
+                    let fields = Fields::parse(&["bytes"], rest)?;
+                    Ok(ReplyHeader::Models {
+                        bytes: parse_num("bytes", fields.require("bytes")?, "an unsigned integer")?,
+                    })
+                }
+                "PONG" => no_tokens(rest).map(|()| ReplyHeader::Pong),
+                "BYE" => no_tokens(rest).map(|()| ReplyHeader::Bye),
+                other => Err(ProtocolError::UnknownCommand(format!("OK {other}"))),
+            }
+        }
+        "ERR" => {
+            let Some((&code_raw, _)) = tokens.split_first() else {
+                return Err(ProtocolError::MissingField("error code"));
+            };
+            let code = ErrorCode::parse(code_raw).ok_or(ProtocolError::InvalidValue {
+                field: "code",
+                value: code_raw.to_string(),
+                expected: "a known error code",
+            })?;
+            // The message is everything after the code token, preserved
+            // verbatim modulo the surrounding whitespace.
+            let message = trimmed
+                .split_once(code_raw)
+                .map(|(_, rest)| rest.trim())
+                .unwrap_or("")
+                .to_string();
+            Ok(ReplyHeader::Err { code, message })
+        }
+        other => Err(ProtocolError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_request_round_trips() {
+        let line = "GEN model=email t=14 seed=7 fmt=tsv priority=2";
+        let parsed = parse_request(line).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Gen(GenSpec {
+                model: "email".to_string(),
+                t_len: 14,
+                seed: 7,
+                fmt: WireFormat::Tsv,
+                priority: 2,
+            })
+        );
+        assert_eq!(parsed.to_line(), line);
+        assert_eq!(parse_request(&parsed.to_line()).unwrap(), parsed);
+    }
+
+    #[test]
+    fn field_order_is_free_but_serialization_is_canonical() {
+        let parsed = parse_request("GEN fmt=bin seed=0 t=1 model=m").unwrap();
+        assert_eq!(parsed.to_line(), "GEN model=m t=1 seed=0 fmt=bin");
+        assert_eq!(parse_request(&parsed.to_line()).unwrap(), parsed);
+    }
+
+    #[test]
+    fn bare_commands_parse_and_reject_trailing_tokens() {
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("MODELS\r").unwrap(), Request::Models);
+        assert_eq!(parse_request("  PING  ").unwrap(), Request::Ping);
+        assert_eq!(parse_request("quit").unwrap(), Request::Quit);
+        assert!(matches!(
+            parse_request("PING now"),
+            Err(ProtocolError::UnexpectedToken(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_yield_typed_errors() {
+        assert_eq!(parse_request(""), Err(ProtocolError::Empty));
+        assert_eq!(parse_request("   \r"), Err(ProtocolError::Empty));
+        assert!(matches!(parse_request("NOPE x=1"), Err(ProtocolError::UnknownCommand(_))));
+        assert_eq!(
+            parse_request("GEN model=m seed=1 fmt=tsv"),
+            Err(ProtocolError::MissingField("t"))
+        );
+        assert_eq!(
+            parse_request("GEN model=m t=1 t=2 seed=0 fmt=tsv"),
+            Err(ProtocolError::DuplicateField("t"))
+        );
+        assert!(matches!(
+            parse_request("GEN model=m t=1 seed=0 fmt=tsv nonsense=1"),
+            Err(ProtocolError::UnknownField(_))
+        ));
+        assert!(matches!(
+            parse_request("GEN model=m t=zero seed=0 fmt=tsv"),
+            Err(ProtocolError::InvalidValue { field: "t", .. })
+        ));
+        assert!(matches!(
+            parse_request("GEN model=m t=0 seed=0 fmt=tsv"),
+            Err(ProtocolError::InvalidValue { field: "t", .. })
+        ));
+        // The wire caps per-request size: one request must not be able
+        // to pin a worker on a multi-hour, memory-exhausting sequence.
+        assert!(matches!(
+            parse_request(&format!("GEN model=m t={} seed=0 fmt=tsv", MAX_WIRE_T + 1)),
+            Err(ProtocolError::InvalidValue { field: "t", .. })
+        ));
+        assert!(parse_request(&format!("GEN model=m t={MAX_WIRE_T} seed=0 fmt=tsv")).is_ok());
+        assert!(matches!(
+            parse_request("GEN model=m t=1 seed=0 fmt=xml"),
+            Err(ProtocolError::InvalidValue { field: "fmt", .. })
+        ));
+        assert!(matches!(
+            parse_request("GEN model= t=1 seed=0 fmt=tsv"),
+            Err(ProtocolError::InvalidValue { field: "model", .. })
+        ));
+        assert!(matches!(
+            parse_request("GEN model"),
+            Err(ProtocolError::UnexpectedToken(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_before_parsing() {
+        let line = format!("GEN model={} t=1 seed=0 fmt=tsv", "x".repeat(MAX_LINE_BYTES));
+        match parse_request(&line) {
+            Err(ProtocolError::LineTooLong { len }) => assert_eq!(len, line.len()),
+            other => panic!("expected LineTooLong, got {other:?}"),
+        }
+        assert_eq!(
+            parse_request(&line).unwrap_err().code(),
+            ErrorCode::LineTooLong
+        );
+    }
+
+    #[test]
+    fn reply_headers_round_trip() {
+        let replies = [
+            ReplyHeader::Gen {
+                id: 3,
+                model: "email".to_string(),
+                t_len: 14,
+                seed: 7,
+                fmt: WireFormat::Bin,
+                snapshots: 14,
+                edges: 920,
+                cache_hit: true,
+                bytes: 18_344,
+            },
+            ReplyHeader::Stats { bytes: 512 },
+            ReplyHeader::Models { bytes: 64 },
+            ReplyHeader::Pong,
+            ReplyHeader::Bye,
+            ReplyHeader::Err {
+                code: ErrorCode::QueueFull,
+                message: "depth=8 cap=8".to_string(),
+            },
+            ReplyHeader::Err { code: ErrorCode::Shutdown, message: String::new() },
+        ];
+        for reply in replies {
+            let line = reply.to_line();
+            assert_eq!(parse_reply(&line).unwrap(), reply, "{line}");
+        }
+    }
+
+    #[test]
+    fn err_messages_cannot_inject_protocol_lines() {
+        let evil = ReplyHeader::Err {
+            code: ErrorCode::Internal,
+            message: "boom\nOK PONG".to_string(),
+        };
+        let line = evil.to_line();
+        assert!(!line.contains('\n'), "{line:?}");
+        match parse_reply(&line).unwrap() {
+            ReplyHeader::Err { code: ErrorCode::Internal, message } => {
+                assert!(message.contains("boom"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_reply_shapes_are_typed_errors() {
+        assert!(matches!(parse_reply("OK"), Err(ProtocolError::MissingField(_))));
+        assert!(matches!(parse_reply("OK WHAT"), Err(ProtocolError::UnknownCommand(_))));
+        assert!(matches!(parse_reply("ERR"), Err(ProtocolError::MissingField(_))));
+        assert!(matches!(
+            parse_reply("ERR not-a-code nope"),
+            Err(ProtocolError::InvalidValue { field: "code", .. })
+        ));
+        assert!(matches!(parse_reply("HELLO"), Err(ProtocolError::UnknownCommand(_))));
+    }
+}

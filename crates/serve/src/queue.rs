@@ -1,0 +1,343 @@
+//! The shared work queue drained by the service core's worker pool:
+//! per-model-artifact FIFO groups with priority-first, affinity-aware
+//! selection and in-flight coalescing of identical requests.
+//!
+//! **Model-affinity batching** — queued jobs are grouped by model
+//! artifact (content fingerprint). A worker keeps draining its current
+//! model's group before switching, so a batch of `k` jobs against one
+//! model pays the deserialization cost once per worker *per batch*, and
+//! mixed-model traffic does not thrash instances. Group selection is
+//! priority-first: a group's effective priority is the highest
+//! [`GenRequest::priority`](crate::GenRequest::priority) among its queued
+//! jobs (ties broken by arrival), and a worker abandons its affinity when
+//! a strictly higher-priority group is waiting.
+//!
+//! **Coalescing** — when a [`SnapshotCache`] is attached, a queued
+//! duplicate of a `(model, t_len, seed)` key that is already generating
+//! on another worker is held back until the key finishes, then pops as a
+//! cache hit; keys observed to finish uncached are exempt.
+//!
+//! Jobs carry their own completion channel ([`Job::reply`]): workers push
+//! results to the submitting caller instead of the queue owning a result
+//! vector, which is what lets the service core stay long-lived — nothing
+//! accumulates in the queue between `stats()` snapshots.
+
+use crate::cache::{CacheKey, SnapshotCache};
+use crate::core::{job_cache_key, GenSink, JobId, JobResult};
+use crate::registry::ModelHandle;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+
+/// A queued unit of work: one generation request bound to its resolved
+/// model handle and the channel its [`JobResult`] is delivered on.
+pub(crate) struct Job {
+    pub(crate) id: JobId,
+    pub(crate) handle: ModelHandle,
+    pub(crate) t_len: usize,
+    pub(crate) seed: u64,
+    pub(crate) priority: i32,
+    pub(crate) sink: GenSink,
+    /// Per-job result channel; the worker that executes (or the core that
+    /// discards) this job owns the send side, the caller's `Ticket` the
+    /// receive side.
+    pub(crate) reply: Sender<JobResult>,
+}
+
+/// One model artifact's queued jobs (FIFO), with the group's effective
+/// priority maintained incrementally: `max_priority` is the max over the
+/// queued jobs and `max_count` how many carry it, so a pop only rescans
+/// the group when the last max-priority job leaves. This keeps queue
+/// selection O(#groups) per pop instead of O(#queued jobs).
+struct Group {
+    jobs: VecDeque<Job>,
+    max_priority: i32,
+    max_count: usize,
+}
+
+impl Group {
+    fn new() -> Self {
+        Group { jobs: VecDeque::new(), max_priority: i32::MIN, max_count: 0 }
+    }
+
+    fn push(&mut self, job: Job) {
+        match job.priority.cmp(&self.max_priority) {
+            std::cmp::Ordering::Greater => {
+                self.max_priority = job.priority;
+                self.max_count = 1;
+            }
+            std::cmp::Ordering::Equal => self.max_count += 1,
+            std::cmp::Ordering::Less => {}
+        }
+        self.jobs.push_back(job);
+    }
+
+    fn remove_at(&mut self, idx: usize) -> Job {
+        let job = self.jobs.remove(idx).expect("index in range");
+        if job.priority == self.max_priority {
+            self.max_count -= 1;
+            if self.max_count == 0 {
+                self.max_priority =
+                    self.jobs.iter().map(|j| j.priority).max().unwrap_or(i32::MIN);
+                self.max_count =
+                    self.jobs.iter().filter(|j| j.priority == self.max_priority).count();
+            }
+        }
+        job
+    }
+}
+
+/// A group's runnable work under coalescing: the first job a worker may
+/// take (FIFO among runnable jobs) and the highest priority among the
+/// runnable jobs — blocked duplicates must not inflate the group's
+/// effective priority, or a low-priority candidate could preempt
+/// another model's strictly higher-priority runnable job.
+struct Candidate {
+    index: usize,
+    priority: i32,
+    front_id: u64,
+}
+
+struct QueueState {
+    /// Queued jobs grouped by model artifact fingerprint. Groups are
+    /// removed when drained, so every stored group is non-empty.
+    groups: HashMap<u64, Group>,
+    /// Keys currently generating on some worker (coalescing mode only):
+    /// queued duplicates are held back until the key finishes, then pop
+    /// as cache hits.
+    busy: HashSet<CacheKey>,
+    /// Keys observed to finish without becoming cached (oversized for
+    /// the byte budget, or failed): their duplicates can never be served
+    /// by waiting, so they are exempt from coalescing and run in
+    /// parallel exactly as with the cache disabled.
+    uncacheable: HashSet<CacheKey>,
+    queued: usize,
+    closed: bool,
+}
+
+impl QueueState {
+    /// Is this job free to run now? With coalescing, a duplicate of an
+    /// in-flight key is held back — unless the key is already resident
+    /// (it will be served by replay, which needs no exclusivity) or
+    /// known uncacheable (waiting would buy nothing).
+    fn runnable(&self, cache: Option<&SnapshotCache>, job: &Job) -> bool {
+        let Some(cache) = cache else { return true };
+        let key = job_cache_key(&job.handle, job.t_len, job.seed);
+        !self.busy.contains(&key) || self.uncacheable.contains(&key) || cache.contains(&key)
+    }
+
+    /// The runnable candidate of `group`, if any.
+    fn candidate(&self, cache: Option<&SnapshotCache>, group: &Group) -> Option<Candidate> {
+        if self.busy.is_empty() {
+            // Fast path: nothing is blocked, the cached group max holds.
+            return group.jobs.front().map(|front| Candidate {
+                index: 0,
+                priority: group.max_priority,
+                front_id: front.id.0,
+            });
+        }
+        let mut first: Option<usize> = None;
+        let mut priority = i32::MIN;
+        for (i, job) in group.jobs.iter().enumerate() {
+            if self.runnable(cache, job) {
+                first.get_or_insert(i);
+                priority = priority.max(job.priority);
+            }
+        }
+        first.map(|index| Candidate { index, priority, front_id: group.jobs[index].id.0 })
+    }
+
+    /// Pick the next runnable job. The best group has the highest
+    /// priority among *runnable* jobs, ties broken by oldest runnable
+    /// job; a worker's `preferred` group wins whenever it matches the
+    /// best priority, so affinity never starves a higher-priority model.
+    /// Returns `None` when everything queued is coalescing-blocked (the
+    /// caller waits for a finish notification).
+    fn take_next(&mut self, preferred: Option<u64>, cache: Option<&SnapshotCache>) -> Option<Job> {
+        let mut best: Option<(u64, Candidate)> = None;
+        for (&fp, g) in &self.groups {
+            let Some(cand) = self.candidate(cache, g) else { continue };
+            let better = match &best {
+                None => true,
+                Some((_, b)) => {
+                    cand.priority > b.priority
+                        || (cand.priority == b.priority && cand.front_id < b.front_id)
+                }
+            };
+            if better {
+                best = Some((fp, cand));
+            }
+        }
+        let (best_fp, best_cand) = best?;
+        let (chosen, idx) = match preferred {
+            Some(fp) if fp != best_fp => match self.groups.get(&fp) {
+                Some(g) => match self.candidate(cache, g) {
+                    Some(c) if c.priority == best_cand.priority => (fp, c.index),
+                    _ => (best_fp, best_cand.index),
+                },
+                None => (best_fp, best_cand.index),
+            },
+            _ => (best_fp, best_cand.index),
+        };
+        let group = self.groups.get_mut(&chosen).expect("chosen group exists");
+        let job = group.remove_at(idx);
+        if group.jobs.is_empty() {
+            self.groups.remove(&chosen);
+        }
+        self.queued -= 1;
+        Some(job)
+    }
+}
+
+/// Why [`JobQueue::push_checked`] refused a job.
+pub(crate) enum PushRejected {
+    /// The queue was closed (concurrently with the submit).
+    Closed,
+    /// The admission cap is reached; `depth` is the observed queue depth.
+    Full { depth: usize },
+}
+
+/// The shared work queue of the service core. Exported for observability
+/// (`depth`, `max_in_flight`); submission goes through
+/// [`ServeHandle`](crate::ServeHandle).
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    /// When set, identical queued requests are held back while one of
+    /// them generates (they then complete as cache hits). `None`
+    /// disables coalescing — without a cache, duplicates are
+    /// independent work and run in parallel.
+    cache: Option<SnapshotCache>,
+    in_flight: AtomicUsize,
+    max_in_flight: AtomicUsize,
+}
+
+impl JobQueue {
+    /// A queue that coalesces duplicates of in-flight requests against
+    /// `cache` (when given).
+    pub(crate) fn with_cache(cache: Option<SnapshotCache>) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                groups: HashMap::new(),
+                busy: HashSet::new(),
+                uncacheable: HashSet::new(),
+                queued: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cache,
+            in_flight: AtomicUsize::new(0),
+            max_in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueue `job`, enforcing the optional admission cap atomically
+    /// with the depth check (concurrent submitters cannot overshoot the
+    /// cap between check and push), and refusing — not panicking — when
+    /// a concurrent `close`/`abort` from another handle clone won the
+    /// race against the submitter's pre-flight closed check.
+    pub(crate) fn push_checked(
+        &self,
+        job: Job,
+        cap: Option<usize>,
+    ) -> Result<(), PushRejected> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err(PushRejected::Closed);
+        }
+        if let Some(cap) = cap {
+            if state.queued >= cap {
+                return Err(PushRejected::Full { depth: state.queued });
+            }
+        }
+        state.groups.entry(job.handle.fingerprint()).or_insert_with(Group::new).push(job);
+        state.queued += 1;
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a runnable job is available or the queue is closed
+    /// and drained. `preferred` is the model-artifact fingerprint the
+    /// calling worker already has instantiated (its affinity).
+    pub(crate) fn pop(&self, preferred: Option<u64>) -> Option<Job> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = state.take_next(preferred, self.cache.as_ref()) {
+                if self.cache.is_some() {
+                    state.busy.insert(job_cache_key(&job.handle, job.t_len, job.seed));
+                }
+                let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                self.max_in_flight.fetch_max(now, Ordering::SeqCst);
+                return Some(job);
+            }
+            // Blocked duplicates (queued > 0 with nothing runnable) wait
+            // for the in-flight twin's finish notification even after
+            // close.
+            if state.closed && state.queued == 0 {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    pub(crate) fn finish_one(&self, key: &CacheKey) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        if let Some(cache) = &self.cache {
+            let mut state = self.state.lock().expect("queue lock poisoned");
+            state.busy.remove(key);
+            if !cache.contains(key) {
+                // Finished without becoming resident: duplicates gain
+                // nothing by waiting, stop holding them back. Bounded
+                // memory: the set is a heuristic, resetting it only
+                // re-serializes one generation per key.
+                if state.uncacheable.len() >= 4096 {
+                    state.uncacheable.clear();
+                }
+                state.uncacheable.insert(*key);
+            }
+            drop(state);
+            // Wake any worker parked on a duplicate of this key.
+            self.ready.notify_all();
+        }
+    }
+
+    /// No more submissions; wakes idle workers so they can exit after
+    /// draining what is already queued.
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Close *and* drop every queued job (abort semantics): in-flight
+    /// jobs finish, queued ones never start. Returns how many jobs were
+    /// discarded — the callers surface this as
+    /// [`ServeStats::dropped_jobs`](crate::ServeStats::dropped_jobs), and
+    /// each discarded job's `Ticket` observes the dropped reply channel.
+    pub(crate) fn close_discard(&self) -> usize {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        state.closed = true;
+        let dropped = state.queued;
+        state.groups.clear();
+        state.queued = 0;
+        drop(state);
+        self.ready.notify_all();
+        dropped
+    }
+
+    /// Jobs queued and not yet picked up by a worker.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").queued
+    }
+
+    /// Jobs currently executing on workers.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Highest observed number of simultaneously executing jobs.
+    pub fn max_in_flight(&self) -> usize {
+        self.max_in_flight.load(Ordering::SeqCst)
+    }
+}

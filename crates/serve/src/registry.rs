@@ -168,6 +168,17 @@ impl ModelRegistry {
         names
     }
 
+    /// All registered handles, sorted by name — one consistent snapshot
+    /// of the table, so wire-protocol listings (`MODELS`) cannot race a
+    /// concurrent `register`/`remove` between a name lookup and its
+    /// handle fetch.
+    pub fn handles(&self) -> Vec<ModelHandle> {
+        let mut handles: Vec<ModelHandle> =
+            self.inner.read().expect("registry lock poisoned").values().cloned().collect();
+        handles.sort_by(|a, b| a.name().cmp(b.name()));
+        handles
+    }
+
     pub fn len(&self) -> usize {
         self.inner.read().expect("registry lock poisoned").len()
     }

@@ -1,173 +1,20 @@
-//! Concurrent execution of batched generation requests: a [`JobQueue`]
-//! drained by a fixed pool of `std::thread` workers, with model-affinity
-//! batching, admission control, and a shared [`SnapshotCache`].
+//! Batch facade over the service core: a [`Scheduler`] owns a private
+//! [`ServeHandle`], collects the [`Ticket`]s of everything submitted,
+//! and [`join`](Scheduler::join) turns them into one end-of-batch
+//! [`BatchReport`] — the submit-everything-then-drain workflow the CLI's
+//! `batch-generate` and the offline experiments want, without the
+//! frontend's long-lived lifecycle.
 //!
-//! **Model-affinity batching** — queued jobs are grouped by model
-//! artifact (content fingerprint). A worker keeps draining its current
-//! model's group before switching, so a batch of `k` jobs against one
-//! model pays the deserialization cost once per worker *per batch*, and
-//! mixed-model traffic does not thrash instances. Group selection is
-//! priority-first: a group's effective priority is the highest
-//! [`GenRequest::priority`] among its queued jobs (ties broken by
-//! arrival), and a worker abandons its affinity when a strictly
-//! higher-priority group is waiting.
-//!
-//! **Admission control** — an optional queue-depth cap makes `submit`
-//! fail fast with [`ServeError::QueueFull`] instead of buffering
-//! unboundedly.
-//!
-//! **Snapshot cache** — identical `(model, t_len, seed)` requests are
-//! served from a bounded LRU ([`SnapshotCache`]) when enabled; hits are
-//! bit-identical to cold generation by the determinism contract.
-//!
-//! The streaming sinks ([`GenSink::TsvFile`], [`GenSink::BinaryFile`],
-//! [`GenSink::Callback`]) always write one snapshot at a time; only
-//! [`GenSink::InMemory`] materializes a full sequence, by request. With
-//! the cache enabled, a cold generation *additionally* retains its
-//! snapshots to populate the cache — but abandons that copy as soon as
-//! it outgrows the cache's byte budget, so per-worker transient memory
-//! is bounded by `min(sequence size, CacheBudget::max_bytes)` on top of
-//! the one-snapshot streaming bound. Concurrent identical requests are
-//! coalesced while the cache is enabled: a queued job whose
-//! `(model, t_len, seed)` is already generating on another worker waits
-//! for that generation and is then served from the cache.
+//! All scheduling behavior (model-affinity batching, priorities,
+//! admission control, snapshot cache, coalescing) lives in the core; the
+//! facade adds only ticket bookkeeping and report assembly. For
+//! always-on serving use [`ServeHandle`] directly, or put the TCP
+//! [`Frontend`](crate::Frontend) in front of it.
 
-use crate::cache::{CacheKey, CacheStats, SnapshotCache};
-use crate::registry::{ModelHandle, ModelRegistry};
-use crate::stream::StreamStats;
-use crate::{CacheBudget, ServeError};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::io::BufWriter;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use crate::core::{AffinityStats, GenRequest, JobId, JobResult, ServeConfig, ServeHandle, Ticket};
+use crate::registry::ModelRegistry;
+use crate::{CacheStats, ServeError, SnapshotCache};
 use std::time::Instant;
-use vrdag::Vrdag;
-use vrdag_graph::io::{BinaryStreamWriter, TsvStreamWriter};
-use vrdag_graph::{DynamicGraph, Snapshot};
-
-/// Per-snapshot streaming consumer (see [`GenSink::Callback`]).
-pub type SnapshotCallback = Box<dyn FnMut(usize, &Snapshot) + Send>;
-
-/// Where a job's snapshots go, one at a time.
-pub enum GenSink {
-    /// Stream to a TSV file (`vrdag_graph::io` temporal format),
-    /// flushed per snapshot.
-    TsvFile(PathBuf),
-    /// Stream to a compact binary file, flushed per snapshot.
-    BinaryFile(PathBuf),
-    /// Hand each `(timestep, snapshot)` to a consumer as it is produced.
-    Callback(SnapshotCallback),
-    /// Collect the full sequence into [`JobResult::graph`] (unbounded
-    /// memory — intended for small sequences, tests, and cached serving).
-    InMemory,
-    /// Generate and drop (throughput measurement / cache warming).
-    Discard,
-}
-
-impl std::fmt::Debug for GenSink {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            GenSink::TsvFile(p) => f.debug_tuple("TsvFile").field(p).finish(),
-            GenSink::BinaryFile(p) => f.debug_tuple("BinaryFile").field(p).finish(),
-            GenSink::Callback(_) => f.write_str("Callback(..)"),
-            GenSink::InMemory => f.write_str("InMemory"),
-            GenSink::Discard => f.write_str("Discard"),
-        }
-    }
-}
-
-/// A batched, seed-addressed generation request.
-#[derive(Debug)]
-pub struct GenRequest {
-    /// Registered model name (resolved against the registry at submit
-    /// time, so unknown names fail fast).
-    pub model: String,
-    /// Number of snapshots to generate (must be `>= 1`).
-    pub t_len: usize,
-    /// Determinism address: the same `(model, t_len, seed)` always yields
-    /// the same sequence, regardless of which worker runs it and whether
-    /// the snapshot cache serves it.
-    pub seed: u64,
-    /// Scheduling priority. Higher drains first; the scheduler treats it
-    /// per model group (a group's priority is the max over its queued
-    /// jobs), and jobs within a group stay FIFO.
-    pub priority: i32,
-    /// Where the snapshots go.
-    pub sink: GenSink,
-}
-
-impl GenRequest {
-    /// A request with default (zero) priority.
-    pub fn new(model: impl Into<String>, t_len: usize, seed: u64, sink: GenSink) -> Self {
-        GenRequest { model: model.into(), t_len, seed, priority: 0, sink }
-    }
-
-    /// Set the scheduling priority (higher drains first).
-    pub fn with_priority(mut self, priority: i32) -> Self {
-        self.priority = priority;
-        self
-    }
-}
-
-/// Opaque job identifier (submission order).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct JobId(pub u64);
-
-struct Job {
-    id: JobId,
-    handle: ModelHandle,
-    t_len: usize,
-    seed: u64,
-    priority: i32,
-    sink: GenSink,
-}
-
-/// Outcome and throughput of one executed job.
-#[derive(Debug)]
-pub struct JobResult {
-    pub id: JobId,
-    pub model: String,
-    pub t_len: usize,
-    pub seed: u64,
-    /// Snapshots produced (`t_len` on success; 0 on failure — a failed
-    /// file-sink job also has its partial output file removed).
-    pub snapshots: usize,
-    /// Total temporal edges produced.
-    pub edges: usize,
-    /// Wall-clock job duration in seconds (excluding queue wait).
-    pub seconds: f64,
-    /// Generation rate of this job.
-    pub snapshots_per_sec: f64,
-    /// True when the snapshot cache served this job without regenerating.
-    pub cache_hit: bool,
-    /// The generated sequence, for [`GenSink::InMemory`] jobs. Shared
-    /// with the snapshot cache when caching is enabled.
-    pub graph: Option<Arc<DynamicGraph>>,
-    /// Error message if the job failed.
-    pub error: Option<String>,
-}
-
-impl JobResult {
-    pub fn is_ok(&self) -> bool {
-        self.error.is_none()
-    }
-}
-
-/// How well model-affinity batching amortized instantiation in a drained
-/// batch: a "batch" is a maximal run of consecutive same-model jobs
-/// executed by one worker (one model instantiation each, at most).
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub struct AffinityStats {
-    /// Number of same-model runs across all workers.
-    pub batches: usize,
-    /// Length of the longest run.
-    pub max_batch_len: usize,
-    /// Mean jobs per run.
-    pub mean_batch_len: f64,
-}
 
 /// Aggregate statistics of a drained batch.
 #[derive(Debug)]
@@ -189,6 +36,8 @@ pub struct BatchReport {
     pub cache: CacheStats,
     /// Model-affinity batching statistics.
     pub affinity: AffinityStats,
+    /// Per-job wall-time percentiles over the batch.
+    pub latency: crate::LatencyStats,
 }
 
 impl BatchReport {
@@ -215,6 +64,7 @@ impl BatchReport {
             self.snapshots_per_sec,
             self.max_in_flight,
         );
+        let _ = writeln!(out, "  latency: {}", self.latency.render());
         let _ = writeln!(
             out,
             "  cache: {} hits / {} misses ({:.0}% hit rate), {} evictions, {} entries / {} KiB resident",
@@ -259,323 +109,13 @@ impl BatchReport {
     }
 }
 
-/// One model artifact's queued jobs (FIFO), with the group's effective
-/// priority maintained incrementally: `max_priority` is the max over the
-/// queued jobs and `max_count` how many carry it, so a pop only rescans
-/// the group when the last max-priority job leaves. This keeps queue
-/// selection O(#groups) per pop instead of O(#queued jobs).
-struct Group {
-    jobs: VecDeque<Job>,
-    max_priority: i32,
-    max_count: usize,
-}
-
-impl Group {
-    fn new() -> Self {
-        Group { jobs: VecDeque::new(), max_priority: i32::MIN, max_count: 0 }
-    }
-
-    fn push(&mut self, job: Job) {
-        match job.priority.cmp(&self.max_priority) {
-            std::cmp::Ordering::Greater => {
-                self.max_priority = job.priority;
-                self.max_count = 1;
-            }
-            std::cmp::Ordering::Equal => self.max_count += 1,
-            std::cmp::Ordering::Less => {}
-        }
-        self.jobs.push_back(job);
-    }
-
-    fn remove_at(&mut self, idx: usize) -> Job {
-        let job = self.jobs.remove(idx).expect("index in range");
-        if job.priority == self.max_priority {
-            self.max_count -= 1;
-            if self.max_count == 0 {
-                self.max_priority =
-                    self.jobs.iter().map(|j| j.priority).max().unwrap_or(i32::MIN);
-                self.max_count =
-                    self.jobs.iter().filter(|j| j.priority == self.max_priority).count();
-            }
-        }
-        job
-    }
-}
-
-/// Coalescing identity of a job — exactly the snapshot-cache key, so
-/// "identical request" here means "would be served by the same cache
-/// entry".
-fn job_cache_key(job: &Job) -> CacheKey {
-    CacheKey {
-        model_fingerprint: job.handle.fingerprint(),
-        model_size: job.handle.size_bytes(),
-        t_len: job.t_len,
-        seed: job.seed,
-    }
-}
-
-/// A group's runnable work under coalescing: the first job a worker may
-/// take (FIFO among runnable jobs) and the highest priority among the
-/// runnable jobs — blocked duplicates must not inflate the group's
-/// effective priority, or a low-priority candidate could preempt
-/// another model's strictly higher-priority runnable job.
-struct Candidate {
-    index: usize,
-    priority: i32,
-    front_id: u64,
-}
-
-struct QueueState {
-    /// Queued jobs grouped by model artifact fingerprint. Groups are
-    /// removed when drained, so every stored group is non-empty.
-    groups: HashMap<u64, Group>,
-    /// Keys currently generating on some worker (coalescing mode only):
-    /// queued duplicates are held back until the key finishes, then pop
-    /// as cache hits.
-    busy: HashSet<CacheKey>,
-    /// Keys observed to finish without becoming cached (oversized for
-    /// the byte budget, or failed): their duplicates can never be served
-    /// by waiting, so they are exempt from coalescing and run in
-    /// parallel exactly as with the cache disabled.
-    uncacheable: HashSet<CacheKey>,
-    queued: usize,
-    closed: bool,
-}
-
-impl QueueState {
-    /// Is this job free to run now? With coalescing, a duplicate of an
-    /// in-flight key is held back — unless the key is already resident
-    /// (it will be served by replay, which needs no exclusivity) or
-    /// known uncacheable (waiting would buy nothing).
-    fn runnable(&self, cache: Option<&SnapshotCache>, job: &Job) -> bool {
-        let Some(cache) = cache else { return true };
-        let key = job_cache_key(job);
-        !self.busy.contains(&key) || self.uncacheable.contains(&key) || cache.contains(&key)
-    }
-
-    /// The runnable candidate of `group`, if any.
-    fn candidate(&self, cache: Option<&SnapshotCache>, group: &Group) -> Option<Candidate> {
-        if self.busy.is_empty() {
-            // Fast path: nothing is blocked, the cached group max holds.
-            return group.jobs.front().map(|front| Candidate {
-                index: 0,
-                priority: group.max_priority,
-                front_id: front.id.0,
-            });
-        }
-        let mut first: Option<usize> = None;
-        let mut priority = i32::MIN;
-        for (i, job) in group.jobs.iter().enumerate() {
-            if self.runnable(cache, job) {
-                first.get_or_insert(i);
-                priority = priority.max(job.priority);
-            }
-        }
-        first.map(|index| Candidate { index, priority, front_id: group.jobs[index].id.0 })
-    }
-
-    /// Pick the next runnable job. The best group has the highest
-    /// priority among *runnable* jobs, ties broken by oldest runnable
-    /// job; a worker's `preferred` group wins whenever it matches the
-    /// best priority, so affinity never starves a higher-priority model.
-    /// Returns `None` when everything queued is coalescing-blocked (the
-    /// caller waits for a finish notification).
-    fn take_next(&mut self, preferred: Option<u64>, cache: Option<&SnapshotCache>) -> Option<Job> {
-        let mut best: Option<(u64, Candidate)> = None;
-        for (&fp, g) in &self.groups {
-            let Some(cand) = self.candidate(cache, g) else { continue };
-            let better = match &best {
-                None => true,
-                Some((_, b)) => {
-                    cand.priority > b.priority
-                        || (cand.priority == b.priority && cand.front_id < b.front_id)
-                }
-            };
-            if better {
-                best = Some((fp, cand));
-            }
-        }
-        let (best_fp, best_cand) = best?;
-        let (chosen, idx) = match preferred {
-            Some(fp) if fp != best_fp => match self.groups.get(&fp) {
-                Some(g) => match self.candidate(cache, g) {
-                    Some(c) if c.priority == best_cand.priority => (fp, c.index),
-                    _ => (best_fp, best_cand.index),
-                },
-                None => (best_fp, best_cand.index),
-            },
-            _ => (best_fp, best_cand.index),
-        };
-        let group = self.groups.get_mut(&chosen).expect("chosen group exists");
-        let job = group.remove_at(idx);
-        if group.jobs.is_empty() {
-            self.groups.remove(&chosen);
-        }
-        self.queued -= 1;
-        Some(job)
-    }
-}
-
-/// The shared work queue drained by the worker pool: per-model-artifact
-/// FIFO groups with priority-first, affinity-aware selection. Public so
-/// callers can build custom pools; most users go through [`Scheduler`].
-pub struct JobQueue {
-    state: Mutex<QueueState>,
-    ready: Condvar,
-    /// When set, identical queued requests are held back while one of
-    /// them generates (they then complete as cache hits). `None`
-    /// disables coalescing — without a cache, duplicates are
-    /// independent work and run in parallel.
-    cache: Option<SnapshotCache>,
-    in_flight: AtomicUsize,
-    max_in_flight: AtomicUsize,
-}
-
-impl JobQueue {
-    pub fn new() -> Self {
-        Self::with_cache(None)
-    }
-
-    /// A queue that coalesces duplicates of in-flight requests against
-    /// `cache` (used by cache-enabled schedulers).
-    pub fn with_cache(cache: Option<SnapshotCache>) -> Self {
-        JobQueue {
-            state: Mutex::new(QueueState {
-                groups: HashMap::new(),
-                busy: HashSet::new(),
-                uncacheable: HashSet::new(),
-                queued: 0,
-                closed: false,
-            }),
-            ready: Condvar::new(),
-            cache,
-            in_flight: AtomicUsize::new(0),
-            max_in_flight: AtomicUsize::new(0),
-        }
-    }
-
-    fn push(&self, job: Job) {
-        let mut state = self.state.lock().expect("queue lock poisoned");
-        assert!(!state.closed, "submit after close");
-        state.groups.entry(job.handle.fingerprint()).or_insert_with(Group::new).push(job);
-        state.queued += 1;
-        drop(state);
-        self.ready.notify_one();
-    }
-
-    /// Blocks until a runnable job is available or the queue is closed
-    /// and drained. `preferred` is the model-artifact fingerprint the
-    /// calling worker already has instantiated (its affinity).
-    fn pop(&self, preferred: Option<u64>) -> Option<Job> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
-        loop {
-            if let Some(job) = state.take_next(preferred, self.cache.as_ref()) {
-                if self.cache.is_some() {
-                    state.busy.insert(job_cache_key(&job));
-                }
-                let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
-                self.max_in_flight.fetch_max(now, Ordering::SeqCst);
-                return Some(job);
-            }
-            // Blocked duplicates (queued > 0 with nothing runnable) wait
-            // for the in-flight twin's finish notification even after
-            // close.
-            if state.closed && state.queued == 0 {
-                return None;
-            }
-            state = self.ready.wait(state).expect("queue lock poisoned");
-        }
-    }
-
-    fn finish_one(&self, key: &CacheKey) {
-        self.in_flight.fetch_sub(1, Ordering::SeqCst);
-        if let Some(cache) = &self.cache {
-            let mut state = self.state.lock().expect("queue lock poisoned");
-            state.busy.remove(key);
-            if !cache.contains(key) {
-                // Finished without becoming resident: duplicates gain
-                // nothing by waiting, stop holding them back. Bounded
-                // memory: the set is a heuristic, resetting it only
-                // re-serializes one generation per key.
-                if state.uncacheable.len() >= 4096 {
-                    state.uncacheable.clear();
-                }
-                state.uncacheable.insert(*key);
-            }
-            drop(state);
-            // Wake any worker parked on a duplicate of this key.
-            self.ready.notify_all();
-        }
-    }
-
-    /// No more submissions; wakes idle workers so they can exit.
-    fn close(&self) {
-        self.state.lock().expect("queue lock poisoned").closed = true;
-        self.ready.notify_all();
-    }
-
-    /// Close *and* drop every queued job (abort semantics): in-flight
-    /// jobs finish, queued ones never start.
-    fn close_discard(&self) {
-        let mut state = self.state.lock().expect("queue lock poisoned");
-        state.closed = true;
-        state.groups.clear();
-        state.queued = 0;
-        drop(state);
-        self.ready.notify_all();
-    }
-
-    /// Jobs queued and not yet picked up by a worker.
-    pub fn depth(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").queued
-    }
-
-    /// Highest observed number of simultaneously executing jobs.
-    pub fn max_in_flight(&self) -> usize {
-        self.max_in_flight.load(Ordering::SeqCst)
-    }
-}
-
-impl Default for JobQueue {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// Construction-time knobs of a [`Scheduler`].
-#[derive(Clone, Copy, Debug)]
-pub struct SchedulerConfig {
-    /// Worker threads (must be `>= 1`).
-    pub workers: usize,
-    /// Admission control: `submit` fails with [`ServeError::QueueFull`]
-    /// once this many jobs are queued (in-flight jobs do not count).
-    /// `None` disables the cap.
-    pub max_queue_depth: Option<usize>,
-    /// Snapshot-cache budget; [`CacheBudget::disabled`] turns caching off.
-    pub cache: CacheBudget,
-}
-
-impl Default for SchedulerConfig {
-    fn default() -> Self {
-        SchedulerConfig {
-            workers: 2,
-            max_queue_depth: None,
-            cache: CacheBudget::disabled(),
-        }
-    }
-}
-
-/// Fixed worker pool executing [`GenRequest`]s from a [`JobQueue`].
+/// Batch wrapper over a private service core: submit a batch of
+/// [`GenRequest`]s, then [`join`](Self::join) once for a drained
+/// [`BatchReport`].
 pub struct Scheduler {
-    registry: ModelRegistry,
-    queue: Arc<JobQueue>,
-    results: Arc<Mutex<Vec<JobResult>>>,
-    batch_lens: Arc<Mutex<Vec<usize>>>,
-    cache: SnapshotCache,
-    workers: Vec<std::thread::JoinHandle<()>>,
-    next_id: u64,
+    handle: ServeHandle,
+    tickets: Vec<Ticket>,
     started: Instant,
-    max_queue_depth: Option<usize>,
     closed: bool,
 }
 
@@ -584,100 +124,55 @@ impl Scheduler {
     /// admission control disabled. Fails with [`ServeError::NoWorkers`]
     /// when `workers == 0`.
     pub fn new(registry: ModelRegistry, workers: usize) -> Result<Scheduler, ServeError> {
-        Scheduler::with_config(registry, SchedulerConfig { workers, ..Default::default() })
+        Scheduler::with_config(registry, ServeConfig { workers, ..Default::default() })
     }
 
-    /// Spawn a pool with explicit [`SchedulerConfig`]. Fails with
-    /// [`ServeError::NoWorkers`] when `config.workers == 0` — a pool
-    /// without workers would accept jobs that can never run.
+    /// Spawn a pool with explicit [`ServeConfig`].
     pub fn with_config(
         registry: ModelRegistry,
-        config: SchedulerConfig,
+        config: ServeConfig,
     ) -> Result<Scheduler, ServeError> {
-        if config.workers == 0 {
-            return Err(ServeError::NoWorkers);
-        }
-        let cache = SnapshotCache::new(config.cache);
-        // Coalescing only pays off when finished twins can be served
-        // from the cache.
-        let queue =
-            Arc::new(JobQueue::with_cache(cache.is_enabled().then(|| cache.clone())));
-        let results = Arc::new(Mutex::new(Vec::new()));
-        let batch_lens = Arc::new(Mutex::new(Vec::new()));
-        let handles = (0..config.workers)
-            .map(|i| {
-                let queue = Arc::clone(&queue);
-                let results = Arc::clone(&results);
-                let batch_lens = Arc::clone(&batch_lens);
-                let cache = cache.clone();
-                std::thread::Builder::new()
-                    .name(format!("vrdag-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &results, &batch_lens, &cache))
-                    .expect("spawn worker thread")
-            })
-            .collect();
         Ok(Scheduler {
-            registry,
-            queue,
-            results,
-            batch_lens,
-            cache,
-            workers: handles,
-            next_id: 0,
+            handle: ServeHandle::with_config(registry, config)?,
+            tickets: Vec::new(),
             started: Instant::now(),
-            max_queue_depth: config.max_queue_depth,
             closed: false,
         })
     }
 
+    /// The underlying service handle. Cloning it gives a non-blocking
+    /// door to the same core (shared queue, cache, stats) — useful to
+    /// watch `stats()` while a batch drains.
+    pub fn handle(&self) -> &ServeHandle {
+        &self.handle
+    }
+
     /// The registry this scheduler resolves model names against.
     pub fn registry(&self) -> &ModelRegistry {
-        &self.registry
+        self.handle.registry()
     }
 
     /// The snapshot cache shared by this scheduler's workers.
     pub fn cache(&self) -> &SnapshotCache {
-        &self.cache
+        self.handle.cache()
     }
 
     /// Jobs queued and not yet picked up by a worker.
     pub fn queue_depth(&self) -> usize {
-        self.queue.depth()
+        self.handle.queue_depth()
     }
 
-    /// Enqueue a request. Fails fast with a typed error instead of
-    /// accepting work it cannot run:
-    ///
-    /// * [`ServeError::SchedulerClosed`] after [`join`](Self::join),
-    /// * [`ServeError::UnknownModel`] for unregistered names,
-    /// * [`ServeError::InvalidRequest`] for `t_len == 0`,
-    /// * [`ServeError::QueueFull`] when the admission cap is reached.
+    /// Enqueue a request (non-blocking; the ticket is kept internally
+    /// for [`join`](Self::join)). Same typed failure modes as
+    /// [`ServeHandle::submit`], plus [`ServeError::SchedulerClosed`]
+    /// after `join`.
     pub fn submit(&mut self, req: GenRequest) -> Result<JobId, ServeError> {
         if self.closed {
             return Err(ServeError::SchedulerClosed);
         }
-        if req.t_len == 0 {
-            return Err(ServeError::InvalidRequest(
-                "t_len must be >= 1 (a dynamic graph needs at least one snapshot)".into(),
-            ));
-        }
-        let handle = self.registry.resolve(&req.model)?;
-        if let Some(cap) = self.max_queue_depth {
-            let depth = self.queue.depth();
-            if depth >= cap {
-                return Err(ServeError::QueueFull { depth, cap });
-            }
-        }
-        let id = JobId(self.next_id);
-        self.next_id += 1;
-        self.queue.push(Job {
-            id,
-            handle,
-            t_len: req.t_len,
-            seed: req.seed,
-            priority: req.priority,
-            sink: req.sink,
-        });
+        let ticket = self.handle.submit(req)?;
+        let id = ticket.id();
+        self.tickets.push(ticket);
         Ok(id)
     }
 
@@ -689,31 +184,29 @@ impl Scheduler {
             return Err(ServeError::SchedulerClosed);
         }
         self.closed = true;
-        self.queue.close();
-        let worker_count = self.workers.len();
-        for handle in std::mem::take(&mut self.workers) {
-            handle.join().expect("worker thread panicked");
+        self.handle.close();
+        let mut jobs = Vec::with_capacity(self.tickets.len());
+        for ticket in self.tickets.drain(..) {
+            jobs.push(ticket.wait()?);
         }
-        let jobs = std::mem::take(&mut *self.results.lock().expect("results lock poisoned"));
-        let lens = std::mem::take(&mut *self.batch_lens.lock().expect("batch lens poisoned"));
+        // Workers have nothing left after the tickets resolve; joining
+        // them folds each worker's final open affinity run into the
+        // stats before the snapshot below.
+        self.handle.join_workers();
+        // Each result arrived on its own channel; the completion
+        // sequence number restores global completion order.
+        jobs.sort_by_key(|j| j.seq);
+        let stats = self.handle.stats();
         let total_seconds = self.started.elapsed().as_secs_f64().max(1e-9);
         let snapshots: usize = jobs.iter().map(|j| j.snapshots).sum();
-        let affinity = AffinityStats {
-            batches: lens.len(),
-            max_batch_len: lens.iter().copied().max().unwrap_or(0),
-            mean_batch_len: if lens.is_empty() {
-                0.0
-            } else {
-                lens.iter().sum::<usize>() as f64 / lens.len() as f64
-            },
-        };
         Ok(BatchReport {
             jobs_per_sec: jobs.len() as f64 / total_seconds,
             snapshots_per_sec: snapshots as f64 / total_seconds,
-            max_in_flight: self.queue.max_in_flight(),
-            workers: worker_count,
-            cache: self.cache.stats(),
-            affinity,
+            max_in_flight: stats.max_in_flight,
+            workers: stats.workers,
+            cache: stats.cache,
+            affinity: stats.affinity,
+            latency: stats.latency,
             jobs,
             total_seconds,
         })
@@ -722,271 +215,27 @@ impl Scheduler {
 
 impl Drop for Scheduler {
     fn drop(&mut self) {
-        // A dropped-without-join scheduler must not leave workers parked
-        // on the condvar forever — and a drop is an abort, not a drain:
-        // queued jobs are discarded so error paths exit promptly instead
-        // of silently finishing minutes of submitted work.
+        // A dropped-without-join scheduler is an abort, not a drain:
+        // queued jobs are discarded (counted as dropped in the core
+        // stats) so error paths exit promptly instead of silently
+        // finishing minutes of submitted work. The core joins its
+        // workers when its last handle goes away.
         if !self.closed {
-            self.queue.close_discard();
-            for handle in std::mem::take(&mut self.workers) {
-                let _ = handle.join();
-            }
+            self.handle.abort();
         }
     }
-}
-
-/// A worker's single cached model instance: the artifact it belongs to
-/// and the deserialized model. Affinity scheduling makes one instance
-/// (instead of a per-model map) the right shape — switching models is
-/// exactly the batch boundary.
-struct WorkerInstance {
-    fingerprint: u64,
-    model: Vrdag,
-}
-
-fn worker_loop(
-    queue: &JobQueue,
-    results: &Mutex<Vec<JobResult>>,
-    batch_lens: &Mutex<Vec<usize>>,
-    cache: &SnapshotCache,
-) {
-    let mut instance: Option<WorkerInstance> = None;
-    // Batch accounting follows the *jobs* (consecutive same-model runs),
-    // not the instance: a cache-hit job for another model never needs an
-    // instance, so the old one is kept until a miss actually demands a
-    // different artifact (see run_job).
-    let mut last_fp: Option<u64> = None;
-    let mut batch_len = 0usize;
-    while let Some(job) = queue.pop(instance.as_ref().map(|i| i.fingerprint)) {
-        if last_fp != Some(job.handle.fingerprint()) {
-            if batch_len > 0 {
-                batch_lens.lock().expect("batch lens poisoned").push(batch_len);
-            }
-            batch_len = 0;
-            last_fp = Some(job.handle.fingerprint());
-        }
-        let key = job_cache_key(&job);
-        let result = run_job(job, &mut instance, cache);
-        batch_len += 1;
-        results.lock().expect("results lock poisoned").push(result);
-        queue.finish_one(&key);
-    }
-    if batch_len > 0 {
-        batch_lens.lock().expect("batch lens poisoned").push(batch_len);
-    }
-}
-
-fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCache) -> JobResult {
-    let Job { id, handle, t_len, seed, priority: _, mut sink } = job;
-    let model_name = handle.name().to_string();
-    let key = CacheKey {
-        model_fingerprint: handle.fingerprint(),
-        model_size: handle.size_bytes(),
-        t_len,
-        seed,
-    };
-    let started = Instant::now();
-    let mut cache_hit = false;
-    let outcome = (|| -> Result<(StreamStats, Option<Arc<DynamicGraph>>), ServeError> {
-        if cache.is_enabled() {
-            if let Some(graph) = cache.get(&key) {
-                // Hit: replay the cached sequence into the sink (no
-                // model instance needed, so the worker's current one is
-                // left alone). The determinism contract makes this
-                // bit-identical to regenerating
-                // (tests/cache_determinism.rs).
-                cache_hit = true;
-                let stats = replay_into_sink(&graph, &mut sink)?;
-                let out = matches!(sink, GenSink::InMemory).then_some(graph);
-                return Ok((stats, out));
-            }
-        }
-        // Miss: make sure this worker's instance matches the artifact
-        // (invalidated lazily, only when a miss actually needs another
-        // model — the worker still holds at most one instance).
-        if instance.as_ref().map(|i| i.fingerprint) != Some(handle.fingerprint()) {
-            *instance = None;
-            let model = handle.instantiate()?;
-            *instance = Some(WorkerInstance { fingerprint: handle.fingerprint(), model });
-        }
-        let model = &instance.as_ref().expect("just ensured").model;
-        // One generation pass: the sink streams per snapshot exactly as
-        // with caching off, and the sequence is additionally retained
-        // for the cache only while it fits the byte budget.
-        let budget = cache.is_enabled().then(|| cache.budget().max_bytes);
-        let (stats, graph) = generate_into_sink(model, t_len, seed, &mut sink, budget)?;
-        let graph = graph.map(Arc::new);
-        if cache.is_enabled() {
-            if let Some(g) = &graph {
-                cache.insert(key, Arc::clone(g));
-            }
-        }
-        let out = if matches!(sink, GenSink::InMemory) { graph } else { None };
-        Ok((stats, out))
-    })();
-    if outcome.is_err() {
-        // Never leave a truncated file (header promises t_len snapshots)
-        // next to complete ones in the output directory.
-        if let GenSink::TsvFile(path) | GenSink::BinaryFile(path) = &sink {
-            let _ = std::fs::remove_file(path);
-        }
-    }
-    let seconds = started.elapsed().as_secs_f64().max(1e-9);
-    match outcome {
-        Ok((stats, graph)) => JobResult {
-            id,
-            model: model_name,
-            t_len,
-            seed,
-            snapshots: stats.snapshots,
-            edges: stats.edges,
-            seconds,
-            snapshots_per_sec: stats.snapshots as f64 / seconds,
-            cache_hit,
-            graph,
-            error: None,
-        },
-        Err(e) => JobResult {
-            id,
-            model: model_name,
-            t_len,
-            seed,
-            snapshots: 0,
-            edges: 0,
-            seconds,
-            snapshots_per_sec: 0.0,
-            cache_hit: false,
-            graph: None,
-            error: Some(e.to_string()),
-        },
-    }
-}
-
-/// The emitting half of a [`GenSink`], shared by cold generation and
-/// cache-hit replay so the two paths can never desynchronize (same
-/// writer construction, same per-snapshot flushing, same finish). The
-/// in-memory collection of [`GenSink::InMemory`] is handled by the
-/// callers — for this writer it is a no-op like [`GenSink::Discard`].
-enum SinkWriter<'a> {
-    Tsv(TsvStreamWriter<BufWriter<std::fs::File>>),
-    Bin(BinaryStreamWriter<BufWriter<std::fs::File>>),
-    Callback(&'a mut (dyn FnMut(usize, &Snapshot) + Send)),
-    Null,
-}
-
-impl<'a> SinkWriter<'a> {
-    fn open(
-        sink: &'a mut GenSink,
-        n: usize,
-        f: usize,
-        t_len: usize,
-    ) -> Result<SinkWriter<'a>, ServeError> {
-        Ok(match sink {
-            GenSink::TsvFile(path) => {
-                let w = BufWriter::new(std::fs::File::create(path)?);
-                SinkWriter::Tsv(TsvStreamWriter::new(w, n, f, t_len)?)
-            }
-            GenSink::BinaryFile(path) => {
-                let w = BufWriter::new(std::fs::File::create(path)?);
-                SinkWriter::Bin(BinaryStreamWriter::new(w, n, f, t_len)?)
-            }
-            GenSink::Callback(cb) => SinkWriter::Callback(cb.as_mut()),
-            GenSink::InMemory | GenSink::Discard => SinkWriter::Null,
-        })
-    }
-
-    fn write(&mut self, t: usize, snapshot: &Snapshot) -> Result<(), ServeError> {
-        match self {
-            SinkWriter::Tsv(w) => w.write_snapshot(snapshot)?,
-            SinkWriter::Bin(w) => w.write_snapshot(snapshot)?,
-            SinkWriter::Callback(cb) => cb(t, snapshot),
-            SinkWriter::Null => {}
-        }
-        Ok(())
-    }
-
-    fn finish(self) -> Result<(), ServeError> {
-        match self {
-            SinkWriter::Tsv(w) => {
-                w.finish()?;
-            }
-            SinkWriter::Bin(w) => {
-                w.finish()?;
-            }
-            SinkWriter::Callback(_) | SinkWriter::Null => {}
-        }
-        Ok(())
-    }
-}
-
-/// Feed a cached sequence through a sink, exactly as generation would
-/// have (same writers, same per-snapshot flushing).
-fn replay_into_sink(
-    graph: &DynamicGraph,
-    sink: &mut GenSink,
-) -> Result<StreamStats, ServeError> {
-    let stats = StreamStats {
-        snapshots: graph.t_len(),
-        edges: graph.temporal_edge_count(),
-    };
-    let mut writer = SinkWriter::open(sink, graph.n_nodes(), graph.n_attrs(), graph.t_len())?;
-    for (t, s) in graph.iter() {
-        writer.write(t, s)?;
-    }
-    writer.finish()?;
-    Ok(stats)
-}
-
-/// Drive Algorithm 1 one snapshot at a time straight into the sink.
-///
-/// The full sequence is materialized only when the caller needs it: for
-/// [`GenSink::InMemory`] (the job asked for it), or opportunistically
-/// for the snapshot cache when `collect_budget` is set — in which case
-/// collection is abandoned the moment the accumulated `approx_bytes`
-/// exceed the budget, so an uncacheable (oversized) sequence never
-/// breaks the streaming sinks' memory bound.
-fn generate_into_sink(
-    model: &Vrdag,
-    t_len: usize,
-    seed: u64,
-    sink: &mut GenSink,
-    collect_budget: Option<usize>,
-) -> Result<(StreamStats, Option<DynamicGraph>), ServeError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut state = model.begin_generation(&mut rng)?;
-    let n = model.n_nodes().expect("begin_generation succeeded");
-    let f = model.n_attrs().expect("begin_generation succeeded");
-    let mut stats = StreamStats::default();
-    let want_result = matches!(sink, GenSink::InMemory);
-    let mut collected =
-        (want_result || collect_budget.is_some()).then(|| Vec::with_capacity(t_len));
-    let mut collected_bytes = 0usize;
-    let mut writer = SinkWriter::open(sink, n, f, t_len)?;
-    for t in 0..t_len {
-        let snapshot = state.step(model);
-        stats.snapshots += 1;
-        stats.edges += snapshot.n_edges();
-        writer.write(t, &snapshot)?;
-        if collected.is_some() {
-            collected_bytes += snapshot.approx_bytes();
-            let over = collect_budget.is_some_and(|max| collected_bytes > max);
-            if over && !want_result {
-                collected = None;
-            } else if let Some(v) = &mut collected {
-                v.push(snapshot);
-            }
-        }
-    }
-    writer.finish()?;
-    Ok((stats, collected.map(DynamicGraph::new)))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::core::GenSink;
+    use crate::{CacheBudget, ServeConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use vrdag::VrdagConfig;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use vrdag::{Vrdag, VrdagConfig};
 
     fn fitted(fit_seed: u64) -> Vrdag {
         let g = vrdag_datasets::generate(&vrdag_datasets::tiny(), fit_seed);
@@ -1083,9 +332,10 @@ mod tests {
     }
 
     #[test]
-    fn drop_discards_queued_jobs() {
+    fn drop_discards_queued_jobs_and_counts_them() {
         // Drop is an abort: with the single worker pinned inside a job,
-        // everything still queued at drop time must never execute.
+        // everything still queued at drop time must never execute — and
+        // must stay observable as `dropped_jobs` on the core stats.
         let (registry, _) = registry_with_tiny();
         let mut scheduler = Scheduler::new(registry, 1).unwrap();
         let (started_tx, started_rx) = std::sync::mpsc::channel();
@@ -1109,16 +359,22 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(scheduler.queue_depth(), 3);
-        let queue = Arc::clone(&scheduler.queue);
-        // Drop on a helper thread (it blocks joining the pinned worker);
-        // once the queue is visibly discarded, release the blocker.
+        // A handle clone keeps the core's stats observable across the
+        // facade's death.
+        let handle = scheduler.handle().clone();
+        // Drop on a helper thread; once the queue is visibly discarded,
+        // release the blocker.
         let dropper = std::thread::spawn(move || drop(scheduler));
-        while queue.depth() > 0 {
+        while handle.queue_depth() > 0 {
             std::thread::yield_now();
         }
         release_tx.send(()).unwrap();
         dropper.join().unwrap();
+        handle.join_workers();
         assert_eq!(ran.load(Ordering::SeqCst), 0, "queued jobs ran after drop");
+        let stats = handle.stats();
+        assert_eq!(stats.dropped_jobs, 3, "discarded jobs are counted");
+        assert_eq!(stats.completed, 1, "only the in-flight blocker finished");
     }
 
     #[test]
@@ -1157,11 +413,11 @@ mod tests {
     }
 
     #[test]
-    fn report_renders_throughput_cache_and_affinity() {
+    fn report_renders_throughput_cache_affinity_and_latency() {
         let (registry, _) = registry_with_tiny();
         let mut scheduler = Scheduler::with_config(
             registry,
-            SchedulerConfig { workers: 2, cache: CacheBudget::entries(8), ..Default::default() },
+            ServeConfig { workers: 2, cache: CacheBudget::entries(8), ..Default::default() },
         )
         .unwrap();
         for seed in 0..3u64 {
@@ -1175,9 +431,11 @@ mod tests {
         assert!(rendered.contains("3 jobs on 2 workers"), "{rendered}");
         assert!(rendered.contains("cache:"), "{rendered}");
         assert!(rendered.contains("affinity:"), "{rendered}");
+        assert!(rendered.contains("latency: p50"), "{rendered}");
         assert!(report.jobs_per_sec > 0.0);
         assert!(report.snapshots_per_sec > 0.0);
         assert!(report.affinity.batches >= 1);
+        assert!(report.latency.p99_seconds >= report.latency.p50_seconds);
         assert_eq!(report.cache.misses, 3, "distinct seeds all miss");
     }
 
@@ -1186,7 +444,7 @@ mod tests {
         let (registry, model) = registry_with_tiny();
         let mut scheduler = Scheduler::with_config(
             registry,
-            SchedulerConfig {
+            ServeConfig {
                 workers: 1, // deterministic hit accounting
                 cache: CacheBudget::entries(8),
                 ..Default::default()
@@ -1222,7 +480,7 @@ mod tests {
         let (registry, model) = registry_with_tiny();
         let mut scheduler = Scheduler::with_config(
             registry,
-            SchedulerConfig { workers: 2, cache: CacheBudget::entries(4), ..Default::default() },
+            ServeConfig { workers: 2, cache: CacheBudget::entries(4), ..Default::default() },
         )
         .unwrap();
         scheduler.submit(GenRequest::new("tiny", 3, 33, GenSink::InMemory)).unwrap();
@@ -1250,7 +508,7 @@ mod tests {
         registry.register("b", &b).unwrap();
         let mut scheduler = Scheduler::with_config(
             registry,
-            SchedulerConfig { workers: 2, cache: CacheBudget::entries(8), ..Default::default() },
+            ServeConfig { workers: 2, cache: CacheBudget::entries(8), ..Default::default() },
         )
         .unwrap();
         // Pin both workers: worker 1 on model a (key K = a/1/0), worker
@@ -1304,7 +562,7 @@ mod tests {
         let (registry, model) = registry_with_tiny();
         let mut scheduler = Scheduler::with_config(
             registry,
-            SchedulerConfig {
+            ServeConfig {
                 workers: 1,
                 cache: CacheBudget { max_entries: 8, max_bytes: 64 },
                 ..Default::default()
@@ -1332,7 +590,7 @@ mod tests {
         let (registry, model) = registry_with_tiny();
         let mut scheduler = Scheduler::with_config(
             registry,
-            SchedulerConfig { workers: 1, cache: CacheBudget::entries(4), ..Default::default() },
+            ServeConfig { workers: 1, cache: CacheBudget::entries(4), ..Default::default() },
         )
         .unwrap();
         // Warm the cache, then serve the same sequence to a file.
@@ -1379,7 +637,7 @@ mod tests {
         let (registry, _) = registry_with_tiny();
         let mut scheduler = Scheduler::with_config(
             registry,
-            SchedulerConfig { workers: 1, max_queue_depth: Some(2), ..Default::default() },
+            ServeConfig { workers: 1, max_queue_depth: Some(2), ..Default::default() },
         )
         .unwrap();
         let (started_tx, started_rx) = std::sync::mpsc::channel();
@@ -1417,7 +675,7 @@ mod tests {
         registry.register("b", &b).unwrap();
         let mut scheduler = Scheduler::with_config(
             registry,
-            SchedulerConfig { workers: 1, ..Default::default() },
+            ServeConfig { workers: 1, ..Default::default() },
         )
         .unwrap();
         let (started_tx, started_rx) = std::sync::mpsc::channel();
@@ -1447,7 +705,7 @@ mod tests {
         registry.register("b", &b).unwrap();
         let mut scheduler = Scheduler::with_config(
             registry,
-            SchedulerConfig { workers: 1, ..Default::default() },
+            ServeConfig { workers: 1, ..Default::default() },
         )
         .unwrap();
         let (started_tx, started_rx) = std::sync::mpsc::channel();

@@ -1,7 +1,9 @@
 //! The serving workflow end to end: train once, register the artifact,
 //! stream one sequence to disk with bounded memory, serve a batch of
-//! concurrent seed-addressed generation requests, then serve a repeated
-//! workload out of the snapshot cache.
+//! concurrent seed-addressed generation requests, serve a repeated
+//! workload out of the snapshot cache, and finally serve concurrent TCP
+//! clients over the line protocol — with the same bit-identical results
+//! on every path.
 //!
 //! ```sh
 //! cargo run --release --example serving
@@ -10,6 +12,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vrdag_suite::prelude::*;
+use vrdag_suite::serve::protocol::{GenSpec, ReplyHeader, Request, WireFormat};
 
 fn main() {
     let dir = std::env::temp_dir().join("vrdag_serving_example");
@@ -83,8 +86,8 @@ fn main() {
     //    the later rounds are served from it, bit-identically — the
     //    determinism contract is what makes the sequences cacheable.
     let mut cached = Scheduler::with_config(
-        registry,
-        SchedulerConfig { workers: 2, cache: CacheBudget::entries(16), ..Default::default() },
+        registry.clone(),
+        ServeConfig { workers: 2, cache: CacheBudget::entries(16), ..Default::default() },
     )
     .unwrap();
     for _round in 0..3 {
@@ -99,6 +102,7 @@ fn main() {
     assert!(report.all_ok());
     assert!(report.cache.hits > 0, "repeated seeds must hit the snapshot cache");
     assert!(report.affinity.max_batch_len > 1, "same-model jobs batch onto one instance");
+    assert!(report.latency.p99_seconds >= report.latency.p50_seconds);
     // Cached and cold generations are identical.
     let cold = vrdag_suite::graph::io::load_tsv(dir.join("gen-2.tsv")).unwrap();
     let warm = report
@@ -108,10 +112,70 @@ fn main() {
         .expect("seed 2 was served from the cache at least once");
     assert_eq!(warm.graph.as_deref().unwrap(), &cold, "cache hits are bit-identical");
     println!(
-        "cache served {}/{} jobs ({} entries, {} KiB resident) ✓",
+        "cache served {}/{} jobs ({} entries, {} KiB resident), latency {} ✓",
         report.cache_hits(),
         report.jobs.len(),
         report.cache.entries,
         report.cache.bytes / 1024,
+        report.latency.render(),
     );
+
+    // 7. The same service over the wire: a ServeHandle core behind the
+    //    TCP line-protocol frontend, driven by concurrent clients. The
+    //    non-blocking core accepts every request while earlier ones are
+    //    still generating, and every streamed reply is bit-identical to
+    //    the file the batch stage wrote for that seed.
+    let handle = ServeHandle::with_config(
+        registry,
+        ServeConfig { workers: 2, cache: CacheBudget::entries(16), ..Default::default() },
+    )
+    .unwrap();
+    let frontend = Frontend::bind(handle.clone(), "127.0.0.1:0").unwrap();
+    let addr = frontend.local_addr();
+    println!("line-protocol frontend listening on {addr}");
+    let t_len = graph.t_len();
+    let clients: Vec<_> = (0..3u64)
+        .map(|client| {
+            std::thread::spawn(move || {
+                let mut conn = LineClient::connect(addr).unwrap();
+                // Overlapping seeds across clients: the shared snapshot
+                // cache coalesces them into one generation each.
+                let mut payloads = Vec::new();
+                for seed in [client, client + 1] {
+                    let reply = conn
+                        .gen(GenSpec {
+                            model: "tiny".to_string(),
+                            t_len,
+                            seed,
+                            fmt: WireFormat::Tsv,
+                            priority: 0,
+                        })
+                        .unwrap();
+                    match &reply.header {
+                        ReplyHeader::Gen { seed: echoed, .. } => assert_eq!(*echoed, seed),
+                        other => panic!("expected a GEN reply, got {other:?}"),
+                    }
+                    payloads.push((seed, reply.payload));
+                }
+                conn.request(&Request::Quit).unwrap();
+                payloads
+            })
+        })
+        .collect();
+    for client in clients {
+        for (seed, payload) in client.join().unwrap() {
+            // gen-{seed}.tsv from the batch stage is the ground truth.
+            let expected = std::fs::read(dir.join(format!("gen-{seed}.tsv"))).unwrap();
+            assert_eq!(payload, expected, "TCP reply for seed {seed} diverged");
+        }
+    }
+    let stats = handle.stats();
+    print!("{}", stats.render());
+    assert_eq!(stats.failed, 0);
+    assert!(stats.cache.hits > 0, "overlapping client seeds must coalesce");
+    println!(
+        "wire replies for 3 clients bit-identical to disk, latency {} ✓",
+        stats.latency.render(),
+    );
+    drop(frontend);
 }

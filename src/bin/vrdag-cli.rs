@@ -6,11 +6,14 @@
 //! vrdag-cli fit            --graph graph.tsv --epochs 12 --model model.vrdg
 //! vrdag-cli generate       --model model.vrdg --t 14 --out synthetic.tsv
 //! vrdag-cli batch-generate --model model.vrdg --t 14 --jobs 8 --workers 4 --out-dir runs/
+//! vrdag-cli serve          --addr 127.0.0.1:7878 --model model.vrdg --workers 4
 //! vrdag-cli evaluate       --original graph.tsv --generated synthetic.tsv
 //! ```
 //!
 //! Graphs use the TSV format of `vrdag_graph::io` (drop in real datasets
 //! the same way); models use the binary format of `vrdag::persist`.
+//! `serve` speaks the newline-delimited line protocol of
+//! `vrdag_serve::protocol` (see the README's "Serving over the wire").
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,7 +42,7 @@ fn parse_kv(args: &[String]) -> HashMap<String, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: vrdag-cli <synth|summarize|fit|generate|batch-generate|evaluate> [--key value ...]\n\
+        "usage: vrdag-cli <synth|summarize|fit|generate|batch-generate|serve|evaluate> [--key value ...]\n\
          \n\
          synth          --dataset <name> [--scale F] [--seed N] --out <graph.tsv>\n\
          summarize      --graph <graph.tsv>\n\
@@ -48,6 +51,9 @@ fn usage() -> ExitCode {
          batch-generate --model <model.vrdg> --t <T> [--jobs N] [--workers N] [--seed N]\n\
          \x20              [--repeat R] [--cache-entries N] [--priority P] [--queue-depth N]\n\
          \x20              [--format tsv|bin] --out-dir <dir>   (one file per job, seed-addressed)\n\
+         serve          --model <model.vrdg> [--name NAME] [--models n1=p1,n2=p2,...]\n\
+         \x20              [--addr HOST:PORT] [--workers N] [--cache-entries N] [--queue-depth N]\n\
+         \x20              (line protocol: GEN model=<name> t=<T> seed=<S> fmt=tsv|bin [priority=P])\n\
          evaluate       --original <graph.tsv> --generated <graph.tsv>"
     );
     ExitCode::FAILURE
@@ -152,13 +158,14 @@ fn main() -> ExitCode {
             println!("wrote {out}: M={} temporal edges", g.temporal_edge_count());
         }
         "batch-generate" => {
-            // Serving-layer batch: load the model once into the registry,
-            // fan T-snapshot generation jobs (seeds seed..seed+jobs) over
-            // a worker pool, stream every sequence straight to disk.
-            // `--repeat R` resubmits the whole seed range R more times
-            // with discarded output (two rounds writing one path would
-            // race) — combined with `--cache-entries N` the later rounds
-            // are served from the snapshot LRU instead of regenerating.
+            // Serving-layer batch on the non-blocking core: load the
+            // model once into the registry, fire T-snapshot generation
+            // jobs (seeds seed..seed+jobs) at a ServeHandle, keep the
+            // tickets, and drain them at the end. `--repeat R` resubmits
+            // the whole seed range R more times with discarded output
+            // (two rounds writing one path would race) — combined with
+            // `--cache-entries N` the later rounds are served from the
+            // snapshot LRU instead of regenerating.
             let (Some(model_path), Some(out_dir)) = (kv.get("model"), kv.get("out-dir")) else {
                 return usage();
             };
@@ -191,18 +198,19 @@ fn main() -> ExitCode {
                 eprintln!("model load failed: {e}");
                 return ExitCode::FAILURE;
             }
-            let config = SchedulerConfig {
+            let config = ServeConfig {
                 workers,
                 max_queue_depth: queue_depth,
                 cache: CacheBudget::entries(cache_entries),
             };
-            let mut scheduler = match Scheduler::with_config(registry, config) {
-                Ok(s) => s,
+            let handle = match ServeHandle::with_config(registry, config) {
+                Ok(h) => h,
                 Err(e) => {
-                    eprintln!("scheduler construction failed: {e}");
+                    eprintln!("service construction failed: {e}");
                     return ExitCode::FAILURE;
                 }
             };
+            let mut tickets = Vec::with_capacity(jobs * repeat.max(1));
             for round in 0..repeat.max(1) {
                 for job_seed in (0..jobs as u64).map(|i| seed.wrapping_add(i)) {
                     // Only the first round owns the output files; repeat
@@ -225,8 +233,11 @@ fn main() -> ExitCode {
                     loop {
                         let req = GenRequest::new("model", t, job_seed, make_sink())
                             .with_priority(priority);
-                        match scheduler.submit(req) {
-                            Ok(_) => break,
+                        match handle.submit(req) {
+                            Ok(ticket) => {
+                                tickets.push(ticket);
+                                break;
+                            }
                             Err(ServeError::QueueFull { .. }) => {
                                 // QueueFull is our own backpressure on
                                 // our own finite batch — wait for the
@@ -243,16 +254,113 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            let report = match scheduler.join() {
-                Ok(r) => r,
+            let mut failed = false;
+            for ticket in tickets {
+                match ticket.wait() {
+                    Ok(result) => {
+                        if let Some(e) = &result.error {
+                            eprintln!(
+                                "job {} (seed {}) failed: {e}",
+                                result.id.0, result.seed
+                            );
+                            failed = true;
+                        } else {
+                            println!(
+                                "job {:>3}  t={} seed={}  {:.3}s  {:.1} snapshots/s  {} edges{}",
+                                result.id.0,
+                                result.t_len,
+                                result.seed,
+                                result.seconds,
+                                result.snapshots_per_sec,
+                                result.edges,
+                                if result.cache_hit { "  (cache hit)" } else { "" },
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("job dropped: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            // Graceful drain, then the final stats snapshot — including
+            // the per-job latency percentiles.
+            let stats = handle.shutdown();
+            print!("{}", stats.render());
+            if failed {
+                return ExitCode::FAILURE;
+            }
+        }
+        "serve" => {
+            // Long-lived TCP frontend over the non-blocking service
+            // core. Register either one model (--model [+ --name]) or a
+            // comma-separated list (--models a=p1,b=p2); clients speak
+            // the line protocol documented in the README.
+            let addr = kv
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+            let workers: usize = kv.get("workers").and_then(|s| s.parse().ok()).unwrap_or(2);
+            let cache_entries: usize =
+                kv.get("cache-entries").and_then(|s| s.parse().ok()).unwrap_or(64);
+            let queue_depth: Option<usize> = kv.get("queue-depth").and_then(|s| s.parse().ok());
+            let registry = ModelRegistry::new();
+            if let Some(model_path) = kv.get("model") {
+                let name = kv.get("name").map(String::as_str).unwrap_or("model");
+                if let Err(e) = registry.load_file(name, model_path) {
+                    eprintln!("model load failed ({model_path}): {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(list) = kv.get("models") {
+                for entry in list.split(',').filter(|s| !s.is_empty()) {
+                    let Some((name, path)) = entry.split_once('=') else {
+                        eprintln!("--models entries must be name=path, got {entry:?}");
+                        return ExitCode::FAILURE;
+                    };
+                    if let Err(e) = registry.load_file(name, path) {
+                        eprintln!("model load failed ({path}): {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if registry.is_empty() {
+                eprintln!("serve needs at least one model (--model or --models)");
+                return ExitCode::FAILURE;
+            }
+            let config = ServeConfig {
+                workers,
+                max_queue_depth: queue_depth,
+                cache: CacheBudget::entries(cache_entries),
+            };
+            let handle = match ServeHandle::with_config(registry, config) {
+                Ok(h) => h,
                 Err(e) => {
-                    eprintln!("join failed: {e}");
+                    eprintln!("service construction failed: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            print!("{}", report.render());
-            if !report.all_ok() {
-                return ExitCode::FAILURE;
+            let frontend = match Frontend::bind(handle.clone(), addr.as_str()) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let local = frontend.local_addr();
+            println!(
+                "serving {} model(s) on {} with {} workers  (try: printf 'MODELS\\n' | nc {} {})",
+                handle.registry().len(),
+                local,
+                workers,
+                local.ip(),
+                local.port(),
+            );
+            // Serve until killed; periodically surface the running
+            // stats so an operator tailing the process sees traffic.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(60));
+                print!("{}", handle.stats().render());
             }
         }
         "evaluate" => {

@@ -34,8 +34,9 @@ pub mod prelude {
     pub use vrdag_graph::{DynamicGraph, DynamicGraphGenerator, FitReport, GeneratorError, Snapshot};
     pub use vrdag_metrics::{attribute_report, structure_report};
     pub use vrdag_serve::{
-        BatchReport, CacheBudget, CacheStats, GenRequest, GenSink, ModelRegistry, Scheduler,
-        SchedulerConfig, ServeError, SnapshotCache, SnapshotStream,
+        BatchReport, CacheBudget, CacheStats, Frontend, GenRequest, GenSink, LineClient,
+        ModelRegistry, Scheduler, SchedulerConfig, ServeConfig, ServeError, ServeHandle,
+        ServeStats, SnapshotCache, SnapshotStream, Ticket,
     };
     pub use vrdag_tensor::{Matrix, Tensor};
 }

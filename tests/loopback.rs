@@ -1,0 +1,294 @@
+//! End-to-end loopback tests of the TCP line-protocol frontend: live
+//! `std::net` server, concurrent clients, bit-identical replies against
+//! the direct `ServeHandle` path, deterministic coalescing of duplicate
+//! keys, and structured backpressure instead of dropped connections.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use vrdag_suite::graph::io::BinaryStreamWriter;
+use vrdag_suite::prelude::*;
+use vrdag_suite::serve::protocol::{ErrorCode, GenSpec, ReplyHeader, Request, WireFormat};
+
+fn fitted_model(seed: u64) -> Vrdag {
+    let g = datasets::generate(&datasets::tiny(), seed);
+    let mut cfg = VrdagConfig::test_small();
+    cfg.epochs = 2;
+    let mut model = Vrdag::new(cfg);
+    let mut rng = StdRng::seed_from_u64(seed);
+    model.fit(&g, &mut rng).unwrap();
+    model
+}
+
+/// Serialize exactly as the frontend does for each wire format.
+fn encode(graph: &DynamicGraph, fmt: WireFormat) -> Vec<u8> {
+    match fmt {
+        WireFormat::Tsv => vrdag_suite::graph::io::write_tsv(graph, Vec::new()).unwrap(),
+        WireFormat::Bin => {
+            let mut w = BinaryStreamWriter::new(
+                Vec::new(),
+                graph.n_nodes(),
+                graph.n_attrs(),
+                graph.t_len(),
+            )
+            .unwrap();
+            for (_, s) in graph.iter() {
+                w.write_snapshot(s).unwrap();
+            }
+            w.finish().unwrap()
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_replies_and_duplicates_coalesce() {
+    let model = fitted_model(11);
+    let registry = ModelRegistry::new();
+    registry.register("m", &model).unwrap();
+
+    // Ground truth through a *separate* direct ServeHandle core (same
+    // artifact, untouched stats), so the frontend core's cache counters
+    // below are exactly the TCP traffic's.
+    let direct = ServeHandle::new(registry.clone(), 2).unwrap();
+    let keys: Vec<(usize, u64)> = vec![(3, 1), (3, 2), (4, 1)];
+    let mut expected: HashMap<(usize, u64, bool), Vec<u8>> = HashMap::new();
+    for &(t_len, seed) in &keys {
+        let ticket = direct
+            .submit(GenRequest::new("m", t_len, seed, GenSink::InMemory))
+            .unwrap();
+        let result = ticket.wait().unwrap();
+        assert!(result.is_ok(), "{:?}", result.error);
+        let graph = result.graph.as_deref().unwrap();
+        expected.insert((t_len, seed, false), encode(graph, WireFormat::Tsv));
+        expected.insert((t_len, seed, true), encode(graph, WireFormat::Bin));
+    }
+    direct.shutdown();
+
+    let handle = ServeHandle::with_config(
+        registry,
+        ServeConfig { workers: 2, cache: CacheBudget::entries(32), ..Default::default() },
+    )
+    .unwrap();
+    let frontend = Frontend::bind(handle.clone(), "127.0.0.1:0").unwrap();
+    let addr = frontend.local_addr();
+
+    // 4 concurrent clients all request every key — overlapping
+    // (model, t, seed) traffic, half tsv, half bin (the format changes
+    // the encoding, not the cache key).
+    let clients: Vec<_> = (0..4usize)
+        .map(|client| {
+            let keys = keys.clone();
+            std::thread::spawn(move || {
+                let fmt = if client % 2 == 0 { WireFormat::Tsv } else { WireFormat::Bin };
+                let mut conn = LineClient::connect(addr).unwrap();
+                let mut replies = Vec::new();
+                for (t_len, seed) in keys {
+                    let reply = conn
+                        .gen(GenSpec {
+                            model: "m".to_string(),
+                            t_len,
+                            seed,
+                            fmt,
+                            priority: 0,
+                        })
+                        .unwrap();
+                    match reply.header {
+                        ReplyHeader::Gen {
+                            t_len: rt,
+                            seed: rs,
+                            fmt: rf,
+                            snapshots,
+                            bytes,
+                            ..
+                        } => {
+                            assert_eq!((rt, rs, rf), (t_len, seed, fmt), "reply routed wrong");
+                            assert_eq!(snapshots, t_len);
+                            assert_eq!(bytes, reply.payload.len());
+                        }
+                        other => panic!("expected OK GEN, got {other:?}"),
+                    }
+                    replies.push((t_len, seed, fmt == WireFormat::Bin, reply.payload));
+                }
+                let bye = conn.request(&Request::Quit).unwrap();
+                assert!(matches!(bye.header, ReplyHeader::Bye));
+                replies
+            })
+        })
+        .collect();
+    for client in clients {
+        for (t_len, seed, bin, payload) in client.join().unwrap() {
+            assert_eq!(
+                &payload,
+                expected.get(&(t_len, seed, bin)).unwrap(),
+                "reply for t={t_len} seed={seed} bin={bin} diverged from the direct path"
+            );
+        }
+    }
+
+    // Duplicates coalesced: 4 clients x 3 keys = 12 lookups, exactly one
+    // miss per unique (model, t, seed) key, everything else served from
+    // the cache.
+    let stats = handle.stats();
+    assert_eq!(stats.completed, 12);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.cache.misses, keys.len() as u64, "{stats:?}");
+    assert_eq!(stats.cache.hits, 12 - keys.len() as u64, "{stats:?}");
+    assert_eq!(stats.cache.evictions, 0);
+}
+
+#[test]
+fn saturated_queue_answers_structured_backpressure_and_keeps_the_connection() {
+    let model = fitted_model(12);
+    let registry = ModelRegistry::new();
+    registry.register("m", &model).unwrap();
+    let handle = ServeHandle::with_config(
+        registry,
+        ServeConfig { workers: 1, max_queue_depth: Some(1), ..Default::default() },
+    )
+    .unwrap();
+    let frontend = Frontend::bind(handle.clone(), "127.0.0.1:0").unwrap();
+
+    // Pin the single worker inside a job via the shared handle, then
+    // fill the queue to its cap, so the TCP submit below must be
+    // rejected deterministically.
+    let (started_tx, started_rx) = std::sync::mpsc::channel();
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let mut fired = false;
+    let blocker = handle
+        .submit(GenRequest::new(
+            "m",
+            1,
+            0,
+            GenSink::Callback(Box::new(move |_, _| {
+                if !fired {
+                    fired = true;
+                    started_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                }
+            })),
+        ))
+        .unwrap();
+    started_rx.recv().unwrap();
+    let filler = handle.submit(GenRequest::new("m", 1, 1, GenSink::Discard)).unwrap();
+
+    let mut conn = LineClient::connect(frontend.local_addr()).unwrap();
+    let spec = GenSpec {
+        model: "m".to_string(),
+        t_len: 2,
+        seed: 9,
+        fmt: WireFormat::Tsv,
+        priority: 0,
+    };
+    let rejected = conn.gen(spec.clone()).unwrap();
+    match rejected.header {
+        ReplyHeader::Err { code, message } => {
+            assert_eq!(code, ErrorCode::QueueFull);
+            assert_eq!(message, "depth=1 cap=1", "structured backpressure fields");
+        }
+        other => panic!("expected ERR queue-full, got {other:?}"),
+    }
+    // The connection survived the rejection: it still answers.
+    let pong = conn.request(&Request::Ping).unwrap();
+    assert!(matches!(pong.header, ReplyHeader::Pong));
+
+    // Unpin the worker; once the backlog drains, the same connection's
+    // retry succeeds — the client-side backoff loop the ERR asks for.
+    release_tx.send(()).unwrap();
+    blocker.wait().unwrap();
+    filler.wait().unwrap();
+    let mut reply = None;
+    for _ in 0..2000 {
+        let r = conn.gen(spec.clone()).unwrap();
+        match r.header {
+            ReplyHeader::Err { code: ErrorCode::QueueFull, .. } => {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            _ => {
+                reply = Some(r);
+                break;
+            }
+        }
+    }
+    let reply = reply.expect("retry after backpressure never succeeded");
+    match reply.header {
+        ReplyHeader::Gen { seed, snapshots, .. } => {
+            assert_eq!(seed, 9);
+            assert_eq!(snapshots, 2);
+            assert!(!reply.payload.is_empty());
+        }
+        other => panic!("expected OK GEN after drain, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_lines_get_typed_errors_without_losing_the_connection() {
+    let model = fitted_model(13);
+    let registry = ModelRegistry::new();
+    registry.register("m", &model).unwrap();
+    let handle = ServeHandle::new(registry, 1).unwrap();
+    let frontend = Frontend::bind(handle.clone(), "127.0.0.1:0").unwrap();
+    let mut conn = LineClient::connect(frontend.local_addr()).unwrap();
+
+    let err_code = |reply: vrdag_suite::serve::Reply| match reply.header {
+        ReplyHeader::Err { code, .. } => code,
+        other => panic!("expected ERR, got {other:?}"),
+    };
+
+    // One connection, a parade of bad input — each answered, none fatal.
+    assert_eq!(err_code(conn.send_line("FROBNICATE now").unwrap()), ErrorCode::BadRequest);
+    assert_eq!(
+        err_code(conn.send_line("GEN model=m t=zero seed=0 fmt=tsv").unwrap()),
+        ErrorCode::BadRequest
+    );
+    assert_eq!(
+        err_code(conn.send_line("GEN model=m t=0 seed=0 fmt=tsv").unwrap()),
+        ErrorCode::BadRequest
+    );
+    assert_eq!(
+        err_code(conn.send_line("GEN model=ghost t=1 seed=0 fmt=tsv").unwrap()),
+        ErrorCode::UnknownModel
+    );
+    let oversized = format!("GEN model={} t=1 seed=0 fmt=tsv", "x".repeat(8192));
+    assert_eq!(err_code(conn.send_line(&oversized).unwrap()), ErrorCode::LineTooLong);
+    // Non-UTF-8 bytes are a bad request, not a hangup. (Sent raw; the
+    // reply still parses.)
+    // After all of that, the connection still serves real work.
+    let reply = conn
+        .gen(GenSpec {
+            model: "m".to_string(),
+            t_len: 1,
+            seed: 0,
+            fmt: WireFormat::Tsv,
+            priority: 0,
+        })
+        .unwrap();
+    assert!(matches!(reply.header, ReplyHeader::Gen { .. }));
+    assert!(matches!(conn.request(&Request::Stats).unwrap().header, ReplyHeader::Stats { .. }));
+}
+
+#[test]
+fn frontend_shutdown_leaves_the_core_usable() {
+    let model = fitted_model(14);
+    let registry = ModelRegistry::new();
+    registry.register("m", &model).unwrap();
+    let handle = ServeHandle::new(registry, 1).unwrap();
+    let mut frontend = Frontend::bind(handle.clone(), "127.0.0.1:0").unwrap();
+    let addr = frontend.local_addr();
+    {
+        let mut conn = LineClient::connect(addr).unwrap();
+        assert!(matches!(conn.request(&Request::Ping).unwrap().header, ReplyHeader::Pong));
+    }
+    frontend.shutdown();
+    // The listener is gone (the OS may still accept a connect into the
+    // dead backlog, but nothing answers on it).
+    match LineClient::connect(addr) {
+        Err(_) => {}
+        Ok(mut conn) => assert!(
+            conn.request(&Request::Ping).is_err(),
+            "frontend still serving after shutdown"
+        ),
+    }
+    // ...but the core keeps serving direct traffic.
+    let ticket = handle.submit(GenRequest::new("m", 1, 5, GenSink::InMemory)).unwrap();
+    assert!(ticket.wait().unwrap().is_ok());
+}

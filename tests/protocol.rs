@@ -1,0 +1,168 @@
+//! Property tests of the wire protocol's framing: arbitrary byte noise,
+//! token soup, truncations, and oversized lines must never panic the
+//! parsers and always yield a typed `ProtocolError`; every parsed value
+//! re-serializes to a canonical line that parses back identically.
+
+use proptest::prelude::*;
+use vrdag_suite::serve::protocol::{
+    parse_reply, parse_request, ErrorCode, GenSpec, ReplyHeader, Request, WireFormat,
+    MAX_LINE_BYTES,
+};
+
+fn lowercase(bytes: &[u8]) -> String {
+    bytes.iter().map(|&b| (b'a' + b % 26) as char).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_byte_noise_never_panics(raw in prop::collection::vec(0u16..256, 0..400)) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let line = String::from_utf8_lossy(&bytes);
+        // Any outcome is fine — panicking is the only failure mode.
+        let _ = parse_request(&line);
+        let _ = parse_reply(&line);
+    }
+
+    #[test]
+    fn token_soup_never_panics_and_errors_are_typed(
+        pieces in prop::collection::vec((0u16..14, 0u16..1000), 0..20),
+    ) {
+        // Adversarial-but-plausible lines: real command words, real
+        // keys, stray separators, numbers — glued in random order.
+        let vocab = [
+            "GEN", "STATS", "MODELS", "PING", "QUIT", "OK", "ERR",
+            "model=", "t=", "seed=", "fmt=tsv", "fmt=", "priority=", "=",
+        ];
+        let mut line = String::new();
+        for &(word, num) in &pieces {
+            line.push_str(vocab[word as usize % vocab.len()]);
+            if num % 3 != 0 {
+                line.push_str(&num.to_string());
+            }
+            if num % 4 != 0 {
+                line.push(' ');
+            }
+        }
+        if let Err(e) = parse_request(&line) {
+            // Every failure carries a wire code the frontend can answer with.
+            let _ = e.code();
+            let _ = e.to_string();
+        }
+        let _ = parse_reply(&line);
+    }
+
+    #[test]
+    fn truncated_lines_never_panic(
+        args in (1usize..60, 0u64..1_000_000, 0usize..80),
+    ) {
+        let (t, seed, cut) = args;
+        let line = format!("GEN model=m t={t} seed={seed} fmt=bin priority=7");
+        let cut = cut % (line.len() + 1);
+        // ASCII line, so every cut is a char boundary.
+        let _ = parse_request(&line[..cut]);
+        let reply = format!(
+            "OK GEN id=1 model=m t={t} seed={seed} fmt=bin snapshots={t} edges=12 cache=miss bytes=900"
+        );
+        let cut = cut % (reply.len() + 1);
+        let _ = parse_reply(&reply[..cut]);
+    }
+
+    #[test]
+    fn oversized_lines_always_yield_line_too_long(pad in 1usize..600) {
+        let line = format!("GEN model={} t=1 seed=0 fmt=tsv", "m".repeat(MAX_LINE_BYTES + pad));
+        match parse_request(&line) {
+            Err(e) => prop_assert_eq!(e.code(), ErrorCode::LineTooLong),
+            Ok(req) => prop_assert!(false, "oversized line parsed: {:?}", req),
+        }
+    }
+
+    #[test]
+    fn gen_requests_round_trip(
+        args in (
+            prop::collection::vec(0u8..26, 1..10),
+            1usize..10_000,
+            0u64..u64::MAX,
+            -100i32..100,
+        ),
+    ) {
+        let (name_raw, t, seed, priority) = args;
+        let fmt = if seed % 2 == 0 { WireFormat::Tsv } else { WireFormat::Bin };
+        let req = Request::Gen(GenSpec {
+            model: lowercase(&name_raw),
+            t_len: t,
+            seed,
+            fmt,
+            priority,
+        });
+        let line = req.to_line();
+        prop_assert!(line.len() <= MAX_LINE_BYTES);
+        // Parse → re-serialize is the identity on canonical lines.
+        let parsed = parse_request(&line).unwrap();
+        prop_assert_eq!(&parsed, &req);
+        prop_assert_eq!(parsed.to_line(), line);
+    }
+
+    #[test]
+    fn bare_requests_round_trip(which in 0u8..4) {
+        let req = match which {
+            0 => Request::Stats,
+            1 => Request::Models,
+            2 => Request::Ping,
+            _ => Request::Quit,
+        };
+        let line = req.to_line();
+        prop_assert_eq!(parse_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn gen_reply_headers_round_trip(
+        args in (
+            (0u64..u64::MAX, 1usize..10_000, 0u64..u64::MAX),
+            (0usize..10_000, 0usize..1_000_000, 0usize..1_000_000),
+            0u8..4,
+            prop::collection::vec(0u8..26, 1..10),
+        ),
+    ) {
+        let ((id, t, seed), (snapshots, edges, bytes), flags, name_raw) = args;
+        let header = ReplyHeader::Gen {
+            id,
+            model: lowercase(&name_raw),
+            t_len: t,
+            seed,
+            fmt: if flags % 2 == 0 { WireFormat::Tsv } else { WireFormat::Bin },
+            snapshots,
+            edges,
+            cache_hit: flags >= 2,
+            bytes,
+        };
+        let line = header.to_line();
+        let parsed = parse_reply(&line).unwrap();
+        prop_assert_eq!(&parsed, &header);
+        prop_assert_eq!(parsed.to_line(), line);
+    }
+
+    #[test]
+    fn err_reply_headers_round_trip(
+        args in (0u8..7, prop::collection::vec(prop::collection::vec(0u8..26, 1..7), 0..6)),
+    ) {
+        let (which, words) = args;
+        let code = match which {
+            0 => ErrorCode::QueueFull,
+            1 => ErrorCode::UnknownModel,
+            2 => ErrorCode::InvalidRequest,
+            3 => ErrorCode::BadRequest,
+            4 => ErrorCode::LineTooLong,
+            5 => ErrorCode::Shutdown,
+            _ => ErrorCode::Internal,
+        };
+        let message =
+            words.iter().map(|w| lowercase(w)).collect::<Vec<_>>().join(" ");
+        let header = ReplyHeader::Err { code, message };
+        let line = header.to_line();
+        let parsed = parse_reply(&line).unwrap();
+        prop_assert_eq!(&parsed, &header);
+        prop_assert_eq!(parsed.to_line(), line);
+    }
+}

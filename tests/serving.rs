@@ -138,11 +138,22 @@ fn facade_prelude_exposes_the_serving_surface() {
     let _stats: vrdag_suite::serve::StreamStats = Default::default();
     let _cache: SnapshotCache = SnapshotCache::new(CacheBudget::entries(2));
     let _cache_stats: CacheStats = _cache.stats();
-    let _config: SchedulerConfig = SchedulerConfig::default();
+    // SchedulerConfig is the compatibility alias of ServeConfig.
+    let _config: SchedulerConfig = ServeConfig::default();
     let model = fitted_model(6);
     let mut rng = StdRng::seed_from_u64(0);
     let state: GenerationState = model.begin_generation(&mut rng).unwrap();
     assert_eq!(state.t(), 0);
+
+    // The service core and wire layer flow through the prelude too.
+    registry.register("m", &model).unwrap();
+    let handle: ServeHandle = ServeHandle::new(registry, 1).unwrap();
+    let ticket: Ticket = handle.submit(GenRequest::new("m", 1, 0, GenSink::Discard)).unwrap();
+    assert!(ticket.wait().unwrap().is_ok());
+    let serve_stats: ServeStats = handle.stats();
+    assert_eq!(serve_stats.completed, 1);
+    let frontend: Frontend = Frontend::bind(handle.clone(), "127.0.0.1:0").unwrap();
+    let _client: LineClient = LineClient::connect(frontend.local_addr()).unwrap();
 }
 
 #[test]
