@@ -47,10 +47,9 @@ impl Motif {
     fn edges(&self) -> Vec<(u32, u32)> {
         match self.kind {
             MotifKind::Edge => vec![(self.nodes[0], self.nodes[1])],
-            MotifKind::Wedge => vec![
-                (self.nodes[0], self.nodes[1]),
-                (self.nodes[1], self.nodes[2]),
-            ],
+            MotifKind::Wedge => {
+                vec![(self.nodes[0], self.nodes[1]), (self.nodes[1], self.nodes[2])]
+            }
             MotifKind::Triangle => vec![
                 (self.nodes[0], self.nodes[1]),
                 (self.nodes[1], self.nodes[2]),
@@ -98,7 +97,11 @@ impl DynamicGraphGenerator for DymondLike {
         true
     }
 
-    fn fit(&mut self, graph: &DynamicGraph, _rng: &mut dyn RngCore) -> Result<FitReport, GeneratorError> {
+    fn fit(
+        &mut self,
+        graph: &DynamicGraph,
+        _rng: &mut dyn RngCore,
+    ) -> Result<FitReport, GeneratorError> {
         let started = Instant::now();
         let mut motifs: Vec<Motif> = Vec::new();
         let mut counts = [0f64; 3];
@@ -151,14 +154,14 @@ impl DynamicGraphGenerator for DymondLike {
             f: graph.n_attrs(),
             t_train: graph.t_len(),
         });
-        Ok(FitReport {
-            train_seconds: started.elapsed().as_secs_f64(),
-            epochs: 1,
-            final_loss: 0.0,
-        })
+        Ok(FitReport { train_seconds: started.elapsed().as_secs_f64(), epochs: 1, final_loss: 0.0 })
     }
 
-    fn generate(&self, t_len: usize, rng: &mut dyn RngCore) -> Result<DynamicGraph, GeneratorError> {
+    fn generate(
+        &self,
+        t_len: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<DynamicGraph, GeneratorError> {
         let fitted = self.state.as_ref().ok_or(GeneratorError::NotFitted)?;
         let _ = fitted.t_train;
         // Partition stored motifs by kind for rate-faithful sampling.
@@ -189,11 +192,7 @@ impl DynamicGraphGenerator for DymondLike {
                     edges.extend(m.edges());
                 }
             }
-            snapshots.push(Snapshot::new(
-                fitted.n,
-                edges,
-                Matrix::zeros(fitted.n, fitted.f),
-            ));
+            snapshots.push(Snapshot::new(fitted.n, edges, Matrix::zeros(fitted.n, fitted.f)));
         }
         Ok(DynamicGraph::new(snapshots))
     }

@@ -130,7 +130,11 @@ impl DynamicGraphGenerator for GenCatLike {
         false
     }
 
-    fn fit(&mut self, graph: &DynamicGraph, _rng: &mut dyn RngCore) -> Result<FitReport, GeneratorError> {
+    fn fit(
+        &mut self,
+        graph: &DynamicGraph,
+        _rng: &mut dyn RngCore,
+    ) -> Result<FitReport, GeneratorError> {
         let started = Instant::now();
         let n = graph.n_nodes();
         let f = graph.n_attrs();
@@ -182,8 +186,8 @@ impl DynamicGraphGenerator for GenCatLike {
             if counts[c] > 0.0 {
                 for d in 0..f {
                     attr_mean[c][d] /= counts[c];
-                    let var = (attr_sq[c][d] / counts[c] - attr_mean[c][d] * attr_mean[c][d])
-                        .max(1e-9);
+                    let var =
+                        (attr_sq[c][d] / counts[c] - attr_mean[c][d] * attr_mean[c][d]).max(1e-9);
                     attr_std[c][d] = var.sqrt();
                 }
             }
@@ -210,14 +214,14 @@ impl DynamicGraphGenerator for GenCatLike {
             n,
             f,
         });
-        Ok(FitReport {
-            train_seconds: started.elapsed().as_secs_f64(),
-            epochs: 1,
-            final_loss: 0.0,
-        })
+        Ok(FitReport { train_seconds: started.elapsed().as_secs_f64(), epochs: 1, final_loss: 0.0 })
     }
 
-    fn generate(&self, t_len: usize, rng: &mut dyn RngCore) -> Result<DynamicGraph, GeneratorError> {
+    fn generate(
+        &self,
+        t_len: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<DynamicGraph, GeneratorError> {
         let fitted = self.state.as_ref().ok_or(GeneratorError::NotFitted)?;
         let k = fitted.pref.len();
         // Flatten the class-pair distribution for sampling.
@@ -256,18 +260,10 @@ impl DynamicGraphGenerator for GenCatLike {
                 let c = fitted.class_of[i];
                 for d in 0..fitted.f {
                     let z = gauss(rng);
-                    attrs.set(
-                        i,
-                        d,
-                        (fitted.attr_mean[c][d] + fitted.attr_std[c][d] * z) as f32,
-                    );
+                    attrs.set(i, d, (fitted.attr_mean[c][d] + fitted.attr_std[c][d] * z) as f32);
                 }
             }
-            snapshots.push(Snapshot::new(
-                fitted.n,
-                edges.into_iter().collect(),
-                attrs,
-            ));
+            snapshots.push(Snapshot::new(fitted.n, edges.into_iter().collect(), attrs));
         }
         Ok(DynamicGraph::new(snapshots))
     }
@@ -317,13 +313,7 @@ mod tests {
         assert_eq!(out.n_attrs(), g.n_attrs());
         assert!(out.temporal_edge_count() > 0);
         // Attributes are non-trivial.
-        let spread: f32 = out
-            .snapshot(0)
-            .attrs()
-            .data()
-            .iter()
-            .map(|x| x.abs())
-            .sum();
+        let spread: f32 = out.snapshot(0).attrs().data().iter().map(|x| x.abs()).sum();
         assert!(spread > 0.0);
     }
 

@@ -71,7 +71,11 @@ impl DynamicGraphGenerator for GranLike {
         false
     }
 
-    fn fit(&mut self, graph: &DynamicGraph, _rng: &mut dyn RngCore) -> Result<FitReport, GeneratorError> {
+    fn fit(
+        &mut self,
+        graph: &DynamicGraph,
+        _rng: &mut dyn RngCore,
+    ) -> Result<FitReport, GeneratorError> {
         let started = Instant::now();
         let n = graph.n_nodes();
         let t = graph.t_len() as f64;
@@ -124,27 +128,19 @@ impl DynamicGraphGenerator for GranLike {
                     .collect()
             })
             .collect();
-        self.state = Some(Fitted {
-            order,
-            block_of_pos,
-            block_density,
-            w_out,
-            w_in,
-            n,
-            f: graph.n_attrs(),
-        });
-        Ok(FitReport {
-            train_seconds: started.elapsed().as_secs_f64(),
-            epochs: 1,
-            final_loss: 0.0,
-        })
+        self.state =
+            Some(Fitted { order, block_of_pos, block_density, w_out, w_in, n, f: graph.n_attrs() });
+        Ok(FitReport { train_seconds: started.elapsed().as_secs_f64(), epochs: 1, final_loss: 0.0 })
     }
 
-    fn generate(&self, t_len: usize, rng: &mut dyn RngCore) -> Result<DynamicGraph, GeneratorError> {
+    fn generate(
+        &self,
+        t_len: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<DynamicGraph, GeneratorError> {
         let fitted = self.state.as_ref().ok_or(GeneratorError::NotFitted)?;
         let n = fitted.n;
-        let mean_w_out: f64 =
-            (fitted.w_out.iter().sum::<f64>() / n as f64).max(1e-9);
+        let mean_w_out: f64 = (fitted.w_out.iter().sum::<f64>() / n as f64).max(1e-9);
         let mean_w_in: f64 = (fitted.w_in.iter().sum::<f64>() / n as f64).max(1e-9);
         let mut snapshots = Vec::with_capacity(t_len);
         for _t in 0..t_len {

@@ -29,20 +29,19 @@ impl WalkAssembler {
                 continue;
             }
             let t = t as usize;
-            if t < self.sets.len() && self.sets[t].len() < self.budgets[t]
-                && self.sets[t].insert((u, v)) {
-                    absorbed += 1;
-                }
+            if t < self.sets.len()
+                && self.sets[t].len() < self.budgets[t]
+                && self.sets[t].insert((u, v))
+            {
+                absorbed += 1;
+            }
         }
         absorbed
     }
 
     /// True when every snapshot has reached its budget.
     pub fn complete(&self) -> bool {
-        self.sets
-            .iter()
-            .zip(self.budgets.iter())
-            .all(|(s, &b)| s.len() >= b)
+        self.sets.iter().zip(self.budgets.iter()).all(|(s, &b)| s.len() >= b)
     }
 
     /// Fraction of the total budget filled so far.
@@ -73,9 +72,7 @@ impl WalkAssembler {
 /// (generation beyond the training horizon reuses the tail budget).
 pub fn extend_budgets(observed: &[usize], t_len: usize) -> Vec<usize> {
     assert!(!observed.is_empty(), "need at least one observed budget");
-    (0..t_len)
-        .map(|t| observed[t.min(observed.len() - 1)])
-        .collect()
+    (0..t_len).map(|t| observed[t.min(observed.len() - 1)]).collect()
 }
 
 #[cfg(test)]

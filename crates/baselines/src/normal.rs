@@ -46,7 +46,11 @@ impl DynamicGraphGenerator for NormalBaseline {
         false
     }
 
-    fn fit(&mut self, graph: &DynamicGraph, _rng: &mut dyn RngCore) -> Result<FitReport, GeneratorError> {
+    fn fit(
+        &mut self,
+        graph: &DynamicGraph,
+        _rng: &mut dyn RngCore,
+    ) -> Result<FitReport, GeneratorError> {
         let started = Instant::now();
         let f = graph.n_attrs();
         let mut mean = vec![0.0f64; f];
@@ -73,14 +77,14 @@ impl DynamicGraphGenerator for NormalBaseline {
             vec![1.0; f]
         };
         self.state = Some(Fitted { structure: graph.clone(), mean, std });
-        Ok(FitReport {
-            train_seconds: started.elapsed().as_secs_f64(),
-            epochs: 1,
-            final_loss: 0.0,
-        })
+        Ok(FitReport { train_seconds: started.elapsed().as_secs_f64(), epochs: 1, final_loss: 0.0 })
     }
 
-    fn generate(&self, t_len: usize, rng: &mut dyn RngCore) -> Result<DynamicGraph, GeneratorError> {
+    fn generate(
+        &self,
+        t_len: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<DynamicGraph, GeneratorError> {
         let fitted = self.state.as_ref().ok_or(GeneratorError::NotFitted)?;
         let src = &fitted.structure;
         let f = src.n_attrs();
@@ -92,8 +96,7 @@ impl DynamicGraphGenerator for NormalBaseline {
                     for d in 0..f {
                         let u1 = ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
                         let u2 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-                        let z = (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                         attrs.set(i, d, (fitted.mean[d] + fitted.std[d] * z) as f32);
                     }
                 }

@@ -71,11 +71,7 @@ impl TagGenLike {
         Self::new(TagGenConfig::default())
     }
 
-    fn sample_from_table(
-        fitted: &Fitted,
-        walk_len: usize,
-        rng: &mut dyn RngCore,
-    ) -> TemporalWalk {
+    fn sample_from_table(fitted: &Fitted, walk_len: usize, rng: &mut dyn RngCore) -> TemporalWalk {
         let (n0, t0) = fitted.starts[(rng.next_u64() % fitted.starts.len() as u64) as usize];
         let mut nodes = vec![n0];
         let mut times = vec![t0];
@@ -108,7 +104,11 @@ impl DynamicGraphGenerator for TagGenLike {
         true
     }
 
-    fn fit(&mut self, graph: &DynamicGraph, rng: &mut dyn RngCore) -> Result<FitReport, GeneratorError> {
+    fn fit(
+        &mut self,
+        graph: &DynamicGraph,
+        rng: &mut dyn RngCore,
+    ) -> Result<FitReport, GeneratorError> {
         let started = Instant::now();
         let m = graph.temporal_edge_count();
         if m == 0 {
@@ -126,10 +126,8 @@ impl DynamicGraphGenerator for TagGenLike {
         }
         // Discriminator training surrogate: score every training walk and
         // set the acceptance threshold at the configured quantile.
-        let mut scores: Vec<f64> = walks
-            .iter()
-            .map(|w| table.walk_log_prob(w) / w.len().max(1) as f64)
-            .collect();
+        let mut scores: Vec<f64> =
+            walks.iter().map(|w| table.walk_log_prob(w) / w.len().max(1) as f64).collect();
         scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let idx = ((scores.len() as f64 * self.cfg.accept_quantile) as usize)
             .min(scores.len().saturating_sub(1));
@@ -153,7 +151,11 @@ impl DynamicGraphGenerator for TagGenLike {
         })
     }
 
-    fn generate(&self, t_len: usize, rng: &mut dyn RngCore) -> Result<DynamicGraph, GeneratorError> {
+    fn generate(
+        &self,
+        t_len: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<DynamicGraph, GeneratorError> {
         let fitted = self.state.as_ref().ok_or(GeneratorError::NotFitted)?;
         let budgets = extend_budgets(&fitted.budgets, t_len.max(1));
         let budgets = budgets[..t_len].to_vec();

@@ -94,7 +94,11 @@ impl DynamicGraphGenerator for TgganLike {
         true
     }
 
-    fn fit(&mut self, graph: &DynamicGraph, rng: &mut dyn RngCore) -> Result<FitReport, GeneratorError> {
+    fn fit(
+        &mut self,
+        graph: &DynamicGraph,
+        rng: &mut dyn RngCore,
+    ) -> Result<FitReport, GeneratorError> {
         let started = Instant::now();
         let m = graph.temporal_edge_count();
         if m == 0 {
@@ -119,14 +123,14 @@ impl DynamicGraphGenerator for TgganLike {
             n: graph.n_nodes(),
             f: graph.n_attrs(),
         });
-        Ok(FitReport {
-            train_seconds: started.elapsed().as_secs_f64(),
-            epochs: 1,
-            final_loss: 0.0,
-        })
+        Ok(FitReport { train_seconds: started.elapsed().as_secs_f64(), epochs: 1, final_loss: 0.0 })
     }
 
-    fn generate(&self, t_len: usize, rng: &mut dyn RngCore) -> Result<DynamicGraph, GeneratorError> {
+    fn generate(
+        &self,
+        t_len: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<DynamicGraph, GeneratorError> {
         let fitted = self.state.as_ref().ok_or(GeneratorError::NotFitted)?;
         let budgets = extend_budgets(&fitted.budgets, t_len.max(1))[..t_len].to_vec();
         let mut asm = WalkAssembler::new(budgets);
@@ -135,8 +139,7 @@ impl DynamicGraphGenerator for TgganLike {
         let mut candidates = 0usize;
         while !asm.complete() && candidates < max_candidates {
             candidates += 1;
-            let (n0, t0) =
-                fitted.starts[(rng.next_u64() % fitted.starts.len() as u64) as usize];
+            let (n0, t0) = fitted.starts[(rng.next_u64() % fitted.starts.len() as u64) as usize];
             let mut nodes = vec![n0];
             let mut times = vec![t0];
             let (mut cur, mut cur_t) = (n0, t0);
@@ -193,10 +196,7 @@ mod tests {
     #[test]
     fn truncation_enforces_time_validity() {
         let gen = TgganLike::with_defaults();
-        let w = TemporalWalk {
-            nodes: vec![0, 1, 2, 3],
-            times: vec![0, 1, 1, 2],
-        };
+        let w = TemporalWalk { nodes: vec![0, 1, 2, 3], times: vec![0, 1, 1, 2] };
         let t = gen.truncate_valid(w);
         assert_eq!(t.len(), 2); // cut where time stalls
     }

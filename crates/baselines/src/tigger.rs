@@ -88,7 +88,11 @@ impl DynamicGraphGenerator for TiggerLike {
         true
     }
 
-    fn fit(&mut self, graph: &DynamicGraph, rng: &mut dyn RngCore) -> Result<FitReport, GeneratorError> {
+    fn fit(
+        &mut self,
+        graph: &DynamicGraph,
+        rng: &mut dyn RngCore,
+    ) -> Result<FitReport, GeneratorError> {
         let started = Instant::now();
         let m = graph.temporal_edge_count();
         if m == 0 {
@@ -140,7 +144,11 @@ impl DynamicGraphGenerator for TiggerLike {
         })
     }
 
-    fn generate(&self, t_len: usize, rng: &mut dyn RngCore) -> Result<DynamicGraph, GeneratorError> {
+    fn generate(
+        &self,
+        t_len: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<DynamicGraph, GeneratorError> {
         let fitted = self.state.as_ref().ok_or(GeneratorError::NotFitted)?;
         let budgets = extend_budgets(&fitted.budgets, t_len.max(1))[..t_len].to_vec();
         let mut asm = WalkAssembler::new(budgets);
@@ -149,8 +157,7 @@ impl DynamicGraphGenerator for TiggerLike {
         let mut candidates = 0usize;
         while !asm.complete() && candidates < max_candidates {
             candidates += 1;
-            let (n0, t0) =
-                fitted.starts[(rng.next_u64() % fitted.starts.len() as u64) as usize];
+            let (n0, t0) = fitted.starts[(rng.next_u64() % fitted.starts.len() as u64) as usize];
             let mut nodes = vec![n0];
             let mut times = vec![t0];
             let (mut cur, mut cur_t) = (n0, t0);

@@ -110,9 +110,8 @@ impl TransitionTable {
     pub fn absorb(&mut self, w: &TemporalWalk) {
         for i in 1..w.len() {
             let s = state_index(w.nodes[i - 1], w.times[i - 1], self.t_len);
-            let entry = self.counts[s]
-                .iter_mut()
-                .find(|(n, t, _)| *n == w.nodes[i] && *t == w.times[i]);
+            let entry =
+                self.counts[s].iter_mut().find(|(n, t, _)| *n == w.nodes[i] && *t == w.times[i]);
             match entry {
                 Some((_, _, c)) => *c += 1.0,
                 None => self.counts[s].push((w.nodes[i], w.times[i], 1.0)),

@@ -37,9 +37,7 @@ fn drain_repeated(registry: &ModelRegistry, cache: CacheBudget) -> f64 {
     .unwrap();
     for _round in 0..ROUNDS {
         for seed in 0..DISTINCT_SEEDS {
-            scheduler
-                .submit(GenRequest::new("bench", T_LEN, seed, GenSink::InMemory))
-                .unwrap();
+            scheduler.submit(GenRequest::new("bench", T_LEN, seed, GenSink::InMemory)).unwrap();
         }
     }
     let report = scheduler.join().unwrap();

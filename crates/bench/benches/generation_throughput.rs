@@ -26,9 +26,7 @@ fn registry() -> ModelRegistry {
 fn drain_batch(registry: &ModelRegistry, workers: usize) -> f64 {
     let mut scheduler = Scheduler::new(registry.clone(), workers).unwrap();
     for seed in 0..JOBS as u64 {
-        scheduler
-            .submit(GenRequest::new("bench", T_LEN, seed, GenSink::Discard))
-            .unwrap();
+        scheduler.submit(GenRequest::new("bench", T_LEN, seed, GenSink::Discard)).unwrap();
     }
     let report = scheduler.join().unwrap();
     assert!(report.all_ok());

@@ -32,9 +32,8 @@ fn bench_spmm(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     for &n in &[1000usize, 4000] {
         // ~8 neighbors per node.
-        let lists: Vec<Vec<u32>> = (0..n)
-            .map(|i| (0..8).map(|k| ((i * 7 + k * 131) % n) as u32).collect())
-            .collect();
+        let lists: Vec<Vec<u32>> =
+            (0..n).map(|i| (0..8).map(|k| ((i * 7 + k * 131) % n) as u32).collect()).collect();
         let adj = Rc::new(SparseAdj::from_lists(&lists));
         let x = Tensor::constant(Matrix::rand_uniform(n, 32, -1.0, 1.0, &mut rng));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {

@@ -41,20 +41,8 @@ const VARIANTS: [&str; 8] = [
 fn main() {
     let opts = RunOpts::from_env();
     let specs = selected_specs(&opts, &["Email"]);
-    println!(
-        "Appendix A-E ablation | scale={} seed={}\n",
-        opts.scale.name(),
-        opts.seed
-    );
-    let headers = [
-        "In-deg dist",
-        "Out-deg dist",
-        "Clus dist",
-        "Wedge count",
-        "NC",
-        "JSD",
-        "EMD",
-    ];
+    println!("Appendix A-E ablation | scale={} seed={}\n", opts.scale.name(), opts.seed);
+    let headers = ["In-deg dist", "Out-deg dist", "Clus dist", "Wedge count", "NC", "JSD", "EMD"];
     for spec in &specs {
         let graph = load_dataset(spec, opts.seed);
         let mut table = Table::new(format!("Ablation — {}", spec.name), &headers);
@@ -68,24 +56,13 @@ fn main() {
             let a = attribute_report(&graph, &generated);
             table.push_row(
                 name,
-                vec![
-                    s.in_deg_dist,
-                    s.out_deg_dist,
-                    s.clus_dist,
-                    s.wedge_count,
-                    s.nc,
-                    a.jsd,
-                    a.emd,
-                ],
+                vec![s.in_deg_dist, s.out_deg_dist, s.clus_dist, s.wedge_count, s.nc, a.jsd, a.emd],
             );
         }
         table.print();
         println!();
         table
-            .write_tsv(results_dir().join(format!(
-                "ablation_{}.tsv",
-                spec.name.replace('@', "_")
-            )))
+            .write_tsv(results_dir().join(format!("ablation_{}.tsv", spec.name.replace('@', "_"))))
             .expect("write results");
     }
     println!("wrote {}/ablation_*.tsv", results_dir().display());

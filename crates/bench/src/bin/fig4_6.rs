@@ -46,10 +46,9 @@ fn main() {
             series.print();
             println!();
             series
-                .write_tsv(results_dir().join(format!(
-                    "{stem}_{}.tsv",
-                    spec.name.replace('@', "_")
-                )))
+                .write_tsv(
+                    results_dir().join(format!("{stem}_{}.tsv", spec.name.replace('@', "_"))),
+                )
                 .expect("write results");
         }
     }

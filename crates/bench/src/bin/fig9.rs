@@ -10,11 +10,7 @@ const ALL_DATASETS: [&str; 6] = ["Email", "Bitcoin", "Wiki", "Guarantee", "Brain
 
 fn main() {
     let opts = RunOpts::from_env();
-    println!(
-        "Fig. 9 reproduction (efficiency) | scale={} seed={}\n",
-        opts.scale.name(),
-        opts.seed
-    );
+    println!("Fig. 9 reproduction (efficiency) | scale={} seed={}\n", opts.scale.name(), opts.seed);
     if opts.has_flag("--trend") {
         trend(&opts);
         return;

@@ -26,20 +26,13 @@ fn run_config(
     let generated = model.generate(graph.t_len(), &mut rng).expect("generate");
     let s = structure_report(graph, &generated);
     let a = attribute_report(graph, &generated);
-    table.push_row(
-        label,
-        vec![s.in_deg_dist, s.out_deg_dist, s.clus_dist, a.jsd, train_s],
-    );
+    table.push_row(label, vec![s.in_deg_dist, s.out_deg_dist, s.clus_dist, a.jsd, train_s]);
 }
 
 fn main() {
     let opts = RunOpts::from_env();
     let specs = selected_specs(&opts, &["Email"]);
-    println!(
-        "Appendix A-F parameter analysis | scale={} seed={}\n",
-        opts.scale.name(),
-        opts.seed
-    );
+    println!("Appendix A-F parameter analysis | scale={} seed={}\n", opts.scale.name(), opts.seed);
     let headers = ["In-deg dist", "Out-deg dist", "Clus dist", "JSD", "train (s)"];
     for spec in &specs {
         let graph = load_dataset(spec, opts.seed);
@@ -88,10 +81,9 @@ fn main() {
         table.print();
         println!();
         table
-            .write_tsv(results_dir().join(format!(
-                "param_analysis_{}.tsv",
-                spec.name.replace('@', "_")
-            )))
+            .write_tsv(
+                results_dir().join(format!("param_analysis_{}.tsv", spec.name.replace('@', "_"))),
+            )
             .expect("write results");
     }
     println!("wrote {}/param_analysis_*.tsv", results_dir().display());

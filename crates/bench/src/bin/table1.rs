@@ -44,12 +44,18 @@ fn main() {
                 Err(GeneratorError::ResourceLimit(msg)) => {
                     eprintln!("   {method}: resource limit ({msg}) — skipped, as in the paper");
                     table.push_row_opt(method, vec![None; headers.len()]);
-                    combined.push_row_opt(format!("{}/{}", spec.name, method), vec![None; headers.len()]);
+                    combined.push_row_opt(
+                        format!("{}/{}", spec.name, method),
+                        vec![None; headers.len()],
+                    );
                 }
                 Err(e) => {
                     eprintln!("   {method}: failed: {e}");
                     table.push_row_opt(method, vec![None; headers.len()]);
-                    combined.push_row_opt(format!("{}/{}", spec.name, method), vec![None; headers.len()]);
+                    combined.push_row_opt(
+                        format!("{}/{}", spec.name, method),
+                        vec![None; headers.len()],
+                    );
                 }
             }
         }

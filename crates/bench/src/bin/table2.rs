@@ -19,11 +19,7 @@ fn main() {
     let mut table = Table::new("Table II", &METHODS);
     for spec in &specs {
         let graph = load_dataset(spec, opts.seed);
-        assert!(
-            graph.n_attrs() >= 2,
-            "{} needs ≥2 attributes for correlation analysis",
-            spec.name
-        );
+        assert!(graph.n_attrs() >= 2, "{} needs ≥2 attributes for correlation analysis", spec.name);
         let mut row = Vec::new();
         for method in METHODS {
             // VRDAG gets a 3x epoch budget here: correlation structure is

@@ -77,12 +77,8 @@ impl RunOpts {
     }
 
     pub fn parse(args: &[String]) -> RunOpts {
-        let mut opts = RunOpts {
-            scale: Scale::Small,
-            seed: 42,
-            datasets: Vec::new(),
-            flags: Vec::new(),
-        };
+        let mut opts =
+            RunOpts { scale: Scale::Small, seed: 42, datasets: Vec::new(), flags: Vec::new() };
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -96,8 +92,7 @@ impl RunOpts {
                     i += 2;
                 }
                 "--datasets" if i + 1 < args.len() => {
-                    opts.datasets =
-                        args[i + 1].split(',').map(|s| s.trim().to_string()).collect();
+                    opts.datasets = args[i + 1].split(',').map(|s| s.trim().to_string()).collect();
                     i += 2;
                 }
                 other => {
@@ -212,7 +207,13 @@ mod tests {
     #[test]
     fn parse_full_command_line() {
         let o = RunOpts::parse(&args(&[
-            "--scale", "medium", "--seed", "7", "--datasets", "Email,Wiki", "--trend",
+            "--scale",
+            "medium",
+            "--seed",
+            "7",
+            "--datasets",
+            "Email,Wiki",
+            "--trend",
         ]));
         assert_eq!(o.scale, Scale::Medium);
         assert_eq!(o.seed, 7);

@@ -113,9 +113,7 @@ impl Table {
 /// Canonical results directory (`results/` at the workspace root, or the
 /// `VRDAG_RESULTS` override).
 pub fn results_dir() -> PathBuf {
-    std::env::var("VRDAG_RESULTS")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("results"))
+    std::env::var("VRDAG_RESULTS").map(PathBuf::from).unwrap_or_else(|_| PathBuf::from("results"))
 }
 
 /// A per-timestep series artifact (for the figure reproductions).

@@ -73,6 +73,8 @@ pub mod strategy {
     impl_tuple_strategy!(A: 0, B: 1);
     impl_tuple_strategy!(A: 0, B: 1, C: 2);
     impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 
     /// `proptest::strategy::Just` — always yields a clone of the value.
     #[derive(Clone, Debug)]
@@ -93,7 +95,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Size specification for [`vec`]: an exact length or a half-open range.
+    /// Size specification for [`vec()`]: an exact length or a half-open range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -134,10 +134,7 @@ impl MixBernoulliDecoder {
             }
         }
         let src = Rc::new(src);
-        let d = ops::sub(
-            &ops::gather_rows(s, Rc::clone(&src)),
-            &ops::gather_rows(s, Rc::new(dst)),
-        );
+        let d = ops::sub(&ops::gather_rows(s, Rc::clone(&src)), &ops::gather_rows(s, Rc::new(dst)));
         let f = self.f_alpha.forward(&d);
         let pooled = ops::scatter_add_rows(&f, src, n);
         ops::softmax_rows(&ops::scale(&pooled, n as f32 / r as f32))
@@ -156,7 +153,13 @@ impl MixBernoulliDecoder {
     }
 
     /// Negative-sampled BCE structure loss (Eq. 17), normalized by `|V|`.
-    pub fn structure_loss(&self, s: &Tensor, alpha: &Tensor, batch: &PairBatch, n: usize) -> Tensor {
+    pub fn structure_loss(
+        &self,
+        s: &Tensor,
+        alpha: &Tensor,
+        batch: &PairBatch,
+        n: usize,
+    ) -> Tensor {
         let p = self.pair_probs(s, alpha, batch);
         ops::bce_probs(&p, Rc::clone(&batch.targets), Some(Rc::clone(&batch.weights)), n as f32)
     }
@@ -247,11 +250,8 @@ impl MixBernoulliDecoder {
             let exps: Vec<f64> = acc.iter().map(|&a| (a - mx).exp()).collect();
             let z: f64 = exps.iter().sum();
             let alpha: Vec<f32> = exps.iter().map(|&e| (e / z) as f32).collect();
-            let expected: f64 = alpha
-                .iter()
-                .zip(theta_sum.iter())
-                .map(|(&a, &t)| a as f64 * t)
-                .sum();
+            let expected: f64 =
+                alpha.iter().zip(theta_sum.iter()).map(|(&a, &t)| a as f64 * t).sum();
             RowStat { alpha, expected }
         });
 
@@ -271,7 +271,9 @@ impl MixBernoulliDecoder {
         // its adjacency list (rows are independent given α — the paper's
         // "different rows can be computed in parallel").
         let rows: Vec<Vec<u32>> = par::par_map_collect(n, 1, |i| {
-            let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let mut rng = StdRng::seed_from_u64(splitmix64(
+                seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ));
             let alpha = &stats[i].alpha;
             let kk = sample_categorical(alpha, &mut rng);
             let ut_i = ut.row(i);
@@ -346,7 +348,13 @@ pub struct AttributeDecoder {
 }
 
 impl AttributeDecoder {
-    pub fn new(d_s: usize, gat_hidden: usize, f_out: usize, slope: f32, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        d_s: usize,
+        gat_hidden: usize,
+        f_out: usize,
+        slope: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
         AttributeDecoder {
             w: Linear::new(d_s, gat_hidden, rng),
             a_src: Linear::new(gat_hidden, 1, rng),
@@ -420,11 +428,7 @@ mod tests {
     use vrdag_tensor::no_grad;
 
     fn toy_snapshot() -> Snapshot {
-        Snapshot::new(
-            6,
-            vec![(0, 1), (0, 2), (1, 2), (3, 4), (4, 5), (5, 3)],
-            Matrix::zeros(6, 2),
-        )
+        Snapshot::new(6, vec![(0, 1), (0, 2), (1, 2), (3, 4), (4, 5), (5, 3)], Matrix::zeros(6, 2))
     }
 
     #[test]
@@ -432,12 +436,7 @@ mod tests {
         let s = toy_snapshot();
         let mut rng = StdRng::seed_from_u64(1);
         let b = sample_pair_batch(&s, 3, &mut rng);
-        let positives = b
-            .targets
-            .data()
-            .iter()
-            .filter(|&&t| t == 1.0)
-            .count();
+        let positives = b.targets.data().iter().filter(|&&t| t == 1.0).count();
         assert_eq!(positives, s.n_edges());
         // Negatives carry the importance weight (n-1-deg)/q.
         for p in 0..b.len() {

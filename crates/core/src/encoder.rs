@@ -58,12 +58,7 @@ impl BiFlowEncoder {
         }
         let agg_in_dim = if bi_flow { 2 * d_hidden } else { d_hidden };
         let f_agg = Mlp::new(&[agg_in_dim, d_hidden], hidden_act, hidden_act, rng);
-        let f_pool = Mlp::new(
-            &[layers * d_hidden, d_out],
-            hidden_act,
-            Activation::Identity,
-            rng,
-        );
+        let f_pool = Mlp::new(&[layers * d_hidden, d_out], hidden_act, Activation::Identity, rng);
         BiFlowEncoder { f_in, f_out, eps_in, eps_out, f_agg, f_pool, bi_flow, d_hidden, d_out }
     }
 
@@ -81,7 +76,12 @@ impl BiFlowEncoder {
 
     /// Encode a snapshot: `feats` is `[n, d_input]`, adjacency is given in
     /// both directions. Returns `[n, d_ε]`.
-    pub fn forward(&self, feats: &Tensor, in_adj: &Rc<SparseAdj>, out_adj: &Rc<SparseAdj>) -> Tensor {
+    pub fn forward(
+        &self,
+        feats: &Tensor,
+        in_adj: &Rc<SparseAdj>,
+        out_adj: &Rc<SparseAdj>,
+    ) -> Tensor {
         let mut h = feats.clone();
         let mut per_layer = Vec::with_capacity(self.n_layers());
         for l in 0..self.n_layers() {
@@ -182,12 +182,7 @@ mod tests {
         let inn = Rc::new(SparseAdj::from_lists(&[vec![], vec![0], vec![0]]));
         let a = enc.forward(&feats, &inn, &out).value_clone();
         let b = enc.forward(&feats, &out, &inn).value_clone();
-        let diff: f32 = a
-            .data()
-            .iter()
-            .zip(b.data().iter())
-            .map(|(x, y)| (x - y).abs())
-            .sum();
+        let diff: f32 = a.data().iter().zip(b.data().iter()).map(|(x, y)| (x - y).abs()).sum();
         assert!(diff > 1e-4, "bi-flow encoder ignored edge direction");
     }
 

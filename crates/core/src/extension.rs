@@ -79,9 +79,8 @@ impl Vrdag {
 
         let snapshots = no_grad(|| {
             let mut h = Matrix::zeros(n, self.cfg.d_h);
-            let mut active: Vec<bool> = (0..n)
-                .map(|_| (local_rng.gen::<f64>()) < churn.initial_active_fraction)
-                .collect();
+            let mut active: Vec<bool> =
+                (0..n).map(|_| (local_rng.gen::<f64>()) < churn.initial_active_fraction).collect();
             if !active.iter().any(|&a| a) {
                 active[0] = true;
             }
@@ -156,8 +155,7 @@ impl Vrdag {
                     let n_add = sample_poisson(lambda_add, &mut local_rng);
                     if n_add > 0 {
                         let (mean_h, std_h) = active_hidden_moments(&h, &active, self.cfg.d_h);
-                        let inactive: Vec<usize> =
-                            (0..n).filter(|&i| !active[i]).collect();
+                        let inactive: Vec<usize> = (0..n).filter(|&i| !active[i]).collect();
                         for &i in inactive.iter().take(n_add) {
                             active[i] = true;
                             isolation[i] = 0;
@@ -205,10 +203,7 @@ fn active_hidden_moments(h: &Matrix, active: &[bool], d_h: usize) -> (Vec<f32>, 
             }
         }
     }
-    let std: Vec<f32> = var
-        .iter()
-        .map(|&v| (v / count.max(1) as f32).sqrt().max(1e-3))
-        .collect();
+    let std: Vec<f32> = var.iter().map(|&v| (v / count.max(1) as f32).sqrt().max(1e-3)).collect();
     (mean, std)
 }
 
@@ -235,9 +230,7 @@ mod tests {
         let mut model = Vrdag::new(cfg);
         let mut rng = StdRng::seed_from_u64(2);
         model.fit(&g, &mut rng).unwrap();
-        let out = model
-            .generate_with_churn(5, &ChurnConfig::default(), &mut rng)
-            .unwrap();
+        let out = model.generate_with_churn(5, &ChurnConfig::default(), &mut rng).unwrap();
         assert_eq!(out.t_len(), 5);
         assert_eq!(out.n_nodes(), g.n_nodes());
     }
@@ -246,9 +239,7 @@ mod tests {
     fn churn_before_fit_errors() {
         let model = Vrdag::new(VrdagConfig::test_small());
         let mut rng = StdRng::seed_from_u64(3);
-        assert!(model
-            .generate_with_churn(2, &ChurnConfig::default(), &mut rng)
-            .is_err());
+        assert!(model.generate_with_churn(2, &ChurnConfig::default(), &mut rng).is_err());
     }
 
     #[test]

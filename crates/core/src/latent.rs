@@ -111,8 +111,8 @@ mod tests {
         let lv = Tensor::constant(Matrix::zeros(2000, 1));
         let z = reparam_sample(&mu, &lv, &mut rng).value_clone();
         let mean = z.mean();
-        let var = z.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
-            / (z.len() - 1) as f32;
+        let var =
+            z.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / (z.len() - 1) as f32;
         assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
         assert!((var - 1.0).abs() < 0.15, "var {var}");
     }

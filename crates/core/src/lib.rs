@@ -35,5 +35,5 @@ pub mod persist;
 pub mod time2vec;
 
 pub use config::{AttrLoss, VrdagConfig};
-pub use persist::{artifact_fingerprint, PersistError};
 pub use model::{GenerationState, TrainStats, Vrdag};
+pub use persist::{artifact_fingerprint, PersistError};

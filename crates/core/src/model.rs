@@ -154,13 +154,7 @@ impl Vrdag {
                 rng,
             ),
             prior: GaussianHead::new(cfg.d_h, cfg.d_h, cfg.d_z, cfg.leaky_slope, rng),
-            posterior: GaussianHead::new(
-                cfg.d_e + cfg.d_h,
-                cfg.d_h,
-                cfg.d_z,
-                cfg.leaky_slope,
-                rng,
-            ),
+            posterior: GaussianHead::new(cfg.d_e + cfg.d_h, cfg.d_h, cfg.d_z, cfg.leaky_slope, rng),
             decoder: MixBernoulliDecoder::new(
                 cfg.d_s(),
                 cfg.decoder_hidden,
@@ -202,7 +196,11 @@ impl Vrdag {
 
     /// Fit the model on an observed dynamic attributed graph by maximizing
     /// the step-wise ELBO (Eq. 14) with truncated BPTT.
-    pub fn fit(&mut self, graph: &DynamicGraph, rng: &mut dyn RngCore) -> Result<FitReport, GeneratorError> {
+    pub fn fit(
+        &mut self,
+        graph: &DynamicGraph,
+        rng: &mut dyn RngCore,
+    ) -> Result<FitReport, GeneratorError> {
         let started = Instant::now();
         let n = graph.n_nodes();
         let f = graph.n_attrs();
@@ -270,16 +268,13 @@ impl Vrdag {
                                     // SCE is scale-invariant; a light MSE
                                     // anchor pins the magnitude (see
                                     // VrdagConfig::attr_mse_anchor).
-                                    let mse =
-                                        ops::mse_loss(&x_hat, Rc::clone(&cache.attrs_target));
+                                    let mse = ops::mse_loss(&x_hat, Rc::clone(&cache.attrs_target));
                                     ops::add(&sce, &ops::scale(&mse, self.cfg.attr_mse_anchor))
                                 } else {
                                     sce
                                 }
                             }
-                            AttrLoss::Mse => {
-                                ops::mse_loss(&x_hat, Rc::clone(&cache.attrs_target))
-                            }
+                            AttrLoss::Mse => ops::mse_loss(&x_hat, Rc::clone(&cache.attrs_target)),
                         }
                     } else {
                         Tensor::constant(Matrix::scalar(0.0))
@@ -437,7 +432,11 @@ impl Vrdag {
     ///
     /// One-shot convenience over [`Vrdag::begin_generation`] /
     /// [`GenerationState::step`]: materializes all `t_len` snapshots.
-    pub fn generate(&self, t_len: usize, rng: &mut dyn RngCore) -> Result<DynamicGraph, GeneratorError> {
+    pub fn generate(
+        &self,
+        t_len: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<DynamicGraph, GeneratorError> {
         let mut state = self.begin_generation(rng)?;
         let snapshots = (0..t_len).map(|_| state.step(self)).collect();
         Ok(DynamicGraph::new(snapshots))
@@ -556,11 +555,19 @@ impl DynamicGraphGenerator for Vrdag {
         true
     }
 
-    fn fit(&mut self, graph: &DynamicGraph, rng: &mut dyn RngCore) -> Result<FitReport, GeneratorError> {
+    fn fit(
+        &mut self,
+        graph: &DynamicGraph,
+        rng: &mut dyn RngCore,
+    ) -> Result<FitReport, GeneratorError> {
         Vrdag::fit(self, graph, rng)
     }
 
-    fn generate(&self, t_len: usize, rng: &mut dyn RngCore) -> Result<DynamicGraph, GeneratorError> {
+    fn generate(
+        &self,
+        t_len: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<DynamicGraph, GeneratorError> {
         Vrdag::generate(self, t_len, rng)
     }
 }
@@ -605,10 +612,7 @@ mod tests {
         let hist = &model.stats().unwrap().loss_history;
         let first = hist[..2].iter().sum::<f64>() / 2.0;
         let last = hist[hist.len() - 2..].iter().sum::<f64>() / 2.0;
-        assert!(
-            last < first,
-            "training loss did not decrease: {first} -> {last} ({hist:?})"
-        );
+        assert!(last < first, "training loss did not decrease: {first} -> {last} ({hist:?})");
     }
 
     #[test]

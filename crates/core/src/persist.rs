@@ -152,13 +152,28 @@ impl<R: Read> Reader<R> {
 
 fn write_config<W: Write>(w: &mut Writer<W>, c: &VrdagConfig) -> Result<(), PersistError> {
     for v in [
-        c.d_h, c.d_z, c.d_e, c.d_t, c.gnn_layers, c.k_mix, c.decoder_hidden, c.gat_hidden,
-        c.epochs, c.neg_samples, c.alpha_ref_samples, c.tbptt_window,
+        c.d_h,
+        c.d_z,
+        c.d_e,
+        c.d_t,
+        c.gnn_layers,
+        c.k_mix,
+        c.decoder_hidden,
+        c.gat_hidden,
+        c.epochs,
+        c.neg_samples,
+        c.alpha_ref_samples,
+        c.tbptt_window,
     ] {
         w.u64(v as u64)?;
     }
     for v in [
-        c.sce_alpha, c.lr, c.grad_clip, c.kl_weight, c.attr_weight, c.attr_mse_anchor,
+        c.sce_alpha,
+        c.lr,
+        c.grad_clip,
+        c.kl_weight,
+        c.attr_weight,
+        c.attr_mse_anchor,
         c.leaky_slope,
     ] {
         w.f32(v)?;
@@ -167,9 +182,9 @@ fn write_config<W: Write>(w: &mut Writer<W>, c: &VrdagConfig) -> Result<(), Pers
         AttrLoss::Sce => 0,
         AttrLoss::Mse => 1,
     })?;
-    for v in [
-        c.bi_flow, c.use_time2vec, c.use_recurrence, c.calibrate_density, c.calibrate_attributes,
-    ] {
+    for v in
+        [c.bi_flow, c.use_time2vec, c.use_recurrence, c.calibrate_density, c.calibrate_attributes]
+    {
         w.bool(v)?;
     }
     w.u64(c.seed)?;

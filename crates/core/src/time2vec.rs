@@ -59,11 +59,7 @@ impl Time2Vec {
         let mut phi = Matrix::zeros(1, d_t);
         for c in 0..d_t {
             // Frequencies log-spaced in (0, 1]; the linear slope small.
-            let base = if c == 0 {
-                0.1
-            } else {
-                1.0 / (1 << (c % 6).min(5)) as f32
-            };
+            let base = if c == 0 { 0.1 } else { 1.0 / (1 << (c % 6).min(5)) as f32 };
             w.set(0, c, base * rng.gen_range(0.5..1.5));
             phi.set(0, c, rng.gen_range(0.0..std::f32::consts::PI));
         }

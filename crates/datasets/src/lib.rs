@@ -17,5 +17,7 @@
 pub mod spec;
 pub mod synth;
 
-pub use spec::{all_specs, bitcoin, brain, by_name, email, gdelt, guarantee, tiny, wiki, DatasetSpec, Flavor};
+pub use spec::{
+    all_specs, bitcoin, brain, by_name, email, gdelt, guarantee, tiny, wiki, DatasetSpec, Flavor,
+};
 pub use synth::{generate, generate_scaled};

@@ -128,7 +128,7 @@ pub fn email() -> DatasetSpec {
         attr_noise: 0.08,
         attr_affinity: 0.5,
         attr_factor_strength: 0.7,
-}
+    }
 }
 
 /// Bitcoin-Alpha: N=3,783, M=24,186, F=1, T=37.
@@ -153,7 +153,7 @@ pub fn bitcoin() -> DatasetSpec {
         attr_noise: 0.1,
         attr_affinity: 0.35,
         attr_factor_strength: 0.7,
-}
+    }
 }
 
 /// Wiki-Vote: N=7,115, M=103,689, F=1, T=43.
@@ -178,7 +178,7 @@ pub fn wiki() -> DatasetSpec {
         attr_noise: 0.1,
         attr_affinity: 0.3,
         attr_factor_strength: 0.7,
-}
+    }
 }
 
 /// Guarantee (proprietary loan network): N=5,530, M=6,169, F=2, T=15.
@@ -203,7 +203,7 @@ pub fn guarantee() -> DatasetSpec {
         attr_noise: 0.05,
         attr_affinity: 0.6,
         attr_factor_strength: 0.7,
-}
+    }
 }
 
 /// Brain: N=5,000, M=529,093, F=20, T=12.
@@ -228,7 +228,7 @@ pub fn brain() -> DatasetSpec {
         attr_noise: 0.12,
         attr_affinity: 0.55,
         attr_factor_strength: 0.7,
-}
+    }
 }
 
 /// GDELT: N=5,037, M=566,735, F=10, T=18.
@@ -253,7 +253,7 @@ pub fn gdelt() -> DatasetSpec {
         attr_noise: 0.15,
         attr_affinity: 0.4,
         attr_factor_strength: 0.7,
-}
+    }
 }
 
 /// All six specs in the paper's Table I order.
@@ -263,9 +263,7 @@ pub fn all_specs() -> Vec<DatasetSpec> {
 
 /// Look up a spec by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<DatasetSpec> {
-    all_specs()
-        .into_iter()
-        .find(|s| s.name.eq_ignore_ascii_case(name))
+    all_specs().into_iter().find(|s| s.name.eq_ignore_ascii_case(name))
 }
 
 /// A tiny spec for unit tests: ~60 nodes, 6 snapshots, 2 attributes.
@@ -290,7 +288,7 @@ pub fn tiny() -> DatasetSpec {
         attr_noise: 0.1,
         attr_affinity: 0.5,
         attr_factor_strength: 0.7,
-}
+    }
 }
 
 #[cfg(test)]

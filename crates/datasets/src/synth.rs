@@ -56,10 +56,7 @@ impl CumSampler {
             return 0;
         }
         let x = rng_f64(rng) * total;
-        match self
-            .cum
-            .binary_search_by(|c| c.partial_cmp(&x).unwrap())
-        {
+        match self.cum.binary_search_by(|c| c.partial_cmp(&x).unwrap()) {
             Ok(i) => (i + 1).min(self.cum.len() - 1),
             Err(i) => i.min(self.cum.len() - 1),
         }
@@ -140,8 +137,7 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> DynamicGraph {
     // bursts, producing degenerate near-empty snapshots).
     let burst_factors: Vec<f64> = (0..spec.t)
         .map(|t| {
-            let phase =
-                2.0 * std::f64::consts::PI * t as f64 / spec.burst_period.max(1) as f64;
+            let phase = 2.0 * std::f64::consts::PI * t as f64 / spec.burst_period.max(1) as f64;
             let mut burst = (1.0 + spec.burstiness * phase.sin()).max(0.1);
             if spec.flavor == Flavor::Event {
                 // Events add random spikes on top of periodicity.
@@ -304,12 +300,7 @@ mod tests {
         let mut shared = 0usize;
         for t in 0..g.t_len() - 1 {
             let a: std::collections::HashSet<_> = g.snapshot(t).edges().iter().collect();
-            shared += g
-                .snapshot(t + 1)
-                .edges()
-                .iter()
-                .filter(|e| a.contains(e))
-                .count();
+            shared += g.snapshot(t + 1).edges().iter().filter(|e| a.contains(e)).count();
         }
         assert!(shared > 0, "no temporal persistence at all");
     }
@@ -323,19 +314,11 @@ mod tests {
         // Not identical...
         assert_ne!(x0.data(), x1.data());
         // ...but correlated: mean |Δ| well below the attribute scale.
-        let mean_abs_delta: f32 = x0
-            .data()
-            .iter()
-            .zip(x1.data().iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f32>()
-            / x0.len() as f32;
-        let scale: f32 =
-            x0.data().iter().map(|v| v.abs()).sum::<f32>() / x0.len() as f32;
-        assert!(
-            mean_abs_delta < scale.max(0.1),
-            "delta {mean_abs_delta} vs scale {scale}"
-        );
+        let mean_abs_delta: f32 =
+            x0.data().iter().zip(x1.data().iter()).map(|(a, b)| (a - b).abs()).sum::<f32>()
+                / x0.len() as f32;
+        let scale: f32 = x0.data().iter().map(|v| v.abs()).sum::<f32>() / x0.len() as f32;
+        assert!(mean_abs_delta < scale.max(0.1), "delta {mean_abs_delta} vs scale {scale}");
     }
 
     #[test]
@@ -345,10 +328,7 @@ mod tests {
         let degs = vrdag_graph::algo::out_degrees(g.snapshot(0));
         let max = *degs.iter().max().unwrap();
         let mean = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
-        assert!(
-            (max as f64) > 5.0 * mean,
-            "max degree {max} not heavy-tailed vs mean {mean}"
-        );
+        assert!((max as f64) > 5.0 * mean, "max degree {max} not heavy-tailed vs mean {mean}");
     }
 
     #[test]

@@ -43,11 +43,8 @@ pub fn weakly_connected_components(s: &Snapshot) -> ComponentInfo {
     for &(u, v) in s.edges() {
         let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
         if ru != rv {
-            let (big, small) = if size[ru as usize] >= size[rv as usize] {
-                (ru, rv)
-            } else {
-                (rv, ru)
-            };
+            let (big, small) =
+                if size[ru as usize] >= size[rv as usize] { (ru, rv) } else { (rv, ru) };
             parent[small as usize] = big;
             size[big as usize] += size[small as usize];
         }

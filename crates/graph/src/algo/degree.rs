@@ -33,10 +33,7 @@ pub fn degree_histogram(degrees: &[usize]) -> Vec<usize> {
 /// Wedge (open-triad) count `Σ_i C(d_i, 2)` over undirected degrees — the
 /// "Wedge count" column of Table I.
 pub fn wedge_count(s: &Snapshot) -> u64 {
-    s.undirected_degrees()
-        .iter()
-        .map(|&d| (d as u64) * (d.saturating_sub(1) as u64) / 2)
-        .sum()
+    s.undirected_degrees().iter().map(|&d| (d as u64) * (d.saturating_sub(1) as u64) / 2).sum()
 }
 
 #[cfg(test)]

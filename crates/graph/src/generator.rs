@@ -67,11 +67,8 @@ pub trait DynamicGraphGenerator {
     ) -> Result<FitReport, GeneratorError>;
 
     /// Generate a synthetic dynamic graph with `t_len` snapshots.
-    fn generate(
-        &self,
-        t_len: usize,
-        rng: &mut dyn RngCore,
-    ) -> Result<DynamicGraph, GeneratorError>;
+    fn generate(&self, t_len: usize, rng: &mut dyn RngCore)
+        -> Result<DynamicGraph, GeneratorError>;
 }
 
 #[cfg(test)]

@@ -151,10 +151,11 @@ pub fn load_tsv(path: impl AsRef<Path>) -> Result<DynamicGraph, GraphIoError> {
     let mut r = BufReader::new(file);
     let mut line = String::new();
 
-    let read_line = |r: &mut BufReader<std::fs::File>, line: &mut String| -> Result<bool, GraphIoError> {
-        line.clear();
-        Ok(r.read_line(line)? > 0)
-    };
+    let read_line =
+        |r: &mut BufReader<std::fs::File>, line: &mut String| -> Result<bool, GraphIoError> {
+            line.clear();
+            Ok(r.read_line(line)? > 0)
+        };
 
     // Header.
     if !read_line(&mut r, &mut line)? || !line.starts_with("# vrdag-dynamic-graph") {
@@ -419,8 +420,8 @@ mod tests {
     fn streamed_tsv_is_byte_identical_to_one_shot() {
         let g = toy();
         let mut streamed = Vec::new();
-        let mut sw = TsvStreamWriter::new(&mut streamed, g.n_nodes(), g.n_attrs(), g.t_len())
-            .unwrap();
+        let mut sw =
+            TsvStreamWriter::new(&mut streamed, g.n_nodes(), g.n_attrs(), g.t_len()).unwrap();
         for (_, s) in g.iter() {
             sw.write_snapshot(s).unwrap();
         }
@@ -433,8 +434,8 @@ mod tests {
     fn streamed_binary_is_byte_identical_to_encode() {
         let g = toy();
         let mut streamed = Vec::new();
-        let mut sw = BinaryStreamWriter::new(&mut streamed, g.n_nodes(), g.n_attrs(), g.t_len())
-            .unwrap();
+        let mut sw =
+            BinaryStreamWriter::new(&mut streamed, g.n_nodes(), g.n_attrs(), g.t_len()).unwrap();
         for (_, s) in g.iter() {
             sw.write_snapshot(s).unwrap();
         }
@@ -449,10 +450,7 @@ mod tests {
         let g = toy();
         // Wrong n/f rejected.
         let mut sw = TsvStreamWriter::new(Vec::new(), 99, 1, 2).unwrap();
-        assert!(matches!(
-            sw.write_snapshot(g.snapshot(0)),
-            Err(GraphIoError::Shape(_))
-        ));
+        assert!(matches!(sw.write_snapshot(g.snapshot(0)), Err(GraphIoError::Shape(_))));
         // Underfilled stream rejected at finish.
         let mut sw = BinaryStreamWriter::new(Vec::new(), 3, 2, 2).unwrap();
         sw.write_snapshot(g.snapshot(0)).unwrap();
@@ -460,10 +458,7 @@ mod tests {
         // Overfilled stream rejected per write.
         let mut sw = BinaryStreamWriter::new(Vec::new(), 3, 2, 1).unwrap();
         sw.write_snapshot(g.snapshot(0)).unwrap();
-        assert!(matches!(
-            sw.write_snapshot(g.snapshot(1)),
-            Err(GraphIoError::Shape(_))
-        ));
+        assert!(matches!(sw.write_snapshot(g.snapshot(1)), Err(GraphIoError::Shape(_))));
     }
 
     #[test]

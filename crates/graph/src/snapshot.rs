@@ -53,10 +53,7 @@ impl Snapshot {
         assert_eq!(attrs.rows(), n, "attribute matrix must have n rows");
         edges.retain(|&(u, v)| u != v);
         for &(u, v) in &edges {
-            assert!(
-                (u as usize) < n && (v as usize) < n,
-                "edge ({u},{v}) out of range for n={n}"
-            );
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range for n={n}");
         }
         edges.sort_unstable();
         edges.dedup();
@@ -144,10 +141,8 @@ impl Snapshot {
     /// should charge [`approx_bytes_reserved`](Self::approx_bytes_reserved)
     /// instead, which bounds it from above.
     pub fn approx_bytes(&self) -> usize {
-        let undirected_bytes = self
-            .undirected
-            .get()
-            .map_or(0, |adj| Self::csr_bytes(self.n, adj.n_edges()));
+        let undirected_bytes =
+            self.undirected.get().map_or(0, |adj| Self::csr_bytes(self.n, adj.n_edges()));
         self.base_bytes() + undirected_bytes
     }
 
@@ -229,10 +224,7 @@ fn build_csr(n: usize, sorted_edges: &[(u32, u32)]) -> (SparseAdj, SparseAdj) {
         cursor[v as usize] += 1;
     }
     // Sources arrive in (src,dst) order, so each in-list is already sorted.
-    (
-        SparseAdj::from_raw(out_offsets, out_targets),
-        SparseAdj::from_raw(in_offsets, in_targets),
-    )
+    (SparseAdj::from_raw(out_offsets, out_targets), SparseAdj::from_raw(in_offsets, in_targets))
 }
 
 #[cfg(test)]

@@ -30,9 +30,9 @@ impl StructuralProperty {
 fn property_values(g: &DynamicGraph, t: usize, p: StructuralProperty) -> Vec<f64> {
     let s = g.snapshot(t);
     match p {
-        StructuralProperty::Degree => (0..s.n_nodes())
-            .map(|i| (s.in_degree(i) + s.out_degree(i)) as f64)
-            .collect(),
+        StructuralProperty::Degree => {
+            (0..s.n_nodes()).map(|i| (s.in_degree(i) + s.out_degree(i)) as f64).collect()
+        }
         StructuralProperty::Clustering => algo::local_clustering(s),
         StructuralProperty::Coreness => algo::coreness(s).iter().map(|&c| c as f64).collect(),
     }

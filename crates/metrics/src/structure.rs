@@ -44,10 +44,7 @@ pub fn mean_relative_discrepancy(orig: &[f64], gen: &[f64]) -> f64 {
     if orig.is_empty() {
         return 0.0;
     }
-    orig.iter()
-        .zip(gen.iter())
-        .map(|(&o, &g)| relative_discrepancy(o, g))
-        .sum::<f64>()
+    orig.iter().zip(gen.iter()).map(|(&o, &g)| relative_discrepancy(o, g)).sum::<f64>()
         / orig.len() as f64
 }
 
@@ -90,7 +87,16 @@ impl StructureReport {
 
     /// Column headers matching [`Self::as_row`].
     pub fn headers() -> [&'static str; 8] {
-        ["In-deg dist", "Out-deg dist", "Clus dist", "In-PLE", "Out-PLE", "Wedge count", "NC", "LCC"]
+        [
+            "In-deg dist",
+            "Out-deg dist",
+            "Clus dist",
+            "In-PLE",
+            "Out-PLE",
+            "Wedge count",
+            "NC",
+            "LCC",
+        ]
     }
 }
 
@@ -154,10 +160,7 @@ pub fn structure_report(original: &DynamicGraph, generated: &DynamicGraph) -> St
     }
     let tf = t as f64;
     let series = |f: fn(&SnapshotScalars) -> f64| -> (Vec<f64>, Vec<f64>) {
-        (
-            orig_scalars.iter().map(f).collect(),
-            gen_scalars.iter().map(f).collect(),
-        )
+        (orig_scalars.iter().map(f).collect(), gen_scalars.iter().map(f).collect())
     };
     let (o, g) = series(|s| s.in_ple);
     let in_ple = mean_relative_discrepancy(&o, &g);

@@ -61,11 +61,7 @@ pub fn summarize(g: &DynamicGraph) -> GraphSummary {
             clus_acc += clus.iter().sum::<f64>() / clus.len() as f64;
         }
         if s.n_edges() > 0 {
-            let recip = s
-                .edges()
-                .iter()
-                .filter(|&&(u, v)| s.has_edge(v, u))
-                .count() as f64
+            let recip = s.edges().iter().filter(|&&(u, v)| s.has_edge(v, u)).count() as f64
                 / s.n_edges() as f64;
             recip_acc += recip;
         }
@@ -80,11 +76,7 @@ pub fn summarize(g: &DynamicGraph) -> GraphSummary {
         let cur = g.snapshot(ti);
         let nxt = g.snapshot(ti + 1);
         if cur.n_edges() > 0 {
-            let kept = cur
-                .edges()
-                .iter()
-                .filter(|&&(u, v)| nxt.has_edge(u, v))
-                .count() as f64;
+            let kept = cur.edges().iter().filter(|&&(u, v)| nxt.has_edge(u, v)).count() as f64;
             persist_acc += kept / cur.n_edges() as f64;
         }
     }
@@ -99,11 +91,7 @@ pub fn summarize(g: &DynamicGraph) -> GraphSummary {
         max_in_degree: max_in,
         mean_clustering: clus_acc / t as f64,
         mean_reciprocity: recip_acc / t as f64,
-        mean_edge_persistence: if t > 1 {
-            persist_acc / (t - 1) as f64
-        } else {
-            0.0
-        },
+        mean_edge_persistence: if t > 1 { persist_acc / (t - 1) as f64 } else { 0.0 },
         mean_in_ple: if ple_count > 0 { ple_acc / ple_count as f64 } else { 0.0 },
         active_fraction: g.active_nodes().len() as f64 / g.n_nodes().max(1) as f64,
     }

@@ -6,8 +6,7 @@
 
 use vrdag_graph::{algo, DynamicGraph, Snapshot};
 use vrdag_metrics::{
-    attribute_report, jsd, mmd_gaussian, spearman_mae, structure_report, summarize,
-    StructureReport,
+    attribute_report, jsd, mmd_gaussian, spearman_mae, structure_report, summarize, StructureReport,
 };
 use vrdag_tensor::Matrix;
 
@@ -46,10 +45,8 @@ fn degree_sequences_are_consistent_with_edge_counts() {
 
 #[test]
 fn degree_distribution_mmd_is_a_discrepancy() {
-    let a: Vec<f64> =
-        algo::in_degrees(toy().snapshot(0)).iter().map(|&d| d as f64).collect();
-    let b: Vec<f64> =
-        algo::in_degrees(star().snapshot(0)).iter().map(|&d| d as f64).collect();
+    let a: Vec<f64> = algo::in_degrees(toy().snapshot(0)).iter().map(|&d| d as f64).collect();
+    let b: Vec<f64> = algo::in_degrees(star().snapshot(0)).iter().map(|&d| d as f64).collect();
     // Identity of indiscernibles, non-negativity, symmetry.
     assert!(mmd_gaussian(&a, &a, 64, 0.1) < 1e-12);
     let ab = mmd_gaussian(&a, &b, 64, 0.1);

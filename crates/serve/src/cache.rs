@@ -223,8 +223,7 @@ impl SnapshotCache {
             let (old_stamp, old_key) =
                 inner.recency.pop_front().expect("budget exceeded with empty recency queue");
             // Skip stale tickets (the key was touched or replaced since).
-            let is_current =
-                inner.map.get(&old_key).is_some_and(|e| e.stamp == old_stamp);
+            let is_current = inner.map.get(&old_key).is_some_and(|e| e.stamp == old_stamp);
             if is_current {
                 let evicted = inner.map.remove(&old_key).expect("checked above");
                 inner.bytes -= evicted.bytes;
@@ -291,8 +290,7 @@ mod tests {
 
     fn tiny_graph(edge_count: usize) -> Arc<DynamicGraph> {
         let n = 8;
-        let edges: Vec<(u32, u32)> =
-            (0..edge_count as u32).map(|i| (i % n, (i + 1) % n)).collect();
+        let edges: Vec<(u32, u32)> = (0..edge_count as u32).map(|i| (i % n, (i + 1) % n)).collect();
         let s = Snapshot::new(n as usize, edges, Matrix::zeros(n as usize, 1));
         Arc::new(DynamicGraph::new(vec![s]))
     }
@@ -337,10 +335,8 @@ mod tests {
     #[test]
     fn byte_budget_evicts_and_rejects() {
         let unit = tiny_graph(2).approx_bytes_reserved();
-        let cache = SnapshotCache::new(CacheBudget {
-            max_entries: 100,
-            max_bytes: 2 * unit + unit / 2,
-        });
+        let cache =
+            SnapshotCache::new(CacheBudget { max_entries: 100, max_bytes: 2 * unit + unit / 2 });
         assert!(cache.insert(key(1), tiny_graph(2)));
         assert!(cache.insert(key(2), tiny_graph(2)));
         // Third entry exceeds the byte budget: the oldest is evicted.

@@ -40,6 +40,34 @@ use vrdag_graph::{DynamicGraph, Snapshot};
 /// Per-snapshot streaming consumer (see [`GenSink::Callback`]).
 pub type SnapshotCallback = Box<dyn FnMut(usize, &Snapshot) + Send>;
 
+/// Cooperative cancellation for one job: a cheap, clonable flag shared
+/// between the submitter and the worker. Once [`cancel`](Self::cancel)
+/// is called the generation loop stops at the next snapshot boundary —
+/// whether it is stepping the model cold or replaying a cache hit — the
+/// job's partial file output (if any) is removed, nothing is inserted
+/// into the snapshot cache, and the [`JobResult`] reports
+/// [`cancelled`](JobResult::cancelled) with the snapshots actually
+/// delivered. A job cancelled while still queued never instantiates a
+/// model at all.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; takes effect at the next
+    /// snapshot boundary.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
 /// Where a job's snapshots go, one at a time.
 pub enum GenSink {
     /// Stream to a TSV file (`vrdag_graph::io` temporal format),
@@ -86,17 +114,25 @@ pub struct GenRequest {
     pub priority: i32,
     /// Where the snapshots go.
     pub sink: GenSink,
+    /// Cooperative cancellation flag (optional). See [`CancelToken`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl GenRequest {
-    /// A request with default (zero) priority.
+    /// A request with default (zero) priority and no cancellation token.
     pub fn new(model: impl Into<String>, t_len: usize, seed: u64, sink: GenSink) -> Self {
-        GenRequest { model: model.into(), t_len, seed, priority: 0, sink }
+        GenRequest { model: model.into(), t_len, seed, priority: 0, sink, cancel: None }
     }
 
     /// Set the scheduling priority (higher drains first).
     pub fn with_priority(mut self, priority: i32) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Attach a cancellation token the caller can trip later.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -124,6 +160,12 @@ pub struct JobResult {
     pub snapshots_per_sec: f64,
     /// True when the snapshot cache served this job without regenerating.
     pub cache_hit: bool,
+    /// True when the job was stopped early by its [`CancelToken`]:
+    /// `snapshots` holds how many were delivered before the stop,
+    /// `error` stays `None` (cancellation is not a failure), and no
+    /// partial output survives (file sinks are removed, nothing enters
+    /// the cache).
+    pub cancelled: bool,
     /// Service-wide completion sequence number (1-based): results sorted
     /// by `seq` are in completion order, even though each travels on its
     /// own ticket channel.
@@ -240,6 +282,9 @@ pub struct ServeStats {
     pub completed: u64,
     /// Completed jobs that failed.
     pub failed: u64,
+    /// Completed jobs stopped early by their [`CancelToken`] (not
+    /// counted as failures).
+    pub cancelled: u64,
     /// Queued jobs discarded by `abort`/drop without ever running.
     pub dropped_jobs: u64,
     /// Jobs queued and not yet picked up by a worker.
@@ -273,10 +318,11 @@ impl ServeStats {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "serve: {} submitted / {} completed ({} failed, {} dropped) on {} workers in {:.3}s  (peak {} in flight, {} queued now)",
+            "serve: {} submitted / {} completed ({} failed, {} cancelled, {} dropped) on {} workers in {:.3}s  (peak {} in flight, {} queued now)",
             self.submitted,
             self.completed,
             self.failed,
+            self.cancelled,
             self.dropped_jobs,
             self.workers,
             self.uptime_seconds,
@@ -463,6 +509,7 @@ struct Shared {
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    cancelled: AtomicU64,
     dropped: AtomicU64,
     snapshots: AtomicU64,
     edges: AtomicU64,
@@ -501,7 +548,7 @@ impl Drop for Core {
 ///
 /// All clones share one worker pool, queue, cache, and statistics; the
 /// core shuts down (abort + join) when the last clone drops. See the
-/// [module docs](self) for the lifecycle.
+/// crate docs for the lifecycle.
 #[derive(Clone)]
 pub struct ServeHandle {
     core: Arc<Core>,
@@ -536,6 +583,7 @@ impl ServeHandle {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),
             edges: AtomicU64::new(0),
@@ -608,8 +656,7 @@ impl ServeHandle {
         let handle = self.core.registry.resolve(&req.model)?;
         let (tx, rx) = mpsc::channel();
         let id = JobId(self.core.next_id.fetch_add(1, Ordering::SeqCst));
-        let ticket =
-            Ticket { id, model: req.model, t_len: req.t_len, seed: req.seed, rx };
+        let ticket = Ticket { id, model: req.model, t_len: req.t_len, seed: req.seed, rx };
         let job = Job {
             id,
             handle,
@@ -617,6 +664,7 @@ impl ServeHandle {
             seed: req.seed,
             priority: req.priority,
             sink: req.sink,
+            cancel: req.cancel,
             reply: tx,
         };
         match self.core.shared.queue.push_checked(job, self.core.max_queue_depth) {
@@ -687,6 +735,7 @@ impl ServeHandle {
             submitted: shared.submitted.load(Ordering::SeqCst),
             completed: shared.completed.load(Ordering::SeqCst),
             failed: shared.failed.load(Ordering::SeqCst),
+            cancelled: shared.cancelled.load(Ordering::SeqCst),
             dropped_jobs: shared.dropped.load(Ordering::SeqCst),
             queue_depth: shared.queue.depth(),
             in_flight: shared.queue.in_flight(),
@@ -760,6 +809,7 @@ fn worker_loop(worker: usize, shared: &Shared) {
                     seconds: started.elapsed().as_secs_f64().max(1e-9),
                     snapshots_per_sec: 0.0,
                     cache_hit: false,
+                    cancelled: false,
                     seq: 0,
                     graph: None,
                     error: Some(format!("job panicked: {}", panic_message(payload.as_ref()))),
@@ -769,6 +819,9 @@ fn worker_loop(worker: usize, shared: &Shared) {
         shared.completed.fetch_add(1, Ordering::SeqCst);
         if result.error.is_some() {
             shared.failed.fetch_add(1, Ordering::SeqCst);
+        }
+        if result.cancelled {
+            shared.cancelled.fetch_add(1, Ordering::SeqCst);
         }
         shared.snapshots.fetch_add(result.snapshots as u64, Ordering::SeqCst);
         shared.edges.fetch_add(result.edges as u64, Ordering::SeqCst);
@@ -800,23 +853,38 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCache) -> JobResult {
-    let Job { id, handle, t_len, seed, priority: _, mut sink, reply: _ } = job;
+    let Job { id, handle, t_len, seed, priority: _, mut sink, cancel, reply: _ } = job;
     let model_name = handle.name().to_string();
     let key = job_cache_key(&handle, t_len, seed);
     let started = Instant::now();
     let mut cache_hit = false;
-    let outcome = (|| -> Result<(StreamStats, Option<Arc<DynamicGraph>>), ServeError> {
+    let cancel = cancel.as_ref();
+    // Whether this job actually opened its sink: a job cancelled while
+    // still queued never did, and must not delete whatever a *previous*
+    // job left at the same output path.
+    let mut touched_sink = false;
+    let touched = &mut touched_sink;
+    let outcome = (|| -> Result<(StreamStats, Option<Arc<DynamicGraph>>, bool), ServeError> {
+        // A job whose token tripped while it sat queued never touches a
+        // model instance (or the cache) at all.
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Ok((StreamStats::default(), None, true));
+        }
+        *touched = true;
         if cache.is_enabled() {
             if let Some(graph) = cache.get(&key) {
                 // Hit: replay the cached sequence into the sink (no
                 // model instance needed, so the worker's current one is
                 // left alone). The determinism contract makes this
                 // bit-identical to regenerating
-                // (tests/cache_determinism.rs).
+                // (tests/cache_determinism.rs). Cancellation stops the
+                // replay at a snapshot boundary exactly like cold
+                // generation, so subscribers observe the same frames
+                // either way.
                 cache_hit = true;
-                let stats = replay_into_sink(&graph, &mut sink)?;
-                let out = matches!(sink, GenSink::InMemory).then_some(graph);
-                return Ok((stats, out));
+                let (stats, cancelled) = replay_into_sink(&graph, &mut sink, cancel)?;
+                let out = (matches!(sink, GenSink::InMemory) && !cancelled).then_some(graph);
+                return Ok((stats, out, cancelled));
             }
         }
         // Miss: make sure this worker's instance matches the artifact
@@ -832,17 +900,19 @@ fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCach
         // with caching off, and the sequence is additionally retained
         // for the cache only while it fits the byte budget.
         let budget = cache.is_enabled().then(|| cache.budget().max_bytes);
-        let (stats, graph) = generate_into_sink(model, t_len, seed, &mut sink, budget)?;
+        let (stats, graph, cancelled) =
+            generate_into_sink(model, t_len, seed, &mut sink, budget, cancel)?;
         let graph = graph.map(Arc::new);
-        if cache.is_enabled() {
+        if cache.is_enabled() && !cancelled {
             if let Some(g) = &graph {
                 cache.insert(key, Arc::clone(g));
             }
         }
-        let out = if matches!(sink, GenSink::InMemory) { graph } else { None };
-        Ok((stats, out))
+        let out = if matches!(sink, GenSink::InMemory) && !cancelled { graph } else { None };
+        Ok((stats, out, cancelled))
     })();
-    if outcome.is_err() {
+    let cancelled = matches!(outcome, Ok((_, _, true)));
+    if (outcome.is_err() || cancelled) && touched_sink {
         // Never leave a truncated file (header promises t_len snapshots)
         // next to complete ones in the output directory.
         if let GenSink::TsvFile(path) | GenSink::BinaryFile(path) = &sink {
@@ -851,7 +921,7 @@ fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCach
     }
     let seconds = started.elapsed().as_secs_f64().max(1e-9);
     match outcome {
-        Ok((stats, graph)) => JobResult {
+        Ok((stats, graph, cancelled)) => JobResult {
             id,
             model: model_name,
             t_len,
@@ -861,6 +931,7 @@ fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCach
             seconds,
             snapshots_per_sec: stats.snapshots as f64 / seconds,
             cache_hit,
+            cancelled,
             seq: 0,
             graph,
             error: None,
@@ -875,6 +946,7 @@ fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCach
             seconds,
             snapshots_per_sec: 0.0,
             cache_hit: false,
+            cancelled: false,
             seq: 0,
             graph: None,
             error: Some(e.to_string()),
@@ -940,21 +1012,30 @@ impl<'a> SinkWriter<'a> {
 }
 
 /// Feed a cached sequence through a sink, exactly as generation would
-/// have (same writers, same per-snapshot flushing).
+/// have (same writers, same per-snapshot flushing). Returns the
+/// delivered stats and whether the replay was cancelled mid-stream —
+/// the same snapshot-boundary cancellation points as cold generation.
 fn replay_into_sink(
     graph: &DynamicGraph,
     sink: &mut GenSink,
-) -> Result<StreamStats, ServeError> {
-    let stats = StreamStats {
-        snapshots: graph.t_len(),
-        edges: graph.temporal_edge_count(),
-    };
+    cancel: Option<&CancelToken>,
+) -> Result<(StreamStats, bool), ServeError> {
+    let mut stats = StreamStats::default();
     let mut writer = SinkWriter::open(sink, graph.n_nodes(), graph.n_attrs(), graph.t_len())?;
+    let mut cancelled = false;
     for (t, s) in graph.iter() {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            cancelled = true;
+            break;
+        }
         writer.write(t, s)?;
+        stats.snapshots += 1;
+        stats.edges += s.n_edges();
     }
-    writer.finish()?;
-    Ok(stats)
+    if !cancelled {
+        writer.finish()?;
+    }
+    Ok((stats, cancelled))
 }
 
 /// Drive Algorithm 1 one snapshot at a time straight into the sink.
@@ -971,7 +1052,8 @@ fn generate_into_sink(
     seed: u64,
     sink: &mut GenSink,
     collect_budget: Option<usize>,
-) -> Result<(StreamStats, Option<DynamicGraph>), ServeError> {
+    cancel: Option<&CancelToken>,
+) -> Result<(StreamStats, Option<DynamicGraph>, bool), ServeError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut state = model.begin_generation(&mut rng)?;
     let n = model.n_nodes().expect("begin_generation succeeded");
@@ -982,7 +1064,17 @@ fn generate_into_sink(
         (want_result || collect_budget.is_some()).then(|| Vec::with_capacity(t_len));
     let mut collected_bytes = 0usize;
     let mut writer = SinkWriter::open(sink, n, f, t_len)?;
+    let mut cancelled = false;
     for t in 0..t_len {
+        // Cooperative cancellation at snapshot boundaries: the stepper
+        // is abandoned, the partial collection is discarded (a
+        // cancelled sequence must never populate the cache), and the
+        // caller removes any partial file output.
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            cancelled = true;
+            collected = None;
+            break;
+        }
         let snapshot = state.step(model);
         stats.snapshots += 1;
         stats.edges += snapshot.n_edges();
@@ -998,8 +1090,10 @@ fn generate_into_sink(
             }
         }
     }
-    writer.finish()?;
-    Ok((stats, collected.map(DynamicGraph::new)))
+    if !cancelled {
+        writer.finish()?;
+    }
+    Ok((stats, collected.map(DynamicGraph::new), cancelled))
 }
 
 #[cfg(test)]
@@ -1057,9 +1151,7 @@ mod tests {
         // Submitting never waits for generation: collect all tickets
         // first, then wait on them in any order.
         let tickets: Vec<Ticket> = (0..4u64)
-            .map(|seed| {
-                handle.submit(GenRequest::new("tiny", 3, seed, GenSink::InMemory)).unwrap()
-            })
+            .map(|seed| handle.submit(GenRequest::new("tiny", 3, seed, GenSink::InMemory)).unwrap())
             .collect();
         for ticket in tickets.into_iter().rev() {
             let seed = ticket.seed();
@@ -1085,9 +1177,8 @@ mod tests {
             .map(|seed| {
                 let handle = handle.clone();
                 std::thread::spawn(move || {
-                    let ticket = handle
-                        .submit(GenRequest::new("tiny", 2, seed, GenSink::InMemory))
-                        .unwrap();
+                    let ticket =
+                        handle.submit(GenRequest::new("tiny", 2, seed, GenSink::InMemory)).unwrap();
                     ticket.wait().unwrap()
                 })
             })
@@ -1107,11 +1198,9 @@ mod tests {
         let handle = ServeHandle::new(registry, 1).unwrap();
         let (started_tx, started_rx) = std::sync::mpsc::channel();
         let (release_tx, release_rx) = std::sync::mpsc::channel();
-        let blocker =
-            handle.submit(blocking_request("tiny", 0, started_tx, release_rx)).unwrap();
+        let blocker = handle.submit(blocking_request("tiny", 0, started_tx, release_rx)).unwrap();
         started_rx.recv().unwrap();
-        let mut ticket =
-            handle.submit(GenRequest::new("tiny", 1, 1, GenSink::Discard)).unwrap();
+        let mut ticket = handle.submit(GenRequest::new("tiny", 1, 1, GenSink::Discard)).unwrap();
         // Queued behind the pinned worker: polling sees nothing yet.
         assert!(ticket.try_wait().unwrap().is_none());
         assert!(ticket.wait_timeout(Duration::from_millis(10)).unwrap().is_none());
@@ -1130,9 +1219,7 @@ mod tests {
         let (registry, _) = registry_with_tiny();
         let handle = ServeHandle::new(registry, 2).unwrap();
         let tickets: Vec<Ticket> = (0..6u64)
-            .map(|seed| {
-                handle.submit(GenRequest::new("tiny", 2, seed, GenSink::Discard)).unwrap()
-            })
+            .map(|seed| handle.submit(GenRequest::new("tiny", 2, seed, GenSink::Discard)).unwrap())
             .collect();
         for t in tickets {
             t.wait().unwrap();
@@ -1154,13 +1241,10 @@ mod tests {
         let handle = ServeHandle::new(registry, 1).unwrap();
         let (started_tx, started_rx) = std::sync::mpsc::channel();
         let (release_tx, release_rx) = std::sync::mpsc::channel();
-        let blocker =
-            handle.submit(blocking_request("tiny", 0, started_tx, release_rx)).unwrap();
+        let blocker = handle.submit(blocking_request("tiny", 0, started_tx, release_rx)).unwrap();
         started_rx.recv().unwrap();
         let queued: Vec<Ticket> = (1..4u64)
-            .map(|seed| {
-                handle.submit(GenRequest::new("tiny", 1, seed, GenSink::Discard)).unwrap()
-            })
+            .map(|seed| handle.submit(GenRequest::new("tiny", 1, seed, GenSink::Discard)).unwrap())
             .collect();
         handle.abort();
         release_tx.send(()).unwrap();
@@ -1193,9 +1277,7 @@ mod tests {
         for wave in 0..3u64 {
             let tickets: Vec<Ticket> = (0..2u64)
                 .map(|seed| {
-                    handle
-                        .submit(GenRequest::new("tiny", 2, seed, GenSink::InMemory))
-                        .unwrap()
+                    handle.submit(GenRequest::new("tiny", 2, seed, GenSink::InMemory)).unwrap()
                 })
                 .collect();
             for t in tickets {
@@ -1242,16 +1324,146 @@ mod tests {
         let follow = handle.submit(GenRequest::new("tiny", 2, 1, GenSink::InMemory)).unwrap();
         let failed = bomb.wait().unwrap();
         assert!(!failed.is_ok());
-        assert!(
-            failed.error.as_deref().unwrap().contains("sink exploded"),
-            "{:?}",
-            failed.error
-        );
+        assert!(failed.error.as_deref().unwrap().contains("sink exploded"), "{:?}", failed.error);
         let ok = follow.wait().unwrap();
         assert!(ok.is_ok(), "{:?}", ok.error);
         let stats = handle.shutdown();
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn cancel_while_queued_short_circuits_without_generating() {
+        let (registry, _) = registry_with_tiny();
+        let handle = ServeHandle::new(registry, 1).unwrap();
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel();
+        let blocker = handle.submit(blocking_request("tiny", 0, started_tx, release_rx)).unwrap();
+        started_rx.recv().unwrap();
+        let token = CancelToken::new();
+        let delivered = Arc::new(AtomicUsize::new(0));
+        let delivered_in_cb = Arc::clone(&delivered);
+        let victim = handle
+            .submit(
+                GenRequest::new(
+                    "tiny",
+                    3,
+                    1,
+                    GenSink::Callback(Box::new(move |_, _| {
+                        delivered_in_cb.fetch_add(1, Ordering::SeqCst);
+                    })),
+                )
+                .with_cancel(token.clone()),
+            )
+            .unwrap();
+        token.cancel();
+        release_tx.send(()).unwrap();
+        blocker.wait().unwrap();
+        let result = victim.wait().unwrap();
+        assert!(result.cancelled);
+        assert!(result.is_ok(), "cancellation is not a failure: {:?}", result.error);
+        assert_eq!(result.snapshots, 0, "queued-cancelled jobs never generate");
+        assert_eq!(delivered.load(Ordering::SeqCst), 0);
+        let stats = handle.shutdown();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn cancel_mid_generation_stops_at_a_snapshot_boundary() {
+        let (registry, _) = registry_with_tiny();
+        let handle = ServeHandle::with_config(
+            registry,
+            ServeConfig { workers: 1, cache: CacheBudget::entries(8), ..Default::default() },
+        )
+        .unwrap();
+        let token = CancelToken::new();
+        let t_len = 500usize;
+        // Trip the token from inside the sink after two snapshots: the
+        // loop must stop at the next boundary, deliver exactly 2, and
+        // leave the cache unpopulated (a partial sequence is not a
+        // cacheable value).
+        let token_in_cb = token.clone();
+        let ticket = handle
+            .submit(
+                GenRequest::new(
+                    "tiny",
+                    t_len,
+                    0,
+                    GenSink::Callback(Box::new(move |t, _| {
+                        if t == 1 {
+                            token_in_cb.cancel();
+                        }
+                    })),
+                )
+                .with_cancel(token),
+            )
+            .unwrap();
+        let result = ticket.wait().unwrap();
+        assert!(result.cancelled);
+        assert_eq!(result.snapshots, 2, "stopped at the boundary after the trip");
+        assert!(result.is_ok());
+        assert_eq!(handle.cache().stats().entries, 0, "cancelled runs never enter the cache");
+        // The same key afterwards generates in full.
+        let full = handle
+            .submit(GenRequest::new("tiny", 3, 0, GenSink::InMemory))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(full.is_ok());
+        assert!(!full.cancelled);
+        assert_eq!(full.snapshots, 3);
+    }
+
+    #[test]
+    fn cancelled_file_sink_removes_partial_output_but_spares_untouched_paths() {
+        let (registry, _) = registry_with_tiny();
+        let handle = ServeHandle::new(registry, 1).unwrap();
+        let dir = std::env::temp_dir().join("vrdag_cancel_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A job cancelled *mid-generation* removes its own partial file:
+        // wait until the streaming writer has created the file (the job
+        // is provably past the queued-shortcut), then trip the token.
+        let partial = dir.join("partial.tsv");
+        let token = CancelToken::new();
+        let ticket = handle
+            .submit(
+                GenRequest::new("tiny", 2000, 0, GenSink::TsvFile(partial.clone()))
+                    .with_cancel(token.clone()),
+            )
+            .unwrap();
+        for _ in 0..2000 {
+            if partial.exists() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(partial.exists(), "the job never started writing");
+        token.cancel();
+        let result = ticket.wait().unwrap();
+        assert!(result.cancelled);
+        assert!(!partial.exists(), "no truncated file may survive a cancellation");
+
+        // A job cancelled while still *queued* never opened its sink and
+        // must not delete whatever a previous job wrote at that path.
+        let existing = dir.join("existing.tsv");
+        std::fs::write(&existing, b"previous job's complete output").unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let ticket = handle
+            .submit(
+                GenRequest::new("tiny", 4, 0, GenSink::TsvFile(existing.clone()))
+                    .with_cancel(token),
+            )
+            .unwrap();
+        let result = ticket.wait().unwrap();
+        assert!(result.cancelled);
+        assert_eq!(
+            std::fs::read(&existing).unwrap(),
+            b"previous job's complete output",
+            "a queued-cancelled job must not touch pre-existing files"
+        );
     }
 
     #[test]

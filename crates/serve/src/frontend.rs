@@ -1,29 +1,110 @@
-//! TCP frontend for the line protocol of [`protocol`](crate::protocol):
-//! a `std::net` listener (one thread per connection — no async runtime
-//! in this offline tree) that parses newline-delimited requests, drives
-//! the shared [`ServeHandle`], and routes each streamed reply back to
-//! the connection that asked for it.
+//! TCP frontend for the pipelined line protocol of
+//! [`protocol`](crate::protocol): a `std::net` listener (threads, no
+//! async runtime in this offline tree) that parses newline-delimited
+//! requests, drives the shared [`ServeHandle`], and routes every reply
+//! frame back to the connection — matched by *tag*, not arrival order.
 //!
-//! The frontend is deliberately thin: all scheduling, caching,
+//! Each connection is split into a **reader** (parses and dispatches
+//! requests; never writes) and a **writer** (the reply mux: the single
+//! owner of the socket's write side, draining a bounded frame channel).
+//! A `GEN`/`SUB` submission registers in the connection's in-flight
+//! table (bounded by [`FrontendConfig::max_inflight_per_conn`]) and a
+//! waiter thread pushes its completion frame into the mux whenever the
+//! [`Ticket`] resolves — so many jobs proceed concurrently on one
+//! connection and a slow job never head-of-line-blocks a fast one.
+//! `SUB` jobs additionally stream every snapshot as an `EVT` frame from
+//! inside the worker (a [`GenSink::Callback`] feeding the mux, applied
+//! identically to cold generation and cache-hit replay), and
+//! `CANCEL tag=…` trips the job's [`CancelToken`] mid-stream.
+//!
+//! The frontend stays deliberately thin: all scheduling, caching,
 //! coalescing, and admission control live in the service core. What it
-//! owns is *framing* (capped line reads, length-prefixed payloads) and
-//! *error translation* — every [`ServeError`] becomes a structured
+//! owns is *framing* (capped line reads, length-prefixed payloads),
+//! *demultiplexing* (tags, the in-flight table), and *error
+//! translation* — every [`ServeError`] becomes a structured
 //! `ERR <code> …` line on the same connection, so a saturated queue
 //! ([`ServeError::QueueFull`]) is a backpressure *response*, never a
-//! dropped connection.
+//! dropped connection. The accept loop enforces
+//! [`FrontendConfig::max_connections`]: a connection beyond the cap is
+//! greeted with `ERR too-many-connections cap=<c>` and closed.
 
-use crate::core::{GenRequest, GenSink, ServeHandle};
+use crate::core::{CancelToken, GenRequest, GenSink, ServeHandle, Ticket};
 use crate::protocol::{
     parse_reply, parse_request, ErrorCode, GenSpec, ProtocolError, ReplyHeader, Request,
     WireFormat, MAX_LINE_BYTES,
 };
 use crate::ServeError;
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
-use vrdag_graph::DynamicGraph;
+use vrdag_graph::io::{BinaryStreamWriter, TsvStreamWriter};
+use vrdag_graph::{DynamicGraph, Snapshot};
+
+/// Construction-time knobs of a [`Frontend`].
+#[derive(Clone, Copy, Debug)]
+pub struct FrontendConfig {
+    /// Accept-limit for the thread-per-connection model: a connection
+    /// beyond the cap is greeted with `ERR too-many-connections cap=<c>`
+    /// and closed immediately. `None` disables the cap.
+    pub max_connections: Option<usize>,
+    /// How many `GEN`/`SUB` jobs one connection may keep in flight at
+    /// once; the excess is answered with `ERR too-many-inflight …`
+    /// (retry when an outstanding tag resolves).
+    pub max_inflight_per_conn: usize,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig { max_connections: Some(256), max_inflight_per_conn: 32 }
+    }
+}
+
+/// Reply-mux channel depth, in frames. Bounded so a subscriber that
+/// stops reading exerts backpressure all the way into the generating
+/// worker (its `EVT` sends block) instead of buffering an unbounded
+/// sequence in server memory.
+const FRAME_QUEUE: usize = 64;
+
+/// How long a `QUIT` waits for in-flight jobs to drain before the
+/// connection's remaining work is cancelled and the socket severed. A
+/// reading client drains long before this; the deadline only fires for
+/// one that QUIT and then stopped consuming its own replies.
+const QUIT_DRAIN: Duration = Duration::from_secs(60);
+
+/// The same bound for abnormal teardown (EOF/transport failure), where
+/// in-flight tokens are already tripped and jobs resolve within
+/// snapshot-boundary latency — the deadline is a backstop for a writer
+/// wedged on a half-closed peer that never reads.
+const TEARDOWN_DRAIN: Duration = Duration::from_secs(5);
+
+/// How long a worker's `EVT` send may sit blocked on a full reply mux
+/// before the subscription is abandoned. A connection that is *alive
+/// but not reading* (full TCP window + full mux, no EOF, no CANCEL)
+/// would otherwise pin a shared core worker indefinitely; past this
+/// deadline the stream ends `status=cancelled` and the worker moves on,
+/// while the connection itself stays open for a client that resumes.
+const SUB_STALL_LIMIT: Duration = Duration::from_secs(30);
+
+/// One complete wire frame: a header line plus its payload bytes.
+#[derive(Debug)]
+struct Frame {
+    header: ReplyHeader,
+    payload: Vec<u8>,
+}
+
+impl Frame {
+    fn header(header: ReplyHeader) -> Frame {
+        Frame { header, payload: Vec::new() }
+    }
+
+    fn err(code: ErrorCode, tag: Option<String>, message: impl Into<String>) -> Frame {
+        Frame::header(ReplyHeader::Err { code, tag, message: message.into() })
+    }
+}
 
 /// One line read from the wire, or the reasons there is none.
 enum ReadLine {
@@ -31,7 +112,9 @@ enum ReadLine {
     /// The line blew past [`MAX_LINE_BYTES`]; the overflow has been
     /// consumed up to (and including) its newline so the connection can
     /// keep going.
-    TooLong { len: usize },
+    TooLong {
+        len: usize,
+    },
     Eof,
 }
 
@@ -87,6 +170,67 @@ fn encode_graph(graph: &DynamicGraph, fmt: WireFormat) -> Result<Vec<u8>, ServeE
     }
 }
 
+/// A shared, append-only byte buffer the streaming writers write into;
+/// the chunker drains it after every snapshot so each `EVT` frame
+/// carries exactly the bytes that snapshot contributed to the encoding.
+#[derive(Clone, Default)]
+struct ChunkBuf(Arc<Mutex<Vec<u8>>>);
+
+impl ChunkBuf {
+    fn take(&self) -> Vec<u8> {
+        std::mem::take(&mut *self.0.lock().expect("chunk buffer poisoned"))
+    }
+}
+
+impl Write for ChunkBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().expect("chunk buffer poisoned").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Incremental per-snapshot encoder for a `SUB` stream, built on the
+/// exact same streaming writers as the file sinks and the buffered
+/// `GEN` encodings — which is what makes the concatenation of a
+/// stream's `EVT` payloads byte-identical to the buffered reply (the
+/// format headers land in the first chunk; `finish()` writes nothing).
+enum WireChunker {
+    Tsv(TsvStreamWriter<ChunkBuf>, ChunkBuf),
+    Bin(BinaryStreamWriter<ChunkBuf>, ChunkBuf),
+}
+
+impl WireChunker {
+    fn new(fmt: WireFormat, n: usize, f: usize, t_len: usize) -> Result<WireChunker, ServeError> {
+        let buf = ChunkBuf::default();
+        Ok(match fmt {
+            WireFormat::Tsv => {
+                WireChunker::Tsv(TsvStreamWriter::new(buf.clone(), n, f, t_len)?, buf)
+            }
+            WireFormat::Bin => {
+                WireChunker::Bin(BinaryStreamWriter::new(buf.clone(), n, f, t_len)?, buf)
+            }
+        })
+    }
+
+    /// Encode one snapshot and return the bytes it contributed.
+    fn encode(&mut self, s: &Snapshot) -> Result<Vec<u8>, ServeError> {
+        match self {
+            WireChunker::Tsv(w, buf) => {
+                w.write_snapshot(s)?;
+                Ok(buf.take())
+            }
+            WireChunker::Bin(w, buf) => {
+                w.write_snapshot(s)?;
+                Ok(buf.take())
+            }
+        }
+    }
+}
+
 /// Translate a service error into its wire code; the message is the
 /// error's display form except for `QueueFull`, which gets structured
 /// `depth=… cap=…` fields a client can parse and back off on.
@@ -104,170 +248,570 @@ fn translate(err: &ServeError) -> (ErrorCode, String) {
     }
 }
 
-fn write_header(w: &mut impl Write, header: &ReplyHeader) -> io::Result<()> {
-    w.write_all(header.to_line().as_bytes())?;
-    w.write_all(b"\n")
+fn translated_frame(err: &ServeError, tag: Option<String>) -> Frame {
+    let (code, message) = translate(err);
+    Frame::err(code, tag, message)
 }
 
-fn write_err(w: &mut impl Write, code: ErrorCode, message: impl Into<String>) -> io::Result<()> {
-    write_header(w, &ReplyHeader::Err { code, message: message.into() })
+/// Best-effort recovery of a `tag=<valid>` token from a line that failed
+/// to parse, so the `ERR` reply can still be demuxed to the request's
+/// stream. Only a syntactically valid tag is echoed — never arbitrary
+/// malformed input.
+fn salvage_tag(line: &str) -> Option<String> {
+    line.split_whitespace()
+        .filter_map(|token| token.strip_prefix("tag="))
+        .find(|raw| crate::protocol::valid_tag(raw))
+        .map(str::to_string)
 }
 
-/// Handle one parsed request; returns `false` when the connection should
-/// close (QUIT).
-fn handle_request(
-    handle: &ServeHandle,
-    req: Request,
-    w: &mut impl Write,
-) -> io::Result<bool> {
-    match req {
-        Request::Gen(spec) => {
-            let GenSpec { model, t_len, seed, fmt, priority } = spec;
-            let submitted = handle.submit(
-                GenRequest::new(model, t_len, seed, GenSink::InMemory).with_priority(priority),
-            );
-            let ticket = match submitted {
-                Ok(ticket) => ticket,
-                Err(e) => {
-                    let (code, message) = translate(&e);
-                    write_err(w, code, message)?;
-                    return Ok(true);
+/// Every in-flight job on one connection, tagged or not, with its
+/// cancel token — so teardown can trip *all* of them, not just the
+/// `CANCEL`-addressable ones.
+#[derive(Default)]
+struct InflightTable {
+    /// Client-tagged jobs, addressable by `CANCEL tag=…`.
+    tagged: HashMap<String, CancelToken>,
+    /// Untagged jobs, keyed by a connection-internal counter (no wire
+    /// syntax can name them, but connection teardown still cancels them).
+    untagged: HashMap<u64, CancelToken>,
+    next_untagged: u64,
+}
+
+impl InflightTable {
+    fn len(&self) -> usize {
+        self.tagged.len() + self.untagged.len()
+    }
+}
+
+/// The claim [`ConnState::reserve`] hands out; give it back to
+/// [`ConnState::release`] when the job's completion frame is pushed.
+enum Slot {
+    Tag(String),
+    Untagged(u64),
+}
+
+/// Per-connection state shared between the reader, the waiter threads,
+/// and the `SUB` callbacks running inside workers.
+struct ConnState {
+    /// The reply mux: the writer thread drains this channel. Bounded —
+    /// see [`FRAME_QUEUE`].
+    out: SyncSender<Frame>,
+    /// In-flight jobs (see [`InflightTable`]).
+    inflight: Mutex<InflightTable>,
+}
+
+impl ConnState {
+    /// Push one frame into the reply mux. `false` when the connection's
+    /// writer is gone (transport failure) — callers stop working for
+    /// this connection.
+    fn send(&self, frame: Frame) -> bool {
+        self.out.send(frame).is_ok()
+    }
+
+    /// Like [`send`](Self::send), but re-checks `token` while the
+    /// bounded channel is full, and gives up entirely after
+    /// [`SUB_STALL_LIMIT`]. Used by the `EVT` path running *inside a
+    /// core worker*: a subscriber that stops reading fills the mux and
+    /// the TCP buffer, and without the re-check a later `CANCEL` (read
+    /// on the still-live request side) could never free the worker
+    /// parked in a plain blocking send — while the stall deadline frees
+    /// it even when the client never sends (or closes) anything at all.
+    fn send_cancellable(&self, token: &CancelToken, frame: Frame) -> bool {
+        let mut frame = frame;
+        let stalled_at = std::time::Instant::now() + SUB_STALL_LIMIT;
+        loop {
+            match self.out.try_send(frame) {
+                Ok(()) => return true,
+                Err(mpsc::TrySendError::Disconnected(_)) => return false,
+                Err(mpsc::TrySendError::Full(back)) => {
+                    if token.is_cancelled() || std::time::Instant::now() >= stalled_at {
+                        return false;
+                    }
+                    frame = back;
+                    std::thread::sleep(Duration::from_millis(1));
                 }
-            };
-            let id = ticket.id();
-            let result = match ticket.wait() {
-                Ok(result) => result,
-                Err(e) => {
-                    let (code, message) = translate(&e);
-                    write_err(w, code, message)?;
-                    return Ok(true);
-                }
-            };
-            if let Some(error) = &result.error {
-                write_err(w, ErrorCode::Internal, error.clone())?;
-                return Ok(true);
             }
-            let graph = result.graph.as_deref().expect("InMemory success carries the graph");
-            let payload = match encode_graph(graph, fmt) {
-                Ok(payload) => payload,
-                Err(e) => {
-                    write_err(w, ErrorCode::Internal, e.to_string())?;
-                    return Ok(true);
-                }
-            };
-            write_header(
-                w,
-                &ReplyHeader::Gen {
-                    id: id.0,
-                    model: result.model.clone(),
-                    t_len: result.t_len,
-                    seed: result.seed,
-                    fmt,
-                    snapshots: result.snapshots,
-                    edges: result.edges,
-                    cache_hit: result.cache_hit,
-                    bytes: payload.len(),
-                },
-            )?;
-            w.write_all(&payload)?;
-            Ok(true)
         }
-        Request::Stats => {
-            let payload = handle.stats().render().into_bytes();
-            write_header(w, &ReplyHeader::Stats { bytes: payload.len() })?;
-            w.write_all(&payload)?;
-            Ok(true)
-        }
-        Request::Models => {
-            let mut listing = String::new();
-            for h in handle.registry().handles() {
-                use std::fmt::Write as _;
-                let _ = writeln!(
-                    listing,
-                    "{} nodes={} attrs={} size={} fingerprint={:016x}",
-                    h.name(),
-                    h.n_nodes(),
-                    h.n_attrs(),
-                    h.size_bytes(),
-                    h.fingerprint(),
-                );
+    }
+
+    /// Claim an in-flight slot (and the tag, when given) for a new job.
+    fn reserve(
+        &self,
+        tag: Option<&String>,
+        token: &CancelToken,
+        cap: usize,
+    ) -> Result<Slot, Box<Frame>> {
+        let mut table = self.inflight.lock().expect("inflight table poisoned");
+        // A duplicate tag is the more specific failure: report it even
+        // when the connection is also at its in-flight cap.
+        if let Some(tag) = tag {
+            if table.tagged.contains_key(tag) {
+                return Err(Box::new(Frame::err(
+                    ErrorCode::DuplicateTag,
+                    Some(tag.clone()),
+                    format!("tag {tag} is already in flight on this connection"),
+                )));
             }
-            let payload = listing.into_bytes();
-            write_header(w, &ReplyHeader::Models { bytes: payload.len() })?;
-            w.write_all(&payload)?;
-            Ok(true)
         }
-        Request::Ping => {
-            write_header(w, &ReplyHeader::Pong)?;
-            Ok(true)
+        let inflight = table.len();
+        if inflight >= cap {
+            return Err(Box::new(Frame::err(
+                ErrorCode::TooManyInflight,
+                tag.cloned(),
+                format!("inflight={inflight} cap={cap}"),
+            )));
         }
-        Request::Quit => {
-            write_header(w, &ReplyHeader::Bye)?;
-            Ok(false)
+        Ok(match tag {
+            Some(tag) => {
+                table.tagged.insert(tag.clone(), token.clone());
+                Slot::Tag(tag.clone())
+            }
+            None => {
+                let key = table.next_untagged;
+                table.next_untagged += 1;
+                table.untagged.insert(key, token.clone());
+                Slot::Untagged(key)
+            }
+        })
+    }
+
+    /// Release a reservation once its completion frame has been pushed.
+    fn release(&self, slot: &Slot) {
+        let mut table = self.inflight.lock().expect("inflight table poisoned");
+        match slot {
+            Slot::Tag(tag) => {
+                table.tagged.remove(tag);
+            }
+            Slot::Untagged(key) => {
+                table.untagged.remove(key);
+            }
+        }
+    }
+
+    /// Is `tag` currently registered on this connection?
+    fn tag_in_flight(&self, tag: &str) -> bool {
+        self.inflight.lock().expect("inflight table poisoned").tagged.contains_key(tag)
+    }
+
+    /// Trip the cancel token registered under `tag`, if any.
+    fn cancel(&self, tag: &str) -> bool {
+        let table = self.inflight.lock().expect("inflight table poisoned");
+        match table.tagged.get(tag) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Trip every in-flight token, tagged or not (connection teardown:
+    /// free the workers instead of letting them generate for a peer
+    /// that is gone).
+    fn cancel_all(&self) {
+        let table = self.inflight.lock().expect("inflight table poisoned");
+        for token in table.tagged.values().chain(table.untagged.values()) {
+            token.cancel();
         }
     }
 }
 
-/// One connection: read a line, answer it, repeat. Requests on a single
-/// connection are served in order (pipeline across connections for
-/// parallelism); malformed lines get an `ERR` and the loop continues.
-fn serve_connection(handle: ServeHandle, stream: TcpStream) {
+/// The single owner of a connection's write side: drains the frame
+/// channel in completion order, one flush per frame (subscribers see
+/// snapshots as they are generated). Exits when every sender is gone or
+/// the transport fails, then sends the FIN.
+fn writer_loop(stream: TcpStream, frames: Receiver<Frame>) {
+    if let Ok(write_half) = stream.try_clone() {
+        let mut w = BufWriter::new(write_half);
+        while let Ok(frame) = frames.recv() {
+            let wrote = (|| -> io::Result<()> {
+                w.write_all(frame.header.to_line().as_bytes())?;
+                w.write_all(b"\n")?;
+                w.write_all(&frame.payload)?;
+                w.flush()
+            })();
+            if wrote.is_err() {
+                break;
+            }
+        }
+    }
+    // Dropping the receiver here unblocks every sender (their sends turn
+    // into errors); the explicit shutdown sends the FIN across all
+    // clones of the socket.
+    drop(frames);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// What the reader should do after dispatching one request.
+enum Flow {
+    Continue,
+    /// Drain in-flight work, say `OK BYE [tag=…]`, close.
+    Quit {
+        tag: Option<String>,
+    },
+    /// The reply mux is gone (transport failure) — tear down now.
+    Dead,
+}
+
+/// Reader-side driver of one connection.
+struct ConnDriver {
+    handle: ServeHandle,
+    conn: Arc<ConnState>,
+    cfg: FrontendConfig,
+    /// Waiter threads for this connection's in-flight jobs.
+    waiters: Vec<std::thread::JoinHandle<()>>,
+    /// Counter for server-assigned `~<n>` tags (untagged `SUB`s).
+    auto_tag: u64,
+}
+
+impl ConnDriver {
+    fn send(&self, frame: Frame) -> Flow {
+        if self.conn.send(frame) {
+            Flow::Continue
+        } else {
+            Flow::Dead
+        }
+    }
+
+    fn dispatch(&mut self, req: Request) -> Flow {
+        // Opportunistically reap finished waiters so the vector tracks
+        // live jobs, not connection history.
+        self.waiters.retain(|w| !w.is_finished());
+        match req {
+            Request::Gen(spec) => self.dispatch_gen(spec),
+            Request::Sub(spec) => self.dispatch_sub(spec),
+            Request::Cancel { tag } => {
+                let found = self.conn.cancel(&tag);
+                self.send(Frame::header(ReplyHeader::Cancel { tag, found }))
+            }
+            Request::Stats { tag } => {
+                let payload = self.handle.stats().render().into_bytes();
+                let header = ReplyHeader::Stats { tag, bytes: payload.len() };
+                self.send(Frame { header, payload })
+            }
+            Request::Models { tag } => {
+                let mut listing = String::new();
+                for h in self.handle.registry().handles() {
+                    use std::fmt::Write as _;
+                    let _ = writeln!(
+                        listing,
+                        "{} nodes={} attrs={} size={} fingerprint={:016x}",
+                        h.name(),
+                        h.n_nodes(),
+                        h.n_attrs(),
+                        h.size_bytes(),
+                        h.fingerprint(),
+                    );
+                }
+                let payload = listing.into_bytes();
+                let header = ReplyHeader::Models { tag, bytes: payload.len() };
+                self.send(Frame { header, payload })
+            }
+            Request::Ping { tag } => self.send(Frame::header(ReplyHeader::Pong { tag })),
+            Request::Quit { tag } => Flow::Quit { tag },
+        }
+    }
+
+    /// Buffered generation: submit with an `InMemory` sink, park a
+    /// waiter on the ticket, answer `OK GEN [tag=…] …` + payload when it
+    /// resolves — out of submission order whenever a later job finishes
+    /// first.
+    fn dispatch_gen(&mut self, spec: GenSpec) -> Flow {
+        let GenSpec { model, t_len, seed, fmt, priority, tag } = spec;
+        let token = CancelToken::new();
+        let slot = match self.conn.reserve(tag.as_ref(), &token, self.cfg.max_inflight_per_conn) {
+            Ok(slot) => slot,
+            Err(frame) => return self.send(*frame),
+        };
+        let req = GenRequest::new(model, t_len, seed, GenSink::InMemory)
+            .with_priority(priority)
+            .with_cancel(token);
+        match self.handle.submit(req) {
+            Err(e) => {
+                self.conn.release(&slot);
+                self.send(translated_frame(&e, tag))
+            }
+            Ok(ticket) => {
+                let conn = Arc::clone(&self.conn);
+                self.waiters.push(
+                    std::thread::Builder::new()
+                        .name("vrdag-serve-wait".to_string())
+                        .spawn(move || gen_waiter(&conn, slot, tag, fmt, ticket))
+                        .expect("spawn waiter thread"),
+                );
+                Flow::Continue
+            }
+        }
+    }
+
+    /// Streaming generation: acknowledge with `OK SUB tag=…`, submit
+    /// with a callback sink that pushes one `EVT` frame per snapshot
+    /// into the reply mux straight from the worker (cold and cache-hit
+    /// paths both go through it), and park a waiter that terminates the
+    /// stream with `END … status=ok|cancelled` (or `ERR … tag=…`).
+    fn dispatch_sub(&mut self, spec: GenSpec) -> Flow {
+        let GenSpec { model, t_len, seed, fmt, priority, tag } = spec;
+        // Server-assigned tags skip any `~<n>` a client chose to put in
+        // flight itself (the grammar permits `~`), so an untagged SUB is
+        // never spuriously rejected as a duplicate.
+        let tag = tag.unwrap_or_else(|| loop {
+            self.auto_tag += 1;
+            let candidate = format!("~{}", self.auto_tag);
+            if !self.conn.tag_in_flight(&candidate) {
+                break candidate;
+            }
+        });
+        let token = CancelToken::new();
+        let slot = match self.conn.reserve(Some(&tag), &token, self.cfg.max_inflight_per_conn) {
+            Ok(slot) => slot,
+            Err(frame) => return self.send(*frame),
+        };
+        // The ack must precede the first EVT frame, and EVT frames are
+        // pushed by a worker the moment the job starts — so ack before
+        // submitting. If admission then fails (including unknown model
+        // names — submit resolves the registry), the stream terminates
+        // with `ERR <code> tag=…` like any other failed subscription.
+        let ack = ReplyHeader::Sub { tag: tag.clone(), model: model.clone(), t_len, seed, fmt };
+        if let Flow::Dead = self.send(Frame::header(ack)) {
+            self.conn.release(&slot);
+            return Flow::Dead;
+        }
+        // EVT frames actually handed to the writer: the END frame
+        // reports this count (not the core's generated count), so the
+        // stream stays self-consistent even when cancellation races a
+        // snapshot that was generated but never framed.
+        let sent = Arc::new(AtomicUsize::new(0));
+        let sink = {
+            let conn = Arc::clone(&self.conn);
+            let tag = tag.clone();
+            let token = token.clone();
+            let sent = Arc::clone(&sent);
+            // Built lazily from the first snapshot's own shape, so the
+            // stream header can never disagree with the stream (a
+            // pre-submit registry lookup could race a concurrent
+            // re-register of the model under a different shape).
+            let mut chunker: Option<WireChunker> = None;
+            GenSink::Callback(Box::new(move |snap, s| {
+                let chunker = match &mut chunker {
+                    Some(chunker) => chunker,
+                    None => match WireChunker::new(fmt, s.n_nodes(), s.n_attrs(), t_len) {
+                        Ok(built) => chunker.insert(built),
+                        Err(_) => {
+                            token.cancel();
+                            return;
+                        }
+                    },
+                };
+                match chunker.encode(s) {
+                    Ok(payload) => {
+                        let header = ReplyHeader::Evt {
+                            tag: tag.clone(),
+                            snap,
+                            of: t_len,
+                            bytes: payload.len(),
+                        };
+                        // This send runs inside a core worker: it backs
+                        // off while the mux is full but aborts the
+                        // moment the token trips or the connection
+                        // dies, so a stalled subscriber can never pin
+                        // the worker past a CANCEL.
+                        if conn.send_cancellable(&token, Frame { header, payload }) {
+                            sent.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            token.cancel();
+                        }
+                    }
+                    // The chunker writes into memory; a failure here is
+                    // a shape bug, not transport — abandon the stream.
+                    Err(_) => token.cancel(),
+                }
+            }))
+        };
+        let req =
+            GenRequest::new(model, t_len, seed, sink).with_priority(priority).with_cancel(token);
+        match self.handle.submit(req) {
+            Err(e) => {
+                self.conn.release(&slot);
+                self.send(translated_frame(&e, Some(tag)))
+            }
+            Ok(ticket) => {
+                let conn = Arc::clone(&self.conn);
+                self.waiters.push(
+                    std::thread::Builder::new()
+                        .name("vrdag-serve-wait".to_string())
+                        .spawn(move || sub_waiter(&conn, slot, tag, sent, ticket))
+                        .expect("spawn waiter thread"),
+                );
+                Flow::Continue
+            }
+        }
+    }
+}
+
+/// Wait one buffered `GEN` out and push its completion frame.
+fn gen_waiter(conn: &ConnState, slot: Slot, tag: Option<String>, fmt: WireFormat, ticket: Ticket) {
+    let id = ticket.id();
+    let frame = match ticket.wait() {
+        Err(e) => translated_frame(&e, tag.clone()),
+        Ok(result) => {
+            if result.cancelled {
+                Frame::err(
+                    ErrorCode::Cancelled,
+                    tag.clone(),
+                    "job cancelled before its reply was produced",
+                )
+            } else if let Some(error) = &result.error {
+                Frame::err(ErrorCode::Internal, tag.clone(), error.clone())
+            } else {
+                let graph = result.graph.as_deref().expect("InMemory success carries the graph");
+                match encode_graph(graph, fmt) {
+                    Err(e) => Frame::err(ErrorCode::Internal, tag.clone(), e.to_string()),
+                    Ok(payload) => Frame {
+                        header: ReplyHeader::Gen {
+                            tag: tag.clone(),
+                            id: id.0,
+                            model: result.model.clone(),
+                            t_len: result.t_len,
+                            seed: result.seed,
+                            fmt,
+                            snapshots: result.snapshots,
+                            edges: result.edges,
+                            cache_hit: result.cache_hit,
+                            bytes: payload.len(),
+                        },
+                        payload,
+                    },
+                }
+            }
+        }
+    };
+    // Release before enqueueing the completion frame: a well-behaved
+    // client can only reuse the tag after *reading* the reply, and by
+    // then the release below has long happened — releasing afterwards
+    // would open a window where the flushed reply races the table
+    // update and a prompt reuse gets a spurious `ERR duplicate-tag`.
+    conn.release(&slot);
+    let _ = conn.send(frame);
+}
+
+/// Wait a `SUB` job out and terminate its stream. Runs strictly after
+/// the job's last `EVT` send (the worker pushes the ticket result only
+/// once the sink is done), so `END` can never overtake a snapshot frame.
+fn sub_waiter(conn: &ConnState, slot: Slot, tag: String, sent: Arc<AtomicUsize>, ticket: Ticket) {
+    let frame = match ticket.wait() {
+        Err(e) => translated_frame(&e, Some(tag.clone())),
+        Ok(result) => {
+            if let Some(error) = &result.error {
+                Frame::err(ErrorCode::Internal, Some(tag.clone()), error.clone())
+            } else {
+                let delivered = sent.load(Ordering::SeqCst);
+                // A stream is only `ok` when every frame was delivered;
+                // a cancellation (client CANCEL, or a send aborted by a
+                // dead/stalled connection) reports exactly the frames
+                // that made it to the writer.
+                let status = if result.cancelled || delivered < result.t_len {
+                    crate::protocol::EndStatus::Cancelled
+                } else {
+                    crate::protocol::EndStatus::Ok
+                };
+                Frame::header(ReplyHeader::End {
+                    tag: tag.clone(),
+                    snapshots: delivered,
+                    edges: result.edges,
+                    status,
+                })
+            }
+        }
+    };
+    // Release-before-send: same reasoning as in `gen_waiter`.
+    conn.release(&slot);
+    let _ = conn.send(frame);
+}
+
+/// One connection: a reader loop dispatching into the shared core, a
+/// writer thread muxing reply frames, and a waiter thread per in-flight
+/// job. Malformed lines get an `ERR` and the loop continues.
+fn serve_connection(handle: ServeHandle, stream: TcpStream, cfg: FrontendConfig) {
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
+    let (out, frames) = mpsc::sync_channel::<Frame>(FRAME_QUEUE);
+    let writer = std::thread::Builder::new()
+        .name("vrdag-serve-write".to_string())
+        .spawn(move || writer_loop(stream, frames))
+        .expect("spawn writer thread");
+    let conn = Arc::new(ConnState { out, inflight: Mutex::new(InflightTable::default()) });
+    let mut driver =
+        ConnDriver { handle, conn: Arc::clone(&conn), cfg, waiters: Vec::new(), auto_tag: 0 };
+    let mut quit: Option<Option<String>> = None;
     loop {
-        let outcome = (|| -> io::Result<bool> {
-            match read_capped_line(&mut reader)? {
-                ReadLine::Eof => Ok(false),
-                ReadLine::TooLong { len } => {
-                    write_err(
-                        &mut writer,
-                        ErrorCode::LineTooLong,
-                        ProtocolError::LineTooLong { len }.to_string(),
-                    )?;
-                    writer.flush()?;
-                    Ok(true)
-                }
-                ReadLine::Line(raw) => {
-                    let keep_going = match String::from_utf8(raw) {
-                        Err(_) => {
-                            write_err(
-                                &mut writer,
-                                ErrorCode::BadRequest,
-                                ProtocolError::NotUtf8.to_string(),
-                            )?;
-                            true
-                        }
-                        Ok(line) => match parse_request(&line) {
-                            // An empty line is a keep-alive no-op, not an error.
-                            Err(ProtocolError::Empty) => true,
-                            Err(e) => {
-                                write_err(&mut writer, e.code(), e.to_string())?;
-                                true
-                            }
-                            Ok(req) => handle_request(&handle, req, &mut writer)?,
-                        },
-                    };
-                    writer.flush()?;
-                    Ok(keep_going)
-                }
+        let flow = match read_capped_line(&mut reader) {
+            Err(_) | Ok(ReadLine::Eof) => break,
+            Ok(ReadLine::TooLong { len }) => driver.send(Frame::err(
+                ErrorCode::LineTooLong,
+                None,
+                ProtocolError::LineTooLong { len }.to_string(),
+            )),
+            Ok(ReadLine::Line(raw)) => match String::from_utf8(raw) {
+                Err(_) => driver.send(Frame::err(
+                    ErrorCode::BadRequest,
+                    None,
+                    ProtocolError::NotUtf8.to_string(),
+                )),
+                Ok(line) => match parse_request(&line) {
+                    // An empty line is a keep-alive no-op, not an error.
+                    Err(ProtocolError::Empty) => Flow::Continue,
+                    // Echo a recoverable tag even on parse failures, so
+                    // a pipelining client can terminate that tag's
+                    // stream instead of waiting forever on it.
+                    Err(e) => driver.send(Frame::err(e.code(), salvage_tag(&line), e.to_string())),
+                    Ok(req) => driver.dispatch(req),
+                },
+            },
+        };
+        match flow {
+            Flow::Continue => {}
+            Flow::Quit { tag } => {
+                quit = Some(tag);
+                break;
             }
-        })();
-        match outcome {
-            Ok(true) => {}
-            // Clean close (EOF / QUIT) or transport failure: either way
-            // this connection is done.
-            Ok(false) | Err(_) => break,
+            Flow::Dead => break,
         }
     }
-    // Send the FIN explicitly: the accept loop's tracked peer clone
-    // keeps the file descriptor alive until it is reaped, so merely
-    // dropping our reader/writer would leave the client waiting for an
-    // EOF that never comes. `shutdown` acts on the socket itself, across
-    // every clone.
-    if let Ok(stream) = writer.into_inner() {
-        let _ = stream.shutdown(Shutdown::Both);
+    // Teardown. On QUIT the in-flight jobs get a bounded window to
+    // drain so every tagged reply lands before `OK BYE` (cancel yours
+    // first if you are in a hurry); on EOF/transport failure the tokens
+    // are tripped immediately so no worker keeps generating for a peer
+    // that is gone. Either way the drain is bounded: a client that
+    // QUITs (or half-closes) and then stops *reading* would otherwise
+    // wedge the writer on the full TCP buffer — and with the reader
+    // gone, no CANCEL can ever arrive — so past the deadline the
+    // remaining tokens are tripped and the socket is severed, which
+    // unblocks the writer, the mux senders, and the waiters.
+    let deadline = if quit.is_some() { QUIT_DRAIN } else { TEARDOWN_DRAIN };
+    if quit.is_none() {
+        conn.cancel_all();
     }
+    let drained_by = std::time::Instant::now() + deadline;
+    while driver.waiters.iter().any(|w| !w.is_finished()) {
+        if std::time::Instant::now() >= drained_by {
+            conn.cancel_all();
+            let _ = reader.get_ref().shutdown(Shutdown::Both);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for waiter in driver.waiters.drain(..) {
+        let _ = waiter.join();
+    }
+    if let Some(tag) = quit {
+        let _ = conn.send(Frame::header(ReplyHeader::Bye { tag }));
+    }
+    // Dropping the last sender lets the writer drain the tail and send
+    // the FIN (the accept loop's tracked peer clone keeps the file
+    // descriptor alive until reaped, so the FIN must be explicit).
+    drop(driver);
+    drop(conn);
+    let _ = writer.join();
 }
 
 /// Live connections: the peer stream (for severing on shutdown) and the
@@ -275,10 +819,11 @@ fn serve_connection(handle: ServeHandle, stream: TcpStream) {
 type ConnTable = Vec<(TcpStream, std::thread::JoinHandle<()>)>;
 
 /// The TCP line-protocol frontend: accepts connections on its own
-/// thread, one handler thread per connection, all submitting into the
-/// shared service core. Dropping (or [`shutdown`](Frontend::shutdown))
-/// stops accepting, severs open connections, and joins every thread —
-/// the core itself stays up for other handles.
+/// thread (bounded by [`FrontendConfig::max_connections`]), a reader +
+/// writer thread pair per connection, all submitting into the shared
+/// service core. Dropping (or [`shutdown`](Frontend::shutdown)) stops
+/// accepting, severs open connections, and joins every thread — the
+/// core itself stays up for other handles.
 pub struct Frontend {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -287,9 +832,18 @@ pub struct Frontend {
 }
 
 impl Frontend {
-    /// Bind `addr` (use port 0 for an ephemeral port, see
-    /// [`local_addr`](Self::local_addr)) and start accepting.
+    /// Bind `addr` with the default [`FrontendConfig`]. Use port 0 for
+    /// an ephemeral port (see [`local_addr`](Self::local_addr)).
     pub fn bind(handle: ServeHandle, addr: impl ToSocketAddrs) -> io::Result<Frontend> {
+        Frontend::bind_with(handle, addr, FrontendConfig::default())
+    }
+
+    /// Bind `addr` with explicit limits and start accepting.
+    pub fn bind_with(
+        handle: ServeHandle,
+        addr: impl ToSocketAddrs,
+        cfg: FrontendConfig,
+    ) -> io::Result<Frontend> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         // The accept loop polls a non-blocking listener instead of
@@ -328,16 +882,33 @@ impl Frontend {
                         if stream.set_nonblocking(false).is_err() {
                             continue;
                         }
-                        let Ok(peer) = stream.try_clone() else { continue };
-                        let handle = handle.clone();
-                        let worker = std::thread::Builder::new()
-                            .name("vrdag-serve-conn".to_string())
-                            .spawn(move || serve_connection(handle, stream))
-                            .expect("spawn connection thread");
                         let mut table = conns.lock().expect("conn table poisoned");
                         // Reap finished connections so the table tracks
                         // live ones, not connection history.
                         table.retain(|(_, h)| !h.is_finished());
+                        if let Some(cap) = cfg.max_connections {
+                            if table.len() >= cap {
+                                // Structured greeting, then close: the
+                                // client knows it was the cap, not a
+                                // crash.
+                                drop(table);
+                                let mut stream = stream;
+                                let greeting = ReplyHeader::Err {
+                                    code: ErrorCode::TooManyConnections,
+                                    tag: None,
+                                    message: format!("cap={cap}"),
+                                };
+                                let _ = stream.write_all((greeting.to_line() + "\n").as_bytes());
+                                let _ = stream.shutdown(Shutdown::Both);
+                                continue;
+                            }
+                        }
+                        let Ok(peer) = stream.try_clone() else { continue };
+                        let handle = handle.clone();
+                        let worker = std::thread::Builder::new()
+                            .name("vrdag-serve-conn".to_string())
+                            .spawn(move || serve_connection(handle, stream, cfg))
+                            .expect("spawn connection thread");
                         table.push((peer, worker));
                     }
                 })
@@ -368,8 +939,7 @@ impl Frontend {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        let conns: Vec<_> =
-            std::mem::take(&mut *self.conns.lock().expect("conn table poisoned"));
+        let conns: Vec<_> = std::mem::take(&mut *self.conns.lock().expect("conn table poisoned"));
         for (peer, worker) in conns {
             let _ = peer.shutdown(Shutdown::Both);
             let _ = worker.join();
@@ -387,13 +957,18 @@ impl Drop for Frontend {
 /// session takes, with framing handled for you. Used by the loopback
 /// tests, the serving example, and handy for smoke-testing a live
 /// `vrdag-cli serve`.
+///
+/// [`request`](Self::request) keeps the old lock-step shape (send one,
+/// read one); pipelined callers use [`send`](Self::send) +
+/// [`read_frame`](Self::read_frame) and demux by tag (see
+/// [`TagDemux`](crate::protocol::TagDemux)).
 pub struct LineClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
-/// A complete reply: the parsed header line plus its payload bytes
-/// (empty for `PONG`/`BYE`/`ERR`).
+/// A complete reply frame: the parsed header line plus its payload
+/// bytes (empty for `PONG`/`BYE`/`END`/`ERR`).
 #[derive(Debug)]
 pub struct Reply {
     pub header: ReplyHeader,
@@ -407,21 +982,33 @@ impl LineClient {
         Ok(LineClient { reader: BufReader::new(stream), writer })
     }
 
-    /// Send one request and read its complete reply.
+    /// Send one request without waiting for anything — the pipelining
+    /// half: fire many tagged requests, then collect frames with
+    /// [`read_frame`](Self::read_frame).
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        self.write_line(&req.to_line())
+    }
+
+    /// Send one request and read exactly one frame (lock-step).
     pub fn request(&mut self, req: &Request) -> io::Result<Reply> {
         self.send_line(&req.to_line())
     }
 
-    /// Send a raw line (no newline) and read the reply — for exercising
+    /// Send a raw line (no newline) and read one frame — for exercising
     /// malformed input on purpose.
     pub fn send_line(&mut self, line: &str) -> io::Result<Reply> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        self.read_reply()
+        self.write_line(line)?;
+        self.read_frame()
     }
 
-    fn read_reply(&mut self) -> io::Result<Reply> {
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Read one complete frame (header + length-prefixed payload).
+    pub fn read_frame(&mut self) -> io::Result<Reply> {
         let header_line = match read_capped_line(&mut self.reader)? {
             ReadLine::Line(raw) => String::from_utf8(raw)
                 .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 reply"))?,
@@ -440,12 +1027,7 @@ impl LineClient {
         };
         let header = parse_reply(&header_line)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let expect = match &header {
-            ReplyHeader::Gen { bytes, .. }
-            | ReplyHeader::Stats { bytes }
-            | ReplyHeader::Models { bytes } => *bytes,
-            _ => 0,
-        };
+        let expect = header.payload_bytes();
         // Never pre-allocate the header-declared size: a malformed or
         // hostile `bytes=` value must surface as an I/O error, not an
         // allocation abort. `take` bounds the read and the buffer grows
@@ -461,7 +1043,7 @@ impl LineClient {
         Ok(Reply { header, payload })
     }
 
-    /// Convenience: issue a `GEN` and return the reply.
+    /// Convenience: issue a `GEN` and block for its single reply frame.
     pub fn gen(&mut self, spec: GenSpec) -> io::Result<Reply> {
         self.request(&Request::Gen(spec))
     }
@@ -510,5 +1092,68 @@ mod tests {
         let (code, message) = translate(&ServeError::QueueFull { depth: 7, cap: 8 });
         assert_eq!(code, ErrorCode::QueueFull);
         assert_eq!(message, "depth=7 cap=8");
+    }
+
+    #[test]
+    fn conn_state_enforces_inflight_cap_and_duplicate_tags() {
+        let (out, _rx) = mpsc::sync_channel(4);
+        let conn = ConnState { out, inflight: Mutex::new(InflightTable::default()) };
+        let token = CancelToken::new();
+        let a = "a".to_string();
+        let b = "b".to_string();
+        let slot_a = conn.reserve(Some(&a), &token, 2).unwrap();
+        // Duplicate tag while `a` is in flight.
+        match conn.reserve(Some(&a), &token, 2) {
+            Err(frame) => assert!(matches!(
+                frame.header,
+                ReplyHeader::Err { code: ErrorCode::DuplicateTag, .. }
+            )),
+            Ok(_) => panic!("duplicate tag accepted"),
+        }
+        let untagged_token = CancelToken::new();
+        let slot_u = conn.reserve(None, &untagged_token, 2).unwrap();
+        assert!(matches!(slot_u, Slot::Untagged(_)));
+        // At the cap (1 tagged + 1 untagged).
+        match conn.reserve(Some(&b), &token, 2) {
+            Err(frame) => assert!(matches!(
+                frame.header,
+                ReplyHeader::Err { code: ErrorCode::TooManyInflight, .. }
+            )),
+            Ok(_) => panic!("cap not enforced"),
+        }
+        // CANCEL finds only live tags; teardown trips untagged jobs too.
+        assert!(conn.cancel("a"));
+        assert!(!conn.cancel("b"));
+        assert!(!untagged_token.is_cancelled());
+        conn.cancel_all();
+        assert!(untagged_token.is_cancelled(), "cancel_all must reach untagged jobs");
+        // Release frees the slot and the tag.
+        conn.release(&slot_a);
+        conn.release(&slot_u);
+        conn.reserve(Some(&a), &token, 2).unwrap();
+    }
+
+    #[test]
+    fn send_cancellable_aborts_on_a_full_channel_when_cancelled() {
+        // Capacity-1 channel, pre-filled and never drained: a plain
+        // send would park forever. send_cancellable must return false
+        // once the token trips, freeing the (worker) thread.
+        let (out, rx) = mpsc::sync_channel(1);
+        let conn = ConnState { out, inflight: Mutex::new(InflightTable::default()) };
+        conn.send(Frame::header(ReplyHeader::Pong { tag: None }));
+        let token = CancelToken::new();
+        let cancel_from = token.clone();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            cancel_from.cancel();
+        });
+        let delivered =
+            conn.send_cancellable(&token, Frame::header(ReplyHeader::Pong { tag: None }));
+        assert!(!delivered, "send must abort once the token trips");
+        canceller.join().unwrap();
+        drop(rx);
+        // Disconnected channel: immediate false, no spin.
+        assert!(!conn
+            .send_cancellable(&CancelToken::new(), Frame::header(ReplyHeader::Pong { tag: None })));
     }
 }

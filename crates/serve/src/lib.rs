@@ -34,11 +34,18 @@
 //!   dropped-job counters on demand.
 //! * [`Scheduler`] — a thin batch facade over the core for
 //!   submit-everything-then-drain workloads ([`BatchReport`]).
-//! * [`protocol`] + [`Frontend`] — a newline-delimited TCP line
-//!   protocol (`GEN model=<name> t=<T> seed=<S> fmt=tsv|bin
-//!   [priority=P]`) and the `std::net` listener that serves it,
-//!   translating admission control into structured backpressure
-//!   (`ERR queue-full …`) instead of dropped connections.
+//! * [`protocol`] + [`Frontend`] — a pipelined, tagged, newline-delimited
+//!   TCP line protocol (`GEN model=<name> t=<T> seed=<S> fmt=tsv|bin
+//!   [priority=P] [tag=<tag>]`) and the `std::net` listener that serves
+//!   it. Tagged requests are answered by tag, not arrival order — one
+//!   connection keeps many jobs in flight (bounded by
+//!   [`FrontendConfig::max_inflight_per_conn`]) and a slow job never
+//!   head-of-line-blocks a fast one. `SUB` streams each snapshot as its
+//!   own `EVT` frame as generation proceeds (cache hits replay the same
+//!   frames), `CANCEL tag=…` abandons a stream mid-flight via a
+//!   [`CancelToken`], and admission control stays structured
+//!   backpressure (`ERR queue-full …`, `ERR too-many-inflight …`,
+//!   `ERR too-many-connections`) instead of dropped connections.
 //!
 //! ```no_run
 //! use vrdag_serve::{CacheBudget, GenRequest, GenSink, ModelRegistry, ServeConfig, ServeHandle};
@@ -80,10 +87,10 @@ mod stream;
 
 pub use cache::{CacheBudget, CacheKey, CacheStats, SnapshotCache};
 pub use core::{
-    AffinityStats, GenRequest, GenSink, JobId, JobResult, LatencyStats, SchedulerConfig,
-    ServeConfig, ServeHandle, ServeStats, SnapshotCallback, Ticket,
+    AffinityStats, CancelToken, GenRequest, GenSink, JobId, JobResult, LatencyStats,
+    SchedulerConfig, ServeConfig, ServeHandle, ServeStats, SnapshotCallback, Ticket,
 };
-pub use frontend::{Frontend, LineClient, Reply};
+pub use frontend::{Frontend, FrontendConfig, LineClient, Reply};
 pub use queue::JobQueue;
 pub use registry::{ModelHandle, ModelRegistry};
 pub use scheduler::{BatchReport, Scheduler};

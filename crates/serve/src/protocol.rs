@@ -6,39 +6,69 @@
 //! `key=value` fields:
 //!
 //! ```text
-//! GEN model=<name> t=<T> seed=<S> fmt=tsv|bin [priority=<P>]
-//! STATS
-//! MODELS
-//! PING
-//! QUIT
+//! GEN model=<name> t=<T> seed=<S> fmt=tsv|bin [priority=<P>] [tag=<tag>]
+//! SUB model=<name> t=<T> seed=<S> fmt=tsv|bin [priority=<P>] [tag=<tag>]
+//! CANCEL tag=<tag>
+//! STATS  [tag=<tag>]
+//! MODELS [tag=<tag>]
+//! PING   [tag=<tag>]
+//! QUIT   [tag=<tag>]
 //! ```
+//!
+//! **Tags and pipelining** — every command accepts an optional
+//! client-chosen `tag` (1–64 chars of `[A-Za-z0-9._:~-]`; by convention
+//! `~`-prefixed tags are server-assigned). Replies echo the tag, and a
+//! connection may keep many tagged requests in flight at once: replies
+//! are matched by tag, **not** by submission order — a slow job no
+//! longer head-of-line-blocks a fast one. Untagged requests are still
+//! answered (untagged), but only tags make concurrent replies
+//! unambiguous.
 //!
 //! Replies are a single header line, optionally followed by exactly
-//! `bytes=<N>` bytes of payload (the generated sequence for `GEN`, a
-//! text listing for `STATS`/`MODELS`):
+//! `bytes=<N>` bytes of payload:
 //!
 //! ```text
-//! OK GEN id=<id> model=<name> t=<T> seed=<S> fmt=<F> snapshots=<n> edges=<m> cache=hit|miss bytes=<N>
-//! OK STATS bytes=<N>
-//! OK MODELS bytes=<N>
-//! OK PONG
-//! OK BYE
-//! ERR <code> [message…]
+//! OK GEN [tag=<tag>] id=<id> model=<name> t=<T> seed=<S> fmt=<F> snapshots=<n> edges=<m> cache=hit|miss bytes=<N>
+//! OK SUB tag=<tag> model=<name> t=<T> seed=<S> fmt=<F>
+//! EVT tag=<tag> snap=<i>/<n> bytes=<N>
+//! END tag=<tag> snapshots=<k> edges=<m> status=ok|cancelled
+//! OK CANCEL tag=<tag> found=true|false
+//! OK STATS [tag=<tag>] bytes=<N>
+//! OK MODELS [tag=<tag>] bytes=<N>
+//! OK PONG [tag=<tag>]
+//! OK BYE [tag=<tag>]
+//! ERR <code> [tag=<tag>] [message…]
 //! ```
 //!
+//! **Streaming** — `SUB` is the streaming twin of `GEN`: the server
+//! acknowledges with `OK SUB tag=…`, then delivers each snapshot as its
+//! own length-prefixed `EVT tag=… snap=<i>/<n>` frame *as generation
+//! proceeds* (cache hits replay the same frames), terminated by
+//! `END tag=… status=ok`. The concatenation of a stream's `EVT`
+//! payloads is byte-identical to the corresponding buffered `GEN`
+//! payload. `CANCEL tag=…` abandons a subscription mid-stream: the
+//! server stops generating and terminates the stream with
+//! `END … status=cancelled` (a failed stream terminates with
+//! `ERR <code> tag=…` instead). [`TagDemux`] reassembles interleaved
+//! per-tag frames on the client side.
+//!
 //! Errors never close the connection (except transport failures): a
-//! saturated queue answers `ERR queue-full depth=<d> cap=<c>` as a
-//! structured backpressure signal, a malformed line answers
-//! `ERR bad-request …`, and the client may keep pipelining. Wire `GEN`
-//! requests are size-capped at `t <= `[`MAX_WIRE_T`] because a reply
-//! buffers the full sequence; longer sequences belong on the in-process
-//! streaming API.
+//! saturated queue answers `ERR queue-full depth=<d> cap=<c>`, too many
+//! in-flight tagged jobs answer `ERR too-many-inflight …`, a malformed
+//! line answers `ERR bad-request …`, and the client may keep
+//! pipelining. Wire `GEN` requests are size-capped at
+//! `t <= `[`MAX_WIRE_T`] because a reply buffers the full sequence;
+//! longer sequences belong on `SUB` (bounded by one snapshot per frame)
+//! or the in-process streaming API.
 //!
 //! This module is pure parsing/serialization — no sockets — so it can be
 //! property-tested exhaustively (see `tests/protocol.rs`): arbitrary
-//! byte noise must never panic the parser, and every parsed value
-//! re-serializes to a line that parses back to the same value.
+//! byte noise must never panic the parsers, every parsed value
+//! re-serializes to a line that parses back to the same value, and
+//! random interleavings of tagged frames demux to the correct per-tag
+//! payloads.
 
+use std::collections::HashMap;
 use std::fmt;
 
 /// Upper bound on a request or reply-header line, newline excluded.
@@ -50,12 +80,24 @@ pub const MAX_LINE_BYTES: usize = 4096;
 /// full sequence (header carries `bytes=<N>`), so an uncapped `t` would
 /// let a single request pin a worker and exhaust server memory — the
 /// admission cap bounds queue *depth*, this bounds per-job *size*.
-/// Callers needing longer sequences use the in-process API
-/// (`ServeHandle` with a streaming sink), which keeps memory bounded by
-/// one snapshot.
+/// Callers needing longer sequences use `SUB` (delivered one snapshot
+/// per frame, memory bounded by one snapshot) or the in-process API.
 pub const MAX_WIRE_T: usize = 100_000;
 
-/// Payload encoding of a `GEN` reply.
+/// Upper bound on a request tag, in bytes.
+pub const MAX_TAG_BYTES: usize = 64;
+
+/// Is `s` a well-formed tag? 1–64 chars of `[A-Za-z0-9._:~-]`. The `~`
+/// prefix is conventionally reserved for server-assigned tags (untagged
+/// `SUB`s get one), but nothing enforces that — the per-connection
+/// duplicate-tag check is what protects callers from collisions.
+pub fn valid_tag(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= MAX_TAG_BYTES
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | ':' | '~' | '-'))
+}
+
+/// Payload encoding of a `GEN` reply or `SUB` stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum WireFormat {
     /// The TSV temporal format of `vrdag_graph::io` (text).
@@ -87,7 +129,40 @@ impl fmt::Display for WireFormat {
     }
 }
 
-/// A parsed `GEN` request: the wire-level twin of
+/// How a `SUB` stream ended (the `status=` field of an `END` frame).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EndStatus {
+    /// All `t` snapshots were delivered.
+    Ok,
+    /// The stream was abandoned by `CANCEL` (or the server stopped
+    /// delivering because the connection could no longer accept frames).
+    Cancelled,
+}
+
+impl EndStatus {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EndStatus::Ok => "ok",
+            EndStatus::Cancelled => "cancelled",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<EndStatus> {
+        match s {
+            "ok" => Some(EndStatus::Ok),
+            "cancelled" => Some(EndStatus::Cancelled),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EndStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A parsed `GEN` or `SUB` request: the wire-level twin of
 /// [`GenRequest`](crate::GenRequest) (the sink is always the reply
 /// stream, so it carries a [`WireFormat`] instead).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -103,38 +178,86 @@ pub struct GenSpec {
     pub fmt: WireFormat,
     /// Scheduling priority (optional on the wire, default 0).
     pub priority: i32,
+    /// Client-chosen reply tag (optional). Tagged requests may be
+    /// pipelined: the reply is matched by tag, not arrival order.
+    pub tag: Option<String>,
+}
+
+impl GenSpec {
+    /// An untagged, default-priority spec.
+    pub fn new(model: impl Into<String>, t_len: usize, seed: u64, fmt: WireFormat) -> GenSpec {
+        GenSpec { model: model.into(), t_len, seed, fmt, priority: 0, tag: None }
+    }
+
+    /// Attach a reply tag.
+    pub fn with_tag(mut self, tag: impl Into<String>) -> GenSpec {
+        self.tag = Some(tag.into());
+        self
+    }
 }
 
 /// One request line, parsed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
+    /// Generate and reply with the full buffered sequence.
     Gen(GenSpec),
-    Stats,
-    Models,
-    Ping,
-    Quit,
+    /// Generate and stream each snapshot as its own `EVT` frame.
+    Sub(GenSpec),
+    /// Abandon the in-flight job registered under `tag` on this
+    /// connection.
+    Cancel {
+        tag: String,
+    },
+    Stats {
+        tag: Option<String>,
+    },
+    Models {
+        tag: Option<String>,
+    },
+    Ping {
+        tag: Option<String>,
+    },
+    Quit {
+        tag: Option<String>,
+    },
+}
+
+fn push_tag(line: &mut String, tag: &Option<String>) {
+    if let Some(tag) = tag {
+        line.push_str(" tag=");
+        line.push_str(tag);
+    }
 }
 
 impl Request {
     /// Canonical single-line serialization (no trailing newline).
-    /// `parse_request(req.to_line()) == Ok(req)` for every value, and a
-    /// parsed request re-serializes to a stable canonical line.
+    /// `parse_request(req.to_line()) == Ok(req)` for every valid value,
+    /// and a parsed request re-serializes to a stable canonical line.
     pub fn to_line(&self) -> String {
-        match self {
-            Request::Gen(spec) => {
-                let mut line = format!(
-                    "GEN model={} t={} seed={} fmt={}",
-                    spec.model, spec.t_len, spec.seed, spec.fmt
-                );
-                if spec.priority != 0 {
-                    line.push_str(&format!(" priority={}", spec.priority));
-                }
-                line
+        let gen_line = |word: &str, spec: &GenSpec| {
+            let mut line = format!(
+                "{word} model={} t={} seed={} fmt={}",
+                spec.model, spec.t_len, spec.seed, spec.fmt
+            );
+            if spec.priority != 0 {
+                line.push_str(&format!(" priority={}", spec.priority));
             }
-            Request::Stats => "STATS".to_string(),
-            Request::Models => "MODELS".to_string(),
-            Request::Ping => "PING".to_string(),
-            Request::Quit => "QUIT".to_string(),
+            push_tag(&mut line, &spec.tag);
+            line
+        };
+        let bare = |word: &str, tag: &Option<String>| {
+            let mut line = word.to_string();
+            push_tag(&mut line, tag);
+            line
+        };
+        match self {
+            Request::Gen(spec) => gen_line("GEN", spec),
+            Request::Sub(spec) => gen_line("SUB", spec),
+            Request::Cancel { tag } => format!("CANCEL tag={tag}"),
+            Request::Stats { tag } => bare("STATS", tag),
+            Request::Models { tag } => bare("MODELS", tag),
+            Request::Ping { tag } => bare("PING", tag),
+            Request::Quit { tag } => bare("QUIT", tag),
         }
     }
 }
@@ -145,6 +268,18 @@ pub enum ErrorCode {
     /// Admission control rejected the job; retry later (backpressure,
     /// not failure). Carries `depth=<d> cap=<c>` in the message.
     QueueFull,
+    /// This connection already has `max_inflight_per_conn` tagged jobs
+    /// in flight. Carries `inflight=<n> cap=<c>` in the message.
+    TooManyInflight,
+    /// The server is at its connection cap; sent as a greeting, after
+    /// which the connection is closed. Carries `cap=<c>` in the message.
+    TooManyConnections,
+    /// The request's tag is already in flight on this connection.
+    DuplicateTag,
+    /// The tagged job was abandoned by `CANCEL` before its buffered
+    /// reply could be produced (streaming `SUB`s end with
+    /// `END … status=cancelled` instead).
+    Cancelled,
     /// The requested model name is not registered.
     UnknownModel,
     /// The request parsed but was semantically rejected (e.g. `t=0`).
@@ -163,6 +298,10 @@ impl ErrorCode {
     pub fn as_str(self) -> &'static str {
         match self {
             ErrorCode::QueueFull => "queue-full",
+            ErrorCode::TooManyInflight => "too-many-inflight",
+            ErrorCode::TooManyConnections => "too-many-connections",
+            ErrorCode::DuplicateTag => "duplicate-tag",
+            ErrorCode::Cancelled => "cancelled",
             ErrorCode::UnknownModel => "unknown-model",
             ErrorCode::InvalidRequest => "invalid-request",
             ErrorCode::BadRequest => "bad-request",
@@ -175,6 +314,10 @@ impl ErrorCode {
     pub fn parse(s: &str) -> Option<ErrorCode> {
         Some(match s {
             "queue-full" => ErrorCode::QueueFull,
+            "too-many-inflight" => ErrorCode::TooManyInflight,
+            "too-many-connections" => ErrorCode::TooManyConnections,
+            "duplicate-tag" => ErrorCode::DuplicateTag,
+            "cancelled" => ErrorCode::Cancelled,
             "unknown-model" => ErrorCode::UnknownModel,
             "invalid-request" => ErrorCode::InvalidRequest,
             "bad-request" => ErrorCode::BadRequest,
@@ -297,6 +440,26 @@ impl<'a> Fields<'a> {
     fn require(&self, key: &'static str) -> Result<&'a str, ProtocolError> {
         self.get(key).ok_or(ProtocolError::MissingField(key))
     }
+
+    /// The optional `tag` field, validated.
+    fn tag(&self) -> Result<Option<String>, ProtocolError> {
+        match self.get("tag") {
+            None => Ok(None),
+            Some(raw) => validated_tag(raw).map(Some),
+        }
+    }
+}
+
+fn validated_tag(raw: &str) -> Result<String, ProtocolError> {
+    if valid_tag(raw) {
+        Ok(raw.to_string())
+    } else {
+        Err(ProtocolError::InvalidValue {
+            field: "tag",
+            value: raw.to_string(),
+            expected: "1-64 chars of [A-Za-z0-9._:~-]",
+        })
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(
@@ -311,12 +474,50 @@ fn parse_num<T: std::str::FromStr>(
     })
 }
 
-/// Require that a command came with no arguments at all.
-fn no_tokens(tokens: &[&str]) -> Result<(), ProtocolError> {
-    match tokens.first() {
-        None => Ok(()),
-        Some(extra) => Err(ProtocolError::UnexpectedToken(extra.to_string())),
+fn parse_gen_spec(tokens: &[&str], cap_t: bool) -> Result<GenSpec, ProtocolError> {
+    let fields = Fields::parse(&["model", "t", "seed", "fmt", "priority", "tag"], tokens)?;
+    let model = fields.require("model")?;
+    if model.is_empty() {
+        return Err(ProtocolError::InvalidValue {
+            field: "model",
+            value: String::new(),
+            expected: "a non-empty registered model name",
+        });
     }
+    let raw_t = fields.require("t")?;
+    let t_len: usize = parse_num("t", raw_t, "a positive integer")?;
+    if t_len == 0 {
+        return Err(ProtocolError::InvalidValue {
+            field: "t",
+            value: "0".to_string(),
+            expected: "at least 1 snapshot",
+        });
+    }
+    if cap_t && t_len > MAX_WIRE_T {
+        return Err(ProtocolError::InvalidValue {
+            field: "t",
+            value: raw_t.to_string(),
+            expected: "at most MAX_WIRE_T (100000) snapshots per wire request",
+        });
+    }
+    let seed: u64 = parse_num("seed", fields.require("seed")?, "an unsigned integer")?;
+    let fmt_raw = fields.require("fmt")?;
+    let fmt = WireFormat::parse(fmt_raw).ok_or(ProtocolError::InvalidValue {
+        field: "fmt",
+        value: fmt_raw.to_string(),
+        expected: "tsv or bin",
+    })?;
+    let priority: i32 = match fields.get("priority") {
+        Some(raw) => parse_num("priority", raw, "a signed integer")?,
+        None => 0,
+    };
+    let tag = fields.tag()?;
+    Ok(GenSpec { model: model.to_string(), t_len, seed, fmt, priority, tag })
+}
+
+/// Parse a bare command that accepts only an optional `tag=`.
+fn parse_bare(tokens: &[&str]) -> Result<Option<String>, ProtocolError> {
+    Fields::parse(&["tag"], tokens)?.tag()
 }
 
 /// Parse one request line (without its newline; a trailing `\r` is
@@ -325,58 +526,32 @@ fn no_tokens(tokens: &[&str]) -> Result<(), ProtocolError> {
 pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     let (command, tokens) = tokenize(line.trim_end_matches(['\r', '\n']))?;
     match command.as_str() {
-        "GEN" => {
-            let fields = Fields::parse(&["model", "t", "seed", "fmt", "priority"], &tokens)?;
-            let model = fields.require("model")?;
-            if model.is_empty() {
-                return Err(ProtocolError::InvalidValue {
-                    field: "model",
-                    value: String::new(),
-                    expected: "a non-empty registered model name",
-                });
-            }
-            let raw_t = fields.require("t")?;
-            let t_len: usize = parse_num("t", raw_t, "a positive integer")?;
-            if t_len == 0 {
-                return Err(ProtocolError::InvalidValue {
-                    field: "t",
-                    value: "0".to_string(),
-                    expected: "at least 1 snapshot",
-                });
-            }
-            if t_len > MAX_WIRE_T {
-                return Err(ProtocolError::InvalidValue {
-                    field: "t",
-                    value: raw_t.to_string(),
-                    expected: "at most MAX_WIRE_T (100000) snapshots per wire request",
-                });
-            }
-            let seed: u64 = parse_num("seed", fields.require("seed")?, "an unsigned integer")?;
-            let fmt_raw = fields.require("fmt")?;
-            let fmt = WireFormat::parse(fmt_raw).ok_or(ProtocolError::InvalidValue {
-                field: "fmt",
-                value: fmt_raw.to_string(),
-                expected: "tsv or bin",
-            })?;
-            let priority: i32 = match fields.get("priority") {
-                Some(raw) => parse_num("priority", raw, "a signed integer")?,
-                None => 0,
-            };
-            Ok(Request::Gen(GenSpec { model: model.to_string(), t_len, seed, fmt, priority }))
+        // Only GEN buffers the full sequence in a reply, so only GEN
+        // carries the MAX_WIRE_T size cap; SUB is bounded by one
+        // snapshot per frame and may request sequences of any length.
+        "GEN" => Ok(Request::Gen(parse_gen_spec(&tokens, true)?)),
+        "SUB" => Ok(Request::Sub(parse_gen_spec(&tokens, false)?)),
+        "CANCEL" => {
+            let fields = Fields::parse(&["tag"], &tokens)?;
+            let tag = validated_tag(fields.require("tag")?)?;
+            Ok(Request::Cancel { tag })
         }
-        "STATS" => no_tokens(&tokens).map(|()| Request::Stats),
-        "MODELS" => no_tokens(&tokens).map(|()| Request::Models),
-        "PING" => no_tokens(&tokens).map(|()| Request::Ping),
-        "QUIT" => no_tokens(&tokens).map(|()| Request::Quit),
+        "STATS" => Ok(Request::Stats { tag: parse_bare(&tokens)? }),
+        "MODELS" => Ok(Request::Models { tag: parse_bare(&tokens)? }),
+        "PING" => Ok(Request::Ping { tag: parse_bare(&tokens)? }),
+        "QUIT" => Ok(Request::Quit { tag: parse_bare(&tokens)? }),
         other => Err(ProtocolError::UnknownCommand(other.to_string())),
     }
 }
 
-/// One reply header line, parsed. `Gen`/`Stats`/`Models` headers are
-/// followed on the wire by exactly `bytes` bytes of payload.
+/// One reply header line, parsed. `Gen`/`Sub`-ack/`Stats`/`Models`
+/// headers carrying `bytes=` are followed on the wire by exactly that
+/// many payload bytes; so is every `Evt` frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ReplyHeader {
+    /// Buffered reply to `GEN`: header, then the full sequence.
     Gen {
+        tag: Option<String>,
         id: u64,
         model: String,
         t_len: usize,
@@ -387,43 +562,184 @@ pub enum ReplyHeader {
         cache_hit: bool,
         bytes: usize,
     },
-    Stats { bytes: usize },
-    Models { bytes: usize },
-    Pong,
-    Bye,
-    Err { code: ErrorCode, message: String },
+    /// Acknowledgement of a `SUB`; `EVT` frames for `tag` follow.
+    /// (Sent before the job is admitted, so it carries no job id — a
+    /// rejected admission follows up with `ERR <code> tag=…`.)
+    Sub {
+        tag: String,
+        model: String,
+        t_len: usize,
+        seed: u64,
+        fmt: WireFormat,
+    },
+    /// One streamed snapshot (`snap` of `of`), followed by `bytes` of
+    /// payload. Concatenating a stream's `EVT` payloads in `snap` order
+    /// reproduces the buffered `GEN` payload byte-for-byte.
+    Evt {
+        tag: String,
+        snap: usize,
+        of: usize,
+        bytes: usize,
+    },
+    /// Stream terminator: `snapshots` frames were delivered (fewer than
+    /// requested when `status=cancelled`).
+    End {
+        tag: String,
+        snapshots: usize,
+        edges: usize,
+        status: EndStatus,
+    },
+    /// Reply to `CANCEL`: was `tag` in flight on this connection?
+    Cancel {
+        tag: String,
+        found: bool,
+    },
+    Stats {
+        tag: Option<String>,
+        bytes: usize,
+    },
+    Models {
+        tag: Option<String>,
+        bytes: usize,
+    },
+    Pong {
+        tag: Option<String>,
+    },
+    Bye {
+        tag: Option<String>,
+    },
+    Err {
+        code: ErrorCode,
+        tag: Option<String>,
+        message: String,
+    },
 }
 
 impl ReplyHeader {
+    /// Payload bytes that follow this header on the wire.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            ReplyHeader::Gen { bytes, .. }
+            | ReplyHeader::Evt { bytes, .. }
+            | ReplyHeader::Stats { bytes, .. }
+            | ReplyHeader::Models { bytes, .. } => *bytes,
+            _ => 0,
+        }
+    }
+
+    /// The reply tag, if any.
+    pub fn tag(&self) -> Option<&str> {
+        match self {
+            ReplyHeader::Gen { tag, .. }
+            | ReplyHeader::Stats { tag, .. }
+            | ReplyHeader::Models { tag, .. }
+            | ReplyHeader::Pong { tag }
+            | ReplyHeader::Bye { tag }
+            | ReplyHeader::Err { tag, .. } => tag.as_deref(),
+            ReplyHeader::Sub { tag, .. }
+            | ReplyHeader::Evt { tag, .. }
+            | ReplyHeader::End { tag, .. }
+            | ReplyHeader::Cancel { tag, .. } => Some(tag),
+        }
+    }
+
     /// Canonical single-line serialization (no trailing newline).
     /// Control characters in `Err` messages are flattened to spaces so a
     /// header can never smuggle extra protocol lines.
     pub fn to_line(&self) -> String {
         match self {
-            ReplyHeader::Gen { id, model, t_len, seed, fmt, snapshots, edges, cache_hit, bytes } => {
-                format!(
-                    "OK GEN id={id} model={model} t={t_len} seed={seed} fmt={fmt} snapshots={snapshots} edges={edges} cache={} bytes={bytes}",
+            ReplyHeader::Gen {
+                tag,
+                id,
+                model,
+                t_len,
+                seed,
+                fmt,
+                snapshots,
+                edges,
+                cache_hit,
+                bytes,
+            } => {
+                let mut line = "OK GEN".to_string();
+                push_tag(&mut line, tag);
+                line.push_str(&format!(
+                    " id={id} model={model} t={t_len} seed={seed} fmt={fmt} snapshots={snapshots} edges={edges} cache={} bytes={bytes}",
                     if *cache_hit { "hit" } else { "miss" },
-                )
+                ));
+                line
             }
-            ReplyHeader::Stats { bytes } => format!("OK STATS bytes={bytes}"),
-            ReplyHeader::Models { bytes } => format!("OK MODELS bytes={bytes}"),
-            ReplyHeader::Pong => "OK PONG".to_string(),
-            ReplyHeader::Bye => "OK BYE".to_string(),
-            ReplyHeader::Err { code, message } => {
-                let sanitized: String = message
-                    .trim()
-                    .chars()
-                    .map(|c| if c.is_control() { ' ' } else { c })
-                    .collect();
-                if sanitized.is_empty() {
-                    format!("ERR {code}")
-                } else {
-                    format!("ERR {code} {sanitized}")
+            ReplyHeader::Sub { tag, model, t_len, seed, fmt } => {
+                format!("OK SUB tag={tag} model={model} t={t_len} seed={seed} fmt={fmt}")
+            }
+            ReplyHeader::Evt { tag, snap, of, bytes } => {
+                format!("EVT tag={tag} snap={snap}/{of} bytes={bytes}")
+            }
+            ReplyHeader::End { tag, snapshots, edges, status } => {
+                format!("END tag={tag} snapshots={snapshots} edges={edges} status={status}")
+            }
+            ReplyHeader::Cancel { tag, found } => {
+                format!("OK CANCEL tag={tag} found={found}")
+            }
+            ReplyHeader::Stats { tag, bytes } => {
+                let mut line = "OK STATS".to_string();
+                push_tag(&mut line, tag);
+                line.push_str(&format!(" bytes={bytes}"));
+                line
+            }
+            ReplyHeader::Models { tag, bytes } => {
+                let mut line = "OK MODELS".to_string();
+                push_tag(&mut line, tag);
+                line.push_str(&format!(" bytes={bytes}"));
+                line
+            }
+            ReplyHeader::Pong { tag } => {
+                let mut line = "OK PONG".to_string();
+                push_tag(&mut line, tag);
+                line
+            }
+            ReplyHeader::Bye { tag } => {
+                let mut line = "OK BYE".to_string();
+                push_tag(&mut line, tag);
+                line
+            }
+            ReplyHeader::Err { code, tag, message } => {
+                let mut line = format!("ERR {code}");
+                push_tag(&mut line, tag);
+                let sanitized: String =
+                    message.trim().chars().map(|c| if c.is_control() { ' ' } else { c }).collect();
+                if !sanitized.is_empty() {
+                    line.push(' ');
+                    line.push_str(&sanitized);
                 }
+                line
             }
         }
     }
+}
+
+/// Parse a `snap=<i>/<n>` field value.
+fn parse_snap(raw: &str) -> Result<(usize, usize), ProtocolError> {
+    let invalid = || ProtocolError::InvalidValue {
+        field: "snap",
+        value: raw.to_string(),
+        expected: "<index>/<total> with index < total",
+    };
+    let (i, n) = raw.split_once('/').ok_or_else(invalid)?;
+    let snap: usize = i.parse().map_err(|_| invalid())?;
+    let of: usize = n.parse().map_err(|_| invalid())?;
+    if snap >= of {
+        return Err(invalid());
+    }
+    Ok((snap, of))
+}
+
+fn parse_fmt_field(fields: &Fields<'_>) -> Result<WireFormat, ProtocolError> {
+    let fmt_raw = fields.require("fmt")?;
+    WireFormat::parse(fmt_raw).ok_or(ProtocolError::InvalidValue {
+        field: "fmt",
+        value: fmt_raw.to_string(),
+        expected: "tsv or bin",
+    })
 }
 
 /// Parse one reply header line. Never panics; every input yields `Ok` or
@@ -439,15 +755,21 @@ pub fn parse_reply(line: &str) -> Result<ReplyHeader, ProtocolError> {
             match kind.to_ascii_uppercase().as_str() {
                 "GEN" => {
                     let fields = Fields::parse(
-                        &["id", "model", "t", "seed", "fmt", "snapshots", "edges", "cache", "bytes"],
+                        &[
+                            "tag",
+                            "id",
+                            "model",
+                            "t",
+                            "seed",
+                            "fmt",
+                            "snapshots",
+                            "edges",
+                            "cache",
+                            "bytes",
+                        ],
                         rest,
                     )?;
-                    let fmt_raw = fields.require("fmt")?;
-                    let fmt = WireFormat::parse(fmt_raw).ok_or(ProtocolError::InvalidValue {
-                        field: "fmt",
-                        value: fmt_raw.to_string(),
-                        expected: "tsv or bin",
-                    })?;
+                    let fmt = parse_fmt_field(&fields)?;
                     let cache_raw = fields.require("cache")?;
                     let cache_hit = match cache_raw {
                         "hit" => true,
@@ -461,6 +783,7 @@ pub fn parse_reply(line: &str) -> Result<ReplyHeader, ProtocolError> {
                         }
                     };
                     Ok(ReplyHeader::Gen {
+                        tag: fields.tag()?,
                         id: parse_num("id", fields.require("id")?, "an unsigned integer")?,
                         model: fields.require("model")?.to_string(),
                         t_len: parse_num("t", fields.require("t")?, "an unsigned integer")?,
@@ -476,25 +799,81 @@ pub fn parse_reply(line: &str) -> Result<ReplyHeader, ProtocolError> {
                         bytes: parse_num("bytes", fields.require("bytes")?, "an unsigned integer")?,
                     })
                 }
+                "SUB" => {
+                    let fields = Fields::parse(&["tag", "model", "t", "seed", "fmt"], rest)?;
+                    Ok(ReplyHeader::Sub {
+                        tag: validated_tag(fields.require("tag")?)?,
+                        model: fields.require("model")?.to_string(),
+                        t_len: parse_num("t", fields.require("t")?, "an unsigned integer")?,
+                        seed: parse_num("seed", fields.require("seed")?, "an unsigned integer")?,
+                        fmt: parse_fmt_field(&fields)?,
+                    })
+                }
+                "CANCEL" => {
+                    let fields = Fields::parse(&["tag", "found"], rest)?;
+                    let found = match fields.require("found")? {
+                        "true" => true,
+                        "false" => false,
+                        other => {
+                            return Err(ProtocolError::InvalidValue {
+                                field: "found",
+                                value: other.to_string(),
+                                expected: "true or false",
+                            })
+                        }
+                    };
+                    Ok(ReplyHeader::Cancel { tag: validated_tag(fields.require("tag")?)?, found })
+                }
                 "STATS" => {
-                    let fields = Fields::parse(&["bytes"], rest)?;
+                    let fields = Fields::parse(&["tag", "bytes"], rest)?;
                     Ok(ReplyHeader::Stats {
+                        tag: fields.tag()?,
                         bytes: parse_num("bytes", fields.require("bytes")?, "an unsigned integer")?,
                     })
                 }
                 "MODELS" => {
-                    let fields = Fields::parse(&["bytes"], rest)?;
+                    let fields = Fields::parse(&["tag", "bytes"], rest)?;
                     Ok(ReplyHeader::Models {
+                        tag: fields.tag()?,
                         bytes: parse_num("bytes", fields.require("bytes")?, "an unsigned integer")?,
                     })
                 }
-                "PONG" => no_tokens(rest).map(|()| ReplyHeader::Pong),
-                "BYE" => no_tokens(rest).map(|()| ReplyHeader::Bye),
+                "PONG" => Ok(ReplyHeader::Pong { tag: parse_bare(rest)? }),
+                "BYE" => Ok(ReplyHeader::Bye { tag: parse_bare(rest)? }),
                 other => Err(ProtocolError::UnknownCommand(format!("OK {other}"))),
             }
         }
+        "EVT" => {
+            let fields = Fields::parse(&["tag", "snap", "bytes"], &tokens)?;
+            let (snap, of) = parse_snap(fields.require("snap")?)?;
+            Ok(ReplyHeader::Evt {
+                tag: validated_tag(fields.require("tag")?)?,
+                snap,
+                of,
+                bytes: parse_num("bytes", fields.require("bytes")?, "an unsigned integer")?,
+            })
+        }
+        "END" => {
+            let fields = Fields::parse(&["tag", "snapshots", "edges", "status"], &tokens)?;
+            let status_raw = fields.require("status")?;
+            let status = EndStatus::parse(status_raw).ok_or(ProtocolError::InvalidValue {
+                field: "status",
+                value: status_raw.to_string(),
+                expected: "ok or cancelled",
+            })?;
+            Ok(ReplyHeader::End {
+                tag: validated_tag(fields.require("tag")?)?,
+                snapshots: parse_num(
+                    "snapshots",
+                    fields.require("snapshots")?,
+                    "an unsigned integer",
+                )?,
+                edges: parse_num("edges", fields.require("edges")?, "an unsigned integer")?,
+                status,
+            })
+        }
         "ERR" => {
-            let Some((&code_raw, _)) = tokens.split_first() else {
+            let Some((&code_raw, rest)) = tokens.split_first() else {
                 return Err(ProtocolError::MissingField("error code"));
             };
             let code = ErrorCode::parse(code_raw).ok_or(ProtocolError::InvalidValue {
@@ -502,16 +881,242 @@ pub fn parse_reply(line: &str) -> Result<ReplyHeader, ProtocolError> {
                 value: code_raw.to_string(),
                 expected: "a known error code",
             })?;
-            // The message is everything after the code token, preserved
-            // verbatim modulo the surrounding whitespace.
+            // An optional `tag=<t>` token immediately after the code; the
+            // message is everything after that, preserved verbatim modulo
+            // the surrounding whitespace. (A message that itself begins
+            // with a well-formed `tag=` token is indistinguishable from a
+            // reply tag — servers never produce one.)
+            let mut tag = None;
+            let mut message_start = code_raw;
+            if let Some(&first) = rest.first() {
+                if let Some(raw) = first.strip_prefix("tag=") {
+                    if valid_tag(raw) {
+                        tag = Some(raw.to_string());
+                        message_start = first;
+                    }
+                }
+            }
             let message = trimmed
-                .split_once(code_raw)
+                .split_once(message_start)
                 .map(|(_, rest)| rest.trim())
                 .unwrap_or("")
                 .to_string();
-            Ok(ReplyHeader::Err { code, message })
+            Ok(ReplyHeader::Err { code, tag, message })
         }
         other => Err(ProtocolError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// How a demuxed per-tag stream ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamOutcome {
+    /// A buffered `OK GEN` reply (the whole payload arrived in one frame).
+    Reply,
+    /// `END … status=ok` — all snapshots delivered.
+    Complete,
+    /// `END … status=cancelled` — abandoned mid-stream.
+    Cancelled,
+    /// Terminated by `ERR <code> tag=…`.
+    Failed { code: ErrorCode, message: String },
+}
+
+/// The demuxed state of one tag: accumulated payload plus bookkeeping.
+#[derive(Clone, Debug, Default)]
+pub struct TagStream {
+    /// Concatenated payload bytes, in `snap` order.
+    pub payload: Vec<u8>,
+    /// `EVT` frames received so far.
+    pub frames: usize,
+    /// Total `EVT` frames the stream declared (`of` / the `SUB` ack's `t`).
+    pub expected: Option<usize>,
+    /// Total temporal edges reported by `END`.
+    pub edges: usize,
+    /// Set once the stream terminated.
+    pub outcome: Option<StreamOutcome>,
+}
+
+impl TagStream {
+    pub fn is_done(&self) -> bool {
+        self.outcome.is_some()
+    }
+}
+
+/// Why [`TagDemux::feed`] rejected a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DemuxError {
+    /// The frame carries no tag (or is not a per-tag stream frame).
+    Untagged,
+    /// A frame arrived for a tag that already terminated.
+    AfterEnd { tag: String },
+    /// An `EVT` arrived out of order for its tag.
+    OutOfOrder { tag: String, got: usize, expected: usize },
+    /// An `EVT`'s declared total disagrees with an earlier frame.
+    TotalMismatch { tag: String, got: usize, expected: usize },
+    /// An `END` reported a different frame count than was delivered.
+    CountMismatch { tag: String, reported: usize, delivered: usize },
+}
+
+impl fmt::Display for DemuxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DemuxError::Untagged => write!(f, "frame carries no tag"),
+            DemuxError::AfterEnd { tag } => write!(f, "frame for already-terminated tag {tag:?}"),
+            DemuxError::OutOfOrder { tag, got, expected } => {
+                write!(f, "tag {tag:?}: EVT snap={got} arrived, expected snap={expected}")
+            }
+            DemuxError::TotalMismatch { tag, got, expected } => {
+                write!(
+                    f,
+                    "tag {tag:?}: EVT declares {got} total frames, stream began with {expected}"
+                )
+            }
+            DemuxError::CountMismatch { tag, reported, delivered } => {
+                write!(
+                    f,
+                    "tag {tag:?}: END reports {reported} snapshots, {delivered} were delivered"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DemuxError {}
+
+/// Client-side reassembly of interleaved, tagged reply frames.
+///
+/// Feed every `OK GEN` / `OK SUB` / `EVT` / `END` / tagged-`ERR` frame a
+/// connection delivers (in arrival order); the demux routes each to its
+/// tag's [`TagStream`], enforcing per-tag frame order and consistency.
+/// Frames for *different* tags may interleave arbitrarily — that is the
+/// whole point of the pipelined protocol — and still demux to the exact
+/// per-tag payloads (property-tested in `tests/protocol.rs`).
+#[derive(Debug, Default)]
+pub struct TagDemux {
+    streams: HashMap<String, TagStream>,
+}
+
+impl TagDemux {
+    pub fn new() -> TagDemux {
+        TagDemux::default()
+    }
+
+    /// Route one frame. `payload` must be the `bytes=`-declared bytes
+    /// that followed the header on the wire.
+    pub fn feed(&mut self, header: &ReplyHeader, payload: &[u8]) -> Result<(), DemuxError> {
+        match header {
+            ReplyHeader::Gen { tag: Some(tag), .. } => {
+                let stream = self.terminal(tag)?;
+                stream.payload.extend_from_slice(payload);
+                stream.outcome = Some(StreamOutcome::Reply);
+                Ok(())
+            }
+            ReplyHeader::Sub { tag, t_len, .. } => {
+                let stream = self.open(tag)?;
+                match stream.expected {
+                    None => stream.expected = Some(*t_len),
+                    Some(expected) if expected != *t_len => {
+                        return Err(DemuxError::TotalMismatch {
+                            tag: tag.clone(),
+                            got: *t_len,
+                            expected,
+                        })
+                    }
+                    Some(_) => {}
+                }
+                Ok(())
+            }
+            ReplyHeader::Evt { tag, snap, of, .. } => {
+                let stream = self.open(tag)?;
+                match stream.expected {
+                    None => stream.expected = Some(*of),
+                    Some(expected) if expected != *of => {
+                        return Err(DemuxError::TotalMismatch {
+                            tag: tag.clone(),
+                            got: *of,
+                            expected,
+                        })
+                    }
+                    Some(_) => {}
+                }
+                if *snap != stream.frames {
+                    return Err(DemuxError::OutOfOrder {
+                        tag: tag.clone(),
+                        got: *snap,
+                        expected: stream.frames,
+                    });
+                }
+                stream.frames += 1;
+                stream.payload.extend_from_slice(payload);
+                Ok(())
+            }
+            ReplyHeader::End { tag, snapshots, edges, status } => {
+                let delivered = self.streams.get(tag.as_str()).map_or(0, |s| s.frames);
+                if *snapshots != delivered {
+                    return Err(DemuxError::CountMismatch {
+                        tag: tag.clone(),
+                        reported: *snapshots,
+                        delivered,
+                    });
+                }
+                let outcome = match status {
+                    EndStatus::Ok => StreamOutcome::Complete,
+                    EndStatus::Cancelled => StreamOutcome::Cancelled,
+                };
+                let stream = self.terminal(tag)?;
+                stream.edges = *edges;
+                stream.outcome = Some(outcome);
+                Ok(())
+            }
+            ReplyHeader::Err { code, tag: Some(tag), message } => {
+                let stream = self.terminal(tag)?;
+                stream.outcome =
+                    Some(StreamOutcome::Failed { code: *code, message: message.clone() });
+                Ok(())
+            }
+            _ => Err(DemuxError::Untagged),
+        }
+    }
+
+    /// The entry for `tag`, created on first use, rejecting terminated
+    /// streams.
+    fn open(&mut self, tag: &str) -> Result<&mut TagStream, DemuxError> {
+        let stream = self.streams.entry(tag.to_string()).or_default();
+        if stream.is_done() {
+            return Err(DemuxError::AfterEnd { tag: tag.to_string() });
+        }
+        Ok(stream)
+    }
+
+    /// Like [`open`](Self::open) but for frames that terminate the tag.
+    fn terminal(&mut self, tag: &str) -> Result<&mut TagStream, DemuxError> {
+        self.open(tag)
+    }
+
+    pub fn get(&self, tag: &str) -> Option<&TagStream> {
+        self.streams.get(tag)
+    }
+
+    /// Remove and return a (typically finished) stream.
+    pub fn take(&mut self, tag: &str) -> Option<TagStream> {
+        self.streams.remove(tag)
+    }
+
+    /// Tags with a terminated stream.
+    pub fn finished(&self) -> impl Iterator<Item = &str> {
+        self.streams.iter().filter(|(_, s)| s.is_done()).map(|(t, _)| t.as_str())
+    }
+
+    /// Tags still mid-stream.
+    pub fn pending(&self) -> impl Iterator<Item = &str> {
+        self.streams.iter().filter(|(_, s)| !s.is_done()).map(|(t, _)| t.as_str())
+    }
+
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
     }
 }
 
@@ -531,6 +1136,7 @@ mod tests {
                 seed: 7,
                 fmt: WireFormat::Tsv,
                 priority: 2,
+                tag: None,
             })
         );
         assert_eq!(parsed.to_line(), line);
@@ -538,22 +1144,60 @@ mod tests {
     }
 
     #[test]
+    fn tagged_requests_round_trip() {
+        let line = "GEN model=email t=14 seed=7 fmt=tsv tag=job-1.a";
+        let parsed = parse_request(line).unwrap();
+        match &parsed {
+            Request::Gen(spec) => assert_eq!(spec.tag.as_deref(), Some("job-1.a")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(parsed.to_line(), line);
+
+        let sub = parse_request("SUB model=m t=5 seed=0 fmt=bin tag=s1").unwrap();
+        assert_eq!(sub, Request::Sub(GenSpec::new("m", 5, 0, WireFormat::Bin).with_tag("s1")));
+        assert_eq!(parse_request(&sub.to_line()).unwrap(), sub);
+
+        let cancel = parse_request("CANCEL tag=s1").unwrap();
+        assert_eq!(cancel, Request::Cancel { tag: "s1".to_string() });
+        assert_eq!(cancel.to_line(), "CANCEL tag=s1");
+
+        let ping = parse_request("PING tag=hb").unwrap();
+        assert_eq!(ping, Request::Ping { tag: Some("hb".to_string()) });
+        assert_eq!(ping.to_line(), "PING tag=hb");
+    }
+
+    #[test]
+    fn invalid_tags_are_rejected() {
+        assert!(matches!(
+            parse_request("GEN model=m t=1 seed=0 fmt=tsv tag="),
+            Err(ProtocolError::InvalidValue { field: "tag", .. })
+        ));
+        assert!(matches!(
+            parse_request(&format!("PING tag={}", "x".repeat(MAX_TAG_BYTES + 1))),
+            Err(ProtocolError::InvalidValue { field: "tag", .. })
+        ));
+        assert!(matches!(
+            parse_request("CANCEL tag=sp%ce"),
+            Err(ProtocolError::InvalidValue { field: "tag", .. })
+        ));
+        assert!(matches!(parse_request("CANCEL"), Err(ProtocolError::MissingField("tag"))));
+        assert!(valid_tag("~42") && valid_tag("a.b:c_d-e") && !valid_tag(""));
+    }
+
+    #[test]
     fn field_order_is_free_but_serialization_is_canonical() {
-        let parsed = parse_request("GEN fmt=bin seed=0 t=1 model=m").unwrap();
-        assert_eq!(parsed.to_line(), "GEN model=m t=1 seed=0 fmt=bin");
+        let parsed = parse_request("GEN tag=z fmt=bin seed=0 t=1 model=m").unwrap();
+        assert_eq!(parsed.to_line(), "GEN model=m t=1 seed=0 fmt=bin tag=z");
         assert_eq!(parse_request(&parsed.to_line()).unwrap(), parsed);
     }
 
     #[test]
     fn bare_commands_parse_and_reject_trailing_tokens() {
-        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
-        assert_eq!(parse_request("MODELS\r").unwrap(), Request::Models);
-        assert_eq!(parse_request("  PING  ").unwrap(), Request::Ping);
-        assert_eq!(parse_request("quit").unwrap(), Request::Quit);
-        assert!(matches!(
-            parse_request("PING now"),
-            Err(ProtocolError::UnexpectedToken(_))
-        ));
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats { tag: None });
+        assert_eq!(parse_request("MODELS\r").unwrap(), Request::Models { tag: None });
+        assert_eq!(parse_request("  PING  ").unwrap(), Request::Ping { tag: None });
+        assert_eq!(parse_request("quit").unwrap(), Request::Quit { tag: None });
+        assert!(matches!(parse_request("PING now"), Err(ProtocolError::UnexpectedToken(_))));
     }
 
     #[test]
@@ -588,6 +1232,9 @@ mod tests {
             Err(ProtocolError::InvalidValue { field: "t", .. })
         ));
         assert!(parse_request(&format!("GEN model=m t={MAX_WIRE_T} seed=0 fmt=tsv")).is_ok());
+        // SUB is the documented escape hatch for long sequences: one
+        // snapshot per frame, so the buffered-reply cap does not apply.
+        assert!(parse_request(&format!("SUB model=m t={} seed=0 fmt=tsv", MAX_WIRE_T + 1)).is_ok());
         assert!(matches!(
             parse_request("GEN model=m t=1 seed=0 fmt=xml"),
             Err(ProtocolError::InvalidValue { field: "fmt", .. })
@@ -596,10 +1243,7 @@ mod tests {
             parse_request("GEN model= t=1 seed=0 fmt=tsv"),
             Err(ProtocolError::InvalidValue { field: "model", .. })
         ));
-        assert!(matches!(
-            parse_request("GEN model"),
-            Err(ProtocolError::UnexpectedToken(_))
-        ));
+        assert!(matches!(parse_request("GEN model"), Err(ProtocolError::UnexpectedToken(_))));
     }
 
     #[test]
@@ -609,16 +1253,14 @@ mod tests {
             Err(ProtocolError::LineTooLong { len }) => assert_eq!(len, line.len()),
             other => panic!("expected LineTooLong, got {other:?}"),
         }
-        assert_eq!(
-            parse_request(&line).unwrap_err().code(),
-            ErrorCode::LineTooLong
-        );
+        assert_eq!(parse_request(&line).unwrap_err().code(), ErrorCode::LineTooLong);
     }
 
     #[test]
     fn reply_headers_round_trip() {
         let replies = [
             ReplyHeader::Gen {
+                tag: None,
                 id: 3,
                 model: "email".to_string(),
                 t_len: 14,
@@ -629,15 +1271,57 @@ mod tests {
                 cache_hit: true,
                 bytes: 18_344,
             },
-            ReplyHeader::Stats { bytes: 512 },
-            ReplyHeader::Models { bytes: 64 },
-            ReplyHeader::Pong,
-            ReplyHeader::Bye,
+            ReplyHeader::Gen {
+                tag: Some("a1".to_string()),
+                id: 4,
+                model: "email".to_string(),
+                t_len: 2,
+                seed: 0,
+                fmt: WireFormat::Tsv,
+                snapshots: 2,
+                edges: 10,
+                cache_hit: false,
+                bytes: 64,
+            },
+            ReplyHeader::Sub {
+                tag: "s1".to_string(),
+                model: "email".to_string(),
+                t_len: 14,
+                seed: 7,
+                fmt: WireFormat::Tsv,
+            },
+            ReplyHeader::Evt { tag: "s1".to_string(), snap: 0, of: 14, bytes: 512 },
+            ReplyHeader::Evt { tag: "s1".to_string(), snap: 13, of: 14, bytes: 40 },
+            ReplyHeader::End {
+                tag: "s1".to_string(),
+                snapshots: 14,
+                edges: 920,
+                status: EndStatus::Ok,
+            },
+            ReplyHeader::End {
+                tag: "s2".to_string(),
+                snapshots: 3,
+                edges: 17,
+                status: EndStatus::Cancelled,
+            },
+            ReplyHeader::Cancel { tag: "s2".to_string(), found: true },
+            ReplyHeader::Cancel { tag: "nope".to_string(), found: false },
+            ReplyHeader::Stats { tag: None, bytes: 512 },
+            ReplyHeader::Stats { tag: Some("st".to_string()), bytes: 512 },
+            ReplyHeader::Models { tag: None, bytes: 64 },
+            ReplyHeader::Pong { tag: Some("hb".to_string()) },
+            ReplyHeader::Bye { tag: None },
             ReplyHeader::Err {
                 code: ErrorCode::QueueFull,
+                tag: None,
                 message: "depth=8 cap=8".to_string(),
             },
-            ReplyHeader::Err { code: ErrorCode::Shutdown, message: String::new() },
+            ReplyHeader::Err {
+                code: ErrorCode::Cancelled,
+                tag: Some("a1".to_string()),
+                message: "job cancelled".to_string(),
+            },
+            ReplyHeader::Err { code: ErrorCode::Shutdown, tag: None, message: String::new() },
         ];
         for reply in replies {
             let line = reply.to_line();
@@ -646,15 +1330,37 @@ mod tests {
     }
 
     #[test]
+    fn evt_frames_reject_malformed_snap() {
+        assert!(matches!(
+            parse_reply("EVT tag=s1 snap=3 bytes=10"),
+            Err(ProtocolError::InvalidValue { field: "snap", .. })
+        ));
+        assert!(matches!(
+            parse_reply("EVT tag=s1 snap=5/5 bytes=10"),
+            Err(ProtocolError::InvalidValue { field: "snap", .. })
+        ));
+        assert!(matches!(
+            parse_reply("EVT tag=s1 snap=a/b bytes=10"),
+            Err(ProtocolError::InvalidValue { field: "snap", .. })
+        ));
+        assert!(matches!(
+            parse_reply("EVT snap=0/1 bytes=10"),
+            Err(ProtocolError::MissingField("tag"))
+        ));
+    }
+
+    #[test]
     fn err_messages_cannot_inject_protocol_lines() {
         let evil = ReplyHeader::Err {
             code: ErrorCode::Internal,
+            tag: Some("t1".to_string()),
             message: "boom\nOK PONG".to_string(),
         };
         let line = evil.to_line();
         assert!(!line.contains('\n'), "{line:?}");
         match parse_reply(&line).unwrap() {
-            ReplyHeader::Err { code: ErrorCode::Internal, message } => {
+            ReplyHeader::Err { code: ErrorCode::Internal, tag, message } => {
+                assert_eq!(tag.as_deref(), Some("t1"));
                 assert!(message.contains("boom"));
             }
             other => panic!("unexpected {other:?}"),
@@ -671,5 +1377,108 @@ mod tests {
             Err(ProtocolError::InvalidValue { field: "code", .. })
         ));
         assert!(matches!(parse_reply("HELLO"), Err(ProtocolError::UnknownCommand(_))));
+    }
+
+    #[test]
+    fn demux_reassembles_interleaved_streams() {
+        let mut demux = TagDemux::new();
+        let frames: Vec<(ReplyHeader, &[u8])> = vec![
+            (
+                ReplyHeader::Sub {
+                    tag: "a".into(),
+                    model: "m".into(),
+                    t_len: 2,
+                    seed: 0,
+                    fmt: WireFormat::Tsv,
+                },
+                b"",
+            ),
+            (ReplyHeader::Evt { tag: "a".into(), snap: 0, of: 2, bytes: 3 }, b"aaa"),
+            (ReplyHeader::Evt { tag: "b".into(), snap: 0, of: 1, bytes: 2 }, b"bb"),
+            (
+                ReplyHeader::Gen {
+                    tag: Some("c".into()),
+                    id: 2,
+                    model: "m".into(),
+                    t_len: 1,
+                    seed: 9,
+                    fmt: WireFormat::Bin,
+                    snapshots: 1,
+                    edges: 4,
+                    cache_hit: false,
+                    bytes: 4,
+                },
+                b"cccc",
+            ),
+            (ReplyHeader::Evt { tag: "a".into(), snap: 1, of: 2, bytes: 3 }, b"AAA"),
+            (
+                ReplyHeader::End {
+                    tag: "b".into(),
+                    snapshots: 1,
+                    edges: 5,
+                    status: EndStatus::Cancelled,
+                },
+                b"",
+            ),
+            (
+                ReplyHeader::End { tag: "a".into(), snapshots: 2, edges: 9, status: EndStatus::Ok },
+                b"",
+            ),
+        ];
+        for (header, payload) in &frames {
+            demux.feed(header, payload).unwrap();
+        }
+        assert_eq!(demux.get("a").unwrap().payload, b"aaaAAA");
+        assert_eq!(demux.get("a").unwrap().outcome, Some(StreamOutcome::Complete));
+        assert_eq!(demux.get("a").unwrap().edges, 9);
+        assert_eq!(demux.get("b").unwrap().payload, b"bb");
+        assert_eq!(demux.get("b").unwrap().outcome, Some(StreamOutcome::Cancelled));
+        assert_eq!(demux.get("c").unwrap().payload, b"cccc");
+        assert_eq!(demux.get("c").unwrap().outcome, Some(StreamOutcome::Reply));
+        assert_eq!(demux.finished().count(), 3);
+        assert_eq!(demux.pending().count(), 0);
+    }
+
+    #[test]
+    fn demux_rejects_inconsistent_frames() {
+        let mut demux = TagDemux::new();
+        let evt = |snap, of| ReplyHeader::Evt { tag: "a".into(), snap, of, bytes: 1 };
+        demux.feed(&evt(0, 3), b"x").unwrap();
+        assert!(matches!(
+            demux.feed(&evt(2, 3), b"x"),
+            Err(DemuxError::OutOfOrder { got: 2, expected: 1, .. })
+        ));
+        assert!(matches!(
+            demux.feed(&evt(1, 4), b"x"),
+            Err(DemuxError::TotalMismatch { got: 4, expected: 3, .. })
+        ));
+        assert!(matches!(
+            demux.feed(
+                &ReplyHeader::End {
+                    tag: "a".into(),
+                    snapshots: 3,
+                    edges: 0,
+                    status: EndStatus::Ok
+                },
+                b"",
+            ),
+            Err(DemuxError::CountMismatch { reported: 3, delivered: 1, .. })
+        ));
+        demux
+            .feed(
+                &ReplyHeader::End {
+                    tag: "a".into(),
+                    snapshots: 1,
+                    edges: 0,
+                    status: EndStatus::Cancelled,
+                },
+                b"",
+            )
+            .unwrap();
+        assert!(matches!(demux.feed(&evt(1, 3), b"x"), Err(DemuxError::AfterEnd { .. })));
+        assert!(matches!(
+            demux.feed(&ReplyHeader::Pong { tag: None }, b""),
+            Err(DemuxError::Untagged)
+        ));
     }
 }

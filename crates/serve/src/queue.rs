@@ -23,7 +23,7 @@
 //! accumulates in the queue between `stats()` snapshots.
 
 use crate::cache::{CacheKey, SnapshotCache};
-use crate::core::{job_cache_key, GenSink, JobId, JobResult};
+use crate::core::{job_cache_key, CancelToken, GenSink, JobId, JobResult};
 use crate::registry::ModelHandle;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -39,6 +39,10 @@ pub(crate) struct Job {
     pub(crate) seed: u64,
     pub(crate) priority: i32,
     pub(crate) sink: GenSink,
+    /// Cooperative cancellation flag. A token tripped while the job is
+    /// still queued short-circuits it to a cancelled result the moment a
+    /// worker pops it — no model instantiation, no generation.
+    pub(crate) cancel: Option<CancelToken>,
     /// Per-job result channel; the worker that executes (or the core that
     /// discards) this job owns the send side, the caller's `Ticket` the
     /// receive side.
@@ -78,8 +82,7 @@ impl Group {
         if job.priority == self.max_priority {
             self.max_count -= 1;
             if self.max_count == 0 {
-                self.max_priority =
-                    self.jobs.iter().map(|j| j.priority).max().unwrap_or(i32::MIN);
+                self.max_priority = self.jobs.iter().map(|j| j.priority).max().unwrap_or(i32::MIN);
                 self.max_count =
                     self.jobs.iter().filter(|j| j.priority == self.max_priority).count();
             }
@@ -107,6 +110,13 @@ struct QueueState {
     /// queued duplicates are held back until the key finishes, then pop
     /// as cache hits.
     busy: HashSet<CacheKey>,
+    /// How many `busy` keys belong to each model fingerprint. Lets
+    /// [`candidate`](QueueState::candidate) keep its O(1) fast path per
+    /// group whenever *that group's* model has nothing in flight —
+    /// without this, any busy key anywhere forced a full scan of every
+    /// queued job on every pop, defeating the incremental group-max
+    /// bookkeeping.
+    busy_fps: HashMap<u64, usize>,
     /// Keys observed to finish without becoming cached (oversized for
     /// the byte budget, or failed): their duplicates can never be served
     /// by waiting, so they are exempt from coalescing and run in
@@ -127,10 +137,19 @@ impl QueueState {
         !self.busy.contains(&key) || self.uncacheable.contains(&key) || cache.contains(&key)
     }
 
-    /// The runnable candidate of `group`, if any.
-    fn candidate(&self, cache: Option<&SnapshotCache>, group: &Group) -> Option<Candidate> {
-        if self.busy.is_empty() {
-            // Fast path: nothing is blocked, the cached group max holds.
+    /// The runnable candidate of `group` (keyed by model fingerprint
+    /// `fp`), if any.
+    fn candidate(
+        &self,
+        cache: Option<&SnapshotCache>,
+        fp: u64,
+        group: &Group,
+    ) -> Option<Candidate> {
+        if !self.busy_fps.contains_key(&fp) {
+            // Fast path: coalescing only ever blocks a duplicate of an
+            // in-flight key, and in-flight keys of *other* models cannot
+            // collide with this group's jobs — nothing here is blocked,
+            // the incrementally maintained group max holds.
             return group.jobs.front().map(|front| Candidate {
                 index: 0,
                 priority: group.max_priority,
@@ -157,7 +176,7 @@ impl QueueState {
     fn take_next(&mut self, preferred: Option<u64>, cache: Option<&SnapshotCache>) -> Option<Job> {
         let mut best: Option<(u64, Candidate)> = None;
         for (&fp, g) in &self.groups {
-            let Some(cand) = self.candidate(cache, g) else { continue };
+            let Some(cand) = self.candidate(cache, fp, g) else { continue };
             let better = match &best {
                 None => true,
                 Some((_, b)) => {
@@ -172,7 +191,7 @@ impl QueueState {
         let (best_fp, best_cand) = best?;
         let (chosen, idx) = match preferred {
             Some(fp) if fp != best_fp => match self.groups.get(&fp) {
-                Some(g) => match self.candidate(cache, g) {
+                Some(g) => match self.candidate(cache, fp, g) {
                     Some(c) if c.priority == best_cand.priority => (fp, c.index),
                     _ => (best_fp, best_cand.index),
                 },
@@ -221,6 +240,7 @@ impl JobQueue {
             state: Mutex::new(QueueState {
                 groups: HashMap::new(),
                 busy: HashSet::new(),
+                busy_fps: HashMap::new(),
                 uncacheable: HashSet::new(),
                 queued: 0,
                 closed: false,
@@ -237,11 +257,7 @@ impl JobQueue {
     /// cap between check and push), and refusing — not panicking — when
     /// a concurrent `close`/`abort` from another handle clone won the
     /// race against the submitter's pre-flight closed check.
-    pub(crate) fn push_checked(
-        &self,
-        job: Job,
-        cap: Option<usize>,
-    ) -> Result<(), PushRejected> {
+    pub(crate) fn push_checked(&self, job: Job, cap: Option<usize>) -> Result<(), PushRejected> {
         let mut state = self.state.lock().expect("queue lock poisoned");
         if state.closed {
             return Err(PushRejected::Closed);
@@ -266,7 +282,13 @@ impl JobQueue {
         loop {
             if let Some(job) = state.take_next(preferred, self.cache.as_ref()) {
                 if self.cache.is_some() {
-                    state.busy.insert(job_cache_key(&job.handle, job.t_len, job.seed));
+                    // Uncacheable-exempt duplicates may run the same key
+                    // concurrently; count the fingerprint only when the
+                    // key really entered the busy set.
+                    let key = job_cache_key(&job.handle, job.t_len, job.seed);
+                    if state.busy.insert(key) {
+                        *state.busy_fps.entry(key.model_fingerprint).or_insert(0) += 1;
+                    }
                 }
                 let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
                 self.max_in_flight.fetch_max(now, Ordering::SeqCst);
@@ -286,7 +308,14 @@ impl JobQueue {
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
         if let Some(cache) = &self.cache {
             let mut state = self.state.lock().expect("queue lock poisoned");
-            state.busy.remove(key);
+            if state.busy.remove(key) {
+                match state.busy_fps.get_mut(&key.model_fingerprint) {
+                    Some(count) if *count > 1 => *count -= 1,
+                    _ => {
+                        state.busy_fps.remove(&key.model_fingerprint);
+                    }
+                }
+            }
             if !cache.contains(key) {
                 // Finished without becoming resident: duplicates gain
                 // nothing by waiting, stop holding them back. Bounded

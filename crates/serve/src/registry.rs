@@ -218,10 +218,7 @@ mod tests {
         let inst = registry.get("tiny").unwrap().instantiate().unwrap();
         let mut r1 = StdRng::seed_from_u64(9);
         let mut r2 = StdRng::seed_from_u64(9);
-        assert_eq!(
-            model.generate(2, &mut r1).unwrap(),
-            inst.generate(2, &mut r2).unwrap()
-        );
+        assert_eq!(model.generate(2, &mut r1).unwrap(), inst.generate(2, &mut r2).unwrap());
     }
 
     #[test]

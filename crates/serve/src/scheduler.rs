@@ -259,9 +259,7 @@ mod tests {
         let (registry, model) = registry_with_tiny();
         let mut scheduler = Scheduler::new(registry, 2).unwrap();
         for seed in [5u64, 6, 7, 8] {
-            scheduler
-                .submit(GenRequest::new("tiny", 3, seed, GenSink::InMemory))
-                .unwrap();
+            scheduler.submit(GenRequest::new("tiny", 3, seed, GenSink::InMemory)).unwrap();
         }
         let report = scheduler.join().unwrap();
         assert!(report.all_ok(), "{}", report.render());
@@ -300,9 +298,7 @@ mod tests {
     fn submit_and_join_after_join_are_typed_errors() {
         let (registry, _) = registry_with_tiny();
         let mut scheduler = Scheduler::new(registry, 1).unwrap();
-        scheduler
-            .submit(GenRequest::new("tiny", 1, 0, GenSink::Discard))
-            .unwrap();
+        scheduler.submit(GenRequest::new("tiny", 1, 0, GenSink::Discard)).unwrap();
         let report = scheduler.join().unwrap();
         assert_eq!(report.jobs.len(), 1);
         assert!(matches!(
@@ -340,9 +336,7 @@ mod tests {
         let mut scheduler = Scheduler::new(registry, 1).unwrap();
         let (started_tx, started_rx) = std::sync::mpsc::channel();
         let (release_tx, release_rx) = std::sync::mpsc::channel();
-        scheduler
-            .submit(blocking_request("tiny", 0, started_tx, release_rx))
-            .unwrap();
+        scheduler.submit(blocking_request("tiny", 0, started_tx, release_rx)).unwrap();
         started_rx.recv().unwrap();
         let ran = Arc::new(AtomicUsize::new(0));
         for seed in 1..4u64 {
@@ -421,9 +415,7 @@ mod tests {
         )
         .unwrap();
         for seed in 0..3u64 {
-            scheduler
-                .submit(GenRequest::new("tiny", 2, seed, GenSink::Discard))
-                .unwrap();
+            scheduler.submit(GenRequest::new("tiny", 2, seed, GenSink::Discard)).unwrap();
         }
         let report = scheduler.join().unwrap();
         assert!(report.all_ok());
@@ -453,9 +445,7 @@ mod tests {
         .unwrap();
         for _round in 0..3 {
             for seed in [10u64, 11] {
-                scheduler
-                    .submit(GenRequest::new("tiny", 3, seed, GenSink::InMemory))
-                    .unwrap();
+                scheduler.submit(GenRequest::new("tiny", 3, seed, GenSink::InMemory)).unwrap();
             }
         }
         let report = scheduler.join().unwrap();
@@ -523,11 +513,13 @@ mod tests {
         m_started_rx.recv().unwrap();
         // Queue: a duplicate of K at priority 10 (blocked while K is in
         // flight), a priority-0 model-a job, a priority-5 model-b job.
-        let dup =
-            scheduler.submit(GenRequest::new("a", 1, 0, GenSink::Discard).with_priority(10)).unwrap();
+        let dup = scheduler
+            .submit(GenRequest::new("a", 1, 0, GenSink::Discard).with_priority(10))
+            .unwrap();
         let low = scheduler.submit(GenRequest::new("a", 1, 1, GenSink::Discard)).unwrap();
-        let high =
-            scheduler.submit(GenRequest::new("b", 1, 2, GenSink::Discard).with_priority(5)).unwrap();
+        let high = scheduler
+            .submit(GenRequest::new("b", 1, 2, GenSink::Discard).with_priority(5))
+            .unwrap();
         // Release only worker 2: it must run the runnable priority-5
         // model-b job before the priority-0 model-a job, even though the
         // blocked duplicate makes model a's raw group max 10.
@@ -594,13 +586,9 @@ mod tests {
         )
         .unwrap();
         // Warm the cache, then serve the same sequence to a file.
-        scheduler
-            .submit(GenRequest::new("tiny", 3, 21, GenSink::Discard))
-            .unwrap();
+        scheduler.submit(GenRequest::new("tiny", 3, 21, GenSink::Discard)).unwrap();
         let path = dir.join("replayed.tsv");
-        scheduler
-            .submit(GenRequest::new("tiny", 3, 21, GenSink::TsvFile(path.clone())))
-            .unwrap();
+        scheduler.submit(GenRequest::new("tiny", 3, 21, GenSink::TsvFile(path.clone()))).unwrap();
         let report = scheduler.join().unwrap();
         assert!(report.all_ok(), "{}", report.render());
         assert_eq!(report.cache.hits, 1);
@@ -642,9 +630,7 @@ mod tests {
         .unwrap();
         let (started_tx, started_rx) = std::sync::mpsc::channel();
         let (release_tx, release_rx) = std::sync::mpsc::channel();
-        scheduler
-            .submit(blocking_request("tiny", 0, started_tx, release_rx))
-            .unwrap();
+        scheduler.submit(blocking_request("tiny", 0, started_tx, release_rx)).unwrap();
         // Wait until the blocker is in flight, so the queue is empty.
         started_rx.recv().unwrap();
         assert_eq!(scheduler.queue_depth(), 0);
@@ -673,16 +659,12 @@ mod tests {
         let registry = ModelRegistry::new();
         registry.register("a", &a).unwrap();
         registry.register("b", &b).unwrap();
-        let mut scheduler = Scheduler::with_config(
-            registry,
-            ServeConfig { workers: 1, ..Default::default() },
-        )
-        .unwrap();
+        let mut scheduler =
+            Scheduler::with_config(registry, ServeConfig { workers: 1, ..Default::default() })
+                .unwrap();
         let (started_tx, started_rx) = std::sync::mpsc::channel();
         let (release_tx, release_rx) = std::sync::mpsc::channel();
-        scheduler
-            .submit(blocking_request("a", 0, started_tx, release_rx))
-            .unwrap();
+        scheduler.submit(blocking_request("a", 0, started_tx, release_rx)).unwrap();
         started_rx.recv().unwrap();
         // Equal-priority interleaved jobs: affinity should drain all of
         // model a before touching model b.
@@ -703,16 +685,12 @@ mod tests {
         let registry = ModelRegistry::new();
         registry.register("a", &a).unwrap();
         registry.register("b", &b).unwrap();
-        let mut scheduler = Scheduler::with_config(
-            registry,
-            ServeConfig { workers: 1, ..Default::default() },
-        )
-        .unwrap();
+        let mut scheduler =
+            Scheduler::with_config(registry, ServeConfig { workers: 1, ..Default::default() })
+                .unwrap();
         let (started_tx, started_rx) = std::sync::mpsc::channel();
         let (release_tx, release_rx) = std::sync::mpsc::channel();
-        scheduler
-            .submit(blocking_request("a", 0, started_tx, release_rx))
-            .unwrap();
+        scheduler.submit(blocking_request("a", 0, started_tx, release_rx)).unwrap();
         started_rx.recv().unwrap();
         let low = scheduler.submit(GenRequest::new("a", 1, 1, GenSink::Discard)).unwrap();
         let high = scheduler

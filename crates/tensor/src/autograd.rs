@@ -241,11 +241,7 @@ impl Tensor {
 
     /// Reverse-mode differentiation with an explicit seed gradient.
     pub fn backward_with(&self, seed: Matrix) {
-        assert_eq!(
-            seed.shape(),
-            self.shape(),
-            "backward seed shape must match tensor shape"
-        );
+        assert_eq!(seed.shape(), self.shape(), "backward seed shape must match tensor shape");
         // Topological order via iterative post-order DFS.
         let mut order: Vec<Tensor> = Vec::new();
         let mut visited: HashSet<u64> = HashSet::new();

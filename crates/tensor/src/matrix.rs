@@ -196,12 +196,7 @@ impl Matrix {
     /// Element-wise combination of two same-shape matrices.
     pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
@@ -378,10 +373,7 @@ impl Matrix {
     pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
         assert!(!parts.is_empty(), "concat_cols needs at least one part");
         let rows = parts[0].rows;
-        assert!(
-            parts.iter().all(|p| p.rows == rows),
-            "concat_cols requires equal row counts"
-        );
+        assert!(parts.iter().all(|p| p.rows == rows), "concat_cols requires equal row counts");
         let cols: usize = parts.iter().map(|p| p.cols).sum();
         let mut out = Matrix::zeros(rows, cols);
         for r in 0..rows {
@@ -399,10 +391,7 @@ impl Matrix {
     pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
         assert!(!parts.is_empty(), "concat_rows needs at least one part");
         let cols = parts[0].cols;
-        assert!(
-            parts.iter().all(|p| p.cols == cols),
-            "concat_rows requires equal column counts"
-        );
+        assert!(parts.iter().all(|p| p.cols == cols), "concat_rows requires equal column counts");
         let rows: usize = parts.iter().map(|p| p.rows).sum();
         let mut data = Vec::with_capacity(rows * cols);
         for p in parts {
@@ -586,8 +575,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let a = Matrix::rand_normal(200, 200, 1.0, 2.0, &mut rng);
         let mean = a.mean();
-        let var = a.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
-            / (a.len() - 1) as f32;
+        let var =
+            a.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / (a.len() - 1) as f32;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.2, "var {var}");
     }

@@ -111,10 +111,7 @@ impl Mlp {
         rng: &mut impl Rng,
     ) -> Self {
         assert!(widths.len() >= 2, "an MLP needs at least [d_in, d_out]");
-        let layers = widths
-            .windows(2)
-            .map(|w| Linear::new(w[0], w[1], rng))
-            .collect();
+        let layers = widths.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
         Mlp { layers, hidden_act, output_act }
     }
 
@@ -123,11 +120,7 @@ impl Mlp {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             h = layer.forward(&h);
-            h = if i == last {
-                self.output_act.apply(&h)
-            } else {
-                self.hidden_act.apply(&h)
-            };
+            h = if i == last { self.output_act.apply(&h) } else { self.hidden_act.apply(&h) };
         }
         h
     }
@@ -295,11 +288,7 @@ mod tests {
     fn mlp_end_to_end_gradient() {
         let mut rng = StdRng::seed_from_u64(4);
         let mlp = Mlp::new(&[3, 5, 2], Activation::Tanh, Activation::Identity, &mut rng);
-        check_gradients(
-            &[(4, 3)],
-            move |t| mlp.forward(&t[0]),
-            "mlp_input_grad",
-        );
+        check_gradients(&[(4, 3)], move |t| mlp.forward(&t[0]), "mlp_input_grad");
     }
 
     #[test]
@@ -312,11 +301,7 @@ mod tests {
         assert_eq!(cell.parameters().len(), 9);
 
         let cell2 = GruCell::new(3, 4, &mut rng);
-        check_gradients(
-            &[(2, 3), (2, 4)],
-            move |t| cell2.forward(&t[0], &t[1]),
-            "gru_cell",
-        );
+        check_gradients(&[(2, 3), (2, 4)], move |t| cell2.forward(&t[0], &t[1]), "gru_cell");
     }
 
     #[test]

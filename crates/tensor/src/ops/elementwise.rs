@@ -318,9 +318,13 @@ pub fn leaky_relu(a: &Tensor, slope: f32) -> Tensor {
         Box::new(move |g, out, parents| {
             if parents[0].participates() {
                 // out has the sign of the input because slope > 0.
-                parents[0].accumulate_grad_owned(
-                    g.zip_map(out, |gv, y| if y > 0.0 { gv } else { slope * gv }),
-                );
+                parents[0].accumulate_grad_owned(g.zip_map(out, |gv, y| {
+                    if y > 0.0 {
+                        gv
+                    } else {
+                        slope * gv
+                    }
+                }));
             }
         }),
     )
@@ -425,19 +429,11 @@ mod tests {
 
     #[test]
     fn add_sub_mul_div_gradients() {
-        check_gradients(
-            &[(2, 3), (2, 3)],
-            |t| add(&t[0], &t[1]),
-            "add",
-        );
+        check_gradients(&[(2, 3), (2, 3)], |t| add(&t[0], &t[1]), "add");
         check_gradients(&[(2, 3), (2, 3)], |t| sub(&t[0], &t[1]), "sub");
         check_gradients(&[(2, 3), (2, 3)], |t| mul(&t[0], &t[1]), "mul");
         // div: keep the denominator away from zero via offset inside the op.
-        check_gradients(
-            &[(2, 3), (2, 3)],
-            |t| div(&t[0], &add_scalar(&exp(&t[1]), 0.5)),
-            "div",
-        );
+        check_gradients(&[(2, 3), (2, 3)], |t| div(&t[0], &add_scalar(&exp(&t[1]), 0.5)), "div");
     }
 
     #[test]
@@ -477,21 +473,13 @@ mod tests {
     #[test]
     fn ln_and_pow_gradients() {
         // Keep inputs positive: ln(exp(x)+0.5), (exp(x))^1.7
-        check_gradients(
-            &[(2, 3)],
-            |t| ln_eps(&add_scalar(&exp(&t[0]), 0.5), 1e-8),
-            "ln_eps",
-        );
+        check_gradients(&[(2, 3)], |t| ln_eps(&add_scalar(&exp(&t[0]), 0.5), 1e-8), "ln_eps");
         check_gradients(&[(2, 3)], |t| powf(&exp(&t[0]), 1.7), "powf");
     }
 
     #[test]
     fn softmax_rows_sums_to_one_and_grad_checks() {
-        let a = crate::Tensor::param(Matrix::from_vec(
-            2,
-            3,
-            vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0],
-        ));
+        let a = crate::Tensor::param(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
         let s = softmax_rows(&a);
         let v = s.value_clone();
         for r in 0..2 {

@@ -17,7 +17,12 @@ const BCE_EPS: f32 = 1e-6;
 /// Eq. 17). The weight hook implements the negative-sampling correction:
 /// sampled non-edges carry weight `(N − deg_i) / Q` so the expected loss
 /// equals the full-matrix BCE.
-pub fn bce_probs(probs: &Tensor, targets: Rc<Matrix>, weights: Option<Rc<Matrix>>, norm: f32) -> Tensor {
+pub fn bce_probs(
+    probs: &Tensor,
+    targets: Rc<Matrix>,
+    weights: Option<Rc<Matrix>>,
+    norm: f32,
+) -> Tensor {
     assert!(norm > 0.0, "bce_probs: normalizer must be positive");
     {
         let pv = probs.value();
@@ -47,11 +52,8 @@ pub fn bce_probs(probs: &Tensor, targets: Rc<Matrix>, weights: Option<Rc<Matrix>
                 let (r, c) = pv.shape();
                 let gs = g.item() / norm;
                 let mut gp = Matrix::zeros(r, c);
-                for (e, (o, (&p, &y))) in gp
-                    .data_mut()
-                    .iter_mut()
-                    .zip(pv.data().iter().zip(t.data().iter()))
-                    .enumerate()
+                for (e, (o, (&p, &y))) in
+                    gp.data_mut().iter_mut().zip(pv.data().iter().zip(t.data().iter())).enumerate()
                 {
                     let we = w.as_ref().map_or(1.0, |w| w.data()[e]);
                     let ph = p.clamp(BCE_EPS, 1.0 - BCE_EPS);
@@ -137,8 +139,7 @@ pub fn kl_diag_gaussian(mu_q: &Tensor, lv_q: &Tensor, mu_p: &Tensor, lv_p: &Tens
         let lp = lv_p.value();
         let mut acc = 0.0f64;
         for i in 0..mq.len() {
-            let (mq, lq, mp, lp) =
-                (mq.data()[i], lq.data()[i], mp.data()[i], lp.data()[i]);
+            let (mq, lq, mp, lp) = (mq.data()[i], lq.data()[i], mp.data()[i], lp.data()[i]);
             let d = mq - mp;
             acc += 0.5 * (lp - lq + (lq.exp() + d * d) / lp.exp() - 1.0) as f64;
         }

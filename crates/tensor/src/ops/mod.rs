@@ -13,8 +13,8 @@ mod sparse;
 mod structural;
 
 pub use elementwise::{
-    add, add_row, add_scalar, clamp, div, exp, leaky_relu, ln_eps, mul, mul_col, mul_scalar_t,
-    neg, one_minus, powf, relu, scale, sigmoid, softmax_rows, sub, tanh,
+    add, add_row, add_scalar, clamp, div, exp, leaky_relu, ln_eps, mul, mul_col, mul_scalar_t, neg,
+    one_minus, powf, relu, scale, sigmoid, softmax_rows, sub, tanh,
 };
 pub use linalg::matmul;
 pub use losses::{bce_probs, cosine_rows, kl_diag_gaussian, mse_loss};

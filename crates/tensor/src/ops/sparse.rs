@@ -181,9 +181,7 @@ pub fn segment_softmax(scores: &Tensor, segments: Rc<Segments>) -> Tensor {
             if edges.is_empty() {
                 continue;
             }
-            let mx = edges
-                .iter()
-                .fold(f32::NEG_INFINITY, |mx, &e| mx.max(sv.get(e as usize, 0)));
+            let mx = edges.iter().fold(f32::NEG_INFINITY, |mx, &e| mx.max(sv.get(e as usize, 0)));
             let mut denom = 0.0;
             for &e in edges {
                 let v = (sv.get(e as usize, 0) - mx).exp();
@@ -209,10 +207,8 @@ pub fn segment_softmax(scores: &Tensor, segments: Rc<Segments>) -> Tensor {
                     if edges.is_empty() {
                         continue;
                     }
-                    let dot: f32 = edges
-                        .iter()
-                        .map(|&e| g.get(e as usize, 0) * out.get(e as usize, 0))
-                        .sum();
+                    let dot: f32 =
+                        edges.iter().map(|&e| g.get(e as usize, 0) * out.get(e as usize, 0)).sum();
                     for &e in edges {
                         let y = out.get(e as usize, 0);
                         gi.set(e as usize, 0, y * (g.get(e as usize, 0) - dot));
@@ -264,11 +260,7 @@ mod tests {
     #[test]
     fn spmm_sum_gradient() {
         let adj = toy_adj();
-        check_gradients(
-            &[(3, 2)],
-            move |t| spmm_sum(Rc::clone(&adj), &t[0]),
-            "spmm_sum",
-        );
+        check_gradients(&[(3, 2)], move |t| spmm_sum(Rc::clone(&adj), &t[0]), "spmm_sum");
     }
 
     #[test]

@@ -100,11 +100,7 @@ mod tests {
     #[test]
     fn gather_rows_gradient() {
         let idx = Rc::new(vec![0u32, 2, 2, 1]);
-        check_gradients(
-            &[(3, 4)],
-            move |t| gather_rows(&t[0], Rc::clone(&idx)),
-            "gather_rows",
-        );
+        check_gradients(&[(3, 4)], move |t| gather_rows(&t[0], Rc::clone(&idx)), "gather_rows");
     }
 
     #[test]

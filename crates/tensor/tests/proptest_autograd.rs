@@ -5,8 +5,7 @@ use proptest::prelude::*;
 use vrdag_tensor::{ops, Matrix, Tensor};
 
 fn matrix_strategy(r: usize, c: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-2.0f32..2.0, r * c)
-        .prop_map(move |data| Matrix::from_vec(r, c, data))
+    prop::collection::vec(-2.0f32..2.0, r * c).prop_map(move |data| Matrix::from_vec(r, c, data))
 }
 
 proptest! {

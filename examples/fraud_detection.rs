@@ -41,10 +41,7 @@ fn counterparty_turnover(g: &DynamicGraph, top_k: usize) -> Vec<f64> {
                 if cur_nbrs.is_empty() {
                     continue;
                 }
-                let fresh = cur_nbrs
-                    .iter()
-                    .filter(|&&v| !prev.has_edge(i as u32, v))
-                    .count();
+                let fresh = cur_nbrs.iter().filter(|&&v| !prev.has_edge(i as u32, v)).count();
                 turnover += fresh as f64 / cur_nbrs.len() as f64;
                 counted += 1;
             }
@@ -77,10 +74,7 @@ fn main() {
     model.fit(&private_graph, &mut rng).expect("fit");
     // ...and release only the synthetic twin.
     let synthetic = model.generate(private_graph.t_len(), &mut rng).expect("generate");
-    println!(
-        "released synthetic twin: M={} temporal edges",
-        synthetic.temporal_edge_count()
-    );
+    println!("released synthetic twin: M={} temporal edges", synthetic.temporal_edge_count());
 
     // The analyst's study runs on the synthetic twin.
     let orig_turnover = counterparty_turnover(&private_graph, 20);
@@ -100,10 +94,8 @@ fn main() {
     let rep = attribute_report(&private_graph, &synthetic);
     println!("attribute fidelity: JSD={:.4} EMD={:.4}", rep.jsd, rep.emd);
     // Dynamic behavior check (Fig. 4-style).
-    let o = metrics::structure_difference_series(&private_graph, metrics::StructuralProperty::Degree);
+    let o =
+        metrics::structure_difference_series(&private_graph, metrics::StructuralProperty::Degree);
     let s = metrics::structure_difference_series(&synthetic, metrics::StructuralProperty::Degree);
-    println!(
-        "degree-dynamics alignment error: {:.4}",
-        metrics::series_alignment_error(&o, &s)
-    );
+    println!("degree-dynamics alignment error: {:.4}", metrics::series_alignment_error(&o, &s));
 }

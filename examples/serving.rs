@@ -12,7 +12,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vrdag_suite::prelude::*;
-use vrdag_suite::serve::protocol::{GenSpec, ReplyHeader, Request, WireFormat};
+use vrdag_suite::serve::protocol::{
+    GenSpec, ReplyHeader, Request, StreamOutcome, TagDemux, WireFormat,
+};
 
 fn main() {
     let dir = std::env::temp_dir().join("vrdag_serving_example");
@@ -92,9 +94,7 @@ fn main() {
     .unwrap();
     for _round in 0..3 {
         for seed in 0..4u64 {
-            cached
-                .submit(GenRequest::new("tiny", graph.t_len(), seed, GenSink::InMemory))
-                .unwrap();
+            cached.submit(GenRequest::new("tiny", graph.t_len(), seed, GenSink::InMemory)).unwrap();
         }
     }
     let report = cached.join().unwrap();
@@ -142,22 +142,15 @@ fn main() {
                 // cache coalesces them into one generation each.
                 let mut payloads = Vec::new();
                 for seed in [client, client + 1] {
-                    let reply = conn
-                        .gen(GenSpec {
-                            model: "tiny".to_string(),
-                            t_len,
-                            seed,
-                            fmt: WireFormat::Tsv,
-                            priority: 0,
-                        })
-                        .unwrap();
+                    let reply =
+                        conn.gen(GenSpec::new("tiny", t_len, seed, WireFormat::Tsv)).unwrap();
                     match &reply.header {
                         ReplyHeader::Gen { seed: echoed, .. } => assert_eq!(*echoed, seed),
                         other => panic!("expected a GEN reply, got {other:?}"),
                     }
                     payloads.push((seed, reply.payload));
                 }
-                conn.request(&Request::Quit).unwrap();
+                conn.request(&Request::Quit { tag: None }).unwrap();
                 payloads
             })
         })
@@ -176,6 +169,52 @@ fn main() {
     println!(
         "wire replies for 3 clients bit-identical to disk, latency {} ✓",
         stats.latency.render(),
+    );
+
+    // 8. Pipelining + streaming on ONE connection: fire several tagged
+    //    GENs without reading (replies come back matched by tag, in
+    //    completion order), then SUBscribe to the same key and verify
+    //    the per-snapshot EVT stream concatenates to the buffered
+    //    payload, bit for bit.
+    let mut conn = LineClient::connect(addr).unwrap();
+    let tags: Vec<String> = (0..4u64).map(|seed| format!("job-{seed}")).collect();
+    for (seed, tag) in tags.iter().enumerate() {
+        conn.send(&Request::Gen(
+            GenSpec::new("tiny", t_len, seed as u64, WireFormat::Tsv).with_tag(tag.clone()),
+        ))
+        .unwrap();
+    }
+    let mut demux = TagDemux::new();
+    for _ in 0..tags.len() {
+        let reply = conn.read_frame().unwrap();
+        demux.feed(&reply.header, &reply.payload).unwrap();
+    }
+    for (seed, tag) in tags.iter().enumerate() {
+        let expected = std::fs::read(dir.join(format!("gen-{seed}.tsv"))).unwrap();
+        assert_eq!(demux.get(tag).unwrap().payload, expected, "pipelined {tag} diverged");
+    }
+    conn.send(&Request::Sub(GenSpec::new("tiny", t_len, 2, WireFormat::Tsv).with_tag("stream")))
+        .unwrap();
+    loop {
+        let reply = conn.read_frame().unwrap();
+        demux.feed(&reply.header, &reply.payload).unwrap();
+        if demux.get("stream").is_some_and(|s| s.is_done()) {
+            break;
+        }
+    }
+    let stream = demux.take("stream").unwrap();
+    assert_eq!(stream.outcome, Some(StreamOutcome::Complete));
+    assert_eq!(stream.frames, t_len, "one EVT frame per snapshot");
+    assert_eq!(
+        stream.payload,
+        demux.get("job-2").unwrap().payload,
+        "SUB stream must concatenate to the buffered GEN payload"
+    );
+    conn.request(&Request::Quit { tag: None }).unwrap();
+    println!(
+        "pipelined {} tagged GENs + a {}-frame SUB stream on one connection ✓",
+        tags.len(),
+        t_len
     );
     drop(frontend);
 }

@@ -53,7 +53,9 @@ fn usage() -> ExitCode {
          \x20              [--format tsv|bin] --out-dir <dir>   (one file per job, seed-addressed)\n\
          serve          --model <model.vrdg> [--name NAME] [--models n1=p1,n2=p2,...]\n\
          \x20              [--addr HOST:PORT] [--workers N] [--cache-entries N] [--queue-depth N]\n\
-         \x20              (line protocol: GEN model=<name> t=<T> seed=<S> fmt=tsv|bin [priority=P])\n\
+         \x20              [--max-conns N] [--max-inflight N]\n\
+         \x20              (pipelined line protocol: GEN/SUB model=<name> t=<T> seed=<S>\n\
+         \x20               fmt=tsv|bin [priority=P] [tag=<tag>], CANCEL tag=<tag>, ...)\n\
          evaluate       --original <graph.tsv> --generated <graph.tsv>"
     );
     ExitCode::FAILURE
@@ -73,7 +75,9 @@ fn main() -> ExitCode {
             };
             let scale: f64 = kv.get("scale").and_then(|s| s.parse().ok()).unwrap_or(1.0);
             let Some(spec) = datasets::by_name(name) else {
-                eprintln!("unknown dataset {name}; known: Email, Bitcoin, Wiki, Guarantee, Brain, GDELT");
+                eprintln!(
+                    "unknown dataset {name}; known: Email, Bitcoin, Wiki, Guarantee, Brain, GDELT"
+                );
                 return ExitCode::FAILURE;
             };
             let g = datasets::generate(&spec.scaled(scale), seed);
@@ -81,7 +85,13 @@ fn main() -> ExitCode {
                 eprintln!("write failed: {e}");
                 return ExitCode::FAILURE;
             }
-            println!("wrote {out}: N={} M={} F={} T={}", g.n_nodes(), g.temporal_edge_count(), g.n_attrs(), g.t_len());
+            println!(
+                "wrote {out}: N={} M={} F={} T={}",
+                g.n_nodes(),
+                g.temporal_edge_count(),
+                g.n_attrs(),
+                g.t_len()
+            );
         }
         "summarize" => {
             let Some(path) = kv.get("graph") else { return usage() };
@@ -259,10 +269,7 @@ fn main() -> ExitCode {
                 match ticket.wait() {
                     Ok(result) => {
                         if let Some(e) = &result.error {
-                            eprintln!(
-                                "job {} (seed {}) failed: {e}",
-                                result.id.0, result.seed
-                            );
+                            eprintln!("job {} (seed {}) failed: {e}", result.id.0, result.seed);
                             failed = true;
                         } else {
                             println!(
@@ -296,14 +303,19 @@ fn main() -> ExitCode {
             // core. Register either one model (--model [+ --name]) or a
             // comma-separated list (--models a=p1,b=p2); clients speak
             // the line protocol documented in the README.
-            let addr = kv
-                .get("addr")
-                .cloned()
-                .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+            let addr = kv.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7878".to_string());
             let workers: usize = kv.get("workers").and_then(|s| s.parse().ok()).unwrap_or(2);
             let cache_entries: usize =
                 kv.get("cache-entries").and_then(|s| s.parse().ok()).unwrap_or(64);
             let queue_depth: Option<usize> = kv.get("queue-depth").and_then(|s| s.parse().ok());
+            let mut frontend_cfg = FrontendConfig::default();
+            if let Some(max_conns) = kv.get("max-conns").and_then(|s| s.parse().ok()) {
+                // 0 means "no cap" on the command line.
+                frontend_cfg.max_connections = (max_conns > 0).then_some(max_conns);
+            }
+            if let Some(max_inflight) = kv.get("max-inflight").and_then(|s| s.parse().ok()) {
+                frontend_cfg.max_inflight_per_conn = max_inflight;
+            }
             let registry = ModelRegistry::new();
             if let Some(model_path) = kv.get("model") {
                 let name = kv.get("name").map(String::as_str).unwrap_or("model");
@@ -340,7 +352,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let frontend = match Frontend::bind(handle.clone(), addr.as_str()) {
+            let frontend = match Frontend::bind_with(handle.clone(), addr.as_str(), frontend_cfg) {
                 Ok(f) => f,
                 Err(e) => {
                     eprintln!("cannot bind {addr}: {e}");

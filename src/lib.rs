@@ -31,12 +31,14 @@ pub use vrdag_tensor as tensor;
 pub mod prelude {
     pub use vrdag::{AttrLoss, GenerationState, Vrdag, VrdagConfig};
     pub use vrdag_datasets as datasets;
-    pub use vrdag_graph::{DynamicGraph, DynamicGraphGenerator, FitReport, GeneratorError, Snapshot};
+    pub use vrdag_graph::{
+        DynamicGraph, DynamicGraphGenerator, FitReport, GeneratorError, Snapshot,
+    };
     pub use vrdag_metrics::{attribute_report, structure_report};
     pub use vrdag_serve::{
-        BatchReport, CacheBudget, CacheStats, Frontend, GenRequest, GenSink, LineClient,
-        ModelRegistry, Scheduler, SchedulerConfig, ServeConfig, ServeError, ServeHandle,
-        ServeStats, SnapshotCache, SnapshotStream, Ticket,
+        BatchReport, CacheBudget, CacheStats, CancelToken, Frontend, FrontendConfig, GenRequest,
+        GenSink, LineClient, ModelRegistry, Scheduler, SchedulerConfig, ServeConfig, ServeError,
+        ServeHandle, ServeStats, SnapshotCache, SnapshotStream, Ticket,
     };
     pub use vrdag_tensor::{Matrix, Tensor};
 }

@@ -29,9 +29,8 @@ fn all_baselines_round_trip_on_tiny_dataset() {
         let mut rng = StdRng::seed_from_u64(1);
         let name = m.name().to_string();
         m.fit(&graph, &mut rng).unwrap_or_else(|e| panic!("{name} fit: {e}"));
-        let out = m
-            .generate(graph.t_len(), &mut rng)
-            .unwrap_or_else(|e| panic!("{name} generate: {e}"));
+        let out =
+            m.generate(graph.t_len(), &mut rng).unwrap_or_else(|e| panic!("{name} generate: {e}"));
         assert_eq!(out.n_nodes(), graph.n_nodes(), "{name}: node count");
         assert_eq!(out.t_len(), graph.t_len(), "{name}: sequence length");
         assert!(out.temporal_edge_count() > 0, "{name}: no edges");
@@ -47,11 +46,7 @@ fn all_baselines_round_trip_on_tiny_dataset() {
 fn all_baselines_error_before_fit() {
     let mut rng = StdRng::seed_from_u64(2);
     for m in methods() {
-        assert!(
-            m.generate(2, &mut rng).is_err(),
-            "{} generated without fitting",
-            m.name()
-        );
+        assert!(m.generate(2, &mut rng).is_err(), "{} generated without fitting", m.name());
     }
 }
 
@@ -62,12 +57,7 @@ fn attribute_capable_baselines_fill_attributes() {
         let mut rng = StdRng::seed_from_u64(3);
         m.fit(&graph, &mut rng).unwrap();
         let out = m.generate(2, &mut rng).unwrap();
-        let has_values = out
-            .snapshot(0)
-            .attrs()
-            .data()
-            .iter()
-            .any(|&x| x != 0.0);
+        let has_values = out.snapshot(0).attrs().data().iter().any(|&x| x != 0.0);
         assert_eq!(
             has_values,
             m.supports_attributes(),

@@ -36,11 +36,8 @@ fn cached_scheduler(cache: CacheBudget) -> Scheduler {
     let registry = ModelRegistry::new();
     registry.register_bytes("m", model_bytes().clone()).unwrap();
     // One worker so hit/miss accounting is deterministic.
-    Scheduler::with_config(
-        registry,
-        SchedulerConfig { workers: 1, cache, ..Default::default() },
-    )
-    .unwrap()
+    Scheduler::with_config(registry, SchedulerConfig { workers: 1, cache, ..Default::default() })
+        .unwrap()
 }
 
 proptest! {
@@ -127,9 +124,7 @@ fn miss_hit_and_file_replay_agree() {
     scheduler.submit(GenRequest::new("m", 3, 77, GenSink::InMemory)).unwrap();
     scheduler.submit(GenRequest::new("m", 3, 77, GenSink::InMemory)).unwrap();
     let path = dir.join("hit.tsv");
-    scheduler
-        .submit(GenRequest::new("m", 3, 77, GenSink::TsvFile(path.clone())))
-        .unwrap();
+    scheduler.submit(GenRequest::new("m", 3, 77, GenSink::TsvFile(path.clone()))).unwrap();
     let report = scheduler.join().unwrap();
     assert!(report.all_ok(), "{}", report.render());
     assert_eq!(report.cache_hits(), 2, "{}", report.render());

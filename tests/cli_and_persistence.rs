@@ -75,9 +75,7 @@ fn churn_generation_is_scorable() {
     let mut model = Vrdag::new(cfg);
     let mut rng = StdRng::seed_from_u64(3);
     model.fit(&g, &mut rng).unwrap();
-    let churned = model
-        .generate_with_churn(g.t_len(), &ChurnConfig::default(), &mut rng)
-        .unwrap();
+    let churned = model.generate_with_churn(g.t_len(), &ChurnConfig::default(), &mut rng).unwrap();
     assert_eq!(churned.n_nodes(), g.n_nodes());
     let rep = structure_report(&g, &churned);
     for v in rep.as_row() {

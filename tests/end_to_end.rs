@@ -3,8 +3,8 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use vrdag_suite::prelude::*;
 use vrdag_suite::metrics;
+use vrdag_suite::prelude::*;
 
 fn train_graph(seed: u64) -> DynamicGraph {
     datasets::generate(&datasets::tiny(), seed)

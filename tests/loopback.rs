@@ -1,14 +1,20 @@
 //! End-to-end loopback tests of the TCP line-protocol frontend: live
 //! `std::net` server, concurrent clients, bit-identical replies against
 //! the direct `ServeHandle` path, deterministic coalescing of duplicate
-//! keys, and structured backpressure instead of dropped connections.
+//! keys, structured backpressure instead of dropped connections, and —
+//! since the pipelined protocol — tagged out-of-order completions,
+//! `SUB` snapshot streaming, `CANCEL`, and the connection/in-flight
+//! caps.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use vrdag_suite::graph::io::BinaryStreamWriter;
 use vrdag_suite::prelude::*;
-use vrdag_suite::serve::protocol::{ErrorCode, GenSpec, ReplyHeader, Request, WireFormat};
+use vrdag_suite::serve::protocol::{
+    EndStatus, ErrorCode, GenSpec, ReplyHeader, Request, StreamOutcome, TagDemux, WireFormat,
+};
+use vrdag_suite::serve::FrontendConfig;
 
 fn fitted_model(seed: u64) -> Vrdag {
     let g = datasets::generate(&datasets::tiny(), seed);
@@ -40,6 +46,18 @@ fn encode(graph: &DynamicGraph, fmt: WireFormat) -> Vec<u8> {
     }
 }
 
+/// Generate `(t_len, seed)` through a direct `ServeHandle` and encode it
+/// as the ground truth for a wire reply.
+fn direct_payload(registry: &ModelRegistry, t_len: usize, seed: u64, fmt: WireFormat) -> Vec<u8> {
+    let direct = ServeHandle::new(registry.clone(), 1).unwrap();
+    let ticket = direct.submit(GenRequest::new("m", t_len, seed, GenSink::InMemory)).unwrap();
+    let result = ticket.wait().unwrap();
+    assert!(result.is_ok(), "{:?}", result.error);
+    let payload = encode(result.graph.as_deref().unwrap(), fmt);
+    direct.shutdown();
+    payload
+}
+
 #[test]
 fn concurrent_clients_get_bit_identical_replies_and_duplicates_coalesce() {
     let model = fitted_model(11);
@@ -53,9 +71,7 @@ fn concurrent_clients_get_bit_identical_replies_and_duplicates_coalesce() {
     let keys: Vec<(usize, u64)> = vec![(3, 1), (3, 2), (4, 1)];
     let mut expected: HashMap<(usize, u64, bool), Vec<u8>> = HashMap::new();
     for &(t_len, seed) in &keys {
-        let ticket = direct
-            .submit(GenRequest::new("m", t_len, seed, GenSink::InMemory))
-            .unwrap();
+        let ticket = direct.submit(GenRequest::new("m", t_len, seed, GenSink::InMemory)).unwrap();
         let result = ticket.wait().unwrap();
         assert!(result.is_ok(), "{:?}", result.error);
         let graph = result.graph.as_deref().unwrap();
@@ -83,23 +99,10 @@ fn concurrent_clients_get_bit_identical_replies_and_duplicates_coalesce() {
                 let mut conn = LineClient::connect(addr).unwrap();
                 let mut replies = Vec::new();
                 for (t_len, seed) in keys {
-                    let reply = conn
-                        .gen(GenSpec {
-                            model: "m".to_string(),
-                            t_len,
-                            seed,
-                            fmt,
-                            priority: 0,
-                        })
-                        .unwrap();
+                    let reply = conn.gen(GenSpec::new("m", t_len, seed, fmt)).unwrap();
                     match reply.header {
                         ReplyHeader::Gen {
-                            t_len: rt,
-                            seed: rs,
-                            fmt: rf,
-                            snapshots,
-                            bytes,
-                            ..
+                            t_len: rt, seed: rs, fmt: rf, snapshots, bytes, ..
                         } => {
                             assert_eq!((rt, rs, rf), (t_len, seed, fmt), "reply routed wrong");
                             assert_eq!(snapshots, t_len);
@@ -109,8 +112,8 @@ fn concurrent_clients_get_bit_identical_replies_and_duplicates_coalesce() {
                     }
                     replies.push((t_len, seed, fmt == WireFormat::Bin, reply.payload));
                 }
-                let bye = conn.request(&Request::Quit).unwrap();
-                assert!(matches!(bye.header, ReplyHeader::Bye));
+                let bye = conn.request(&Request::Quit { tag: None }).unwrap();
+                assert!(matches!(bye.header, ReplyHeader::Bye { .. }));
                 replies
             })
         })
@@ -134,6 +137,332 @@ fn concurrent_clients_get_bit_identical_replies_and_duplicates_coalesce() {
     assert_eq!(stats.cache.misses, keys.len() as u64, "{stats:?}");
     assert_eq!(stats.cache.hits, 12 - keys.len() as u64, "{stats:?}");
     assert_eq!(stats.cache.evictions, 0);
+}
+
+#[test]
+fn pipelined_tagged_gens_complete_out_of_order_and_demux_by_tag() {
+    let model = fitted_model(21);
+    let registry = ModelRegistry::new();
+    registry.register("m", &model).unwrap();
+
+    // One long job and four short ones, mixed formats. Cache disabled so
+    // every job really generates — the long one must occupy a worker
+    // while the short ones overtake it.
+    let jobs: Vec<(&str, usize, u64, WireFormat)> = vec![
+        ("big", 80, 1, WireFormat::Tsv),
+        ("s1", 1, 2, WireFormat::Tsv),
+        ("s2", 1, 3, WireFormat::Bin),
+        ("s3", 2, 4, WireFormat::Tsv),
+        ("s4", 1, 5, WireFormat::Bin),
+    ];
+    let expected: HashMap<&str, Vec<u8>> = jobs
+        .iter()
+        .map(|&(tag, t_len, seed, fmt)| (tag, direct_payload(&registry, t_len, seed, fmt)))
+        .collect();
+
+    let handle = ServeHandle::new(registry, 2).unwrap();
+    let frontend = Frontend::bind(handle.clone(), "127.0.0.1:0").unwrap();
+    let mut conn = LineClient::connect(frontend.local_addr()).unwrap();
+
+    // Fire the whole pipeline without reading a single reply: the big
+    // job first, so in-order delivery would have to stall the others.
+    for &(tag, t_len, seed, fmt) in &jobs {
+        conn.send(&Request::Gen(GenSpec::new("m", t_len, seed, fmt).with_tag(tag))).unwrap();
+    }
+
+    let mut demux = TagDemux::new();
+    let mut arrival: Vec<String> = Vec::new();
+    while arrival.len() < jobs.len() {
+        let reply = conn.read_frame().unwrap();
+        match &reply.header {
+            ReplyHeader::Gen { tag: Some(tag), bytes, .. } => {
+                assert_eq!(*bytes, reply.payload.len());
+                arrival.push(tag.clone());
+                demux.feed(&reply.header, &reply.payload).unwrap();
+            }
+            other => panic!("expected a tagged OK GEN, got {other:?}"),
+        }
+    }
+
+    // Every tagged reply is bit-identical to the direct path.
+    for &(tag, ..) in &jobs {
+        let stream = demux.get(tag).unwrap();
+        assert_eq!(stream.outcome, Some(StreamOutcome::Reply), "{tag}");
+        assert_eq!(&stream.payload, expected.get(tag).unwrap(), "tag {tag} payload diverged");
+    }
+    // Pipelining proof: the first-submitted (slow) job did NOT arrive
+    // first — at least one later, shorter job overtook it.
+    assert_ne!(arrival[0], "big", "no out-of-submission-order completion: {arrival:?}");
+    assert_eq!(arrival.last().map(String::as_str), Some("big"), "{arrival:?}");
+
+    // The connection is still usable lock-step afterwards.
+    let pong = conn.request(&Request::Ping { tag: None }).unwrap();
+    assert!(matches!(pong.header, ReplyHeader::Pong { tag: None }));
+}
+
+#[test]
+fn sub_streams_equal_buffered_gen_payloads() {
+    let model = fitted_model(22);
+    let registry = ModelRegistry::new();
+    registry.register("m", &model).unwrap();
+    // Cache enabled: the GEN populates it, so the SUB exercises the
+    // cache-hit *replay* path — which must stream the exact same frames
+    // as cold generation.
+    let handle = ServeHandle::with_config(
+        registry,
+        ServeConfig { workers: 1, cache: CacheBudget::entries(8), ..Default::default() },
+    )
+    .unwrap();
+    let frontend = Frontend::bind(handle.clone(), "127.0.0.1:0").unwrap();
+
+    for (fmt, t_len, seed) in [(WireFormat::Tsv, 6, 7u64), (WireFormat::Bin, 5, 9u64)] {
+        let mut conn = LineClient::connect(frontend.local_addr()).unwrap();
+        let buffered = conn.gen(GenSpec::new("m", t_len, seed, fmt)).unwrap();
+        let expected_payload = match &buffered.header {
+            ReplyHeader::Gen { snapshots, .. } => {
+                assert_eq!(*snapshots, t_len);
+                buffered.payload.clone()
+            }
+            other => panic!("expected OK GEN, got {other:?}"),
+        };
+
+        conn.send(&Request::Sub(GenSpec::new("m", t_len, seed, fmt).with_tag("st"))).unwrap();
+        let mut demux = TagDemux::new();
+        let mut evt_frames = 0usize;
+        loop {
+            let reply = conn.read_frame().unwrap();
+            match &reply.header {
+                ReplyHeader::Sub { tag, t_len: acked, .. } => {
+                    assert_eq!(tag, "st");
+                    assert_eq!(*acked, t_len);
+                    demux.feed(&reply.header, &reply.payload).unwrap();
+                }
+                ReplyHeader::Evt { snap, of, bytes, .. } => {
+                    assert_eq!(*of, t_len);
+                    assert_eq!(*snap, evt_frames, "frames arrive in snapshot order");
+                    assert_eq!(*bytes, reply.payload.len());
+                    evt_frames += 1;
+                    demux.feed(&reply.header, &reply.payload).unwrap();
+                }
+                ReplyHeader::End { .. } => {
+                    demux.feed(&reply.header, &reply.payload).unwrap();
+                    break;
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        // Exactly t EVT frames whose concatenation equals the buffered
+        // GEN payload, terminated by a clean END.
+        assert_eq!(evt_frames, t_len);
+        let stream = demux.take("st").unwrap();
+        assert_eq!(stream.outcome, Some(StreamOutcome::Complete));
+        assert_eq!(stream.frames, t_len);
+        assert_eq!(stream.payload, expected_payload, "fmt {fmt}: stream != buffered payload");
+    }
+    // Both SUBs were served from the cache (the GENs generated).
+    let stats = handle.stats();
+    assert_eq!(stats.cache.misses, 2, "{stats:?}");
+    assert!(stats.cache.hits >= 2, "{stats:?}");
+}
+
+#[test]
+fn cancel_mid_stream_ends_the_subscription_and_keeps_the_connection() {
+    let model = fitted_model(23);
+    let registry = ModelRegistry::new();
+    registry.register("m", &model).unwrap();
+    let handle = ServeHandle::new(registry, 1).unwrap();
+    let frontend = Frontend::bind(handle.clone(), "127.0.0.1:0").unwrap();
+    let mut conn = LineClient::connect(frontend.local_addr()).unwrap();
+
+    // CANCEL of a tag that is not in flight: found=false, nothing else.
+    let miss = conn.request(&Request::Cancel { tag: "ghost".to_string() }).unwrap();
+    assert!(matches!(miss.header, ReplyHeader::Cancel { found: false, .. }));
+
+    // A long subscription, cancelled after two delivered snapshots.
+    let total = 400usize;
+    conn.send(&Request::Sub(GenSpec::new("m", total, 0, WireFormat::Tsv).with_tag("long")))
+        .unwrap();
+    let ack = conn.read_frame().unwrap();
+    assert!(matches!(ack.header, ReplyHeader::Sub { .. }), "{:?}", ack.header);
+    let mut seen = 0usize;
+    while seen < 2 {
+        let reply = conn.read_frame().unwrap();
+        match reply.header {
+            ReplyHeader::Evt { snap, .. } => {
+                assert_eq!(snap, seen);
+                seen += 1;
+            }
+            other => panic!("expected EVT, got {other:?}"),
+        }
+    }
+    conn.send(&Request::Cancel { tag: "long".to_string() }).unwrap();
+    // In-flight EVT frames may still arrive before the CANCEL lands;
+    // consume until the stream terminates.
+    let mut cancel_acked = false;
+    let (snapshots, status) = loop {
+        let reply = conn.read_frame().unwrap();
+        match reply.header {
+            ReplyHeader::Evt { snap, .. } => {
+                assert_eq!(snap, seen);
+                seen += 1;
+            }
+            ReplyHeader::Cancel { tag, found } => {
+                assert_eq!(tag, "long");
+                assert!(found, "the subscription was in flight");
+                cancel_acked = true;
+            }
+            ReplyHeader::End { tag, snapshots, status, .. } => {
+                assert_eq!(tag, "long");
+                break (snapshots, status);
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    };
+    assert!(cancel_acked);
+    assert_eq!(status, EndStatus::Cancelled);
+    assert_eq!(snapshots, seen, "END reports the frames actually delivered");
+    assert!(snapshots < total, "cancellation really stopped the stream early");
+
+    // The connection survived and serves lock-step work again.
+    let pong = conn.request(&Request::Ping { tag: None }).unwrap();
+    assert!(matches!(pong.header, ReplyHeader::Pong { .. }));
+    let reply = conn.gen(GenSpec::new("m", 2, 1, WireFormat::Tsv)).unwrap();
+    assert!(matches!(reply.header, ReplyHeader::Gen { .. }));
+    // The cancelled job is visible in the stats and not counted failed.
+    let stats = handle.stats();
+    assert_eq!(stats.cancelled, 1, "{stats:?}");
+    assert_eq!(stats.failed, 0, "{stats:?}");
+}
+
+#[test]
+fn inflight_cap_and_duplicate_tags_answer_structured_errors() {
+    let model = fitted_model(24);
+    let registry = ModelRegistry::new();
+    registry.register("m", &model).unwrap();
+    let handle = ServeHandle::new(registry, 1).unwrap();
+    let frontend = Frontend::bind_with(
+        handle.clone(),
+        "127.0.0.1:0",
+        FrontendConfig { max_inflight_per_conn: 1, ..Default::default() },
+    )
+    .unwrap();
+
+    // Pin the single worker via the shared handle so the wire job below
+    // stays in flight deterministically.
+    let (started_tx, started_rx) = std::sync::mpsc::channel();
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let mut fired = false;
+    let blocker = handle
+        .submit(GenRequest::new(
+            "m",
+            1,
+            0,
+            GenSink::Callback(Box::new(move |_, _| {
+                if !fired {
+                    fired = true;
+                    started_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                }
+            })),
+        ))
+        .unwrap();
+    started_rx.recv().unwrap();
+
+    let mut conn = LineClient::connect(frontend.local_addr()).unwrap();
+    conn.send(&Request::Gen(GenSpec::new("m", 1, 1, WireFormat::Tsv).with_tag("a"))).unwrap();
+    // Same tag again: rejected as a duplicate while `a` is in flight.
+    let dup = conn
+        .request(&Request::Gen(GenSpec::new("m", 1, 2, WireFormat::Tsv).with_tag("a")))
+        .unwrap();
+    match dup.header {
+        ReplyHeader::Err { code, tag, .. } => {
+            assert_eq!(code, ErrorCode::DuplicateTag);
+            assert_eq!(tag.as_deref(), Some("a"));
+        }
+        other => panic!("expected ERR duplicate-tag, got {other:?}"),
+    }
+    // A different tag: over the per-connection in-flight cap.
+    let over = conn
+        .request(&Request::Gen(GenSpec::new("m", 1, 3, WireFormat::Tsv).with_tag("b")))
+        .unwrap();
+    match over.header {
+        ReplyHeader::Err { code, tag, message } => {
+            assert_eq!(code, ErrorCode::TooManyInflight);
+            assert_eq!(tag.as_deref(), Some("b"));
+            assert!(message.contains("cap=1"), "{message}");
+        }
+        other => panic!("expected ERR too-many-inflight, got {other:?}"),
+    }
+    // Unpin; tag `a` resolves and frees the slot for new work.
+    release_tx.send(()).unwrap();
+    blocker.wait().unwrap();
+    let reply = conn.read_frame().unwrap();
+    match reply.header {
+        ReplyHeader::Gen { tag, .. } => assert_eq!(tag.as_deref(), Some("a")),
+        other => panic!("expected OK GEN tag=a, got {other:?}"),
+    }
+    let retry = conn
+        .request(&Request::Gen(GenSpec::new("m", 1, 3, WireFormat::Tsv).with_tag("b")))
+        .unwrap();
+    assert!(matches!(retry.header, ReplyHeader::Gen { .. }), "{:?}", retry.header);
+}
+
+#[test]
+fn connection_cap_greets_with_structured_error_and_recovers() {
+    let model = fitted_model(25);
+    let registry = ModelRegistry::new();
+    registry.register("m", &model).unwrap();
+    let handle = ServeHandle::new(registry, 1).unwrap();
+    let frontend = Frontend::bind_with(
+        handle.clone(),
+        "127.0.0.1:0",
+        FrontendConfig { max_connections: Some(1), ..Default::default() },
+    )
+    .unwrap();
+    let addr = frontend.local_addr();
+
+    let mut first = LineClient::connect(addr).unwrap();
+    // The PING round trip proves the handler is registered in the
+    // accept loop's table before the second connect below.
+    assert!(matches!(
+        first.request(&Request::Ping { tag: None }).unwrap().header,
+        ReplyHeader::Pong { .. }
+    ));
+
+    // Over the cap: a structured greeting, then close.
+    let mut second = LineClient::connect(addr).unwrap();
+    let greeting = second.read_frame().unwrap();
+    match greeting.header {
+        ReplyHeader::Err { code, message, .. } => {
+            assert_eq!(code, ErrorCode::TooManyConnections);
+            assert!(message.contains("cap=1"), "{message}");
+        }
+        other => panic!("expected ERR too-many-connections, got {other:?}"),
+    }
+    assert!(second.read_frame().is_err(), "rejected connection must be closed");
+
+    // Close the first connection; the accept loop reaps it and serves
+    // new clients again.
+    assert!(matches!(
+        first.request(&Request::Quit { tag: None }).unwrap().header,
+        ReplyHeader::Bye { .. }
+    ));
+    drop(first);
+    let mut recovered = None;
+    for _ in 0..500 {
+        let mut conn = match LineClient::connect(addr) {
+            Ok(conn) => conn,
+            Err(_) => continue,
+        };
+        match conn.request(&Request::Ping { tag: None }) {
+            Ok(reply) if matches!(reply.header, ReplyHeader::Pong { .. }) => {
+                recovered = Some(conn);
+                break;
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    }
+    assert!(recovered.is_some(), "frontend never recovered below the connection cap");
 }
 
 #[test]
@@ -172,24 +501,18 @@ fn saturated_queue_answers_structured_backpressure_and_keeps_the_connection() {
     let filler = handle.submit(GenRequest::new("m", 1, 1, GenSink::Discard)).unwrap();
 
     let mut conn = LineClient::connect(frontend.local_addr()).unwrap();
-    let spec = GenSpec {
-        model: "m".to_string(),
-        t_len: 2,
-        seed: 9,
-        fmt: WireFormat::Tsv,
-        priority: 0,
-    };
+    let spec = GenSpec::new("m", 2, 9, WireFormat::Tsv);
     let rejected = conn.gen(spec.clone()).unwrap();
     match rejected.header {
-        ReplyHeader::Err { code, message } => {
+        ReplyHeader::Err { code, message, .. } => {
             assert_eq!(code, ErrorCode::QueueFull);
             assert_eq!(message, "depth=1 cap=1", "structured backpressure fields");
         }
         other => panic!("expected ERR queue-full, got {other:?}"),
     }
     // The connection survived the rejection: it still answers.
-    let pong = conn.request(&Request::Ping).unwrap();
-    assert!(matches!(pong.header, ReplyHeader::Pong));
+    let pong = conn.request(&Request::Ping { tag: None }).unwrap();
+    assert!(matches!(pong.header, ReplyHeader::Pong { .. }));
 
     // Unpin the worker; once the backlog drains, the same connection's
     // retry succeeds — the client-side backoff loop the ERR asks for.
@@ -245,25 +568,54 @@ fn malformed_lines_get_typed_errors_without_losing_the_connection() {
         ErrorCode::BadRequest
     );
     assert_eq!(
+        err_code(conn.send_line("SUB model=m t=1 seed=0 fmt=tsv tag=bad tag").unwrap()),
+        ErrorCode::BadRequest
+    );
+    assert_eq!(
+        err_code(conn.send_line("GEN model=m t=1 seed=0 fmt=tsv tag=sp%ce").unwrap()),
+        ErrorCode::BadRequest
+    );
+    assert_eq!(err_code(conn.send_line("CANCEL").unwrap()), ErrorCode::BadRequest);
+    assert_eq!(
         err_code(conn.send_line("GEN model=ghost t=1 seed=0 fmt=tsv").unwrap()),
         ErrorCode::UnknownModel
     );
     let oversized = format!("GEN model={} t=1 seed=0 fmt=tsv", "x".repeat(8192));
     assert_eq!(err_code(conn.send_line(&oversized).unwrap()), ErrorCode::LineTooLong);
-    // Non-UTF-8 bytes are a bad request, not a hangup. (Sent raw; the
-    // reply still parses.)
     // After all of that, the connection still serves real work.
-    let reply = conn
-        .gen(GenSpec {
-            model: "m".to_string(),
-            t_len: 1,
-            seed: 0,
-            fmt: WireFormat::Tsv,
-            priority: 0,
-        })
-        .unwrap();
+    let reply = conn.gen(GenSpec::new("m", 1, 0, WireFormat::Tsv)).unwrap();
     assert!(matches!(reply.header, ReplyHeader::Gen { .. }));
-    assert!(matches!(conn.request(&Request::Stats).unwrap().header, ReplyHeader::Stats { .. }));
+    assert!(matches!(
+        conn.request(&Request::Stats { tag: None }).unwrap().header,
+        ReplyHeader::Stats { .. }
+    ));
+}
+
+#[test]
+fn abrupt_disconnect_cancels_untagged_inflight_jobs() {
+    let model = fitted_model(26);
+    let registry = ModelRegistry::new();
+    registry.register("m", &model).unwrap();
+    let handle = ServeHandle::new(registry, 1).unwrap();
+    let frontend = Frontend::bind(handle.clone(), "127.0.0.1:0").unwrap();
+    {
+        let mut conn = LineClient::connect(frontend.local_addr()).unwrap();
+        // Untagged (legacy-style) long job, then vanish without QUIT.
+        conn.send(&Request::Gen(GenSpec::new("m", 50_000, 3, WireFormat::Bin))).unwrap();
+        // Give the reader time to dispatch it onto the single worker.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+    } // drop = abrupt close
+      // The teardown must trip the job's token: the worker frees up long
+      // before 50k snapshots could possibly generate.
+    let mut cancelled = false;
+    for _ in 0..400 {
+        if handle.stats().cancelled == 1 {
+            cancelled = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(cancelled, "disconnect never cancelled the untagged job: {:?}", handle.stats());
 }
 
 #[test]
@@ -276,7 +628,10 @@ fn frontend_shutdown_leaves_the_core_usable() {
     let addr = frontend.local_addr();
     {
         let mut conn = LineClient::connect(addr).unwrap();
-        assert!(matches!(conn.request(&Request::Ping).unwrap().header, ReplyHeader::Pong));
+        assert!(matches!(
+            conn.request(&Request::Ping { tag: None }).unwrap().header,
+            ReplyHeader::Pong { .. }
+        ));
     }
     frontend.shutdown();
     // The listener is gone (the OS may still accept a connect into the
@@ -284,7 +639,7 @@ fn frontend_shutdown_leaves_the_core_usable() {
     match LineClient::connect(addr) {
         Err(_) => {}
         Ok(mut conn) => assert!(
-            conn.request(&Request::Ping).is_err(),
+            conn.request(&Request::Ping { tag: None }).is_err(),
             "frontend still serving after shutdown"
         ),
     }

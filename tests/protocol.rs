@@ -1,16 +1,24 @@
 //! Property tests of the wire protocol's framing: arbitrary byte noise,
 //! token soup, truncations, and oversized lines must never panic the
 //! parsers and always yield a typed `ProtocolError`; every parsed value
-//! re-serializes to a canonical line that parses back identically.
+//! re-serializes to a canonical line that parses back identically; and
+//! random interleavings of tagged `OK`/`EVT`/`END` frames for distinct
+//! tags always demux to the correct per-tag payloads.
 
 use proptest::prelude::*;
 use vrdag_suite::serve::protocol::{
-    parse_reply, parse_request, ErrorCode, GenSpec, ReplyHeader, Request, WireFormat,
-    MAX_LINE_BYTES,
+    parse_reply, parse_request, EndStatus, ErrorCode, GenSpec, ReplyHeader, Request, StreamOutcome,
+    TagDemux, WireFormat, MAX_LINE_BYTES,
 };
 
 fn lowercase(bytes: &[u8]) -> String {
     bytes.iter().map(|&b| (b'a' + b % 26) as char).collect()
+}
+
+/// Map arbitrary bytes onto the tag alphabet (non-empty input → valid tag).
+fn tagify(bytes: &[u8]) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._:~-";
+    bytes.iter().map(|&b| ALPHABET[b as usize % ALPHABET.len()] as char).collect()
 }
 
 proptest! {
@@ -27,13 +35,14 @@ proptest! {
 
     #[test]
     fn token_soup_never_panics_and_errors_are_typed(
-        pieces in prop::collection::vec((0u16..14, 0u16..1000), 0..20),
+        pieces in prop::collection::vec((0u16..20, 0u16..1000), 0..20),
     ) {
         // Adversarial-but-plausible lines: real command words, real
         // keys, stray separators, numbers — glued in random order.
         let vocab = [
-            "GEN", "STATS", "MODELS", "PING", "QUIT", "OK", "ERR",
-            "model=", "t=", "seed=", "fmt=tsv", "fmt=", "priority=", "=",
+            "GEN", "SUB", "CANCEL", "STATS", "MODELS", "PING", "QUIT", "OK", "ERR",
+            "EVT", "END", "model=", "t=", "seed=", "fmt=tsv", "fmt=", "priority=",
+            "tag=", "snap=", "=",
         ];
         let mut line = String::new();
         for &(word, num) in &pieces {
@@ -55,27 +64,38 @@ proptest! {
 
     #[test]
     fn truncated_lines_never_panic(
-        args in (1usize..60, 0u64..1_000_000, 0usize..80),
+        args in (1usize..60, 0u64..1_000_000, 0usize..120),
     ) {
         let (t, seed, cut) = args;
-        let line = format!("GEN model=m t={t} seed={seed} fmt=bin priority=7");
-        let cut = cut % (line.len() + 1);
+        let line = format!("GEN model=m t={t} seed={seed} fmt=bin priority=7 tag=a-1");
+        let cut_at = cut % (line.len() + 1);
         // ASCII line, so every cut is a char boundary.
-        let _ = parse_request(&line[..cut]);
+        let _ = parse_request(&line[..cut_at]);
         let reply = format!(
-            "OK GEN id=1 model=m t={t} seed={seed} fmt=bin snapshots={t} edges=12 cache=miss bytes=900"
+            "OK GEN tag=a-1 id=1 model=m t={t} seed={seed} fmt=bin snapshots={t} edges=12 cache=miss bytes=900"
         );
-        let cut = cut % (reply.len() + 1);
-        let _ = parse_reply(&reply[..cut]);
+        let cut_at = cut % (reply.len() + 1);
+        let _ = parse_reply(&reply[..cut_at]);
     }
 
     #[test]
-    fn oversized_lines_always_yield_line_too_long(pad in 1usize..600) {
-        let line = format!("GEN model={} t=1 seed=0 fmt=tsv", "m".repeat(MAX_LINE_BYTES + pad));
-        match parse_request(&line) {
-            Err(e) => prop_assert_eq!(e.code(), ErrorCode::LineTooLong),
-            Ok(req) => prop_assert!(false, "oversized line parsed: {:?}", req),
+    fn truncated_evt_and_end_frames_never_panic(
+        args in (0usize..50, 1usize..60, 0usize..100),
+    ) {
+        // Truncated streaming frames must never panic — the client's
+        // capped reader can hand the parser any prefix when a peer dies
+        // mid-header.
+        let (snap, of, cut) = args;
+        let snap = snap % of;
+        let evt = format!("EVT tag=s-{of} snap={snap}/{of} bytes=12345");
+        let cut_at = cut % (evt.len() + 1);
+        let _ = parse_reply(&evt[..cut_at]);
+        if let Err(e) = parse_reply(&evt[..cut_at]) {
+            let _ = e.code();
         }
+        let end = format!("END tag=s-{of} snapshots={snap} edges=99 status=cancelled");
+        let cut_at = cut % (end.len() + 1);
+        let _ = parse_reply(&end[..cut_at]);
     }
 
     #[test]
@@ -85,32 +105,43 @@ proptest! {
             1usize..10_000,
             0u64..u64::MAX,
             -100i32..100,
+            (0u8..2, prop::collection::vec(0u8..255, 1..20)),
         ),
     ) {
-        let (name_raw, t, seed, priority) = args;
+        let (name_raw, t, seed, priority, (has_tag, tag_raw)) = args;
         let fmt = if seed % 2 == 0 { WireFormat::Tsv } else { WireFormat::Bin };
-        let req = Request::Gen(GenSpec {
+        let tag = (has_tag == 1).then(|| tagify(&tag_raw));
+        let spec = GenSpec {
             model: lowercase(&name_raw),
             t_len: t,
             seed,
             fmt,
             priority,
-        });
-        let line = req.to_line();
-        prop_assert!(line.len() <= MAX_LINE_BYTES);
-        // Parse → re-serialize is the identity on canonical lines.
-        let parsed = parse_request(&line).unwrap();
-        prop_assert_eq!(&parsed, &req);
-        prop_assert_eq!(parsed.to_line(), line);
+            tag,
+        };
+        // GEN and SUB share the grammar; both round-trip.
+        for req in [Request::Gen(spec.clone()), Request::Sub(spec)] {
+            let line = req.to_line();
+            prop_assert!(line.len() <= MAX_LINE_BYTES);
+            // Parse → re-serialize is the identity on canonical lines.
+            let parsed = parse_request(&line).unwrap();
+            prop_assert_eq!(&parsed, &req);
+            prop_assert_eq!(parsed.to_line(), line);
+        }
     }
 
     #[test]
-    fn bare_requests_round_trip(which in 0u8..4) {
+    fn bare_requests_round_trip(
+        args in (0u8..5, 0u8..2, prop::collection::vec(0u8..255, 1..20)),
+    ) {
+        let (which, has_tag, tag_raw) = args;
+        let tag = (has_tag == 1).then(|| tagify(&tag_raw));
         let req = match which {
-            0 => Request::Stats,
-            1 => Request::Models,
-            2 => Request::Ping,
-            _ => Request::Quit,
+            0 => Request::Stats { tag },
+            1 => Request::Models { tag },
+            2 => Request::Ping { tag },
+            3 => Request::Quit { tag },
+            _ => Request::Cancel { tag: tag.unwrap_or_else(|| "c".to_string()) },
         };
         let line = req.to_line();
         prop_assert_eq!(parse_request(&line).unwrap(), req);
@@ -123,10 +154,12 @@ proptest! {
             (0usize..10_000, 0usize..1_000_000, 0usize..1_000_000),
             0u8..4,
             prop::collection::vec(0u8..26, 1..10),
+            (0u8..2, prop::collection::vec(0u8..255, 1..20)),
         ),
     ) {
-        let ((id, t, seed), (snapshots, edges, bytes), flags, name_raw) = args;
+        let ((id, t, seed), (snapshots, edges, bytes), flags, name_raw, (has_tag, tag_raw)) = args;
         let header = ReplyHeader::Gen {
+            tag: (has_tag == 1).then(|| tagify(&tag_raw)),
             id,
             model: lowercase(&name_raw),
             t_len: t,
@@ -144,10 +177,50 @@ proptest! {
     }
 
     #[test]
-    fn err_reply_headers_round_trip(
-        args in (0u8..7, prop::collection::vec(prop::collection::vec(0u8..26, 1..7), 0..6)),
+    fn streaming_reply_headers_round_trip(
+        args in (
+            prop::collection::vec(0u8..255, 1..20),
+            (0usize..5_000, 1usize..5_000, 0usize..100_000, 0usize..1_000_000),
+            0u8..6,
+        ),
     ) {
-        let (which, words) = args;
+        let (tag_raw, (snap, of_raw, bytes, edges), flags) = args;
+        let tag = tagify(&tag_raw);
+        let of = of_raw.max(snap + 1);
+        let headers = [
+            ReplyHeader::Sub {
+                tag: tag.clone(),
+                model: "m".to_string(),
+                t_len: of,
+                seed: 7,
+                fmt: if flags % 2 == 0 { WireFormat::Tsv } else { WireFormat::Bin },
+            },
+            ReplyHeader::Evt { tag: tag.clone(), snap, of, bytes },
+            ReplyHeader::End {
+                tag: tag.clone(),
+                snapshots: snap,
+                edges,
+                status: if flags % 3 == 0 { EndStatus::Cancelled } else { EndStatus::Ok },
+            },
+            ReplyHeader::Cancel { tag, found: flags % 2 == 0 },
+        ];
+        for header in headers {
+            let line = header.to_line();
+            let parsed = parse_reply(&line).unwrap();
+            prop_assert_eq!(&parsed, &header, "{}", line);
+            prop_assert_eq!(parsed.to_line(), line);
+        }
+    }
+
+    #[test]
+    fn err_reply_headers_round_trip(
+        args in (
+            0u8..11,
+            prop::collection::vec(prop::collection::vec(0u8..26, 1..7), 0..6),
+            (0u8..2, prop::collection::vec(0u8..255, 1..20)),
+        ),
+    ) {
+        let (which, words, (has_tag, tag_raw)) = args;
         let code = match which {
             0 => ErrorCode::QueueFull,
             1 => ErrorCode::UnknownModel,
@@ -155,14 +228,140 @@ proptest! {
             3 => ErrorCode::BadRequest,
             4 => ErrorCode::LineTooLong,
             5 => ErrorCode::Shutdown,
+            6 => ErrorCode::TooManyInflight,
+            7 => ErrorCode::TooManyConnections,
+            8 => ErrorCode::DuplicateTag,
+            9 => ErrorCode::Cancelled,
             _ => ErrorCode::Internal,
         };
         let message =
             words.iter().map(|w| lowercase(w)).collect::<Vec<_>>().join(" ");
-        let header = ReplyHeader::Err { code, message };
+        let header = ReplyHeader::Err { code, tag: (has_tag == 1).then(|| tagify(&tag_raw)), message };
         let line = header.to_line();
         let parsed = parse_reply(&line).unwrap();
         prop_assert_eq!(&parsed, &header);
         prop_assert_eq!(parsed.to_line(), line);
+    }
+
+    #[test]
+    fn interleaved_tagged_frames_demux_to_per_tag_payloads(
+        args in (
+            prop::collection::vec(
+                (
+                    prop::collection::vec(prop::collection::vec(0u16..256, 0..12), 0..6),
+                    0u8..3,
+                ),
+                1..5,
+            ),
+            prop::collection::vec(0usize..64, 0..128),
+        ),
+    ) {
+        let (stream_specs, picks) = args;
+        // Build each tag's frame sequence: [SUB ack], EVT…, terminal.
+        // Terminal kind 0 = END ok, 1 = END cancelled, 2 = ERR tag=….
+        struct Plan {
+            tag: String,
+            frames: Vec<(ReplyHeader, Vec<u8>)>,
+            payload: Vec<u8>,
+            outcome: StreamOutcome,
+        }
+        let plans: Vec<Plan> = stream_specs
+            .iter()
+            .enumerate()
+            .map(|(i, (chunks, kind))| {
+                let tag = format!("s{i}");
+                let of = chunks.len().max(1);
+                let mut frames: Vec<(ReplyHeader, Vec<u8>)> = vec![(
+                    ReplyHeader::Sub {
+                        tag: tag.clone(),
+                        model: "m".to_string(),
+                        t_len: of,
+                        seed: i as u64,
+                        fmt: WireFormat::Tsv,
+                    },
+                    Vec::new(),
+                )];
+                let mut payload = Vec::new();
+                for (snap, chunk) in chunks.iter().enumerate() {
+                    let bytes: Vec<u8> = chunk.iter().map(|&b| b as u8).collect();
+                    payload.extend_from_slice(&bytes);
+                    frames.push((
+                        ReplyHeader::Evt {
+                            tag: tag.clone(),
+                            snap,
+                            of,
+                            bytes: bytes.len(),
+                        },
+                        bytes,
+                    ));
+                }
+                let outcome = match kind % 3 {
+                    0 => StreamOutcome::Complete,
+                    1 => StreamOutcome::Cancelled,
+                    _ => StreamOutcome::Failed {
+                        code: ErrorCode::Internal,
+                        message: "boom".to_string(),
+                    },
+                };
+                let terminal = match &outcome {
+                    StreamOutcome::Failed { code, message } => ReplyHeader::Err {
+                        code: *code,
+                        tag: Some(tag.clone()),
+                        message: message.clone(),
+                    },
+                    StreamOutcome::Cancelled => ReplyHeader::End {
+                        tag: tag.clone(),
+                        snapshots: chunks.len(),
+                        edges: 3 * i,
+                        status: EndStatus::Cancelled,
+                    },
+                    _ => ReplyHeader::End {
+                        tag: tag.clone(),
+                        snapshots: chunks.len(),
+                        edges: 3 * i,
+                        status: EndStatus::Ok,
+                    },
+                };
+                frames.push((terminal, Vec::new()));
+                Plan { tag, frames, payload, outcome }
+            })
+            .collect();
+
+        // Interleave the per-tag sequences in a proptest-chosen order
+        // (per-tag order preserved — the wire guarantees that much;
+        // cross-tag order is arbitrary).
+        let mut cursors = vec![0usize; plans.len()];
+        let mut demux = TagDemux::new();
+        let mut step = 0usize;
+        loop {
+            let live: Vec<usize> = plans
+                .iter()
+                .enumerate()
+                .filter(|(i, p)| cursors[*i] < p.frames.len())
+                .map(|(i, _)| i)
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            let pick = picks.get(step % picks.len().max(1)).copied().unwrap_or(step);
+            let chosen = live[pick % live.len()];
+            let (header, payload) = &plans[chosen].frames[cursors[chosen]];
+            // Round-trip each frame through the wire form first: the
+            // demux sees exactly what a client would parse.
+            let reparsed = parse_reply(&header.to_line()).unwrap();
+            prop_assert_eq!(&reparsed, header);
+            demux.feed(&reparsed, payload).unwrap();
+            cursors[chosen] += 1;
+            step += 1;
+        }
+
+        for plan in &plans {
+            let stream = demux.get(&plan.tag).unwrap();
+            prop_assert_eq!(&stream.payload, &plan.payload, "tag {} payload", plan.tag);
+            prop_assert_eq!(stream.outcome.as_ref(), Some(&plan.outcome), "tag {}", plan.tag);
+            prop_assert_eq!(stream.frames, plan.frames.len() - 2, "tag {}", plan.tag);
+        }
+        prop_assert_eq!(demux.finished().count(), plans.len());
+        prop_assert_eq!(demux.pending().count(), 0);
     }
 }
