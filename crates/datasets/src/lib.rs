@@ -18,6 +18,7 @@ pub mod spec;
 pub mod synth;
 
 pub use spec::{
-    all_specs, bitcoin, brain, by_name, email, gdelt, guarantee, tiny, wiki, DatasetSpec, Flavor,
+    all_specs, bitcoin, brain, by_name, by_name_or_err, email, gdelt, guarantee, spec_names, tiny,
+    wiki, DatasetSpec, Flavor, UnknownDataset,
 };
 pub use synth::{generate, generate_scaled};

@@ -266,6 +266,40 @@ pub fn by_name(name: &str) -> Option<DatasetSpec> {
     all_specs().into_iter().find(|s| s.name.eq_ignore_ascii_case(name))
 }
 
+/// The valid spec names, in the paper's Table I order — the list an
+/// [`UnknownDataset`] error reports.
+pub fn spec_names() -> Vec<String> {
+    all_specs().into_iter().map(|s| s.name).collect()
+}
+
+/// A dataset name that matched no spec. The display form lists every
+/// valid name, so callers (e.g. `vrdag-cli synth`) can surface it
+/// verbatim instead of maintaining their own copy of the list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownDataset {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown dataset {:?}; valid names (case-insensitive): {}",
+            self.name,
+            spec_names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownDataset {}
+
+/// Like [`by_name`], but an unknown name yields a typed error whose
+/// message lists the valid spec names.
+pub fn by_name_or_err(name: &str) -> Result<DatasetSpec, UnknownDataset> {
+    by_name(name).ok_or_else(|| UnknownDataset { name: name.to_string() })
+}
+
 /// A tiny spec for unit tests: ~60 nodes, 6 snapshots, 2 attributes.
 pub fn tiny() -> DatasetSpec {
     DatasetSpec {
@@ -334,6 +368,18 @@ mod tests {
         assert!(by_name("email").is_some());
         assert!(by_name("GDELT").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn unknown_names_report_the_valid_list() {
+        assert_eq!(by_name_or_err("bitcoin").unwrap().name, "Bitcoin");
+        let err = by_name_or_err("nope").unwrap_err();
+        assert_eq!(err.name, "nope");
+        let message = err.to_string();
+        for name in spec_names() {
+            assert!(message.contains(&name), "{message} missing {name}");
+        }
+        assert!(message.contains("\"nope\""), "{message}");
     }
 
     #[test]

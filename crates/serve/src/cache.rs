@@ -21,6 +21,7 @@
 //! least-recently-used; every `get` hit refreshes recency. Counters
 //! ([`CacheStats`]) feed `BatchReport` and the service `stats()` snapshot.
 
+use crate::tenant::TenantId;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::sync::Mutex;
@@ -109,6 +110,8 @@ impl CacheStats {
 struct Entry {
     graph: Arc<DynamicGraph>,
     bytes: usize,
+    /// Tenant whose insertion this entry is charged against.
+    owner: TenantId,
     /// Stamp of this entry's newest ticket in `recency`; older tickets
     /// for the same key are stale and skipped during eviction.
     stamp: u64,
@@ -120,12 +123,33 @@ struct Inner {
     /// instead of moving the old one (O(1)); stale tickets are discarded
     /// lazily during eviction and compaction.
     recency: VecDeque<(u64, CacheKey)>,
+    /// Resident bytes charged to each tenant (see
+    /// [`SnapshotCache::insert_charged`]); entries are removed when a
+    /// tenant's residency drops to zero.
+    by_owner: HashMap<TenantId, usize>,
     clock: u64,
     bytes: usize,
     hits: u64,
     misses: u64,
     insertions: u64,
     evictions: u64,
+}
+
+impl Inner {
+    /// Remove `key` from the map, keeping the byte accounting (global
+    /// and per-owner) consistent. The entry's recency tickets become
+    /// stale and are discarded lazily.
+    fn remove_entry(&mut self, key: &CacheKey) -> Option<Entry> {
+        let entry = self.map.remove(key)?;
+        self.bytes -= entry.bytes;
+        match self.by_owner.get_mut(&entry.owner) {
+            Some(owned) if *owned > entry.bytes => *owned -= entry.bytes,
+            _ => {
+                self.by_owner.remove(&entry.owner);
+            }
+        }
+        Some(entry)
+    }
 }
 
 /// Bounded, thread-safe LRU over generated [`DynamicGraph`] sequences.
@@ -147,6 +171,7 @@ impl SnapshotCache {
             inner: Arc::new(Mutex::new(Inner {
                 map: HashMap::new(),
                 recency: VecDeque::new(),
+                by_owner: HashMap::new(),
                 clock: 0,
                 bytes: 0,
                 hits: 0,
@@ -199,24 +224,71 @@ impl SnapshotCache {
         }
     }
 
-    /// Admit a sequence, evicting least-recently-used entries until the
-    /// budget holds. Returns `false` (and stores nothing) when the cache
-    /// is disabled or the sequence alone exceeds the byte budget.
-    /// Re-inserting an existing key replaces the entry and refreshes its
-    /// recency.
+    /// Admit a sequence with no tenant charge (anonymous owner, no
+    /// share cap) — see [`insert_charged`](Self::insert_charged) for the
+    /// semantics shared by both entry points.
     pub fn insert(&self, key: CacheKey, graph: Arc<DynamicGraph>) -> bool {
+        self.insert_charged(key, graph, TenantId::anonymous(), None)
+    }
+
+    /// Admit a sequence on behalf of `owner`, evicting entries until the
+    /// budgets hold. Returns `false` (and stores nothing) when the cache
+    /// is disabled, the sequence alone exceeds the byte budget, or it
+    /// alone exceeds `owner_cap`. Re-inserting an existing key replaces
+    /// the entry (and re-charges the new owner) and refreshes recency.
+    ///
+    /// `owner_cap` is the owner's byte share: while the owner's resident
+    /// bytes would exceed it, the owner's *own* least-recently-used
+    /// entries are evicted first — so one tenant's burst can evict at
+    /// most its own share, never the whole working set. The global
+    /// entry/byte budget then applies as before (LRU across all
+    /// tenants).
+    pub fn insert_charged(
+        &self,
+        key: CacheKey,
+        graph: Arc<DynamicGraph>,
+        owner: TenantId,
+        owner_cap: Option<usize>,
+    ) -> bool {
         let bytes = graph.approx_bytes_reserved();
         if !self.budget.is_enabled() || bytes > self.budget.max_bytes {
+            return false;
+        }
+        if owner_cap.is_some_and(|cap| bytes > cap) {
             return false;
         }
         let mut inner = self.inner.lock().expect("cache lock poisoned");
         let inner = &mut *inner;
         inner.clock += 1;
         let stamp = inner.clock;
-        if let Some(old) = inner.map.insert(key, Entry { graph, bytes, stamp }) {
-            inner.bytes -= old.bytes;
+        // Replacement first, so the owner-share check below sees the
+        // accounting without the key's previous incarnation.
+        inner.remove_entry(&key);
+        if let Some(cap) = owner_cap {
+            // Evict the owner's own LRU entries until the share holds.
+            // Walking the shared recency queue without popping keeps
+            // other tenants' tickets intact; the removed entries'
+            // tickets go stale and are discarded lazily.
+            while inner.by_owner.get(&owner).copied().unwrap_or(0) + bytes > cap {
+                let victim = inner
+                    .recency
+                    .iter()
+                    .find(|(s, k)| {
+                        inner.map.get(k).is_some_and(|e| e.stamp == *s && e.owner == owner)
+                    })
+                    .map(|&(_, k)| k);
+                match victim {
+                    Some(k) => {
+                        inner.remove_entry(&k);
+                        inner.evictions += 1;
+                    }
+                    None => break,
+                }
+            }
         }
+        inner.map.insert(key, Entry { graph, bytes, owner: owner.clone(), stamp });
         inner.bytes += bytes;
+        *inner.by_owner.entry(owner).or_insert(0) += bytes;
         inner.recency.push_back((stamp, key));
         inner.insertions += 1;
         while inner.map.len() > self.budget.max_entries || inner.bytes > self.budget.max_bytes {
@@ -225,8 +297,7 @@ impl SnapshotCache {
             // Skip stale tickets (the key was touched or replaced since).
             let is_current = inner.map.get(&old_key).is_some_and(|e| e.stamp == old_stamp);
             if is_current {
-                let evicted = inner.map.remove(&old_key).expect("checked above");
-                inner.bytes -= evicted.bytes;
+                inner.remove_entry(&old_key).expect("checked above");
                 inner.evictions += 1;
             }
         }
@@ -234,11 +305,17 @@ impl SnapshotCache {
         true
     }
 
+    /// Resident bytes currently charged to `owner`.
+    pub fn owner_bytes(&self, owner: &TenantId) -> usize {
+        self.inner.lock().expect("cache lock poisoned").by_owner.get(owner).copied().unwrap_or(0)
+    }
+
     /// Drop every cached sequence (counters keep their totals).
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("cache lock poisoned");
         inner.map.clear();
         inner.recency.clear();
+        inner.by_owner.clear();
         inner.bytes = 0;
     }
 
@@ -406,6 +483,88 @@ mod tests {
             "recency queue unbounded: {}",
             inner.recency.len()
         );
+    }
+
+    #[test]
+    fn tenant_share_evicts_own_entries_first() {
+        let unit = tiny_graph(2).approx_bytes_reserved();
+        // Room for ~6 units globally; tenant `a` is capped at ~2 units.
+        let cache = SnapshotCache::new(CacheBudget { max_entries: 100, max_bytes: 6 * unit + 8 });
+        let a = TenantId::new("a").unwrap();
+        let b = TenantId::new("b").unwrap();
+        let a_share = 2 * unit + 8;
+        let a_cap = Some(a_share);
+        // Tenant b fills three entries (no cap of its own).
+        for seed in 0..3 {
+            assert!(cache.insert_charged(key(seed), tiny_graph(2), b.clone(), None));
+        }
+        let b_resident = cache.owner_bytes(&b);
+        assert_eq!(b_resident, 3 * unit);
+        // Tenant a bursts five entries under a two-unit share: each
+        // insertion past the share evicts a's own LRU entry, never b's.
+        for seed in 10..15 {
+            assert!(cache.insert_charged(key(seed), tiny_graph(2), a.clone(), a_cap));
+            assert!(cache.owner_bytes(&a) <= a_share, "share exceeded");
+        }
+        assert_eq!(cache.owner_bytes(&b), b_resident, "b's working set survived a's burst");
+        for seed in 0..3 {
+            assert!(cache.get(&key(seed)).is_some(), "b's entry {seed} evicted");
+        }
+        // a holds exactly its two newest entries.
+        assert_eq!(cache.owner_bytes(&a), 2 * unit);
+        assert!(cache.get(&key(14)).is_some());
+        assert!(cache.get(&key(10)).is_none());
+        // A single sequence larger than the share is never admitted.
+        assert!(!cache.insert_charged(key(20), tiny_graph(64), a.clone(), Some(unit / 2)));
+    }
+
+    #[test]
+    fn replacing_a_key_transfers_the_owner_charge() {
+        let cache = SnapshotCache::new(CacheBudget::default());
+        let a = TenantId::new("a").unwrap();
+        let b = TenantId::new("b").unwrap();
+        assert!(cache.insert_charged(key(1), tiny_graph(2), a.clone(), None));
+        let charged = cache.owner_bytes(&a);
+        assert!(charged > 0);
+        // Same key re-inserted by another tenant: the charge moves.
+        assert!(cache.insert_charged(key(1), tiny_graph(2), b.clone(), None));
+        assert_eq!(cache.owner_bytes(&a), 0);
+        assert_eq!(cache.owner_bytes(&b), charged);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn concurrent_inserters_under_a_tight_budget_stay_consistent() {
+        // Two threads hammer a byte budget that holds only a couple of
+        // entries: no panic, the budget is never exceeded (observed from
+        // a third thread mid-flight and at the end), and the counters
+        // add up.
+        let unit = tiny_graph(2).approx_bytes_reserved();
+        let cache = SnapshotCache::new(CacheBudget { max_entries: 64, max_bytes: 2 * unit + 8 });
+        let writers: Vec<_> = (0..2u64)
+            .map(|thread| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let seed = thread * 10_000 + i;
+                        cache.insert(key(seed), tiny_graph(2));
+                        let stats = cache.stats();
+                        assert!(
+                            stats.bytes <= cache.budget().max_bytes,
+                            "budget exceeded mid-flight: {stats:?}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().expect("inserter panicked");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 1000);
+        assert!(stats.bytes <= cache.budget().max_bytes, "{stats:?}");
+        assert_eq!(stats.entries as u64, stats.insertions - stats.evictions, "{stats:?}");
+        assert!(stats.entries >= 1 && stats.entries <= 2, "{stats:?}");
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::cache::{CacheKey, SnapshotCache};
 use crate::queue::{Job, JobQueue};
 use crate::registry::{ModelHandle, ModelRegistry};
 use crate::stream::StreamStats;
+use crate::tenant::{Tenant, TenantId, TenantRegistry};
 use crate::{CacheBudget, ServeError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -116,12 +117,25 @@ pub struct GenRequest {
     pub sink: GenSink,
     /// Cooperative cancellation flag (optional). See [`CancelToken`].
     pub cancel: Option<CancelToken>,
+    /// Tenant this job runs on behalf of; `None` maps to the built-in
+    /// anonymous tenant (no quotas, weight 1). Resolved against the
+    /// service's [`TenantRegistry`] at submit time.
+    pub tenant: Option<TenantId>,
 }
 
 impl GenRequest {
-    /// A request with default (zero) priority and no cancellation token.
+    /// A request with default (zero) priority, no cancellation token,
+    /// and the anonymous tenant.
     pub fn new(model: impl Into<String>, t_len: usize, seed: u64, sink: GenSink) -> Self {
-        GenRequest { model: model.into(), t_len, seed, priority: 0, sink, cancel: None }
+        GenRequest {
+            model: model.into(),
+            t_len,
+            seed,
+            priority: 0,
+            sink,
+            cancel: None,
+            tenant: None,
+        }
     }
 
     /// Set the scheduling priority (higher drains first).
@@ -133,6 +147,13 @@ impl GenRequest {
     /// Attach a cancellation token the caller can trip later.
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Run the job on behalf of `tenant` (must be registered with the
+    /// service's [`TenantRegistry`], or the submit fails).
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = Some(tenant);
         self
     }
 }
@@ -147,6 +168,9 @@ pub struct JobId(pub u64);
 pub struct JobResult {
     pub id: JobId,
     pub model: String,
+    /// Tenant the job ran on behalf of (`anonymous` unless the request
+    /// carried one).
+    pub tenant: TenantId,
     pub t_len: usize,
     pub seed: u64,
     /// Snapshots produced (`t_len` on success; 0 on failure — a failed
@@ -154,6 +178,10 @@ pub struct JobResult {
     pub snapshots: usize,
     /// Total temporal edges produced.
     pub edges: usize,
+    /// Approximate bytes of snapshot data streamed to the sink
+    /// (`Snapshot::approx_bytes` summed over delivered snapshots) —
+    /// the unit the per-tenant `bytes_streamed` accounting uses.
+    pub bytes: usize,
     /// Wall-clock job duration in seconds (excluding queue wait).
     pub seconds: f64,
     /// Generation rate of this job.
@@ -196,7 +224,7 @@ pub(crate) fn job_cache_key(handle: &ModelHandle, t_len: usize, seed: u64) -> Ca
 
 /// Construction-time knobs of a [`ServeHandle`] (and, through it, of the
 /// batch [`Scheduler`](crate::Scheduler) facade).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Worker threads (must be `>= 1`).
     pub workers: usize,
@@ -206,6 +234,11 @@ pub struct ServeConfig {
     pub max_queue_depth: Option<usize>,
     /// Snapshot-cache budget; [`CacheBudget::disabled`] turns caching off.
     pub cache: CacheBudget,
+    /// Tenant identities, tokens, quotas, and fair-share weights. The
+    /// default ([`TenantRegistry::anonymous_only`]) disables auth and
+    /// maps every request to the quota-free anonymous tenant —
+    /// behavior-identical to the pre-tenant service.
+    pub tenants: TenantRegistry,
 }
 
 /// The pre-refactor name of [`ServeConfig`], kept as an alias for the
@@ -214,7 +247,12 @@ pub type SchedulerConfig = ServeConfig;
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { workers: 2, max_queue_depth: None, cache: CacheBudget::disabled() }
+        ServeConfig {
+            workers: 2,
+            max_queue_depth: None,
+            cache: CacheBudget::disabled(),
+            tenants: TenantRegistry::anonymous_only(),
+        }
     }
 }
 
@@ -249,6 +287,33 @@ pub struct LatencyStats {
     /// 99th-percentile wall time.
     pub p99_seconds: f64,
     pub max_seconds: f64,
+}
+
+/// Point-in-time per-tenant counters inside a [`ServeStats`] snapshot.
+#[derive(Clone, Debug)]
+pub struct TenantStats {
+    /// Tenant id (`anonymous` for unauthenticated traffic).
+    pub id: String,
+    /// Fair-share weight the scheduler applies to this tenant.
+    pub weight: u32,
+    /// Jobs accepted by `submit` on behalf of this tenant.
+    pub submitted: u64,
+    /// Jobs that finished executing (success, failure, or cancelled).
+    pub completed: u64,
+    /// Completed jobs that failed.
+    pub failed: u64,
+    /// Completed jobs stopped early by their [`CancelToken`].
+    pub cancelled: u64,
+    /// Submissions refused by admission control (tenant quotas, the
+    /// rate limit, or the global queue cap).
+    pub rejected: u64,
+    /// Approximate bytes of snapshot data streamed to this tenant's
+    /// sinks ([`JobResult::bytes`] summed).
+    pub bytes_streamed: u64,
+    /// Median job wall time over this tenant's recent jobs.
+    pub p50_seconds: f64,
+    /// 95th-percentile job wall time over this tenant's recent jobs.
+    pub p95_seconds: f64,
 }
 
 impl LatencyStats {
@@ -303,6 +368,9 @@ pub struct ServeStats {
     pub affinity: AffinityStats,
     /// Per-job wall-time percentiles.
     pub latency: LatencyStats,
+    /// Per-tenant counters, sorted by tenant id. Only tenants that have
+    /// submitted (or been rejected) at least once appear.
+    pub tenants: Vec<TenantStats>,
 }
 
 impl ServeStats {
@@ -350,6 +418,27 @@ impl ServeStats {
             "  affinity: {} model batches, max {} jobs/batch, mean {:.1}",
             self.affinity.batches, self.affinity.max_batch_len, self.affinity.mean_batch_len,
         );
+        // Anonymous-only traffic keeps the legacy single-tenant summary;
+        // the per-tenant section appears once named tenants show up.
+        if self.tenants.iter().any(|t| t.id != crate::tenant::ANONYMOUS_TENANT) {
+            let _ = writeln!(out, "  tenants:");
+            for t in &self.tenants {
+                let _ = writeln!(
+                    out,
+                    "    {:<16} w={}  {} submitted / {} completed ({} failed, {} cancelled, {} rejected)  {} KiB streamed  p50 {:.2}ms p95 {:.2}ms",
+                    t.id,
+                    t.weight,
+                    t.submitted,
+                    t.completed,
+                    t.failed,
+                    t.cancelled,
+                    t.rejected,
+                    t.bytes_streamed / 1024,
+                    t.p50_seconds * 1e3,
+                    t.p95_seconds * 1e3,
+                );
+            }
+        }
         out
     }
 }
@@ -416,6 +505,98 @@ impl Ticket {
 /// Latency samples kept for percentile estimation (per core).
 const LATENCY_WINDOW: usize = 4096;
 
+/// Latency samples kept per tenant (smaller: one window per tenant).
+const TENANT_LATENCY_WINDOW: usize = 512;
+
+/// Bounded ring of recent per-job wall times with nearest-rank
+/// percentile queries — the one implementation behind both the
+/// service-wide [`LatencyStats`] and the per-tenant percentiles.
+struct LatencyRing {
+    samples: Vec<f64>,
+    next: usize,
+    cap: usize,
+}
+
+impl LatencyRing {
+    fn new(cap: usize) -> LatencyRing {
+        LatencyRing { samples: Vec::with_capacity(cap.min(1024)), next: 0, cap }
+    }
+
+    fn record(&mut self, seconds: f64) {
+        if self.samples.len() < self.cap {
+            self.samples.push(seconds);
+        } else {
+            self.samples[self.next] = seconds;
+            self.next = (self.next + 1) % self.cap;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The window's samples, sorted ascending (for [`rank`](Self::rank)).
+    fn sorted(&self) -> Vec<f64> {
+        let mut window = self.samples.clone();
+        window.sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        window
+    }
+
+    /// Nearest-rank percentile over a sorted, non-empty window.
+    fn rank(window: &[f64], q: f64) -> f64 {
+        let idx = ((q * window.len() as f64).ceil() as usize).clamp(1, window.len()) - 1;
+        window[idx]
+    }
+}
+
+/// Running per-tenant counters (see [`TenantStats`] for the snapshot).
+struct TenantRunning {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    rejected: u64,
+    bytes_streamed: u64,
+    latency: LatencyRing,
+}
+
+impl Default for TenantRunning {
+    fn default() -> Self {
+        TenantRunning {
+            submitted: 0,
+            completed: 0,
+            failed: 0,
+            cancelled: 0,
+            rejected: 0,
+            bytes_streamed: 0,
+            latency: LatencyRing::new(TENANT_LATENCY_WINDOW),
+        }
+    }
+}
+
+impl TenantRunning {
+    fn record_result(&mut self, result: &JobResult) {
+        self.completed += 1;
+        if result.error.is_some() {
+            self.failed += 1;
+        }
+        if result.cancelled {
+            self.cancelled += 1;
+        }
+        self.bytes_streamed += result.bytes as u64;
+        self.latency.record(result.seconds);
+    }
+
+    /// `(p50, p95)` over the tenant's latency window.
+    fn percentiles(&self) -> (f64, f64) {
+        if self.latency.is_empty() {
+            return (0.0, 0.0);
+        }
+        let window = self.latency.sorted();
+        (LatencyRing::rank(&window, 0.50), LatencyRing::rank(&window, 0.95))
+    }
+}
+
 /// Mutable running statistics updated by workers as they complete jobs.
 struct RunningStats {
     /// Closed affinity runs: count / total jobs / longest.
@@ -424,10 +605,10 @@ struct RunningStats {
     runs_max: usize,
     /// Per-worker open run: (model fingerprint, jobs so far).
     open_runs: Vec<(Option<u64>, usize)>,
-    /// Ring buffer of recent per-job wall times (seconds).
-    latency: Vec<f64>,
-    latency_next: usize,
+    latency: LatencyRing,
     latency_total: u64,
+    /// Per-tenant counters, created lazily on first traffic.
+    tenants: std::collections::HashMap<TenantId, TenantRunning>,
 }
 
 impl RunningStats {
@@ -437,10 +618,14 @@ impl RunningStats {
             runs_sum: 0,
             runs_max: 0,
             open_runs: vec![(None, 0); workers],
-            latency: Vec::with_capacity(LATENCY_WINDOW.min(1024)),
-            latency_next: 0,
+            latency: LatencyRing::new(LATENCY_WINDOW),
             latency_total: 0,
+            tenants: std::collections::HashMap::new(),
         }
+    }
+
+    fn tenant_mut(&mut self, id: &TenantId) -> &mut TenantRunning {
+        self.tenants.entry(id.clone()).or_default()
     }
 
     fn close_run(&mut self, worker: usize) {
@@ -454,12 +639,7 @@ impl RunningStats {
     }
 
     fn record_latency(&mut self, seconds: f64) {
-        if self.latency.len() < LATENCY_WINDOW {
-            self.latency.push(seconds);
-        } else {
-            self.latency[self.latency_next] = seconds;
-            self.latency_next = (self.latency_next + 1) % LATENCY_WINDOW;
-        }
+        self.latency.record(seconds);
         self.latency_total += 1;
     }
 
@@ -480,20 +660,14 @@ impl RunningStats {
         if self.latency.is_empty() {
             return LatencyStats::default();
         }
-        let mut window = self.latency.clone();
-        window.sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        // Nearest-rank percentile over the sorted window.
-        let rank = |q: f64| -> f64 {
-            let idx = ((q * window.len() as f64).ceil() as usize).clamp(1, window.len()) - 1;
-            window[idx]
-        };
+        let window = self.latency.sorted();
         LatencyStats {
             samples: self.latency_total,
             window: window.len(),
             mean_seconds: window.iter().sum::<f64>() / window.len() as f64,
-            p50_seconds: rank(0.50),
-            p95_seconds: rank(0.95),
-            p99_seconds: rank(0.99),
+            p50_seconds: LatencyRing::rank(&window, 0.50),
+            p95_seconds: LatencyRing::rank(&window, 0.95),
+            p99_seconds: LatencyRing::rank(&window, 0.99),
             max_seconds: *window.last().expect("non-empty"),
         }
     }
@@ -521,6 +695,7 @@ struct Shared {
 struct Core {
     shared: Arc<Shared>,
     registry: ModelRegistry,
+    tenants: TenantRegistry,
     next_id: AtomicU64,
     max_queue_depth: Option<usize>,
     worker_count: usize,
@@ -603,6 +778,7 @@ impl ServeHandle {
             core: Arc::new(Core {
                 shared,
                 registry,
+                tenants: config.tenants,
                 next_id: AtomicU64::new(0),
                 max_queue_depth: config.max_queue_depth,
                 worker_count: config.workers,
@@ -610,6 +786,13 @@ impl ServeHandle {
                 workers: Mutex::new(workers),
             }),
         })
+    }
+
+    /// The tenant registry this service authenticates and schedules
+    /// against. An [`auth_enabled`](TenantRegistry::auth_enabled)
+    /// registry makes the TCP frontend demand an `AUTH` greeting.
+    pub fn tenants(&self) -> &TenantRegistry {
+        &self.core.tenants
     }
 
     /// The registry this service resolves model names against. Models
@@ -643,7 +826,11 @@ impl ServeHandle {
     /// * [`ServeError::UnknownModel`] for unregistered names,
     /// * [`ServeError::InvalidRequest`] for `t_len == 0`,
     /// * [`ServeError::QueueFull`] when the admission cap is reached —
-    ///   the caller's backpressure signal.
+    ///   the caller's backpressure signal,
+    /// * [`ServeError::QuotaExceeded`] when the request's *tenant* is
+    ///   over one of its own quotas (rate limit, `max_inflight`,
+    ///   `max_queue_share`) — per-tenant backpressure that leaves every
+    ///   other tenant's admission untouched.
     pub fn submit(&self, req: GenRequest) -> Result<Ticket, ServeError> {
         if self.core.shared.closed.load(Ordering::SeqCst) {
             return Err(ServeError::SchedulerClosed);
@@ -653,13 +840,29 @@ impl ServeHandle {
                 "t_len must be >= 1 (a dynamic graph needs at least one snapshot)".into(),
             ));
         }
+        let tenant: Arc<Tenant> = match &req.tenant {
+            None => self.core.tenants.anonymous(),
+            Some(id) => self.core.tenants.get(id).ok_or_else(|| {
+                ServeError::InvalidRequest(format!("unknown tenant {:?}", id.as_str()))
+            })?,
+        };
         let handle = self.core.registry.resolve(&req.model)?;
+        if !self.core.tenants.try_acquire_rate(&tenant) {
+            self.note_rejected(tenant.id());
+            return Err(ServeError::QuotaExceeded {
+                tenant: tenant.id().to_string(),
+                quota: "rate",
+                cap: tenant.rate_limit.map_or(0, |r| r.per_sec.ceil() as u64),
+            });
+        }
         let (tx, rx) = mpsc::channel();
         let id = JobId(self.core.next_id.fetch_add(1, Ordering::SeqCst));
         let ticket = Ticket { id, model: req.model, t_len: req.t_len, seed: req.seed, rx };
+        let tenant_id = tenant.id().clone();
         let job = Job {
             id,
             handle,
+            tenant: Arc::clone(&tenant),
             t_len: req.t_len,
             seed: req.seed,
             priority: req.priority,
@@ -670,17 +873,39 @@ impl ServeHandle {
         match self.core.shared.queue.push_checked(job, self.core.max_queue_depth) {
             Ok(()) => {
                 self.core.shared.submitted.fetch_add(1, Ordering::SeqCst);
+                let mut stats = self.core.shared.stats.lock().expect("stats lock poisoned");
+                stats.tenant_mut(&tenant_id).submitted += 1;
+                drop(stats);
                 Ok(ticket)
             }
             // A close/abort from another handle clone can win the race
             // against the pre-flight `closed` check above; that is the
-            // same typed error, not a panic.
-            Err(crate::queue::PushRejected::Closed) => Err(ServeError::SchedulerClosed),
-            Err(crate::queue::PushRejected::Full { depth }) => Err(ServeError::QueueFull {
-                depth,
-                cap: self.core.max_queue_depth.expect("cap enforced implies cap set"),
-            }),
+            // same typed error, not a panic. A rejected job must not
+            // burn the rate budget its retry will need.
+            Err(crate::queue::PushRejected::Closed) => {
+                self.core.tenants.refund_rate(&tenant);
+                Err(ServeError::SchedulerClosed)
+            }
+            Err(crate::queue::PushRejected::Full { depth }) => {
+                self.core.tenants.refund_rate(&tenant);
+                self.note_rejected(&tenant_id);
+                Err(ServeError::QueueFull {
+                    depth,
+                    cap: self.core.max_queue_depth.expect("cap enforced implies cap set"),
+                })
+            }
+            Err(crate::queue::PushRejected::Quota { tenant: t, quota, cap }) => {
+                self.core.tenants.refund_rate(&tenant);
+                self.note_rejected(&t);
+                Err(ServeError::QuotaExceeded { tenant: t.to_string(), quota, cap: cap as u64 })
+            }
         }
+    }
+
+    /// Count one refused submission into the tenant's `rejected` stat.
+    fn note_rejected(&self, tenant: &TenantId) {
+        let mut stats = self.core.shared.stats.lock().expect("stats lock poisoned");
+        stats.tenant_mut(tenant).rejected += 1;
     }
 
     /// Stop accepting submissions; workers finish everything already
@@ -725,10 +950,30 @@ impl ServeHandle {
     /// while jobs are queued and executing.
     pub fn stats(&self) -> ServeStats {
         let shared = &self.core.shared;
-        let (affinity, latency) = {
+        let (affinity, latency, mut tenants) = {
             let stats = shared.stats.lock().expect("stats lock poisoned");
-            (stats.affinity(), stats.latency_stats())
+            let tenants: Vec<TenantStats> = stats
+                .tenants
+                .iter()
+                .map(|(id, t)| {
+                    let (p50, p95) = t.percentiles();
+                    TenantStats {
+                        id: id.to_string(),
+                        weight: self.core.tenants.get(id).map_or(1, |cfg| cfg.weight),
+                        submitted: t.submitted,
+                        completed: t.completed,
+                        failed: t.failed,
+                        cancelled: t.cancelled,
+                        rejected: t.rejected,
+                        bytes_streamed: t.bytes_streamed,
+                        p50_seconds: p50,
+                        p95_seconds: p95,
+                    }
+                })
+                .collect();
+            (stats.affinity(), stats.latency_stats(), tenants)
         };
+        tenants.sort_by(|a, b| a.id.cmp(&b.id));
         ServeStats {
             workers: self.core.worker_count,
             uptime_seconds: self.core.started.elapsed().as_secs_f64().max(1e-9),
@@ -745,6 +990,7 @@ impl ServeHandle {
             cache: shared.cache.stats(),
             affinity,
             latency,
+            tenants,
         }
     }
 }
@@ -781,6 +1027,7 @@ fn worker_loop(worker: usize, shared: &Shared) {
         // the queue, deadlocking the tickets waiting on them.
         let id = job.id;
         let model_name = job.handle.name().to_string();
+        let tenant = Arc::clone(&job.tenant);
         let (t_len, seed) = (job.t_len, job.seed);
         let sink_path = match &job.sink {
             GenSink::TsvFile(p) | GenSink::BinaryFile(p) => Some(p.clone()),
@@ -802,10 +1049,12 @@ fn worker_loop(worker: usize, shared: &Shared) {
                 JobResult {
                     id,
                     model: model_name,
+                    tenant: tenant.id().clone(),
                     t_len,
                     seed,
                     snapshots: 0,
                     edges: 0,
+                    bytes: 0,
                     seconds: started.elapsed().as_secs_f64().max(1e-9),
                     snapshots_per_sec: 0.0,
                     cache_hit: false,
@@ -830,11 +1079,18 @@ fn worker_loop(worker: usize, shared: &Shared) {
             let mut stats = shared.stats.lock().expect("stats lock poisoned");
             stats.open_runs[worker].1 += 1;
             stats.record_latency(result.seconds);
+            stats.tenant_mut(tenant.id()).record_result(&result);
         }
+        // Release the queue's accounting (busy key, per-tenant
+        // executing count) *before* delivering the result: a client
+        // that resubmits the moment its wait() returns must never see a
+        // spurious max_inflight rejection for a job it just observed
+        // finishing — the same release-before-completion ordering the
+        // frontend applies to its tag slots.
+        shared.queue.finish_one(&key, tenant.id());
         // The caller may have dropped its ticket; completion is still
         // fully accounted above, so ignore a closed channel.
         let _ = reply.send(result);
-        shared.queue.finish_one(&key);
     }
     // Fold the final open run into the closed totals so post-shutdown
     // snapshots see every run.
@@ -853,7 +1109,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCache) -> JobResult {
-    let Job { id, handle, t_len, seed, priority: _, mut sink, cancel, reply: _ } = job;
+    let Job { id, handle, tenant, t_len, seed, priority: _, mut sink, cancel, reply: _ } = job;
     let model_name = handle.name().to_string();
     let key = job_cache_key(&handle, t_len, seed);
     let started = Instant::now();
@@ -905,7 +1161,14 @@ fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCach
         let graph = graph.map(Arc::new);
         if cache.is_enabled() && !cancelled {
             if let Some(g) = &graph {
-                cache.insert(key, Arc::clone(g));
+                // Charge the insertion against the tenant's byte share:
+                // once a tenant exceeds it, its *own* LRU entries are
+                // evicted first, so it can never push another tenant's
+                // working set out of the cache.
+                let owner_cap = tenant
+                    .cache_byte_share
+                    .map(|share| (share * cache.budget().max_bytes as f64) as usize);
+                cache.insert_charged(key, Arc::clone(g), tenant.id().clone(), owner_cap);
             }
         }
         let out = if matches!(sink, GenSink::InMemory) && !cancelled { graph } else { None };
@@ -924,10 +1187,12 @@ fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCach
         Ok((stats, graph, cancelled)) => JobResult {
             id,
             model: model_name,
+            tenant: tenant.id().clone(),
             t_len,
             seed,
             snapshots: stats.snapshots,
             edges: stats.edges,
+            bytes: stats.bytes,
             seconds,
             snapshots_per_sec: stats.snapshots as f64 / seconds,
             cache_hit,
@@ -939,10 +1204,12 @@ fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCach
         Err(e) => JobResult {
             id,
             model: model_name,
+            tenant: tenant.id().clone(),
             t_len,
             seed,
             snapshots: 0,
             edges: 0,
+            bytes: 0,
             seconds,
             snapshots_per_sec: 0.0,
             cache_hit: false,
@@ -1031,6 +1298,7 @@ fn replay_into_sink(
         writer.write(t, s)?;
         stats.snapshots += 1;
         stats.edges += s.n_edges();
+        stats.bytes += s.approx_bytes();
     }
     if !cancelled {
         writer.finish()?;
@@ -1078,6 +1346,7 @@ fn generate_into_sink(
         let snapshot = state.step(model);
         stats.snapshots += 1;
         stats.edges += snapshot.n_edges();
+        stats.bytes += snapshot.approx_bytes();
         writer.write(t, &snapshot)?;
         if collected.is_some() {
             // Reserved accounting to match the cache's admission charge.
@@ -1464,6 +1733,304 @@ mod tests {
             b"previous job's complete output",
             "a queued-cancelled job must not touch pre-existing files"
         );
+    }
+
+    fn two_tier_tenants() -> TenantRegistry {
+        TenantRegistry::builder()
+            .tenant(
+                crate::tenant::Tenant::new(TenantId::new("gold").unwrap()).with_weight(3),
+                "tok-gold",
+            )
+            .unwrap()
+            .tenant(crate::tenant::Tenant::new(TenantId::new("bronze").unwrap()), "tok-bronze")
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn weighted_fair_scheduling_drains_tenants_in_proportion() {
+        // One worker, cache off, weights 3:1, identical job mixes. While
+        // both lanes hold work, completions must interleave ~3 gold per
+        // bronze — regardless of submission order (bronze submits
+        // first).
+        let (registry, _) = registry_with_tiny();
+        let handle = ServeHandle::with_config(
+            registry,
+            ServeConfig { workers: 1, tenants: two_tier_tenants(), ..Default::default() },
+        )
+        .unwrap();
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel();
+        let blocker = handle.submit(blocking_request("tiny", 0, started_tx, release_rx)).unwrap();
+        started_rx.recv().unwrap();
+        let per_tenant = 16usize;
+        let mut tickets = Vec::new();
+        for i in 0..per_tenant as u64 {
+            for id in ["bronze", "gold"] {
+                tickets.push(
+                    handle
+                        .submit(
+                            GenRequest::new(
+                                "tiny",
+                                1,
+                                100 + 2 * i + (id == "gold") as u64,
+                                GenSink::Discard,
+                            )
+                            .with_tenant(TenantId::new(id).unwrap()),
+                        )
+                        .unwrap(),
+                );
+            }
+        }
+        release_tx.send(()).unwrap();
+        blocker.wait().unwrap();
+        let mut results: Vec<JobResult> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        results.sort_by_key(|r| r.seq);
+        // While both lanes are non-empty (the first 2 * min window), the
+        // DRR pattern is one bronze per three gold.
+        let window = &results[..8];
+        let gold = window.iter().filter(|r| r.tenant.as_str() == "gold").count();
+        let bronze = window.len() - gold;
+        assert!(
+            (5..=7).contains(&gold) && bronze >= 1,
+            "expected ~6:2 gold:bronze in the first 8 completions, got {gold}:{bronze}"
+        );
+        let window = &results[..16];
+        let gold = window.iter().filter(|r| r.tenant.as_str() == "gold").count();
+        assert!(
+            (11..=13).contains(&gold),
+            "expected ~12:4 gold:bronze in the first 16 completions, got {gold}"
+        );
+        // Everything eventually completes for both tenants.
+        let stats = handle.shutdown();
+        assert_eq!(stats.completed as usize, 1 + 2 * per_tenant);
+        let row = |id: &str| stats.tenants.iter().find(|t| t.id == id).unwrap().clone();
+        assert_eq!(row("gold").completed as usize, per_tenant);
+        assert_eq!(row("bronze").completed as usize, per_tenant);
+        assert_eq!(row("gold").weight, 3);
+        assert!(row("gold").bytes_streamed > 0);
+        assert!(row("gold").p50_seconds > 0.0);
+        assert!(stats.render().contains("tenants:"), "{}", stats.render());
+    }
+
+    #[test]
+    fn heavy_jobs_cost_more_than_light_ones_in_the_fair_share() {
+        // Equal weights, but tenant `gold` submits t=8 jobs while
+        // `bronze` submits t=1 jobs: DRR costs by snapshots, so bronze
+        // must complete ~8 jobs per gold job instead of alternating.
+        let (registry, _) = registry_with_tiny();
+        let tenants = TenantRegistry::builder()
+            .tenant(crate::tenant::Tenant::new(TenantId::new("gold").unwrap()), "tok-gold")
+            .unwrap()
+            .tenant(crate::tenant::Tenant::new(TenantId::new("bronze").unwrap()), "tok-bronze")
+            .unwrap()
+            .build();
+        let handle = ServeHandle::with_config(
+            registry,
+            ServeConfig { workers: 1, tenants, ..Default::default() },
+        )
+        .unwrap();
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel();
+        let blocker = handle.submit(blocking_request("tiny", 0, started_tx, release_rx)).unwrap();
+        started_rx.recv().unwrap();
+        let mut tickets = Vec::new();
+        for i in 0..4u64 {
+            tickets.push(
+                handle
+                    .submit(
+                        GenRequest::new("tiny", 8, 200 + i, GenSink::Discard)
+                            .with_tenant(TenantId::new("gold").unwrap()),
+                    )
+                    .unwrap(),
+            );
+        }
+        for i in 0..16u64 {
+            tickets.push(
+                handle
+                    .submit(
+                        GenRequest::new("tiny", 1, 300 + i, GenSink::Discard)
+                            .with_tenant(TenantId::new("bronze").unwrap()),
+                    )
+                    .unwrap(),
+            );
+        }
+        release_tx.send(()).unwrap();
+        blocker.wait().unwrap();
+        let mut results: Vec<JobResult> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        results.sort_by_key(|r| r.seq);
+        // In the first 9 completions (one gold 8-snapshot job's worth of
+        // fair share each) bronze must have landed ~8 jobs.
+        let window = &results[..9];
+        let bronze = window.iter().filter(|r| r.tenant.as_str() == "bronze").count();
+        assert!(
+            bronze >= 6,
+            "snapshot-cost fairness violated: only {bronze} bronze jobs in the first 9"
+        );
+    }
+
+    #[test]
+    fn tenant_quotas_reject_typed_and_leave_others_unaffected() {
+        let (registry, _) = registry_with_tiny();
+        let tenants = TenantRegistry::builder()
+            .tenant(
+                crate::tenant::Tenant::new(TenantId::new("capped").unwrap()).with_max_inflight(2),
+                "tok-capped",
+            )
+            .unwrap()
+            .build();
+        let handle = ServeHandle::with_config(
+            registry,
+            ServeConfig { workers: 1, tenants, ..Default::default() },
+        )
+        .unwrap();
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel();
+        let blocker = handle.submit(blocking_request("tiny", 0, started_tx, release_rx)).unwrap();
+        started_rx.recv().unwrap();
+        let capped = TenantId::new("capped").unwrap();
+        let a = handle
+            .submit(GenRequest::new("tiny", 1, 1, GenSink::Discard).with_tenant(capped.clone()))
+            .unwrap();
+        let b = handle
+            .submit(GenRequest::new("tiny", 1, 2, GenSink::Discard).with_tenant(capped.clone()))
+            .unwrap();
+        // Third outstanding job breaches max_inflight = 2 (queued +
+        // executing count together).
+        match handle
+            .submit(GenRequest::new("tiny", 1, 3, GenSink::Discard).with_tenant(capped.clone()))
+        {
+            Err(ServeError::QuotaExceeded { tenant, quota, cap }) => {
+                assert_eq!(tenant, "capped");
+                assert_eq!(quota, "max_inflight");
+                assert_eq!(cap, 2);
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+        // The anonymous tenant is untouched by capped's quota.
+        let anon = handle.submit(GenRequest::new("tiny", 1, 4, GenSink::Discard)).unwrap();
+        release_tx.send(()).unwrap();
+        blocker.wait().unwrap();
+        assert!(a.wait().unwrap().is_ok());
+        assert!(b.wait().unwrap().is_ok());
+        assert!(anon.wait().unwrap().is_ok());
+        // With the backlog drained, the quota frees up again.
+        let retry = handle
+            .submit(GenRequest::new("tiny", 1, 5, GenSink::Discard).with_tenant(capped.clone()))
+            .unwrap();
+        assert!(retry.wait().unwrap().is_ok());
+        let stats = handle.shutdown();
+        let row = stats.tenants.iter().find(|t| t.id == "capped").unwrap();
+        assert_eq!(row.submitted, 3);
+        assert_eq!(row.completed, 3);
+        assert_eq!(row.rejected, 1);
+    }
+
+    #[test]
+    fn tenant_queue_share_is_a_fraction_of_the_global_cap() {
+        let (registry, _) = registry_with_tiny();
+        let tenants = TenantRegistry::builder()
+            .tenant(
+                crate::tenant::Tenant::new(TenantId::new("half").unwrap())
+                    .with_max_queue_share(0.5),
+                "tok-half",
+            )
+            .unwrap()
+            .build();
+        let handle = ServeHandle::with_config(
+            registry,
+            ServeConfig { workers: 1, max_queue_depth: Some(4), tenants, ..Default::default() },
+        )
+        .unwrap();
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel();
+        let blocker = handle.submit(blocking_request("tiny", 0, started_tx, release_rx)).unwrap();
+        started_rx.recv().unwrap();
+        let half = TenantId::new("half").unwrap();
+        let mut held = Vec::new();
+        for seed in 0..2u64 {
+            held.push(
+                handle
+                    .submit(
+                        GenRequest::new("tiny", 1, seed, GenSink::Discard)
+                            .with_tenant(half.clone()),
+                    )
+                    .unwrap(),
+            );
+        }
+        // Share 0.5 of cap 4 = 2 queued slots: the third is refused even
+        // though the global queue still has room.
+        match handle
+            .submit(GenRequest::new("tiny", 1, 9, GenSink::Discard).with_tenant(half.clone()))
+        {
+            Err(ServeError::QuotaExceeded { quota: "queue_share", cap: 2, .. }) => {}
+            other => panic!("expected queue_share QuotaExceeded, got {other:?}"),
+        }
+        // Anonymous fills the remaining global room, then QueueFull.
+        held.push(handle.submit(GenRequest::new("tiny", 1, 10, GenSink::Discard)).unwrap());
+        held.push(handle.submit(GenRequest::new("tiny", 1, 11, GenSink::Discard)).unwrap());
+        assert!(matches!(
+            handle.submit(GenRequest::new("tiny", 1, 12, GenSink::Discard)),
+            Err(ServeError::QueueFull { .. })
+        ));
+        release_tx.send(()).unwrap();
+        blocker.wait().unwrap();
+        for t in held {
+            assert!(t.wait().unwrap().is_ok());
+        }
+    }
+
+    #[test]
+    fn tenant_rate_limit_rejects_and_refunds_on_other_failures() {
+        let (registry, _) = registry_with_tiny();
+        let tenants = TenantRegistry::builder()
+            .tenant(
+                crate::tenant::Tenant::new(TenantId::new("slow").unwrap())
+                    .with_rate_limit(0.0, 2.0),
+                "tok-slow",
+            )
+            .unwrap()
+            .build();
+        let handle = ServeHandle::with_config(
+            registry,
+            ServeConfig { workers: 1, tenants, ..Default::default() },
+        )
+        .unwrap();
+        let slow = TenantId::new("slow").unwrap();
+        // A submit rejected for another reason (unknown model) must not
+        // burn rate budget — the burst of 2 below is still intact.
+        assert!(matches!(
+            handle
+                .submit(GenRequest::new("ghost", 1, 0, GenSink::Discard).with_tenant(slow.clone())),
+            Err(ServeError::UnknownModel(_))
+        ));
+        let a = handle
+            .submit(GenRequest::new("tiny", 1, 1, GenSink::Discard).with_tenant(slow.clone()))
+            .unwrap();
+        let b = handle
+            .submit(GenRequest::new("tiny", 1, 2, GenSink::Discard).with_tenant(slow.clone()))
+            .unwrap();
+        match handle
+            .submit(GenRequest::new("tiny", 1, 3, GenSink::Discard).with_tenant(slow.clone()))
+        {
+            Err(ServeError::QuotaExceeded { quota: "rate", .. }) => {}
+            other => panic!("expected rate QuotaExceeded, got {other:?}"),
+        }
+        assert!(a.wait().unwrap().is_ok());
+        assert!(b.wait().unwrap().is_ok());
+    }
+
+    #[test]
+    fn unknown_tenant_is_a_typed_submit_error() {
+        let (registry, _) = registry_with_tiny();
+        let handle = ServeHandle::new(registry, 1).unwrap();
+        assert!(matches!(
+            handle.submit(
+                GenRequest::new("tiny", 1, 0, GenSink::Discard)
+                    .with_tenant(TenantId::new("ghost").unwrap())
+            ),
+            Err(ServeError::InvalidRequest(_))
+        ));
     }
 
     #[test]

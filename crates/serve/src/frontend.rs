@@ -33,6 +33,7 @@ use crate::protocol::{
     parse_reply, parse_request, ErrorCode, GenSpec, ProtocolError, ReplyHeader, Request,
     WireFormat, MAX_LINE_BYTES,
 };
+use crate::tenant::Tenant;
 use crate::ServeError;
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
@@ -238,6 +239,9 @@ fn translate(err: &ServeError) -> (ErrorCode, String) {
     match err {
         ServeError::QueueFull { depth, cap } => {
             (ErrorCode::QueueFull, format!("depth={depth} cap={cap}"))
+        }
+        ServeError::QuotaExceeded { tenant, quota, cap } => {
+            (ErrorCode::QuotaExceeded, format!("tenant={tenant} limit={quota} cap={cap}"))
         }
         ServeError::UnknownModel(name) => (ErrorCode::UnknownModel, format!("{name:?}")),
         ServeError::InvalidRequest(msg) => (ErrorCode::InvalidRequest, msg.clone()),
@@ -451,6 +455,10 @@ enum Flow {
     },
     /// The reply mux is gone (transport failure) — tear down now.
     Dead,
+    /// A protocol-level rejection that closes the connection (failed or
+    /// missing authentication): the error frame is already in the mux,
+    /// the writer drains it, no `OK BYE` follows.
+    Fatal,
 }
 
 /// Reader-side driver of one connection.
@@ -462,6 +470,14 @@ struct ConnDriver {
     waiters: Vec<std::thread::JoinHandle<()>>,
     /// Counter for server-assigned `~<n>` tags (untagged `SUB`s).
     auto_tag: u64,
+    /// The tenant every job on this connection runs as — the anonymous
+    /// tenant until a successful `AUTH` rebinds it.
+    tenant: Arc<Tenant>,
+    /// Has this connection presented a valid token yet?
+    authed: bool,
+    /// Does the service demand `AUTH` as the first line
+    /// ([`TenantRegistry::auth_enabled`](crate::TenantRegistry::auth_enabled))?
+    auth_required: bool,
 }
 
 impl ConnDriver {
@@ -473,11 +489,53 @@ impl ConnDriver {
         }
     }
 
+    /// Is the connection still waiting for its mandatory `AUTH`
+    /// greeting? While true, every non-`AUTH` line is answered with
+    /// `ERR auth-required` and the connection is closed — nothing
+    /// unauthenticated ever reaches the scheduler.
+    fn needs_auth(&self) -> bool {
+        self.auth_required && !self.authed
+    }
+
+    /// Handle `AUTH token=…`. On an auth-off service the greeting is
+    /// optional and acknowledged as the anonymous tenant; on an
+    /// auth-enabled one a valid token binds the connection to its
+    /// tenant and an invalid token closes the connection.
+    fn dispatch_auth(&mut self, token: String, tag: Option<String>) -> Flow {
+        if !self.auth_required {
+            let tenant = self.tenant.id().to_string();
+            return self.send(Frame::header(ReplyHeader::Auth { tag, tenant }));
+        }
+        if self.authed {
+            return self.send(Frame::err(
+                ErrorCode::BadRequest,
+                tag,
+                "connection is already authenticated",
+            ));
+        }
+        match self.handle.tenants().authenticate(&token) {
+            Some(tenant) => {
+                let id = tenant.id().to_string();
+                self.tenant = tenant;
+                self.authed = true;
+                self.send(Frame::header(ReplyHeader::Auth { tag, tenant: id }))
+            }
+            None => {
+                let _ = self.conn.send(Frame::err(ErrorCode::AuthFailed, tag, "invalid token"));
+                Flow::Fatal
+            }
+        }
+    }
+
     fn dispatch(&mut self, req: Request) -> Flow {
         // Opportunistically reap finished waiters so the vector tracks
         // live jobs, not connection history.
         self.waiters.retain(|w| !w.is_finished());
         match req {
+            // Normally intercepted by the connection loop before the
+            // auth gate; kept as a delegation to the same single
+            // handler so dispatch stays total over Request.
+            Request::Auth { token, tag } => self.dispatch_auth(token, tag),
             Request::Gen(spec) => self.dispatch_gen(spec),
             Request::Sub(spec) => self.dispatch_sub(spec),
             Request::Cancel { tag } => {
@@ -525,7 +583,8 @@ impl ConnDriver {
         };
         let req = GenRequest::new(model, t_len, seed, GenSink::InMemory)
             .with_priority(priority)
-            .with_cancel(token);
+            .with_cancel(token)
+            .with_tenant(self.tenant.id().clone());
         match self.handle.submit(req) {
             Err(e) => {
                 self.conn.release(&slot);
@@ -627,8 +686,10 @@ impl ConnDriver {
                 }
             }))
         };
-        let req =
-            GenRequest::new(model, t_len, seed, sink).with_priority(priority).with_cancel(token);
+        let req = GenRequest::new(model, t_len, seed, sink)
+            .with_priority(priority)
+            .with_cancel(token)
+            .with_tenant(self.tenant.id().clone());
         match self.handle.submit(req) {
             Err(e) => {
                 self.conn.release(&slot);
@@ -740,33 +801,70 @@ fn serve_connection(handle: ServeHandle, stream: TcpStream, cfg: FrontendConfig)
         .spawn(move || writer_loop(stream, frames))
         .expect("spawn writer thread");
     let conn = Arc::new(ConnState { out, inflight: Mutex::new(InflightTable::default()) });
-    let mut driver =
-        ConnDriver { handle, conn: Arc::clone(&conn), cfg, waiters: Vec::new(), auto_tag: 0 };
+    let anonymous = handle.tenants().anonymous();
+    let auth_required = handle.tenants().auth_enabled();
+    let mut driver = ConnDriver {
+        handle,
+        conn: Arc::clone(&conn),
+        cfg,
+        waiters: Vec::new(),
+        auto_tag: 0,
+        tenant: anonymous,
+        authed: false,
+        auth_required,
+    };
     let mut quit: Option<Option<String>> = None;
     loop {
-        let flow = match read_capped_line(&mut reader) {
+        // One line, parsed — or the error frame that answers it.
+        enum Parsed {
+            Req(Request),
+            Error(Frame),
+            Empty,
+        }
+        let parsed = match read_capped_line(&mut reader) {
             Err(_) | Ok(ReadLine::Eof) => break,
-            Ok(ReadLine::TooLong { len }) => driver.send(Frame::err(
+            Ok(ReadLine::TooLong { len }) => Parsed::Error(Frame::err(
                 ErrorCode::LineTooLong,
                 None,
                 ProtocolError::LineTooLong { len }.to_string(),
             )),
             Ok(ReadLine::Line(raw)) => match String::from_utf8(raw) {
-                Err(_) => driver.send(Frame::err(
+                Err(_) => Parsed::Error(Frame::err(
                     ErrorCode::BadRequest,
                     None,
                     ProtocolError::NotUtf8.to_string(),
                 )),
                 Ok(line) => match parse_request(&line) {
                     // An empty line is a keep-alive no-op, not an error.
-                    Err(ProtocolError::Empty) => Flow::Continue,
+                    Err(ProtocolError::Empty) => Parsed::Empty,
                     // Echo a recoverable tag even on parse failures, so
                     // a pipelining client can terminate that tag's
                     // stream instead of waiting forever on it.
-                    Err(e) => driver.send(Frame::err(e.code(), salvage_tag(&line), e.to_string())),
-                    Ok(req) => driver.dispatch(req),
+                    Err(e) => {
+                        Parsed::Error(Frame::err(e.code(), salvage_tag(&line), e.to_string()))
+                    }
+                    Ok(req) => Parsed::Req(req),
                 },
             },
+        };
+        let flow = match parsed {
+            Parsed::Empty => Flow::Continue,
+            // AUTH is the one command an unauthenticated connection may
+            // issue; anything else (malformed lines included) on an
+            // auth-enabled frontend is answered `ERR auth-required` and
+            // the connection is closed — unauthenticated input never
+            // reaches the scheduler.
+            Parsed::Req(Request::Auth { token, tag }) => driver.dispatch_auth(token, tag),
+            Parsed::Req(_) | Parsed::Error(_) if driver.needs_auth() => {
+                let _ = driver.conn.send(Frame::err(
+                    ErrorCode::AuthRequired,
+                    None,
+                    "authenticate first: AUTH token=<token>",
+                ));
+                Flow::Fatal
+            }
+            Parsed::Req(req) => driver.dispatch(req),
+            Parsed::Error(frame) => driver.send(frame),
         };
         match flow {
             Flow::Continue => {}
@@ -774,7 +872,7 @@ fn serve_connection(handle: ServeHandle, stream: TcpStream, cfg: FrontendConfig)
                 quit = Some(tag);
                 break;
             }
-            Flow::Dead => break,
+            Flow::Dead | Flow::Fatal => break,
         }
     }
     // Teardown. On QUIT the in-flight jobs get a bounded window to
@@ -1046,6 +1144,15 @@ impl LineClient {
     /// Convenience: issue a `GEN` and block for its single reply frame.
     pub fn gen(&mut self, spec: GenSpec) -> io::Result<Reply> {
         self.request(&Request::Gen(spec))
+    }
+
+    /// Authenticate the connection with a pre-shared tenant token:
+    /// sends `AUTH token=…` and blocks for the single reply frame
+    /// (`OK AUTH tenant=<id>` on success, `ERR auth-failed` — followed
+    /// by the server closing the connection — otherwise). On an
+    /// auth-enabled frontend this must be the first exchange.
+    pub fn auth(&mut self, token: &str) -> io::Result<Reply> {
+        self.request(&Request::Auth { token: token.to_string(), tag: None })
     }
 }
 

@@ -84,17 +84,19 @@ mod queue;
 mod registry;
 mod scheduler;
 mod stream;
+pub mod tenant;
 
 pub use cache::{CacheBudget, CacheKey, CacheStats, SnapshotCache};
 pub use core::{
     AffinityStats, CancelToken, GenRequest, GenSink, JobId, JobResult, LatencyStats,
-    SchedulerConfig, ServeConfig, ServeHandle, ServeStats, SnapshotCallback, Ticket,
+    SchedulerConfig, ServeConfig, ServeHandle, ServeStats, SnapshotCallback, TenantStats, Ticket,
 };
 pub use frontend::{Frontend, FrontendConfig, LineClient, Reply};
 pub use queue::JobQueue;
 pub use registry::{ModelHandle, ModelRegistry};
 pub use scheduler::{BatchReport, Scheduler};
 pub use stream::{SnapshotStream, StreamStats};
+pub use tenant::{RateLimit, Tenant, TenantId, TenantRegistry, TenantRegistryBuilder};
 
 use std::fmt;
 
@@ -124,6 +126,18 @@ pub enum ServeError {
         /// The configured queue-depth cap.
         cap: usize,
     },
+    /// Per-tenant admission control: the submitting tenant is over one
+    /// of its own quotas (`quota` names which — `rate`, `max_inflight`,
+    /// or `queue_share`). Backpressure for *this tenant only*; other
+    /// tenants' submissions are unaffected.
+    QuotaExceeded {
+        /// The tenant that hit its quota.
+        tenant: String,
+        /// Which quota was exhausted.
+        quota: &'static str,
+        /// The quota's configured cap (jobs, or jobs/sec for `rate`).
+        cap: u64,
+    },
     /// The request is malformed (e.g. `t_len == 0`).
     InvalidRequest(String),
     /// The job was discarded before a worker ran it (the core was
@@ -146,6 +160,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::QueueFull { depth, cap } => {
                 write!(f, "queue full: {depth} jobs queued at cap {cap}")
+            }
+            ServeError::QuotaExceeded { tenant, quota, cap } => {
+                write!(f, "tenant {tenant} exceeded its {quota} quota (cap {cap})")
             }
             ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServeError::JobDropped => {

@@ -6,6 +6,7 @@
 //! `key=value` fields:
 //!
 //! ```text
+//! AUTH   token=<token> [tag=<tag>]
 //! GEN model=<name> t=<T> seed=<S> fmt=tsv|bin [priority=<P>] [tag=<tag>]
 //! SUB model=<name> t=<T> seed=<S> fmt=tsv|bin [priority=<P>] [tag=<tag>]
 //! CANCEL tag=<tag>
@@ -14,6 +15,17 @@
 //! PING   [tag=<tag>]
 //! QUIT   [tag=<tag>]
 //! ```
+//!
+//! **Authentication** — on an auth-enabled frontend (one whose
+//! [`TenantRegistry`](crate::TenantRegistry) holds tokens), `AUTH` must
+//! be the first line of every connection: a valid token is answered
+//! with `OK AUTH tenant=<id>` and binds all subsequent commands on the
+//! connection to that tenant; an invalid token is answered with
+//! `ERR auth-failed` and the connection is closed; *any other first
+//! line* is answered with `ERR auth-required` and the connection is
+//! closed (an unauthenticated command never reaches the scheduler).
+//! With auth off, `AUTH` is optional and acknowledged as the built-in
+//! `anonymous` tenant.
 //!
 //! **Tags and pipelining** — every command accepts an optional
 //! client-chosen `tag` (1–64 chars of `[A-Za-z0-9._:~-]`; by convention
@@ -28,6 +40,7 @@
 //! `bytes=<N>` bytes of payload:
 //!
 //! ```text
+//! OK AUTH [tag=<tag>] tenant=<id>
 //! OK GEN [tag=<tag>] id=<id> model=<name> t=<T> seed=<S> fmt=<F> snapshots=<n> edges=<m> cache=hit|miss bytes=<N>
 //! OK SUB tag=<tag> model=<name> t=<T> seed=<S> fmt=<F>
 //! EVT tag=<tag> snap=<i>/<n> bytes=<N>
@@ -86,6 +99,15 @@ pub const MAX_WIRE_T: usize = 100_000;
 
 /// Upper bound on a request tag, in bytes.
 pub const MAX_TAG_BYTES: usize = 64;
+
+/// Upper bound on an `AUTH` token, in bytes.
+pub const MAX_TOKEN_BYTES: usize = 128;
+
+/// Is `s` a well-formed wire token? 1–128 printable non-space ASCII
+/// chars (the `key=value` grammar cannot carry whitespace anyway).
+pub fn valid_token(s: &str) -> bool {
+    !s.is_empty() && s.len() <= MAX_TOKEN_BYTES && s.bytes().all(|b| b.is_ascii_graphic())
+}
 
 /// Is `s` a well-formed tag? 1–64 chars of `[A-Za-z0-9._:~-]`. The `~`
 /// prefix is conventionally reserved for server-assigned tags (untagged
@@ -199,6 +221,11 @@ impl GenSpec {
 /// One request line, parsed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
+    /// Authenticate the connection with a pre-shared tenant token.
+    Auth {
+        token: String,
+        tag: Option<String>,
+    },
     /// Generate and reply with the full buffered sequence.
     Gen(GenSpec),
     /// Generate and stream each snapshot as its own `EVT` frame.
@@ -251,6 +278,11 @@ impl Request {
             line
         };
         match self {
+            Request::Auth { token, tag } => {
+                let mut line = format!("AUTH token={token}");
+                push_tag(&mut line, tag);
+                line
+            }
             Request::Gen(spec) => gen_line("GEN", spec),
             Request::Sub(spec) => gen_line("SUB", spec),
             Request::Cancel { tag } => format!("CANCEL tag={tag}"),
@@ -265,6 +297,16 @@ impl Request {
 /// Machine-readable error category carried on `ERR` reply lines.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ErrorCode {
+    /// The frontend requires an `AUTH token=…` greeting before any
+    /// other command; sent once, then the connection is closed.
+    AuthRequired,
+    /// The `AUTH` token did not match any tenant; sent once, then the
+    /// connection is closed.
+    AuthFailed,
+    /// The connection's tenant is over one of its own quotas. Carries
+    /// `tenant=<id> limit=<quota> cap=<c>` in the message —
+    /// tenant-scoped backpressure (other tenants are unaffected).
+    QuotaExceeded,
     /// Admission control rejected the job; retry later (backpressure,
     /// not failure). Carries `depth=<d> cap=<c>` in the message.
     QueueFull,
@@ -297,6 +339,9 @@ pub enum ErrorCode {
 impl ErrorCode {
     pub fn as_str(self) -> &'static str {
         match self {
+            ErrorCode::AuthRequired => "auth-required",
+            ErrorCode::AuthFailed => "auth-failed",
+            ErrorCode::QuotaExceeded => "quota-exceeded",
             ErrorCode::QueueFull => "queue-full",
             ErrorCode::TooManyInflight => "too-many-inflight",
             ErrorCode::TooManyConnections => "too-many-connections",
@@ -313,6 +358,9 @@ impl ErrorCode {
 
     pub fn parse(s: &str) -> Option<ErrorCode> {
         Some(match s {
+            "auth-required" => ErrorCode::AuthRequired,
+            "auth-failed" => ErrorCode::AuthFailed,
+            "quota-exceeded" => ErrorCode::QuotaExceeded,
             "queue-full" => ErrorCode::QueueFull,
             "too-many-inflight" => ErrorCode::TooManyInflight,
             "too-many-connections" => ErrorCode::TooManyConnections,
@@ -526,6 +574,18 @@ fn parse_bare(tokens: &[&str]) -> Result<Option<String>, ProtocolError> {
 pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     let (command, tokens) = tokenize(line.trim_end_matches(['\r', '\n']))?;
     match command.as_str() {
+        "AUTH" => {
+            let fields = Fields::parse(&["token", "tag"], &tokens)?;
+            let raw = fields.require("token")?;
+            if !valid_token(raw) {
+                return Err(ProtocolError::InvalidValue {
+                    field: "token",
+                    value: raw.to_string(),
+                    expected: "1-128 printable non-space ASCII chars",
+                });
+            }
+            Ok(Request::Auth { token: raw.to_string(), tag: fields.tag()? })
+        }
         // Only GEN buffers the full sequence in a reply, so only GEN
         // carries the MAX_WIRE_T size cap; SUB is bounded by one
         // snapshot per frame and may request sequences of any length.
@@ -549,6 +609,11 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
 /// many payload bytes; so is every `Evt` frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ReplyHeader {
+    /// Successful `AUTH`: the connection is now bound to `tenant`.
+    Auth {
+        tag: Option<String>,
+        tenant: String,
+    },
     /// Buffered reply to `GEN`: header, then the full sequence.
     Gen {
         tag: Option<String>,
@@ -630,7 +695,8 @@ impl ReplyHeader {
     /// The reply tag, if any.
     pub fn tag(&self) -> Option<&str> {
         match self {
-            ReplyHeader::Gen { tag, .. }
+            ReplyHeader::Auth { tag, .. }
+            | ReplyHeader::Gen { tag, .. }
             | ReplyHeader::Stats { tag, .. }
             | ReplyHeader::Models { tag, .. }
             | ReplyHeader::Pong { tag }
@@ -648,6 +714,13 @@ impl ReplyHeader {
     /// header can never smuggle extra protocol lines.
     pub fn to_line(&self) -> String {
         match self {
+            ReplyHeader::Auth { tag, tenant } => {
+                let mut line = "OK AUTH".to_string();
+                push_tag(&mut line, tag);
+                line.push_str(" tenant=");
+                line.push_str(tenant);
+                line
+            }
             ReplyHeader::Gen {
                 tag,
                 id,
@@ -753,6 +826,19 @@ pub fn parse_reply(line: &str) -> Result<ReplyHeader, ProtocolError> {
                 return Err(ProtocolError::MissingField("reply kind"));
             };
             match kind.to_ascii_uppercase().as_str() {
+                "AUTH" => {
+                    let fields = Fields::parse(&["tag", "tenant"], rest)?;
+                    // Tenant ids share the tag alphabet.
+                    let tenant = fields.require("tenant")?;
+                    if !valid_tag(tenant) {
+                        return Err(ProtocolError::InvalidValue {
+                            field: "tenant",
+                            value: tenant.to_string(),
+                            expected: "1-64 chars of [A-Za-z0-9._:~-]",
+                        });
+                    }
+                    Ok(ReplyHeader::Auth { tag: fields.tag()?, tenant: tenant.to_string() })
+                }
                 "GEN" => {
                     let fields = Fields::parse(
                         &[
@@ -1164,6 +1250,53 @@ mod tests {
         let ping = parse_request("PING tag=hb").unwrap();
         assert_eq!(ping, Request::Ping { tag: Some("hb".to_string()) });
         assert_eq!(ping.to_line(), "PING tag=hb");
+    }
+
+    #[test]
+    fn auth_request_and_reply_round_trip() {
+        let req = parse_request("AUTH token=s3cr3t-token").unwrap();
+        assert_eq!(req, Request::Auth { token: "s3cr3t-token".to_string(), tag: None });
+        assert_eq!(req.to_line(), "AUTH token=s3cr3t-token");
+        let tagged = parse_request("AUTH token=abc tag=a1").unwrap();
+        assert_eq!(tagged, Request::Auth { token: "abc".to_string(), tag: Some("a1".to_string()) });
+        assert_eq!(parse_request(&tagged.to_line()).unwrap(), tagged);
+        // Tokens may use the full printable-ASCII alphabet (minus space).
+        assert!(parse_request("AUTH token=p@$$w0rd!{}~").is_ok());
+        assert!(matches!(parse_request("AUTH"), Err(ProtocolError::MissingField("token"))));
+        assert!(matches!(
+            parse_request("AUTH token="),
+            Err(ProtocolError::InvalidValue { field: "token", .. })
+        ));
+        assert!(matches!(
+            parse_request(&format!("AUTH token={}", "x".repeat(MAX_TOKEN_BYTES + 1))),
+            Err(ProtocolError::InvalidValue { field: "token", .. })
+        ));
+
+        for reply in [
+            ReplyHeader::Auth { tag: None, tenant: "gold".to_string() },
+            ReplyHeader::Auth { tag: Some("a1".to_string()), tenant: "bronze".to_string() },
+        ] {
+            let line = reply.to_line();
+            assert_eq!(parse_reply(&line).unwrap(), reply, "{line}");
+        }
+        assert!(matches!(
+            parse_reply("OK AUTH tenant=sp ce"),
+            Err(ProtocolError::UnexpectedToken(_)) | Err(ProtocolError::InvalidValue { .. })
+        ));
+        assert!(matches!(parse_reply("OK AUTH"), Err(ProtocolError::MissingField("tenant"))));
+    }
+
+    #[test]
+    fn auth_error_codes_round_trip() {
+        for code in [ErrorCode::AuthRequired, ErrorCode::AuthFailed, ErrorCode::QuotaExceeded] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        let err = ReplyHeader::Err {
+            code: ErrorCode::QuotaExceeded,
+            tag: Some("j1".to_string()),
+            message: "tenant=bronze limit=max_inflight cap=2".to_string(),
+        };
+        assert_eq!(parse_reply(&err.to_line()).unwrap(), err);
     }
 
     #[test]

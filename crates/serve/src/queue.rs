@@ -1,21 +1,37 @@
 //! The shared work queue drained by the service core's worker pool:
+//! weighted-fair selection across tenants, and within each tenant
 //! per-model-artifact FIFO groups with priority-first, affinity-aware
 //! selection and in-flight coalescing of identical requests.
 //!
-//! **Model-affinity batching** — queued jobs are grouped by model
-//! artifact (content fingerprint). A worker keeps draining its current
-//! model's group before switching, so a batch of `k` jobs against one
-//! model pays the deserialization cost once per worker *per batch*, and
-//! mixed-model traffic does not thrash instances. Group selection is
-//! priority-first: a group's effective priority is the highest
-//! [`GenRequest::priority`](crate::GenRequest::priority) among its queued
-//! jobs (ties broken by arrival), and a worker abandons its affinity when
-//! a strictly higher-priority group is waiting.
+//! **Tenant fairness (deficit round robin)** — queued jobs are first
+//! partitioned into per-tenant lanes. Each lane holds a *deficit*
+//! counter in snapshot units; when no lane can afford its next job the
+//! scheduler advances one or more virtual rounds, granting every
+//! runnable lane `weight` snapshots per round, and then serves the
+//! first affordable lane in rotation order (deficit -= job cost, cost =
+//! `t_len`). Under contention a weight-3 tenant therefore drains ~3
+//! snapshots for every 1 a weight-1 tenant drains, and one tenant's
+//! burst of heavy `SUB` jobs cannot starve the others. A lane running
+//! alone is served immediately with its deficit pinned to zero, so solo
+//! traffic neither pays for nor hoards credit against future
+//! contention. Priority remains a *within-tenant* concept: it picks
+//! which of a tenant's jobs runs next, never whose turn it is.
+//!
+//! **Model-affinity batching** — within the selected tenant's lane,
+//! jobs are grouped by model artifact (content fingerprint). A worker
+//! keeps draining its current model's group before switching, so a
+//! batch of `k` jobs against one model pays the deserialization cost
+//! once per worker *per batch*. Group selection is priority-first: a
+//! group's effective priority is the highest
+//! [`GenRequest::priority`](crate::GenRequest::priority) among its
+//! runnable queued jobs (ties broken by arrival), and a worker abandons
+//! its affinity when a strictly higher-priority group is waiting.
 //!
 //! **Coalescing** — when a [`SnapshotCache`] is attached, a queued
 //! duplicate of a `(model, t_len, seed)` key that is already generating
 //! on another worker is held back until the key finishes, then pops as a
-//! cache hit; keys observed to finish uncached are exempt.
+//! cache hit — across tenant lanes too (the cache is shared); keys
+//! observed to finish uncached are exempt.
 //!
 //! Jobs carry their own completion channel ([`Job::reply`]): workers push
 //! results to the submitting caller instead of the queue owning a result
@@ -25,16 +41,19 @@
 use crate::cache::{CacheKey, SnapshotCache};
 use crate::core::{job_cache_key, CancelToken, GenSink, JobId, JobResult};
 use crate::registry::ModelHandle;
+use crate::tenant::{Tenant, TenantId};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A queued unit of work: one generation request bound to its resolved
-/// model handle and the channel its [`JobResult`] is delivered on.
+/// model handle, the tenant it runs on behalf of, and the channel its
+/// [`JobResult`] is delivered on.
 pub(crate) struct Job {
     pub(crate) id: JobId,
     pub(crate) handle: ModelHandle,
+    pub(crate) tenant: Arc<Tenant>,
     pub(crate) t_len: usize,
     pub(crate) seed: u64,
     pub(crate) priority: i32,
@@ -102,10 +121,40 @@ struct Candidate {
     front_id: u64,
 }
 
-struct QueueState {
+/// One tenant's queued jobs, grouped by model artifact, plus the lane's
+/// deficit-round-robin state. Lanes are removed when drained (their
+/// deficit dies with them, as in classic DRR).
+struct Lane {
     /// Queued jobs grouped by model artifact fingerprint. Groups are
     /// removed when drained, so every stored group is non-empty.
     groups: HashMap<u64, Group>,
+    queued: usize,
+    weight: u32,
+    /// Unspent serving credit in snapshot units (a job costs `t_len`).
+    deficit: u64,
+}
+
+impl Lane {
+    fn new(weight: u32) -> Lane {
+        Lane { groups: HashMap::new(), queued: 0, weight: weight.max(1), deficit: 0 }
+    }
+}
+
+/// The lane job [`QueueState::lane_best`] selected: which group, which
+/// index within it, and the job's DRR cost.
+struct LanePick {
+    fp: u64,
+    index: usize,
+    cost: u64,
+}
+
+struct QueueState {
+    /// Per-tenant lanes. Lanes are removed when drained, so every
+    /// stored lane is non-empty.
+    lanes: HashMap<TenantId, Lane>,
+    /// DRR rotation order over the live lanes (insertion order; a
+    /// re-created lane joins at the back).
+    rotation: Vec<TenantId>,
     /// Keys currently generating on some worker (coalescing mode only):
     /// queued duplicates are held back until the key finishes, then pop
     /// as cache hits.
@@ -122,6 +171,9 @@ struct QueueState {
     /// by waiting, so they are exempt from coalescing and run in
     /// parallel exactly as with the cache disabled.
     uncacheable: HashSet<CacheKey>,
+    /// Jobs currently executing on workers, per tenant (feeds the
+    /// `max_inflight` quota, which caps queued + executing together).
+    executing: HashMap<TenantId, usize>,
     queued: usize,
     closed: bool,
 }
@@ -167,15 +219,20 @@ impl QueueState {
         first.map(|index| Candidate { index, priority, front_id: group.jobs[index].id.0 })
     }
 
-    /// Pick the next runnable job. The best group has the highest
-    /// priority among *runnable* jobs, ties broken by oldest runnable
-    /// job; a worker's `preferred` group wins whenever it matches the
-    /// best priority, so affinity never starves a higher-priority model.
-    /// Returns `None` when everything queued is coalescing-blocked (the
-    /// caller waits for a finish notification).
-    fn take_next(&mut self, preferred: Option<u64>, cache: Option<&SnapshotCache>) -> Option<Job> {
+    /// Pick the best runnable job *within one lane*: the best group has
+    /// the highest priority among runnable jobs, ties broken by oldest
+    /// runnable job; a worker's `preferred` group wins whenever it
+    /// matches the best priority, so affinity never starves a
+    /// higher-priority model. `None` when everything in the lane is
+    /// coalescing-blocked.
+    fn lane_best(
+        &self,
+        cache: Option<&SnapshotCache>,
+        lane: &Lane,
+        preferred: Option<u64>,
+    ) -> Option<LanePick> {
         let mut best: Option<(u64, Candidate)> = None;
-        for (&fp, g) in &self.groups {
+        for (&fp, g) in &lane.groups {
             let Some(cand) = self.candidate(cache, fp, g) else { continue };
             let better = match &best {
                 None => true,
@@ -189,20 +246,84 @@ impl QueueState {
             }
         }
         let (best_fp, best_cand) = best?;
-        let (chosen, idx) = match preferred {
-            Some(fp) if fp != best_fp => match self.groups.get(&fp) {
-                Some(g) => match self.candidate(cache, fp, g) {
-                    Some(c) if c.priority == best_cand.priority => (fp, c.index),
+        let (fp, index) = match preferred {
+            Some(pfp) if pfp != best_fp => match lane.groups.get(&pfp) {
+                Some(g) => match self.candidate(cache, pfp, g) {
+                    Some(c) if c.priority == best_cand.priority => (pfp, c.index),
                     _ => (best_fp, best_cand.index),
                 },
                 None => (best_fp, best_cand.index),
             },
             _ => (best_fp, best_cand.index),
         };
-        let group = self.groups.get_mut(&chosen).expect("chosen group exists");
-        let job = group.remove_at(idx);
+        let cost = lane.groups[&fp].jobs[index].t_len.max(1) as u64;
+        Some(LanePick { fp, index, cost })
+    }
+
+    /// Pick the next runnable job: deficit-round-robin across tenant
+    /// lanes, then the lane-local priority/affinity pick. Returns `None`
+    /// when everything queued is coalescing-blocked (the caller waits
+    /// for a finish notification).
+    fn take_next(&mut self, preferred: Option<u64>, cache: Option<&SnapshotCache>) -> Option<Job> {
+        // Runnable lanes in rotation order, with their lane-local pick.
+        let mut runnable: Vec<(TenantId, LanePick)> = Vec::new();
+        for tenant in &self.rotation {
+            let lane = &self.lanes[tenant];
+            if let Some(pick) = self.lane_best(cache, lane, preferred) {
+                runnable.push((tenant.clone(), pick));
+            }
+        }
+        if runnable.is_empty() {
+            return None;
+        }
+        let (tenant, pick) = if runnable.len() == 1 {
+            // No contention: serve immediately and pin the deficit to
+            // zero — solo traffic neither pays for nor hoards credit.
+            let (tenant, pick) = runnable.pop().expect("len checked");
+            self.lanes.get_mut(&tenant).expect("lane exists").deficit = 0;
+            (tenant, pick)
+        } else {
+            // DRR: the first lane in rotation order whose deficit covers
+            // its job's cost serves. When none can afford it, advance
+            // the minimal number of virtual rounds (each grants every
+            // runnable lane `weight` snapshots) in one step — a single
+            // huge SUB job fast-forwards instead of looping per round.
+            let affordable =
+                |lanes: &HashMap<TenantId, Lane>, t: &TenantId, cost: u64| lanes[t].deficit >= cost;
+            if !runnable.iter().any(|(t, p)| affordable(&self.lanes, t, p.cost)) {
+                let rounds = runnable
+                    .iter()
+                    .map(|(t, p)| {
+                        let lane = &self.lanes[t];
+                        let shortfall = p.cost - lane.deficit;
+                        shortfall.div_ceil(lane.weight as u64)
+                    })
+                    .min()
+                    .expect("runnable lanes is non-empty");
+                for (t, _) in &runnable {
+                    let lane = self.lanes.get_mut(t).expect("lane exists");
+                    lane.deficit += rounds * lane.weight as u64;
+                }
+            }
+            let pos = runnable
+                .iter()
+                .position(|(t, p)| affordable(&self.lanes, t, p.cost))
+                .expect("rounds were advanced until a lane can afford its job");
+            let (tenant, pick) = runnable.swap_remove(pos);
+            let lane = self.lanes.get_mut(&tenant).expect("lane exists");
+            lane.deficit -= pick.cost;
+            (tenant, pick)
+        };
+        let lane = self.lanes.get_mut(&tenant).expect("chosen lane exists");
+        let group = lane.groups.get_mut(&pick.fp).expect("chosen group exists");
+        let job = group.remove_at(pick.index);
         if group.jobs.is_empty() {
-            self.groups.remove(&chosen);
+            lane.groups.remove(&pick.fp);
+        }
+        lane.queued -= 1;
+        if lane.groups.is_empty() {
+            self.lanes.remove(&tenant);
+            self.rotation.retain(|t| t != &tenant);
         }
         self.queued -= 1;
         Some(job)
@@ -215,6 +336,8 @@ pub(crate) enum PushRejected {
     Closed,
     /// The admission cap is reached; `depth` is the observed queue depth.
     Full { depth: usize },
+    /// A per-tenant quota is exhausted (`quota` names which one).
+    Quota { tenant: TenantId, quota: &'static str, cap: usize },
 }
 
 /// The shared work queue of the service core. Exported for observability
@@ -238,10 +361,12 @@ impl JobQueue {
     pub(crate) fn with_cache(cache: Option<SnapshotCache>) -> Self {
         JobQueue {
             state: Mutex::new(QueueState {
-                groups: HashMap::new(),
+                lanes: HashMap::new(),
+                rotation: Vec::new(),
                 busy: HashSet::new(),
                 busy_fps: HashMap::new(),
                 uncacheable: HashSet::new(),
+                executing: HashMap::new(),
                 queued: 0,
                 closed: false,
             }),
@@ -252,11 +377,12 @@ impl JobQueue {
         }
     }
 
-    /// Enqueue `job`, enforcing the optional admission cap atomically
-    /// with the depth check (concurrent submitters cannot overshoot the
-    /// cap between check and push), and refusing — not panicking — when
-    /// a concurrent `close`/`abort` from another handle clone won the
-    /// race against the submitter's pre-flight closed check.
+    /// Enqueue `job`, enforcing the optional global admission cap and
+    /// the job's tenant quotas atomically with the depth check
+    /// (concurrent submitters cannot overshoot any cap between check and
+    /// push), and refusing — not panicking — when a concurrent
+    /// `close`/`abort` from another handle clone won the race against
+    /// the submitter's pre-flight closed check.
     pub(crate) fn push_checked(&self, job: Job, cap: Option<usize>) -> Result<(), PushRejected> {
         let mut state = self.state.lock().expect("queue lock poisoned");
         if state.closed {
@@ -267,8 +393,42 @@ impl JobQueue {
                 return Err(PushRejected::Full { depth: state.queued });
             }
         }
-        state.groups.entry(job.handle.fingerprint()).or_insert_with(Group::new).push(job);
-        state.queued += 1;
+        let tenant = Arc::clone(&job.tenant);
+        let tenant_id = tenant.id().clone();
+        let tenant_queued = state.lanes.get(&tenant_id).map_or(0, |l| l.queued);
+        if let Some(max) = tenant.max_inflight {
+            let executing = state.executing.get(&tenant_id).copied().unwrap_or(0);
+            if tenant_queued + executing >= max {
+                return Err(PushRejected::Quota {
+                    tenant: tenant_id,
+                    quota: "max_inflight",
+                    cap: max,
+                });
+            }
+        }
+        if let (Some(share), Some(global_cap)) = (tenant.max_queue_share, cap) {
+            let tenant_cap = ((share * global_cap as f64).floor() as usize).max(1);
+            if tenant_queued >= tenant_cap {
+                return Err(PushRejected::Quota {
+                    tenant: tenant_id,
+                    quota: "queue_share",
+                    cap: tenant_cap,
+                });
+            }
+        }
+        {
+            let state = &mut *state;
+            let lane = match state.lanes.entry(tenant_id.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    state.rotation.push(tenant_id);
+                    e.insert(Lane::new(tenant.weight))
+                }
+            };
+            lane.groups.entry(job.handle.fingerprint()).or_insert_with(Group::new).push(job);
+            lane.queued += 1;
+            state.queued += 1;
+        }
         drop(state);
         self.ready.notify_one();
         Ok(())
@@ -290,6 +450,7 @@ impl JobQueue {
                         *state.busy_fps.entry(key.model_fingerprint).or_insert(0) += 1;
                     }
                 }
+                *state.executing.entry(job.tenant.id().clone()).or_insert(0) += 1;
                 let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
                 self.max_in_flight.fetch_max(now, Ordering::SeqCst);
                 return Some(job);
@@ -304,10 +465,16 @@ impl JobQueue {
         }
     }
 
-    pub(crate) fn finish_one(&self, key: &CacheKey) {
+    pub(crate) fn finish_one(&self, key: &CacheKey, tenant: &TenantId) {
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        match state.executing.get_mut(tenant) {
+            Some(count) if *count > 1 => *count -= 1,
+            _ => {
+                state.executing.remove(tenant);
+            }
+        }
         if let Some(cache) = &self.cache {
-            let mut state = self.state.lock().expect("queue lock poisoned");
             if state.busy.remove(key) {
                 match state.busy_fps.get_mut(&key.model_fingerprint) {
                     Some(count) if *count > 1 => *count -= 1,
@@ -348,7 +515,8 @@ impl JobQueue {
         let mut state = self.state.lock().expect("queue lock poisoned");
         state.closed = true;
         let dropped = state.queued;
-        state.groups.clear();
+        state.lanes.clear();
+        state.rotation.clear();
         state.queued = 0;
         drop(state);
         self.ready.notify_all();
@@ -358,6 +526,11 @@ impl JobQueue {
     /// Jobs queued and not yet picked up by a worker.
     pub fn depth(&self) -> usize {
         self.state.lock().expect("queue lock poisoned").queued
+    }
+
+    /// Jobs queued for one tenant specifically.
+    pub fn tenant_depth(&self, tenant: &TenantId) -> usize {
+        self.state.lock().expect("queue lock poisoned").lanes.get(tenant).map_or(0, |l| l.queued)
     }
 
     /// Jobs currently executing on workers.

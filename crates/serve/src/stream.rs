@@ -16,6 +16,10 @@ pub struct StreamStats {
     pub snapshots: usize,
     /// Total temporal edges across the emitted snapshots.
     pub edges: usize,
+    /// Approximate in-memory bytes of the emitted snapshots
+    /// (`Snapshot::approx_bytes` summed) — the unit of the serving
+    /// layer's per-tenant `bytes_streamed` accounting.
+    pub bytes: usize,
 }
 
 /// A seed-addressed, resumable snapshot stream over an owned model
@@ -69,6 +73,7 @@ impl SnapshotStream {
         for snapshot in &mut self {
             stats.snapshots += 1;
             stats.edges += snapshot.n_edges();
+            stats.bytes += snapshot.approx_bytes();
             write(&snapshot)?;
         }
         Ok(stats)

@@ -1,0 +1,682 @@
+//! Multi-tenant identity, quotas, and authentication for the serving
+//! stack.
+//!
+//! A [`Tenant`] is the unit of isolation the whole service schedules
+//! around: every job carries a [`TenantId`], admission control is
+//! enforced per tenant ([`Tenant::max_inflight`],
+//! [`Tenant::max_queue_share`], a token-bucket [`RateLimit`]), queue
+//! selection is weighted-fair across tenants by [`Tenant::weight`]
+//! (deficit-round-robin in the job queue), and snapshot-cache insertions
+//! are charged against the inserting tenant's
+//! [`Tenant::cache_byte_share`] so one tenant cannot evict the whole
+//! working set.
+//!
+//! The [`TenantRegistry`] maps pre-shared tokens to tenants. Token
+//! lookup compares every candidate with a constant-time byte comparison
+//! — an attacker probing the wire cannot learn a prefix of a valid
+//! token from timing. Registries are built from a builder API or loaded
+//! from a simple colon-separated config file (see
+//! [`TenantRegistry::from_reader`]); a registry with no tokens is
+//! "auth off": every request maps to the built-in `anonymous` tenant
+//! and the service behaves exactly as before tenants existed.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Interned tenant identity carried by jobs, queue lanes, cache entries,
+/// and per-tenant statistics. Cheap to clone (one `Arc`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(Arc<str>);
+
+/// The id every unauthenticated (auth-off) request maps to.
+pub const ANONYMOUS_TENANT: &str = "anonymous";
+
+impl TenantId {
+    /// Construct an id. Valid ids are 1–64 chars of `[A-Za-z0-9._:~-]`
+    /// (the wire-tag alphabet, so ids can be echoed in reply headers).
+    pub fn new(id: impl AsRef<str>) -> Option<TenantId> {
+        let id = id.as_ref();
+        valid_tenant_id(id).then(|| TenantId(Arc::from(id)))
+    }
+
+    /// The built-in anonymous tenant's id.
+    pub fn anonymous() -> TenantId {
+        TenantId(Arc::from(ANONYMOUS_TENANT))
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    pub fn is_anonymous(&self) -> bool {
+        &*self.0 == ANONYMOUS_TENANT
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TenantId({:?})", &*self.0)
+    }
+}
+
+/// Is `s` a well-formed tenant id? Same alphabet as wire tags.
+pub fn valid_tenant_id(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | ':' | '~' | '-'))
+}
+
+/// Token-bucket rate limit: a tenant may submit bursts of up to
+/// `burst` jobs, refilled continuously at `per_sec` jobs per second.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RateLimit {
+    /// Sustained submissions per second.
+    pub per_sec: f64,
+    /// Bucket capacity (maximum burst).
+    pub burst: f64,
+}
+
+/// One tenant's identity and quota configuration. Immutable once
+/// registered; mutable runtime state (the rate-limit bucket) lives in
+/// the [`TenantRegistry`].
+#[derive(Clone, Debug)]
+pub struct Tenant {
+    id: TenantId,
+    /// Weighted-fair share of worker time relative to other tenants
+    /// (deficit-round-robin weight, `>= 1`). A weight-3 tenant drains
+    /// roughly three snapshots for every one a weight-1 tenant drains
+    /// under contention.
+    pub weight: u32,
+    /// Maximum outstanding jobs (queued + executing) this tenant may
+    /// hold at once; `None` = unlimited.
+    pub max_inflight: Option<usize>,
+    /// Fraction of the service's global `max_queue_depth` this tenant
+    /// may occupy (clamped to at least one slot); ignored when the
+    /// service has no global queue cap. `None` = unlimited.
+    pub max_queue_share: Option<f64>,
+    /// Token-bucket submission rate limit; `None` = unlimited.
+    pub rate_limit: Option<RateLimit>,
+    /// Fraction of the snapshot cache's byte budget this tenant's
+    /// insertions may occupy; when exceeded, the tenant's *own*
+    /// least-recently-used entries are evicted first. `None` = only the
+    /// global budget applies.
+    pub cache_byte_share: Option<f64>,
+}
+
+impl Tenant {
+    /// A tenant with weight 1 and no quotas.
+    pub fn new(id: TenantId) -> Tenant {
+        Tenant {
+            id,
+            weight: 1,
+            max_inflight: None,
+            max_queue_share: None,
+            rate_limit: None,
+            cache_byte_share: None,
+        }
+    }
+
+    pub fn id(&self) -> &TenantId {
+        &self.id
+    }
+
+    pub fn with_weight(mut self, weight: u32) -> Tenant {
+        self.weight = weight.max(1);
+        self
+    }
+
+    pub fn with_max_inflight(mut self, max: usize) -> Tenant {
+        self.max_inflight = Some(max);
+        self
+    }
+
+    pub fn with_max_queue_share(mut self, share: f64) -> Tenant {
+        self.max_queue_share = Some(share.clamp(0.0, 1.0));
+        self
+    }
+
+    pub fn with_rate_limit(mut self, per_sec: f64, burst: f64) -> Tenant {
+        self.rate_limit = Some(RateLimit { per_sec: per_sec.max(0.0), burst: burst.max(1.0) });
+        self
+    }
+
+    pub fn with_cache_byte_share(mut self, share: f64) -> Tenant {
+        self.cache_byte_share = Some(share.clamp(0.0, 1.0));
+        self
+    }
+}
+
+/// Why a tenant config file failed to parse.
+#[derive(Debug)]
+pub struct TenantConfigError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for TenantConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenants config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TenantConfigError {}
+
+/// Runtime state of one tenant's token bucket.
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+struct RegistryInner {
+    /// Pre-shared tokens, checked with a constant-time comparison.
+    tokens: Vec<(Vec<u8>, Arc<Tenant>)>,
+    by_id: HashMap<TenantId, Arc<Tenant>>,
+    anonymous: Arc<Tenant>,
+    buckets: Mutex<HashMap<TenantId, Bucket>>,
+}
+
+/// Thread-safe, clonable registry of tenants and their pre-shared
+/// tokens. Clones share state (rate-limit buckets included).
+///
+/// An empty registry (no tokens) means **auth off**: the frontend skips
+/// the `AUTH` greeting and every request runs as the built-in
+/// `anonymous` tenant, which has no quotas — byte-identical behavior to
+/// the pre-tenant service.
+#[derive(Clone)]
+pub struct TenantRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for TenantRegistry {
+    fn default() -> Self {
+        TenantRegistryBuilder::default().build()
+    }
+}
+
+impl TenantRegistry {
+    /// An auth-off registry holding only the anonymous tenant.
+    pub fn anonymous_only() -> TenantRegistry {
+        TenantRegistry::default()
+    }
+
+    pub fn builder() -> TenantRegistryBuilder {
+        TenantRegistryBuilder::default()
+    }
+
+    /// Parse a tenants config from a string. One tenant per line:
+    ///
+    /// ```text
+    /// # id:token:weight[:max_inflight[:max_queue_share[:rate_per_sec[:burst[:cache_share]]]]]
+    /// gold:gold-secret-token:3:64:0.75:100:200:0.75
+    /// bronze:bronze-secret-token:1:8:0.25:10:20:0.25
+    /// ```
+    ///
+    /// Blank lines and `#` comments are skipped; a trailing field may be
+    /// `-` (or omitted) for "unlimited". Because `:` is the field
+    /// delimiter, config-file tokens must not contain it (a line with
+    /// too many fields is rejected with a hint rather than silently
+    /// registering a truncated secret); tokens containing `:` are still
+    /// registrable through the builder API.
+    pub fn from_reader(text: &str) -> Result<TenantRegistry, TenantConfigError> {
+        let mut builder = TenantRegistry::builder();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(':').collect();
+            if fields.len() < 3 {
+                return Err(TenantConfigError {
+                    line: line_no,
+                    message: format!(
+                        "expected at least id:token:weight, got {} field(s)",
+                        fields.len()
+                    ),
+                });
+            }
+            if fields.len() > 8 {
+                return Err(TenantConfigError {
+                    line: line_no,
+                    message: format!(
+                        "too many fields ({}); `:` is the delimiter, so config-file tokens must \
+                         not contain it (tokens with `:` need the builder API)",
+                        fields.len()
+                    ),
+                });
+            }
+            let err = |message: String| TenantConfigError { line: line_no, message };
+            let id = TenantId::new(fields[0]).ok_or_else(|| {
+                err(format!("invalid tenant id {:?} (1-64 chars of [A-Za-z0-9._:~-])", fields[0]))
+            })?;
+            if id.is_anonymous() {
+                return Err(
+                    err("the anonymous tenant is built in and cannot carry a token".into()),
+                );
+            }
+            let token = fields[1];
+            if token.is_empty() {
+                return Err(err(format!("tenant {id} has an empty token")));
+            }
+            let opt = |i: usize| fields.get(i).copied().filter(|f| !f.is_empty() && *f != "-");
+            let parse_num = |i: usize, what: &str| -> Result<Option<f64>, TenantConfigError> {
+                match opt(i) {
+                    None => Ok(None),
+                    Some(raw) => raw.parse::<f64>().map(Some).map_err(|_| TenantConfigError {
+                        line: line_no,
+                        message: format!("invalid {what} {raw:?}"),
+                    }),
+                }
+            };
+            // Every quota is validated at parse time: a truncating
+            // `as`-cast would turn a typo'd `-5` or `0.9` max_inflight
+            // into a silent cap of 0 that locks the tenant out with no
+            // error anywhere near the cause.
+            let integer = |raw: Option<f64>, what: &str, min: f64| -> Result<Option<u64>, _> {
+                match raw {
+                    None => Ok(None),
+                    Some(v) if v.fract() == 0.0 && v >= min && v <= 1e9 => Ok(Some(v as u64)),
+                    Some(v) => {
+                        Err(err(format!("{what} {v} must be an integer in {min}..=1000000000")))
+                    }
+                }
+            };
+            let weight = integer(parse_num(2, "weight")?, "weight", 1.0)?.unwrap_or(1);
+            let mut tenant = Tenant::new(id).with_weight(weight.min(1_000_000) as u32);
+            if let Some(max) = integer(parse_num(3, "max_inflight")?, "max_inflight", 1.0)? {
+                tenant = tenant.with_max_inflight(max as usize);
+            }
+            let share = |raw: Option<f64>, what: &str| -> Result<Option<f64>, _> {
+                match raw {
+                    None => Ok(None),
+                    Some(v) if v > 0.0 && v <= 1.0 => Ok(Some(v)),
+                    Some(v) => Err(err(format!("{what} {v} must be a fraction in (0.0, 1.0]"))),
+                }
+            };
+            if let Some(v) = share(parse_num(4, "max_queue_share")?, "max_queue_share")? {
+                tenant = tenant.with_max_queue_share(v);
+            }
+            if let Some(per_sec) = parse_num(5, "rate_per_sec")? {
+                if !per_sec.is_finite() || per_sec < 0.0 {
+                    return Err(err(format!("rate_per_sec {per_sec} must be >= 0")));
+                }
+                let burst = parse_num(6, "burst")?.unwrap_or(per_sec.max(1.0));
+                if !burst.is_finite() || burst < 1.0 {
+                    return Err(err(format!("burst {burst} must be >= 1")));
+                }
+                tenant = tenant.with_rate_limit(per_sec, burst);
+            }
+            if let Some(v) = share(parse_num(7, "cache_share")?, "cache_share")? {
+                tenant = tenant.with_cache_byte_share(v);
+            }
+            builder = builder
+                .tenant(tenant, token)
+                .map_err(|message| TenantConfigError { line: line_no, message })?;
+        }
+        Ok(builder.build())
+    }
+
+    /// Load a tenants config file (see [`from_reader`](Self::from_reader)
+    /// for the format).
+    pub fn from_file(path: impl AsRef<Path>) -> Result<TenantRegistry, Box<dyn std::error::Error>> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(TenantRegistry::from_reader(&text)?)
+    }
+
+    /// True when at least one token is registered — the frontend then
+    /// demands an `AUTH` greeting before any other command.
+    pub fn auth_enabled(&self) -> bool {
+        !self.inner.tokens.is_empty()
+    }
+
+    /// Tenants with a token (the anonymous tenant is not counted).
+    pub fn len(&self) -> usize {
+        self.inner.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.tokens.is_empty()
+    }
+
+    /// The built-in anonymous tenant.
+    pub fn anonymous(&self) -> Arc<Tenant> {
+        Arc::clone(&self.inner.anonymous)
+    }
+
+    /// Resolve a tenant by id (the anonymous tenant resolves too).
+    pub fn get(&self, id: &TenantId) -> Option<Arc<Tenant>> {
+        if id.is_anonymous() {
+            return Some(self.anonymous());
+        }
+        self.inner.by_id.get(id).cloned()
+    }
+
+    /// Registered tenant ids, sorted (anonymous excluded).
+    pub fn ids(&self) -> Vec<TenantId> {
+        let mut ids: Vec<TenantId> = self.inner.by_id.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Authenticate a pre-shared token. Every registered token is
+    /// compared with a constant-time byte comparison so the scan's
+    /// timing does not depend on how much of any token matched.
+    pub fn authenticate(&self, token: &str) -> Option<Arc<Tenant>> {
+        let probe = token.as_bytes();
+        let mut found: Option<&Arc<Tenant>> = None;
+        for (stored, tenant) in &self.inner.tokens {
+            if constant_time_eq(stored, probe) {
+                found = Some(tenant);
+            }
+        }
+        found.cloned()
+    }
+
+    /// Try to take one job from the tenant's rate-limit bucket. `true`
+    /// when admitted (or the tenant has no rate limit).
+    pub fn try_acquire_rate(&self, tenant: &Tenant) -> bool {
+        let Some(limit) = tenant.rate_limit else { return true };
+        let mut buckets = self.inner.buckets.lock().expect("bucket lock poisoned");
+        let now = Instant::now();
+        let bucket = buckets
+            .entry(tenant.id.clone())
+            .or_insert_with(|| Bucket { tokens: limit.burst, last_refill: now });
+        let elapsed = now.duration_since(bucket.last_refill).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * limit.per_sec).min(limit.burst);
+        bucket.last_refill = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Return a rate token taken by
+    /// [`try_acquire_rate`](Self::try_acquire_rate) whose job was
+    /// then rejected by a later admission check — the failed submit must
+    /// not burn rate budget.
+    pub fn refund_rate(&self, tenant: &Tenant) {
+        let Some(limit) = tenant.rate_limit else { return };
+        let mut buckets = self.inner.buckets.lock().expect("bucket lock poisoned");
+        if let Some(bucket) = buckets.get_mut(&tenant.id) {
+            bucket.tokens = (bucket.tokens + 1.0).min(limit.burst);
+        }
+    }
+}
+
+impl fmt::Debug for TenantRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TenantRegistry")
+            .field("auth_enabled", &self.auth_enabled())
+            .field("tenants", &self.ids())
+            .finish()
+    }
+}
+
+/// Builder for a [`TenantRegistry`].
+#[derive(Default)]
+pub struct TenantRegistryBuilder {
+    tokens: Vec<(Vec<u8>, Arc<Tenant>)>,
+    by_id: HashMap<TenantId, Arc<Tenant>>,
+}
+
+impl TenantRegistryBuilder {
+    /// Register `tenant` under the pre-shared `token`. Fails on a
+    /// duplicate tenant id, a duplicate token, or a token the wire
+    /// grammar cannot carry ([`protocol::valid_token`]: 1–128 printable
+    /// non-space ASCII chars) — an unspeakable token would register
+    /// fine and then lock the tenant out with a misleading
+    /// `auth-required` at every connection attempt.
+    ///
+    /// [`protocol::valid_token`]: crate::protocol::valid_token
+    pub fn tenant(mut self, tenant: Tenant, token: impl AsRef<str>) -> Result<Self, String> {
+        if !crate::protocol::valid_token(token.as_ref()) {
+            return Err(format!(
+                "tenant {:?}: token must be 1-128 printable non-space ASCII chars (the wire \
+                 grammar of AUTH token=...)",
+                tenant.id.as_str()
+            ));
+        }
+        let token = token.as_ref().as_bytes().to_vec();
+        if self.by_id.contains_key(&tenant.id) {
+            return Err(format!("duplicate tenant id {:?}", tenant.id.as_str()));
+        }
+        if self.tokens.iter().any(|(t, _)| t == &token) {
+            return Err(format!("duplicate token for tenant {:?}", tenant.id.as_str()));
+        }
+        let tenant = Arc::new(tenant);
+        self.by_id.insert(tenant.id.clone(), Arc::clone(&tenant));
+        self.tokens.push((token, tenant));
+        Ok(self)
+    }
+
+    pub fn build(self) -> TenantRegistry {
+        TenantRegistry {
+            inner: Arc::new(RegistryInner {
+                tokens: self.tokens,
+                by_id: self.by_id,
+                anonymous: Arc::new(Tenant::new(TenantId::anonymous())),
+                buckets: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+}
+
+/// Constant-time byte-slice equality: the comparison visits every byte
+/// of `probe` regardless of where (or whether) a mismatch occurs, so
+/// the running time leaks only the *length* of the attacker-supplied
+/// probe (which the attacker already knows), never which prefix of a
+/// stored token it matched. Lengths are compared as full `usize`s — a
+/// truncating cast here would let tokens whose lengths differ by a
+/// multiple of 256 alias each other.
+fn constant_time_eq(stored: &[u8], probe: &[u8]) -> bool {
+    let mut diff = u8::from(stored.len() != probe.len());
+    for (i, &p) in probe.iter().enumerate() {
+        // Out-of-range reads compare against 0; `diff` is already
+        // poisoned by the length mismatch in that case.
+        let s = stored.get(i).copied().unwrap_or(0);
+        diff |= s ^ p;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_ids_validate_like_wire_tags() {
+        assert!(TenantId::new("gold").is_some());
+        assert!(TenantId::new("a.b:c_d-e~2").is_some());
+        assert!(TenantId::new("").is_none());
+        assert!(TenantId::new("has space").is_none());
+        assert!(TenantId::new("x".repeat(65)).is_none());
+        assert!(TenantId::anonymous().is_anonymous());
+    }
+
+    #[test]
+    fn builder_registers_and_authenticates() {
+        let registry = TenantRegistry::builder()
+            .tenant(Tenant::new(TenantId::new("gold").unwrap()).with_weight(3), "tok-gold")
+            .unwrap()
+            .tenant(Tenant::new(TenantId::new("bronze").unwrap()), "tok-bronze")
+            .unwrap()
+            .build();
+        assert!(registry.auth_enabled());
+        assert_eq!(registry.len(), 2);
+        let gold = registry.authenticate("tok-gold").expect("valid token");
+        assert_eq!(gold.id().as_str(), "gold");
+        assert_eq!(gold.weight, 3);
+        assert!(registry.authenticate("tok-GOLD").is_none());
+        assert!(registry.authenticate("").is_none());
+        assert!(registry.authenticate("tok-gol").is_none());
+        assert!(registry.authenticate("tok-goldx").is_none());
+        // Lookup by id, including the built-in anonymous tenant.
+        assert!(registry.get(&TenantId::new("gold").unwrap()).is_some());
+        assert!(registry.get(&TenantId::new("nope").unwrap()).is_none());
+        assert!(registry.get(&TenantId::anonymous()).is_some());
+    }
+
+    #[test]
+    fn unspeakable_tokens_are_rejected_at_registration() {
+        // A token the AUTH grammar cannot carry must fail at build time
+        // — not register silently and lock the tenant out later.
+        let too_long = "x".repeat(129);
+        let b = TenantRegistry::builder();
+        assert!(b.tenant(Tenant::new(TenantId::new("a").unwrap()), &too_long).is_err());
+        let b = TenantRegistry::builder();
+        assert!(b.tenant(Tenant::new(TenantId::new("a").unwrap()), "has space").is_err());
+        let b = TenantRegistry::builder();
+        assert!(b.tenant(Tenant::new(TenantId::new("a").unwrap()), "").is_err());
+        // A 128-char token is exactly at the wire cap and fine.
+        let at_cap = "x".repeat(128);
+        TenantRegistry::builder()
+            .tenant(Tenant::new(TenantId::new("a").unwrap()), &at_cap)
+            .unwrap();
+    }
+
+    #[test]
+    fn config_lines_with_colon_tokens_fail_loudly() {
+        // ':' is the field delimiter: a token containing one would
+        // silently register a truncated secret, so the extra fields are
+        // a hard error with a hint.
+        let err = TenantRegistry::from_reader("gold:tok:part:3:64:0.5:100:200:0.75\n").unwrap_err();
+        assert!(err.message.contains("too many fields"), "{err}");
+        assert!(err.message.contains("builder API"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_ids_and_tokens_are_rejected() {
+        let b = TenantRegistry::builder()
+            .tenant(Tenant::new(TenantId::new("a").unwrap()), "t1")
+            .unwrap();
+        assert!(b.tenant(Tenant::new(TenantId::new("a").unwrap()), "t2").is_err());
+        let b = TenantRegistry::builder()
+            .tenant(Tenant::new(TenantId::new("a").unwrap()), "t1")
+            .unwrap();
+        assert!(b.tenant(Tenant::new(TenantId::new("b").unwrap()), "t1").is_err());
+    }
+
+    #[test]
+    fn config_file_round_trips_all_fields() {
+        let text = "\
+# full spec
+gold:gold-secret:3:64:0.75:100:200:0.75
+
+bronze:bronze-secret:1
+partial:partial-secret:2:8:-:5
+";
+        let registry = TenantRegistry::from_reader(text).unwrap();
+        assert_eq!(registry.len(), 3);
+        let gold = registry.authenticate("gold-secret").unwrap();
+        assert_eq!(gold.weight, 3);
+        assert_eq!(gold.max_inflight, Some(64));
+        assert_eq!(gold.max_queue_share, Some(0.75));
+        assert_eq!(gold.rate_limit, Some(RateLimit { per_sec: 100.0, burst: 200.0 }));
+        assert_eq!(gold.cache_byte_share, Some(0.75));
+        let bronze = registry.authenticate("bronze-secret").unwrap();
+        assert_eq!(bronze.weight, 1);
+        assert_eq!(bronze.max_inflight, None);
+        assert_eq!(bronze.rate_limit, None);
+        let partial = registry.authenticate("partial-secret").unwrap();
+        assert_eq!(partial.max_inflight, Some(8));
+        assert_eq!(partial.max_queue_share, None, "`-` means unset");
+        assert_eq!(partial.rate_limit.unwrap().per_sec, 5.0);
+        assert_eq!(partial.rate_limit.unwrap().burst, 5.0, "burst defaults to per_sec");
+    }
+
+    #[test]
+    fn config_errors_carry_line_numbers() {
+        let err = TenantRegistry::from_reader("gold:tok:3\nbad line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = TenantRegistry::from_reader("gold:tok:zero\n").unwrap_err();
+        assert!(err.message.contains("weight"), "{err}");
+        // Typo'd quotas must fail loudly instead of `as`-casting to a
+        // cap of 0 that silently locks the tenant out.
+        for bad in ["gold:tok:1:-5", "gold:tok:1:0.9", "gold:tok:1:0", "gold:tok:2.9"] {
+            let err = TenantRegistry::from_reader(bad).unwrap_err();
+            assert!(err.message.contains("integer"), "{bad}: {err}");
+        }
+        for bad in ["gold:tok:1:8:1.5", "gold:tok:1:8:0", "gold:tok:1:8:-:-:-:-0.2"] {
+            let err = TenantRegistry::from_reader(bad).unwrap_err();
+            assert!(err.message.contains("fraction"), "{bad}: {err}");
+        }
+        assert!(TenantRegistry::from_reader("gold:tok:1:8:-:5:0.5\n").is_err(), "burst < 1");
+        let err = TenantRegistry::from_reader("anonymous:tok:1\n").unwrap_err();
+        assert!(err.message.contains("anonymous"), "{err}");
+        let err = TenantRegistry::from_reader("a:tok:1\na:tok2:1\n").unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+        let err = TenantRegistry::from_reader("sp ace:tok:1\n").unwrap_err();
+        assert!(err.message.contains("invalid tenant id"), "{err}");
+    }
+
+    #[test]
+    fn anonymous_only_registry_is_auth_off() {
+        let registry = TenantRegistry::anonymous_only();
+        assert!(!registry.auth_enabled());
+        assert!(registry.authenticate("anything").is_none());
+        assert!(registry.anonymous().id().is_anonymous());
+        assert_eq!(registry.anonymous().weight, 1);
+        assert!(registry.anonymous().max_inflight.is_none());
+    }
+
+    #[test]
+    fn rate_bucket_enforces_burst_and_refunds() {
+        let registry = TenantRegistry::builder()
+            .tenant(
+                // Zero refill rate isolates the burst accounting from
+                // wall-clock: exactly `burst` takes succeed.
+                Tenant::new(TenantId::new("t").unwrap()).with_rate_limit(0.0, 2.0),
+                "tok",
+            )
+            .unwrap()
+            .build();
+        let t = registry.authenticate("tok").unwrap();
+        assert!(registry.try_acquire_rate(&t));
+        assert!(registry.try_acquire_rate(&t));
+        assert!(!registry.try_acquire_rate(&t), "burst of 2 exhausted");
+        registry.refund_rate(&t);
+        assert!(registry.try_acquire_rate(&t), "refund restores one slot");
+        assert!(!registry.try_acquire_rate(&t));
+        // Unlimited tenants never block.
+        let anon = registry.anonymous();
+        for _ in 0..100 {
+            assert!(registry.try_acquire_rate(&anon));
+        }
+    }
+
+    #[test]
+    fn constant_time_eq_matches_plain_equality() {
+        let cases: [(&[u8], &[u8]); 7] = [
+            (b"abc", b"abc"),
+            (b"abc", b"abd"),
+            (b"abc", b"ab"),
+            (b"abc", b"abcd"),
+            (b"", b""),
+            (b"", b"x"),
+            (b"x", b""),
+        ];
+        for (a, b) in cases {
+            assert_eq!(constant_time_eq(a, b), a == b, "{a:?} vs {b:?}");
+        }
+        // Length-aliasing regression: 257 vs 1 XORs to 256, which a
+        // u8-truncated length check would read as "equal lengths" and
+        // then accept any 1-byte prefix of the stored token.
+        let long = vec![b'a'; 257];
+        assert!(!constant_time_eq(&long, b"a"));
+        assert!(!constant_time_eq(b"a", &long));
+        let long2 = vec![b'a'; 256];
+        assert!(!constant_time_eq(&long2, b""));
+    }
+}

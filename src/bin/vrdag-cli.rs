@@ -40,6 +40,52 @@ fn parse_kv(args: &[String]) -> HashMap<String, String> {
     map
 }
 
+/// Machine-readable serving-bench report (`batch-generate --json`): one
+/// JSON object per run, hand-rendered because the offline tree's serde
+/// derives are no-ops. Throughput, latency percentiles, and cache
+/// counters — the fields a bench-trajectory consumer plots over time.
+fn bench_json_report(stats: &ServeStats, jobs: usize, t: usize, total_seconds: f64) -> String {
+    let l = &stats.latency;
+    let c = &stats.cache;
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"jobs\": {},\n",
+            "  \"t\": {},\n",
+            "  \"workers\": {},\n",
+            "  \"total_seconds\": {:.6},\n",
+            "  \"jobs_per_sec\": {:.3},\n",
+            "  \"snapshots_per_sec\": {:.3},\n",
+            "  \"snapshots\": {},\n",
+            "  \"edges\": {},\n",
+            "  \"latency_ms\": {{ \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}, \"max\": {:.3} }},\n",
+            "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \"bytes\": {} }},\n",
+            "  \"max_in_flight\": {}\n",
+            "}}\n",
+        ),
+        jobs,
+        t,
+        stats.workers,
+        total_seconds,
+        jobs as f64 / total_seconds.max(1e-9),
+        stats.snapshots as f64 / total_seconds.max(1e-9),
+        stats.snapshots,
+        stats.edges,
+        l.p50_seconds * 1e3,
+        l.p95_seconds * 1e3,
+        l.p99_seconds * 1e3,
+        l.mean_seconds * 1e3,
+        l.max_seconds * 1e3,
+        c.hits,
+        c.misses,
+        c.evictions,
+        c.entries,
+        c.bytes,
+        stats.max_in_flight,
+    )
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: vrdag-cli <synth|summarize|fit|generate|batch-generate|serve|evaluate> [--key value ...]\n\
@@ -50,12 +96,13 @@ fn usage() -> ExitCode {
          generate       --model <model.vrdg> --t <T> [--seed N] --out <synthetic.tsv>\n\
          batch-generate --model <model.vrdg> --t <T> [--jobs N] [--workers N] [--seed N]\n\
          \x20              [--repeat R] [--cache-entries N] [--priority P] [--queue-depth N]\n\
-         \x20              [--format tsv|bin] --out-dir <dir>   (one file per job, seed-addressed)\n\
+         \x20              [--format tsv|bin] [--json <report.json>]\n\
+         \x20              --out-dir <dir>   (one file per job, seed-addressed)\n\
          serve          --model <model.vrdg> [--name NAME] [--models n1=p1,n2=p2,...]\n\
          \x20              [--addr HOST:PORT] [--workers N] [--cache-entries N] [--queue-depth N]\n\
-         \x20              [--max-conns N] [--max-inflight N]\n\
-         \x20              (pipelined line protocol: GEN/SUB model=<name> t=<T> seed=<S>\n\
-         \x20               fmt=tsv|bin [priority=P] [tag=<tag>], CANCEL tag=<tag>, ...)\n\
+         \x20              [--max-conns N] [--max-inflight N] [--tenants <tenants.conf>]\n\
+         \x20              (pipelined line protocol: [AUTH token=<token>,] GEN/SUB model=<name>\n\
+         \x20               t=<T> seed=<S> fmt=tsv|bin [priority=P] [tag=<tag>], CANCEL tag=<tag>)\n\
          evaluate       --original <graph.tsv> --generated <graph.tsv>"
     );
     ExitCode::FAILURE
@@ -74,11 +121,14 @@ fn main() -> ExitCode {
                 return usage();
             };
             let scale: f64 = kv.get("scale").and_then(|s| s.parse().ok()).unwrap_or(1.0);
-            let Some(spec) = datasets::by_name(name) else {
-                eprintln!(
-                    "unknown dataset {name}; known: Email, Bitcoin, Wiki, Guarantee, Brain, GDELT"
-                );
-                return ExitCode::FAILURE;
+            // The error's display form lists every valid spec name, so
+            // this message can never drift out of sync with the crate.
+            let spec = match datasets::by_name_or_err(name) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
             };
             let g = datasets::generate(&spec.scaled(scale), seed);
             if let Err(e) = io::save_tsv(&g, out) {
@@ -212,6 +262,7 @@ fn main() -> ExitCode {
                 workers,
                 max_queue_depth: queue_depth,
                 cache: CacheBudget::entries(cache_entries),
+                ..Default::default()
             };
             let handle = match ServeHandle::with_config(registry, config) {
                 Ok(h) => h,
@@ -220,6 +271,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            let bench_started = std::time::Instant::now();
             let mut tickets = Vec::with_capacity(jobs * repeat.max(1));
             for round in 0..repeat.max(1) {
                 for job_seed in (0..jobs as u64).map(|i| seed.wrapping_add(i)) {
@@ -293,7 +345,18 @@ fn main() -> ExitCode {
             // Graceful drain, then the final stats snapshot — including
             // the per-job latency percentiles.
             let stats = handle.shutdown();
+            let total_seconds = bench_started.elapsed().as_secs_f64();
             print!("{}", stats.render());
+            if let Some(json_path) = kv.get("json") {
+                // Machine-readable bench point (e.g. BENCH_serve.json):
+                // the bench trajectory accumulates these across runs.
+                let report = bench_json_report(&stats, jobs * repeat.max(1), t, total_seconds);
+                if let Err(e) = std::fs::write(json_path, &report) {
+                    eprintln!("cannot write {json_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {json_path}");
+            }
             if failed {
                 return ExitCode::FAILURE;
             }
@@ -340,11 +403,23 @@ fn main() -> ExitCode {
                 eprintln!("serve needs at least one model (--model or --models)");
                 return ExitCode::FAILURE;
             }
+            let tenants = match kv.get("tenants") {
+                None => TenantRegistry::anonymous_only(),
+                Some(path) => match TenantRegistry::from_file(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("tenants config load failed ({path}): {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
             let config = ServeConfig {
                 workers,
                 max_queue_depth: queue_depth,
                 cache: CacheBudget::entries(cache_entries),
+                tenants: tenants.clone(),
             };
+            let cache_budget = config.cache;
             let handle = match ServeHandle::with_config(registry, config) {
                 Ok(h) => h,
                 Err(e) => {
@@ -360,11 +435,42 @@ fn main() -> ExitCode {
                 }
             };
             let local = frontend.local_addr();
+            // Log the full effective configuration at startup so a
+            // deployment is auditable from its console output alone.
+            println!("vrdag-serve listening on {local}");
             println!(
-                "serving {} model(s) on {} with {} workers  (try: printf 'MODELS\\n' | nc {} {})",
-                handle.registry().len(),
-                local,
-                workers,
+                "  workers: {workers}  queue-depth cap: {}  cache: {} entries / {} MiB",
+                queue_depth.map_or("unlimited".to_string(), |d| d.to_string()),
+                cache_budget.max_entries,
+                cache_budget.max_bytes >> 20,
+            );
+            println!(
+                "  max-conns: {}  max-inflight/conn: {}",
+                frontend_cfg.max_connections.map_or("unlimited".to_string(), |c| c.to_string()),
+                frontend_cfg.max_inflight_per_conn,
+            );
+            if tenants.auth_enabled() {
+                println!(
+                    "  auth: ON ({} tenant(s): {})",
+                    tenants.len(),
+                    tenants.ids().iter().map(|id| id.to_string()).collect::<Vec<_>>().join(", "),
+                );
+            } else {
+                println!("  auth: off (all traffic runs as the anonymous tenant)");
+            }
+            for h in handle.registry().handles() {
+                println!(
+                    "  model {:?}: n={} f={} {} bytes fingerprint={:016x}",
+                    h.name(),
+                    h.n_nodes(),
+                    h.n_attrs(),
+                    h.size_bytes(),
+                    h.fingerprint(),
+                );
+            }
+            println!(
+                "  try: printf '{}MODELS\\n' | nc {} {}",
+                if tenants.auth_enabled() { "AUTH token=<token>\\n" } else { "" },
                 local.ip(),
                 local.port(),
             );

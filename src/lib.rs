@@ -38,7 +38,8 @@ pub mod prelude {
     pub use vrdag_serve::{
         BatchReport, CacheBudget, CacheStats, CancelToken, Frontend, FrontendConfig, GenRequest,
         GenSink, LineClient, ModelRegistry, Scheduler, SchedulerConfig, ServeConfig, ServeError,
-        ServeHandle, ServeStats, SnapshotCache, SnapshotStream, Ticket,
+        ServeHandle, ServeStats, SnapshotCache, SnapshotStream, Tenant, TenantId, TenantRegistry,
+        TenantStats, Ticket,
     };
     pub use vrdag_tensor::{Matrix, Tensor};
 }

@@ -215,7 +215,7 @@ proptest! {
     #[test]
     fn err_reply_headers_round_trip(
         args in (
-            0u8..11,
+            0u8..14,
             prop::collection::vec(prop::collection::vec(0u8..26, 1..7), 0..6),
             (0u8..2, prop::collection::vec(0u8..255, 1..20)),
         ),
@@ -232,6 +232,9 @@ proptest! {
             7 => ErrorCode::TooManyConnections,
             8 => ErrorCode::DuplicateTag,
             9 => ErrorCode::Cancelled,
+            10 => ErrorCode::AuthRequired,
+            11 => ErrorCode::AuthFailed,
+            12 => ErrorCode::QuotaExceeded,
             _ => ErrorCode::Internal,
         };
         let message =
@@ -241,6 +244,29 @@ proptest! {
         let parsed = parse_reply(&line).unwrap();
         prop_assert_eq!(&parsed, &header);
         prop_assert_eq!(parsed.to_line(), line);
+    }
+
+    #[test]
+    fn auth_requests_and_replies_round_trip(
+        args in (
+            prop::collection::vec(0u8..255, 1..40),
+            (0u8..2, prop::collection::vec(0u8..255, 1..20)),
+            prop::collection::vec(0u8..255, 1..20),
+        ),
+    ) {
+        let (token_raw, (has_tag, tag_raw), tenant_raw) = args;
+        // Map arbitrary bytes onto the printable non-space alphabet.
+        let token: String = token_raw
+            .iter()
+            .map(|&b| (b'!' + b % (b'~' - b'!' + 1)) as char)
+            .collect();
+        let tag = (has_tag == 1).then(|| tagify(&tag_raw));
+        let req = Request::Auth { token, tag: tag.clone() };
+        let line = req.to_line();
+        prop_assert_eq!(parse_request(&line).unwrap(), req);
+        let reply = ReplyHeader::Auth { tag, tenant: tagify(&tenant_raw) };
+        let line = reply.to_line();
+        prop_assert_eq!(parse_reply(&line).unwrap(), reply);
     }
 
     #[test]
