@@ -1,0 +1,27 @@
+//! Observability primitives for the serving stack: structured leveled
+//! logging, a process-local metrics registry with deterministic
+//! Prometheus text exposition, and per-job stage tracing.
+//!
+//! Like the `crates/compat/` shims, this crate is deliberately
+//! zero-dependency (std only) so the workspace stays buildable offline.
+//! The three modules are independent — the serve crate wires them
+//! together:
+//!
+//! - [`log`]: a cheap-to-clone [`Logger`] that emits human-readable or
+//!   JSON lines to a pluggable `io::Write` sink and keeps a bounded
+//!   in-memory ring of recent events for post-hoc inspection.
+//! - [`metrics`]: a [`Registry`] of named counters, gauges, and
+//!   log-bucketed histograms, rendered as Prometheus text exposition
+//!   (deterministic ordering, fixed bucket boundaries) or as JSON.
+//! - [`trace`]: a [`JobTrace`] of monotonic stage timestamps
+//!   (submitted → dequeued → first/last snapshot → delivered) from
+//!   which queue-wait, time-to-first-snapshot, generation, and
+//!   delivery durations are derived.
+
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+pub use crate::log::{Level, LogEvent, Logger};
+pub use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use crate::trace::{JobTrace, StageDurations};

@@ -1,0 +1,431 @@
+//! Structured leveled logging with a pluggable sink and a bounded ring
+//! of recent events.
+//!
+//! A [`Logger`] is an `Arc` around its state, so clones share the sink,
+//! the ring, and the level; handing one to every layer of the serve
+//! stack costs a pointer copy. Emission is line-oriented: one event is
+//! one `\n`-terminated line, either human-readable
+//! (`ts=1722950000.123 level=warn target=serve.frontend msg="..." k=v`)
+//! or JSON (see [`LogEvent::to_json`] for the schema). Events below the
+//! configured level are dropped before any formatting work happens.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default capacity of the in-memory ring of recent events.
+pub const DEFAULT_RING: usize = 256;
+
+/// Internal level sentinel: the atomic stores `level as u8 + 1`, with
+/// `0` meaning fully disabled (even errors are dropped).
+const DISABLED: u8 = 0;
+
+/// Severity of a log event, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    /// Lowercase name as it appears on the wire and in JSON lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parse a level name (case-insensitive). Returns `None` for
+    /// anything that is not one of `error|warn|info|debug`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured log event, as captured in the ring.
+#[derive(Debug, Clone)]
+pub struct LogEvent {
+    /// Milliseconds since the unix epoch at emission time.
+    pub unix_millis: u64,
+    pub level: Level,
+    /// Dotted component path, e.g. `serve.frontend`.
+    pub target: String,
+    pub message: String,
+    /// Ordered key/value context fields.
+    pub fields: Vec<(String, String)>,
+}
+
+impl LogEvent {
+    /// Render as a single JSON object (no trailing newline):
+    /// `{"ts_ms":...,"level":"warn","target":"...","msg":"...","fields":{...}}`.
+    /// `fields` is omitted when empty.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"ts_ms\":");
+        out.push_str(&self.unix_millis.to_string());
+        out.push_str(",\"level\":\"");
+        out.push_str(self.level.as_str());
+        out.push_str("\",\"target\":\"");
+        json_escape_into(&mut out, &self.target);
+        out.push_str("\",\"msg\":\"");
+        json_escape_into(&mut out, &self.message);
+        out.push('"');
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                json_escape_into(&mut out, k);
+                out.push_str("\":\"");
+                json_escape_into(&mut out, v);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Render as a human-readable `key=value` line (no trailing
+    /// newline). Values containing spaces or `"` are quoted.
+    pub fn to_human(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str(&format!(
+            "ts={}.{:03} level={} target={} msg=",
+            self.unix_millis / 1000,
+            self.unix_millis % 1000,
+            self.level.as_str(),
+            self.target
+        ));
+        push_human_value(&mut out, &self.message);
+        for (k, v) in &self.fields {
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            push_human_value(&mut out, v);
+        }
+        out
+    }
+}
+
+fn push_human_value(out: &mut String, v: &str) {
+    if !v.is_empty() && !v.contains(' ') && !v.contains('"') && !v.contains('\n') {
+        out.push_str(v);
+    } else {
+        out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+/// Escape a string for inclusion inside a JSON string literal.
+pub fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+struct SinkState {
+    out: Option<Box<dyn Write + Send>>,
+    ring: VecDeque<LogEvent>,
+    ring_cap: usize,
+}
+
+struct Inner {
+    level: AtomicU8,
+    json: bool,
+    sink: Mutex<SinkState>,
+}
+
+/// A cheap-to-clone structured logger. See the module docs.
+#[derive(Clone)]
+pub struct Logger {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Logger")
+            .field("level", &self.level())
+            .field("json", &self.inner.json)
+            .finish()
+    }
+}
+
+impl Default for Logger {
+    /// The default logger is disabled (no sink, nothing recorded).
+    fn default() -> Self {
+        Logger::disabled()
+    }
+}
+
+impl Logger {
+    /// A logger that drops everything: no sink, no ring. This is the
+    /// default inside library code so embedding the serve stack stays
+    /// silent unless the host opts in.
+    pub fn disabled() -> Logger {
+        Logger {
+            inner: Arc::new(Inner {
+                level: AtomicU8::new(DISABLED),
+                json: false,
+                sink: Mutex::new(SinkState { out: None, ring: VecDeque::new(), ring_cap: 0 }),
+            }),
+        }
+    }
+
+    /// A logger writing to stderr.
+    pub fn to_stderr(level: Level, json: bool) -> Logger {
+        Logger::with_sink(level, json, Box::new(io::stderr()))
+    }
+
+    /// A logger writing to an arbitrary sink (a file, a `Vec<u8>`
+    /// behind a wrapper, a pipe...).
+    pub fn with_sink(level: Level, json: bool, sink: Box<dyn Write + Send>) -> Logger {
+        Logger {
+            inner: Arc::new(Inner {
+                level: AtomicU8::new(level as u8 + 1),
+                json,
+                sink: Mutex::new(SinkState {
+                    out: Some(sink),
+                    ring: VecDeque::new(),
+                    ring_cap: DEFAULT_RING,
+                }),
+            }),
+        }
+    }
+
+    /// A logger with no output sink that still records events in the
+    /// ring — useful in tests.
+    pub fn ring_only(level: Level) -> Logger {
+        Logger {
+            inner: Arc::new(Inner {
+                level: AtomicU8::new(level as u8 + 1),
+                json: false,
+                sink: Mutex::new(SinkState {
+                    out: None,
+                    ring: VecDeque::new(),
+                    ring_cap: DEFAULT_RING,
+                }),
+            }),
+        }
+    }
+
+    /// Current threshold; events strictly less severe are dropped.
+    /// `None` means the logger is fully disabled.
+    pub fn level(&self) -> Option<Level> {
+        match self.inner.level.load(Ordering::Relaxed) {
+            DISABLED => None,
+            v => Some(Level::from_u8(v - 1)),
+        }
+    }
+
+    /// Change the threshold at runtime.
+    pub fn set_level(&self, level: Level) {
+        self.inner.level.store(level as u8 + 1, Ordering::Relaxed);
+    }
+
+    /// Would an event at `level` be recorded?
+    pub fn enabled(&self, level: Level) -> bool {
+        // Stored as `level + 1` (DISABLED = 0), so `v > level` is
+        // exactly "not disabled AND threshold at or above `level`".
+        self.inner.level.load(Ordering::Relaxed) > level as u8
+    }
+
+    /// Emit an event. `fields` are `(key, value)` context pairs; keys
+    /// should be bare identifiers (`job`, `tenant`, `waited_ms`).
+    pub fn log(&self, level: Level, target: &str, message: &str, fields: &[(&str, String)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let unix_millis =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0);
+        let event = LogEvent {
+            unix_millis,
+            level,
+            target: target.to_string(),
+            message: message.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        };
+        let line = if self.inner.json { event.to_json() } else { event.to_human() };
+        let mut sink = match self.inner.sink.lock() {
+            Ok(sink) => sink,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if sink.ring_cap > 0 {
+            if sink.ring.len() == sink.ring_cap {
+                sink.ring.pop_front();
+            }
+            sink.ring.push_back(event);
+        }
+        if let Some(out) = sink.out.as_mut() {
+            // A full pipe or closed fd must never take the server down.
+            let _ = out.write_all(line.as_bytes());
+            let _ = out.write_all(b"\n");
+            let _ = out.flush();
+        }
+    }
+
+    pub fn error(&self, target: &str, message: &str, fields: &[(&str, String)]) {
+        self.log(Level::Error, target, message, fields);
+    }
+
+    pub fn warn(&self, target: &str, message: &str, fields: &[(&str, String)]) {
+        self.log(Level::Warn, target, message, fields);
+    }
+
+    pub fn info(&self, target: &str, message: &str, fields: &[(&str, String)]) {
+        self.log(Level::Info, target, message, fields);
+    }
+
+    pub fn debug(&self, target: &str, message: &str, fields: &[(&str, String)]) {
+        self.log(Level::Debug, target, message, fields);
+    }
+
+    /// Snapshot of the bounded ring of recent events, oldest first.
+    pub fn recent(&self) -> Vec<LogEvent> {
+        let sink = match self.inner.sink.lock() {
+            Ok(sink) => sink,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        sink.ring.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::{channel, Sender};
+
+    /// A `Write` sink that forwards complete lines over a channel.
+    struct LineSink {
+        buf: Vec<u8>,
+        tx: Sender<String>,
+    }
+
+    impl Write for LineSink {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            self.buf.extend_from_slice(data);
+            while let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                let text = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+                let _ = self.tx.send(text);
+            }
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn levels_filter_and_ring_records() {
+        let log = Logger::ring_only(Level::Warn);
+        log.debug("t", "dropped", &[]);
+        log.info("t", "dropped too", &[]);
+        log.warn("t", "kept", &[("k", "v".to_string())]);
+        log.error("t", "kept too", &[]);
+        let recent = log.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].message, "kept");
+        assert_eq!(recent[0].fields, vec![("k".to_string(), "v".to_string())]);
+        assert_eq!(recent[1].level, Level::Error);
+    }
+
+    #[test]
+    fn disabled_logger_drops_everything() {
+        let log = Logger::disabled();
+        assert_eq!(log.level(), None);
+        log.error("t", "nope", &[]);
+        assert!(log.recent().is_empty());
+        assert!(!log.enabled(Level::Error));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let log = Logger::ring_only(Level::Info);
+        for i in 0..(DEFAULT_RING + 10) {
+            log.info("t", &format!("m{i}"), &[]);
+        }
+        let recent = log.recent();
+        assert_eq!(recent.len(), DEFAULT_RING);
+        assert_eq!(recent[0].message, "m10");
+    }
+
+    #[test]
+    fn json_lines_escape_and_carry_fields() {
+        let (tx, rx) = channel();
+        let log = Logger::with_sink(Level::Info, true, Box::new(LineSink { buf: Vec::new(), tx }));
+        log.info("serve.cli", "he said \"hi\"\n", &[("path", "a\\b".to_string())]);
+        let line = rx.recv().unwrap();
+        assert!(line.starts_with("{\"ts_ms\":"), "{line}");
+        assert!(line.contains("\"level\":\"info\""), "{line}");
+        assert!(line.contains("\"msg\":\"he said \\\"hi\\\"\\n\""), "{line}");
+        assert!(line.contains("\"fields\":{\"path\":\"a\\\\b\"}"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+
+    #[test]
+    fn human_lines_quote_spaces() {
+        let (tx, rx) = channel();
+        let log =
+            Logger::with_sink(Level::Debug, false, Box::new(LineSink { buf: Vec::new(), tx }));
+        log.debug("t", "two words", &[("n", "3".to_string())]);
+        let line = rx.recv().unwrap();
+        assert!(line.contains("msg=\"two words\""), "{line}");
+        assert!(line.ends_with(" n=3"), "{line}");
+    }
+
+    #[test]
+    fn set_level_takes_effect() {
+        let log = Logger::ring_only(Level::Error);
+        log.warn("t", "dropped", &[]);
+        log.set_level(Level::Debug);
+        log.warn("t", "kept", &[]);
+        assert_eq!(log.recent().len(), 1);
+    }
+}

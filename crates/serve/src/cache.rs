@@ -88,6 +88,9 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Sequences evicted to satisfy the budget.
     pub evictions: u64,
+    /// Total bytes (reserved accounting) freed by those evictions —
+    /// replacement removals don't count, only budget pressure does.
+    pub evicted_bytes: u64,
     /// Sequences currently resident.
     pub entries: usize,
     /// Approximate bytes currently resident (reserved accounting, an
@@ -133,6 +136,7 @@ struct Inner {
     misses: u64,
     insertions: u64,
     evictions: u64,
+    evicted_bytes: u64,
 }
 
 impl Inner {
@@ -178,6 +182,7 @@ impl SnapshotCache {
                 misses: 0,
                 insertions: 0,
                 evictions: 0,
+                evicted_bytes: 0,
             })),
             budget,
         }
@@ -279,8 +284,9 @@ impl SnapshotCache {
                     .map(|&(_, k)| k);
                 match victim {
                     Some(k) => {
-                        inner.remove_entry(&k);
+                        let freed = inner.remove_entry(&k).map_or(0, |e| e.bytes);
                         inner.evictions += 1;
+                        inner.evicted_bytes += freed as u64;
                     }
                     None => break,
                 }
@@ -297,8 +303,9 @@ impl SnapshotCache {
             // Skip stale tickets (the key was touched or replaced since).
             let is_current = inner.map.get(&old_key).is_some_and(|e| e.stamp == old_stamp);
             if is_current {
-                inner.remove_entry(&old_key).expect("checked above");
+                let freed = inner.remove_entry(&old_key).expect("checked above").bytes;
                 inner.evictions += 1;
+                inner.evicted_bytes += freed as u64;
             }
         }
         Self::maybe_compact(inner);
@@ -327,6 +334,7 @@ impl SnapshotCache {
             misses: inner.misses,
             insertions: inner.insertions,
             evictions: inner.evictions,
+            evicted_bytes: inner.evicted_bytes,
             entries: inner.map.len(),
             bytes: inner.bytes,
         }

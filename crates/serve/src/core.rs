@@ -37,6 +37,8 @@ use std::time::{Duration, Instant};
 use vrdag::Vrdag;
 use vrdag_graph::io::{BinaryStreamWriter, TsvStreamWriter};
 use vrdag_graph::{DynamicGraph, Snapshot};
+use vrdag_obs::metrics::{Counter, Histogram, Registry as MetricsRegistry};
+use vrdag_obs::{JobTrace, Logger, StageDurations};
 
 /// Per-snapshot streaming consumer (see [`GenSink::Callback`]).
 pub type SnapshotCallback = Box<dyn FnMut(usize, &Snapshot) + Send>;
@@ -121,6 +123,11 @@ pub struct GenRequest {
     /// anonymous tenant (no quotas, weight 1). Resolved against the
     /// service's [`TenantRegistry`] at submit time.
     pub tenant: Option<TenantId>,
+    /// Stage trace carried through the job's whole lifecycle
+    /// (submitted → dequeued → snapshots → delivered); `None` lets
+    /// `submit` create a fresh one. Pass a pre-made trace to anchor the
+    /// clock earlier (e.g. when the request was parsed off the wire).
+    pub trace: Option<JobTrace>,
 }
 
 impl GenRequest {
@@ -135,6 +142,7 @@ impl GenRequest {
             sink,
             cancel: None,
             tenant: None,
+            trace: None,
         }
     }
 
@@ -154,6 +162,13 @@ impl GenRequest {
     /// service's [`TenantRegistry`], or the submit fails).
     pub fn with_tenant(mut self, tenant: TenantId) -> Self {
         self.tenant = Some(tenant);
+        self
+    }
+
+    /// Attach a pre-created [`JobTrace`] (e.g. anchored when the request
+    /// came off the wire) instead of letting `submit` start one.
+    pub fn with_trace(mut self, trace: JobTrace) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -203,6 +218,9 @@ pub struct JobResult {
     pub graph: Option<Arc<DynamicGraph>>,
     /// Error message if the job failed.
     pub error: Option<String>,
+    /// Per-stage durations derived from the job's [`JobTrace`]
+    /// (queue wait, time to first snapshot, generation, delivery).
+    pub stages: StageDurations,
 }
 
 impl JobResult {
@@ -239,6 +257,10 @@ pub struct ServeConfig {
     /// maps every request to the quota-free anonymous tenant —
     /// behavior-identical to the pre-tenant service.
     pub tenants: TenantRegistry,
+    /// Structured logger the service (and its frontends) emit events
+    /// through. The default is [`Logger::disabled`] — zero overhead and
+    /// behavior-identical to the pre-observability service.
+    pub logger: Logger,
 }
 
 /// The pre-refactor name of [`ServeConfig`], kept as an alias for the
@@ -252,6 +274,7 @@ impl Default for ServeConfig {
             max_queue_depth: None,
             cache: CacheBudget::disabled(),
             tenants: TenantRegistry::anonymous_only(),
+            logger: Logger::disabled(),
         }
     }
 }
@@ -287,6 +310,22 @@ pub struct LatencyStats {
     /// 99th-percentile wall time.
     pub p99_seconds: f64,
     pub max_seconds: f64,
+}
+
+/// Per-stage latency percentiles derived from each job's [`JobTrace`]
+/// marks, over the same bounded windows as [`LatencyStats`]. Stages a
+/// job never reached (e.g. `first_snapshot` for a queued-cancelled job)
+/// are simply not sampled.
+#[derive(Clone, Debug, Default)]
+pub struct StageLatencyStats {
+    /// Submit accepted → worker pickup.
+    pub queue_wait: LatencyStats,
+    /// Worker pickup → first snapshot written to the sink.
+    pub first_snapshot: LatencyStats,
+    /// Worker pickup → last snapshot written to the sink.
+    pub generation: LatencyStats,
+    /// Last snapshot → result handoff to the ticket.
+    pub delivery: LatencyStats,
 }
 
 /// Point-in-time per-tenant counters inside a [`ServeStats`] snapshot.
@@ -368,6 +407,8 @@ pub struct ServeStats {
     pub affinity: AffinityStats,
     /// Per-job wall-time percentiles.
     pub latency: LatencyStats,
+    /// Per-stage percentiles from the jobs' [`JobTrace`] marks.
+    pub stages: StageLatencyStats,
     /// Per-tenant counters, sorted by tenant id. Only tenants that have
     /// submitted (or been rejected) at least once appear.
     pub tenants: Vec<TenantStats>,
@@ -402,7 +443,24 @@ impl ServeStats {
             "  throughput: {} snapshots / {} edges total",
             self.snapshots, self.edges,
         );
+        let _ = writeln!(
+            out,
+            "  gauges: uptime_secs={:.0} jobs_inflight={}",
+            self.uptime_seconds, self.in_flight
+        );
         let _ = writeln!(out, "  latency: {}", self.latency.render());
+        let _ = writeln!(
+            out,
+            "  stages: queue p50 {:.2}ms p95 {:.2}ms | first-snapshot p50 {:.2}ms p95 {:.2}ms | generation p50 {:.2}ms p95 {:.2}ms | delivery p50 {:.2}ms p95 {:.2}ms",
+            self.stages.queue_wait.p50_seconds * 1e3,
+            self.stages.queue_wait.p95_seconds * 1e3,
+            self.stages.first_snapshot.p50_seconds * 1e3,
+            self.stages.first_snapshot.p95_seconds * 1e3,
+            self.stages.generation.p50_seconds * 1e3,
+            self.stages.generation.p95_seconds * 1e3,
+            self.stages.delivery.p50_seconds * 1e3,
+            self.stages.delivery.p95_seconds * 1e3,
+        );
         let _ = writeln!(
             out,
             "  cache: {} hits / {} misses ({:.0}% hit rate), {} evictions, {} entries / {} KiB resident",
@@ -607,9 +665,18 @@ struct RunningStats {
     open_runs: Vec<(Option<u64>, usize)>,
     latency: LatencyRing,
     latency_total: u64,
+    /// Per-stage rings (queue wait, first snapshot, generation,
+    /// delivery) fed from each job's [`JobTrace`]; indices match
+    /// [`STAGE_NAMES`].
+    stage_rings: [LatencyRing; STAGE_COUNT],
+    stage_totals: [u64; STAGE_COUNT],
     /// Per-tenant counters, created lazily on first traffic.
     tenants: std::collections::HashMap<TenantId, TenantRunning>,
 }
+
+/// Stage labels, in [`RunningStats::stage_rings`] index order.
+const STAGE_NAMES: [&str; STAGE_COUNT] = ["queue_wait", "first_snapshot", "generation", "delivery"];
+const STAGE_COUNT: usize = 4;
 
 impl RunningStats {
     fn new(workers: usize) -> Self {
@@ -620,6 +687,8 @@ impl RunningStats {
             open_runs: vec![(None, 0); workers],
             latency: LatencyRing::new(LATENCY_WINDOW),
             latency_total: 0,
+            stage_rings: std::array::from_fn(|_| LatencyRing::new(LATENCY_WINDOW)),
+            stage_totals: [0; STAGE_COUNT],
             tenants: std::collections::HashMap::new(),
         }
     }
@@ -643,6 +712,26 @@ impl RunningStats {
         self.latency_total += 1;
     }
 
+    fn record_stages(&mut self, stages: &StageDurations) {
+        let values = [stages.queue_wait, stages.first_snapshot, stages.generation, stages.delivery];
+        for (i, v) in values.iter().enumerate() {
+            if let Some(d) = v {
+                self.stage_rings[i].record(d.as_secs_f64());
+                self.stage_totals[i] += 1;
+            }
+        }
+    }
+
+    fn stage_stats(&self) -> StageLatencyStats {
+        let one = |i: usize| ring_stats(&self.stage_rings[i], self.stage_totals[i]);
+        StageLatencyStats {
+            queue_wait: one(0),
+            first_snapshot: one(1),
+            generation: one(2),
+            delivery: one(3),
+        }
+    }
+
     fn affinity(&self) -> AffinityStats {
         let open: Vec<usize> =
             self.open_runs.iter().map(|&(_, len)| len).filter(|&len| len > 0).collect();
@@ -657,28 +746,75 @@ impl RunningStats {
     }
 
     fn latency_stats(&self) -> LatencyStats {
-        if self.latency.is_empty() {
-            return LatencyStats::default();
-        }
-        let window = self.latency.sorted();
-        LatencyStats {
-            samples: self.latency_total,
-            window: window.len(),
-            mean_seconds: window.iter().sum::<f64>() / window.len() as f64,
-            p50_seconds: LatencyRing::rank(&window, 0.50),
-            p95_seconds: LatencyRing::rank(&window, 0.95),
-            p99_seconds: LatencyRing::rank(&window, 0.99),
-            max_seconds: *window.last().expect("non-empty"),
-        }
+        ring_stats(&self.latency, self.latency_total)
+    }
+}
+
+/// [`LatencyStats`] over one ring's current window (`total` = lifetime
+/// sample count, window or not).
+fn ring_stats(ring: &LatencyRing, total: u64) -> LatencyStats {
+    if ring.is_empty() {
+        return LatencyStats::default();
+    }
+    let window = ring.sorted();
+    LatencyStats {
+        samples: total,
+        window: window.len(),
+        mean_seconds: window.iter().sum::<f64>() / window.len() as f64,
+        p50_seconds: LatencyRing::rank(&window, 0.50),
+        p95_seconds: LatencyRing::rank(&window, 0.95),
+        p99_seconds: LatencyRing::rank(&window, 0.99),
+        max_seconds: *window.last().expect("non-empty"),
     }
 }
 
 /// State shared between handles and workers (workers hold only this, so
 /// dropping the last handle — which owns the join handles — can never
 /// deadlock on a worker keeping the core alive).
+/// Wall time past which a completed job earns a warn-level log event.
+const SLOW_JOB_WARN_SECONDS: f64 = 10.0;
+
+/// Natively instrumented metric handles — values only the hot path can
+/// see (busy time, stage durations). Families that mirror counters the
+/// core already tracks elsewhere (jobs, cache, queue) are refreshed from
+/// those sources at render time instead, so `METRICS` and `STATS` can
+/// never drift apart (see `ServeHandle::metrics_text`).
+struct CoreMetrics {
+    registry: MetricsRegistry,
+    /// Milliseconds workers spent executing jobs (all workers summed).
+    worker_busy_ms: Counter,
+    /// `vrdag_job_stage_seconds{stage=...}`, indexed like [`STAGE_NAMES`].
+    stage_seconds: [Histogram; STAGE_COUNT],
+}
+
+impl CoreMetrics {
+    fn new() -> CoreMetrics {
+        let registry = MetricsRegistry::new();
+        let stage_seconds = std::array::from_fn(|i| {
+            registry.histogram("vrdag_job_stage_seconds", &[("stage", STAGE_NAMES[i])])
+        });
+        CoreMetrics {
+            worker_busy_ms: registry.counter("vrdag_worker_busy_ms_total", &[]),
+            stage_seconds,
+            registry,
+        }
+    }
+
+    fn observe_stages(&self, stages: &StageDurations) {
+        let values = [stages.queue_wait, stages.first_snapshot, stages.generation, stages.delivery];
+        for (i, v) in values.iter().enumerate() {
+            if let Some(d) = v {
+                self.stage_seconds[i].observe(d.as_secs_f64());
+            }
+        }
+    }
+}
+
 struct Shared {
     queue: JobQueue,
     cache: SnapshotCache,
+    logger: Logger,
+    metrics: CoreMetrics,
     stats: Mutex<RunningStats>,
     submitted: AtomicU64,
     completed: AtomicU64,
@@ -754,6 +890,8 @@ impl ServeHandle {
         let shared = Arc::new(Shared {
             queue,
             cache,
+            logger: config.logger.clone(),
+            metrics: CoreMetrics::new(),
             stats: Mutex::new(RunningStats::new(config.workers)),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -859,6 +997,8 @@ impl ServeHandle {
         let id = JobId(self.core.next_id.fetch_add(1, Ordering::SeqCst));
         let ticket = Ticket { id, model: req.model, t_len: req.t_len, seed: req.seed, rx };
         let tenant_id = tenant.id().clone();
+        let trace = req.trace.unwrap_or_default();
+        trace.mark_submitted();
         let job = Job {
             id,
             handle,
@@ -868,6 +1008,7 @@ impl ServeHandle {
             priority: req.priority,
             sink: req.sink,
             cancel: req.cancel,
+            trace,
             reply: tx,
         };
         match self.core.shared.queue.push_checked(job, self.core.max_queue_depth) {
@@ -950,7 +1091,7 @@ impl ServeHandle {
     /// while jobs are queued and executing.
     pub fn stats(&self) -> ServeStats {
         let shared = &self.core.shared;
-        let (affinity, latency, mut tenants) = {
+        let (affinity, latency, stages, mut tenants) = {
             let stats = shared.stats.lock().expect("stats lock poisoned");
             let tenants: Vec<TenantStats> = stats
                 .tenants
@@ -971,7 +1112,7 @@ impl ServeHandle {
                     }
                 })
                 .collect();
-            (stats.affinity(), stats.latency_stats(), tenants)
+            (stats.affinity(), stats.latency_stats(), stats.stage_stats(), tenants)
         };
         tenants.sort_by(|a, b| a.id.cmp(&b.id));
         ServeStats {
@@ -990,7 +1131,70 @@ impl ServeHandle {
             cache: shared.cache.stats(),
             affinity,
             latency,
+            stages,
             tenants,
+        }
+    }
+
+    /// The structured logger this service (and any frontend built on
+    /// it) emits events through; configured via [`ServeConfig::logger`].
+    pub fn logger(&self) -> &Logger {
+        &self.core.shared.logger
+    }
+
+    /// The metrics registry backing [`metrics_text`](Self::metrics_text).
+    /// Frontends register their own families here so one `METRICS`
+    /// payload covers the whole stack.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.core.shared.metrics.registry
+    }
+
+    /// Prometheus text exposition of every registered family. Mirror
+    /// families (jobs, cache, queue, uptime) are refreshed from the same
+    /// authoritative sources [`stats`](Self::stats) reads immediately
+    /// before rendering, so `METRICS` and `STATS` agree exactly.
+    pub fn metrics_text(&self) -> String {
+        self.refresh_metrics();
+        self.core.shared.metrics.registry.render()
+    }
+
+    /// JSON rendering of the same registry state as
+    /// [`metrics_text`](Self::metrics_text) (for `--metrics-json` dumps).
+    pub fn metrics_json(&self) -> String {
+        self.refresh_metrics();
+        self.core.shared.metrics.registry.render_json()
+    }
+
+    /// Re-derive the mirror metric families from the counters `stats()`
+    /// reads. Registering is idempotent (name + labels key), so repeated
+    /// renders reuse the same handles.
+    fn refresh_metrics(&self) {
+        let shared = &self.core.shared;
+        let reg = &shared.metrics.registry;
+        let set = |name: &str, v: u64| reg.counter(name, &[]).set(v);
+        set("vrdag_jobs_submitted_total", shared.submitted.load(Ordering::SeqCst));
+        set("vrdag_jobs_completed_total", shared.completed.load(Ordering::SeqCst));
+        set("vrdag_jobs_failed_total", shared.failed.load(Ordering::SeqCst));
+        set("vrdag_jobs_cancelled_total", shared.cancelled.load(Ordering::SeqCst));
+        set("vrdag_jobs_dropped_total", shared.dropped.load(Ordering::SeqCst));
+        set("vrdag_snapshots_total", shared.snapshots.load(Ordering::SeqCst));
+        set("vrdag_edges_total", shared.edges.load(Ordering::SeqCst));
+        let cache = shared.cache.stats();
+        set("vrdag_cache_hits_total", cache.hits);
+        set("vrdag_cache_misses_total", cache.misses);
+        set("vrdag_cache_insertions_total", cache.insertions);
+        set("vrdag_cache_evictions_total", cache.evictions);
+        set("vrdag_cache_evicted_bytes_total", cache.evicted_bytes);
+        reg.gauge("vrdag_cache_entries", &[]).set(cache.entries as u64);
+        reg.gauge("vrdag_cache_bytes", &[]).set(cache.bytes as u64);
+        reg.gauge("vrdag_queue_depth", &[]).set(shared.queue.depth() as u64);
+        reg.gauge("vrdag_jobs_inflight", &[]).set(shared.queue.in_flight() as u64);
+        reg.gauge("vrdag_jobs_inflight_peak", &[]).set(shared.queue.max_in_flight() as u64);
+        reg.gauge("vrdag_uptime_seconds", &[]).set(self.core.started.elapsed().as_secs());
+        for lane in shared.queue.lane_stats() {
+            let labels = [("tenant", lane.tenant.as_str())];
+            reg.gauge("vrdag_tenant_queue_depth", &labels).set(lane.queued as u64);
+            reg.gauge("vrdag_tenant_lane_deficit", &labels).set(lane.deficit);
         }
     }
 }
@@ -1011,6 +1215,7 @@ fn worker_loop(worker: usize, shared: &Shared) {
     // never needs an instance, so the old one is kept until a miss
     // actually demands a different artifact (see run_job).
     while let Some(job) = shared.queue.pop(instance.as_ref().map(|i| i.fingerprint)) {
+        job.trace.mark_dequeued();
         let fp = job.handle.fingerprint();
         {
             let mut stats = shared.stats.lock().expect("stats lock poisoned");
@@ -1028,6 +1233,7 @@ fn worker_loop(worker: usize, shared: &Shared) {
         let id = job.id;
         let model_name = job.handle.name().to_string();
         let tenant = Arc::clone(&job.tenant);
+        let trace = job.trace.clone();
         let (t_len, seed) = (job.t_len, job.seed);
         let sink_path = match &job.sink {
             GenSink::TsvFile(p) | GenSink::BinaryFile(p) => Some(p.clone()),
@@ -1062,6 +1268,7 @@ fn worker_loop(worker: usize, shared: &Shared) {
                     seq: 0,
                     graph: None,
                     error: Some(format!("job panicked: {}", panic_message(payload.as_ref()))),
+                    stages: StageDurations::default(),
                 }
             }
         };
@@ -1075,10 +1282,31 @@ fn worker_loop(worker: usize, shared: &Shared) {
         shared.snapshots.fetch_add(result.snapshots as u64, Ordering::SeqCst);
         shared.edges.fetch_add(result.edges as u64, Ordering::SeqCst);
         result.seq = shared.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        // "Delivered" is marked at handoff (just before the ticket send
+        // below) so the derived durations can ride on the result itself.
+        trace.mark_delivered();
+        result.stages = trace.durations();
+        shared.metrics.worker_busy_ms.add((result.seconds * 1e3) as u64);
+        shared.metrics.observe_stages(&result.stages);
+        if result.seconds >= SLOW_JOB_WARN_SECONDS {
+            shared.logger.warn(
+                "serve.worker",
+                "slow job",
+                &[
+                    ("id", id.0.to_string()),
+                    ("model", result.model.clone()),
+                    ("tenant", tenant.id().to_string()),
+                    ("t_len", t_len.to_string()),
+                    ("seed", seed.to_string()),
+                    ("seconds", format!("{:.3}", result.seconds)),
+                ],
+            );
+        }
         {
             let mut stats = shared.stats.lock().expect("stats lock poisoned");
             stats.open_runs[worker].1 += 1;
             stats.record_latency(result.seconds);
+            stats.record_stages(&result.stages);
             stats.tenant_mut(tenant.id()).record_result(&result);
         }
         // Release the queue's accounting (busy key, per-tenant
@@ -1109,7 +1337,8 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCache) -> JobResult {
-    let Job { id, handle, tenant, t_len, seed, priority: _, mut sink, cancel, reply: _ } = job;
+    let Job { id, handle, tenant, t_len, seed, priority: _, mut sink, cancel, trace, reply: _ } =
+        job;
     let model_name = handle.name().to_string();
     let key = job_cache_key(&handle, t_len, seed);
     let started = Instant::now();
@@ -1138,7 +1367,7 @@ fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCach
                 // generation, so subscribers observe the same frames
                 // either way.
                 cache_hit = true;
-                let (stats, cancelled) = replay_into_sink(&graph, &mut sink, cancel)?;
+                let (stats, cancelled) = replay_into_sink(&graph, &mut sink, cancel, &trace)?;
                 let out = (matches!(sink, GenSink::InMemory) && !cancelled).then_some(graph);
                 return Ok((stats, out, cancelled));
             }
@@ -1157,7 +1386,7 @@ fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCach
         // for the cache only while it fits the byte budget.
         let budget = cache.is_enabled().then(|| cache.budget().max_bytes);
         let (stats, graph, cancelled) =
-            generate_into_sink(model, t_len, seed, &mut sink, budget, cancel)?;
+            generate_into_sink(model, t_len, seed, &mut sink, budget, cancel, &trace)?;
         let graph = graph.map(Arc::new);
         if cache.is_enabled() && !cancelled {
             if let Some(g) = &graph {
@@ -1200,6 +1429,7 @@ fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCach
             seq: 0,
             graph,
             error: None,
+            stages: StageDurations::default(),
         },
         Err(e) => JobResult {
             id,
@@ -1217,6 +1447,7 @@ fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCach
             seq: 0,
             graph: None,
             error: Some(e.to_string()),
+            stages: StageDurations::default(),
         },
     }
 }
@@ -1286,6 +1517,7 @@ fn replay_into_sink(
     graph: &DynamicGraph,
     sink: &mut GenSink,
     cancel: Option<&CancelToken>,
+    trace: &JobTrace,
 ) -> Result<(StreamStats, bool), ServeError> {
     let mut stats = StreamStats::default();
     let mut writer = SinkWriter::open(sink, graph.n_nodes(), graph.n_attrs(), graph.t_len())?;
@@ -1296,6 +1528,7 @@ fn replay_into_sink(
             break;
         }
         writer.write(t, s)?;
+        trace.mark_snapshot();
         stats.snapshots += 1;
         stats.edges += s.n_edges();
         stats.bytes += s.approx_bytes();
@@ -1321,6 +1554,7 @@ fn generate_into_sink(
     sink: &mut GenSink,
     collect_budget: Option<usize>,
     cancel: Option<&CancelToken>,
+    trace: &JobTrace,
 ) -> Result<(StreamStats, Option<DynamicGraph>, bool), ServeError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut state = model.begin_generation(&mut rng)?;
@@ -1348,6 +1582,7 @@ fn generate_into_sink(
         stats.edges += snapshot.n_edges();
         stats.bytes += snapshot.approx_bytes();
         writer.write(t, &snapshot)?;
+        trace.mark_snapshot();
         if collected.is_some() {
             // Reserved accounting to match the cache's admission charge.
             collected_bytes += snapshot.approx_bytes_reserved();

@@ -287,6 +287,18 @@ impl InflightTable {
     }
 }
 
+/// Why [`ConnState::send_cancellable`] failed to deliver a frame.
+enum SendFail {
+    /// The connection's writer is gone (transport failure).
+    Disconnected,
+    /// The job's cancel token tripped while the mux was full.
+    Cancelled,
+    /// The mux stayed full for [`SUB_STALL_LIMIT`]: the subscriber is
+    /// alive but not reading, and the stream is abandoned to free the
+    /// worker.
+    Stalled,
+}
+
 /// The claim [`ConnState::reserve`] hands out; give it back to
 /// [`ConnState::release`] when the job's completion frame is pushed.
 enum Slot {
@@ -320,16 +332,21 @@ impl ConnState {
     /// on the still-live request side) could never free the worker
     /// parked in a plain blocking send — while the stall deadline frees
     /// it even when the client never sends (or closes) anything at all.
-    fn send_cancellable(&self, token: &CancelToken, frame: Frame) -> bool {
+    /// The failure reason distinguishes a deliberate stall give-up (worth
+    /// a warn-level log) from an ordinary cancel or dead connection.
+    fn send_cancellable(&self, token: &CancelToken, frame: Frame) -> Result<(), SendFail> {
         let mut frame = frame;
         let stalled_at = std::time::Instant::now() + SUB_STALL_LIMIT;
         loop {
             match self.out.try_send(frame) {
-                Ok(()) => return true,
-                Err(mpsc::TrySendError::Disconnected(_)) => return false,
+                Ok(()) => return Ok(()),
+                Err(mpsc::TrySendError::Disconnected(_)) => return Err(SendFail::Disconnected),
                 Err(mpsc::TrySendError::Full(back)) => {
-                    if token.is_cancelled() || std::time::Instant::now() >= stalled_at {
-                        return false;
+                    if token.is_cancelled() {
+                        return Err(SendFail::Cancelled);
+                    }
+                    if std::time::Instant::now() >= stalled_at {
+                        return Err(SendFail::Stalled);
                     }
                     frame = back;
                     std::thread::sleep(Duration::from_millis(1));
@@ -516,15 +533,28 @@ impl ConnDriver {
         match self.handle.tenants().authenticate(&token) {
             Some(tenant) => {
                 let id = tenant.id().to_string();
+                self.auth_outcome("ok");
+                self.handle.logger().info(
+                    "serve.frontend",
+                    "connection authenticated",
+                    &[("tenant", id.clone())],
+                );
                 self.tenant = tenant;
                 self.authed = true;
                 self.send(Frame::header(ReplyHeader::Auth { tag, tenant: id }))
             }
             None => {
+                self.auth_outcome("failed");
+                self.handle.logger().warn("serve.frontend", "auth failed: invalid token", &[]);
                 let _ = self.conn.send(Frame::err(ErrorCode::AuthFailed, tag, "invalid token"));
                 Flow::Fatal
             }
         }
+    }
+
+    /// Count one `AUTH` outcome into `vrdag_auth_total{outcome=…}`.
+    fn auth_outcome(&self, outcome: &str) {
+        self.handle.metrics().counter("vrdag_auth_total", &[("outcome", outcome)]).inc();
     }
 
     fn dispatch(&mut self, req: Request) -> Flow {
@@ -545,6 +575,11 @@ impl ConnDriver {
             Request::Stats { tag } => {
                 let payload = self.handle.stats().render().into_bytes();
                 let header = ReplyHeader::Stats { tag, bytes: payload.len() };
+                self.send(Frame { header, payload })
+            }
+            Request::Metrics { tag } => {
+                let payload = self.handle.metrics_text().into_bytes();
+                let header = ReplyHeader::Metrics { tag, bytes: payload.len() };
                 self.send(Frame { header, payload })
             }
             Request::Models { tag } => {
@@ -645,6 +680,10 @@ impl ConnDriver {
             let tag = tag.clone();
             let token = token.clone();
             let sent = Arc::clone(&sent);
+            let logger = self.handle.logger().clone();
+            let evt_frames = self.handle.metrics().counter("vrdag_evt_frames_total", &[]);
+            let evt_bytes = self.handle.metrics().counter("vrdag_evt_bytes_total", &[]);
+            let sub_stalls = self.handle.metrics().counter("vrdag_sub_stalls_total", &[]);
             // Built lazily from the first snapshot's own shape, so the
             // stream header can never disagree with the stream (a
             // pre-submit registry lookup could race a concurrent
@@ -663,21 +702,34 @@ impl ConnDriver {
                 };
                 match chunker.encode(s) {
                     Ok(payload) => {
-                        let header = ReplyHeader::Evt {
-                            tag: tag.clone(),
-                            snap,
-                            of: t_len,
-                            bytes: payload.len(),
-                        };
+                        let bytes = payload.len();
+                        let header = ReplyHeader::Evt { tag: tag.clone(), snap, of: t_len, bytes };
                         // This send runs inside a core worker: it backs
                         // off while the mux is full but aborts the
                         // moment the token trips or the connection
                         // dies, so a stalled subscriber can never pin
                         // the worker past a CANCEL.
-                        if conn.send_cancellable(&token, Frame { header, payload }) {
-                            sent.fetch_add(1, Ordering::SeqCst);
-                        } else {
-                            token.cancel();
+                        match conn.send_cancellable(&token, Frame { header, payload }) {
+                            Ok(()) => {
+                                sent.fetch_add(1, Ordering::SeqCst);
+                                evt_frames.inc();
+                                evt_bytes.add(bytes as u64);
+                            }
+                            Err(fail) => {
+                                if matches!(fail, SendFail::Stalled) {
+                                    sub_stalls.inc();
+                                    logger.warn(
+                                        "serve.frontend",
+                                        "SUB stall: subscriber stopped reading, stream abandoned",
+                                        &[
+                                            ("tag", tag.clone()),
+                                            ("snap", snap.to_string()),
+                                            ("of", t_len.to_string()),
+                                        ],
+                                    );
+                                }
+                                token.cancel();
+                            }
                         }
                     }
                     // The chunker writes into memory; a failure here is
@@ -780,6 +832,8 @@ fn sub_waiter(conn: &ConnState, slot: Slot, tag: String, sent: Arc<AtomicUsize>,
                     snapshots: delivered,
                     edges: result.edges,
                     status,
+                    qms: result.stages.queue_wait_ms(),
+                    genms: result.stages.generation_ms(),
                 })
             }
         }
@@ -856,6 +910,7 @@ fn serve_connection(handle: ServeHandle, stream: TcpStream, cfg: FrontendConfig)
             // reaches the scheduler.
             Parsed::Req(Request::Auth { token, tag }) => driver.dispatch_auth(token, tag),
             Parsed::Req(_) | Parsed::Error(_) if driver.needs_auth() => {
+                driver.auth_outcome("required");
                 let _ = driver.conn.send(Frame::err(
                     ErrorCode::AuthRequired,
                     None,
@@ -953,6 +1008,15 @@ impl Frontend {
         // instead of busy-spinning the exact moment the host is
         // saturated.
         listener.set_nonblocking(true)?;
+        handle.logger().info(
+            "serve.frontend",
+            "listening",
+            &[("addr", local_addr.to_string()), ("workers", handle.workers().to_string())],
+        );
+        let accepted =
+            handle.metrics().counter("vrdag_connections_total", &[("outcome", "accepted")]);
+        let rejected_cap =
+            handle.metrics().counter("vrdag_connections_total", &[("outcome", "rejected_cap")]);
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<ConnTable>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -990,6 +1054,7 @@ impl Frontend {
                                 // client knows it was the cap, not a
                                 // crash.
                                 drop(table);
+                                rejected_cap.inc();
                                 let mut stream = stream;
                                 let greeting = ReplyHeader::Err {
                                     code: ErrorCode::TooManyConnections,
@@ -1002,6 +1067,7 @@ impl Frontend {
                             }
                         }
                         let Ok(peer) = stream.try_clone() else { continue };
+                        accepted.inc();
                         let handle = handle.clone();
                         let worker = std::thread::Builder::new()
                             .name("vrdag-serve-conn".to_string())
@@ -1256,11 +1322,19 @@ mod tests {
         });
         let delivered =
             conn.send_cancellable(&token, Frame::header(ReplyHeader::Pong { tag: None }));
-        assert!(!delivered, "send must abort once the token trips");
+        assert!(
+            matches!(delivered, Err(SendFail::Cancelled)),
+            "send must abort once the token trips"
+        );
         canceller.join().unwrap();
         drop(rx);
-        // Disconnected channel: immediate false, no spin.
-        assert!(!conn
-            .send_cancellable(&CancelToken::new(), Frame::header(ReplyHeader::Pong { tag: None })));
+        // Disconnected channel: immediate failure, no spin.
+        assert!(matches!(
+            conn.send_cancellable(
+                &CancelToken::new(),
+                Frame::header(ReplyHeader::Pong { tag: None })
+            ),
+            Err(SendFail::Disconnected)
+        ));
     }
 }

@@ -89,14 +89,21 @@ pub mod tenant;
 pub use cache::{CacheBudget, CacheKey, CacheStats, SnapshotCache};
 pub use core::{
     AffinityStats, CancelToken, GenRequest, GenSink, JobId, JobResult, LatencyStats,
-    SchedulerConfig, ServeConfig, ServeHandle, ServeStats, SnapshotCallback, TenantStats, Ticket,
+    SchedulerConfig, ServeConfig, ServeHandle, ServeStats, SnapshotCallback, StageLatencyStats,
+    TenantStats, Ticket,
 };
 pub use frontend::{Frontend, FrontendConfig, LineClient, Reply};
-pub use queue::JobQueue;
+pub use queue::{JobQueue, LaneStats};
+// Observability types a serving integration needs to configure
+// [`ServeConfig::logger`] or consume [`ServeHandle::metrics`] without
+// depending on `vrdag-obs` directly.
 pub use registry::{ModelHandle, ModelRegistry};
 pub use scheduler::{BatchReport, Scheduler};
 pub use stream::{SnapshotStream, StreamStats};
 pub use tenant::{RateLimit, Tenant, TenantId, TenantRegistry, TenantRegistryBuilder};
+pub use vrdag_obs::{
+    JobTrace, Level, LogEvent, Logger, Registry as MetricsRegistry, StageDurations,
+};
 
 use std::fmt;
 

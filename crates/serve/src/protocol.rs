@@ -11,6 +11,7 @@
 //! SUB model=<name> t=<T> seed=<S> fmt=tsv|bin [priority=<P>] [tag=<tag>]
 //! CANCEL tag=<tag>
 //! STATS  [tag=<tag>]
+//! METRICS [tag=<tag>]
 //! MODELS [tag=<tag>]
 //! PING   [tag=<tag>]
 //! QUIT   [tag=<tag>]
@@ -44,9 +45,10 @@
 //! OK GEN [tag=<tag>] id=<id> model=<name> t=<T> seed=<S> fmt=<F> snapshots=<n> edges=<m> cache=hit|miss bytes=<N>
 //! OK SUB tag=<tag> model=<name> t=<T> seed=<S> fmt=<F>
 //! EVT tag=<tag> snap=<i>/<n> bytes=<N>
-//! END tag=<tag> snapshots=<k> edges=<m> status=ok|cancelled
+//! END tag=<tag> snapshots=<k> edges=<m> status=ok|cancelled [qms=<ms>] [genms=<ms>]
 //! OK CANCEL tag=<tag> found=true|false
 //! OK STATS [tag=<tag>] bytes=<N>
+//! OK METRICS [tag=<tag>] bytes=<N>
 //! OK MODELS [tag=<tag>] bytes=<N>
 //! OK PONG [tag=<tag>]
 //! OK BYE [tag=<tag>]
@@ -238,6 +240,10 @@ pub enum Request {
     Stats {
         tag: Option<String>,
     },
+    /// Dump the metrics registry in Prometheus text-exposition format.
+    Metrics {
+        tag: Option<String>,
+    },
     Models {
         tag: Option<String>,
     },
@@ -287,6 +293,7 @@ impl Request {
             Request::Sub(spec) => gen_line("SUB", spec),
             Request::Cancel { tag } => format!("CANCEL tag={tag}"),
             Request::Stats { tag } => bare("STATS", tag),
+            Request::Metrics { tag } => bare("METRICS", tag),
             Request::Models { tag } => bare("MODELS", tag),
             Request::Ping { tag } => bare("PING", tag),
             Request::Quit { tag } => bare("QUIT", tag),
@@ -597,6 +604,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             Ok(Request::Cancel { tag })
         }
         "STATS" => Ok(Request::Stats { tag: parse_bare(&tokens)? }),
+        "METRICS" => Ok(Request::Metrics { tag: parse_bare(&tokens)? }),
         "MODELS" => Ok(Request::Models { tag: parse_bare(&tokens)? }),
         "PING" => Ok(Request::Ping { tag: parse_bare(&tokens)? }),
         "QUIT" => Ok(Request::Quit { tag: parse_bare(&tokens)? }),
@@ -647,12 +655,17 @@ pub enum ReplyHeader {
         bytes: usize,
     },
     /// Stream terminator: `snapshots` frames were delivered (fewer than
-    /// requested when `status=cancelled`).
+    /// requested when `status=cancelled`). `qms`/`genms` optionally
+    /// carry the job's queue-wait and generation durations in whole
+    /// milliseconds, from its
+    /// [`JobTrace`](vrdag_obs::JobTrace)-derived stage timings.
     End {
         tag: String,
         snapshots: usize,
         edges: usize,
         status: EndStatus,
+        qms: Option<u64>,
+        genms: Option<u64>,
     },
     /// Reply to `CANCEL`: was `tag` in flight on this connection?
     Cancel {
@@ -660,6 +673,11 @@ pub enum ReplyHeader {
         found: bool,
     },
     Stats {
+        tag: Option<String>,
+        bytes: usize,
+    },
+    /// Reply to `METRICS`: `bytes` of Prometheus text exposition follow.
+    Metrics {
         tag: Option<String>,
         bytes: usize,
     },
@@ -687,6 +705,7 @@ impl ReplyHeader {
             ReplyHeader::Gen { bytes, .. }
             | ReplyHeader::Evt { bytes, .. }
             | ReplyHeader::Stats { bytes, .. }
+            | ReplyHeader::Metrics { bytes, .. }
             | ReplyHeader::Models { bytes, .. } => *bytes,
             _ => 0,
         }
@@ -698,6 +717,7 @@ impl ReplyHeader {
             ReplyHeader::Auth { tag, .. }
             | ReplyHeader::Gen { tag, .. }
             | ReplyHeader::Stats { tag, .. }
+            | ReplyHeader::Metrics { tag, .. }
             | ReplyHeader::Models { tag, .. }
             | ReplyHeader::Pong { tag }
             | ReplyHeader::Bye { tag }
@@ -747,14 +767,28 @@ impl ReplyHeader {
             ReplyHeader::Evt { tag, snap, of, bytes } => {
                 format!("EVT tag={tag} snap={snap}/{of} bytes={bytes}")
             }
-            ReplyHeader::End { tag, snapshots, edges, status } => {
-                format!("END tag={tag} snapshots={snapshots} edges={edges} status={status}")
+            ReplyHeader::End { tag, snapshots, edges, status, qms, genms } => {
+                let mut line =
+                    format!("END tag={tag} snapshots={snapshots} edges={edges} status={status}");
+                if let Some(qms) = qms {
+                    line.push_str(&format!(" qms={qms}"));
+                }
+                if let Some(genms) = genms {
+                    line.push_str(&format!(" genms={genms}"));
+                }
+                line
             }
             ReplyHeader::Cancel { tag, found } => {
                 format!("OK CANCEL tag={tag} found={found}")
             }
             ReplyHeader::Stats { tag, bytes } => {
                 let mut line = "OK STATS".to_string();
+                push_tag(&mut line, tag);
+                line.push_str(&format!(" bytes={bytes}"));
+                line
+            }
+            ReplyHeader::Metrics { tag, bytes } => {
+                let mut line = "OK METRICS".to_string();
                 push_tag(&mut line, tag);
                 line.push_str(&format!(" bytes={bytes}"));
                 line
@@ -917,6 +951,13 @@ pub fn parse_reply(line: &str) -> Result<ReplyHeader, ProtocolError> {
                         bytes: parse_num("bytes", fields.require("bytes")?, "an unsigned integer")?,
                     })
                 }
+                "METRICS" => {
+                    let fields = Fields::parse(&["tag", "bytes"], rest)?;
+                    Ok(ReplyHeader::Metrics {
+                        tag: fields.tag()?,
+                        bytes: parse_num("bytes", fields.require("bytes")?, "an unsigned integer")?,
+                    })
+                }
                 "MODELS" => {
                     let fields = Fields::parse(&["tag", "bytes"], rest)?;
                     Ok(ReplyHeader::Models {
@@ -940,13 +981,22 @@ pub fn parse_reply(line: &str) -> Result<ReplyHeader, ProtocolError> {
             })
         }
         "END" => {
-            let fields = Fields::parse(&["tag", "snapshots", "edges", "status"], &tokens)?;
+            let fields =
+                Fields::parse(&["tag", "snapshots", "edges", "status", "qms", "genms"], &tokens)?;
             let status_raw = fields.require("status")?;
             let status = EndStatus::parse(status_raw).ok_or(ProtocolError::InvalidValue {
                 field: "status",
                 value: status_raw.to_string(),
                 expected: "ok or cancelled",
             })?;
+            let qms = match fields.get("qms") {
+                Some(raw) => Some(parse_num("qms", raw, "an unsigned integer")?),
+                None => None,
+            };
+            let genms = match fields.get("genms") {
+                Some(raw) => Some(parse_num("genms", raw, "an unsigned integer")?),
+                None => None,
+            };
             Ok(ReplyHeader::End {
                 tag: validated_tag(fields.require("tag")?)?,
                 snapshots: parse_num(
@@ -956,6 +1006,8 @@ pub fn parse_reply(line: &str) -> Result<ReplyHeader, ProtocolError> {
                 )?,
                 edges: parse_num("edges", fields.require("edges")?, "an unsigned integer")?,
                 status,
+                qms,
+                genms,
             })
         }
         "ERR" => {
@@ -1135,7 +1187,7 @@ impl TagDemux {
                 stream.payload.extend_from_slice(payload);
                 Ok(())
             }
-            ReplyHeader::End { tag, snapshots, edges, status } => {
+            ReplyHeader::End { tag, snapshots, edges, status, .. } => {
                 let delivered = self.streams.get(tag.as_str()).map_or(0, |s| s.frames);
                 if *snapshots != delivered {
                     return Err(DemuxError::CountMismatch {
@@ -1334,6 +1386,46 @@ mod tests {
     }
 
     #[test]
+    fn metrics_round_trips() {
+        assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics { tag: None });
+        let tagged = parse_request("metrics tag=mx").unwrap();
+        assert_eq!(tagged, Request::Metrics { tag: Some("mx".to_string()) });
+        assert_eq!(tagged.to_line(), "METRICS tag=mx");
+        assert_eq!(parse_request(&tagged.to_line()).unwrap(), tagged);
+        assert!(matches!(parse_request("METRICS now"), Err(ProtocolError::UnexpectedToken(_))));
+
+        let reply = ReplyHeader::Metrics { tag: Some("mx".to_string()), bytes: 777 };
+        assert_eq!(reply.to_line(), "OK METRICS tag=mx bytes=777");
+        assert_eq!(parse_reply(&reply.to_line()).unwrap(), reply);
+        assert_eq!(reply.payload_bytes(), 777);
+        assert!(matches!(parse_reply("OK METRICS"), Err(ProtocolError::MissingField("bytes"))));
+    }
+
+    #[test]
+    fn end_stage_timings_are_optional_and_round_trip() {
+        // Legacy END lines (no qms/genms) still parse.
+        let legacy = parse_reply("END tag=s1 snapshots=2 edges=9 status=ok").unwrap();
+        match legacy {
+            ReplyHeader::End { qms, genms, .. } => assert_eq!((qms, genms), (None, None)),
+            other => panic!("unexpected {other:?}"),
+        }
+        let timed = ReplyHeader::End {
+            tag: "s1".to_string(),
+            snapshots: 2,
+            edges: 9,
+            status: EndStatus::Ok,
+            qms: Some(0),
+            genms: Some(1234),
+        };
+        assert_eq!(timed.to_line(), "END tag=s1 snapshots=2 edges=9 status=ok qms=0 genms=1234");
+        assert_eq!(parse_reply(&timed.to_line()).unwrap(), timed);
+        assert!(matches!(
+            parse_reply("END tag=s1 snapshots=2 edges=9 status=ok qms=soon"),
+            Err(ProtocolError::InvalidValue { field: "qms", .. })
+        ));
+    }
+
+    #[test]
     fn malformed_requests_yield_typed_errors() {
         assert_eq!(parse_request(""), Err(ProtocolError::Empty));
         assert_eq!(parse_request("   \r"), Err(ProtocolError::Empty));
@@ -1430,17 +1522,23 @@ mod tests {
                 snapshots: 14,
                 edges: 920,
                 status: EndStatus::Ok,
+                qms: None,
+                genms: None,
             },
             ReplyHeader::End {
                 tag: "s2".to_string(),
                 snapshots: 3,
                 edges: 17,
                 status: EndStatus::Cancelled,
+                qms: Some(12),
+                genms: Some(340),
             },
             ReplyHeader::Cancel { tag: "s2".to_string(), found: true },
             ReplyHeader::Cancel { tag: "nope".to_string(), found: false },
             ReplyHeader::Stats { tag: None, bytes: 512 },
             ReplyHeader::Stats { tag: Some("st".to_string()), bytes: 512 },
+            ReplyHeader::Metrics { tag: None, bytes: 2048 },
+            ReplyHeader::Metrics { tag: Some("mx".to_string()), bytes: 0 },
             ReplyHeader::Models { tag: None, bytes: 64 },
             ReplyHeader::Pong { tag: Some("hb".to_string()) },
             ReplyHeader::Bye { tag: None },
@@ -1550,11 +1648,20 @@ mod tests {
                     snapshots: 1,
                     edges: 5,
                     status: EndStatus::Cancelled,
+                    qms: None,
+                    genms: None,
                 },
                 b"",
             ),
             (
-                ReplyHeader::End { tag: "a".into(), snapshots: 2, edges: 9, status: EndStatus::Ok },
+                ReplyHeader::End {
+                    tag: "a".into(),
+                    snapshots: 2,
+                    edges: 9,
+                    status: EndStatus::Ok,
+                    qms: Some(1),
+                    genms: Some(7),
+                },
                 b"",
             ),
         ];
@@ -1591,7 +1698,9 @@ mod tests {
                     tag: "a".into(),
                     snapshots: 3,
                     edges: 0,
-                    status: EndStatus::Ok
+                    status: EndStatus::Ok,
+                    qms: None,
+                    genms: None,
                 },
                 b"",
             ),
@@ -1604,6 +1713,8 @@ mod tests {
                     snapshots: 1,
                     edges: 0,
                     status: EndStatus::Cancelled,
+                    qms: None,
+                    genms: None,
                 },
                 b"",
             )

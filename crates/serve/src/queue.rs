@@ -62,6 +62,9 @@ pub(crate) struct Job {
     /// still queued short-circuits it to a cancelled result the moment a
     /// worker pops it — no model instantiation, no generation.
     pub(crate) cancel: Option<CancelToken>,
+    /// Stage trace (submitted → dequeued → snapshots → delivered); the
+    /// worker marks the remaining stages as the job progresses.
+    pub(crate) trace: vrdag_obs::JobTrace,
     /// Per-job result channel; the worker that executes (or the core that
     /// discards) this job owns the send side, the caller's `Ticket` the
     /// receive side.
@@ -330,6 +333,21 @@ impl QueueState {
     }
 }
 
+/// Point-in-time counters of one live tenant lane (see
+/// [`JobQueue::lane_stats`]): feeds the `vrdag_tenant_queue_depth` and
+/// `vrdag_tenant_lane_deficit` metric gauges.
+#[derive(Clone, Debug)]
+pub struct LaneStats {
+    /// Tenant id the lane belongs to.
+    pub tenant: String,
+    /// Jobs queued in this lane.
+    pub queued: usize,
+    /// Fair-share weight (snapshots granted per DRR round).
+    pub weight: u32,
+    /// Unspent DRR serving credit, in snapshot units.
+    pub deficit: u64,
+}
+
 /// Why [`JobQueue::push_checked`] refused a job.
 pub(crate) enum PushRejected {
     /// The queue was closed (concurrently with the submit).
@@ -531,6 +549,24 @@ impl JobQueue {
     /// Jobs queued for one tenant specifically.
     pub fn tenant_depth(&self, tenant: &TenantId) -> usize {
         self.state.lock().expect("queue lock poisoned").lanes.get(tenant).map_or(0, |l| l.queued)
+    }
+
+    /// Point-in-time view of every live tenant lane, in DRR rotation
+    /// order. Empty when nothing is queued (lanes die when drained).
+    pub fn lane_stats(&self) -> Vec<LaneStats> {
+        let state = self.state.lock().expect("queue lock poisoned");
+        state
+            .rotation
+            .iter()
+            .filter_map(|tenant| {
+                state.lanes.get(tenant).map(|lane| LaneStats {
+                    tenant: tenant.to_string(),
+                    queued: lane.queued,
+                    weight: lane.weight,
+                    deficit: lane.deficit,
+                })
+            })
+            .collect()
     }
 
     /// Jobs currently executing on workers.

@@ -60,7 +60,8 @@ fn bench_json_report(stats: &ServeStats, jobs: usize, t: usize, total_seconds: f
             "  \"snapshots\": {},\n",
             "  \"edges\": {},\n",
             "  \"latency_ms\": {{ \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}, \"max\": {:.3} }},\n",
-            "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \"bytes\": {} }},\n",
+            "  \"stages_ms\": {{ \"queue_wait_p50\": {:.3}, \"queue_wait_p95\": {:.3}, \"first_snapshot_p50\": {:.3}, \"first_snapshot_p95\": {:.3}, \"generation_p50\": {:.3}, \"generation_p95\": {:.3}, \"delivery_p50\": {:.3}, \"delivery_p95\": {:.3} }},\n",
+            "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"evicted_bytes\": {}, \"entries\": {}, \"bytes\": {} }},\n",
             "  \"max_in_flight\": {}\n",
             "}}\n",
         ),
@@ -77,18 +78,40 @@ fn bench_json_report(stats: &ServeStats, jobs: usize, t: usize, total_seconds: f
         l.p99_seconds * 1e3,
         l.mean_seconds * 1e3,
         l.max_seconds * 1e3,
+        stats.stages.queue_wait.p50_seconds * 1e3,
+        stats.stages.queue_wait.p95_seconds * 1e3,
+        stats.stages.first_snapshot.p50_seconds * 1e3,
+        stats.stages.first_snapshot.p95_seconds * 1e3,
+        stats.stages.generation.p50_seconds * 1e3,
+        stats.stages.generation.p95_seconds * 1e3,
+        stats.stages.delivery.p50_seconds * 1e3,
+        stats.stages.delivery.p95_seconds * 1e3,
         c.hits,
         c.misses,
         c.evictions,
+        c.evicted_bytes,
         c.entries,
         c.bytes,
         stats.max_in_flight,
     )
 }
 
+/// Pull one numeric field out of a hand-rendered bench report without a
+/// JSON parser (the offline tree has none): finds `"key":` and parses
+/// the number that follows.
+fn json_number_field(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: vrdag-cli <synth|summarize|fit|generate|batch-generate|serve|evaluate> [--key value ...]\n\
+        "usage: vrdag-cli <synth|summarize|fit|generate|batch-generate|serve|bench-check|evaluate> [--key value ...]\n\
          \n\
          synth          --dataset <name> [--scale F] [--seed N] --out <graph.tsv>\n\
          summarize      --graph <graph.tsv>\n\
@@ -101,8 +124,13 @@ fn usage() -> ExitCode {
          serve          --model <model.vrdg> [--name NAME] [--models n1=p1,n2=p2,...]\n\
          \x20              [--addr HOST:PORT] [--workers N] [--cache-entries N] [--queue-depth N]\n\
          \x20              [--max-conns N] [--max-inflight N] [--tenants <tenants.conf>]\n\
+         \x20              [--log-level error|warn|info|debug|off] [--log-json true]\n\
+         \x20              [--metrics-json <path>]\n\
          \x20              (pipelined line protocol: [AUTH token=<token>,] GEN/SUB model=<name>\n\
-         \x20               t=<T> seed=<S> fmt=tsv|bin [priority=P] [tag=<tag>], CANCEL tag=<tag>)\n\
+         \x20               t=<T> seed=<S> fmt=tsv|bin [priority=P] [tag=<tag>], CANCEL tag=<tag>,\n\
+         \x20               STATS, METRICS [tag=<tag>])\n\
+         bench-check    --fresh <new.json> --floor <BENCH_serve.json> [--ratio R]\n\
+         \x20              (fail when fresh snapshots_per_sec < floor/R; default R=3)\n\
          evaluate       --original <graph.tsv> --generated <graph.tsv>"
     );
     ExitCode::FAILURE
@@ -413,11 +441,25 @@ fn main() -> ExitCode {
                     }
                 },
             };
+            // Structured startup/runtime logging: --log-level off
+            // silences it, --log-json true switches the lines to JSON.
+            let log_json = kv.get("log-json").map(String::as_str) == Some("true");
+            let logger = match kv.get("log-level").map(String::as_str).unwrap_or("info") {
+                "off" | "none" => Logger::disabled(),
+                name => match Level::parse(name) {
+                    Some(level) => Logger::to_stderr(level, log_json),
+                    None => {
+                        eprintln!("--log-level must be error|warn|info|debug|off, got {name:?}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
             let config = ServeConfig {
                 workers,
                 max_queue_depth: queue_depth,
                 cache: CacheBudget::entries(cache_entries),
                 tenants: tenants.clone(),
+                logger: logger.clone(),
             };
             let cache_budget = config.cache;
             let handle = match ServeHandle::with_config(registry, config) {
@@ -436,50 +478,125 @@ fn main() -> ExitCode {
             };
             let local = frontend.local_addr();
             // Log the full effective configuration at startup so a
-            // deployment is auditable from its console output alone.
-            println!("vrdag-serve listening on {local}");
-            println!(
-                "  workers: {workers}  queue-depth cap: {}  cache: {} entries / {} MiB",
-                queue_depth.map_or("unlimited".to_string(), |d| d.to_string()),
-                cache_budget.max_entries,
-                cache_budget.max_bytes >> 20,
+            // deployment is auditable from its log output alone (the
+            // frontend already logged its own "listening" event).
+            logger.info(
+                "serve.cli",
+                "vrdag-serve started",
+                &[
+                    ("addr", local.to_string()),
+                    ("workers", workers.to_string()),
+                    (
+                        "queue_depth_cap",
+                        queue_depth.map_or("unlimited".to_string(), |d| d.to_string()),
+                    ),
+                    ("cache_entries", cache_budget.max_entries.to_string()),
+                    ("cache_mib", (cache_budget.max_bytes >> 20).to_string()),
+                    (
+                        "max_conns",
+                        frontend_cfg
+                            .max_connections
+                            .map_or("unlimited".to_string(), |c| c.to_string()),
+                    ),
+                    ("max_inflight_per_conn", frontend_cfg.max_inflight_per_conn.to_string()),
+                    (
+                        "auth",
+                        if tenants.auth_enabled() {
+                            format!("on ({} tenants)", tenants.len())
+                        } else {
+                            "off".to_string()
+                        },
+                    ),
+                ],
             );
-            println!(
-                "  max-conns: {}  max-inflight/conn: {}",
-                frontend_cfg.max_connections.map_or("unlimited".to_string(), |c| c.to_string()),
-                frontend_cfg.max_inflight_per_conn,
-            );
-            if tenants.auth_enabled() {
-                println!(
-                    "  auth: ON ({} tenant(s): {})",
-                    tenants.len(),
-                    tenants.ids().iter().map(|id| id.to_string()).collect::<Vec<_>>().join(", "),
-                );
-            } else {
-                println!("  auth: off (all traffic runs as the anonymous tenant)");
-            }
             for h in handle.registry().handles() {
-                println!(
-                    "  model {:?}: n={} f={} {} bytes fingerprint={:016x}",
-                    h.name(),
-                    h.n_nodes(),
-                    h.n_attrs(),
-                    h.size_bytes(),
-                    h.fingerprint(),
+                logger.info(
+                    "serve.cli",
+                    "model registered",
+                    &[
+                        ("name", h.name().to_string()),
+                        ("nodes", h.n_nodes().to_string()),
+                        ("attrs", h.n_attrs().to_string()),
+                        ("bytes", h.size_bytes().to_string()),
+                        ("fingerprint", format!("{:016x}", h.fingerprint())),
+                    ],
                 );
             }
-            println!(
-                "  try: printf '{}MODELS\\n' | nc {} {}",
-                if tenants.auth_enabled() { "AUTH token=<token>\\n" } else { "" },
-                local.ip(),
-                local.port(),
+            logger.info(
+                "serve.cli",
+                "try it",
+                &[(
+                    "hint",
+                    format!(
+                        "printf '{}MODELS\\n' | nc {} {}",
+                        if tenants.auth_enabled() { "AUTH token=<token>\\n" } else { "" },
+                        local.ip(),
+                        local.port(),
+                    ),
+                )],
             );
+            let metrics_json_path = kv.get("metrics-json").cloned();
+            let dump_metrics = |handle: &ServeHandle| {
+                if let Some(path) = &metrics_json_path {
+                    if let Err(e) = std::fs::write(path, handle.metrics_json()) {
+                        logger.warn(
+                            "serve.cli",
+                            "metrics dump failed",
+                            &[("path", path.clone()), ("error", e.to_string())],
+                        );
+                    }
+                }
+            };
+            // Write the dump immediately so scrapers find the file
+            // without waiting out the first stats interval.
+            dump_metrics(&handle);
             // Serve until killed; periodically surface the running
-            // stats so an operator tailing the process sees traffic.
+            // stats so an operator tailing the process sees traffic,
+            // and refresh the machine-readable metrics dump if asked.
             loop {
                 std::thread::sleep(std::time::Duration::from_secs(60));
                 print!("{}", handle.stats().render());
+                dump_metrics(&handle);
             }
+        }
+        "bench-check" => {
+            // CI regression gate over the committed bench floor: compare
+            // a freshly produced `batch-generate --json` report against
+            // the checked-in one and fail on a >R-fold throughput drop.
+            // The wide default ratio tolerates noisy shared runners; a
+            // genuine perf regression lands well past it.
+            let (Some(fresh_path), Some(floor_path)) = (kv.get("fresh"), kv.get("floor")) else {
+                return usage();
+            };
+            let ratio: f64 = kv.get("ratio").and_then(|s| s.parse().ok()).unwrap_or(3.0);
+            let read = |path: &String| match std::fs::read_to_string(path) {
+                Ok(text) => Some(text),
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    None
+                }
+            };
+            let (Some(fresh), Some(floor)) = (read(fresh_path), read(floor_path)) else {
+                return ExitCode::FAILURE;
+            };
+            let field = "snapshots_per_sec";
+            let (Some(fresh_v), Some(floor_v)) =
+                (json_number_field(&fresh, field), json_number_field(&floor, field))
+            else {
+                eprintln!("missing {field:?} in one of the reports");
+                return ExitCode::FAILURE;
+            };
+            let min = floor_v / ratio.max(1.0);
+            println!(
+                "bench-check: fresh {fresh_v:.3} snapshots/s vs floor {floor_v:.3} (min allowed {min:.3})",
+            );
+            if fresh_v < min {
+                eprintln!(
+                    "bench-check FAILED: {fresh_v:.3} < {min:.3} (floor {floor_v:.3} / ratio {ratio})",
+                );
+                return ExitCode::FAILURE;
+            }
+            println!("bench-check OK");
         }
         "evaluate" => {
             let (Some(orig), Some(gen)) = (kv.get("original"), kv.get("generated")) else {

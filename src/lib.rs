@@ -24,6 +24,7 @@ pub use vrdag_datasets as datasets;
 pub use vrdag_downstream as downstream;
 pub use vrdag_graph as graph;
 pub use vrdag_metrics as metrics;
+pub use vrdag_obs as obs;
 pub use vrdag_serve as serve;
 pub use vrdag_tensor as tensor;
 
@@ -35,6 +36,7 @@ pub mod prelude {
         DynamicGraph, DynamicGraphGenerator, FitReport, GeneratorError, Snapshot,
     };
     pub use vrdag_metrics::{attribute_report, structure_report};
+    pub use vrdag_obs::{JobTrace, Level, Logger, Registry as MetricsRegistry};
     pub use vrdag_serve::{
         BatchReport, CacheBudget, CacheStats, CancelToken, Frontend, FrontendConfig, GenRequest,
         GenSink, LineClient, ModelRegistry, Scheduler, SchedulerConfig, ServeConfig, ServeError,

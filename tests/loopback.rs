@@ -618,6 +618,123 @@ fn abrupt_disconnect_cancels_untagged_inflight_jobs() {
     assert!(cancelled, "disconnect never cancelled the untagged job: {:?}", handle.stats());
 }
 
+/// Extract one sample value from Prometheus exposition text. `series`
+/// must be the full series name (labels included for labeled series);
+/// the ` ` separator after it keeps `foo` from matching `foo_peak`.
+fn prom_sample(text: &str, series: &str) -> Option<u64> {
+    text.lines().find_map(|line| line.strip_prefix(series)?.strip_prefix(' ')?.parse().ok())
+}
+
+#[test]
+fn metrics_exposition_agrees_exactly_with_stats_after_deterministic_workload() {
+    let model = fitted_model(27);
+    let registry = ModelRegistry::new();
+    registry.register("m", &model).unwrap();
+    let handle = ServeHandle::with_config(
+        registry,
+        ServeConfig { workers: 2, cache: CacheBudget::entries(16), ..Default::default() },
+    )
+    .unwrap();
+    let frontend = Frontend::bind(handle.clone(), "127.0.0.1:0").unwrap();
+    let mut conn = LineClient::connect(frontend.local_addr()).unwrap();
+
+    // Deterministic sequential workload: 2 unique keys x 3 requests each
+    // → 6 completions, exactly 2 cache misses and 4 hits.
+    for _ in 0..3 {
+        for seed in [1u64, 2] {
+            let reply = conn.gen(GenSpec::new("m", 3, seed, WireFormat::Tsv)).unwrap();
+            assert!(matches!(reply.header, ReplyHeader::Gen { .. }), "{:?}", reply.header);
+        }
+    }
+    // One SUB on a cached key: 3 EVT frames, and the END frame must
+    // carry the job's queue-wait / generation stage timings.
+    conn.send(&Request::Sub(GenSpec::new("m", 3, 1, WireFormat::Tsv).with_tag("mt"))).unwrap();
+    let mut evt_frames = 0usize;
+    loop {
+        let reply = conn.read_frame().unwrap();
+        match reply.header {
+            ReplyHeader::Sub { .. } => {}
+            ReplyHeader::Evt { .. } => evt_frames += 1,
+            ReplyHeader::End { tag, status, qms, genms, .. } => {
+                assert_eq!(tag, "mt");
+                assert_eq!(status, EndStatus::Ok);
+                assert!(qms.is_some(), "END must report queue wait");
+                assert!(genms.is_some(), "END must report generation time");
+                break;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(evt_frames, 3);
+
+    // METRICS over the wire: a length-prefixed Prometheus text payload.
+    let reply = conn.request(&Request::Metrics { tag: Some("mx".to_string()) }).unwrap();
+    let text = match reply.header {
+        ReplyHeader::Metrics { tag, bytes } => {
+            assert_eq!(tag.as_deref(), Some("mx"));
+            assert_eq!(bytes, reply.payload.len());
+            String::from_utf8(reply.payload).unwrap()
+        }
+        other => panic!("expected OK METRICS, got {other:?}"),
+    };
+    assert!(text.starts_with("# TYPE "), "exposition must lead with a TYPE line: {text}");
+
+    // Every mirrored job/cache counter agrees *exactly* with the STATS
+    // snapshot — same sources, refreshed at exposition time.
+    let stats = handle.stats();
+    let expect = [
+        ("vrdag_jobs_submitted_total", stats.submitted),
+        ("vrdag_jobs_completed_total", stats.completed),
+        ("vrdag_jobs_failed_total", stats.failed),
+        ("vrdag_jobs_cancelled_total", stats.cancelled),
+        ("vrdag_jobs_dropped_total", stats.dropped_jobs),
+        ("vrdag_snapshots_total", stats.snapshots),
+        ("vrdag_edges_total", stats.edges),
+        ("vrdag_cache_hits_total", stats.cache.hits),
+        ("vrdag_cache_misses_total", stats.cache.misses),
+        ("vrdag_cache_insertions_total", stats.cache.insertions),
+        ("vrdag_cache_evictions_total", stats.cache.evictions),
+        ("vrdag_cache_evicted_bytes_total", stats.cache.evicted_bytes),
+        ("vrdag_cache_entries", stats.cache.entries as u64),
+        ("vrdag_cache_bytes", stats.cache.bytes as u64),
+        ("vrdag_queue_depth", stats.queue_depth as u64),
+        ("vrdag_jobs_inflight", stats.in_flight as u64),
+        ("vrdag_jobs_inflight_peak", stats.max_in_flight as u64),
+    ];
+    for (series, want) in expect {
+        assert_eq!(prom_sample(&text, series), Some(want), "{series} diverged\n{text}");
+    }
+    // And the workload's known shape pins the key counters absolutely.
+    assert_eq!(stats.completed, 7);
+    assert_eq!(stats.cache.misses, 2, "{stats:?}");
+    assert_eq!(stats.cache.hits, 5, "{stats:?}");
+    assert_eq!(prom_sample(&text, "vrdag_evt_frames_total"), Some(3));
+    assert_eq!(prom_sample(&text, "vrdag_connections_total{outcome=\"accepted\"}"), Some(1));
+    // Natively-instrumented stage histograms saw every completed job.
+    assert_eq!(
+        prom_sample(&text, "vrdag_job_stage_seconds_count{stage=\"queue_wait\"}"),
+        Some(stats.completed),
+        "{text}"
+    );
+
+    // STATS over the same connection reflects the identical counters in
+    // its human rendering.
+    let reply = conn.request(&Request::Stats { tag: None }).unwrap();
+    let rendered = match reply.header {
+        ReplyHeader::Stats { bytes, .. } => {
+            assert_eq!(bytes, reply.payload.len());
+            String::from_utf8(reply.payload).unwrap()
+        }
+        other => panic!("expected OK STATS, got {other:?}"),
+    };
+    assert!(
+        rendered
+            .contains(&format!("{} submitted / {} completed", stats.submitted, stats.completed)),
+        "{rendered}"
+    );
+    assert!(rendered.contains("jobs_inflight="), "gauges line missing: {rendered}");
+}
+
 #[test]
 fn frontend_shutdown_leaves_the_core_usable() {
     let model = fitted_model(14);

@@ -132,7 +132,7 @@ proptest! {
 
     #[test]
     fn bare_requests_round_trip(
-        args in (0u8..5, 0u8..2, prop::collection::vec(0u8..255, 1..20)),
+        args in (0u8..6, 0u8..2, prop::collection::vec(0u8..255, 1..20)),
     ) {
         let (which, has_tag, tag_raw) = args;
         let tag = (has_tag == 1).then(|| tagify(&tag_raw));
@@ -141,10 +141,43 @@ proptest! {
             1 => Request::Models { tag },
             2 => Request::Ping { tag },
             3 => Request::Quit { tag },
+            4 => Request::Metrics { tag },
             _ => Request::Cancel { tag: tag.unwrap_or_else(|| "c".to_string()) },
         };
         let line = req.to_line();
         prop_assert_eq!(parse_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn metrics_reply_headers_round_trip(
+        args in (0usize..10_000_000, 0u8..2, prop::collection::vec(0u8..255, 1..20)),
+    ) {
+        let (bytes, has_tag, tag_raw) = args;
+        let header = ReplyHeader::Metrics { tag: (has_tag == 1).then(|| tagify(&tag_raw)), bytes };
+        let line = header.to_line();
+        let parsed = parse_reply(&line).unwrap();
+        prop_assert_eq!(&parsed, &header);
+        prop_assert_eq!(parsed.to_line(), line);
+    }
+
+    #[test]
+    fn truncated_metrics_and_timed_end_frames_never_panic(
+        args in (0usize..1_000_000, 0u64..100_000, 0u64..100_000, 0usize..120),
+    ) {
+        // METRICS replies announce a length-prefixed payload; a peer that
+        // dies mid-header must yield a typed error, never a panic. Same
+        // for END frames carrying the optional stage timings.
+        let (bytes, qms, genms, cut) = args;
+        let reply = format!("OK METRICS tag=mx bytes={bytes}");
+        let cut_at = cut % (reply.len() + 1);
+        if let Err(e) = parse_reply(&reply[..cut_at]) {
+            let _ = e.code();
+        }
+        let end = format!("END tag=mx snapshots=3 edges=9 status=ok qms={qms} genms={genms}");
+        let cut_at = cut % (end.len() + 1);
+        if let Err(e) = parse_reply(&end[..cut_at]) {
+            let _ = e.code();
+        }
     }
 
     #[test]
@@ -201,6 +234,8 @@ proptest! {
                 snapshots: snap,
                 edges,
                 status: if flags % 3 == 0 { EndStatus::Cancelled } else { EndStatus::Ok },
+                qms: (flags % 2 == 0).then_some(bytes as u64),
+                genms: (flags % 5 == 0).then_some(edges as u64),
             },
             ReplyHeader::Cancel { tag, found: flags % 2 == 0 },
         ];
@@ -340,12 +375,16 @@ proptest! {
                         snapshots: chunks.len(),
                         edges: 3 * i,
                         status: EndStatus::Cancelled,
+                        qms: None,
+                        genms: None,
                     },
                     _ => ReplyHeader::End {
                         tag: tag.clone(),
                         snapshots: chunks.len(),
                         edges: 3 * i,
                         status: EndStatus::Ok,
+                        qms: Some(i as u64),
+                        genms: Some(2 * i as u64),
                     },
                 };
                 frames.push((terminal, Vec::new()));
