@@ -164,30 +164,85 @@ impl MixBernoulliDecoder {
         ops::bce_probs(&p, Rc::clone(&batch.targets), Some(Rc::clone(&batch.weights)), n as f32)
     }
 
+    /// Materialize the decode-time weight plan once (see [`DecodePlan`]).
+    ///
+    /// Generation calls this once per job and reuses the plan across every
+    /// snapshot step, instead of cloning all eight weight matrices out of
+    /// the autograd tensors on every `generate_edges` call.
+    pub fn plan(&self) -> DecodePlan {
+        DecodePlan {
+            w1a: self.f_alpha.layer(0).weight.value_clone(),
+            b1a: self.f_alpha.layer(0).bias.value_clone(),
+            w2a: self.f_alpha.layer(1).weight.value_clone(),
+            b2a: self.f_alpha.layer(1).bias.value_clone(),
+            w1t: self.f_theta.layer(0).weight.value_clone(),
+            b1t: self.f_theta.layer(0).bias.value_clone(),
+            w2t: self.f_theta.layer(1).weight.value_clone(),
+            b2t: self.f_theta.layer(1).bias.value_clone(),
+            k: self.k,
+            slope: self.slope,
+        }
+    }
+
+    /// One-shot full-adjacency generation (Algorithm 1, line 4).
+    ///
+    /// Convenience wrapper that builds a fresh [`DecodePlan`] per call;
+    /// steady-state generation should build the plan once and call
+    /// [`DecodePlan::generate_edges`] per step.
+    pub fn generate_edges(&self, s: &Matrix, m_target: Option<f64>, seed: u64) -> Vec<(u32, u32)> {
+        self.plan().generate_edges(s, m_target, seed)
+    }
+
+    pub fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.f_alpha.parameters();
+        p.extend(self.f_theta.parameters());
+        p
+    }
+}
+
+/// Decode-time snapshot of the [`MixBernoulliDecoder`] weights.
+///
+/// The weights are fixed for the whole of a generation job, so the serving
+/// hot path materializes them out of the `Rc`-based autograd tensors once
+/// (`MixBernoulliDecoder::plan`) and reuses the buffers for every snapshot —
+/// part of the per-step arena reuse, alongside the `OnceLock`-cached CSR
+/// builds in `vrdag_graph::Snapshot`.
+#[derive(Clone, Debug)]
+pub struct DecodePlan {
+    w1a: Matrix,
+    b1a: Matrix,
+    w2a: Matrix,
+    b2a: Matrix,
+    w1t: Matrix,
+    b1t: Matrix,
+    w2t: Matrix,
+    b2t: Matrix,
+    k: usize,
+    slope: f32,
+}
+
+impl DecodePlan {
     /// One-shot full-adjacency generation (Algorithm 1, line 4).
     ///
     /// `s` is the `[n, d_s]` decoder state matrix; `m_target` optionally
     /// calibrates the expected edge count (see `VrdagConfig::
     /// calibrate_density`); `seed` drives deterministic per-row RNG so the
-    /// parallel decode is reproducible regardless of thread count.
+    /// parallel decode is reproducible regardless of thread count: each row
+    /// derives its own `splitmix64` stream from the job seed and the inner
+    /// float loops run in serial per-row order, so chunk boundaries chosen
+    /// by `par::num_threads()` never change the output bytes.
     pub fn generate_edges(&self, s: &Matrix, m_target: Option<f64>, seed: u64) -> Vec<(u32, u32)> {
         let n = s.rows();
         if n < 2 {
             return Vec::new();
         }
         let k = self.k;
+        let (w2a, b1a, b2a) = (&self.w2a, &self.b1a, &self.b2a);
+        let (w2t, b1t, b2t) = (&self.w2t, &self.b1t, &self.b2t);
         // First-layer precompute: U = S·W1 (+ b1 at pair time).
-        let w1a = self.f_alpha.layer(0).weight.value_clone();
-        let b1a = self.f_alpha.layer(0).bias.value_clone();
-        let w2a = self.f_alpha.layer(1).weight.value_clone();
-        let b2a = self.f_alpha.layer(1).bias.value_clone();
-        let w1t = self.f_theta.layer(0).weight.value_clone();
-        let b1t = self.f_theta.layer(0).bias.value_clone();
-        let w2t = self.f_theta.layer(1).weight.value_clone();
-        let b2t = self.f_theta.layer(1).bias.value_clone();
-        let h = w1a.cols();
-        let ua = s.matmul(&w1a);
-        let ut = s.matmul(&w1t);
+        let h = self.w1a.cols();
+        let ua = s.matmul(&self.w1a);
+        let ut = s.matmul(&self.w1t);
         let slope = self.slope;
         let calibrate = m_target.is_some();
 
@@ -308,12 +363,6 @@ impl MixBernoulliDecoder {
             }
         }
         edges
-    }
-
-    pub fn parameters(&self) -> Vec<Tensor> {
-        let mut p = self.f_alpha.parameters();
-        p.extend(self.f_theta.parameters());
-        p
     }
 }
 

@@ -78,6 +78,8 @@ impl Vrdag {
         let mut local_rng = StdRng::seed_from_u64(rng.next_u64());
 
         let snapshots = no_grad(|| {
+            // Weight plan built once per run, reused across every step.
+            let plan = modules.decoder.plan();
             let mut h = Matrix::zeros(n, self.cfg.d_h);
             let mut active: Vec<bool> =
                 (0..n).map(|_| (local_rng.gen::<f64>()) < churn.initial_active_fraction).collect();
@@ -99,7 +101,7 @@ impl Vrdag {
                 } else {
                     None
                 };
-                let mut edges = modules.decoder.generate_edges(&s_mat, m_target, local_rng.gen());
+                let mut edges = plan.generate_edges(&s_mat, m_target, local_rng.gen());
                 // Deletion semantics: inactive nodes neither source nor
                 // receive edges.
                 edges.retain(|&(u, v)| active[u as usize] && active[v as usize]);

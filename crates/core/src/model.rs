@@ -6,7 +6,9 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::config::{AttrLoss, VrdagConfig};
-use crate::decoder::{gat_arrays, sample_pair_batch, AttributeDecoder, MixBernoulliDecoder};
+use crate::decoder::{
+    gat_arrays, sample_pair_batch, AttributeDecoder, DecodePlan, MixBernoulliDecoder,
+};
 use crate::encoder::{snapshot_features, BiFlowEncoder};
 use crate::latent::{reparam_sample, GaussianHead};
 use crate::time2vec::Time2Vec;
@@ -365,6 +367,9 @@ impl Vrdag {
             h: Matrix::zeros(modules.n, self.cfg.d_h),
             t: 0,
             rng: StdRng::seed_from_u64(rng.next_u64()),
+            // Decoder weights are fixed for the whole run: materialize them
+            // out of the autograd tensors once and reuse across every step.
+            plan: modules.decoder.plan(),
         })
     }
 
@@ -393,7 +398,7 @@ impl Vrdag {
             } else {
                 None
             };
-            let edges = modules.decoder.generate_edges(&s_mat, m_target, state.rng.gen());
+            let edges = state.plan.generate_edges(&s_mat, m_target, state.rng.gen());
             // Line 5: X̃_{t+1} conditioned on the generated topology.
             let attrs = if f > 0 {
                 let (src, dst, segs) = gat_arrays(n, &edges);
@@ -455,6 +460,7 @@ pub struct GenerationState {
     h: Matrix,
     t: usize,
     rng: StdRng,
+    plan: DecodePlan,
 }
 
 impl GenerationState {

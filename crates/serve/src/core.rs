@@ -261,6 +261,14 @@ pub struct ServeConfig {
     /// through. The default is [`Logger::disabled`] — zero overhead and
     /// behavior-identical to the pre-observability service.
     pub logger: Logger,
+    /// Threads each worker may use *inside* one job (parallel per-row
+    /// decode; see `vrdag_tensor::par`). `None` derives the request from
+    /// `VRDAG_THREADS` / available parallelism. Whatever is requested is
+    /// clamped so `workers × intra-job threads` never oversubscribes the
+    /// host ([`ServeHandle::intra_threads`] reports the effective value).
+    /// The thread count never changes output bytes — see
+    /// `tests/parallel_determinism.rs`.
+    pub intra_threads: Option<usize>,
 }
 
 /// The pre-refactor name of [`ServeConfig`], kept as an alias for the
@@ -275,6 +283,7 @@ impl Default for ServeConfig {
             cache: CacheBudget::disabled(),
             tenants: TenantRegistry::anonymous_only(),
             logger: Logger::disabled(),
+            intra_threads: None,
         }
     }
 }
@@ -326,6 +335,11 @@ pub struct StageLatencyStats {
     pub generation: LatencyStats,
     /// Last snapshot → result handoff to the ticket.
     pub delivery: LatencyStats,
+    /// Cumulative decode-thread stall waiting on the pipelined encode
+    /// helper — the per-job parallel-efficiency signal (near zero means
+    /// the pipeline fully hid the sink cost). Only jobs that pipelined
+    /// *and* stalled at least once are sampled.
+    pub encode_wait: LatencyStats,
 }
 
 /// Point-in-time per-tenant counters inside a [`ServeStats`] snapshot.
@@ -451,7 +465,7 @@ impl ServeStats {
         let _ = writeln!(out, "  latency: {}", self.latency.render());
         let _ = writeln!(
             out,
-            "  stages: queue p50 {:.2}ms p95 {:.2}ms | first-snapshot p50 {:.2}ms p95 {:.2}ms | generation p50 {:.2}ms p95 {:.2}ms | delivery p50 {:.2}ms p95 {:.2}ms",
+            "  stages: queue p50 {:.2}ms p95 {:.2}ms | first-snapshot p50 {:.2}ms p95 {:.2}ms | generation p50 {:.2}ms p95 {:.2}ms | delivery p50 {:.2}ms p95 {:.2}ms | encode-wait p50 {:.2}ms p95 {:.2}ms",
             self.stages.queue_wait.p50_seconds * 1e3,
             self.stages.queue_wait.p95_seconds * 1e3,
             self.stages.first_snapshot.p50_seconds * 1e3,
@@ -460,6 +474,8 @@ impl ServeStats {
             self.stages.generation.p95_seconds * 1e3,
             self.stages.delivery.p50_seconds * 1e3,
             self.stages.delivery.p95_seconds * 1e3,
+            self.stages.encode_wait.p50_seconds * 1e3,
+            self.stages.encode_wait.p95_seconds * 1e3,
         );
         let _ = writeln!(
             out,
@@ -675,8 +691,9 @@ struct RunningStats {
 }
 
 /// Stage labels, in [`RunningStats::stage_rings`] index order.
-const STAGE_NAMES: [&str; STAGE_COUNT] = ["queue_wait", "first_snapshot", "generation", "delivery"];
-const STAGE_COUNT: usize = 4;
+const STAGE_NAMES: [&str; STAGE_COUNT] =
+    ["queue_wait", "first_snapshot", "generation", "delivery", "encode_wait"];
+const STAGE_COUNT: usize = 5;
 
 impl RunningStats {
     fn new(workers: usize) -> Self {
@@ -713,7 +730,13 @@ impl RunningStats {
     }
 
     fn record_stages(&mut self, stages: &StageDurations) {
-        let values = [stages.queue_wait, stages.first_snapshot, stages.generation, stages.delivery];
+        let values = [
+            stages.queue_wait,
+            stages.first_snapshot,
+            stages.generation,
+            stages.delivery,
+            stages.encode_wait,
+        ];
         for (i, v) in values.iter().enumerate() {
             if let Some(d) = v {
                 self.stage_rings[i].record(d.as_secs_f64());
@@ -729,6 +752,7 @@ impl RunningStats {
             first_snapshot: one(1),
             generation: one(2),
             delivery: one(3),
+            encode_wait: one(4),
         }
     }
 
@@ -801,7 +825,13 @@ impl CoreMetrics {
     }
 
     fn observe_stages(&self, stages: &StageDurations) {
-        let values = [stages.queue_wait, stages.first_snapshot, stages.generation, stages.delivery];
+        let values = [
+            stages.queue_wait,
+            stages.first_snapshot,
+            stages.generation,
+            stages.delivery,
+            stages.encode_wait,
+        ];
         for (i, v) in values.iter().enumerate() {
             if let Some(d) = v {
                 self.stage_seconds[i].observe(d.as_secs_f64());
@@ -815,6 +845,9 @@ struct Shared {
     cache: SnapshotCache,
     logger: Logger,
     metrics: CoreMetrics,
+    /// Effective intra-job thread count each worker runs its jobs under
+    /// (the requested/default value, clamped against oversubscription).
+    intra_threads: usize,
     stats: Mutex<RunningStats>,
     submitted: AtomicU64,
     completed: AtomicU64,
@@ -887,11 +920,13 @@ impl ServeHandle {
         // Coalescing only pays off when finished twins can be served
         // from the cache.
         let queue = JobQueue::with_cache(cache.is_enabled().then(|| cache.clone()));
+        let intra_threads = effective_intra_threads(config.workers, config.intra_threads);
         let shared = Arc::new(Shared {
             queue,
             cache,
             logger: config.logger.clone(),
             metrics: CoreMetrics::new(),
+            intra_threads,
             stats: Mutex::new(RunningStats::new(config.workers)),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -953,6 +988,15 @@ impl ServeHandle {
     /// Worker threads the pool was built with.
     pub fn workers(&self) -> usize {
         self.core.worker_count
+    }
+
+    /// Effective intra-job thread count each worker runs its jobs under:
+    /// [`ServeConfig::intra_threads`] (or the `VRDAG_THREADS`/host
+    /// default), clamped so `workers × intra_threads` never exceeds the
+    /// host's available parallelism. Determinism is unaffected — thread
+    /// count never changes output bytes.
+    pub fn intra_threads(&self) -> usize {
+        self.core.shared.intra_threads
     }
 
     /// Enqueue a request without blocking on generation and return the
@@ -1187,6 +1231,7 @@ impl ServeHandle {
         set("vrdag_cache_evicted_bytes_total", cache.evicted_bytes);
         reg.gauge("vrdag_cache_entries", &[]).set(cache.entries as u64);
         reg.gauge("vrdag_cache_bytes", &[]).set(cache.bytes as u64);
+        reg.gauge("vrdag_intra_threads", &[]).set(shared.intra_threads as u64);
         reg.gauge("vrdag_queue_depth", &[]).set(shared.queue.depth() as u64);
         reg.gauge("vrdag_jobs_inflight", &[]).set(shared.queue.in_flight() as u64);
         reg.gauge("vrdag_jobs_inflight_peak", &[]).set(shared.queue.max_in_flight() as u64);
@@ -1206,6 +1251,15 @@ impl ServeHandle {
 struct WorkerInstance {
     fingerprint: u64,
     model: Vrdag,
+}
+
+/// Resolve the intra-job thread count a worker pool runs under: the
+/// requested value (or the `VRDAG_THREADS`/host default) clamped so
+/// `workers × intra_threads` never oversubscribes the host. At least 1.
+fn effective_intra_threads(workers: usize, requested: Option<usize>) -> usize {
+    let host = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let per_worker_cap = (host / workers.max(1)).max(1);
+    requested.unwrap_or_else(vrdag_tensor::par::num_threads).clamp(1, per_worker_cap)
 }
 
 fn worker_loop(worker: usize, shared: &Shared) {
@@ -1240,9 +1294,14 @@ fn worker_loop(worker: usize, shared: &Shared) {
             _ => None,
         };
         let started = Instant::now();
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_job(job, &mut instance, &shared.cache)
-        }));
+        // The whole job runs under the pool's oversubscription clamp:
+        // parallel sections inside the decode see `intra_threads` on this
+        // worker thread only (the override is scoped and thread-local).
+        let outcome = vrdag_tensor::par::with_threads(shared.intra_threads, || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_job(job, &mut instance, &shared.cache)
+            }))
+        });
         let mut result = match outcome {
             Ok(result) => result,
             Err(payload) => {
@@ -1539,7 +1598,91 @@ fn replay_into_sink(
     Ok((stats, cancelled))
 }
 
+/// How many decoded snapshots may sit between the decode thread and the
+/// pipelined encode helper. Depth 2 lets decode run one full step ahead
+/// while the helper drains the previous snapshot, without letting an
+/// encode-bound job buffer an unbounded number of snapshots.
+const PIPELINE_DEPTH: usize = 2;
+
+/// Opportunistic cache/result collection shared by the serial and
+/// pipelined generation paths: push snapshots (in `t` order) until the
+/// reserved-byte budget is exceeded, unless the caller wants the full
+/// result regardless.
+struct Collector {
+    collected: Option<Vec<Snapshot>>,
+    bytes: usize,
+    budget: Option<usize>,
+    want_result: bool,
+}
+
+impl Collector {
+    fn new(t_len: usize, budget: Option<usize>, want_result: bool) -> Collector {
+        Collector {
+            collected: (want_result || budget.is_some()).then(|| Vec::with_capacity(t_len)),
+            bytes: 0,
+            budget,
+            want_result,
+        }
+    }
+
+    fn push(&mut self, snapshot: Snapshot) {
+        if self.collected.is_some() {
+            // Reserved accounting to match the cache's admission charge.
+            self.bytes += snapshot.approx_bytes_reserved();
+            let over = self.budget.is_some_and(|max| self.bytes > max);
+            if over && !self.want_result {
+                self.collected = None;
+            } else if let Some(v) = &mut self.collected {
+                v.push(snapshot);
+            }
+        }
+    }
+}
+
+/// The encode half of the intra-job pipeline: drain `(t, snapshot)`
+/// pairs, write each through the sink writer, mark the trace, account
+/// the stream stats, and hand the snapshot back for cache collection.
+/// Cancellation is honored at snapshot boundaries on this side too, so
+/// a snapshot decoded ahead of a trip is never written.
+fn encode_loop(
+    mut writer: SinkWriter<'_>,
+    rx: Receiver<(usize, Snapshot)>,
+    ret: mpsc::Sender<Snapshot>,
+    cancel: Option<&CancelToken>,
+    trace: &JobTrace,
+) -> Result<(StreamStats, bool), ServeError> {
+    let mut stats = StreamStats::default();
+    let mut cancelled = false;
+    while let Ok((t, snapshot)) = rx.recv() {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            cancelled = true;
+            break;
+        }
+        writer.write(t, &snapshot)?;
+        trace.mark_snapshot();
+        stats.snapshots += 1;
+        stats.edges += snapshot.n_edges();
+        stats.bytes += snapshot.approx_bytes();
+        // The decode thread may have dropped its end already (e.g. it
+        // finished and is draining); the snapshot is simply discarded.
+        let _ = ret.send(snapshot);
+    }
+    if !cancelled {
+        writer.finish()?;
+    }
+    Ok((stats, cancelled))
+}
+
 /// Drive Algorithm 1 one snapshot at a time straight into the sink.
+///
+/// Real sinks (file writers, streaming callbacks) run **pipelined**:
+/// snapshot `t−1` is encoded/streamed (EVT framing, TSV/binary encode,
+/// `approx_bytes` accounting) on a scoped helper thread while the model
+/// decodes snapshot `t`. Output bytes are unaffected — the helper writes
+/// in submission order — and the decode thread's cumulative stall waiting
+/// on the helper is recorded as the job's `encode_wait` stage. Null
+/// sinks ([`GenSink::InMemory`]/[`GenSink::Discard`]) have no encode
+/// cost and keep the serial loop.
 ///
 /// The full sequence is materialized only when the caller needs it: for
 /// [`GenSink::InMemory`] (the job asked for it), or opportunistically
@@ -1560,43 +1703,85 @@ fn generate_into_sink(
     let mut state = model.begin_generation(&mut rng)?;
     let n = model.n_nodes().expect("begin_generation succeeded");
     let f = model.n_attrs().expect("begin_generation succeeded");
-    let mut stats = StreamStats::default();
     let want_result = matches!(sink, GenSink::InMemory);
-    let mut collected =
-        (want_result || collect_budget.is_some()).then(|| Vec::with_capacity(t_len));
-    let mut collected_bytes = 0usize;
+    let mut collector = Collector::new(t_len, collect_budget, want_result);
     let mut writer = SinkWriter::open(sink, n, f, t_len)?;
-    let mut cancelled = false;
-    for t in 0..t_len {
-        // Cooperative cancellation at snapshot boundaries: the stepper
-        // is abandoned, the partial collection is discarded (a
-        // cancelled sequence must never populate the cache), and the
-        // caller removes any partial file output.
-        if cancel.is_some_and(CancelToken::is_cancelled) {
-            cancelled = true;
-            collected = None;
-            break;
-        }
-        let snapshot = state.step(model);
-        stats.snapshots += 1;
-        stats.edges += snapshot.n_edges();
-        stats.bytes += snapshot.approx_bytes();
-        writer.write(t, &snapshot)?;
-        trace.mark_snapshot();
-        if collected.is_some() {
-            // Reserved accounting to match the cache's admission charge.
-            collected_bytes += snapshot.approx_bytes_reserved();
-            let over = collect_budget.is_some_and(|max| collected_bytes > max);
-            if over && !want_result {
-                collected = None;
-            } else if let Some(v) = &mut collected {
-                v.push(snapshot);
+
+    if matches!(writer, SinkWriter::Null) {
+        // Serial path: nothing to encode, so a helper thread would be
+        // pure overhead.
+        let mut stats = StreamStats::default();
+        let mut cancelled = false;
+        for t in 0..t_len {
+            // Cooperative cancellation at snapshot boundaries: the
+            // stepper is abandoned, the partial collection is discarded
+            // (a cancelled sequence must never populate the cache), and
+            // the caller removes any partial file output.
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                cancelled = true;
+                break;
             }
+            let snapshot = state.step(model);
+            stats.snapshots += 1;
+            stats.edges += snapshot.n_edges();
+            stats.bytes += snapshot.approx_bytes();
+            writer.write(t, &snapshot)?;
+            trace.mark_snapshot();
+            collector.push(snapshot);
         }
+        if !cancelled {
+            writer.finish()?;
+        }
+        let collected = (!cancelled).then_some(collector.collected).flatten();
+        return Ok((stats, collected.map(DynamicGraph::new), cancelled));
     }
-    if !cancelled {
-        writer.finish()?;
-    }
+
+    // Pipelined path: the helper owns the writer and the stats; the
+    // decode thread steps the model and hands snapshots over a bounded
+    // channel, collecting them back (in order) for the cache.
+    let (snap_tx, snap_rx) = mpsc::sync_channel::<(usize, Snapshot)>(PIPELINE_DEPTH);
+    let (ret_tx, ret_rx) = mpsc::channel::<Snapshot>();
+    let (stats, cancelled) =
+        std::thread::scope(|scope| -> Result<(StreamStats, bool), ServeError> {
+            let encoder = scope.spawn(move || encode_loop(writer, snap_rx, ret_tx, cancel, trace));
+            let mut decode_cancelled = false;
+            for t in 0..t_len {
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    decode_cancelled = true;
+                    break;
+                }
+                let snapshot = state.step(model);
+                let handoff = Instant::now();
+                if snap_tx.send((t, snapshot)).is_err() {
+                    // The helper bailed (I/O error or cancellation
+                    // observed on its side): stop decoding, the join
+                    // below surfaces why.
+                    break;
+                }
+                trace.add_encode_wait(handoff.elapsed());
+                while let Ok(s) = ret_rx.try_recv() {
+                    collector.push(s);
+                }
+            }
+            drop(snap_tx);
+            // Drain the remaining written snapshots while the helper
+            // finishes; recv fails once the helper drops its sender.
+            while let Ok(s) = ret_rx.recv() {
+                collector.push(s);
+            }
+            match encoder.join() {
+                Ok(outcome) => {
+                    let (stats, write_cancelled) = outcome?;
+                    Ok((stats, write_cancelled || decode_cancelled))
+                }
+                // A panicking Callback sink unwinds on the helper:
+                // re-raise it on the worker thread so the existing
+                // per-job panic containment (and its partial-file
+                // cleanup) applies unchanged.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        })?;
+    let collected = (!cancelled).then_some(collector.collected).flatten();
     Ok((stats, collected.map(DynamicGraph::new), cancelled))
 }
 
@@ -1807,6 +1992,68 @@ mod tests {
         let t = clone.submit(GenRequest::new("tiny", 1, 0, GenSink::Discard)).unwrap();
         assert!(t.wait().unwrap().is_ok());
         drop(clone); // joins workers; must not hang
+    }
+
+    #[test]
+    fn intra_thread_clamp_never_oversubscribes() {
+        let host = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        // As many workers as cores: each job gets exactly one thread no
+        // matter how many were requested.
+        assert_eq!(effective_intra_threads(host, Some(8)), 1.max(host / host));
+        // A single worker may use the request, up to the host.
+        let one = effective_intra_threads(1, Some(4));
+        assert!(one >= 1 && one <= 4.max(host));
+        // workers × intra_threads never exceeds the host (workers ≤ host).
+        for workers in 1..=host {
+            let eff = effective_intra_threads(workers, Some(usize::MAX));
+            assert!(
+                workers * eff <= host,
+                "workers {workers} × intra {eff} oversubscribes host {host}"
+            );
+        }
+        // Defaults are at least 1 and the knob is surfaced on the handle.
+        assert!(effective_intra_threads(2, None) >= 1);
+        let (registry, _) = registry_with_tiny();
+        let handle = ServeHandle::with_config(
+            registry,
+            ServeConfig { workers: 1, intra_threads: Some(3), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(handle.intra_threads(), effective_intra_threads(1, Some(3)));
+        assert!(handle.intra_threads() >= 1);
+    }
+
+    #[test]
+    fn pipelined_callback_receives_snapshots_in_order_and_bit_identical() {
+        // Callback sinks run through the encode helper thread; frames
+        // must still arrive strictly in t order with the exact per-step
+        // content of a direct generate() call.
+        let (registry, model) = registry_with_tiny();
+        let handle = ServeHandle::with_config(
+            registry,
+            ServeConfig { workers: 1, intra_threads: Some(4), ..Default::default() },
+        )
+        .unwrap();
+        let seen: Arc<Mutex<Vec<(usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen_in_cb = Arc::clone(&seen);
+        let ticket = handle
+            .submit(GenRequest::new(
+                "tiny",
+                6,
+                42,
+                GenSink::Callback(Box::new(move |t, s| {
+                    seen_in_cb.lock().unwrap().push((t, s.n_edges()));
+                })),
+            ))
+            .unwrap();
+        let result = ticket.wait().unwrap();
+        assert!(result.is_ok(), "{:?}", result.error);
+        assert!(result.stages.generation.is_some());
+        let mut rng = StdRng::seed_from_u64(42);
+        let expected = model.generate(6, &mut rng).unwrap();
+        let frames = seen.lock().unwrap();
+        let want: Vec<(usize, usize)> = expected.iter().map(|(t, s)| (t, s.n_edges())).collect();
+        assert_eq!(*frames, want, "pipelined frames out of order or diverged");
     }
 
     #[test]

@@ -5,28 +5,70 @@
 //! index ranges. Everything here is allocation-light: workers receive a
 //! `Range<usize>` and operate on shared slices.
 
+use std::cell::Cell;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Hard cap on worker threads — beyond this the kernels in this crate are
+/// memory-bound and extra threads only add contention.
+pub const MAX_THREADS: usize = 16;
+
+/// Process-wide default thread count, resolved **once** from the environment.
+///
+/// `VRDAG_THREADS` is read a single time (first use) and latched in a
+/// [`OnceLock`]; a mid-run change to the environment can therefore never
+/// desync two halves of one job — every parallel section in the process
+/// agrees on the same default for its whole lifetime.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("VRDAG_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+            .min(MAX_THREADS)
+    })
+}
+
+thread_local! {
+    /// Per-thread override installed by [`with_threads`]; 0 = no override.
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
 
 /// Number of worker threads to use for parallel sections.
 ///
-/// Controlled by the `VRDAG_THREADS` environment variable; defaults to the
-/// machine's available parallelism (capped at 16 — beyond that the kernels in
-/// this crate are memory-bound).
+/// Controlled by the `VRDAG_THREADS` environment variable (read once per
+/// process and latched, so a mid-run env change can never desync two halves
+/// of one job); defaults to the machine's available
+/// parallelism, capped at [`MAX_THREADS`]. A scoped [`with_threads`] override
+/// on the calling thread takes precedence — this is how the serving layer
+/// clamps intra-job parallelism per worker without touching global state.
 pub fn num_threads() -> usize {
-    static CACHED: AtomicUsize = AtomicUsize::new(0);
-    let cached = CACHED.load(Ordering::Relaxed);
-    if cached != 0 {
-        return cached;
+    let o = OVERRIDE.with(Cell::get);
+    if o != 0 {
+        o
+    } else {
+        default_threads()
     }
-    let n = std::env::var("VRDAG_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&v| v >= 1)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
-        .min(16);
-    CACHED.store(n, Ordering::Relaxed);
-    n
+}
+
+/// Run `f` with every parallel section *on this thread* using `n` worker
+/// threads, restoring the previous setting afterwards (also on panic).
+///
+/// The override is thread-local and scoped, so concurrent jobs on different
+/// worker threads can run with different clamps; the kernels' chunk-invariant
+/// structure (per-index work, per-row serial float order, per-row RNG streams)
+/// guarantees the thread count never changes output bytes.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Reset(usize);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _reset = Reset(OVERRIDE.with(|c| c.replace(n.clamp(1, MAX_THREADS))));
+    f()
 }
 
 /// Split `0..n` into at most `num_threads()` contiguous ranges and run `f` on
@@ -122,10 +164,65 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn mid_run_env_change_cannot_desync_one_job() {
+        // First half of the "job" resolves the thread count…
+        let first = num_threads();
+        // …then the environment changes mid-run (e.g. a test harness or a
+        // config reload touches VRDAG_THREADS)…
+        std::env::set_var("VRDAG_THREADS", format!("{}", (first % MAX_THREADS) + 1));
+        // …and the second half must still agree, because the default is
+        // latched once per process.
+        let second = num_threads();
+        std::env::remove_var("VRDAG_THREADS");
+        assert_eq!(first, second, "VRDAG_THREADS change mid-run desynced parallel sections");
+        assert_eq!(num_threads(), first);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let base = num_threads();
+        let inside = with_threads(3, || {
+            // Nested overrides stack and restore.
+            let outer = num_threads();
+            let inner = with_threads(5, num_threads);
+            assert_eq!(inner, 5);
+            assert_eq!(num_threads(), 3);
+            outer
+        });
+        assert_eq!(inside, 3);
+        assert_eq!(num_threads(), base, "override leaked past its scope");
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let base = num_threads();
+        let result = std::panic::catch_unwind(|| with_threads(2, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(num_threads(), base, "override leaked past a panic");
+    }
+
+    #[test]
+    fn with_threads_clamps_to_valid_range() {
+        assert_eq!(with_threads(0, num_threads), 1);
+        assert_eq!(with_threads(usize::MAX, num_threads), MAX_THREADS);
+    }
+
+    #[test]
+    fn with_threads_is_thread_local() {
+        with_threads(7, || {
+            assert_eq!(num_threads(), 7);
+            // A freshly spawned thread does not inherit the override.
+            let other = std::thread::spawn(num_threads).join().unwrap();
+            assert_eq!(other, default_threads());
+        });
     }
 
     #[test]

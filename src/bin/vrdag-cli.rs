@@ -44,7 +44,13 @@ fn parse_kv(args: &[String]) -> HashMap<String, String> {
 /// JSON object per run, hand-rendered because the offline tree's serde
 /// derives are no-ops. Throughput, latency percentiles, and cache
 /// counters — the fields a bench-trajectory consumer plots over time.
-fn bench_json_report(stats: &ServeStats, jobs: usize, t: usize, total_seconds: f64) -> String {
+fn bench_json_report(
+    stats: &ServeStats,
+    jobs: usize,
+    t: usize,
+    total_seconds: f64,
+    intra_threads: usize,
+) -> String {
     let l = &stats.latency;
     let c = &stats.cache;
     format!(
@@ -54,13 +60,15 @@ fn bench_json_report(stats: &ServeStats, jobs: usize, t: usize, total_seconds: f
             "  \"jobs\": {},\n",
             "  \"t\": {},\n",
             "  \"workers\": {},\n",
+            "  \"intra_threads\": {},\n",
             "  \"total_seconds\": {:.6},\n",
             "  \"jobs_per_sec\": {:.3},\n",
             "  \"snapshots_per_sec\": {:.3},\n",
+            "  \"single_job_wall_ms\": {:.3},\n",
             "  \"snapshots\": {},\n",
             "  \"edges\": {},\n",
             "  \"latency_ms\": {{ \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}, \"max\": {:.3} }},\n",
-            "  \"stages_ms\": {{ \"queue_wait_p50\": {:.3}, \"queue_wait_p95\": {:.3}, \"first_snapshot_p50\": {:.3}, \"first_snapshot_p95\": {:.3}, \"generation_p50\": {:.3}, \"generation_p95\": {:.3}, \"delivery_p50\": {:.3}, \"delivery_p95\": {:.3} }},\n",
+            "  \"stages_ms\": {{ \"queue_wait_p50\": {:.3}, \"queue_wait_p95\": {:.3}, \"first_snapshot_p50\": {:.3}, \"first_snapshot_p95\": {:.3}, \"generation_p50\": {:.3}, \"generation_p95\": {:.3}, \"delivery_p50\": {:.3}, \"delivery_p95\": {:.3}, \"encode_wait_p50\": {:.3}, \"encode_wait_p95\": {:.3} }},\n",
             "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"evicted_bytes\": {}, \"entries\": {}, \"bytes\": {} }},\n",
             "  \"max_in_flight\": {}\n",
             "}}\n",
@@ -68,9 +76,13 @@ fn bench_json_report(stats: &ServeStats, jobs: usize, t: usize, total_seconds: f
         jobs,
         t,
         stats.workers,
+        intra_threads,
         total_seconds,
         jobs as f64 / total_seconds.max(1e-9),
         stats.snapshots as f64 / total_seconds.max(1e-9),
+        // Worst single-job wall clock: with a 1-job workload this IS the
+        // job's wall time — the intra-job speedup gate reads it.
+        l.max_seconds * 1e3,
         stats.snapshots,
         stats.edges,
         l.p50_seconds * 1e3,
@@ -86,6 +98,8 @@ fn bench_json_report(stats: &ServeStats, jobs: usize, t: usize, total_seconds: f
         stats.stages.generation.p95_seconds * 1e3,
         stats.stages.delivery.p50_seconds * 1e3,
         stats.stages.delivery.p95_seconds * 1e3,
+        stats.stages.encode_wait.p50_seconds * 1e3,
+        stats.stages.encode_wait.p95_seconds * 1e3,
         c.hits,
         c.misses,
         c.evictions,
@@ -119,10 +133,11 @@ fn usage() -> ExitCode {
          generate       --model <model.vrdg> --t <T> [--seed N] --out <synthetic.tsv>\n\
          batch-generate --model <model.vrdg> --t <T> [--jobs N] [--workers N] [--seed N]\n\
          \x20              [--repeat R] [--cache-entries N] [--priority P] [--queue-depth N]\n\
-         \x20              [--format tsv|bin] [--json <report.json>]\n\
+         \x20              [--intra-threads N] [--format tsv|bin] [--json <report.json>]\n\
          \x20              --out-dir <dir>   (one file per job, seed-addressed)\n\
          serve          --model <model.vrdg> [--name NAME] [--models n1=p1,n2=p2,...]\n\
-         \x20              [--addr HOST:PORT] [--workers N] [--cache-entries N] [--queue-depth N]\n\
+         \x20              [--addr HOST:PORT] [--workers N] [--intra-threads N]\n\
+         \x20              [--cache-entries N] [--queue-depth N]\n\
          \x20              [--max-conns N] [--max-inflight N] [--tenants <tenants.conf>]\n\
          \x20              [--log-level error|warn|info|debug|off] [--log-json true]\n\
          \x20              [--metrics-json <path>]\n\
@@ -130,7 +145,8 @@ fn usage() -> ExitCode {
          \x20               t=<T> seed=<S> fmt=tsv|bin [priority=P] [tag=<tag>], CANCEL tag=<tag>,\n\
          \x20               STATS, METRICS [tag=<tag>])\n\
          bench-check    --fresh <new.json> --floor <BENCH_serve.json> [--ratio R]\n\
-         \x20              (fail when fresh snapshots_per_sec < floor/R; default R=3)\n\
+         \x20              (fail when fresh snapshots_per_sec < floor/R or fresh\n\
+         \x20               single_job_wall_ms > floor*R; default R=3)\n\
          evaluate       --original <graph.tsv> --generated <graph.tsv>"
     );
     ExitCode::FAILURE
@@ -272,6 +288,7 @@ fn main() -> ExitCode {
                 kv.get("cache-entries").and_then(|s| s.parse().ok()).unwrap_or(0);
             let priority: i32 = kv.get("priority").and_then(|s| s.parse().ok()).unwrap_or(0);
             let queue_depth: Option<usize> = kv.get("queue-depth").and_then(|s| s.parse().ok());
+            let intra_threads: Option<usize> = kv.get("intra-threads").and_then(|s| s.parse().ok());
             let format = kv.get("format").map(String::as_str).unwrap_or("tsv");
             if !matches!(format, "tsv" | "bin") {
                 eprintln!("--format must be tsv or bin, got {format:?}");
@@ -290,6 +307,7 @@ fn main() -> ExitCode {
                 workers,
                 max_queue_depth: queue_depth,
                 cache: CacheBudget::entries(cache_entries),
+                intra_threads,
                 ..Default::default()
             };
             let handle = match ServeHandle::with_config(registry, config) {
@@ -344,6 +362,7 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            let effective_intra = handle.intra_threads();
             let mut failed = false;
             for ticket in tickets {
                 match ticket.wait() {
@@ -378,7 +397,13 @@ fn main() -> ExitCode {
             if let Some(json_path) = kv.get("json") {
                 // Machine-readable bench point (e.g. BENCH_serve.json):
                 // the bench trajectory accumulates these across runs.
-                let report = bench_json_report(&stats, jobs * repeat.max(1), t, total_seconds);
+                let report = bench_json_report(
+                    &stats,
+                    jobs * repeat.max(1),
+                    t,
+                    total_seconds,
+                    effective_intra,
+                );
                 if let Err(e) = std::fs::write(json_path, &report) {
                     eprintln!("cannot write {json_path}: {e}");
                     return ExitCode::FAILURE;
@@ -399,6 +424,7 @@ fn main() -> ExitCode {
             let cache_entries: usize =
                 kv.get("cache-entries").and_then(|s| s.parse().ok()).unwrap_or(64);
             let queue_depth: Option<usize> = kv.get("queue-depth").and_then(|s| s.parse().ok());
+            let intra_threads: Option<usize> = kv.get("intra-threads").and_then(|s| s.parse().ok());
             let mut frontend_cfg = FrontendConfig::default();
             if let Some(max_conns) = kv.get("max-conns").and_then(|s| s.parse().ok()) {
                 // 0 means "no cap" on the command line.
@@ -460,6 +486,7 @@ fn main() -> ExitCode {
                 cache: CacheBudget::entries(cache_entries),
                 tenants: tenants.clone(),
                 logger: logger.clone(),
+                intra_threads,
             };
             let cache_budget = config.cache;
             let handle = match ServeHandle::with_config(registry, config) {
@@ -486,6 +513,7 @@ fn main() -> ExitCode {
                 &[
                     ("addr", local.to_string()),
                     ("workers", workers.to_string()),
+                    ("intra_threads", handle.intra_threads().to_string()),
                     (
                         "queue_depth_cap",
                         queue_depth.map_or("unlimited".to_string(), |d| d.to_string()),
@@ -595,6 +623,27 @@ fn main() -> ExitCode {
                     "bench-check FAILED: {fresh_v:.3} < {min:.3} (floor {floor_v:.3} / ratio {ratio})",
                 );
                 return ExitCode::FAILURE;
+            }
+            // Second gate, upper bound this time: the worst single-job
+            // wall clock must not blow past the recorded floor (intra-job
+            // parallelism regression shows up here even when aggregate
+            // throughput hides it behind more workers). Skipped when
+            // either report predates the field.
+            let wall = "single_job_wall_ms";
+            match (json_number_field(&fresh, wall), json_number_field(&floor, wall)) {
+                (Some(fresh_w), Some(floor_w)) => {
+                    let max = floor_w * ratio.max(1.0);
+                    println!(
+                        "bench-check: fresh {fresh_w:.3} single-job ms vs floor {floor_w:.3} (max allowed {max:.3})",
+                    );
+                    if fresh_w > max {
+                        eprintln!(
+                            "bench-check FAILED: {fresh_w:.3} > {max:.3} (floor {floor_w:.3} * ratio {ratio})",
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+                _ => println!("bench-check: {wall} absent from a report, gate skipped"),
             }
             println!("bench-check OK");
         }

@@ -266,6 +266,90 @@ fn sub_streams_equal_buffered_gen_payloads() {
 }
 
 #[test]
+fn parallel_sub_streams_equal_buffered_gen_and_report_consistent_stage_timings() {
+    let model = fitted_model(28);
+    let registry = ModelRegistry::new();
+    registry.register("m", &model).unwrap();
+    // Intra-job parallelism explicitly on (the clamp may still reduce it
+    // on a small host — determinism must hold either way): the SUB below
+    // is a *cold* decode streamed through the encode pipeline, and the
+    // GEN after it replays the now-cached value buffered. Both byte
+    // paths must agree exactly.
+    let handle = ServeHandle::with_config(
+        registry,
+        ServeConfig {
+            workers: 1,
+            cache: CacheBudget::entries(8),
+            intra_threads: Some(4),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(handle.intra_threads() >= 1);
+    let frontend = Frontend::bind(handle.clone(), "127.0.0.1:0").unwrap();
+
+    for (fmt, t_len, seed) in [(WireFormat::Tsv, 6, 7u64), (WireFormat::Bin, 5, 9u64)] {
+        let mut conn = LineClient::connect(frontend.local_addr()).unwrap();
+        conn.send(&Request::Sub(GenSpec::new("m", t_len, seed, fmt).with_tag("pp"))).unwrap();
+        let mut demux = TagDemux::new();
+        let mut evt_frames = 0usize;
+        let (qms, genms) = loop {
+            let reply = conn.read_frame().unwrap();
+            match &reply.header {
+                ReplyHeader::Sub { tag, .. } => {
+                    assert_eq!(tag, "pp");
+                    demux.feed(&reply.header, &reply.payload).unwrap();
+                }
+                ReplyHeader::Evt { snap, bytes, .. } => {
+                    assert_eq!(*snap, evt_frames, "frames arrive in snapshot order");
+                    assert_eq!(*bytes, reply.payload.len());
+                    evt_frames += 1;
+                    demux.feed(&reply.header, &reply.payload).unwrap();
+                }
+                ReplyHeader::End { tag, status, snapshots, qms, genms, .. } => {
+                    assert_eq!(tag, "pp");
+                    assert_eq!(*status, EndStatus::Ok);
+                    assert_eq!(*snapshots, t_len);
+                    demux.feed(&reply.header, &reply.payload).unwrap();
+                    break (*qms, *genms);
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        };
+        // Stage timings survive the pipelined path: END still reports
+        // queue wait and generation time for the cold parallel job.
+        assert!(qms.is_some(), "fmt {fmt}: END lost qms= under intra-job parallelism");
+        assert!(genms.is_some(), "fmt {fmt}: END lost genms= under intra-job parallelism");
+        assert_eq!(evt_frames, t_len);
+        let stream = demux.take("pp").unwrap();
+        assert_eq!(stream.outcome, Some(StreamOutcome::Complete));
+        assert_eq!(stream.frames, t_len);
+
+        let buffered = conn.gen(GenSpec::new("m", t_len, seed, fmt)).unwrap();
+        match &buffered.header {
+            ReplyHeader::Gen { snapshots, .. } => assert_eq!(*snapshots, t_len),
+            other => panic!("expected OK GEN, got {other:?}"),
+        }
+        assert_eq!(
+            stream.payload, buffered.payload,
+            "fmt {fmt}: parallel SUB stream != buffered GEN payload"
+        );
+    }
+
+    // The cold SUBs generated, the GENs replayed from the cache; the
+    // per-stage aggregates stay internally consistent (a job's first
+    // snapshot can never land after its last).
+    let stats = handle.stats();
+    assert_eq!(stats.cache.misses, 2, "{stats:?}");
+    assert!(stats.cache.hits >= 2, "{stats:?}");
+    assert!(
+        stats.stages.first_snapshot.max_seconds <= stats.stages.generation.max_seconds + 1e-9,
+        "{:?}",
+        stats.stages
+    );
+}
+
+#[test]
 fn cancel_mid_stream_ends_the_subscription_and_keeps_the_connection() {
     let model = fitted_model(23);
     let registry = ModelRegistry::new();
