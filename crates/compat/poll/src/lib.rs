@@ -1,0 +1,332 @@
+//! Minimal vendored readiness poller (the offline stand-in for `mio`).
+//!
+//! The serve frontend drives every connection off a single non-blocking
+//! event loop; this crate supplies the readiness primitive under it. Two
+//! interchangeable backends implement the same [`Poller`] trait:
+//!
+//! * [`epoll`] — level-triggered `epoll(7)` through a thin hand-rolled
+//!   FFI layer (no `libc` crate; `std` already links the C library on
+//!   Linux). A cross-thread [`Waker`] rides an `eventfd`.
+//! * [`scan`] — a portable sharded scan loop with **advisory** readiness:
+//!   every registered token is reported maybe-ready once per shard
+//!   rotation, and correctness relies on callers doing non-blocking IO
+//!   that tolerates `WouldBlock`. No OS facilities beyond `std`, so it
+//!   compiles anywhere and doubles as the paranoia backend in CI.
+//!
+//! Backend choice: [`Backend::Auto`] picks epoll on Linux and the scan
+//! loop elsewhere; the `VRDAG_POLLER` environment variable (`epoll` /
+//! `scan`) overrides `Auto` at runtime so CI can force the fallback.
+//!
+//! The [`os`] module carries the small pieces of OS glue a C10K frontend
+//! wants alongside the poller: raising `RLIMIT_NOFILE`, reading resident
+//! set size, and widening a listener's accept backlog.
+
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+pub mod os;
+pub mod scan;
+
+#[cfg(target_os = "linux")]
+pub mod epoll;
+
+/// Identifies a registered source in readiness events. Callers pick the
+/// values (the serve reactor uses slab indices); [`WAKE_TOKEN`] is
+/// reserved for the cross-thread waker.
+pub type Token = usize;
+
+/// Token reserved for [`Waker`] wakeups; never register a source with it.
+pub const WAKE_TOKEN: Token = usize::MAX;
+
+/// Raw OS descriptor as a plain integer, so the trait stays portable.
+/// The scan backend ignores it entirely; pass `-1` where no descriptor
+/// exists (non-unix builds).
+pub type OsFd = i32;
+
+/// Extract the raw descriptor from a socket-like object.
+#[cfg(unix)]
+pub fn raw_fd<T: std::os::unix::io::AsRawFd>(s: &T) -> OsFd {
+    s.as_raw_fd()
+}
+
+/// Non-unix fallback: there is no raw descriptor; the scan backend never
+/// looks at it.
+#[cfg(not(unix))]
+pub fn raw_fd<T>(_s: &T) -> OsFd {
+    -1
+}
+
+/// Which readiness directions a registration cares about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READABLE: Interest = Interest { readable: true, writable: false };
+    pub const WRITABLE: Interest = Interest { readable: false, writable: true };
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+}
+
+/// One readiness notification. Under the scan backend readiness is
+/// advisory (the source may still return `WouldBlock`); under epoll a
+/// closed/errored peer reports both directions so the caller attempts IO
+/// and observes the error.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    pub token: Token,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+/// A readiness poller. One thread owns the poller and calls
+/// [`Poller::poll`] in a loop; [`Waker`] handles obtained via
+/// [`Poller::waker`] may interrupt that wait from any thread.
+pub trait Poller: Send {
+    /// Backend name for logs and startup output (`"epoll"` / `"scan"`).
+    fn name(&self) -> &'static str;
+
+    /// Start watching `fd` under `token`.
+    fn register(&mut self, fd: OsFd, token: Token, interest: Interest) -> io::Result<()>;
+
+    /// Change the interest set of an existing registration.
+    fn reregister(&mut self, fd: OsFd, token: Token, interest: Interest) -> io::Result<()>;
+
+    /// Stop watching `fd`. Must be called before the descriptor closes.
+    fn deregister(&mut self, fd: OsFd, token: Token) -> io::Result<()>;
+
+    /// Wait for readiness, appending into `events` (cleared first).
+    /// `None` blocks until an event or wakeup; `Some(d)` bounds the wait.
+    /// A [`Waker::wake`] surfaces as an event with [`WAKE_TOKEN`].
+    fn poll(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// A cheap cloneable handle that interrupts [`Poller::poll`] from
+    /// other threads.
+    fn waker(&self) -> Waker;
+}
+
+/// Cross-thread wakeup handle for a [`Poller`]. Cloning is cheap; waking
+/// an already-pending waker coalesces.
+#[derive(Clone)]
+pub struct Waker {
+    inner: WakerInner,
+}
+
+#[derive(Clone)]
+enum WakerInner {
+    #[cfg(target_os = "linux")]
+    Eventfd(std::sync::Arc<epoll::EventFd>),
+    Flag(std::sync::Arc<scan::WakeFlag>),
+}
+
+impl Waker {
+    #[cfg(target_os = "linux")]
+    pub(crate) fn from_eventfd(fd: std::sync::Arc<epoll::EventFd>) -> Waker {
+        Waker { inner: WakerInner::Eventfd(fd) }
+    }
+
+    pub(crate) fn from_flag(flag: std::sync::Arc<scan::WakeFlag>) -> Waker {
+        Waker { inner: WakerInner::Flag(flag) }
+    }
+
+    /// Interrupt the owning poller's current (or next) `poll` call.
+    pub fn wake(&self) {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            WakerInner::Eventfd(fd) => fd.signal(),
+            WakerInner::Flag(flag) => flag.raise(),
+        }
+    }
+}
+
+impl fmt::Debug for Waker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            WakerInner::Eventfd(_) => f.write_str("Waker(eventfd)"),
+            WakerInner::Flag(_) => f.write_str("Waker(flag)"),
+        }
+    }
+}
+
+/// Poller backend selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Platform default (epoll on Linux, scan loop elsewhere), still
+    /// overridable by `VRDAG_POLLER`.
+    #[default]
+    Auto,
+    Epoll,
+    Scan,
+}
+
+impl Backend {
+    /// Parse a backend name (`auto` / `epoll` / `scan`).
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(Backend::Auto),
+            "epoll" => Some(Backend::Epoll),
+            "scan" => Some(Backend::Scan),
+            _ => None,
+        }
+    }
+
+    /// Apply the `VRDAG_POLLER` environment override on top of `self`.
+    /// An explicit (non-`Auto`) selection wins over the environment; an
+    /// unparseable variable is ignored.
+    pub fn env_resolved(self) -> Backend {
+        if self != Backend::Auto {
+            return self;
+        }
+        match std::env::var("VRDAG_POLLER") {
+            Ok(v) => Backend::parse(&v).unwrap_or(Backend::Auto),
+            Err(_) => Backend::Auto,
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::Auto => "auto",
+            Backend::Epoll => "epoll",
+            Backend::Scan => "scan",
+        })
+    }
+}
+
+/// Construct a poller for `backend` (after [`Backend::env_resolved`]).
+/// `Auto` resolves to epoll on Linux and the scan loop elsewhere.
+/// Requesting epoll on a platform without it is an error rather than a
+/// silent substitution.
+pub fn create(backend: Backend) -> io::Result<Box<dyn Poller>> {
+    match backend.env_resolved() {
+        Backend::Scan => Ok(Box::new(scan::ScanPoller::new())),
+        #[cfg(target_os = "linux")]
+        Backend::Auto | Backend::Epoll => Ok(Box::new(epoll::EpollPoller::new()?)),
+        #[cfg(not(target_os = "linux"))]
+        Backend::Auto => Ok(Box::new(scan::ScanPoller::new())),
+        #[cfg(not(target_os = "linux"))]
+        Backend::Epoll => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll poller is only available on linux; use the scan backend",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn exercise_poller(mut poller: Box<dyn Poller>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poller.register(raw_fd(&listener), 7, Interest::READABLE).unwrap();
+
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+
+        // The listener must become readable (accept-ready) within the
+        // deadline under either backend.
+        let mut events = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut accepted = None;
+        while accepted.is_none() {
+            assert!(std::time::Instant::now() < deadline, "no accept readiness before deadline");
+            poller.poll(&mut events, Some(Duration::from_millis(50))).unwrap();
+            for ev in &events {
+                if ev.token == 7 && ev.readable {
+                    match listener.accept() {
+                        Ok((s, _)) => accepted = Some(s),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                        Err(e) => panic!("accept: {e}"),
+                    }
+                }
+            }
+        }
+        let server = accepted.unwrap();
+        server.set_nonblocking(true).unwrap();
+        poller.register(raw_fd(&server), 9, Interest::BOTH).unwrap();
+
+        // Data from the client surfaces as read readiness on the server
+        // side of the pair.
+        let mut client = client;
+        client.write_all(b"ping").unwrap();
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut server = server;
+        while got.len() < 4 {
+            assert!(std::time::Instant::now() < deadline, "no data before deadline");
+            poller.poll(&mut events, Some(Duration::from_millis(50))).unwrap();
+            for ev in &events {
+                if ev.token == 9 && ev.readable {
+                    let mut buf = [0u8; 16];
+                    match server.read(&mut buf) {
+                        Ok(n) => got.extend_from_slice(&buf[..n]),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                        Err(e) => panic!("read: {e}"),
+                    }
+                }
+            }
+        }
+        assert_eq!(&got, b"ping");
+
+        poller.deregister(raw_fd(&server), 9).unwrap();
+        poller.deregister(raw_fd(&listener), 7).unwrap();
+    }
+
+    #[test]
+    fn scan_poller_delivers_readiness() {
+        exercise_poller(Box::new(scan::ScanPoller::new()));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_poller_delivers_readiness() {
+        exercise_poller(Box::new(epoll::EpollPoller::new().unwrap()));
+    }
+
+    fn exercise_waker(mut poller: Box<dyn Poller>) {
+        let waker = poller.waker();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.wake();
+        });
+        let mut events = Vec::new();
+        let start = std::time::Instant::now();
+        let deadline = start + Duration::from_secs(5);
+        loop {
+            assert!(std::time::Instant::now() < deadline, "waker never fired");
+            poller.poll(&mut events, Some(Duration::from_secs(2))).unwrap();
+            if events.iter().any(|e| e.token == WAKE_TOKEN) {
+                break;
+            }
+        }
+        // A wake must cut the 2s wait short, not ride it out.
+        assert!(start.elapsed() < Duration::from_secs(2), "wake did not interrupt the wait");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn scan_waker_interrupts_poll() {
+        exercise_waker(Box::new(scan::ScanPoller::new()));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_waker_interrupts_poll() {
+        exercise_waker(Box::new(epoll::EpollPoller::new().unwrap()));
+    }
+
+    #[test]
+    fn backend_parse_round_trips() {
+        for b in [Backend::Auto, Backend::Epoll, Backend::Scan] {
+            assert_eq!(Backend::parse(&b.to_string()), Some(b));
+        }
+        assert_eq!(Backend::parse("bogus"), None);
+        assert_eq!(Backend::Scan.env_resolved(), Backend::Scan);
+    }
+}

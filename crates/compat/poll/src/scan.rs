@@ -1,0 +1,132 @@
+//! Portable fallback backend: a sharded non-blocking scan loop.
+//!
+//! There is no OS readiness facility here at all. Every registered token
+//! is reported *maybe-ready* (per its interest set) once per shard
+//! rotation, and the caller's non-blocking IO discovers the truth —
+//! `WouldBlock` on a not-actually-ready source is expected and harmless.
+//! Registrations are scanned in shards of `SCAN_SHARD` with a short
+//! condvar wait between polls, so idle cost stays bounded (one tick per
+//! `SCAN_TICK`) and per-tick work stays bounded at high registration
+//! counts: with `n` tokens a source is revisited every
+//! `ceil(n / SCAN_SHARD)` ticks.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::{Event, Interest, OsFd, Poller, Token, Waker, WAKE_TOKEN};
+
+/// Maximum tokens reported per poll call.
+const SCAN_SHARD: usize = 256;
+
+/// Pause between scan rounds when nothing woke the poller.
+const SCAN_TICK: Duration = Duration::from_millis(1);
+
+/// Condvar-backed wake flag shared with [`Waker`] clones.
+pub(crate) struct WakeFlag {
+    raised: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl WakeFlag {
+    fn new() -> WakeFlag {
+        WakeFlag { raised: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    pub(crate) fn raise(&self) {
+        let mut raised = self.raised.lock().unwrap_or_else(|e| e.into_inner());
+        *raised = true;
+        self.cv.notify_one();
+    }
+
+    /// Wait up to `timeout` for a raise; returns and clears the flag.
+    fn consume_within(&self, timeout: Duration) -> bool {
+        let mut raised = self.raised.lock().unwrap_or_else(|e| e.into_inner());
+        if !*raised && !timeout.is_zero() {
+            let (guard, _) = self
+                .cv
+                .wait_timeout_while(raised, timeout, |r| !*r)
+                .unwrap_or_else(|e| e.into_inner());
+            raised = guard;
+        }
+        std::mem::take(&mut raised)
+    }
+}
+
+/// The no-OS-facilities backend; see the module docs for semantics.
+pub struct ScanPoller {
+    registered: BTreeMap<Token, Interest>,
+    cursor: Token,
+    wake: Arc<WakeFlag>,
+}
+
+impl ScanPoller {
+    pub fn new() -> ScanPoller {
+        ScanPoller { registered: BTreeMap::new(), cursor: 0, wake: Arc::new(WakeFlag::new()) }
+    }
+}
+
+impl Default for ScanPoller {
+    fn default() -> Self {
+        ScanPoller::new()
+    }
+}
+
+impl Poller for ScanPoller {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn register(&mut self, _fd: OsFd, token: Token, interest: Interest) -> io::Result<()> {
+        debug_assert_ne!(token, WAKE_TOKEN, "WAKE_TOKEN is reserved for the waker");
+        self.registered.insert(token, interest);
+        Ok(())
+    }
+
+    fn reregister(&mut self, _fd: OsFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.registered.insert(token, interest);
+        Ok(())
+    }
+
+    fn deregister(&mut self, _fd: OsFd, token: Token) -> io::Result<()> {
+        self.registered.remove(&token);
+        Ok(())
+    }
+
+    fn poll(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        // Pace the loop: wait one tick (or the caller's shorter timeout)
+        // unless a waker fires first. With sources registered we must
+        // keep ticking to notice IO, so the tick caps the wait.
+        let wait = match timeout {
+            _ if !self.registered.is_empty() => timeout.map_or(SCAN_TICK, |t| t.min(SCAN_TICK)),
+            Some(t) => t,
+            None => Duration::from_millis(100),
+        };
+        if self.wake.consume_within(wait) {
+            events.push(Event { token: WAKE_TOKEN, readable: true, writable: false });
+        }
+        // Report the next shard of registrations as maybe-ready, resuming
+        // after the previous round's cursor so every token gets a turn.
+        let mut last = None;
+        for (&token, &interest) in self
+            .registered
+            .range(self.cursor..)
+            .chain(self.registered.range(..self.cursor))
+            .take(SCAN_SHARD)
+        {
+            events.push(Event { token, readable: interest.readable, writable: interest.writable });
+            last = Some(token);
+        }
+        self.cursor = match last {
+            Some(t) => t.wrapping_add(1),
+            None => 0,
+        };
+        Ok(())
+    }
+
+    fn waker(&self) -> Waker {
+        Waker::from_flag(Arc::clone(&self.wake))
+    }
+}

@@ -99,6 +99,50 @@ impl std::fmt::Debug for GenSink {
     }
 }
 
+/// Exactly-once completion hook attached to a [`GenRequest`].
+///
+/// The frontend's reactor uses this to learn that a job's [`Ticket`] has
+/// become ready without parking a waiter thread per job: the hook fires
+/// *after* the [`JobResult`] is delivered on the ticket channel when a
+/// worker finishes the job, and fires on drop when the job is discarded
+/// (an [`abort`](ServeHandle::abort) — the ticket reports
+/// [`ServeError::JobDropped`] by then, because the job's reply sender
+/// drops before this field does). Either way, by the time the hook runs,
+/// [`Ticket::try_wait`] is guaranteed to resolve.
+#[derive(Default)]
+pub struct CompletionNotify(Option<Box<dyn FnOnce() + Send>>);
+
+impl CompletionNotify {
+    /// Arm the hook. `f` must be cheap and non-blocking: the worker that
+    /// finished the job calls it inline.
+    pub fn new(f: impl FnOnce() + Send + 'static) -> Self {
+        CompletionNotify(Some(Box::new(f)))
+    }
+
+    /// Run the hook now if still armed (idempotent).
+    pub(crate) fn fire(&mut self) {
+        if let Some(f) = self.0.take() {
+            f();
+        }
+    }
+}
+
+impl Drop for CompletionNotify {
+    fn drop(&mut self) {
+        self.fire();
+    }
+}
+
+impl std::fmt::Debug for CompletionNotify {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "CompletionNotify(armed)"
+        } else {
+            "CompletionNotify(none)"
+        })
+    }
+}
+
 /// A seed-addressed generation request.
 #[derive(Debug)]
 pub struct GenRequest {
@@ -128,6 +172,11 @@ pub struct GenRequest {
     /// `submit` create a fresh one. Pass a pre-made trace to anchor the
     /// clock earlier (e.g. when the request was parsed off the wire).
     pub trace: Option<JobTrace>,
+    /// Exactly-once completion hook (see [`CompletionNotify`]); unarmed
+    /// by default. Note: a request *rejected by `submit`* fires the hook
+    /// too (the request is consumed either way), so listeners must
+    /// tolerate a notification for work they never recorded as pending.
+    pub notify: CompletionNotify,
 }
 
 impl GenRequest {
@@ -143,6 +192,7 @@ impl GenRequest {
             cancel: None,
             tenant: None,
             trace: None,
+            notify: CompletionNotify::default(),
         }
     }
 
@@ -169,6 +219,14 @@ impl GenRequest {
     /// came off the wire) instead of letting `submit` start one.
     pub fn with_trace(mut self, trace: JobTrace) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Arm an exactly-once completion hook: it runs after the job's
+    /// result is deliverable on its [`Ticket`] (worker finished, or job
+    /// discarded by an abort). See [`CompletionNotify`].
+    pub fn with_notify(mut self, f: impl FnOnce() + Send + 'static) -> Self {
+        self.notify = CompletionNotify::new(f);
         self
     }
 }
@@ -1054,6 +1112,7 @@ impl ServeHandle {
             cancel: req.cancel,
             trace,
             reply: tx,
+            notify: req.notify,
         };
         match self.core.shared.queue.push_checked(job, self.core.max_queue_depth) {
             Ok(()) => {
@@ -1268,8 +1327,12 @@ fn worker_loop(worker: usize, shared: &Shared) {
     // stretches), not the instance: a cache-hit job for another model
     // never needs an instance, so the old one is kept until a miss
     // actually demands a different artifact (see run_job).
-    while let Some(job) = shared.queue.pop(instance.as_ref().map(|i| i.fingerprint)) {
+    while let Some(mut job) = shared.queue.pop(instance.as_ref().map(|i| i.fingerprint)) {
         job.trace.mark_dequeued();
+        // Take the completion hook out of the job before run_job consumes
+        // it: the hook must fire *after* the result send below, never
+        // from a drop inside the job's own execution.
+        let mut notify = std::mem::take(&mut job.notify);
         let fp = job.handle.fingerprint();
         {
             let mut stats = shared.stats.lock().expect("stats lock poisoned");
@@ -1378,6 +1441,10 @@ fn worker_loop(worker: usize, shared: &Shared) {
         // The caller may have dropped its ticket; completion is still
         // fully accounted above, so ignore a closed channel.
         let _ = reply.send(result);
+        // Only after the result is on the channel: the reactor's
+        // completion pump relies on `try_wait` resolving by the time the
+        // hook runs.
+        notify.fire();
     }
     // Fold the final open run into the closed totals so post-shutdown
     // snapshots see every run.
@@ -1396,8 +1463,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 fn run_job(job: Job, instance: &mut Option<WorkerInstance>, cache: &SnapshotCache) -> JobResult {
-    let Job { id, handle, tenant, t_len, seed, priority: _, mut sink, cancel, trace, reply: _ } =
-        job;
+    let Job {
+        id,
+        handle,
+        tenant,
+        t_len,
+        seed,
+        priority: _,
+        mut sink,
+        cancel,
+        trace,
+        reply: _,
+        notify: _,
+    } = job;
     let model_name = handle.name().to_string();
     let key = job_cache_key(&handle, t_len, seed);
     let started = Instant::now();

@@ -1,113 +1,80 @@
 //! TCP frontend for the pipelined line protocol of
-//! [`protocol`](crate::protocol): a `std::net` listener (threads, no
-//! async runtime in this offline tree) that parses newline-delimited
-//! requests, drives the shared [`ServeHandle`], and routes every reply
-//! frame back to the connection — matched by *tag*, not arrival order.
+//! [`protocol`](crate::protocol): a single-threaded non-blocking
+//! **reactor** (see [`reactor`](crate::reactor)) that accepts, parses
+//! newline-delimited requests, drives the shared [`ServeHandle`], and
+//! routes every reply frame back to its connection — matched by *tag*,
+//! not arrival order.
 //!
-//! Each connection is split into a **reader** (parses and dispatches
-//! requests; never writes) and a **writer** (the reply mux: the single
-//! owner of the socket's write side, draining a bounded frame channel).
-//! A `GEN`/`SUB` submission registers in the connection's in-flight
-//! table (bounded by [`FrontendConfig::max_inflight_per_conn`]) and a
-//! waiter thread pushes its completion frame into the mux whenever the
-//! [`Ticket`] resolves — so many jobs proceed concurrently on one
-//! connection and a slow job never head-of-line-blocks a fast one.
-//! `SUB` jobs additionally stream every snapshot as an `EVT` frame from
-//! inside the worker (a [`GenSink::Callback`] feeding the mux, applied
-//! identically to cold generation and cache-hit replay), and
-//! `CANCEL tag=…` trips the job's [`CancelToken`] mid-stream.
+//! This used to be a thread-per-connection frontend (reader + writer
+//! thread per socket, plus a waiter thread per in-flight job), which
+//! topped out around C256 on thread stacks alone. The reactor keeps the
+//! wire protocol byte-identical while changing the cost model: one
+//! event-loop thread owns the listener and every connection through a
+//! vendored readiness poller ([`vrdag_poll`] — `epoll(7)` on Linux, a
+//! portable scan loop elsewhere), each connection is an explicit state
+//! machine with a bounded outbox, and all job completions drain through
+//! one completion pump instead of a waiter thread each. An idle
+//! connection now costs a socket and a couple hundred bytes of state,
+//! which is what moves the ceiling to C10K+.
 //!
 //! The frontend stays deliberately thin: all scheduling, caching,
 //! coalescing, and admission control live in the service core. What it
-//! owns is *framing* (capped line reads, length-prefixed payloads),
+//! owns is *framing* (capped line scanning, length-prefixed payloads),
 //! *demultiplexing* (tags, the in-flight table), and *error
 //! translation* — every [`ServeError`] becomes a structured
 //! `ERR <code> …` line on the same connection, so a saturated queue
 //! ([`ServeError::QueueFull`]) is a backpressure *response*, never a
-//! dropped connection. The accept loop enforces
-//! [`FrontendConfig::max_connections`]: a connection beyond the cap is
-//! greeted with `ERR too-many-connections cap=<c>` and closed.
+//! dropped connection. [`FrontendConfig::max_connections`] is enforced
+//! at admission: a connection beyond the cap is greeted with
+//! `ERR too-many-connections cap=<c>` and closed — written through the
+//! event loop like any other frame, so even that greeting cannot block
+//! the accept path.
 
-use crate::core::{CancelToken, GenRequest, GenSink, ServeHandle, Ticket};
-use crate::protocol::{
-    parse_reply, parse_request, ErrorCode, GenSpec, ProtocolError, ReplyHeader, Request,
-    WireFormat, MAX_LINE_BYTES,
-};
-use crate::tenant::Tenant;
-use crate::ServeError;
-use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use crate::core::ServeHandle;
+use crate::protocol::{parse_reply, GenSpec, ReplyHeader, Request, MAX_LINE_BYTES};
+use crate::reactor::{Completion, Reactor, ReactorConfig};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
-use vrdag_graph::io::{BinaryStreamWriter, TsvStreamWriter};
-use vrdag_graph::{DynamicGraph, Snapshot};
+use std::sync::mpsc;
+use std::sync::Arc;
+use vrdag_poll::{raw_fd, Backend, Waker};
 
 /// Construction-time knobs of a [`Frontend`].
 #[derive(Clone, Copy, Debug)]
 pub struct FrontendConfig {
-    /// Accept-limit for the thread-per-connection model: a connection
-    /// beyond the cap is greeted with `ERR too-many-connections cap=<c>`
-    /// and closed immediately. `None` disables the cap.
+    /// Admission limit on concurrently open connections: one beyond the
+    /// cap is greeted with `ERR too-many-connections cap=<c>` and
+    /// closed. `None` disables the cap (the descriptor limit still
+    /// applies — see `vrdag_poll::os::raise_nofile_limit`).
     pub max_connections: Option<usize>,
     /// How many `GEN`/`SUB` jobs one connection may keep in flight at
     /// once; the excess is answered with `ERR too-many-inflight …`
     /// (retry when an outstanding tag resolves).
     pub max_inflight_per_conn: usize,
+    /// Readiness backend for the reactor. [`Backend::Auto`] picks epoll
+    /// on Linux and the portable scan loop elsewhere, and honours the
+    /// `VRDAG_POLLER` environment override.
+    pub poller: Backend,
 }
 
 impl Default for FrontendConfig {
     fn default() -> Self {
-        FrontendConfig { max_connections: Some(256), max_inflight_per_conn: 32 }
+        FrontendConfig {
+            max_connections: Some(4096),
+            max_inflight_per_conn: 32,
+            poller: Backend::Auto,
+        }
     }
 }
 
-/// Reply-mux channel depth, in frames. Bounded so a subscriber that
-/// stops reading exerts backpressure all the way into the generating
-/// worker (its `EVT` sends block) instead of buffering an unbounded
-/// sequence in server memory.
-const FRAME_QUEUE: usize = 64;
+/// Accept backlog requested for the listener: connection storms (the
+/// C10K smoke opens thousands at once) queue in the kernel instead of
+/// seeing ECONNREFUSED while the reactor drains the accept queue.
+const LISTEN_BACKLOG: i32 = 4096;
 
-/// How long a `QUIT` waits for in-flight jobs to drain before the
-/// connection's remaining work is cancelled and the socket severed. A
-/// reading client drains long before this; the deadline only fires for
-/// one that QUIT and then stopped consuming its own replies.
-const QUIT_DRAIN: Duration = Duration::from_secs(60);
-
-/// The same bound for abnormal teardown (EOF/transport failure), where
-/// in-flight tokens are already tripped and jobs resolve within
-/// snapshot-boundary latency — the deadline is a backstop for a writer
-/// wedged on a half-closed peer that never reads.
-const TEARDOWN_DRAIN: Duration = Duration::from_secs(5);
-
-/// How long a worker's `EVT` send may sit blocked on a full reply mux
-/// before the subscription is abandoned. A connection that is *alive
-/// but not reading* (full TCP window + full mux, no EOF, no CANCEL)
-/// would otherwise pin a shared core worker indefinitely; past this
-/// deadline the stream ends `status=cancelled` and the worker moves on,
-/// while the connection itself stays open for a client that resumes.
-const SUB_STALL_LIMIT: Duration = Duration::from_secs(30);
-
-/// One complete wire frame: a header line plus its payload bytes.
-#[derive(Debug)]
-struct Frame {
-    header: ReplyHeader,
-    payload: Vec<u8>,
-}
-
-impl Frame {
-    fn header(header: ReplyHeader) -> Frame {
-        Frame { header, payload: Vec::new() }
-    }
-
-    fn err(code: ErrorCode, tag: Option<String>, message: impl Into<String>) -> Frame {
-        Frame::header(ReplyHeader::Err { code, tag, message: message.into() })
-    }
-}
-
-/// One line read from the wire, or the reasons there is none.
+/// One line read from the wire, or the reasons there is none. (Client
+/// side; the server's incremental counterpart lives in the reactor.)
 enum ReadLine {
     Line(Vec<u8>),
     /// The line blew past [`MAX_LINE_BYTES`]; the overflow has been
@@ -121,7 +88,7 @@ enum ReadLine {
 
 /// Read one `\n`-terminated line, enforcing the protocol's line cap
 /// without ever buffering an unbounded line in memory. A final line
-/// without a terminator (client shut down its write side) still counts.
+/// without a terminator (peer shut down its write side) still counts.
 fn read_capped_line(reader: &mut impl BufRead) -> io::Result<ReadLine> {
     let mut line = Vec::new();
     let mut overflow = 0usize;
@@ -161,827 +128,21 @@ fn read_capped_line(reader: &mut impl BufRead) -> io::Result<ReadLine> {
     }
 }
 
-/// Serialize `graph` in the requested wire format. TSV is byte-identical
-/// to `vrdag_graph::io::write_tsv`; binary to the streaming writer — so
-/// a TCP reply equals what a direct [`ServeHandle`] caller would encode.
-fn encode_graph(graph: &DynamicGraph, fmt: WireFormat) -> Result<Vec<u8>, ServeError> {
-    match fmt {
-        WireFormat::Tsv => Ok(vrdag_graph::io::write_tsv(graph, Vec::new())?),
-        WireFormat::Bin => Ok(vrdag_graph::io::encode_binary(graph).as_slice().to_vec()),
-    }
-}
-
-/// A shared, append-only byte buffer the streaming writers write into;
-/// the chunker drains it after every snapshot so each `EVT` frame
-/// carries exactly the bytes that snapshot contributed to the encoding.
-#[derive(Clone, Default)]
-struct ChunkBuf(Arc<Mutex<Vec<u8>>>);
-
-impl ChunkBuf {
-    fn take(&self) -> Vec<u8> {
-        std::mem::take(&mut *self.0.lock().expect("chunk buffer poisoned"))
-    }
-}
-
-impl Write for ChunkBuf {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.0.lock().expect("chunk buffer poisoned").extend_from_slice(buf);
-        Ok(buf.len())
-    }
-
-    fn flush(&mut self) -> io::Result<()> {
-        Ok(())
-    }
-}
-
-/// Incremental per-snapshot encoder for a `SUB` stream, built on the
-/// exact same streaming writers as the file sinks and the buffered
-/// `GEN` encodings — which is what makes the concatenation of a
-/// stream's `EVT` payloads byte-identical to the buffered reply (the
-/// format headers land in the first chunk; `finish()` writes nothing).
-enum WireChunker {
-    Tsv(TsvStreamWriter<ChunkBuf>, ChunkBuf),
-    Bin(BinaryStreamWriter<ChunkBuf>, ChunkBuf),
-}
-
-impl WireChunker {
-    fn new(fmt: WireFormat, n: usize, f: usize, t_len: usize) -> Result<WireChunker, ServeError> {
-        let buf = ChunkBuf::default();
-        Ok(match fmt {
-            WireFormat::Tsv => {
-                WireChunker::Tsv(TsvStreamWriter::new(buf.clone(), n, f, t_len)?, buf)
-            }
-            WireFormat::Bin => {
-                WireChunker::Bin(BinaryStreamWriter::new(buf.clone(), n, f, t_len)?, buf)
-            }
-        })
-    }
-
-    /// Encode one snapshot and return the bytes it contributed.
-    fn encode(&mut self, s: &Snapshot) -> Result<Vec<u8>, ServeError> {
-        match self {
-            WireChunker::Tsv(w, buf) => {
-                w.write_snapshot(s)?;
-                Ok(buf.take())
-            }
-            WireChunker::Bin(w, buf) => {
-                w.write_snapshot(s)?;
-                Ok(buf.take())
-            }
-        }
-    }
-}
-
-/// Translate a service error into its wire code; the message is the
-/// error's display form except for `QueueFull`, which gets structured
-/// `depth=… cap=…` fields a client can parse and back off on.
-fn translate(err: &ServeError) -> (ErrorCode, String) {
-    match err {
-        ServeError::QueueFull { depth, cap } => {
-            (ErrorCode::QueueFull, format!("depth={depth} cap={cap}"))
-        }
-        ServeError::QuotaExceeded { tenant, quota, cap } => {
-            (ErrorCode::QuotaExceeded, format!("tenant={tenant} limit={quota} cap={cap}"))
-        }
-        ServeError::UnknownModel(name) => (ErrorCode::UnknownModel, format!("{name:?}")),
-        ServeError::InvalidRequest(msg) => (ErrorCode::InvalidRequest, msg.clone()),
-        ServeError::SchedulerClosed | ServeError::JobDropped => {
-            (ErrorCode::Shutdown, err.to_string())
-        }
-        other => (ErrorCode::Internal, other.to_string()),
-    }
-}
-
-fn translated_frame(err: &ServeError, tag: Option<String>) -> Frame {
-    let (code, message) = translate(err);
-    Frame::err(code, tag, message)
-}
-
-/// Best-effort recovery of a `tag=<valid>` token from a line that failed
-/// to parse, so the `ERR` reply can still be demuxed to the request's
-/// stream. Only a syntactically valid tag is echoed — never arbitrary
-/// malformed input.
-fn salvage_tag(line: &str) -> Option<String> {
-    line.split_whitespace()
-        .filter_map(|token| token.strip_prefix("tag="))
-        .find(|raw| crate::protocol::valid_tag(raw))
-        .map(str::to_string)
-}
-
-/// Every in-flight job on one connection, tagged or not, with its
-/// cancel token — so teardown can trip *all* of them, not just the
-/// `CANCEL`-addressable ones.
-#[derive(Default)]
-struct InflightTable {
-    /// Client-tagged jobs, addressable by `CANCEL tag=…`.
-    tagged: HashMap<String, CancelToken>,
-    /// Untagged jobs, keyed by a connection-internal counter (no wire
-    /// syntax can name them, but connection teardown still cancels them).
-    untagged: HashMap<u64, CancelToken>,
-    next_untagged: u64,
-}
-
-impl InflightTable {
-    fn len(&self) -> usize {
-        self.tagged.len() + self.untagged.len()
-    }
-}
-
-/// Why [`ConnState::send_cancellable`] failed to deliver a frame.
-enum SendFail {
-    /// The connection's writer is gone (transport failure).
-    Disconnected,
-    /// The job's cancel token tripped while the mux was full.
-    Cancelled,
-    /// The mux stayed full for [`SUB_STALL_LIMIT`]: the subscriber is
-    /// alive but not reading, and the stream is abandoned to free the
-    /// worker.
-    Stalled,
-}
-
-/// The claim [`ConnState::reserve`] hands out; give it back to
-/// [`ConnState::release`] when the job's completion frame is pushed.
-enum Slot {
-    Tag(String),
-    Untagged(u64),
-}
-
-/// Per-connection state shared between the reader, the waiter threads,
-/// and the `SUB` callbacks running inside workers.
-struct ConnState {
-    /// The reply mux: the writer thread drains this channel. Bounded —
-    /// see [`FRAME_QUEUE`].
-    out: SyncSender<Frame>,
-    /// In-flight jobs (see [`InflightTable`]).
-    inflight: Mutex<InflightTable>,
-}
-
-impl ConnState {
-    /// Push one frame into the reply mux. `false` when the connection's
-    /// writer is gone (transport failure) — callers stop working for
-    /// this connection.
-    fn send(&self, frame: Frame) -> bool {
-        self.out.send(frame).is_ok()
-    }
-
-    /// Like [`send`](Self::send), but re-checks `token` while the
-    /// bounded channel is full, and gives up entirely after
-    /// [`SUB_STALL_LIMIT`]. Used by the `EVT` path running *inside a
-    /// core worker*: a subscriber that stops reading fills the mux and
-    /// the TCP buffer, and without the re-check a later `CANCEL` (read
-    /// on the still-live request side) could never free the worker
-    /// parked in a plain blocking send — while the stall deadline frees
-    /// it even when the client never sends (or closes) anything at all.
-    /// The failure reason distinguishes a deliberate stall give-up (worth
-    /// a warn-level log) from an ordinary cancel or dead connection.
-    fn send_cancellable(&self, token: &CancelToken, frame: Frame) -> Result<(), SendFail> {
-        let mut frame = frame;
-        let stalled_at = std::time::Instant::now() + SUB_STALL_LIMIT;
-        loop {
-            match self.out.try_send(frame) {
-                Ok(()) => return Ok(()),
-                Err(mpsc::TrySendError::Disconnected(_)) => return Err(SendFail::Disconnected),
-                Err(mpsc::TrySendError::Full(back)) => {
-                    if token.is_cancelled() {
-                        return Err(SendFail::Cancelled);
-                    }
-                    if std::time::Instant::now() >= stalled_at {
-                        return Err(SendFail::Stalled);
-                    }
-                    frame = back;
-                    std::thread::sleep(Duration::from_millis(1));
-                }
-            }
-        }
-    }
-
-    /// Claim an in-flight slot (and the tag, when given) for a new job.
-    fn reserve(
-        &self,
-        tag: Option<&String>,
-        token: &CancelToken,
-        cap: usize,
-    ) -> Result<Slot, Box<Frame>> {
-        let mut table = self.inflight.lock().expect("inflight table poisoned");
-        // A duplicate tag is the more specific failure: report it even
-        // when the connection is also at its in-flight cap.
-        if let Some(tag) = tag {
-            if table.tagged.contains_key(tag) {
-                return Err(Box::new(Frame::err(
-                    ErrorCode::DuplicateTag,
-                    Some(tag.clone()),
-                    format!("tag {tag} is already in flight on this connection"),
-                )));
-            }
-        }
-        let inflight = table.len();
-        if inflight >= cap {
-            return Err(Box::new(Frame::err(
-                ErrorCode::TooManyInflight,
-                tag.cloned(),
-                format!("inflight={inflight} cap={cap}"),
-            )));
-        }
-        Ok(match tag {
-            Some(tag) => {
-                table.tagged.insert(tag.clone(), token.clone());
-                Slot::Tag(tag.clone())
-            }
-            None => {
-                let key = table.next_untagged;
-                table.next_untagged += 1;
-                table.untagged.insert(key, token.clone());
-                Slot::Untagged(key)
-            }
-        })
-    }
-
-    /// Release a reservation once its completion frame has been pushed.
-    fn release(&self, slot: &Slot) {
-        let mut table = self.inflight.lock().expect("inflight table poisoned");
-        match slot {
-            Slot::Tag(tag) => {
-                table.tagged.remove(tag);
-            }
-            Slot::Untagged(key) => {
-                table.untagged.remove(key);
-            }
-        }
-    }
-
-    /// Is `tag` currently registered on this connection?
-    fn tag_in_flight(&self, tag: &str) -> bool {
-        self.inflight.lock().expect("inflight table poisoned").tagged.contains_key(tag)
-    }
-
-    /// Trip the cancel token registered under `tag`, if any.
-    fn cancel(&self, tag: &str) -> bool {
-        let table = self.inflight.lock().expect("inflight table poisoned");
-        match table.tagged.get(tag) {
-            Some(token) => {
-                token.cancel();
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// Trip every in-flight token, tagged or not (connection teardown:
-    /// free the workers instead of letting them generate for a peer
-    /// that is gone).
-    fn cancel_all(&self) {
-        let table = self.inflight.lock().expect("inflight table poisoned");
-        for token in table.tagged.values().chain(table.untagged.values()) {
-            token.cancel();
-        }
-    }
-}
-
-/// The single owner of a connection's write side: drains the frame
-/// channel in completion order, one flush per frame (subscribers see
-/// snapshots as they are generated). Exits when every sender is gone or
-/// the transport fails, then sends the FIN.
-fn writer_loop(stream: TcpStream, frames: Receiver<Frame>) {
-    if let Ok(write_half) = stream.try_clone() {
-        let mut w = BufWriter::new(write_half);
-        while let Ok(frame) = frames.recv() {
-            let wrote = (|| -> io::Result<()> {
-                w.write_all(frame.header.to_line().as_bytes())?;
-                w.write_all(b"\n")?;
-                w.write_all(&frame.payload)?;
-                w.flush()
-            })();
-            if wrote.is_err() {
-                break;
-            }
-        }
-    }
-    // Dropping the receiver here unblocks every sender (their sends turn
-    // into errors); the explicit shutdown sends the FIN across all
-    // clones of the socket.
-    drop(frames);
-    let _ = stream.shutdown(Shutdown::Both);
-}
-
-/// What the reader should do after dispatching one request.
-enum Flow {
-    Continue,
-    /// Drain in-flight work, say `OK BYE [tag=…]`, close.
-    Quit {
-        tag: Option<String>,
-    },
-    /// The reply mux is gone (transport failure) — tear down now.
-    Dead,
-    /// A protocol-level rejection that closes the connection (failed or
-    /// missing authentication): the error frame is already in the mux,
-    /// the writer drains it, no `OK BYE` follows.
-    Fatal,
-}
-
-/// Reader-side driver of one connection.
-struct ConnDriver {
-    handle: ServeHandle,
-    conn: Arc<ConnState>,
-    cfg: FrontendConfig,
-    /// Waiter threads for this connection's in-flight jobs.
-    waiters: Vec<std::thread::JoinHandle<()>>,
-    /// Counter for server-assigned `~<n>` tags (untagged `SUB`s).
-    auto_tag: u64,
-    /// The tenant every job on this connection runs as — the anonymous
-    /// tenant until a successful `AUTH` rebinds it.
-    tenant: Arc<Tenant>,
-    /// Has this connection presented a valid token yet?
-    authed: bool,
-    /// Does the service demand `AUTH` as the first line
-    /// ([`TenantRegistry::auth_enabled`](crate::TenantRegistry::auth_enabled))?
-    auth_required: bool,
-}
-
-impl ConnDriver {
-    fn send(&self, frame: Frame) -> Flow {
-        if self.conn.send(frame) {
-            Flow::Continue
-        } else {
-            Flow::Dead
-        }
-    }
-
-    /// Is the connection still waiting for its mandatory `AUTH`
-    /// greeting? While true, every non-`AUTH` line is answered with
-    /// `ERR auth-required` and the connection is closed — nothing
-    /// unauthenticated ever reaches the scheduler.
-    fn needs_auth(&self) -> bool {
-        self.auth_required && !self.authed
-    }
-
-    /// Handle `AUTH token=…`. On an auth-off service the greeting is
-    /// optional and acknowledged as the anonymous tenant; on an
-    /// auth-enabled one a valid token binds the connection to its
-    /// tenant and an invalid token closes the connection.
-    fn dispatch_auth(&mut self, token: String, tag: Option<String>) -> Flow {
-        if !self.auth_required {
-            let tenant = self.tenant.id().to_string();
-            return self.send(Frame::header(ReplyHeader::Auth { tag, tenant }));
-        }
-        if self.authed {
-            return self.send(Frame::err(
-                ErrorCode::BadRequest,
-                tag,
-                "connection is already authenticated",
-            ));
-        }
-        match self.handle.tenants().authenticate(&token) {
-            Some(tenant) => {
-                let id = tenant.id().to_string();
-                self.auth_outcome("ok");
-                self.handle.logger().info(
-                    "serve.frontend",
-                    "connection authenticated",
-                    &[("tenant", id.clone())],
-                );
-                self.tenant = tenant;
-                self.authed = true;
-                self.send(Frame::header(ReplyHeader::Auth { tag, tenant: id }))
-            }
-            None => {
-                self.auth_outcome("failed");
-                self.handle.logger().warn("serve.frontend", "auth failed: invalid token", &[]);
-                let _ = self.conn.send(Frame::err(ErrorCode::AuthFailed, tag, "invalid token"));
-                Flow::Fatal
-            }
-        }
-    }
-
-    /// Count one `AUTH` outcome into `vrdag_auth_total{outcome=…}`.
-    fn auth_outcome(&self, outcome: &str) {
-        self.handle.metrics().counter("vrdag_auth_total", &[("outcome", outcome)]).inc();
-    }
-
-    fn dispatch(&mut self, req: Request) -> Flow {
-        // Opportunistically reap finished waiters so the vector tracks
-        // live jobs, not connection history.
-        self.waiters.retain(|w| !w.is_finished());
-        match req {
-            // Normally intercepted by the connection loop before the
-            // auth gate; kept as a delegation to the same single
-            // handler so dispatch stays total over Request.
-            Request::Auth { token, tag } => self.dispatch_auth(token, tag),
-            Request::Gen(spec) => self.dispatch_gen(spec),
-            Request::Sub(spec) => self.dispatch_sub(spec),
-            Request::Cancel { tag } => {
-                let found = self.conn.cancel(&tag);
-                self.send(Frame::header(ReplyHeader::Cancel { tag, found }))
-            }
-            Request::Stats { tag } => {
-                let payload = self.handle.stats().render().into_bytes();
-                let header = ReplyHeader::Stats { tag, bytes: payload.len() };
-                self.send(Frame { header, payload })
-            }
-            Request::Metrics { tag } => {
-                let payload = self.handle.metrics_text().into_bytes();
-                let header = ReplyHeader::Metrics { tag, bytes: payload.len() };
-                self.send(Frame { header, payload })
-            }
-            Request::Models { tag } => {
-                let mut listing = String::new();
-                for h in self.handle.registry().handles() {
-                    use std::fmt::Write as _;
-                    let _ = writeln!(
-                        listing,
-                        "{} nodes={} attrs={} size={} fingerprint={:016x}",
-                        h.name(),
-                        h.n_nodes(),
-                        h.n_attrs(),
-                        h.size_bytes(),
-                        h.fingerprint(),
-                    );
-                }
-                let payload = listing.into_bytes();
-                let header = ReplyHeader::Models { tag, bytes: payload.len() };
-                self.send(Frame { header, payload })
-            }
-            Request::Ping { tag } => self.send(Frame::header(ReplyHeader::Pong { tag })),
-            Request::Quit { tag } => Flow::Quit { tag },
-        }
-    }
-
-    /// Buffered generation: submit with an `InMemory` sink, park a
-    /// waiter on the ticket, answer `OK GEN [tag=…] …` + payload when it
-    /// resolves — out of submission order whenever a later job finishes
-    /// first.
-    fn dispatch_gen(&mut self, spec: GenSpec) -> Flow {
-        let GenSpec { model, t_len, seed, fmt, priority, tag } = spec;
-        let token = CancelToken::new();
-        let slot = match self.conn.reserve(tag.as_ref(), &token, self.cfg.max_inflight_per_conn) {
-            Ok(slot) => slot,
-            Err(frame) => return self.send(*frame),
-        };
-        let req = GenRequest::new(model, t_len, seed, GenSink::InMemory)
-            .with_priority(priority)
-            .with_cancel(token)
-            .with_tenant(self.tenant.id().clone());
-        match self.handle.submit(req) {
-            Err(e) => {
-                self.conn.release(&slot);
-                self.send(translated_frame(&e, tag))
-            }
-            Ok(ticket) => {
-                let conn = Arc::clone(&self.conn);
-                self.waiters.push(
-                    std::thread::Builder::new()
-                        .name("vrdag-serve-wait".to_string())
-                        .spawn(move || gen_waiter(&conn, slot, tag, fmt, ticket))
-                        .expect("spawn waiter thread"),
-                );
-                Flow::Continue
-            }
-        }
-    }
-
-    /// Streaming generation: acknowledge with `OK SUB tag=…`, submit
-    /// with a callback sink that pushes one `EVT` frame per snapshot
-    /// into the reply mux straight from the worker (cold and cache-hit
-    /// paths both go through it), and park a waiter that terminates the
-    /// stream with `END … status=ok|cancelled` (or `ERR … tag=…`).
-    fn dispatch_sub(&mut self, spec: GenSpec) -> Flow {
-        let GenSpec { model, t_len, seed, fmt, priority, tag } = spec;
-        // Server-assigned tags skip any `~<n>` a client chose to put in
-        // flight itself (the grammar permits `~`), so an untagged SUB is
-        // never spuriously rejected as a duplicate.
-        let tag = tag.unwrap_or_else(|| loop {
-            self.auto_tag += 1;
-            let candidate = format!("~{}", self.auto_tag);
-            if !self.conn.tag_in_flight(&candidate) {
-                break candidate;
-            }
-        });
-        let token = CancelToken::new();
-        let slot = match self.conn.reserve(Some(&tag), &token, self.cfg.max_inflight_per_conn) {
-            Ok(slot) => slot,
-            Err(frame) => return self.send(*frame),
-        };
-        // The ack must precede the first EVT frame, and EVT frames are
-        // pushed by a worker the moment the job starts — so ack before
-        // submitting. If admission then fails (including unknown model
-        // names — submit resolves the registry), the stream terminates
-        // with `ERR <code> tag=…` like any other failed subscription.
-        let ack = ReplyHeader::Sub { tag: tag.clone(), model: model.clone(), t_len, seed, fmt };
-        if let Flow::Dead = self.send(Frame::header(ack)) {
-            self.conn.release(&slot);
-            return Flow::Dead;
-        }
-        // EVT frames actually handed to the writer: the END frame
-        // reports this count (not the core's generated count), so the
-        // stream stays self-consistent even when cancellation races a
-        // snapshot that was generated but never framed.
-        let sent = Arc::new(AtomicUsize::new(0));
-        let sink = {
-            let conn = Arc::clone(&self.conn);
-            let tag = tag.clone();
-            let token = token.clone();
-            let sent = Arc::clone(&sent);
-            let logger = self.handle.logger().clone();
-            let evt_frames = self.handle.metrics().counter("vrdag_evt_frames_total", &[]);
-            let evt_bytes = self.handle.metrics().counter("vrdag_evt_bytes_total", &[]);
-            let sub_stalls = self.handle.metrics().counter("vrdag_sub_stalls_total", &[]);
-            // Built lazily from the first snapshot's own shape, so the
-            // stream header can never disagree with the stream (a
-            // pre-submit registry lookup could race a concurrent
-            // re-register of the model under a different shape).
-            let mut chunker: Option<WireChunker> = None;
-            GenSink::Callback(Box::new(move |snap, s| {
-                let chunker = match &mut chunker {
-                    Some(chunker) => chunker,
-                    None => match WireChunker::new(fmt, s.n_nodes(), s.n_attrs(), t_len) {
-                        Ok(built) => chunker.insert(built),
-                        Err(_) => {
-                            token.cancel();
-                            return;
-                        }
-                    },
-                };
-                match chunker.encode(s) {
-                    Ok(payload) => {
-                        let bytes = payload.len();
-                        let header = ReplyHeader::Evt { tag: tag.clone(), snap, of: t_len, bytes };
-                        // This send runs inside a core worker: it backs
-                        // off while the mux is full but aborts the
-                        // moment the token trips or the connection
-                        // dies, so a stalled subscriber can never pin
-                        // the worker past a CANCEL.
-                        match conn.send_cancellable(&token, Frame { header, payload }) {
-                            Ok(()) => {
-                                sent.fetch_add(1, Ordering::SeqCst);
-                                evt_frames.inc();
-                                evt_bytes.add(bytes as u64);
-                            }
-                            Err(fail) => {
-                                if matches!(fail, SendFail::Stalled) {
-                                    sub_stalls.inc();
-                                    logger.warn(
-                                        "serve.frontend",
-                                        "SUB stall: subscriber stopped reading, stream abandoned",
-                                        &[
-                                            ("tag", tag.clone()),
-                                            ("snap", snap.to_string()),
-                                            ("of", t_len.to_string()),
-                                        ],
-                                    );
-                                }
-                                token.cancel();
-                            }
-                        }
-                    }
-                    // The chunker writes into memory; a failure here is
-                    // a shape bug, not transport — abandon the stream.
-                    Err(_) => token.cancel(),
-                }
-            }))
-        };
-        let req = GenRequest::new(model, t_len, seed, sink)
-            .with_priority(priority)
-            .with_cancel(token)
-            .with_tenant(self.tenant.id().clone());
-        match self.handle.submit(req) {
-            Err(e) => {
-                self.conn.release(&slot);
-                self.send(translated_frame(&e, Some(tag)))
-            }
-            Ok(ticket) => {
-                let conn = Arc::clone(&self.conn);
-                self.waiters.push(
-                    std::thread::Builder::new()
-                        .name("vrdag-serve-wait".to_string())
-                        .spawn(move || sub_waiter(&conn, slot, tag, sent, ticket))
-                        .expect("spawn waiter thread"),
-                );
-                Flow::Continue
-            }
-        }
-    }
-}
-
-/// Wait one buffered `GEN` out and push its completion frame.
-fn gen_waiter(conn: &ConnState, slot: Slot, tag: Option<String>, fmt: WireFormat, ticket: Ticket) {
-    let id = ticket.id();
-    let frame = match ticket.wait() {
-        Err(e) => translated_frame(&e, tag.clone()),
-        Ok(result) => {
-            if result.cancelled {
-                Frame::err(
-                    ErrorCode::Cancelled,
-                    tag.clone(),
-                    "job cancelled before its reply was produced",
-                )
-            } else if let Some(error) = &result.error {
-                Frame::err(ErrorCode::Internal, tag.clone(), error.clone())
-            } else {
-                let graph = result.graph.as_deref().expect("InMemory success carries the graph");
-                match encode_graph(graph, fmt) {
-                    Err(e) => Frame::err(ErrorCode::Internal, tag.clone(), e.to_string()),
-                    Ok(payload) => Frame {
-                        header: ReplyHeader::Gen {
-                            tag: tag.clone(),
-                            id: id.0,
-                            model: result.model.clone(),
-                            t_len: result.t_len,
-                            seed: result.seed,
-                            fmt,
-                            snapshots: result.snapshots,
-                            edges: result.edges,
-                            cache_hit: result.cache_hit,
-                            bytes: payload.len(),
-                        },
-                        payload,
-                    },
-                }
-            }
-        }
-    };
-    // Release before enqueueing the completion frame: a well-behaved
-    // client can only reuse the tag after *reading* the reply, and by
-    // then the release below has long happened — releasing afterwards
-    // would open a window where the flushed reply races the table
-    // update and a prompt reuse gets a spurious `ERR duplicate-tag`.
-    conn.release(&slot);
-    let _ = conn.send(frame);
-}
-
-/// Wait a `SUB` job out and terminate its stream. Runs strictly after
-/// the job's last `EVT` send (the worker pushes the ticket result only
-/// once the sink is done), so `END` can never overtake a snapshot frame.
-fn sub_waiter(conn: &ConnState, slot: Slot, tag: String, sent: Arc<AtomicUsize>, ticket: Ticket) {
-    let frame = match ticket.wait() {
-        Err(e) => translated_frame(&e, Some(tag.clone())),
-        Ok(result) => {
-            if let Some(error) = &result.error {
-                Frame::err(ErrorCode::Internal, Some(tag.clone()), error.clone())
-            } else {
-                let delivered = sent.load(Ordering::SeqCst);
-                // A stream is only `ok` when every frame was delivered;
-                // a cancellation (client CANCEL, or a send aborted by a
-                // dead/stalled connection) reports exactly the frames
-                // that made it to the writer.
-                let status = if result.cancelled || delivered < result.t_len {
-                    crate::protocol::EndStatus::Cancelled
-                } else {
-                    crate::protocol::EndStatus::Ok
-                };
-                Frame::header(ReplyHeader::End {
-                    tag: tag.clone(),
-                    snapshots: delivered,
-                    edges: result.edges,
-                    status,
-                    qms: result.stages.queue_wait_ms(),
-                    genms: result.stages.generation_ms(),
-                })
-            }
-        }
-    };
-    // Release-before-send: same reasoning as in `gen_waiter`.
-    conn.release(&slot);
-    let _ = conn.send(frame);
-}
-
-/// One connection: a reader loop dispatching into the shared core, a
-/// writer thread muxing reply frames, and a waiter thread per in-flight
-/// job. Malformed lines get an `ERR` and the loop continues.
-fn serve_connection(handle: ServeHandle, stream: TcpStream, cfg: FrontendConfig) {
-    let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
-    let (out, frames) = mpsc::sync_channel::<Frame>(FRAME_QUEUE);
-    let writer = std::thread::Builder::new()
-        .name("vrdag-serve-write".to_string())
-        .spawn(move || writer_loop(stream, frames))
-        .expect("spawn writer thread");
-    let conn = Arc::new(ConnState { out, inflight: Mutex::new(InflightTable::default()) });
-    let anonymous = handle.tenants().anonymous();
-    let auth_required = handle.tenants().auth_enabled();
-    let mut driver = ConnDriver {
-        handle,
-        conn: Arc::clone(&conn),
-        cfg,
-        waiters: Vec::new(),
-        auto_tag: 0,
-        tenant: anonymous,
-        authed: false,
-        auth_required,
-    };
-    let mut quit: Option<Option<String>> = None;
-    loop {
-        // One line, parsed — or the error frame that answers it.
-        enum Parsed {
-            Req(Request),
-            Error(Frame),
-            Empty,
-        }
-        let parsed = match read_capped_line(&mut reader) {
-            Err(_) | Ok(ReadLine::Eof) => break,
-            Ok(ReadLine::TooLong { len }) => Parsed::Error(Frame::err(
-                ErrorCode::LineTooLong,
-                None,
-                ProtocolError::LineTooLong { len }.to_string(),
-            )),
-            Ok(ReadLine::Line(raw)) => match String::from_utf8(raw) {
-                Err(_) => Parsed::Error(Frame::err(
-                    ErrorCode::BadRequest,
-                    None,
-                    ProtocolError::NotUtf8.to_string(),
-                )),
-                Ok(line) => match parse_request(&line) {
-                    // An empty line is a keep-alive no-op, not an error.
-                    Err(ProtocolError::Empty) => Parsed::Empty,
-                    // Echo a recoverable tag even on parse failures, so
-                    // a pipelining client can terminate that tag's
-                    // stream instead of waiting forever on it.
-                    Err(e) => {
-                        Parsed::Error(Frame::err(e.code(), salvage_tag(&line), e.to_string()))
-                    }
-                    Ok(req) => Parsed::Req(req),
-                },
-            },
-        };
-        let flow = match parsed {
-            Parsed::Empty => Flow::Continue,
-            // AUTH is the one command an unauthenticated connection may
-            // issue; anything else (malformed lines included) on an
-            // auth-enabled frontend is answered `ERR auth-required` and
-            // the connection is closed — unauthenticated input never
-            // reaches the scheduler.
-            Parsed::Req(Request::Auth { token, tag }) => driver.dispatch_auth(token, tag),
-            Parsed::Req(_) | Parsed::Error(_) if driver.needs_auth() => {
-                driver.auth_outcome("required");
-                let _ = driver.conn.send(Frame::err(
-                    ErrorCode::AuthRequired,
-                    None,
-                    "authenticate first: AUTH token=<token>",
-                ));
-                Flow::Fatal
-            }
-            Parsed::Req(req) => driver.dispatch(req),
-            Parsed::Error(frame) => driver.send(frame),
-        };
-        match flow {
-            Flow::Continue => {}
-            Flow::Quit { tag } => {
-                quit = Some(tag);
-                break;
-            }
-            Flow::Dead | Flow::Fatal => break,
-        }
-    }
-    // Teardown. On QUIT the in-flight jobs get a bounded window to
-    // drain so every tagged reply lands before `OK BYE` (cancel yours
-    // first if you are in a hurry); on EOF/transport failure the tokens
-    // are tripped immediately so no worker keeps generating for a peer
-    // that is gone. Either way the drain is bounded: a client that
-    // QUITs (or half-closes) and then stops *reading* would otherwise
-    // wedge the writer on the full TCP buffer — and with the reader
-    // gone, no CANCEL can ever arrive — so past the deadline the
-    // remaining tokens are tripped and the socket is severed, which
-    // unblocks the writer, the mux senders, and the waiters.
-    let deadline = if quit.is_some() { QUIT_DRAIN } else { TEARDOWN_DRAIN };
-    if quit.is_none() {
-        conn.cancel_all();
-    }
-    let drained_by = std::time::Instant::now() + deadline;
-    while driver.waiters.iter().any(|w| !w.is_finished()) {
-        if std::time::Instant::now() >= drained_by {
-            conn.cancel_all();
-            let _ = reader.get_ref().shutdown(Shutdown::Both);
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(5));
-    }
-    for waiter in driver.waiters.drain(..) {
-        let _ = waiter.join();
-    }
-    if let Some(tag) = quit {
-        let _ = conn.send(Frame::header(ReplyHeader::Bye { tag }));
-    }
-    // Dropping the last sender lets the writer drain the tail and send
-    // the FIN (the accept loop's tracked peer clone keeps the file
-    // descriptor alive until reaped, so the FIN must be explicit).
-    drop(driver);
-    drop(conn);
-    let _ = writer.join();
-}
-
-/// Live connections: the peer stream (for severing on shutdown) and the
-/// handler thread serving it.
-type ConnTable = Vec<(TcpStream, std::thread::JoinHandle<()>)>;
-
-/// The TCP line-protocol frontend: accepts connections on its own
-/// thread (bounded by [`FrontendConfig::max_connections`]), a reader +
-/// writer thread pair per connection, all submitting into the shared
-/// service core. Dropping (or [`shutdown`](Frontend::shutdown)) stops
-/// accepting, severs open connections, and joins every thread — the
-/// core itself stays up for other handles.
+/// The TCP line-protocol frontend: one reactor thread accepting and
+/// serving every connection off a non-blocking event loop, submitting
+/// into the shared service core. Dropping (or
+/// [`shutdown`](Frontend::shutdown)) stops the loop, severs open
+/// connections, and joins the thread — the core itself stays up for
+/// other handles.
 pub struct Frontend {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept: Option<std::thread::JoinHandle<()>>,
-    conns: Arc<Mutex<ConnTable>>,
+    /// Interrupts the reactor's poll wait so the stop flag is noticed.
+    waker: Waker,
+    reactor: Option<std::thread::JoinHandle<()>>,
+    /// Live accepted connections, maintained by the reactor.
+    open: Arc<AtomicUsize>,
+    poller_name: &'static str,
 }
 
 impl Frontend {
@@ -991,7 +152,7 @@ impl Frontend {
         Frontend::bind_with(handle, addr, FrontendConfig::default())
     }
 
-    /// Bind `addr` with explicit limits and start accepting.
+    /// Bind `addr` with explicit limits and start serving.
     pub fn bind_with(
         handle: ServeHandle,
         addr: impl ToSocketAddrs,
@@ -999,86 +160,46 @@ impl Frontend {
     ) -> io::Result<Frontend> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        // The accept loop polls a non-blocking listener instead of
-        // parking in accept(2): shutdown never depends on being able to
-        // connect back to the bind address (interface-specific binds or
-        // local firewalls would leave a parked accept thread unjoinable
-        // forever), and transient accept errors (EMFILE when the
-        // thread-per-connection model runs out of descriptors) back off
-        // instead of busy-spinning the exact moment the host is
-        // saturated.
         listener.set_nonblocking(true)?;
+        // Best effort: `std` listens with a modest backlog; widen it so
+        // a connection storm queues instead of bouncing.
+        let _ = vrdag_poll::os::widen_backlog(raw_fd(&listener), LISTEN_BACKLOG);
+        let poller = vrdag_poll::create(cfg.poller)?;
+        let poller_name = poller.name();
         handle.logger().info(
             "serve.frontend",
             "listening",
-            &[("addr", local_addr.to_string()), ("workers", handle.workers().to_string())],
+            &[
+                ("addr", local_addr.to_string()),
+                ("workers", handle.workers().to_string()),
+                ("poller", poller_name.to_string()),
+            ],
         );
-        let accepted =
-            handle.metrics().counter("vrdag_connections_total", &[("outcome", "accepted")]);
-        let rejected_cap =
-            handle.metrics().counter("vrdag_connections_total", &[("outcome", "rejected_cap")]);
+        // Publish the gauge before the first connection so a METRICS
+        // scrape of a fresh frontend already reports it.
+        handle.metrics().gauge("vrdag_open_connections", &[]).set(0);
         let stop = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<ConnTable>> = Arc::new(Mutex::new(Vec::new()));
-        let accept = {
-            let stop = Arc::clone(&stop);
-            let conns = Arc::clone(&conns);
-            std::thread::Builder::new()
-                .name("vrdag-serve-accept".to_string())
-                .spawn(move || {
-                    const POLL: Duration = Duration::from_millis(10);
-                    while !stop.load(Ordering::SeqCst) {
-                        let stream = match listener.accept() {
-                            Ok((stream, _)) => stream,
-                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                                std::thread::sleep(POLL);
-                                continue;
-                            }
-                            Err(_) => {
-                                std::thread::sleep(POLL);
-                                continue;
-                            }
-                        };
-                        // Connection handlers use blocking reads; not
-                        // every platform resets the inherited
-                        // non-blocking flag on accept.
-                        if stream.set_nonblocking(false).is_err() {
-                            continue;
-                        }
-                        let mut table = conns.lock().expect("conn table poisoned");
-                        // Reap finished connections so the table tracks
-                        // live ones, not connection history.
-                        table.retain(|(_, h)| !h.is_finished());
-                        if let Some(cap) = cfg.max_connections {
-                            if table.len() >= cap {
-                                // Structured greeting, then close: the
-                                // client knows it was the cap, not a
-                                // crash.
-                                drop(table);
-                                rejected_cap.inc();
-                                let mut stream = stream;
-                                let greeting = ReplyHeader::Err {
-                                    code: ErrorCode::TooManyConnections,
-                                    tag: None,
-                                    message: format!("cap={cap}"),
-                                };
-                                let _ = stream.write_all((greeting.to_line() + "\n").as_bytes());
-                                let _ = stream.shutdown(Shutdown::Both);
-                                continue;
-                            }
-                        }
-                        let Ok(peer) = stream.try_clone() else { continue };
-                        accepted.inc();
-                        let handle = handle.clone();
-                        let worker = std::thread::Builder::new()
-                            .name("vrdag-serve-conn".to_string())
-                            .spawn(move || serve_connection(handle, stream, cfg))
-                            .expect("spawn connection thread");
-                        table.push((peer, worker));
-                    }
-                })
-                .expect("spawn accept thread")
-        };
-        Ok(Frontend { local_addr, stop, accept: Some(accept), conns })
+        let open = Arc::new(AtomicUsize::new(0));
+        let (completions_tx, completions_rx) = mpsc::channel::<Completion>();
+        let (dirty_tx, dirty_rx) = mpsc::channel::<usize>();
+        let waker = poller.waker();
+        let reactor = Reactor::new(ReactorConfig {
+            handle,
+            cfg,
+            listener,
+            poller,
+            stop: Arc::clone(&stop),
+            open: Arc::clone(&open),
+            completions_tx,
+            completions_rx,
+            dirty_tx,
+            dirty_rx,
+        });
+        let thread = std::thread::Builder::new()
+            .name("vrdag-serve-reactor".to_string())
+            .spawn(move || reactor.run())
+            .expect("spawn reactor thread");
+        Ok(Frontend { local_addr, stop, waker, reactor: Some(thread), open, poller_name })
     }
 
     /// The address the frontend is actually listening on.
@@ -1088,25 +209,24 @@ impl Frontend {
 
     /// Connections currently being served.
     pub fn open_connections(&self) -> usize {
-        let table = self.conns.lock().expect("conn table poisoned");
-        table.iter().filter(|(_, h)| !h.is_finished()).count()
+        self.open.load(Ordering::SeqCst)
     }
 
-    /// Stop accepting, sever open connections, and join all frontend
-    /// threads. Idempotent; also runs on drop.
+    /// Name of the readiness backend the reactor is polling with
+    /// (`"epoll"` / `"scan"`).
+    pub fn poller(&self) -> &'static str {
+        self.poller_name
+    }
+
+    /// Stop the event loop, sever open connections, and join the
+    /// reactor thread. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // The accept loop polls the stop flag (non-blocking listener),
-        // so it exits within one poll interval with no wake-up tricks.
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        let conns: Vec<_> = std::mem::take(&mut *self.conns.lock().expect("conn table poisoned"));
-        for (peer, worker) in conns {
-            let _ = peer.shutdown(Shutdown::Both);
-            let _ = worker.join();
+        self.waker.wake();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
     }
 }
@@ -1142,6 +262,9 @@ pub struct Reply {
 impl LineClient {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<LineClient> {
         let stream = TcpStream::connect(addr)?;
+        // Requests are one small write each; Nagle + the server's
+        // delayed ACK would add ~40ms to every lock-step round trip.
+        let _ = stream.set_nodelay(true);
         let writer = stream.try_clone()?;
         Ok(LineClient { reader: BufReader::new(stream), writer })
     }
@@ -1166,8 +289,12 @@ impl LineClient {
     }
 
     fn write_line(&mut self, line: &str) -> io::Result<()> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        // One write per request line: a split write would let the
+        // trailing newline sit in a Nagle-delayed segment of its own.
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        self.writer.write_all(&buf)?;
         self.writer.flush()
     }
 
@@ -1258,83 +385,5 @@ mod tests {
             ReadLine::Line(l) => assert_eq!(l.len(), MAX_LINE_BYTES),
             _ => panic!("cap is inclusive"),
         }
-    }
-
-    #[test]
-    fn queue_full_translates_to_structured_backpressure() {
-        let (code, message) = translate(&ServeError::QueueFull { depth: 7, cap: 8 });
-        assert_eq!(code, ErrorCode::QueueFull);
-        assert_eq!(message, "depth=7 cap=8");
-    }
-
-    #[test]
-    fn conn_state_enforces_inflight_cap_and_duplicate_tags() {
-        let (out, _rx) = mpsc::sync_channel(4);
-        let conn = ConnState { out, inflight: Mutex::new(InflightTable::default()) };
-        let token = CancelToken::new();
-        let a = "a".to_string();
-        let b = "b".to_string();
-        let slot_a = conn.reserve(Some(&a), &token, 2).unwrap();
-        // Duplicate tag while `a` is in flight.
-        match conn.reserve(Some(&a), &token, 2) {
-            Err(frame) => assert!(matches!(
-                frame.header,
-                ReplyHeader::Err { code: ErrorCode::DuplicateTag, .. }
-            )),
-            Ok(_) => panic!("duplicate tag accepted"),
-        }
-        let untagged_token = CancelToken::new();
-        let slot_u = conn.reserve(None, &untagged_token, 2).unwrap();
-        assert!(matches!(slot_u, Slot::Untagged(_)));
-        // At the cap (1 tagged + 1 untagged).
-        match conn.reserve(Some(&b), &token, 2) {
-            Err(frame) => assert!(matches!(
-                frame.header,
-                ReplyHeader::Err { code: ErrorCode::TooManyInflight, .. }
-            )),
-            Ok(_) => panic!("cap not enforced"),
-        }
-        // CANCEL finds only live tags; teardown trips untagged jobs too.
-        assert!(conn.cancel("a"));
-        assert!(!conn.cancel("b"));
-        assert!(!untagged_token.is_cancelled());
-        conn.cancel_all();
-        assert!(untagged_token.is_cancelled(), "cancel_all must reach untagged jobs");
-        // Release frees the slot and the tag.
-        conn.release(&slot_a);
-        conn.release(&slot_u);
-        conn.reserve(Some(&a), &token, 2).unwrap();
-    }
-
-    #[test]
-    fn send_cancellable_aborts_on_a_full_channel_when_cancelled() {
-        // Capacity-1 channel, pre-filled and never drained: a plain
-        // send would park forever. send_cancellable must return false
-        // once the token trips, freeing the (worker) thread.
-        let (out, rx) = mpsc::sync_channel(1);
-        let conn = ConnState { out, inflight: Mutex::new(InflightTable::default()) };
-        conn.send(Frame::header(ReplyHeader::Pong { tag: None }));
-        let token = CancelToken::new();
-        let cancel_from = token.clone();
-        let canceller = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(20));
-            cancel_from.cancel();
-        });
-        let delivered =
-            conn.send_cancellable(&token, Frame::header(ReplyHeader::Pong { tag: None }));
-        assert!(
-            matches!(delivered, Err(SendFail::Cancelled)),
-            "send must abort once the token trips"
-        );
-        canceller.join().unwrap();
-        drop(rx);
-        // Disconnected channel: immediate failure, no spin.
-        assert!(matches!(
-            conn.send_cancellable(
-                &CancelToken::new(),
-                Frame::header(ReplyHeader::Pong { tag: None })
-            ),
-            Err(SendFail::Disconnected)
-        ));
     }
 }

@@ -81,6 +81,7 @@ mod core;
 mod frontend;
 pub mod protocol;
 mod queue;
+mod reactor;
 mod registry;
 mod scheduler;
 mod stream;
@@ -88,9 +89,9 @@ pub mod tenant;
 
 pub use cache::{CacheBudget, CacheKey, CacheStats, SnapshotCache};
 pub use core::{
-    AffinityStats, CancelToken, GenRequest, GenSink, JobId, JobResult, LatencyStats,
-    SchedulerConfig, ServeConfig, ServeHandle, ServeStats, SnapshotCallback, StageLatencyStats,
-    TenantStats, Ticket,
+    AffinityStats, CancelToken, CompletionNotify, GenRequest, GenSink, JobId, JobResult,
+    LatencyStats, SchedulerConfig, ServeConfig, ServeHandle, ServeStats, SnapshotCallback,
+    StageLatencyStats, TenantStats, Ticket,
 };
 pub use frontend::{Frontend, FrontendConfig, LineClient, Reply};
 pub use queue::{JobQueue, LaneStats};
@@ -104,6 +105,11 @@ pub use tenant::{RateLimit, Tenant, TenantId, TenantRegistry, TenantRegistryBuil
 pub use vrdag_obs::{
     JobTrace, Level, LogEvent, Logger, Registry as MetricsRegistry, StageDurations,
 };
+// The frontend's readiness-poller selection ([`FrontendConfig::poller`])
+// and the OS helpers a load-driving harness needs (fd-limit raising, RSS
+// sampling), re-exported so integrations and the CLI never depend on
+// `vrdag-poll` directly.
+pub use vrdag_poll::{os as poll_os, Backend as PollerBackend};
 
 use std::fmt;
 

@@ -39,7 +39,7 @@
 //! accumulates in the queue between `stats()` snapshots.
 
 use crate::cache::{CacheKey, SnapshotCache};
-use crate::core::{job_cache_key, CancelToken, GenSink, JobId, JobResult};
+use crate::core::{job_cache_key, CancelToken, CompletionNotify, GenSink, JobId, JobResult};
 use crate::registry::ModelHandle;
 use crate::tenant::{Tenant, TenantId};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -69,6 +69,11 @@ pub(crate) struct Job {
     /// discards) this job owns the send side, the caller's `Ticket` the
     /// receive side.
     pub(crate) reply: Sender<JobResult>,
+    /// Exactly-once completion hook; fires on drop if a worker never got
+    /// to it (a discard), and is declared *after* `reply` so drop order
+    /// guarantees the ticket channel already reports disconnection when
+    /// the hook observes the job's fate.
+    pub(crate) notify: CompletionNotify,
 }
 
 /// One model artifact's queued jobs (FIFO), with the group's effective

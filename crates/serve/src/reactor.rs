@@ -1,0 +1,1688 @@
+//! The non-blocking event loop behind [`Frontend`](crate::Frontend).
+//!
+//! One reactor thread owns the listener, every connection, and a
+//! [`vrdag_poll::Poller`]; nothing about a connection ever blocks it:
+//!
+//! * **Connections are explicit state machines** ([`Phase`]): greeting →
+//!   auth gate → line parse → in-flight table → write mux. The reader
+//!   side is an incremental [`LineScanner`] with the same capped-line
+//!   semantics as the blocking reader it replaced; the writer side is a
+//!   per-connection outbox ([`ConnShared`]) drained opportunistically
+//!   and re-armed on write readiness.
+//! * **Job completions drain through one completion pump.** Every
+//!   `GEN`/`SUB` submission arms a completion hook
+//!   ([`GenRequest::with_notify`]) that posts `(connection, slot)` on
+//!   the reactor's channel and wakes the poller — no waiter thread per
+//!   job, and per-connection bookkeeping is exactly the in-flight
+//!   table, bounded by [`FrontendConfig::max_inflight_per_conn`].
+//! * **Streaming backpressure is outbox-full → wait, not a blocked
+//!   socket write.** A worker pushing `EVT` frames parks on the
+//!   connection's bounded outbox (capacity [`FRAME_QUEUE`]) with the
+//!   same escape hatches the threaded frontend had: the push aborts the
+//!   moment the job's [`CancelToken`] trips or the connection dies, and
+//!   gives the stream up as `cancelled` after [`SUB_STALL_LIMIT`] of a
+//!   subscriber that is alive but not reading. The reactor additionally
+//!   *pauses reading* from a connection whose outbox is full, so a
+//!   pipelining client cannot grow the reply queue without consuming
+//!   replies.
+//! * **A slow or stalled connection costs one socket, nothing else.**
+//!   Its worker parks on its own outbox; its socket stops being
+//!   writable so it produces no events; every other connection's
+//!   dispatch proceeds within the loop's per-wakeup fairness quantum
+//!   ([`READ_QUANTUM`] bytes of reads per connection per wakeup).
+//!
+//! Teardown preserves the threaded frontend's observable contract:
+//! `QUIT` stops reading and gives in-flight jobs [`QUIT_DRAIN`] to
+//! finish before `OK BYE`; EOF or a transport failure trips every
+//! in-flight token immediately but still delivers pending completion
+//! frames for up to [`TEARDOWN_DRAIN`]; past a deadline the socket is
+//! severed. A severed connection whose jobs are still in flight lingers
+//! as a [`Phase::Zombie`] — invisible on the wire, it keeps its slot
+//! until the completion pump has consumed every ticket, so a slot is
+//! never reused while results could still be routed to it.
+
+use crate::core::{CancelToken, GenRequest, GenSink, ServeHandle, Ticket};
+use crate::frontend::FrontendConfig;
+use crate::protocol::{
+    parse_request, EndStatus, ErrorCode, GenSpec, ProtocolError, ReplyHeader, Request, WireFormat,
+    MAX_LINE_BYTES,
+};
+use crate::tenant::Tenant;
+use crate::ServeError;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use vrdag_graph::io::{BinaryStreamWriter, TsvStreamWriter};
+use vrdag_graph::{DynamicGraph, Snapshot};
+use vrdag_obs::{Counter, Gauge, Histogram, Logger};
+use vrdag_poll::{raw_fd, Event, Interest, Poller, Waker, WAKE_TOKEN};
+
+/// Per-connection outbox depth, in frames. Bounded so a subscriber that
+/// stops reading exerts backpressure all the way into the generating
+/// worker (its `EVT` pushes park) instead of buffering an unbounded
+/// stream in server memory; a connection at this depth also stops being
+/// *read*, so pipelined requests cannot inflate the reply queue either.
+pub(crate) const FRAME_QUEUE: usize = 64;
+
+/// How long a `QUIT` waits for in-flight jobs to drain before the
+/// connection's remaining work is cancelled and the socket severed. A
+/// reading client drains long before this; the deadline only fires for
+/// one that QUIT and then stopped consuming its own replies.
+const QUIT_DRAIN: Duration = Duration::from_secs(60);
+
+/// The same bound for abnormal teardown (EOF/transport failure), where
+/// in-flight tokens are already tripped and jobs resolve within
+/// snapshot-boundary latency — the deadline is a backstop for a peer
+/// that half-closed and never reads its tail.
+const TEARDOWN_DRAIN: Duration = Duration::from_secs(5);
+
+/// How long a worker's `EVT` push may park on a full outbox before the
+/// subscription is abandoned. A connection that is *alive but not
+/// reading* (full TCP window + full outbox, no EOF, no CANCEL) would
+/// otherwise pin a shared core worker indefinitely; past this deadline
+/// the stream ends `status=cancelled` and the worker moves on, while
+/// the connection itself stays open for a client that resumes.
+pub(crate) const SUB_STALL_LIMIT: Duration = Duration::from_secs(30);
+
+/// Bytes read from one connection per wakeup — the loop's fairness
+/// quantum. A firehosing pipeliner gets requeued behind everyone else
+/// after this much input instead of monopolizing the loop.
+const READ_QUANTUM: usize = 64 * 1024;
+
+/// Stack staging buffer for non-blocking socket reads.
+const READ_CHUNK: usize = 8 * 1024;
+
+/// Back-off before re-arming accepts after a non-transient accept error
+/// (EMFILE under descriptor exhaustion): level-triggered readiness
+/// would otherwise re-report the listener instantly and busy-spin.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Dispatch-latency histogram bounds: per-wakeup reactor work sits in
+/// the microsecond-to-millisecond range, far below the serve stack's
+/// default job-duration buckets.
+const DISPATCH_BUCKETS: &[f64] = &[
+    0.000_01, 0.000_025, 0.000_05, 0.000_1, 0.000_25, 0.000_5, 0.001, 0.0025, 0.005, 0.01, 0.05,
+    0.25, 1.0,
+];
+
+/// Poller token of the listener; connection slot `n` polls as token
+/// `n + 1` (and [`WAKE_TOKEN`] is the cross-thread waker).
+const LISTENER_TOKEN: usize = 0;
+
+/// One complete wire frame: a header line plus its payload bytes.
+#[derive(Debug)]
+pub(crate) struct Frame {
+    header: ReplyHeader,
+    payload: Vec<u8>,
+}
+
+impl Frame {
+    fn header(header: ReplyHeader) -> Frame {
+        Frame { header, payload: Vec::new() }
+    }
+
+    fn err(code: ErrorCode, tag: Option<String>, message: impl Into<String>) -> Frame {
+        Frame::header(ReplyHeader::Err { code, tag, message: message.into() })
+    }
+}
+
+/// Serialize `graph` in the requested wire format. TSV is byte-identical
+/// to `vrdag_graph::io::write_tsv`; binary to the streaming writer — so
+/// a TCP reply equals what a direct [`ServeHandle`] caller would encode.
+fn encode_graph(graph: &DynamicGraph, fmt: WireFormat) -> Result<Vec<u8>, ServeError> {
+    match fmt {
+        WireFormat::Tsv => Ok(vrdag_graph::io::write_tsv(graph, Vec::new())?),
+        WireFormat::Bin => Ok(vrdag_graph::io::encode_binary(graph).as_slice().to_vec()),
+    }
+}
+
+/// A shared, append-only byte buffer the streaming writers write into;
+/// the chunker drains it after every snapshot so each `EVT` frame
+/// carries exactly the bytes that snapshot contributed to the encoding.
+#[derive(Clone, Default)]
+struct ChunkBuf(Arc<Mutex<Vec<u8>>>);
+
+impl ChunkBuf {
+    fn take(&self) -> Vec<u8> {
+        std::mem::take(&mut *self.0.lock().expect("chunk buffer poisoned"))
+    }
+}
+
+impl Write for ChunkBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().expect("chunk buffer poisoned").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Incremental per-snapshot encoder for a `SUB` stream, built on the
+/// exact same streaming writers as the file sinks and the buffered
+/// `GEN` encodings — which is what makes the concatenation of a
+/// stream's `EVT` payloads byte-identical to the buffered reply (the
+/// format headers land in the first chunk; `finish()` writes nothing).
+enum WireChunker {
+    Tsv(TsvStreamWriter<ChunkBuf>, ChunkBuf),
+    Bin(BinaryStreamWriter<ChunkBuf>, ChunkBuf),
+}
+
+impl WireChunker {
+    fn new(fmt: WireFormat, n: usize, f: usize, t_len: usize) -> Result<WireChunker, ServeError> {
+        let buf = ChunkBuf::default();
+        Ok(match fmt {
+            WireFormat::Tsv => {
+                WireChunker::Tsv(TsvStreamWriter::new(buf.clone(), n, f, t_len)?, buf)
+            }
+            WireFormat::Bin => {
+                WireChunker::Bin(BinaryStreamWriter::new(buf.clone(), n, f, t_len)?, buf)
+            }
+        })
+    }
+
+    /// Encode one snapshot and return the bytes it contributed.
+    fn encode(&mut self, s: &Snapshot) -> Result<Vec<u8>, ServeError> {
+        match self {
+            WireChunker::Tsv(w, buf) => {
+                w.write_snapshot(s)?;
+                Ok(buf.take())
+            }
+            WireChunker::Bin(w, buf) => {
+                w.write_snapshot(s)?;
+                Ok(buf.take())
+            }
+        }
+    }
+}
+
+/// Translate a service error into its wire code; the message is the
+/// error's display form except for `QueueFull`, which gets structured
+/// `depth=… cap=…` fields a client can parse and back off on.
+fn translate(err: &ServeError) -> (ErrorCode, String) {
+    match err {
+        ServeError::QueueFull { depth, cap } => {
+            (ErrorCode::QueueFull, format!("depth={depth} cap={cap}"))
+        }
+        ServeError::QuotaExceeded { tenant, quota, cap } => {
+            (ErrorCode::QuotaExceeded, format!("tenant={tenant} limit={quota} cap={cap}"))
+        }
+        ServeError::UnknownModel(name) => (ErrorCode::UnknownModel, format!("{name:?}")),
+        ServeError::InvalidRequest(msg) => (ErrorCode::InvalidRequest, msg.clone()),
+        ServeError::SchedulerClosed | ServeError::JobDropped => {
+            (ErrorCode::Shutdown, err.to_string())
+        }
+        other => (ErrorCode::Internal, other.to_string()),
+    }
+}
+
+fn translated_frame(err: &ServeError, tag: Option<String>) -> Frame {
+    let (code, message) = translate(err);
+    Frame::err(code, tag, message)
+}
+
+/// Best-effort recovery of a `tag=<valid>` token from a line that failed
+/// to parse, so the `ERR` reply can still be demuxed to the request's
+/// stream. Only a syntactically valid tag is echoed — never arbitrary
+/// malformed input.
+fn salvage_tag(line: &str) -> Option<String> {
+    line.split_whitespace()
+        .filter_map(|token| token.strip_prefix("tag="))
+        .find(|raw| crate::protocol::valid_tag(raw))
+        .map(str::to_string)
+}
+
+/// One complete line scanned off the wire (the incremental counterpart
+/// of the blocking reader's `ReadLine`; EOF is the caller's to notice).
+enum ScanLine {
+    Line(Vec<u8>),
+    /// The line blew past [`MAX_LINE_BYTES`]; `len` counts its bytes
+    /// (newline excluded) and the connection keeps going.
+    TooLong {
+        len: usize,
+    },
+}
+
+/// Incremental capped-line splitter with byte-for-byte the semantics of
+/// the blocking `read_capped_line`: lines up to [`MAX_LINE_BYTES`] are
+/// buffered, an over-long line is consumed (never buffered) and
+/// reported with its true length, and a final unterminated line at EOF
+/// still counts.
+#[derive(Default)]
+struct LineScanner {
+    line: Vec<u8>,
+    overflow: usize,
+}
+
+impl LineScanner {
+    /// Feed one chunk of raw socket bytes; `emit` receives each
+    /// completed line in order.
+    fn feed(&mut self, mut chunk: &[u8], mut emit: impl FnMut(ScanLine)) {
+        while let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            self.push_bytes(&chunk[..pos]);
+            chunk = &chunk[pos + 1..];
+            emit(self.take_line());
+        }
+        self.push_bytes(chunk);
+    }
+
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        if self.overflow > 0 {
+            self.overflow += bytes.len();
+        } else if self.line.len() + bytes.len() <= MAX_LINE_BYTES {
+            self.line.extend_from_slice(bytes);
+        } else {
+            // Stop buffering the moment the cap is blown: the overflow
+            // is counted, never stored.
+            self.overflow = self.line.len() + bytes.len();
+            self.line.clear();
+        }
+    }
+
+    fn take_line(&mut self) -> ScanLine {
+        if self.overflow > 0 {
+            ScanLine::TooLong { len: std::mem::take(&mut self.overflow) }
+        } else {
+            ScanLine::Line(std::mem::take(&mut self.line))
+        }
+    }
+
+    /// The final unterminated line at EOF, if any.
+    fn finish(&mut self) -> Option<ScanLine> {
+        if self.overflow > 0 || !self.line.is_empty() {
+            Some(self.take_line())
+        } else {
+            None
+        }
+    }
+}
+
+/// Why a worker-side [`ConnShared::push_streaming`] failed.
+enum SendFail {
+    /// The connection is gone (transport failure or teardown).
+    Disconnected,
+    /// The job's cancel token tripped while the outbox was full.
+    Cancelled,
+    /// The outbox stayed full for [`SUB_STALL_LIMIT`]: the subscriber is
+    /// alive but not reading, and the stream is abandoned to free the
+    /// worker.
+    Stalled,
+}
+
+/// Outbox guarded state: the frame queue plus the connection's liveness
+/// bit (dead ⇒ pushes fail fast and parked workers unblock).
+struct OutboxState {
+    frames: VecDeque<Frame>,
+    dead: bool,
+}
+
+/// How often a parked `EVT` push re-checks its cancel token. The token
+/// can trip without anyone signalling the condvar (a `CANCEL` processed
+/// by the reactor, a teardown deadline), so the park is a bounded nap,
+/// not an unbounded wait.
+const PUSH_RECHECK: Duration = Duration::from_millis(10);
+
+/// The connection state shared with code running *off* the reactor
+/// thread — the `SUB` callbacks inside core workers. Everything else
+/// about a connection is reactor-private.
+pub(crate) struct ConnShared {
+    outbox: Mutex<OutboxState>,
+    /// Signalled whenever the reactor pops frames (space for a parked
+    /// worker) or the connection dies.
+    space: Condvar,
+    /// Coalesces worker → reactor "outbox went non-empty" signals: set
+    /// by the pushing worker, cleared by the reactor before it drains.
+    dirty: AtomicBool,
+}
+
+impl ConnShared {
+    fn new() -> ConnShared {
+        ConnShared {
+            outbox: Mutex::new(OutboxState { frames: VecDeque::new(), dead: false }),
+            space: Condvar::new(),
+            dirty: AtomicBool::new(false),
+        }
+    }
+
+    /// Reactor-side push (replies, completion frames, greetings). The
+    /// reactor is also the consumer, so this side is unbounded —
+    /// boundedness comes from the read pause at [`FRAME_QUEUE`] plus the
+    /// in-flight cap. `false` when the connection is already dead.
+    fn push(&self, frame: Frame) -> bool {
+        let mut state = self.outbox.lock().expect("outbox poisoned");
+        if state.dead {
+            return false;
+        }
+        state.frames.push_back(frame);
+        true
+    }
+
+    /// Worker-side push for `EVT` frames: parks while the outbox is at
+    /// capacity, aborting on cancellation, death, or a
+    /// [`SUB_STALL_LIMIT`] stall — the reactor-era `send_cancellable`.
+    fn push_streaming(&self, token: &CancelToken, frame: Frame) -> Result<(), SendFail> {
+        let stalled_at = Instant::now() + SUB_STALL_LIMIT;
+        let mut state = self.outbox.lock().expect("outbox poisoned");
+        loop {
+            if state.dead {
+                return Err(SendFail::Disconnected);
+            }
+            if state.frames.len() < FRAME_QUEUE {
+                state.frames.push_back(frame);
+                return Ok(());
+            }
+            if token.is_cancelled() {
+                return Err(SendFail::Cancelled);
+            }
+            if Instant::now() >= stalled_at {
+                return Err(SendFail::Stalled);
+            }
+            let (guard, _) = self
+                .space
+                .wait_timeout(state, PUSH_RECHECK)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = guard;
+        }
+    }
+
+    /// Reactor-side pop; wakes one parked worker when space opens.
+    fn pop(&self) -> Option<Frame> {
+        let mut state = self.outbox.lock().expect("outbox poisoned");
+        let frame = state.frames.pop_front();
+        if frame.is_some() {
+            self.space.notify_one();
+        }
+        frame
+    }
+
+    fn len(&self) -> usize {
+        self.outbox.lock().expect("outbox poisoned").frames.len()
+    }
+
+    /// Kill the connection's shared side: pushes fail from here on and
+    /// every parked worker unblocks with `Disconnected`.
+    fn mark_dead(&self) {
+        let mut state = self.outbox.lock().expect("outbox poisoned");
+        state.dead = true;
+        state.frames.clear();
+        self.space.notify_all();
+    }
+}
+
+/// Key of one in-flight job in a connection's table: the client's tag,
+/// or a connection-internal counter for untagged jobs (no wire syntax
+/// can name those, but teardown still cancels them).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum SlotKey {
+    Tag(String),
+    Untagged(u64),
+}
+
+/// What a completion for an in-flight slot should be turned into.
+enum PendingKind {
+    /// Buffered `GEN`: encode the result, answer `OK GEN …` + payload.
+    Gen { tag: Option<String>, fmt: WireFormat },
+    /// `SUB` stream: terminate with `END …` carrying the frames actually
+    /// handed to the connection (see `dispatch_sub`).
+    Sub { tag: String, sent: Arc<AtomicUsize> },
+}
+
+/// One in-flight job on one connection.
+struct Pending {
+    kind: PendingKind,
+    token: CancelToken,
+    ticket: Ticket,
+}
+
+/// A completion-pump message: the job keyed `key` on connection slot
+/// `conn` has a consumable ticket.
+pub(crate) struct Completion {
+    conn: usize,
+    key: SlotKey,
+}
+
+/// Connection lifecycle (the explicit state machine).
+enum Phase {
+    /// Reading, dispatching, writing.
+    Active,
+    /// `QUIT` received: reading stopped; in-flight jobs get until
+    /// `deadline` to drain. When the table empties in time, `OK BYE`
+    /// goes out and the phase advances to [`Phase::FlushClose`]; at the
+    /// deadline the remaining work is cancelled and the socket severed
+    /// with no `BYE` (the client stopped reading long ago).
+    Draining { bye_tag: Option<String>, deadline: Instant },
+    /// EOF / fatal protocol rejection / transport failure: every
+    /// in-flight token is tripped; pending completion frames still
+    /// deliver until `deadline`, then the socket is severed.
+    Closing { deadline: Instant },
+    /// All work done: flush the outbox tail, then half-close and linger.
+    FlushClose,
+    /// Lingering close: the write side is shut (FIN sent) and incoming
+    /// bytes are read and discarded until the peer closes or `deadline`
+    /// passes. Closing abruptly instead would send an RST whenever
+    /// pipelined input was still unread — and a client mid-burst (say a
+    /// `GEN` right behind a failing `AUTH`) would then see its *write*
+    /// fail with a broken pipe before it ever read the error frame.
+    Linger { deadline: Instant },
+    /// Socket severed with jobs still in flight: holds the slot (so it
+    /// cannot be reused while completions could still route here) until
+    /// the completion pump consumes every ticket.
+    Zombie,
+}
+
+/// One connection, reactor-private except for [`Conn::shared`].
+struct Conn {
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    scanner: LineScanner,
+    pending: HashMap<SlotKey, Pending>,
+    phase: Phase,
+    /// Counter for server-assigned `~<n>` tags (untagged `SUB`s).
+    auto_tag: u64,
+    /// Counter keying untagged in-flight jobs.
+    next_untagged: u64,
+    /// The tenant every job on this connection runs as — the anonymous
+    /// tenant until a successful `AUTH` rebinds it.
+    tenant: Arc<Tenant>,
+    /// Has this connection presented a valid token yet?
+    authed: bool,
+    /// Serialized bytes of the frame currently being written, and the
+    /// write cursor into it. Reactor-only.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// Whether the socket is still registered and open (false once
+    /// severed; the slot may outlive the socket as a [`Phase::Zombie`]).
+    socket_open: bool,
+    /// Counted against `max_connections` and the open-connections gauge
+    /// (false for over-cap greeting rejections).
+    accepted: bool,
+}
+
+impl Conn {
+    /// Is this connection still reading request lines?
+    fn reading(&self) -> bool {
+        matches!(self.phase, Phase::Active) && self.socket_open
+    }
+
+    /// The poller interest this connection currently wants: read while
+    /// active and below the outbox pause threshold (or lingering, to
+    /// notice the peer's close), write while output is queued.
+    fn desired_interest(&self) -> Interest {
+        let outbox_len = self.shared.len();
+        let readable = match self.phase {
+            Phase::Active => outbox_len < FRAME_QUEUE,
+            Phase::Linger { .. } => true,
+            _ => false,
+        };
+        Interest {
+            readable: readable && self.socket_open,
+            writable: self.socket_open && (self.wpos < self.wbuf.len() || outbox_len > 0),
+        }
+    }
+
+    /// Trip every in-flight token, tagged or not (teardown: free the
+    /// workers instead of letting them generate for a peer that is
+    /// gone).
+    fn cancel_all(&self) {
+        for pending in self.pending.values() {
+            pending.token.cancel();
+        }
+    }
+
+    /// The teardown deadline this connection is running against, if any.
+    fn deadline(&self) -> Option<Instant> {
+        match self.phase {
+            Phase::Draining { deadline, .. }
+            | Phase::Closing { deadline }
+            | Phase::Linger { deadline } => Some(deadline),
+            _ => None,
+        }
+    }
+}
+
+/// What the dispatch of one request means for the connection.
+enum Flow {
+    Continue,
+    /// Drain in-flight work, say `OK BYE [tag=…]`, close.
+    Quit {
+        tag: Option<String>,
+    },
+    /// A protocol-level rejection that closes the connection (failed or
+    /// missing authentication): the error frame is already in the
+    /// outbox, it gets flushed, no `OK BYE` follows.
+    Fatal,
+}
+
+/// Everything the dispatch path needs besides the connection itself —
+/// split out of [`Reactor`] so a `&mut Conn` (borrowed from the slab)
+/// and the environment can be used together.
+struct Env {
+    handle: ServeHandle,
+    cfg: FrontendConfig,
+    /// Does the service demand `AUTH` as the first line
+    /// ([`TenantRegistry::auth_enabled`](crate::TenantRegistry::auth_enabled))?
+    auth_required: bool,
+    completions_tx: Sender<Completion>,
+    dirty_tx: Sender<usize>,
+    waker: Waker,
+    logger: Logger,
+    evt_frames: Counter,
+    evt_bytes: Counter,
+    sub_stalls: Counter,
+}
+
+impl Env {
+    /// Count one `AUTH` outcome into `vrdag_auth_total{outcome=…}`.
+    fn auth_outcome(&self, outcome: &str) {
+        self.handle.metrics().counter("vrdag_auth_total", &[("outcome", outcome)]).inc();
+    }
+
+    /// The completion hook a submission arms: post the pump message and
+    /// kick the poller awake. Also fires when `submit` *rejects* the
+    /// request (the hook drops with it) — the pump ignores the unknown
+    /// key, and a key re-used by a later job is disambiguated by its
+    /// ticket still being unresolved.
+    fn completion_hook(&self, idx: usize, key: SlotKey) -> impl FnOnce() + Send + 'static {
+        let tx = self.completions_tx.clone();
+        let waker = self.waker.clone();
+        move || {
+            let _ = tx.send(Completion { conn: idx, key });
+            waker.wake();
+        }
+    }
+}
+
+/// Construction bundle for [`Reactor::new`] — everything
+/// [`Frontend`](crate::Frontend) wires up before spawning the loop
+/// thread.
+pub(crate) struct ReactorConfig {
+    pub handle: ServeHandle,
+    pub cfg: FrontendConfig,
+    pub listener: TcpListener,
+    pub poller: Box<dyn Poller>,
+    pub stop: Arc<AtomicBool>,
+    pub open: Arc<AtomicUsize>,
+    pub completions_tx: Sender<Completion>,
+    pub completions_rx: Receiver<Completion>,
+    pub dirty_tx: Sender<usize>,
+    pub dirty_rx: Receiver<usize>,
+}
+
+/// The event loop itself; constructed by [`Frontend`](crate::Frontend)
+/// and consumed by [`Reactor::run`] on the reactor thread.
+pub(crate) struct Reactor {
+    env: Env,
+    listener: TcpListener,
+    poller: Box<dyn Poller>,
+    /// Connection slab; a slot's poller token is its index + 1.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Accepted live connections (shared with
+    /// [`Frontend::open_connections`](crate::Frontend::open_connections)).
+    open: Arc<AtomicUsize>,
+    open_gauge: Gauge,
+    completions_rx: Receiver<Completion>,
+    dirty_rx: Receiver<usize>,
+    stop: Arc<AtomicBool>,
+    accepted: Counter,
+    rejected_cap: Counter,
+    wakeups: Counter,
+    dispatch_seconds: Histogram,
+    /// Listener re-arm time after an accept error (see [`ACCEPT_BACKOFF`]).
+    accept_backoff: Option<Instant>,
+    events: Vec<Event>,
+}
+
+impl Reactor {
+    pub(crate) fn new(rc: ReactorConfig) -> Reactor {
+        let metrics = rc.handle.metrics();
+        let accepted = metrics.counter("vrdag_connections_total", &[("outcome", "accepted")]);
+        let rejected_cap =
+            metrics.counter("vrdag_connections_total", &[("outcome", "rejected_cap")]);
+        let open_gauge = metrics.gauge("vrdag_open_connections", &[]);
+        let wakeups = metrics.counter("vrdag_reactor_wakeups_total", &[]);
+        let dispatch_seconds =
+            metrics.histogram_with("vrdag_reactor_dispatch_seconds", &[], DISPATCH_BUCKETS);
+        let env = Env {
+            auth_required: rc.handle.tenants().auth_enabled(),
+            completions_tx: rc.completions_tx,
+            dirty_tx: rc.dirty_tx,
+            waker: rc.poller.waker(),
+            logger: rc.handle.logger().clone(),
+            evt_frames: metrics.counter("vrdag_evt_frames_total", &[]),
+            evt_bytes: metrics.counter("vrdag_evt_bytes_total", &[]),
+            sub_stalls: metrics.counter("vrdag_sub_stalls_total", &[]),
+            cfg: rc.cfg,
+            handle: rc.handle.clone(),
+        };
+        Reactor {
+            env,
+            listener: rc.listener,
+            poller: rc.poller,
+            conns: Vec::new(),
+            free: Vec::new(),
+            open: rc.open,
+            open_gauge,
+            completions_rx: rc.completions_rx,
+            dirty_rx: rc.dirty_rx,
+            stop: rc.stop,
+            accepted,
+            rejected_cap,
+            wakeups,
+            dispatch_seconds,
+            accept_backoff: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// The loop. Returns once the stop flag is observed (after a waker
+    /// nudge); tears down every connection on the way out.
+    pub(crate) fn run(mut self) {
+        if self.poller.register(raw_fd(&self.listener), LISTENER_TOKEN, Interest::READABLE).is_err()
+        {
+            return;
+        }
+        while !self.stop.load(Ordering::SeqCst) {
+            let timeout = self.poll_timeout();
+            let mut events = std::mem::take(&mut self.events);
+            if self.poller.poll(&mut events, timeout).is_err() {
+                events.clear();
+            }
+            self.wakeups.inc();
+            let started = Instant::now();
+            if self.stop.load(Ordering::SeqCst) {
+                self.events = events;
+                break;
+            }
+            for ev in &events {
+                match ev.token {
+                    WAKE_TOKEN => {}
+                    LISTENER_TOKEN => self.accept_ready(),
+                    token => self.conn_event(token - 1, ev.readable),
+                }
+            }
+            self.events = events;
+            // The completion pump: one drain per wakeup covers every job
+            // that finished since, regardless of which worker ran it —
+            // this is where the old per-job waiter threads collapsed to.
+            while let Ok(done) = self.completions_rx.try_recv() {
+                self.handle_completion(done.conn, done.key);
+            }
+            // Outboxes that workers pushed EVT frames into since the
+            // last wakeup.
+            while let Ok(idx) = self.dirty_rx.try_recv() {
+                if let Some(conn) = self.conns.get(idx).and_then(Option::as_ref) {
+                    conn.shared.dirty.store(false, Ordering::SeqCst);
+                }
+                self.flush(idx);
+            }
+            self.check_deadlines();
+            self.dispatch_seconds.observe(started.elapsed().as_secs_f64());
+        }
+        self.teardown_all();
+    }
+
+    /// Next timer the loop must honour: teardown deadlines and the
+    /// accept re-arm. `None` blocks until IO or a wakeup.
+    fn poll_timeout(&self) -> Option<Duration> {
+        let mut next: Option<Instant> = self.accept_backoff;
+        for conn in self.conns.iter().flatten() {
+            if let Some(deadline) = conn.deadline() {
+                next = Some(next.map_or(deadline, |cur| cur.min(deadline)));
+            }
+        }
+        next.map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// Accept every pending connection (the listener is level-triggered,
+    /// so anything left un-accepted re-reports immediately).
+    fn accept_ready(&mut self) {
+        if self.accept_backoff.is_some() {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // EMFILE and friends: park accepts briefly instead of
+                // busy-spinning on a perpetually-readable listener.
+                Err(_) => {
+                    self.accept_backoff = Some(Instant::now() + ACCEPT_BACKOFF);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Register one just-accepted stream. Over the cap it becomes a
+    /// greeting-rejection connection whose `ERR too-many-connections`
+    /// flushes through the same event loop as everything else — the
+    /// threaded frontend wrote this greeting *blocking on the accept
+    /// path*, so one unreadable rejected client could stall all accepts.
+    fn admit(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        // Replies are written frame-at-a-time; without TCP_NODELAY,
+        // Nagle holds each small frame for the peer's delayed ACK
+        // (~40ms) and a lock-step client crawls. Best effort — a socket
+        // that rejects the option still works, just slower.
+        let _ = stream.set_nodelay(true);
+        let over_cap =
+            self.env.cfg.max_connections.is_some_and(|cap| self.open.load(Ordering::SeqCst) >= cap);
+        let accepted = !over_cap;
+        let conn = Conn {
+            stream,
+            shared: Arc::new(ConnShared::new()),
+            scanner: LineScanner::default(),
+            pending: HashMap::new(),
+            phase: if accepted { Phase::Active } else { Phase::FlushClose },
+            auto_tag: 0,
+            next_untagged: 0,
+            tenant: self.env.handle.tenants().anonymous(),
+            authed: false,
+            wbuf: Vec::new(),
+            wpos: 0,
+            interest: Interest { readable: false, writable: false },
+            socket_open: true,
+            accepted,
+        };
+        if accepted {
+            self.accepted.inc();
+            self.set_open(self.open.load(Ordering::SeqCst) + 1);
+        } else {
+            self.rejected_cap.inc();
+            let cap = self.env.cfg.max_connections.expect("over_cap implies a cap");
+            conn.shared.push(Frame::err(ErrorCode::TooManyConnections, None, format!("cap={cap}")));
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.conns[idx] = Some(conn);
+                idx
+            }
+            None => {
+                self.conns.push(Some(conn));
+                self.conns.len() - 1
+            }
+        };
+        self.update_interest(idx, true);
+        // A rejection usually flushes (and frees the slot) right here.
+        self.flush(idx);
+    }
+
+    fn set_open(&self, n: usize) {
+        self.open.store(n, Ordering::SeqCst);
+        self.open_gauge.set(n as u64);
+    }
+
+    /// IO readiness on connection slot `idx`. Stale tokens (a slot freed
+    /// or reused earlier in the same event batch) are harmless: all IO
+    /// is non-blocking, so a spurious read/flush observes `WouldBlock`
+    /// and moves on — the same advisory-readiness contract the scan
+    /// backend relies on.
+    fn conn_event(&mut self, idx: usize, readable: bool) {
+        if self.conns.get(idx).and_then(Option::as_ref).is_none() {
+            return;
+        }
+        if readable {
+            self.conn_readable(idx);
+        }
+        if self.conns.get(idx).and_then(Option::as_ref).is_some() {
+            self.flush(idx);
+        }
+    }
+
+    /// Drain up to [`READ_QUANTUM`] bytes of request input, dispatching
+    /// complete lines as they fall out of the scanner. A lingering
+    /// connection drains and *discards* instead, watching for the peer's
+    /// close.
+    fn conn_readable(&mut self, idx: usize) {
+        if let Some(conn) = self.conns[idx].as_ref() {
+            if matches!(conn.phase, Phase::Linger { .. }) {
+                self.linger_readable(idx);
+                return;
+            }
+        }
+        let mut consumed = 0usize;
+        let mut eof = false;
+        let mut buf = [0u8; READ_CHUNK];
+        loop {
+            let Some(conn) = self.conns[idx].as_mut() else { return };
+            if !conn.reading() || conn.shared.len() >= FRAME_QUEUE || consumed >= READ_QUANTUM {
+                break;
+            }
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    consumed += n;
+                    self.feed_bytes(idx, &buf[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // A read transport failure tears down like EOF.
+                Err(_) => {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        if eof {
+            // The final unterminated line still counts (a client that
+            // wrote `PING` and shut down its write side gets its PONG).
+            let Some(conn) = self.conns[idx].as_mut() else { return };
+            if let Some(last) = conn.scanner.finish() {
+                self.handle_scan_line(idx, last);
+            }
+            if let Some(conn) = self.conns[idx].as_ref() {
+                if matches!(conn.phase, Phase::Active) {
+                    self.begin_close(idx);
+                }
+            }
+        } else {
+            // Quantum or pause hit with the socket possibly still
+            // readable: level-triggered readiness (or the scan rotation)
+            // brings us back next wakeup as long as interest says read.
+            self.update_interest(idx, false);
+        }
+    }
+
+    /// Read-and-discard on a [`Phase::Linger`] connection until the peer
+    /// closes (EOF fully releases the slot) or the socket would block.
+    fn linger_readable(&mut self, idx: usize) {
+        let mut buf = [0u8; READ_CHUNK];
+        loop {
+            let Some(conn) = self.conns[idx].as_mut() else { return };
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.sever(idx);
+                    return;
+                }
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.sever(idx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Split a raw chunk into lines and dispatch each; lines buffered
+    /// behind a phase change (e.g. pipelined input after `QUIT`) are
+    /// discarded, exactly like the threaded reader discarded its buffer.
+    fn feed_bytes(&mut self, idx: usize, bytes: &[u8]) {
+        let Some(conn) = self.conns[idx].as_mut() else { return };
+        let mut lines = Vec::new();
+        conn.scanner.feed(bytes, |line| lines.push(line));
+        for line in lines {
+            let Some(conn) = self.conns[idx].as_ref() else { return };
+            if !matches!(conn.phase, Phase::Active) {
+                break;
+            }
+            self.handle_scan_line(idx, line);
+        }
+    }
+
+    /// Parse and dispatch one scanned line, applying the auth gate and
+    /// the flow transitions — the reactor port of the threaded
+    /// frontend's per-line block, answer-for-answer.
+    fn handle_scan_line(&mut self, idx: usize, raw: ScanLine) {
+        enum Parsed {
+            Req(Request),
+            Error(Frame),
+            Empty,
+        }
+        let parsed = match raw {
+            ScanLine::TooLong { len } => Parsed::Error(Frame::err(
+                ErrorCode::LineTooLong,
+                None,
+                ProtocolError::LineTooLong { len }.to_string(),
+            )),
+            ScanLine::Line(raw) => match String::from_utf8(raw) {
+                Err(_) => Parsed::Error(Frame::err(
+                    ErrorCode::BadRequest,
+                    None,
+                    ProtocolError::NotUtf8.to_string(),
+                )),
+                Ok(line) => match parse_request(&line) {
+                    // An empty line is a keep-alive no-op, not an error.
+                    Err(ProtocolError::Empty) => Parsed::Empty,
+                    // Echo a recoverable tag even on parse failures, so
+                    // a pipelining client can terminate that tag's
+                    // stream instead of waiting forever on it.
+                    Err(e) => {
+                        Parsed::Error(Frame::err(e.code(), salvage_tag(&line), e.to_string()))
+                    }
+                    Ok(req) => Parsed::Req(req),
+                },
+            },
+        };
+        let Some(conn) = self.conns[idx].as_mut() else { return };
+        let needs_auth = self.env.auth_required && !conn.authed;
+        let flow = match parsed {
+            Parsed::Empty => Flow::Continue,
+            // AUTH is the one command an unauthenticated connection may
+            // issue; anything else (malformed lines included) on an
+            // auth-enabled frontend is answered `ERR auth-required` and
+            // the connection is closed — unauthenticated input never
+            // reaches the scheduler.
+            Parsed::Req(Request::Auth { token, tag }) => {
+                Self::dispatch_auth(conn, &self.env, token, tag)
+            }
+            Parsed::Req(_) | Parsed::Error(_) if needs_auth => {
+                self.env.auth_outcome("required");
+                conn.shared.push(Frame::err(
+                    ErrorCode::AuthRequired,
+                    None,
+                    "authenticate first: AUTH token=<token>",
+                ));
+                Flow::Fatal
+            }
+            Parsed::Req(req) => Self::dispatch(conn, &self.env, idx, req),
+            Parsed::Error(frame) => {
+                conn.shared.push(frame);
+                Flow::Continue
+            }
+        };
+        match flow {
+            Flow::Continue => {}
+            Flow::Quit { tag } => self.begin_quit(idx, tag),
+            Flow::Fatal => self.begin_close(idx),
+        }
+    }
+
+    /// Handle `AUTH token=…`. On an auth-off service the greeting is
+    /// optional and acknowledged as the anonymous tenant; on an
+    /// auth-enabled one a valid token binds the connection to its
+    /// tenant and an invalid token closes the connection.
+    fn dispatch_auth(conn: &mut Conn, env: &Env, token: String, tag: Option<String>) -> Flow {
+        if !env.auth_required {
+            let tenant = conn.tenant.id().to_string();
+            conn.shared.push(Frame::header(ReplyHeader::Auth { tag, tenant }));
+            return Flow::Continue;
+        }
+        if conn.authed {
+            conn.shared.push(Frame::err(
+                ErrorCode::BadRequest,
+                tag,
+                "connection is already authenticated",
+            ));
+            return Flow::Continue;
+        }
+        match env.handle.tenants().authenticate(&token) {
+            Some(tenant) => {
+                let id = tenant.id().to_string();
+                env.auth_outcome("ok");
+                env.logger.info(
+                    "serve.frontend",
+                    "connection authenticated",
+                    &[("tenant", id.clone())],
+                );
+                conn.tenant = tenant;
+                conn.authed = true;
+                conn.shared.push(Frame::header(ReplyHeader::Auth { tag, tenant: id }));
+                Flow::Continue
+            }
+            None => {
+                env.auth_outcome("failed");
+                env.logger.warn("serve.frontend", "auth failed: invalid token", &[]);
+                conn.shared.push(Frame::err(ErrorCode::AuthFailed, tag, "invalid token"));
+                Flow::Fatal
+            }
+        }
+    }
+
+    /// Dispatch one parsed request (the reactor port of the threaded
+    /// `ConnDriver::dispatch`).
+    fn dispatch(conn: &mut Conn, env: &Env, idx: usize, req: Request) -> Flow {
+        match req {
+            // Normally intercepted before the auth gate; kept as a
+            // delegation to the same single handler so dispatch stays
+            // total over Request.
+            Request::Auth { token, tag } => Self::dispatch_auth(conn, env, token, tag),
+            Request::Gen(spec) => Self::dispatch_gen(conn, env, idx, spec),
+            Request::Sub(spec) => Self::dispatch_sub(conn, env, idx, spec),
+            Request::Cancel { tag } => {
+                let found = match conn.pending.get(&SlotKey::Tag(tag.clone())) {
+                    Some(pending) => {
+                        pending.token.cancel();
+                        true
+                    }
+                    None => false,
+                };
+                conn.shared.push(Frame::header(ReplyHeader::Cancel { tag, found }));
+                Flow::Continue
+            }
+            Request::Stats { tag } => {
+                let payload = env.handle.stats().render().into_bytes();
+                let header = ReplyHeader::Stats { tag, bytes: payload.len() };
+                conn.shared.push(Frame { header, payload });
+                Flow::Continue
+            }
+            Request::Metrics { tag } => {
+                let payload = env.handle.metrics_text().into_bytes();
+                let header = ReplyHeader::Metrics { tag, bytes: payload.len() };
+                conn.shared.push(Frame { header, payload });
+                Flow::Continue
+            }
+            Request::Models { tag } => {
+                let mut listing = String::new();
+                for h in env.handle.registry().handles() {
+                    use std::fmt::Write as _;
+                    let _ = writeln!(
+                        listing,
+                        "{} nodes={} attrs={} size={} fingerprint={:016x}",
+                        h.name(),
+                        h.n_nodes(),
+                        h.n_attrs(),
+                        h.size_bytes(),
+                        h.fingerprint(),
+                    );
+                }
+                let payload = listing.into_bytes();
+                let header = ReplyHeader::Models { tag, bytes: payload.len() };
+                conn.shared.push(Frame { header, payload });
+                Flow::Continue
+            }
+            Request::Ping { tag } => {
+                conn.shared.push(Frame::header(ReplyHeader::Pong { tag }));
+                Flow::Continue
+            }
+            Request::Quit { tag } => Flow::Quit { tag },
+        }
+    }
+
+    /// Claim an in-flight slot. A duplicate tag is the more specific
+    /// failure: report it even when the connection is also at its
+    /// in-flight cap.
+    fn reserve(conn: &mut Conn, env: &Env, tag: Option<&String>) -> Result<SlotKey, Box<Frame>> {
+        if let Some(tag) = tag {
+            if conn.pending.contains_key(&SlotKey::Tag(tag.clone())) {
+                return Err(Box::new(Frame::err(
+                    ErrorCode::DuplicateTag,
+                    Some(tag.clone()),
+                    format!("tag {tag} is already in flight on this connection"),
+                )));
+            }
+        }
+        let inflight = conn.pending.len();
+        let cap = env.cfg.max_inflight_per_conn;
+        if inflight >= cap {
+            return Err(Box::new(Frame::err(
+                ErrorCode::TooManyInflight,
+                tag.cloned(),
+                format!("inflight={inflight} cap={cap}"),
+            )));
+        }
+        Ok(match tag {
+            Some(tag) => SlotKey::Tag(tag.clone()),
+            None => {
+                let key = conn.next_untagged;
+                conn.next_untagged += 1;
+                SlotKey::Untagged(key)
+            }
+        })
+    }
+
+    /// Buffered generation: submit with an `InMemory` sink and park the
+    /// slot in the in-flight table; the completion pump answers
+    /// `OK GEN [tag=…] …` + payload when the ticket resolves — out of
+    /// submission order whenever a later job finishes first.
+    fn dispatch_gen(conn: &mut Conn, env: &Env, idx: usize, spec: GenSpec) -> Flow {
+        let GenSpec { model, t_len, seed, fmt, priority, tag } = spec;
+        let key = match Self::reserve(conn, env, tag.as_ref()) {
+            Ok(key) => key,
+            Err(frame) => {
+                conn.shared.push(*frame);
+                return Flow::Continue;
+            }
+        };
+        let token = CancelToken::new();
+        let req = GenRequest::new(model, t_len, seed, GenSink::InMemory)
+            .with_priority(priority)
+            .with_cancel(token.clone())
+            .with_tenant(conn.tenant.id().clone())
+            .with_notify(env.completion_hook(idx, key.clone()));
+        match env.handle.submit(req) {
+            Err(e) => {
+                // Nothing was parked, so the hook the rejected request
+                // fired on its way out finds no pending entry and the
+                // pump ignores it.
+                conn.shared.push(translated_frame(&e, tag));
+            }
+            Ok(ticket) => {
+                conn.pending
+                    .insert(key, Pending { kind: PendingKind::Gen { tag, fmt }, token, ticket });
+            }
+        }
+        Flow::Continue
+    }
+
+    /// Streaming generation: acknowledge with `OK SUB tag=…`, submit
+    /// with a callback sink that pushes one `EVT` frame per snapshot
+    /// into the connection's outbox straight from the worker (cold and
+    /// cache-hit paths both go through it), and park the slot; the
+    /// completion pump terminates the stream with
+    /// `END … status=ok|cancelled` (or `ERR … tag=…`).
+    fn dispatch_sub(conn: &mut Conn, env: &Env, idx: usize, spec: GenSpec) -> Flow {
+        let GenSpec { model, t_len, seed, fmt, priority, tag } = spec;
+        // Server-assigned tags skip any `~<n>` a client chose to put in
+        // flight itself (the grammar permits `~`), so an untagged SUB is
+        // never spuriously rejected as a duplicate.
+        let tag = tag.unwrap_or_else(|| loop {
+            conn.auto_tag += 1;
+            let candidate = format!("~{}", conn.auto_tag);
+            if !conn.pending.contains_key(&SlotKey::Tag(candidate.clone())) {
+                break candidate;
+            }
+        });
+        let key = match Self::reserve(conn, env, Some(&tag)) {
+            Ok(key) => key,
+            Err(frame) => {
+                conn.shared.push(*frame);
+                return Flow::Continue;
+            }
+        };
+        let token = CancelToken::new();
+        // The ack must precede the first EVT frame, and EVT frames are
+        // pushed by a worker the moment the job starts — so ack before
+        // submitting. If admission then fails (including unknown model
+        // names — submit resolves the registry), the stream terminates
+        // with `ERR <code> tag=…` like any other failed subscription.
+        let ack = ReplyHeader::Sub { tag: tag.clone(), model: model.clone(), t_len, seed, fmt };
+        conn.shared.push(Frame::header(ack));
+        // EVT frames actually handed to the connection: the END frame
+        // reports this count (not the core's generated count), so the
+        // stream stays self-consistent even when cancellation races a
+        // snapshot that was generated but never framed.
+        let sent = Arc::new(AtomicUsize::new(0));
+        let sink = {
+            let shared = Arc::clone(&conn.shared);
+            let tag = tag.clone();
+            let token = token.clone();
+            let sent = Arc::clone(&sent);
+            let logger = env.logger.clone();
+            let evt_frames = env.evt_frames.clone();
+            let evt_bytes = env.evt_bytes.clone();
+            let sub_stalls = env.sub_stalls.clone();
+            let dirty_tx = env.dirty_tx.clone();
+            let waker = env.waker.clone();
+            // Built lazily from the first snapshot's own shape, so the
+            // stream header can never disagree with the stream (a
+            // pre-submit registry lookup could race a concurrent
+            // re-register of the model under a different shape).
+            let mut chunker: Option<WireChunker> = None;
+            GenSink::Callback(Box::new(move |snap, s| {
+                let chunker = match &mut chunker {
+                    Some(chunker) => chunker,
+                    None => match WireChunker::new(fmt, s.n_nodes(), s.n_attrs(), t_len) {
+                        Ok(built) => chunker.insert(built),
+                        Err(_) => {
+                            token.cancel();
+                            return;
+                        }
+                    },
+                };
+                match chunker.encode(s) {
+                    Ok(payload) => {
+                        let bytes = payload.len();
+                        let header = ReplyHeader::Evt { tag: tag.clone(), snap, of: t_len, bytes };
+                        // This push runs inside a core worker: it parks
+                        // while the outbox is full but aborts the moment
+                        // the token trips or the connection dies, so a
+                        // stalled subscriber can never pin the worker
+                        // past a CANCEL.
+                        match shared.push_streaming(&token, Frame { header, payload }) {
+                            Ok(()) => {
+                                sent.fetch_add(1, Ordering::SeqCst);
+                                evt_frames.inc();
+                                evt_bytes.add(bytes as u64);
+                                // Tell the reactor the outbox has work;
+                                // the dirty flag coalesces a burst of
+                                // frames into one signal.
+                                if !shared.dirty.swap(true, Ordering::SeqCst) {
+                                    let _ = dirty_tx.send(idx);
+                                    waker.wake();
+                                }
+                            }
+                            Err(fail) => {
+                                if matches!(fail, SendFail::Stalled) {
+                                    sub_stalls.inc();
+                                    logger.warn(
+                                        "serve.frontend",
+                                        "SUB stall: subscriber stopped reading, stream abandoned",
+                                        &[
+                                            ("tag", tag.clone()),
+                                            ("snap", snap.to_string()),
+                                            ("of", t_len.to_string()),
+                                        ],
+                                    );
+                                }
+                                token.cancel();
+                            }
+                        }
+                    }
+                    // The chunker writes into memory; a failure here is
+                    // a shape bug, not transport — abandon the stream.
+                    Err(_) => token.cancel(),
+                }
+            }))
+        };
+        let req = GenRequest::new(model, t_len, seed, sink)
+            .with_priority(priority)
+            .with_cancel(token.clone())
+            .with_tenant(conn.tenant.id().clone())
+            .with_notify(env.completion_hook(idx, key.clone()));
+        match env.handle.submit(req) {
+            Err(e) => {
+                conn.shared.push(translated_frame(&e, Some(tag)));
+            }
+            Ok(ticket) => {
+                conn.pending
+                    .insert(key, Pending { kind: PendingKind::Sub { tag, sent }, token, ticket });
+            }
+        }
+        Flow::Continue
+    }
+
+    /// One pump message: turn the finished job's ticket into its
+    /// completion frame. Unknown `(conn, key)` pairs are ignored — they
+    /// are the hooks of requests `submit` rejected, or completions for
+    /// a connection already fully gone.
+    fn handle_completion(&mut self, idx: usize, key: SlotKey) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else { return };
+        let Some(pending) = conn.pending.remove(&key) else { return };
+        // The slot is released *before* the frame is pushed (same
+        // ordering as the threaded frontend): a well-behaved client can
+        // only reuse the tag after *reading* the reply, and the table
+        // must not still report duplicate-tag by then.
+        let Pending { kind, token, mut ticket } = pending;
+        let frame = match kind {
+            PendingKind::Gen { tag, fmt } => {
+                let id = ticket.id();
+                match ticket.try_wait() {
+                    Err(e) => Some(translated_frame(&e, tag)),
+                    // The hook fires strictly after the result lands on
+                    // the ticket channel, so an empty poll can only mean
+                    // this is a *stale* pump message whose key was
+                    // re-used by a still-running job — put it back and
+                    // wait for that job's own completion.
+                    Ok(None) => {
+                        conn.pending.insert(
+                            key,
+                            Pending { kind: PendingKind::Gen { tag, fmt }, token, ticket },
+                        );
+                        None
+                    }
+                    Ok(Some(result)) => Some(if result.cancelled {
+                        Frame::err(
+                            ErrorCode::Cancelled,
+                            tag,
+                            "job cancelled before its reply was produced",
+                        )
+                    } else if let Some(error) = &result.error {
+                        Frame::err(ErrorCode::Internal, tag, error.clone())
+                    } else {
+                        let graph =
+                            result.graph.as_deref().expect("InMemory success carries the graph");
+                        match encode_graph(graph, fmt) {
+                            Err(e) => Frame::err(ErrorCode::Internal, tag, e.to_string()),
+                            Ok(payload) => Frame {
+                                header: ReplyHeader::Gen {
+                                    tag,
+                                    id: id.0,
+                                    model: result.model.clone(),
+                                    t_len: result.t_len,
+                                    seed: result.seed,
+                                    fmt,
+                                    snapshots: result.snapshots,
+                                    edges: result.edges,
+                                    cache_hit: result.cache_hit,
+                                    bytes: payload.len(),
+                                },
+                                payload,
+                            },
+                        }
+                    }),
+                }
+            }
+            PendingKind::Sub { tag, sent } => match ticket.try_wait() {
+                Err(e) => Some(translated_frame(&e, Some(tag))),
+                Ok(None) => {
+                    conn.pending.insert(
+                        key,
+                        Pending { kind: PendingKind::Sub { tag, sent }, token, ticket },
+                    );
+                    None
+                }
+                Ok(Some(result)) => Some(if let Some(error) = &result.error {
+                    Frame::err(ErrorCode::Internal, Some(tag), error.clone())
+                } else {
+                    let delivered = sent.load(Ordering::SeqCst);
+                    // A stream is only `ok` when every frame was
+                    // delivered; a cancellation (client CANCEL, or a
+                    // push aborted by a dead/stalled connection) reports
+                    // exactly the frames that made it into the outbox.
+                    let status = if result.cancelled || delivered < result.t_len {
+                        EndStatus::Cancelled
+                    } else {
+                        EndStatus::Ok
+                    };
+                    Frame::header(ReplyHeader::End {
+                        tag,
+                        snapshots: delivered,
+                        edges: result.edges,
+                        status,
+                        qms: result.stages.queue_wait_ms(),
+                        genms: result.stages.generation_ms(),
+                    })
+                }),
+            },
+        };
+        let Some(frame) = frame else { return };
+        conn.shared.push(frame);
+        self.after_pending_change(idx);
+        self.flush(idx);
+    }
+
+    /// Advance teardown phases that wait on the in-flight table.
+    fn after_pending_change(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else { return };
+        if !conn.pending.is_empty() {
+            return;
+        }
+        match &conn.phase {
+            Phase::Draining { bye_tag, .. } => {
+                conn.shared.push(Frame::header(ReplyHeader::Bye { tag: bye_tag.clone() }));
+                conn.phase = Phase::FlushClose;
+            }
+            Phase::Closing { .. } => conn.phase = Phase::FlushClose,
+            Phase::Zombie => self.release_slot(idx),
+            Phase::Active | Phase::FlushClose | Phase::Linger { .. } => {}
+        }
+    }
+
+    /// `QUIT`: stop reading, give in-flight jobs a bounded window to
+    /// drain so every tagged reply lands before `OK BYE` (cancel yours
+    /// first if you are in a hurry).
+    fn begin_quit(&mut self, idx: usize, tag: Option<String>) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else { return };
+        conn.phase = Phase::Draining { bye_tag: tag, deadline: Instant::now() + QUIT_DRAIN };
+        self.after_pending_change(idx);
+        self.update_interest(idx, false);
+        self.flush(idx);
+    }
+
+    /// EOF / fatal rejection / transport failure: trip every in-flight
+    /// token immediately (no worker keeps generating for a peer that is
+    /// gone), but keep the write side up so pending completion frames
+    /// still deliver — bounded by [`TEARDOWN_DRAIN`].
+    fn begin_close(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else { return };
+        conn.cancel_all();
+        conn.phase = Phase::Closing { deadline: Instant::now() + TEARDOWN_DRAIN };
+        self.after_pending_change(idx);
+        self.update_interest(idx, false);
+        self.flush(idx);
+    }
+
+    /// Serialize-and-write the connection's output until the socket
+    /// would block or there is nothing left; moves a finished
+    /// [`Phase::FlushClose`] connection into its lingering close.
+    fn flush(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else { return };
+        if !conn.socket_open {
+            return;
+        }
+        let mut broken = false;
+        loop {
+            if conn.wpos >= conn.wbuf.len() {
+                let Some(frame) = conn.shared.pop() else { break };
+                conn.wbuf.clear();
+                conn.wpos = 0;
+                conn.wbuf.extend_from_slice(frame.header.to_line().as_bytes());
+                conn.wbuf.push(b'\n');
+                conn.wbuf.extend_from_slice(&frame.payload);
+            }
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => {
+                    broken = true;
+                    break;
+                }
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    broken = true;
+                    break;
+                }
+            }
+        }
+        if broken {
+            self.sever(idx);
+            return;
+        }
+        let flushed = conn.wpos >= conn.wbuf.len() && conn.shared.len() == 0;
+        if flushed && matches!(conn.phase, Phase::FlushClose) {
+            // Graceful finish: everything written, half-close (FIN) and
+            // linger — see [`Phase::Linger`] for why not a hard close.
+            let _ = conn.stream.shutdown(Shutdown::Write);
+            conn.phase = Phase::Linger { deadline: Instant::now() + TEARDOWN_DRAIN };
+            self.update_interest(idx, false);
+            // Any input that raced the close is pending discard; the
+            // peer may even have closed already.
+            self.linger_readable(idx);
+            return;
+        }
+        self.update_interest(idx, false);
+    }
+
+    /// Re-register the connection's poller interest when it changed.
+    fn update_interest(&mut self, idx: usize, fresh: bool) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else { return };
+        if !conn.socket_open {
+            return;
+        }
+        let want = conn.desired_interest();
+        if fresh {
+            conn.interest = want;
+            let _ = self.poller.register(raw_fd(&conn.stream), idx + 1, want);
+        } else if want != conn.interest {
+            conn.interest = want;
+            let _ = self.poller.reregister(raw_fd(&conn.stream), idx + 1, want);
+        }
+    }
+
+    /// Hard-close the socket. The slot itself is only released once no
+    /// in-flight job can still complete into it; until then it lingers
+    /// as a [`Phase::Zombie`].
+    fn sever(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else { return };
+        if conn.socket_open {
+            let _ = self.poller.deregister(raw_fd(&conn.stream), idx + 1);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            conn.socket_open = false;
+        }
+        conn.shared.mark_dead();
+        conn.cancel_all();
+        if conn.pending.is_empty() {
+            self.release_slot(idx);
+        } else {
+            conn.phase = Phase::Zombie;
+        }
+    }
+
+    /// Free a slot for reuse (and the connection count, if it held one).
+    fn release_slot(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].take() else { return };
+        if conn.accepted {
+            self.set_open(self.open.load(Ordering::SeqCst).saturating_sub(1));
+        }
+        self.free.push(idx);
+    }
+
+    /// Enforce teardown deadlines and the accept back-off.
+    fn check_deadlines(&mut self) {
+        let now = Instant::now();
+        if self.accept_backoff.is_some_and(|at| now >= at) {
+            self.accept_backoff = None;
+            self.accept_ready();
+        }
+        let expired: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, conn)| {
+                conn.as_ref().and_then(Conn::deadline).filter(|&at| now >= at).map(|_| idx)
+            })
+            .collect();
+        for idx in expired {
+            // Past the drain deadline the remaining tokens are tripped
+            // and the socket severed, which also unblocks any parked
+            // worker (no BYE — the client stopped reading long ago).
+            self.sever(idx);
+        }
+    }
+
+    /// Reactor exit: sever everything. Marking every outbox dead and
+    /// dropping the pending tickets unblocks all workers (their pushes
+    /// fail, their reply sends land on dropped channels); the service
+    /// core itself stays up for other handles.
+    fn teardown_all(&mut self) {
+        for idx in 0..self.conns.len() {
+            if self.conns[idx].is_some() {
+                self.sever(idx);
+                // A zombie's pending tickets die with the slot: the pump
+                // is gone, nothing can route to it anymore.
+                if self.conns[idx].is_some() {
+                    self.release_slot(idx);
+                }
+            }
+        }
+        self.set_open(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_full_translates_to_structured_backpressure() {
+        let (code, message) = translate(&ServeError::QueueFull { depth: 7, cap: 8 });
+        assert_eq!(code, ErrorCode::QueueFull);
+        assert_eq!(message, "depth=7 cap=8");
+    }
+
+    #[test]
+    fn line_scanner_splits_lines_and_reports_overflow() {
+        let mut scanner = LineScanner::default();
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(b"PING\n");
+        input.extend_from_slice(&vec![b'x'; MAX_LINE_BYTES + 10]);
+        input.push(b'\n');
+        input.extend_from_slice(b"STATS"); // unterminated final line
+        let mut lines = Vec::new();
+        // Awkward chunk sizes exercise the cross-chunk carry state.
+        for chunk in input.chunks(16) {
+            scanner.feed(chunk, |l| lines.push(l));
+        }
+        if let Some(last) = scanner.finish() {
+            lines.push(last);
+        }
+        assert_eq!(lines.len(), 3);
+        match &lines[0] {
+            ScanLine::Line(l) => assert_eq!(l, b"PING"),
+            ScanLine::TooLong { .. } => panic!("expected a line"),
+        }
+        match &lines[1] {
+            ScanLine::TooLong { len } => assert_eq!(*len, MAX_LINE_BYTES + 10),
+            ScanLine::Line(_) => panic!("expected overflow"),
+        }
+        match &lines[2] {
+            ScanLine::Line(l) => assert_eq!(l, b"STATS"),
+            ScanLine::TooLong { .. } => panic!("expected the unterminated tail"),
+        }
+        assert!(scanner.finish().is_none());
+    }
+
+    #[test]
+    fn line_scanner_line_exactly_at_cap_is_accepted() {
+        let mut scanner = LineScanner::default();
+        let mut input = vec![b'a'; MAX_LINE_BYTES];
+        input.push(b'\n');
+        let mut lines = Vec::new();
+        scanner.feed(&input, |l| lines.push(l));
+        match lines.as_slice() {
+            [ScanLine::Line(l)] => assert_eq!(l.len(), MAX_LINE_BYTES),
+            _ => panic!("cap is inclusive"),
+        }
+    }
+
+    #[test]
+    fn push_streaming_aborts_on_a_full_outbox_when_cancelled() {
+        // Capacity-full outbox that nobody drains: a plain push would
+        // park forever. push_streaming must fail once the token trips,
+        // freeing the (worker) thread.
+        let shared = ConnShared::new();
+        for _ in 0..FRAME_QUEUE {
+            assert!(shared.push(Frame::header(ReplyHeader::Pong { tag: None })));
+        }
+        let token = CancelToken::new();
+        let cancel_from = token.clone();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            cancel_from.cancel();
+        });
+        let delivered =
+            shared.push_streaming(&token, Frame::header(ReplyHeader::Pong { tag: None }));
+        assert!(
+            matches!(delivered, Err(SendFail::Cancelled)),
+            "push must abort once the token trips"
+        );
+        canceller.join().unwrap();
+        // Dead connection: immediate failure, no parked workers left
+        // behind, and reactor-side pushes fail too.
+        shared.mark_dead();
+        assert!(matches!(
+            shared.push_streaming(
+                &CancelToken::new(),
+                Frame::header(ReplyHeader::Pong { tag: None })
+            ),
+            Err(SendFail::Disconnected)
+        ));
+        assert!(!shared.push(Frame::header(ReplyHeader::Pong { tag: None })));
+    }
+
+    #[test]
+    fn outbox_pop_makes_space_for_parked_pushes() {
+        let shared = Arc::new(ConnShared::new());
+        for _ in 0..FRAME_QUEUE {
+            assert!(shared.push(Frame::header(ReplyHeader::Pong { tag: None })));
+        }
+        let token = CancelToken::new();
+        let pusher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                shared.push_streaming(&token, Frame::header(ReplyHeader::Pong { tag: None }))
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(shared.pop().is_some(), "outbox holds frames");
+        let pushed = pusher.join().unwrap();
+        assert!(matches!(pushed, Ok(())), "push must land once space opens");
+        assert_eq!(shared.len(), FRAME_QUEUE);
+    }
+}

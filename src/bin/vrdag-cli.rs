@@ -50,6 +50,7 @@ fn bench_json_report(
     t: usize,
     total_seconds: f64,
     intra_threads: usize,
+    conn_scale: &str,
 ) -> String {
     let l = &stats.latency;
     let c = &stats.cache;
@@ -70,6 +71,7 @@ fn bench_json_report(
             "  \"latency_ms\": {{ \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}, \"max\": {:.3} }},\n",
             "  \"stages_ms\": {{ \"queue_wait_p50\": {:.3}, \"queue_wait_p95\": {:.3}, \"first_snapshot_p50\": {:.3}, \"first_snapshot_p95\": {:.3}, \"generation_p50\": {:.3}, \"generation_p95\": {:.3}, \"delivery_p50\": {:.3}, \"delivery_p95\": {:.3}, \"encode_wait_p50\": {:.3}, \"encode_wait_p95\": {:.3} }},\n",
             "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"evicted_bytes\": {}, \"entries\": {}, \"bytes\": {} }},\n",
+            "{}",
             "  \"max_in_flight\": {}\n",
             "}}\n",
         ),
@@ -106,8 +108,80 @@ fn bench_json_report(
         c.evicted_bytes,
         c.entries,
         c.bytes,
+        conn_scale,
         stats.max_in_flight,
     )
+}
+
+/// Connection-scale micro-bench for the reactor frontend: bind a
+/// throwaway frontend on a loopback port, open as many idle connections
+/// as the fd budget allows (up to 5000, two descriptors per connection),
+/// and report the accept throughput plus the resident set while the
+/// whole herd is parked. Feeds the `accepted_per_sec` /
+/// `c5k_idle_rss_bytes` fields of the bench report; returns `None` when
+/// the environment cannot host a meaningful herd (tiny fd limit, bind
+/// failure), in which case the report simply omits the fields and
+/// `bench-check` skips the matching gates.
+fn conn_scale_bench() -> Option<(usize, f64, Option<u64>)> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use vrdag_suite::serve::poll_os;
+    let budget = poll_os::raise_nofile_limit().unwrap_or(1024);
+    let target = (budget.saturating_sub(512) / 2).min(5_000) as usize;
+    if target < 256 {
+        return None;
+    }
+    // Empty registry: the bench exercises accept/registration only, no
+    // job ever needs a model.
+    let handle = ServeHandle::with_config(
+        ModelRegistry::new(),
+        ServeConfig { workers: 1, logger: Logger::disabled(), ..Default::default() },
+    )
+    .ok()?;
+    let mut frontend = Frontend::bind_with(
+        handle.clone(),
+        "127.0.0.1:0",
+        FrontendConfig { max_connections: Some(target + 64), ..Default::default() },
+    )
+    .ok()?;
+    let addr = frontend.local_addr();
+    let release = Arc::new(AtomicBool::new(false));
+    let started = std::time::Instant::now();
+    let openers: Vec<_> = (0..8)
+        .map(|i| {
+            let release = Arc::clone(&release);
+            let share = target / 8 + usize::from(i < target % 8);
+            std::thread::spawn(move || {
+                let conns: Vec<_> =
+                    (0..share).filter_map(|_| std::net::TcpStream::connect(addr).ok()).collect();
+                while !release.load(Ordering::Acquire) {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                drop(conns);
+            })
+        })
+        .collect();
+    // A connection counts once the reactor has accepted and registered
+    // it — wait for the whole herd to land before sampling.
+    let deadline = started + std::time::Duration::from_secs(60);
+    while frontend.open_connections() < target && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let opened = frontend.open_connections();
+    let rss = poll_os::current_rss_bytes();
+    release.store(true, Ordering::Release);
+    for t in openers {
+        let _ = t.join();
+    }
+    frontend.shutdown();
+    handle.shutdown();
+    // Partial herds (connect failures, timeout) below the meaningful
+    // floor are dropped rather than recorded as a bogus data point.
+    if opened < 256 {
+        return None;
+    }
+    Some((opened, opened as f64 / elapsed.max(1e-9), rss))
 }
 
 /// Pull one numeric field out of a hand-rendered bench report without a
@@ -138,15 +212,18 @@ fn usage() -> ExitCode {
          serve          --model <model.vrdg> [--name NAME] [--models n1=p1,n2=p2,...]\n\
          \x20              [--addr HOST:PORT] [--workers N] [--intra-threads N]\n\
          \x20              [--cache-entries N] [--queue-depth N]\n\
-         \x20              [--max-conns N] [--max-inflight N] [--tenants <tenants.conf>]\n\
+         \x20              [--max-conns N] [--max-inflight N] [--poller auto|epoll|scan]\n\
+         \x20              [--tenants <tenants.conf>]\n\
          \x20              [--log-level error|warn|info|debug|off] [--log-json true]\n\
          \x20              [--metrics-json <path>]\n\
          \x20              (pipelined line protocol: [AUTH token=<token>,] GEN/SUB model=<name>\n\
          \x20               t=<T> seed=<S> fmt=tsv|bin [priority=P] [tag=<tag>], CANCEL tag=<tag>,\n\
          \x20               STATS, METRICS [tag=<tag>])\n\
          bench-check    --fresh <new.json> --floor <BENCH_serve.json> [--ratio R]\n\
-         \x20              (fail when fresh snapshots_per_sec < floor/R or fresh\n\
-         \x20               single_job_wall_ms > floor*R; default R=3)\n\
+         \x20              (fail when fresh snapshots_per_sec or accepted_per_sec\n\
+         \x20               < floor/R, or fresh single_job_wall_ms or\n\
+         \x20               c5k_idle_rss_bytes > floor*R; default R=3; gates whose\n\
+         \x20               field is absent from either report are skipped)\n\
          evaluate       --original <graph.tsv> --generated <graph.tsv>"
     );
     ExitCode::FAILURE
@@ -397,12 +474,26 @@ fn main() -> ExitCode {
             if let Some(json_path) = kv.get("json") {
                 // Machine-readable bench point (e.g. BENCH_serve.json):
                 // the bench trajectory accumulates these across runs.
+                // The conn-scale pass runs after the job bench so its
+                // idle herd never shares the process with generation
+                // work (RSS and accept timing stay clean).
+                let conn_scale = match conn_scale_bench() {
+                    Some((conns, accepted_per_sec, rss)) => {
+                        let rss_line = rss
+                            .map_or(String::new(), |b| format!("  \"c5k_idle_rss_bytes\": {b},\n"));
+                        format!(
+                            "  \"conn_scale_conns\": {conns},\n  \"accepted_per_sec\": {accepted_per_sec:.3},\n{rss_line}",
+                        )
+                    }
+                    None => String::new(),
+                };
                 let report = bench_json_report(
                     &stats,
                     jobs * repeat.max(1),
                     t,
                     total_seconds,
                     effective_intra,
+                    &conn_scale,
                 );
                 if let Err(e) = std::fs::write(json_path, &report) {
                     eprintln!("cannot write {json_path}: {e}");
@@ -432,6 +523,15 @@ fn main() -> ExitCode {
             }
             if let Some(max_inflight) = kv.get("max-inflight").and_then(|s| s.parse().ok()) {
                 frontend_cfg.max_inflight_per_conn = max_inflight;
+            }
+            if let Some(name) = kv.get("poller") {
+                match PollerBackend::parse(name) {
+                    Some(backend) => frontend_cfg.poller = backend,
+                    None => {
+                        eprintln!("--poller must be auto|epoll|scan, got {name:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             let registry = ModelRegistry::new();
             if let Some(model_path) = kv.get("model") {
@@ -527,6 +627,7 @@ fn main() -> ExitCode {
                             .map_or("unlimited".to_string(), |c| c.to_string()),
                     ),
                     ("max_inflight_per_conn", frontend_cfg.max_inflight_per_conn.to_string()),
+                    ("poller", frontend.poller().to_string()),
                     (
                         "auth",
                         if tenants.auth_enabled() {
@@ -644,6 +745,48 @@ fn main() -> ExitCode {
                     }
                 }
                 _ => println!("bench-check: {wall} absent from a report, gate skipped"),
+            }
+            // Reactor-frontend gates, both skip-if-absent so floor files
+            // that predate the conn-scale bench keep working: accept
+            // throughput must not collapse, and the idle resident set
+            // with the ~5k-connection herd parked must not blow up (a
+            // per-connection memory regression shows up here long before
+            // anything else notices). Both use the same wide ratio — the
+            // herd size can differ slightly between environments.
+            let aps = "accepted_per_sec";
+            match (json_number_field(&fresh, aps), json_number_field(&floor, aps)) {
+                (Some(fresh_a), Some(floor_a)) => {
+                    let min = floor_a / ratio.max(1.0);
+                    println!(
+                        "bench-check: fresh {fresh_a:.3} accepted/s vs floor {floor_a:.3} (min allowed {min:.3})",
+                    );
+                    if fresh_a < min {
+                        eprintln!(
+                            "bench-check FAILED: {fresh_a:.3} < {min:.3} (floor {floor_a:.3} / ratio {ratio})",
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+                _ => println!("bench-check: {aps} absent from a report, gate skipped"),
+            }
+            let rss = "c5k_idle_rss_bytes";
+            match (json_number_field(&fresh, rss), json_number_field(&floor, rss)) {
+                (Some(fresh_r), Some(floor_r)) => {
+                    let max = floor_r * ratio.max(1.0);
+                    println!(
+                        "bench-check: fresh {:.1} MiB idle RSS vs floor {:.1} MiB (max allowed {:.1})",
+                        fresh_r / (1u64 << 20) as f64,
+                        floor_r / (1u64 << 20) as f64,
+                        max / (1u64 << 20) as f64,
+                    );
+                    if fresh_r > max {
+                        eprintln!(
+                            "bench-check FAILED: {fresh_r:.0} > {max:.0} bytes (floor {floor_r:.0} * ratio {ratio})",
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+                _ => println!("bench-check: {rss} absent from a report, gate skipped"),
             }
             println!("bench-check OK");
         }
