@@ -56,6 +56,15 @@ pub struct FrontendConfig {
     /// on Linux and the portable scan loop elsewhere, and honours the
     /// `VRDAG_POLLER` environment override.
     pub poller: Backend,
+    /// Internal-hop mode, for a backend sitting behind a
+    /// [`Router`](crate::Router) that already terminated tenant `AUTH`:
+    /// the frontend stops demanding tokens (its tenant registry is kept
+    /// for quota/weight lookups only) and honours the router's
+    /// `tenant=` assertion on `GEN`/`SUB` lines. **Trusts every peer
+    /// that can connect** — bind such a frontend to loopback or a
+    /// private network only. Off by default; a frontend that does not
+    /// trust the hop rejects `tenant=` with `ERR invalid-request`.
+    pub trust_tenant_assertion: bool,
 }
 
 impl Default for FrontendConfig {
@@ -64,6 +73,7 @@ impl Default for FrontendConfig {
             max_connections: Some(4096),
             max_inflight_per_conn: 32,
             poller: Backend::Auto,
+            trust_tenant_assertion: false,
         }
     }
 }

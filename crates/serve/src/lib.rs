@@ -46,6 +46,12 @@
 //!   [`CancelToken`], and admission control stays structured
 //!   backpressure (`ERR queue-full …`, `ERR too-many-inflight …`,
 //!   `ERR too-many-connections`) instead of dropped connections.
+//! * [`Router`] — the sharded-serving front tier: terminates tenant
+//!   `AUTH`, consistent-hashes `(model fingerprint, seed-range)` onto a
+//!   fleet of backend nodes ([`backend`]), relays reply frames
+//!   verbatim, retries idempotent `GEN`s across backend failures, and
+//!   aggregates `STATS`/`MODELS`/`METRICS` fleet-wide — all behind the
+//!   same wire protocol, so clients cannot tell one node from many.
 //!
 //! ```no_run
 //! use vrdag_serve::{CacheBudget, GenRequest, GenSink, ModelRegistry, ServeConfig, ServeHandle};
@@ -76,6 +82,7 @@
 //! println!("{}", handle.stats().render());
 //! ```
 
+pub mod backend;
 mod cache;
 mod core;
 mod frontend;
@@ -83,10 +90,12 @@ pub mod protocol;
 mod queue;
 mod reactor;
 mod registry;
+mod router;
 mod scheduler;
 mod stream;
 pub mod tenant;
 
+pub use backend::{BackendMeta, BackendPool};
 pub use cache::{CacheBudget, CacheKey, CacheStats, SnapshotCache};
 pub use core::{
     AffinityStats, CancelToken, CompletionNotify, GenRequest, GenSink, JobId, JobResult,
@@ -99,6 +108,7 @@ pub use queue::{JobQueue, LaneStats};
 // [`ServeConfig::logger`] or consume [`ServeHandle::metrics`] without
 // depending on `vrdag-obs` directly.
 pub use registry::{ModelHandle, ModelRegistry};
+pub use router::{Router, RouterConfig};
 pub use scheduler::{BatchReport, Scheduler};
 pub use stream::{SnapshotStream, StreamStats};
 pub use tenant::{RateLimit, Tenant, TenantId, TenantRegistry, TenantRegistryBuilder};

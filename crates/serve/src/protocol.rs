@@ -205,17 +205,31 @@ pub struct GenSpec {
     /// Client-chosen reply tag (optional). Tagged requests may be
     /// pipelined: the reply is matched by tag, not arrival order.
     pub tag: Option<String>,
+    /// Internal-hop tenant assertion (optional). A router that has
+    /// already terminated `AUTH` stamps the authenticated tenant id
+    /// here when relaying to a backend; backends accept the field only
+    /// when explicitly configured to trust the hop
+    /// ([`FrontendConfig::trust_tenant_assertion`](crate::FrontendConfig))
+    /// and reject it with `ERR invalid-request` otherwise. Same
+    /// alphabet as tags (tenant ids share it).
+    pub tenant: Option<String>,
 }
 
 impl GenSpec {
     /// An untagged, default-priority spec.
     pub fn new(model: impl Into<String>, t_len: usize, seed: u64, fmt: WireFormat) -> GenSpec {
-        GenSpec { model: model.into(), t_len, seed, fmt, priority: 0, tag: None }
+        GenSpec { model: model.into(), t_len, seed, fmt, priority: 0, tag: None, tenant: None }
     }
 
     /// Attach a reply tag.
     pub fn with_tag(mut self, tag: impl Into<String>) -> GenSpec {
         self.tag = Some(tag.into());
+        self
+    }
+
+    /// Stamp an internal-hop tenant assertion (router → backend only).
+    pub fn with_asserted_tenant(mut self, tenant: impl Into<String>) -> GenSpec {
+        self.tenant = Some(tenant.into());
         self
     }
 }
@@ -276,6 +290,10 @@ impl Request {
                 line.push_str(&format!(" priority={}", spec.priority));
             }
             push_tag(&mut line, &spec.tag);
+            if let Some(tenant) = &spec.tenant {
+                line.push_str(" tenant=");
+                line.push_str(tenant);
+            }
             line
         };
         let bare = |word: &str, tag: &Option<String>| {
@@ -339,6 +357,10 @@ pub enum ErrorCode {
     LineTooLong,
     /// The service is shutting down.
     Shutdown,
+    /// A router could not reach any healthy backend for the request's
+    /// shard (all candidates down or dial failed after retries).
+    /// Retryable backpressure, like `queue-full`.
+    BackendUnavailable,
     /// Generation failed server-side.
     Internal,
 }
@@ -359,6 +381,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => "bad-request",
             ErrorCode::LineTooLong => "line-too-long",
             ErrorCode::Shutdown => "shutdown",
+            ErrorCode::BackendUnavailable => "backend-unavailable",
             ErrorCode::Internal => "internal",
         }
     }
@@ -378,6 +401,7 @@ impl ErrorCode {
             "bad-request" => ErrorCode::BadRequest,
             "line-too-long" => ErrorCode::LineTooLong,
             "shutdown" => ErrorCode::Shutdown,
+            "backend-unavailable" => ErrorCode::BackendUnavailable,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })
@@ -530,7 +554,8 @@ fn parse_num<T: std::str::FromStr>(
 }
 
 fn parse_gen_spec(tokens: &[&str], cap_t: bool) -> Result<GenSpec, ProtocolError> {
-    let fields = Fields::parse(&["model", "t", "seed", "fmt", "priority", "tag"], tokens)?;
+    let fields =
+        Fields::parse(&["model", "t", "seed", "fmt", "priority", "tag", "tenant"], tokens)?;
     let model = fields.require("model")?;
     if model.is_empty() {
         return Err(ProtocolError::InvalidValue {
@@ -567,7 +592,20 @@ fn parse_gen_spec(tokens: &[&str], cap_t: bool) -> Result<GenSpec, ProtocolError
         None => 0,
     };
     let tag = fields.tag()?;
-    Ok(GenSpec { model: model.to_string(), t_len, seed, fmt, priority, tag })
+    // Tenant ids share the tag alphabet, so the assertion reuses its
+    // validator (under a field-specific error).
+    let tenant = match fields.get("tenant") {
+        None => None,
+        Some(raw) if valid_tag(raw) => Some(raw.to_string()),
+        Some(raw) => {
+            return Err(ProtocolError::InvalidValue {
+                field: "tenant",
+                value: raw.to_string(),
+                expected: "1-64 chars of [A-Za-z0-9._:~-]",
+            })
+        }
+    };
+    Ok(GenSpec { model: model.to_string(), t_len, seed, fmt, priority, tag, tenant })
 }
 
 /// Parse a bare command that accepts only an optional `tag=`.
@@ -1275,6 +1313,7 @@ mod tests {
                 fmt: WireFormat::Tsv,
                 priority: 2,
                 tag: None,
+                tenant: None,
             })
         );
         assert_eq!(parsed.to_line(), line);
@@ -1302,6 +1341,41 @@ mod tests {
         let ping = parse_request("PING tag=hb").unwrap();
         assert_eq!(ping, Request::Ping { tag: Some("hb".to_string()) });
         assert_eq!(ping.to_line(), "PING tag=hb");
+    }
+
+    #[test]
+    fn tenant_assertion_round_trips() {
+        let line = "GEN model=m t=4 seed=9 fmt=bin tag=j1 tenant=gold";
+        let parsed = parse_request(line).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Gen(
+                GenSpec::new("m", 4, 9, WireFormat::Bin)
+                    .with_tag("j1")
+                    .with_asserted_tenant("gold")
+            )
+        );
+        assert_eq!(parsed.to_line(), line);
+        let sub = parse_request("SUB model=m t=4 seed=9 fmt=tsv tenant=t.1").unwrap();
+        match &sub {
+            Request::Sub(spec) => assert_eq!(spec.tenant.as_deref(), Some("t.1")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(parse_request(&sub.to_line()).unwrap(), sub);
+        // The assertion shares the tag alphabet: empty / spacey ids fail.
+        assert!(matches!(
+            parse_request("GEN model=m t=1 seed=0 fmt=tsv tenant="),
+            Err(ProtocolError::InvalidValue { field: "tenant", .. })
+        ));
+        assert!(matches!(
+            parse_request(&format!("GEN model=m t=1 seed=0 fmt=tsv tenant={}", "x".repeat(65))),
+            Err(ProtocolError::InvalidValue { field: "tenant", .. })
+        ));
+        // The router-facing error code round-trips like the others.
+        assert_eq!(
+            ErrorCode::parse(ErrorCode::BackendUnavailable.as_str()),
+            Some(ErrorCode::BackendUnavailable)
+        );
     }
 
     #[test]

@@ -47,7 +47,7 @@ use crate::protocol::{
     parse_request, EndStatus, ErrorCode, GenSpec, ProtocolError, ReplyHeader, Request, WireFormat,
     MAX_LINE_BYTES,
 };
-use crate::tenant::Tenant;
+use crate::tenant::{Tenant, TenantId};
 use crate::ServeError;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
@@ -230,7 +230,7 @@ fn translated_frame(err: &ServeError, tag: Option<String>) -> Frame {
 /// to parse, so the `ERR` reply can still be demuxed to the request's
 /// stream. Only a syntactically valid tag is echoed — never arbitrary
 /// malformed input.
-fn salvage_tag(line: &str) -> Option<String> {
+pub(crate) fn salvage_tag(line: &str) -> Option<String> {
     line.split_whitespace()
         .filter_map(|token| token.strip_prefix("tag="))
         .find(|raw| crate::protocol::valid_tag(raw))
@@ -239,7 +239,9 @@ fn salvage_tag(line: &str) -> Option<String> {
 
 /// One complete line scanned off the wire (the incremental counterpart
 /// of the blocking reader's `ReadLine`; EOF is the caller's to notice).
-enum ScanLine {
+/// `pub(crate)` because the router's relay loop scans both hops with
+/// the same splitter.
+pub(crate) enum ScanLine {
     Line(Vec<u8>),
     /// The line blew past [`MAX_LINE_BYTES`]; `len` counts its bytes
     /// (newline excluded) and the connection keeps going.
@@ -254,7 +256,7 @@ enum ScanLine {
 /// reported with its true length, and a final unterminated line at EOF
 /// still counts.
 #[derive(Default)]
-struct LineScanner {
+pub(crate) struct LineScanner {
     line: Vec<u8>,
     overflow: usize,
 }
@@ -262,7 +264,7 @@ struct LineScanner {
 impl LineScanner {
     /// Feed one chunk of raw socket bytes; `emit` receives each
     /// completed line in order.
-    fn feed(&mut self, mut chunk: &[u8], mut emit: impl FnMut(ScanLine)) {
+    pub(crate) fn feed(&mut self, mut chunk: &[u8], mut emit: impl FnMut(ScanLine)) {
         while let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
             self.push_bytes(&chunk[..pos]);
             chunk = &chunk[pos + 1..];
@@ -293,7 +295,7 @@ impl LineScanner {
     }
 
     /// The final unterminated line at EOF, if any.
-    fn finish(&mut self) -> Option<ScanLine> {
+    pub(crate) fn finish(&mut self) -> Option<ScanLine> {
         if self.overflow > 0 || !self.line.is_empty() {
             Some(self.take_line())
         } else {
@@ -651,7 +653,10 @@ impl Reactor {
         let dispatch_seconds =
             metrics.histogram_with("vrdag_reactor_dispatch_seconds", &[], DISPATCH_BUCKETS);
         let env = Env {
-            auth_required: rc.handle.tenants().auth_enabled(),
+            // An internal frontend (behind a router that already
+            // terminated AUTH) keeps its tenant registry for quota and
+            // weight lookups but never demands tokens on the hop.
+            auth_required: rc.handle.tenants().auth_enabled() && !rc.cfg.trust_tenant_assertion,
             completions_tx: rc.completions_tx,
             dirty_tx: rc.dirty_tx,
             waker: rc.poller.waker(),
@@ -1104,6 +1109,39 @@ impl Reactor {
         }
     }
 
+    /// Resolve the tenant a GEN/SUB submission runs as: the
+    /// connection's authenticated tenant, unless the request carries an
+    /// internal-hop `tenant=` assertion *and* this frontend was
+    /// configured to trust the hop
+    /// ([`FrontendConfig::trust_tenant_assertion`]). On an untrusted
+    /// hop the assertion is rejected outright — a client can never
+    /// impersonate a tenant by stamping the field itself.
+    fn resolve_tenant(
+        conn: &Conn,
+        env: &Env,
+        asserted: Option<String>,
+        tag: Option<&str>,
+    ) -> Result<TenantId, Box<Frame>> {
+        match asserted {
+            None => Ok(conn.tenant.id().clone()),
+            Some(id) if env.cfg.trust_tenant_assertion => match TenantId::new(&id) {
+                Some(tenant) => Ok(tenant),
+                // Parsing already enforced the shared alphabet; kept
+                // defensive so a grammar drift can't panic the loop.
+                None => Err(Box::new(Frame::err(
+                    ErrorCode::InvalidRequest,
+                    tag.map(str::to_string),
+                    format!("invalid tenant id {id:?}"),
+                ))),
+            },
+            Some(_) => Err(Box::new(Frame::err(
+                ErrorCode::InvalidRequest,
+                tag.map(str::to_string),
+                "tenant= is an internal-hop assertion; this frontend does not trust it",
+            ))),
+        }
+    }
+
     /// Claim an in-flight slot. A duplicate tag is the more specific
     /// failure: report it even when the connection is also at its
     /// in-flight cap.
@@ -1141,7 +1179,14 @@ impl Reactor {
     /// `OK GEN [tag=…] …` + payload when the ticket resolves — out of
     /// submission order whenever a later job finishes first.
     fn dispatch_gen(conn: &mut Conn, env: &Env, idx: usize, spec: GenSpec) -> Flow {
-        let GenSpec { model, t_len, seed, fmt, priority, tag } = spec;
+        let GenSpec { model, t_len, seed, fmt, priority, tag, tenant } = spec;
+        let run_as = match Self::resolve_tenant(conn, env, tenant, tag.as_deref()) {
+            Ok(id) => id,
+            Err(frame) => {
+                conn.shared.push(*frame);
+                return Flow::Continue;
+            }
+        };
         let key = match Self::reserve(conn, env, tag.as_ref()) {
             Ok(key) => key,
             Err(frame) => {
@@ -1153,7 +1198,7 @@ impl Reactor {
         let req = GenRequest::new(model, t_len, seed, GenSink::InMemory)
             .with_priority(priority)
             .with_cancel(token.clone())
-            .with_tenant(conn.tenant.id().clone())
+            .with_tenant(run_as)
             .with_notify(env.completion_hook(idx, key.clone()));
         match env.handle.submit(req) {
             Err(e) => {
@@ -1177,7 +1222,16 @@ impl Reactor {
     /// completion pump terminates the stream with
     /// `END … status=ok|cancelled` (or `ERR … tag=…`).
     fn dispatch_sub(conn: &mut Conn, env: &Env, idx: usize, spec: GenSpec) -> Flow {
-        let GenSpec { model, t_len, seed, fmt, priority, tag } = spec;
+        let GenSpec { model, t_len, seed, fmt, priority, tag, tenant } = spec;
+        // The assertion is checked before the ack so a rejected hop
+        // never opens a stream.
+        let run_as = match Self::resolve_tenant(conn, env, tenant, tag.as_deref()) {
+            Ok(id) => id,
+            Err(frame) => {
+                conn.shared.push(*frame);
+                return Flow::Continue;
+            }
+        };
         // Server-assigned tags skip any `~<n>` a client chose to put in
         // flight itself (the grammar permits `~`), so an untagged SUB is
         // never spuriously rejected as a duplicate.
@@ -1283,7 +1337,7 @@ impl Reactor {
         let req = GenRequest::new(model, t_len, seed, sink)
             .with_priority(priority)
             .with_cancel(token.clone())
-            .with_tenant(conn.tenant.id().clone())
+            .with_tenant(run_as)
             .with_notify(env.completion_hook(idx, key.clone()));
         match env.handle.submit(req) {
             Err(e) => {

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links in README.md, ROADMAP.md and docs/.
+
+Fails (exit 1) on:
+  * a relative link whose target file does not exist,
+  * a fragment (``#anchor``) that matches no heading in the target file,
+  * a bare intra-document fragment with no matching heading.
+
+External links (http/https/mailto) are ignored — CI has no network.
+Links inside fenced code blocks and inline code spans are ignored.
+Anchors use GitHub's slug rules: lowercase, spaces to hyphens, drop
+everything that is not alphanumeric/hyphen/underscore, and ``-<n>``
+suffixes for duplicate headings.
+
+Stdlib only; run from anywhere: paths resolve against the repo root
+(the parent of this script's directory).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def strip_code(lines):
+    """Yield (lineno, line) with fenced blocks and inline code blanked."""
+    fence = None
+    for i, line in enumerate(lines, start=1):
+        m = FENCE_RE.match(line.strip())
+        if m:
+            if fence is None:
+                fence = m.group(1)
+            elif line.strip().startswith(fence):
+                fence = None
+            continue
+        if fence is not None:
+            continue
+        yield i, CODE_SPAN_RE.sub("", line)
+
+
+def anchors_of(path: Path, cache={}) -> set:
+    if path not in cache:
+        seen = {}
+        out = set()
+        for _, line in strip_code(path.read_text(encoding="utf-8").splitlines()):
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = slugify(m.group(2))
+            n = seen.get(slug, 0)
+            seen[slug] = n + 1
+            out.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = out
+    return cache[path]
+
+
+def check_file(md: Path) -> list:
+    errors = []
+    for lineno, line in strip_code(md.read_text(encoding="utf-8").splitlines()):
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if EXTERNAL_RE.match(target):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                dest = (md.parent / path_part).resolve()
+                if not dest.exists():
+                    errors.append(f"{md.relative_to(REPO)}:{lineno}: broken link: {target}")
+                    continue
+            else:
+                dest = md
+            if fragment and dest.suffix == ".md":
+                if fragment.lower() not in anchors_of(dest):
+                    errors.append(
+                        f"{md.relative_to(REPO)}:{lineno}: dangling anchor "
+                        f"#{fragment} (no such heading in {dest.relative_to(REPO)})"
+                    )
+    return errors
+
+
+def main() -> int:
+    files = [REPO / "README.md", REPO / "ROADMAP.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    files = [f for f in files if f.exists()]
+    errors = []
+    for md in files:
+        errors.extend(check_file(md))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} files: {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -184,6 +184,67 @@ fn conn_scale_bench() -> Option<(usize, f64, Option<u64>)> {
     Some((opened, opened as f64 / elapsed.max(1e-9), rss))
 }
 
+/// Router-relay micro-bench: two in-process backends behind a
+/// [`Router`] on loopback ports, one pipelined client firing tagged
+/// `GEN`s through the relay. Measures end-to-end routed jobs/sec — the
+/// cost of the extra hop (placement + verbatim relay) on top of the
+/// backends' own serving throughput. Returns `None` when any setup step
+/// fails (port exhaustion, bind failure), in which case the report
+/// omits the field and `bench-check` skips the gate.
+fn route_relay_bench(model_path: &str, t: usize) -> Option<f64> {
+    use vrdag_suite::serve::protocol::{GenSpec, ReplyHeader, Request, WireFormat};
+    let jobs = 48usize;
+    let t = t.clamp(1, 6);
+    let mut backends = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..2 {
+        let registry = ModelRegistry::new();
+        registry.load_file("model", model_path).ok()?;
+        let handle = ServeHandle::with_config(
+            registry,
+            ServeConfig {
+                workers: 2,
+                cache: CacheBudget::entries(64),
+                logger: Logger::disabled(),
+                ..Default::default()
+            },
+        )
+        .ok()?;
+        let frontend = Frontend::bind(handle.clone(), "127.0.0.1:0").ok()?;
+        addrs.push(frontend.local_addr());
+        backends.push((handle, frontend));
+    }
+    let mut router = Router::bind(
+        "127.0.0.1:0",
+        addrs,
+        RouterConfig { logger: Logger::disabled(), ..Default::default() },
+    )
+    .ok()?;
+    let mut client = LineClient::connect(router.local_addr()).ok()?;
+    let started = std::time::Instant::now();
+    for i in 0..jobs {
+        let spec = GenSpec::new("model", t, i as u64, WireFormat::Bin).with_tag(format!("b{i}"));
+        client.send(&Request::Gen(spec)).ok()?;
+    }
+    let mut done = 0usize;
+    while done < jobs {
+        let reply = client.read_frame().ok()?;
+        match reply.header {
+            ReplyHeader::Gen { .. } => done += 1,
+            ReplyHeader::Err { .. } => return None,
+            _ => {}
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let _ = client.request(&Request::Quit { tag: None });
+    router.shutdown();
+    for (handle, mut frontend) in backends {
+        frontend.shutdown();
+        handle.shutdown();
+    }
+    Some(jobs as f64 / elapsed.max(1e-9))
+}
+
 /// Pull one numeric field out of a hand-rendered bench report without a
 /// JSON parser (the offline tree has none): finds `"key":` and parses
 /// the number that follows.
@@ -199,7 +260,7 @@ fn json_number_field(text: &str, key: &str) -> Option<f64> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: vrdag-cli <synth|summarize|fit|generate|batch-generate|serve|bench-check|evaluate> [--key value ...]\n\
+        "usage: vrdag-cli <synth|summarize|fit|generate|batch-generate|serve|route|bench-check|evaluate> [--key value ...]\n\
          \n\
          synth          --dataset <name> [--scale F] [--seed N] --out <graph.tsv>\n\
          summarize      --graph <graph.tsv>\n\
@@ -213,12 +274,20 @@ fn usage() -> ExitCode {
          \x20              [--addr HOST:PORT] [--workers N] [--intra-threads N]\n\
          \x20              [--cache-entries N] [--queue-depth N]\n\
          \x20              [--max-conns N] [--max-inflight N] [--poller auto|epoll|scan]\n\
-         \x20              [--tenants <tenants.conf>]\n\
+         \x20              [--tenants <tenants.conf>] [--internal true]\n\
          \x20              [--log-level error|warn|info|debug|off] [--log-json true]\n\
          \x20              [--metrics-json <path>]\n\
-         \x20              (pipelined line protocol: [AUTH token=<token>,] GEN/SUB model=<name>\n\
-         \x20               t=<T> seed=<S> fmt=tsv|bin [priority=P] [tag=<tag>], CANCEL tag=<tag>,\n\
-         \x20               STATS, METRICS [tag=<tag>])\n\
+         \x20              (pipelined line protocol — see docs/PROTOCOL.md; --internal true\n\
+         \x20               trusts tenant= assertions from a fronting router)\n\
+         route          --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT]\n\
+         \x20              [--tenants <tenants.conf>] [--max-inflight N] [--gen-retries N]\n\
+         \x20              [--retry-backoff-ms MS] [--dial-timeout-ms MS] [--seed-range N]\n\
+         \x20              [--poller auto|epoll|scan]\n\
+         \x20              [--log-level error|warn|info|debug|off] [--log-json true]\n\
+         \x20              (sharded front tier: terminates AUTH, consistent-hashes\n\
+         \x20               (model, seed-range) onto the backends, relays replies\n\
+         \x20               verbatim, retries idempotent GENs on backend failure;\n\
+         \x20               run the backends with --internal true)\n\
          bench-check    --fresh <new.json> --floor <BENCH_serve.json> [--ratio R]\n\
          \x20              (fail when fresh snapshots_per_sec or accepted_per_sec\n\
          \x20               < floor/R, or fresh single_job_wall_ms or\n\
@@ -477,7 +546,7 @@ fn main() -> ExitCode {
                 // The conn-scale pass runs after the job bench so its
                 // idle herd never shares the process with generation
                 // work (RSS and accept timing stay clean).
-                let conn_scale = match conn_scale_bench() {
+                let mut conn_scale = match conn_scale_bench() {
                     Some((conns, accepted_per_sec, rss)) => {
                         let rss_line = rss
                             .map_or(String::new(), |b| format!("  \"c5k_idle_rss_bytes\": {b},\n"));
@@ -487,6 +556,12 @@ fn main() -> ExitCode {
                     }
                     None => String::new(),
                 };
+                // Router-relay pass: the same protocol through a 2-node
+                // sharded tier. Skip-if-absent like the conn-scale
+                // fields, so floors that predate the router still gate.
+                if let Some(relay) = route_relay_bench(model_path, t) {
+                    conn_scale.push_str(&format!("  \"route_relay_jobs_per_sec\": {relay:.3},\n"));
+                }
                 let report = bench_json_report(
                     &stats,
                     jobs * repeat.max(1),
@@ -524,6 +599,12 @@ fn main() -> ExitCode {
             if let Some(max_inflight) = kv.get("max-inflight").and_then(|s| s.parse().ok()) {
                 frontend_cfg.max_inflight_per_conn = max_inflight;
             }
+            // Internal-hop mode for nodes behind `vrdag-cli route`: the
+            // router terminated AUTH already, so this node trusts the
+            // relayed `tenant=` assertion instead of gating on tokens.
+            // Bind such a node to loopback or a private network only.
+            frontend_cfg.trust_tenant_assertion =
+                kv.get("internal").map(String::as_str) == Some("true");
             if let Some(name) = kv.get("poller") {
                 match PollerBackend::parse(name) {
                     Some(backend) => frontend_cfg.poller = backend,
@@ -630,7 +711,9 @@ fn main() -> ExitCode {
                     ("poller", frontend.poller().to_string()),
                     (
                         "auth",
-                        if tenants.auth_enabled() {
+                        if frontend_cfg.trust_tenant_assertion {
+                            "internal (trusting router tenant= assertions)".to_string()
+                        } else if tenants.auth_enabled() {
                             format!("on ({} tenants)", tenants.len())
                         } else {
                             "off".to_string()
@@ -686,6 +769,114 @@ fn main() -> ExitCode {
                 std::thread::sleep(std::time::Duration::from_secs(60));
                 print!("{}", handle.stats().render());
                 dump_metrics(&handle);
+            }
+        }
+        "route" => {
+            // Sharded front tier: one process speaking the line
+            // protocol on both hops. Clients connect here exactly as
+            // they would to a single vrdag-serve; requests are
+            // consistent-hashed onto the --backends fleet (run those
+            // with `serve --internal true` so per-tenant quotas follow
+            // the relayed tenant= assertion).
+            let addr = kv.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7879".to_string());
+            let Some(list) = kv.get("backends") else {
+                eprintln!("route needs --backends HOST:PORT,HOST:PORT,...");
+                return usage();
+            };
+            let mut backends = Vec::new();
+            for entry in list.split(',').filter(|s| !s.is_empty()) {
+                use std::net::ToSocketAddrs;
+                match entry.to_socket_addrs().ok().and_then(|mut it| it.next()) {
+                    Some(sockaddr) => backends.push(sockaddr),
+                    None => {
+                        eprintln!("cannot resolve backend address {entry:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if backends.is_empty() {
+                eprintln!("route needs at least one backend");
+                return ExitCode::FAILURE;
+            }
+            let tenants = match kv.get("tenants") {
+                None => TenantRegistry::anonymous_only(),
+                Some(path) => match TenantRegistry::from_file(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("tenants config load failed ({path}): {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            let log_json = kv.get("log-json").map(String::as_str) == Some("true");
+            let logger = match kv.get("log-level").map(String::as_str).unwrap_or("info") {
+                "off" | "none" => Logger::disabled(),
+                name => match Level::parse(name) {
+                    Some(level) => Logger::to_stderr(level, log_json),
+                    None => {
+                        eprintln!("--log-level must be error|warn|info|debug|off, got {name:?}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            let mut cfg = RouterConfig {
+                tenants: tenants.clone(),
+                logger: logger.clone(),
+                ..Default::default()
+            };
+            if let Some(n) = kv.get("max-inflight").and_then(|s| s.parse().ok()) {
+                cfg.max_inflight_per_conn = n;
+            }
+            if let Some(n) = kv.get("gen-retries").and_then(|s| s.parse().ok()) {
+                cfg.gen_retries = n;
+            }
+            if let Some(ms) = kv.get("retry-backoff-ms").and_then(|s| s.parse().ok()) {
+                cfg.retry_backoff = std::time::Duration::from_millis(ms);
+            }
+            if let Some(ms) = kv.get("dial-timeout-ms").and_then(|s| s.parse().ok()) {
+                cfg.dial_timeout = std::time::Duration::from_millis(ms);
+            }
+            if let Some(n) = kv.get("seed-range").and_then(|s| s.parse::<u64>().ok()) {
+                cfg.seed_range = n.max(1);
+            }
+            if let Some(name) = kv.get("poller") {
+                match PollerBackend::parse(name) {
+                    Some(backend) => cfg.poller = backend,
+                    None => {
+                        eprintln!("--poller must be auto|epoll|scan, got {name:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let n_backends = backends.len();
+            let router = match Router::bind(addr.as_str(), backends, cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            logger.info(
+                "route.cli",
+                "vrdag-route started",
+                &[
+                    ("addr", router.local_addr().to_string()),
+                    ("backends", n_backends.to_string()),
+                    (
+                        "auth",
+                        if tenants.auth_enabled() {
+                            format!("on ({} tenants, asserted to backends)", tenants.len())
+                        } else {
+                            "off".to_string()
+                        },
+                    ),
+                ],
+            );
+            // Route until killed; periodically surface the router's own
+            // metrics so an operator tailing the process sees traffic.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(60));
+                print!("{}", router.metrics().render());
             }
         }
         "bench-check" => {
@@ -768,6 +959,25 @@ fn main() -> ExitCode {
                     }
                 }
                 _ => println!("bench-check: {aps} absent from a report, gate skipped"),
+            }
+            // Router-relay gate (lower bound, skip-if-absent): routed
+            // throughput through the 2-backend loopback tier must not
+            // collapse relative to the recorded floor.
+            let relay = "route_relay_jobs_per_sec";
+            match (json_number_field(&fresh, relay), json_number_field(&floor, relay)) {
+                (Some(fresh_j), Some(floor_j)) => {
+                    let min = floor_j / ratio.max(1.0);
+                    println!(
+                        "bench-check: fresh {fresh_j:.3} routed jobs/s vs floor {floor_j:.3} (min allowed {min:.3})",
+                    );
+                    if fresh_j < min {
+                        eprintln!(
+                            "bench-check FAILED: {fresh_j:.3} < {min:.3} (floor {floor_j:.3} / ratio {ratio})",
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+                _ => println!("bench-check: {relay} absent from a report, gate skipped"),
             }
             let rss = "c5k_idle_rss_bytes";
             match (json_number_field(&fresh, rss), json_number_field(&floor, rss)) {

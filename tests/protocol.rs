@@ -118,6 +118,7 @@ proptest! {
             fmt,
             priority,
             tag,
+            tenant: None,
         };
         // GEN and SUB share the grammar; both round-trip.
         for req in [Request::Gen(spec.clone()), Request::Sub(spec)] {
