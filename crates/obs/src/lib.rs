@@ -17,11 +17,17 @@
 //!   (submitted → dequeued → first/last snapshot → delivered) from
 //!   which queue-wait, time-to-first-snapshot, generation, and
 //!   delivery durations are derived.
+//! - [`span`]: completed-request [`Span`]s — one per finished request
+//!   per tier, keyed by a distributed trace id ([`mint_trace_id`]) —
+//!   retained in a bounded [`SpanRecorder`] ring with deterministic
+//!   JSON export for the HTTP `/traces` endpoint.
 
 pub mod log;
 pub mod metrics;
+pub mod span;
 pub mod trace;
 
 pub use crate::log::{Level, LogEvent, Logger};
 pub use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use crate::span::{mint_trace_id, Span, SpanRecorder};
 pub use crate::trace::{JobTrace, StageDurations};

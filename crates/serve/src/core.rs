@@ -872,6 +872,7 @@ struct CoreMetrics {
 impl CoreMetrics {
     fn new() -> CoreMetrics {
         let registry = MetricsRegistry::new();
+        crate::publish_build_info(&registry);
         let stage_seconds = std::array::from_fn(|i| {
             registry.histogram("vrdag_job_stage_seconds", &[("stage", STAGE_NAMES[i])])
         });
@@ -1243,6 +1244,15 @@ impl ServeHandle {
     /// it) emits events through; configured via [`ServeConfig::logger`].
     pub fn logger(&self) -> &Logger {
         &self.core.shared.logger
+    }
+
+    /// Whether the scheduler is still accepting submissions — `false`
+    /// once [`close`](Self::close)/[`shutdown`](Self::shutdown)/
+    /// [`abort`](Self::abort) ran and every [`submit`](Self::submit)
+    /// would return [`ServeError::SchedulerClosed`]. This is the serve
+    /// tier's `/readyz` predicate.
+    pub fn is_accepting(&self) -> bool {
+        !self.core.shared.closed.load(Ordering::SeqCst)
     }
 
     /// The metrics registry backing [`metrics_text`](Self::metrics_text).

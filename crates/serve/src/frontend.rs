@@ -38,10 +38,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
+use vrdag_obs::SpanRecorder;
 use vrdag_poll::{raw_fd, Backend, Waker};
 
 /// Construction-time knobs of a [`Frontend`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FrontendConfig {
     /// Admission limit on concurrently open connections: one beyond the
     /// cap is greeted with `ERR too-many-connections cap=<c>` and
@@ -63,8 +64,17 @@ pub struct FrontendConfig {
     /// `tenant=` assertion on `GEN`/`SUB` lines. **Trusts every peer
     /// that can connect** — bind such a frontend to loopback or a
     /// private network only. Off by default; a frontend that does not
-    /// trust the hop rejects `tenant=` with `ERR invalid-request`.
+    /// trust the hop rejects `tenant=` with `ERR invalid-request`. The
+    /// same trust rule governs the `trace=` assertion (see
+    /// [`GenSpec::trace`](crate::protocol::GenSpec)).
     pub trust_tenant_assertion: bool,
+    /// Ring of completed request [`Span`](vrdag_obs::Span)s the reactor
+    /// records into — one span per finished `GEN`/`SUB`, keyed by the
+    /// request's trace id. Share one recorder across frontends (or with
+    /// an HTTP listener's `/traces` endpoint) by cloning the handle;
+    /// the default is a fresh [`vrdag_obs::span::DEFAULT_SPAN_RING`]-deep
+    /// ring.
+    pub spans: SpanRecorder,
 }
 
 impl Default for FrontendConfig {
@@ -74,6 +84,7 @@ impl Default for FrontendConfig {
             max_inflight_per_conn: 32,
             poller: Backend::Auto,
             trust_tenant_assertion: false,
+            spans: SpanRecorder::default(),
         }
     }
 }
@@ -153,6 +164,8 @@ pub struct Frontend {
     /// Live accepted connections, maintained by the reactor.
     open: Arc<AtomicUsize>,
     poller_name: &'static str,
+    /// The span ring the reactor records completed requests into.
+    spans: SpanRecorder,
 }
 
 impl Frontend {
@@ -193,6 +206,7 @@ impl Frontend {
         let (completions_tx, completions_rx) = mpsc::channel::<Completion>();
         let (dirty_tx, dirty_rx) = mpsc::channel::<usize>();
         let waker = poller.waker();
+        let spans = cfg.spans.clone();
         let reactor = Reactor::new(ReactorConfig {
             handle,
             cfg,
@@ -209,7 +223,7 @@ impl Frontend {
             .name("vrdag-serve-reactor".to_string())
             .spawn(move || reactor.run())
             .expect("spawn reactor thread");
-        Ok(Frontend { local_addr, stop, waker, reactor: Some(thread), open, poller_name })
+        Ok(Frontend { local_addr, stop, waker, reactor: Some(thread), open, poller_name, spans })
     }
 
     /// The address the frontend is actually listening on.
@@ -226,6 +240,13 @@ impl Frontend {
     /// (`"epoll"` / `"scan"`).
     pub fn poller(&self) -> &'static str {
         self.poller_name
+    }
+
+    /// The ring of completed request spans this frontend records into
+    /// (a clone of [`FrontendConfig::spans`]) — feed it to an HTTP
+    /// listener's `/traces` endpoint or inspect it in tests.
+    pub fn spans(&self) -> &SpanRecorder {
+        &self.spans
     }
 
     /// Stop the event loop, sever open connections, and join the

@@ -86,6 +86,7 @@ pub mod backend;
 mod cache;
 mod core;
 mod frontend;
+pub mod httpexpo;
 pub mod protocol;
 mod queue;
 mod reactor;
@@ -103,6 +104,7 @@ pub use core::{
     StageLatencyStats, TenantStats, Ticket,
 };
 pub use frontend::{Frontend, FrontendConfig, LineClient, Reply};
+pub use httpexpo::{HttpEndpoints, HttpExpo};
 pub use queue::{JobQueue, LaneStats};
 // Observability types a serving integration needs to configure
 // [`ServeConfig::logger`] or consume [`ServeHandle::metrics`] without
@@ -113,8 +115,25 @@ pub use scheduler::{BatchReport, Scheduler};
 pub use stream::{SnapshotStream, StreamStats};
 pub use tenant::{RateLimit, Tenant, TenantId, TenantRegistry, TenantRegistryBuilder};
 pub use vrdag_obs::{
-    JobTrace, Level, LogEvent, Logger, Registry as MetricsRegistry, StageDurations,
+    mint_trace_id, JobTrace, Level, LogEvent, Logger, Registry as MetricsRegistry, Span,
+    SpanRecorder, StageDurations,
 };
+
+/// Publish the constant `vrdag_build_info` gauge (labels: `version`,
+/// `profile`) into `registry`, so fleet version skew is visible in one
+/// scrape. Both tiers set it at construction — the serve core on its
+/// metrics registry, the router on [`RouterConfig::metrics`].
+pub fn publish_build_info(registry: &vrdag_obs::Registry) {
+    registry
+        .gauge(
+            "vrdag_build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("profile", if cfg!(debug_assertions) { "debug" } else { "release" }),
+            ],
+        )
+        .set(1);
+}
 // The frontend's readiness-poller selection ([`FrontendConfig::poller`])
 // and the OS helpers a load-driving harness needs (fd-limit raising, RSS
 // sampling), re-exported so integrations and the CLI never depend on

@@ -7,8 +7,8 @@
 //!
 //! ```text
 //! AUTH   token=<token> [tag=<tag>]
-//! GEN model=<name> t=<T> seed=<S> fmt=tsv|bin [priority=<P>] [tag=<tag>]
-//! SUB model=<name> t=<T> seed=<S> fmt=tsv|bin [priority=<P>] [tag=<tag>]
+//! GEN model=<name> t=<T> seed=<S> fmt=tsv|bin [priority=<P>] [tag=<tag>] [tenant=<id>] [trace=<id>]
+//! SUB model=<name> t=<T> seed=<S> fmt=tsv|bin [priority=<P>] [tag=<tag>] [tenant=<id>] [trace=<id>]
 //! CANCEL tag=<tag>
 //! STATS  [tag=<tag>]
 //! METRICS [tag=<tag>]
@@ -42,10 +42,10 @@
 //!
 //! ```text
 //! OK AUTH [tag=<tag>] tenant=<id>
-//! OK GEN [tag=<tag>] id=<id> model=<name> t=<T> seed=<S> fmt=<F> snapshots=<n> edges=<m> cache=hit|miss bytes=<N>
+//! OK GEN [tag=<tag>] id=<id> model=<name> t=<T> seed=<S> fmt=<F> snapshots=<n> edges=<m> cache=hit|miss bytes=<N> [trace=<id>]
 //! OK SUB tag=<tag> model=<name> t=<T> seed=<S> fmt=<F>
 //! EVT tag=<tag> snap=<i>/<n> bytes=<N>
-//! END tag=<tag> snapshots=<k> edges=<m> status=ok|cancelled [qms=<ms>] [genms=<ms>]
+//! END tag=<tag> snapshots=<k> edges=<m> status=ok|cancelled [qms=<ms>] [genms=<ms>] [trace=<id>]
 //! OK CANCEL tag=<tag> found=true|false
 //! OK STATS [tag=<tag>] bytes=<N>
 //! OK METRICS [tag=<tag>] bytes=<N>
@@ -213,12 +213,28 @@ pub struct GenSpec {
     /// and reject it with `ERR invalid-request` otherwise. Same
     /// alphabet as tags (tenant ids share it).
     pub tenant: Option<String>,
+    /// Internal-hop distributed trace id (optional). Stamped by the
+    /// router on relayed requests — the same trust rule as `tenant=`:
+    /// accepted only by a frontend that trusts the hop, rejected with
+    /// `ERR invalid-request` otherwise (a client cannot forge trace
+    /// ids). Echoed back on the terminal `OK GEN`/`END` frame so
+    /// clients can correlate. Same alphabet as tags.
+    pub trace: Option<String>,
 }
 
 impl GenSpec {
     /// An untagged, default-priority spec.
     pub fn new(model: impl Into<String>, t_len: usize, seed: u64, fmt: WireFormat) -> GenSpec {
-        GenSpec { model: model.into(), t_len, seed, fmt, priority: 0, tag: None, tenant: None }
+        GenSpec {
+            model: model.into(),
+            t_len,
+            seed,
+            fmt,
+            priority: 0,
+            tag: None,
+            tenant: None,
+            trace: None,
+        }
     }
 
     /// Attach a reply tag.
@@ -230,6 +246,12 @@ impl GenSpec {
     /// Stamp an internal-hop tenant assertion (router → backend only).
     pub fn with_asserted_tenant(mut self, tenant: impl Into<String>) -> GenSpec {
         self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Stamp an internal-hop trace id (router → backend only).
+    pub fn with_trace_id(mut self, trace: impl Into<String>) -> GenSpec {
+        self.trace = Some(trace.into());
         self
     }
 }
@@ -293,6 +315,10 @@ impl Request {
             if let Some(tenant) = &spec.tenant {
                 line.push_str(" tenant=");
                 line.push_str(tenant);
+            }
+            if let Some(trace) = &spec.trace {
+                line.push_str(" trace=");
+                line.push_str(trace);
             }
             line
         };
@@ -554,8 +580,10 @@ fn parse_num<T: std::str::FromStr>(
 }
 
 fn parse_gen_spec(tokens: &[&str], cap_t: bool) -> Result<GenSpec, ProtocolError> {
-    let fields =
-        Fields::parse(&["model", "t", "seed", "fmt", "priority", "tag", "tenant"], tokens)?;
+    let fields = Fields::parse(
+        &["model", "t", "seed", "fmt", "priority", "tag", "tenant", "trace"],
+        tokens,
+    )?;
     let model = fields.require("model")?;
     if model.is_empty() {
         return Err(ProtocolError::InvalidValue {
@@ -605,7 +633,23 @@ fn parse_gen_spec(tokens: &[&str], cap_t: bool) -> Result<GenSpec, ProtocolError
             })
         }
     };
-    Ok(GenSpec { model: model.to_string(), t_len, seed, fmt, priority, tag, tenant })
+    // Trace ids also share the tag alphabet.
+    let trace = parse_trace_field(&fields)?;
+    Ok(GenSpec { model: model.to_string(), t_len, seed, fmt, priority, tag, tenant, trace })
+}
+
+/// The optional `trace=` field (requests and replies alike), validated
+/// against the shared tag alphabet.
+fn parse_trace_field(fields: &Fields<'_>) -> Result<Option<String>, ProtocolError> {
+    match fields.get("trace") {
+        None => Ok(None),
+        Some(raw) if valid_tag(raw) => Ok(Some(raw.to_string())),
+        Some(raw) => Err(ProtocolError::InvalidValue {
+            field: "trace",
+            value: raw.to_string(),
+            expected: "1-64 chars of [A-Za-z0-9._:~-]",
+        }),
+    }
 }
 
 /// Parse a bare command that accepts only an optional `tag=`.
@@ -672,6 +716,10 @@ pub enum ReplyHeader {
         edges: usize,
         cache_hit: bool,
         bytes: usize,
+        /// Distributed trace id of the request, echoed so clients can
+        /// correlate with `/traces` on any tier (optional — absent on
+        /// servers predating tracing).
+        trace: Option<String>,
     },
     /// Acknowledgement of a `SUB`; `EVT` frames for `tag` follow.
     /// (Sent before the job is admitted, so it carries no job id — a
@@ -704,6 +752,9 @@ pub enum ReplyHeader {
         status: EndStatus,
         qms: Option<u64>,
         genms: Option<u64>,
+        /// Distributed trace id of the request (see
+        /// [`ReplyHeader::Gen`]'s `trace`).
+        trace: Option<String>,
     },
     /// Reply to `CANCEL`: was `tag` in flight on this connection?
     Cancel {
@@ -790,6 +841,7 @@ impl ReplyHeader {
                 edges,
                 cache_hit,
                 bytes,
+                trace,
             } => {
                 let mut line = "OK GEN".to_string();
                 push_tag(&mut line, tag);
@@ -797,6 +849,9 @@ impl ReplyHeader {
                     " id={id} model={model} t={t_len} seed={seed} fmt={fmt} snapshots={snapshots} edges={edges} cache={} bytes={bytes}",
                     if *cache_hit { "hit" } else { "miss" },
                 ));
+                if let Some(trace) = trace {
+                    line.push_str(&format!(" trace={trace}"));
+                }
                 line
             }
             ReplyHeader::Sub { tag, model, t_len, seed, fmt } => {
@@ -805,7 +860,7 @@ impl ReplyHeader {
             ReplyHeader::Evt { tag, snap, of, bytes } => {
                 format!("EVT tag={tag} snap={snap}/{of} bytes={bytes}")
             }
-            ReplyHeader::End { tag, snapshots, edges, status, qms, genms } => {
+            ReplyHeader::End { tag, snapshots, edges, status, qms, genms, trace } => {
                 let mut line =
                     format!("END tag={tag} snapshots={snapshots} edges={edges} status={status}");
                 if let Some(qms) = qms {
@@ -813,6 +868,9 @@ impl ReplyHeader {
                 }
                 if let Some(genms) = genms {
                     line.push_str(&format!(" genms={genms}"));
+                }
+                if let Some(trace) = trace {
+                    line.push_str(&format!(" trace={trace}"));
                 }
                 line
             }
@@ -924,6 +982,7 @@ pub fn parse_reply(line: &str) -> Result<ReplyHeader, ProtocolError> {
                             "edges",
                             "cache",
                             "bytes",
+                            "trace",
                         ],
                         rest,
                     )?;
@@ -955,6 +1014,7 @@ pub fn parse_reply(line: &str) -> Result<ReplyHeader, ProtocolError> {
                         edges: parse_num("edges", fields.require("edges")?, "an unsigned integer")?,
                         cache_hit,
                         bytes: parse_num("bytes", fields.require("bytes")?, "an unsigned integer")?,
+                        trace: parse_trace_field(&fields)?,
                     })
                 }
                 "SUB" => {
@@ -1019,8 +1079,10 @@ pub fn parse_reply(line: &str) -> Result<ReplyHeader, ProtocolError> {
             })
         }
         "END" => {
-            let fields =
-                Fields::parse(&["tag", "snapshots", "edges", "status", "qms", "genms"], &tokens)?;
+            let fields = Fields::parse(
+                &["tag", "snapshots", "edges", "status", "qms", "genms", "trace"],
+                &tokens,
+            )?;
             let status_raw = fields.require("status")?;
             let status = EndStatus::parse(status_raw).ok_or(ProtocolError::InvalidValue {
                 field: "status",
@@ -1046,6 +1108,7 @@ pub fn parse_reply(line: &str) -> Result<ReplyHeader, ProtocolError> {
                 status,
                 qms,
                 genms,
+                trace: parse_trace_field(&fields)?,
             })
         }
         "ERR" => {
@@ -1314,6 +1377,7 @@ mod tests {
                 priority: 2,
                 tag: None,
                 tenant: None,
+                trace: None,
             })
         );
         assert_eq!(parsed.to_line(), line);
@@ -1490,9 +1554,21 @@ mod tests {
             status: EndStatus::Ok,
             qms: Some(0),
             genms: Some(1234),
+            trace: None,
         };
         assert_eq!(timed.to_line(), "END tag=s1 snapshots=2 edges=9 status=ok qms=0 genms=1234");
         assert_eq!(parse_reply(&timed.to_line()).unwrap(), timed);
+        let traced = ReplyHeader::End {
+            tag: "s1".to_string(),
+            snapshots: 2,
+            edges: 9,
+            status: EndStatus::Ok,
+            qms: None,
+            genms: None,
+            trace: Some("deadbeef-1".to_string()),
+        };
+        assert_eq!(traced.to_line(), "END tag=s1 snapshots=2 edges=9 status=ok trace=deadbeef-1");
+        assert_eq!(parse_reply(&traced.to_line()).unwrap(), traced);
         assert!(matches!(
             parse_reply("END tag=s1 snapshots=2 edges=9 status=ok qms=soon"),
             Err(ProtocolError::InvalidValue { field: "qms", .. })
@@ -1569,6 +1645,7 @@ mod tests {
                 edges: 920,
                 cache_hit: true,
                 bytes: 18_344,
+                trace: None,
             },
             ReplyHeader::Gen {
                 tag: Some("a1".to_string()),
@@ -1581,6 +1658,7 @@ mod tests {
                 edges: 10,
                 cache_hit: false,
                 bytes: 64,
+                trace: Some("cafe-7".to_string()),
             },
             ReplyHeader::Sub {
                 tag: "s1".to_string(),
@@ -1598,6 +1676,7 @@ mod tests {
                 status: EndStatus::Ok,
                 qms: None,
                 genms: None,
+                trace: None,
             },
             ReplyHeader::End {
                 tag: "s2".to_string(),
@@ -1606,6 +1685,7 @@ mod tests {
                 status: EndStatus::Cancelled,
                 qms: Some(12),
                 genms: Some(340),
+                trace: Some("beef-2".to_string()),
             },
             ReplyHeader::Cancel { tag: "s2".to_string(), found: true },
             ReplyHeader::Cancel { tag: "nope".to_string(), found: false },
@@ -1712,6 +1792,7 @@ mod tests {
                     edges: 4,
                     cache_hit: false,
                     bytes: 4,
+                    trace: None,
                 },
                 b"cccc",
             ),
@@ -1724,6 +1805,7 @@ mod tests {
                     status: EndStatus::Cancelled,
                     qms: None,
                     genms: None,
+                    trace: None,
                 },
                 b"",
             ),
@@ -1735,6 +1817,7 @@ mod tests {
                     status: EndStatus::Ok,
                     qms: Some(1),
                     genms: Some(7),
+                    trace: None,
                 },
                 b"",
             ),
@@ -1775,6 +1858,7 @@ mod tests {
                     status: EndStatus::Ok,
                     qms: None,
                     genms: None,
+                    trace: None,
                 },
                 b"",
             ),
@@ -1789,6 +1873,7 @@ mod tests {
                     status: EndStatus::Cancelled,
                     qms: None,
                     genms: None,
+                    trace: None,
                 },
                 b"",
             )

@@ -41,7 +41,7 @@
 //! until the completion pump has consumed every ticket, so a slot is
 //! never reused while results could still be routed to it.
 
-use crate::core::{CancelToken, GenRequest, GenSink, ServeHandle, Ticket};
+use crate::core::{CancelToken, GenRequest, GenSink, JobResult, ServeHandle, Ticket};
 use crate::frontend::FrontendConfig;
 use crate::protocol::{
     parse_request, EndStatus, ErrorCode, GenSpec, ProtocolError, ReplyHeader, Request, WireFormat,
@@ -58,7 +58,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use vrdag_graph::io::{BinaryStreamWriter, TsvStreamWriter};
 use vrdag_graph::{DynamicGraph, Snapshot};
-use vrdag_obs::{Counter, Gauge, Histogram, Logger};
+use vrdag_obs::{mint_trace_id, Counter, Gauge, Histogram, Logger, Span};
 use vrdag_poll::{raw_fd, Event, Interest, Poller, Waker, WAKE_TOKEN};
 
 /// Per-connection outbox depth, in frames. Bounded so a subscriber that
@@ -428,10 +428,28 @@ pub(crate) enum SlotKey {
 /// What a completion for an in-flight slot should be turned into.
 enum PendingKind {
     /// Buffered `GEN`: encode the result, answer `OK GEN …` + payload.
-    Gen { tag: Option<String>, fmt: WireFormat },
+    Gen { tag: Option<String>, fmt: WireFormat, trace: TraceCtx },
     /// `SUB` stream: terminate with `END …` carrying the frames actually
     /// handed to the connection (see `dispatch_sub`).
-    Sub { tag: String, sent: Arc<AtomicUsize> },
+    Sub { tag: String, sent: Arc<AtomicUsize>, trace: TraceCtx },
+}
+
+/// Trace identity of one in-flight request: the id echoed on its
+/// terminal frame and keyed into the span ring, plus whether it was
+/// propagated by an upstream router hop (as opposed to minted here —
+/// the recorded span's `parent` field derives from this).
+#[derive(Clone)]
+struct TraceCtx {
+    id: String,
+    propagated: bool,
+}
+
+impl TraceCtx {
+    /// The upstream tier that minted a propagated id. The only tier
+    /// that stamps `trace=` on the internal hop today is the router.
+    fn parent(&self) -> Option<&'static str> {
+        self.propagated.then_some("route")
+    }
 }
 
 /// One in-flight job on one connection.
@@ -599,6 +617,25 @@ impl Env {
             waker.wake();
         }
     }
+
+    /// Record the serve-tier span of one finished job into the
+    /// frontend's span ring ([`FrontendConfig::spans`]): the trace id
+    /// keys it against the router's relay span of the same request.
+    fn record_span(&self, trace: &TraceCtx, result: &JobResult, outcome: &'static str) {
+        let model_fp = self.handle.registry().get(&result.model).map(|h| h.fingerprint());
+        self.cfg.spans.record(Span {
+            trace: trace.id.clone(),
+            tier: "serve",
+            parent: trace.parent(),
+            tenant: Some(result.tenant.to_string()),
+            model: result.model.clone(),
+            model_fp,
+            seed: result.seed,
+            outcome,
+            backend: None,
+            stages_ms: Span::stages_from(&result.stages),
+        });
+    }
 }
 
 /// Construction bundle for [`Reactor::new`] — everything
@@ -637,6 +674,13 @@ pub(crate) struct Reactor {
     rejected_cap: Counter,
     wakeups: Counter,
     dispatch_seconds: Histogram,
+    /// The previous iteration's dispatch duration, published into
+    /// [`dispatch_seconds`](Self::dispatch_seconds) at the *start* of
+    /// the next wakeup. Deferring by one wakeup keeps a `METRICS`
+    /// render (which happens mid-dispatch) consistent: it reflects
+    /// every completed dispatch and the wakeup serving it, so an HTTP
+    /// `/metrics` scrape of the then-idle reactor sees identical bytes.
+    pending_dispatch: Option<f64>,
     /// Listener re-arm time after an accept error (see [`ACCEPT_BACKOFF`]).
     accept_backoff: Option<Instant>,
     events: Vec<Event>,
@@ -682,6 +726,7 @@ impl Reactor {
             rejected_cap,
             wakeups,
             dispatch_seconds,
+            pending_dispatch: None,
             accept_backoff: None,
             events: Vec::new(),
         }
@@ -701,6 +746,9 @@ impl Reactor {
                 events.clear();
             }
             self.wakeups.inc();
+            if let Some(elapsed) = self.pending_dispatch.take() {
+                self.dispatch_seconds.observe(elapsed);
+            }
             let started = Instant::now();
             if self.stop.load(Ordering::SeqCst) {
                 self.events = events;
@@ -729,7 +777,9 @@ impl Reactor {
                 self.flush(idx);
             }
             self.check_deadlines();
-            self.dispatch_seconds.observe(started.elapsed().as_secs_f64());
+            // Measured now, published at the next wakeup (see the
+            // `pending_dispatch` field docs).
+            self.pending_dispatch = Some(started.elapsed().as_secs_f64());
         }
         self.teardown_all();
     }
@@ -1142,6 +1192,29 @@ impl Reactor {
         }
     }
 
+    /// Resolve the trace id a GEN/SUB runs under: a propagated
+    /// internal-hop `trace=` assertion when this frontend trusts the
+    /// hop (the router already minted the id upstream), or a freshly
+    /// minted id otherwise — this frontend is then the first tier to
+    /// see the request. Like `tenant=`, the assertion is rejected
+    /// outright on an untrusted hop so a client can never forge a
+    /// trace id into the fleet's span rings.
+    fn resolve_trace(
+        env: &Env,
+        asserted: Option<String>,
+        tag: Option<&str>,
+    ) -> Result<TraceCtx, Box<Frame>> {
+        match asserted {
+            None => Ok(TraceCtx { id: mint_trace_id(), propagated: false }),
+            Some(id) if env.cfg.trust_tenant_assertion => Ok(TraceCtx { id, propagated: true }),
+            Some(_) => Err(Box::new(Frame::err(
+                ErrorCode::InvalidRequest,
+                tag.map(str::to_string),
+                "trace= is an internal-hop assertion; this frontend does not trust it",
+            ))),
+        }
+    }
+
     /// Claim an in-flight slot. A duplicate tag is the more specific
     /// failure: report it even when the connection is also at its
     /// in-flight cap.
@@ -1179,9 +1252,16 @@ impl Reactor {
     /// `OK GEN [tag=…] …` + payload when the ticket resolves — out of
     /// submission order whenever a later job finishes first.
     fn dispatch_gen(conn: &mut Conn, env: &Env, idx: usize, spec: GenSpec) -> Flow {
-        let GenSpec { model, t_len, seed, fmt, priority, tag, tenant } = spec;
+        let GenSpec { model, t_len, seed, fmt, priority, tag, tenant, trace } = spec;
         let run_as = match Self::resolve_tenant(conn, env, tenant, tag.as_deref()) {
             Ok(id) => id,
+            Err(frame) => {
+                conn.shared.push(*frame);
+                return Flow::Continue;
+            }
+        };
+        let trace = match Self::resolve_trace(env, trace, tag.as_deref()) {
+            Ok(ctx) => ctx,
             Err(frame) => {
                 conn.shared.push(*frame);
                 return Flow::Continue;
@@ -1208,8 +1288,10 @@ impl Reactor {
                 conn.shared.push(translated_frame(&e, tag));
             }
             Ok(ticket) => {
-                conn.pending
-                    .insert(key, Pending { kind: PendingKind::Gen { tag, fmt }, token, ticket });
+                conn.pending.insert(
+                    key,
+                    Pending { kind: PendingKind::Gen { tag, fmt, trace }, token, ticket },
+                );
             }
         }
         Flow::Continue
@@ -1222,11 +1304,18 @@ impl Reactor {
     /// completion pump terminates the stream with
     /// `END … status=ok|cancelled` (or `ERR … tag=…`).
     fn dispatch_sub(conn: &mut Conn, env: &Env, idx: usize, spec: GenSpec) -> Flow {
-        let GenSpec { model, t_len, seed, fmt, priority, tag, tenant } = spec;
-        // The assertion is checked before the ack so a rejected hop
+        let GenSpec { model, t_len, seed, fmt, priority, tag, tenant, trace } = spec;
+        // The assertions are checked before the ack so a rejected hop
         // never opens a stream.
         let run_as = match Self::resolve_tenant(conn, env, tenant, tag.as_deref()) {
             Ok(id) => id,
+            Err(frame) => {
+                conn.shared.push(*frame);
+                return Flow::Continue;
+            }
+        };
+        let trace = match Self::resolve_trace(env, trace, tag.as_deref()) {
+            Ok(ctx) => ctx,
             Err(frame) => {
                 conn.shared.push(*frame);
                 return Flow::Continue;
@@ -1344,8 +1433,10 @@ impl Reactor {
                 conn.shared.push(translated_frame(&e, Some(tag)));
             }
             Ok(ticket) => {
-                conn.pending
-                    .insert(key, Pending { kind: PendingKind::Sub { tag, sent }, token, ticket });
+                conn.pending.insert(
+                    key,
+                    Pending { kind: PendingKind::Sub { tag, sent, trace }, token, ticket },
+                );
             }
         }
         Flow::Continue
@@ -1364,7 +1455,7 @@ impl Reactor {
         // must not still report duplicate-tag by then.
         let Pending { kind, token, mut ticket } = pending;
         let frame = match kind {
-            PendingKind::Gen { tag, fmt } => {
+            PendingKind::Gen { tag, fmt, trace } => {
                 let id = ticket.id();
                 match ticket.try_wait() {
                     Err(e) => Some(translated_frame(&e, tag)),
@@ -1376,52 +1467,62 @@ impl Reactor {
                     Ok(None) => {
                         conn.pending.insert(
                             key,
-                            Pending { kind: PendingKind::Gen { tag, fmt }, token, ticket },
+                            Pending { kind: PendingKind::Gen { tag, fmt, trace }, token, ticket },
                         );
                         None
                     }
                     Ok(Some(result)) => Some(if result.cancelled {
+                        self.env.record_span(&trace, &result, "cancelled");
                         Frame::err(
                             ErrorCode::Cancelled,
                             tag,
                             "job cancelled before its reply was produced",
                         )
                     } else if let Some(error) = &result.error {
+                        self.env.record_span(&trace, &result, "error");
                         Frame::err(ErrorCode::Internal, tag, error.clone())
                     } else {
                         let graph =
                             result.graph.as_deref().expect("InMemory success carries the graph");
                         match encode_graph(graph, fmt) {
-                            Err(e) => Frame::err(ErrorCode::Internal, tag, e.to_string()),
-                            Ok(payload) => Frame {
-                                header: ReplyHeader::Gen {
-                                    tag,
-                                    id: id.0,
-                                    model: result.model.clone(),
-                                    t_len: result.t_len,
-                                    seed: result.seed,
-                                    fmt,
-                                    snapshots: result.snapshots,
-                                    edges: result.edges,
-                                    cache_hit: result.cache_hit,
-                                    bytes: payload.len(),
-                                },
-                                payload,
-                            },
+                            Err(e) => {
+                                self.env.record_span(&trace, &result, "error");
+                                Frame::err(ErrorCode::Internal, tag, e.to_string())
+                            }
+                            Ok(payload) => {
+                                self.env.record_span(&trace, &result, "ok");
+                                Frame {
+                                    header: ReplyHeader::Gen {
+                                        tag,
+                                        id: id.0,
+                                        model: result.model.clone(),
+                                        t_len: result.t_len,
+                                        seed: result.seed,
+                                        fmt,
+                                        snapshots: result.snapshots,
+                                        edges: result.edges,
+                                        cache_hit: result.cache_hit,
+                                        bytes: payload.len(),
+                                        trace: Some(trace.id),
+                                    },
+                                    payload,
+                                }
+                            }
                         }
                     }),
                 }
             }
-            PendingKind::Sub { tag, sent } => match ticket.try_wait() {
+            PendingKind::Sub { tag, sent, trace } => match ticket.try_wait() {
                 Err(e) => Some(translated_frame(&e, Some(tag))),
                 Ok(None) => {
                     conn.pending.insert(
                         key,
-                        Pending { kind: PendingKind::Sub { tag, sent }, token, ticket },
+                        Pending { kind: PendingKind::Sub { tag, sent, trace }, token, ticket },
                     );
                     None
                 }
                 Ok(Some(result)) => Some(if let Some(error) = &result.error {
+                    self.env.record_span(&trace, &result, "error");
                     Frame::err(ErrorCode::Internal, Some(tag), error.clone())
                 } else {
                     let delivered = sent.load(Ordering::SeqCst);
@@ -1434,6 +1535,8 @@ impl Reactor {
                     } else {
                         EndStatus::Ok
                     };
+                    let outcome = if matches!(status, EndStatus::Ok) { "ok" } else { "cancelled" };
+                    self.env.record_span(&trace, &result, outcome);
                     Frame::header(ReplyHeader::End {
                         tag,
                         snapshots: delivered,
@@ -1441,6 +1544,7 @@ impl Reactor {
                         status,
                         qms: result.stages.queue_wait_ms(),
                         genms: result.stages.generation_ms(),
+                        trace: Some(trace.id),
                     })
                 }),
             },

@@ -49,7 +49,7 @@
 
 use crate::backend::{hash_bytes, BackendPool};
 use crate::protocol::{
-    parse_reply, parse_request, ErrorCode, GenSpec, ProtocolError, ReplyHeader, Request,
+    parse_reply, parse_request, EndStatus, ErrorCode, GenSpec, ProtocolError, ReplyHeader, Request,
     WireFormat, MAX_LINE_BYTES,
 };
 use crate::reactor::{salvage_tag, LineScanner, ScanLine};
@@ -60,7 +60,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use vrdag_obs::{Counter, Gauge, Histogram, Logger, Registry};
+use vrdag_obs::{mint_trace_id, Counter, Gauge, Histogram, Logger, Registry, Span, SpanRecorder};
 use vrdag_poll::{connect_ready, create, raw_fd, Backend, Event, Interest, Poller, Waker};
 
 /// Per-direction buffered-byte cap of a session. A peer that stops
@@ -107,6 +107,12 @@ pub struct RouterConfig {
     /// The router's own metrics registry (`vrdag_route_*`; also the
     /// local half of an aggregated `METRICS` reply).
     pub metrics: Registry,
+    /// Ring of completed relay [`Span`]s — one per routed `GEN`/`SUB`,
+    /// keyed by the trace id the router mints and stamps on the
+    /// internal hop (the owning backend records its serve-tier span
+    /// under the same id). Feed it to an HTTP listener's `/traces`
+    /// endpoint by cloning the handle.
+    pub spans: SpanRecorder,
 }
 
 impl Default for RouterConfig {
@@ -121,6 +127,7 @@ impl Default for RouterConfig {
             poller: Backend::Auto,
             logger: Logger::default(),
             metrics: Registry::default(),
+            spans: SpanRecorder::default(),
         }
     }
 }
@@ -138,6 +145,7 @@ struct Shared {
     relay_seconds: Histogram,
     retries: Counter,
     relayed_frames: Counter,
+    spans: SpanRecorder,
     open: AtomicUsize,
     open_gauge: Gauge,
     stop: AtomicBool,
@@ -177,6 +185,7 @@ impl Router {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let pool = BackendPool::new(backends, cfg.seed_range, &cfg.metrics);
+        crate::publish_build_info(&cfg.metrics);
         let shared = Arc::new(Shared {
             tenants: cfg.tenants,
             logger: cfg.logger,
@@ -184,6 +193,7 @@ impl Router {
             relay_seconds: cfg.metrics.histogram("vrdag_route_relay_seconds", &[]),
             retries: cfg.metrics.counter("vrdag_route_retries_total", &[]),
             relayed_frames: cfg.metrics.counter("vrdag_route_relayed_frames_total", &[]),
+            spans: cfg.spans,
             open: AtomicUsize::new(0),
             open_gauge: cfg.metrics.gauge("vrdag_route_open_connections", &[]),
             stop: AtomicBool::new(false),
@@ -238,6 +248,52 @@ impl Router {
         &self.shared.metrics
     }
 
+    /// The ring of completed relay spans this router records into (a
+    /// clone of [`RouterConfig::spans`]).
+    pub fn spans(&self) -> &SpanRecorder {
+        &self.shared.spans
+    }
+
+    /// Readiness: can the router place a request right now? True while
+    /// at least one backend is up — the `/readyz` predicate.
+    pub fn ready(&self) -> bool {
+        self.shared.pool.up_count() >= 1
+    }
+
+    /// The aggregated Prometheus exposition: every reachable backend's
+    /// `METRICS` payload merged (series summed), plus the router's own
+    /// registry — the same bytes a wire `METRICS` command returns, for
+    /// the HTTP `/metrics` endpoint. Blocks on one round trip per up
+    /// backend (bounded by [`RouterConfig::dial_timeout`] each).
+    pub fn metrics_text(&self) -> String {
+        let mut texts: Vec<String> = Vec::new();
+        for slot in 0..self.shared.pool.len() {
+            let meta = self.shared.pool.get(slot);
+            if !meta.is_up() {
+                continue;
+            }
+            match blocking_round_trip(&self.shared, slot, b"METRICS\n") {
+                Ok((ReplyHeader::Metrics { .. }, payload)) => {
+                    if let Ok(text) = String::from_utf8(payload) {
+                        texts.push(text);
+                    }
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    meta.note_dial_failure();
+                    meta.mark_down();
+                }
+            }
+        }
+        // The router's own registry joins the merge as one more input
+        // (instead of being appended raw) so families registered on
+        // both sides — `vrdag_build_info` — stay a single family with
+        // a single (summed) sample, a valid exposition.
+        texts.push(self.shared.metrics.render());
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        merge_prometheus(&refs)
+    }
+
     /// Stop accepting, wake the acceptor, and wait (bounded) for the
     /// session threads to notice the flag and finish. Idempotent; also
     /// runs on drop.
@@ -262,39 +318,50 @@ impl Drop for Router {
     }
 }
 
+/// One blocking request/reply round trip against backend `slot` on a
+/// fresh connection, bounded by the dial timeout in each direction.
+/// Shared by the startup fingerprint probe and the HTTP `/metrics`
+/// fan-out — neither runs on a session's event loop.
+fn blocking_round_trip(
+    shared: &Shared,
+    slot: usize,
+    request: &[u8],
+) -> io::Result<(ReplyHeader, Vec<u8>)> {
+    let meta = shared.pool.get(slot);
+    let stream = TcpStream::connect_timeout(&meta.addr(), shared.dial_timeout)?;
+    stream.set_read_timeout(Some(shared.dial_timeout))?;
+    stream.set_write_timeout(Some(shared.dial_timeout))?;
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    stream.write_all(request)?;
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    while byte[0] != b'\n' {
+        if raw.len() > MAX_LINE_BYTES {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized reply header"));
+        }
+        stream.read_exact(&mut byte)?;
+        raw.push(byte[0]);
+    }
+    let line = std::str::from_utf8(&raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 reply"))?;
+    let header = parse_reply(line.trim_end())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut payload = vec![0u8; header.payload_bytes()];
+    stream.read_exact(&mut payload)?;
+    let _ = stream.write_all(b"QUIT\n");
+    Ok((header, payload))
+}
+
 /// Startup/recovery fingerprint probe: one blocking `MODELS` round trip
-/// against backend `slot`, bounded by the dial timeout in each
-/// direction. Marks the backend's health from the outcome.
+/// against backend `slot`. Marks the backend's health from the outcome.
 fn probe_backend(shared: &Shared, slot: usize) {
     let meta = shared.pool.get(slot);
-    let outcome = (|| -> io::Result<()> {
-        let stream = TcpStream::connect_timeout(&meta.addr(), shared.dial_timeout)?;
-        stream.set_read_timeout(Some(shared.dial_timeout))?;
-        stream.set_write_timeout(Some(shared.dial_timeout))?;
-        let _ = stream.set_nodelay(true);
-        let mut stream = stream;
-        stream.write_all(b"MODELS\n")?;
-        let mut raw = Vec::new();
-        let mut byte = [0u8; 1];
-        while byte[0] != b'\n' {
-            if raw.len() > MAX_LINE_BYTES {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized reply header"));
-            }
-            stream.read_exact(&mut byte)?;
-            raw.push(byte[0]);
-        }
-        let line = std::str::from_utf8(&raw)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 reply"))?;
-        let header = parse_reply(line.trim_end())
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut payload = vec![0u8; header.payload_bytes()];
-        stream.read_exact(&mut payload)?;
+    let outcome = blocking_round_trip(shared, slot, b"MODELS\n").map(|(header, payload)| {
         if let ReplyHeader::Models { .. } = header {
             learn_fingerprints(shared, &payload);
         }
-        let _ = stream.write_all(b"QUIT\n");
-        Ok(())
-    })();
+    });
     match outcome {
         Ok(()) => meta.mark_up(),
         Err(e) => {
@@ -461,6 +528,14 @@ struct Entry {
     slot: usize,
     kind: EntryKind,
     t0: Instant,
+    /// Trace id minted by this router and stamped on the internal hop;
+    /// the relay span records under it at the terminal frame.
+    trace: String,
+    model: String,
+    seed: u64,
+    /// Milliseconds spent acquiring a backend (dial + failover
+    /// re-dials), accumulated across retries.
+    dial_ms: f64,
 }
 
 /// One in-flight *untagged* `GEN`. Untagged replies carry no tag to
@@ -477,6 +552,8 @@ struct UntaggedGen {
     seed: u64,
     fmt: WireFormat,
     t0: Instant,
+    trace: String,
+    dial_ms: f64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -893,6 +970,53 @@ impl Session {
         }
     }
 
+    /// Reject a client-stamped `trace=` (the same trust rule as
+    /// `tenant=`: it is an internal-hop assertion, and the client side
+    /// of the router is never an internal hop), then mint the request's
+    /// trace id — the router is the first tier to see the request.
+    fn resolve_trace(&mut self, asserted: &Option<String>, tag: Option<&str>) -> Option<String> {
+        if asserted.is_some() {
+            self.push_err(
+                ErrorCode::InvalidRequest,
+                tag.map(str::to_string),
+                "trace= is an internal-hop assertion; this frontend does not trust it",
+            );
+            return None;
+        }
+        Some(mint_trace_id())
+    }
+
+    /// Record the router's relay span of one finished request: `dial`
+    /// (backend acquisition, including failover re-dials), `relay`
+    /// (request dispatched → terminal frame), `total`.
+    #[allow(clippy::too_many_arguments)]
+    fn record_route_span(
+        &self,
+        trace: &str,
+        model: &str,
+        seed: u64,
+        outcome: &'static str,
+        slot: Option<usize>,
+        dial_ms: f64,
+        t0: Instant,
+    ) {
+        let model_fp =
+            self.shared.fingerprints.lock().expect("fingerprint map poisoned").get(model).copied();
+        let relay_ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.shared.spans.record(Span {
+            trace: trace.to_string(),
+            tier: "route",
+            parent: None,
+            tenant: Some(self.tenant_id.clone()),
+            model: model.to_string(),
+            model_fp,
+            seed,
+            outcome,
+            backend: slot.map(|s| self.shared.pool.get(s).addr().to_string()),
+            stages_ms: vec![("dial", dial_ms), ("relay", relay_ms), ("total", dial_ms + relay_ms)],
+        });
+    }
+
     fn route_gen(&mut self, mut spec: GenSpec) {
         if let Some(tag) = &spec.tag {
             if self.inflight.contains_key(tag) || self.agg_pending.contains_key(tag) {
@@ -907,11 +1031,24 @@ impl Session {
             self.push_err(ErrorCode::TooManyInflight, spec.tag.clone(), message);
             return;
         }
+        let Some(trace) = self.resolve_trace(&spec.trace, spec.tag.as_deref()) else { return };
         if self.shared.tenants.auth_enabled() {
             spec.tenant = Some(self.tenant_id.clone());
         }
+        spec.trace = Some(trace.clone());
         let key = self.placement_key(&spec.model, spec.seed);
+        let dial_t0 = Instant::now();
         let Some(slot) = self.acquire_backend(key, None) else {
+            let dial_ms = dial_t0.elapsed().as_secs_f64() * 1e3;
+            self.record_route_span(
+                &trace,
+                &spec.model,
+                spec.seed,
+                "error",
+                None,
+                dial_ms,
+                Instant::now(),
+            );
             self.push_err(
                 ErrorCode::BackendUnavailable,
                 spec.tag.clone(),
@@ -919,12 +1056,24 @@ impl Session {
             );
             return;
         };
+        let dial_ms = dial_t0.elapsed().as_secs_f64() * 1e3;
         let line = Request::Gen(spec.clone()).to_line();
         let t0 = Instant::now();
         match spec.tag.clone() {
             Some(tag) => {
                 let kind = EntryKind::Gen { line: line.clone(), attempts: 0 };
-                self.inflight.insert(tag, Entry { slot, kind, t0 });
+                self.inflight.insert(
+                    tag,
+                    Entry {
+                        slot,
+                        kind,
+                        t0,
+                        trace,
+                        model: spec.model.clone(),
+                        seed: spec.seed,
+                        dial_ms,
+                    },
+                );
             }
             None => self.untagged.push(UntaggedGen {
                 slot,
@@ -935,12 +1084,18 @@ impl Session {
                 seed: spec.seed,
                 fmt: spec.fmt,
                 t0,
+                trace,
+                dial_ms,
             }),
         }
         self.send_backend(slot, &line);
     }
 
     fn route_sub(&mut self, mut spec: GenSpec) {
+        // The trace assertion is checked first (like the reactor: before
+        // the ack or any tag assignment) so a rejected hop never opens
+        // a stream and the ERR carries the client's own tag.
+        let Some(trace) = self.resolve_trace(&spec.trace, spec.tag.as_deref()) else { return };
         // Tags are assigned at the *router* for untagged SUBs: two
         // backends would otherwise both hand out `~1` on their own
         // connections and collide at the client's demux. The numbering
@@ -975,8 +1130,20 @@ impl Session {
         if self.shared.tenants.auth_enabled() {
             spec.tenant = Some(self.tenant_id.clone());
         }
+        spec.trace = Some(trace.clone());
         let key = self.placement_key(&spec.model, spec.seed);
+        let dial_t0 = Instant::now();
         let Some(slot) = self.acquire_backend(key, None) else {
+            let dial_ms = dial_t0.elapsed().as_secs_f64() * 1e3;
+            self.record_route_span(
+                &trace,
+                &spec.model,
+                spec.seed,
+                "error",
+                None,
+                dial_ms,
+                Instant::now(),
+            );
             self.push_err(
                 ErrorCode::BackendUnavailable,
                 Some(tag),
@@ -984,8 +1151,14 @@ impl Session {
             );
             return;
         };
+        let dial_ms = dial_t0.elapsed().as_secs_f64() * 1e3;
+        let model = spec.model.clone();
+        let seed = spec.seed;
         let line = Request::Sub(spec).to_line();
-        self.inflight.insert(tag, Entry { slot, kind: EntryKind::Sub, t0: Instant::now() });
+        self.inflight.insert(
+            tag,
+            Entry { slot, kind: EntryKind::Sub, t0: Instant::now(), trace, model, seed, dial_ms },
+        );
         self.send_backend(slot, &line);
     }
 
@@ -1078,6 +1251,10 @@ impl Session {
                 render_models_aggregate(&agg.parts)
             }
             AggKind::Metrics => {
+                // Own registry merges in as one more input so shared
+                // families (`vrdag_build_info`) do not duplicate —
+                // mirrors [`Router::metrics_text`] exactly.
+                let own = self.shared.metrics.render();
                 let texts: Vec<&str> = agg
                     .parts
                     .iter()
@@ -1085,10 +1262,9 @@ impl Session {
                         Part::Payload(bytes) => std::str::from_utf8(bytes).ok(),
                         _ => None,
                     })
+                    .chain(std::iter::once(own.as_str()))
                     .collect();
-                let mut merged = merge_prometheus(&texts);
-                merged.push_str(&self.shared.metrics.render());
-                merged.into_bytes()
+                merge_prometheus(&texts).into_bytes()
             }
         };
         let bytes = payload.len();
@@ -1157,16 +1333,40 @@ impl Session {
         self.push_client_bytes(b"\n");
         self.push_client_bytes(&frame.payload);
         self.shared.relayed_frames.inc();
-        // Terminal-frame bookkeeping.
+        // Terminal-frame bookkeeping: observe the relay latency and
+        // record the router's relay span under the request's trace id
+        // (the backend recorded its serve-tier span under the same id).
         match &frame.header {
             ReplyHeader::Gen { tag: Some(tag), .. } | ReplyHeader::End { tag, .. } => {
+                let outcome = match &frame.header {
+                    ReplyHeader::End { status: EndStatus::Cancelled, .. } => "cancelled",
+                    _ => "ok",
+                };
                 if let Some(entry) = self.inflight.remove(tag.as_str()) {
                     self.shared.relay_seconds.observe(entry.t0.elapsed().as_secs_f64());
+                    self.record_route_span(
+                        &entry.trace,
+                        &entry.model,
+                        entry.seed,
+                        outcome,
+                        Some(entry.slot),
+                        entry.dial_ms,
+                        entry.t0,
+                    );
                 }
             }
             ReplyHeader::Err { tag: Some(tag), .. } => {
                 if let Some(entry) = self.inflight.remove(tag.as_str()) {
                     self.shared.relay_seconds.observe(entry.t0.elapsed().as_secs_f64());
+                    self.record_route_span(
+                        &entry.trace,
+                        &entry.model,
+                        entry.seed,
+                        "error",
+                        Some(entry.slot),
+                        entry.dial_ms,
+                        entry.t0,
+                    );
                 }
             }
             ReplyHeader::Gen { tag: None, model, t_len, seed, fmt, .. } => {
@@ -1179,6 +1379,15 @@ impl Session {
                 }) {
                     let u = self.untagged.remove(at);
                     self.shared.relay_seconds.observe(u.t0.elapsed().as_secs_f64());
+                    self.record_route_span(
+                        &u.trace,
+                        &u.model,
+                        u.seed,
+                        "ok",
+                        Some(u.slot),
+                        u.dial_ms,
+                        u.t0,
+                    );
                 }
             }
             ReplyHeader::Err { tag: None, .. } => {
@@ -1188,6 +1397,15 @@ impl Session {
                 if let Some(at) = self.untagged.iter().position(|u| u.slot == slot) {
                     let u = self.untagged.remove(at);
                     self.shared.relay_seconds.observe(u.t0.elapsed().as_secs_f64());
+                    self.record_route_span(
+                        &u.trace,
+                        &u.model,
+                        u.seed,
+                        "error",
+                        Some(u.slot),
+                        u.dial_ms,
+                        u.t0,
+                    );
                 }
             }
             _ => {}
@@ -1221,6 +1439,15 @@ impl Session {
             let entry = self.inflight.remove(&tag).expect("inflight entry vanished");
             match entry.kind {
                 EntryKind::Sub => {
+                    self.record_route_span(
+                        &entry.trace,
+                        &entry.model,
+                        entry.seed,
+                        "error",
+                        Some(slot),
+                        entry.dial_ms,
+                        entry.t0,
+                    );
                     self.push_err(
                         ErrorCode::BackendUnavailable,
                         Some(tag),
@@ -1228,7 +1455,7 @@ impl Session {
                     );
                 }
                 EntryKind::Gen { line, attempts } => {
-                    self.retry_gen(Some(tag), line, attempts, entry.t0, slot);
+                    self.retry_gen(Some(tag), line, attempts, entry.t0, entry.dial_ms, slot);
                 }
             }
         }
@@ -1268,10 +1495,19 @@ impl Session {
         line: String,
         attempts: u32,
         t0: Instant,
+        dial_ms: f64,
         dead: usize,
     ) {
         let attempts = attempts + 1;
+        // The internal-hop line carries the trace= stamp, so a replay
+        // keeps (and a failure span records) the original trace id.
+        let Ok(Request::Gen(spec)) = parse_request(&line) else {
+            self.push_err(ErrorCode::Internal, tag, "unreplayable relay line");
+            return;
+        };
+        let trace = spec.trace.clone().unwrap_or_default();
         if attempts > self.shared.gen_retries {
+            self.record_route_span(&trace, &spec.model, spec.seed, "error", None, dial_ms, t0);
             self.push_err(
                 ErrorCode::BackendUnavailable,
                 tag,
@@ -1281,12 +1517,11 @@ impl Session {
         }
         self.shared.retries.inc();
         std::thread::sleep(self.shared.retry_backoff * attempts);
-        let Ok(Request::Gen(spec)) = parse_request(&line) else {
-            self.push_err(ErrorCode::Internal, tag, "unreplayable relay line");
-            return;
-        };
         let key = self.placement_key(&spec.model, spec.seed);
+        let dial_t0 = Instant::now();
         let Some(slot) = self.acquire_backend(key, Some(dead)) else {
+            let dial_ms = dial_ms + dial_t0.elapsed().as_secs_f64() * 1e3;
+            self.record_route_span(&trace, &spec.model, spec.seed, "error", None, dial_ms, t0);
             self.push_err(
                 ErrorCode::BackendUnavailable,
                 tag,
@@ -1294,10 +1529,22 @@ impl Session {
             );
             return;
         };
+        let dial_ms = dial_ms + dial_t0.elapsed().as_secs_f64() * 1e3;
         match tag {
             Some(tag) => {
                 let kind = EntryKind::Gen { line: line.clone(), attempts };
-                self.inflight.insert(tag, Entry { slot, kind, t0 });
+                self.inflight.insert(
+                    tag,
+                    Entry {
+                        slot,
+                        kind,
+                        t0,
+                        trace,
+                        model: spec.model.clone(),
+                        seed: spec.seed,
+                        dial_ms,
+                    },
+                );
             }
             None => self.untagged.push(UntaggedGen {
                 slot,
@@ -1308,13 +1555,15 @@ impl Session {
                 seed: spec.seed,
                 fmt: spec.fmt,
                 t0,
+                trace,
+                dial_ms,
             }),
         }
         self.send_backend(slot, &line);
     }
 
     fn retry_untagged(&mut self, u: UntaggedGen, dead: usize) {
-        self.retry_gen(None, u.line, u.attempts, u.t0, dead);
+        self.retry_gen(None, u.line, u.attempts, u.t0, u.dial_ms, dead);
     }
 
     // ----- teardown --------------------------------------------------------

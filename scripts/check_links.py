@@ -38,8 +38,12 @@ def slugify(heading: str) -> str:
     return text.replace(" ", "-")
 
 
-def strip_code(lines):
-    """Yield (lineno, line) with fenced blocks and inline code blanked."""
+def strip_code(lines, keep_spans=False):
+    """Yield (lineno, line) outside fenced blocks, inline code blanked.
+
+    ``keep_spans=True`` leaves inline code spans intact — headings need
+    them, since GitHub slugs keep a span's text (minus the backticks).
+    """
     fence = None
     for i, line in enumerate(lines, start=1):
         m = FENCE_RE.match(line.strip())
@@ -51,14 +55,15 @@ def strip_code(lines):
             continue
         if fence is not None:
             continue
-        yield i, CODE_SPAN_RE.sub("", line)
+        yield i, line if keep_spans else CODE_SPAN_RE.sub("", line)
 
 
 def anchors_of(path: Path, cache={}) -> set:
     if path not in cache:
         seen = {}
         out = set()
-        for _, line in strip_code(path.read_text(encoding="utf-8").splitlines()):
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for _, line in strip_code(lines, keep_spans=True):
             m = HEADING_RE.match(line)
             if not m:
                 continue

@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Lint Prometheus text exposition format (version 0.0.4).
+
+Holds a scrape payload — `GET /metrics` on `--http-addr`, or the wire
+`METRICS` payload (they are byte-identical by contract) — to the rules
+a real Prometheus server enforces on ingest, plus the conventions our
+renderer promises:
+
+  * every line is a `# HELP`/`# TYPE` comment, blank, or a well-formed
+    sample (`name{labels} value [timestamp]`),
+  * metric and label names match the spec grammar; label values use
+    only the three legal escapes (``\\``, ``\"``, ``\n``),
+  * each family declares `# TYPE` exactly once, before its samples,
+    with a valid type, and all its samples are one contiguous group,
+  * no duplicate (name, labelset) sample,
+  * values parse as Go floats (including `+Inf`, `-Inf`, `NaN`),
+  * histograms are coherent per series (grouping by the labels other
+    than `le`): cumulative `_bucket` counts are non-decreasing in
+    `le`, the `+Inf` bucket exists and equals `_count`,
+  * the exposition ends with a newline.
+
+Stdlib only; no network. Usage::
+
+    check_prom.py payload.prom [more.prom ...]
+    some-scraper | check_prom.py -
+
+Exit status 1 if any file has errors, 0 otherwise.
+"""
+
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+# Suffixes a `histogram`/`summary` TYPE declaration covers.
+TYPED_SUFFIXES = {
+    "histogram": ("_bucket", "_sum", "_count"),
+    "summary": ("_sum", "_count"),
+}
+
+
+def parse_value(text):
+    """Parse a Go float as Prometheus does; return None if invalid."""
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    # Go rejects whitespace and bare "inf"/"nan" spellings that Python
+    # accepts, so gate on shape first.
+    if not re.match(r"^[+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?$", text):
+        return None
+    return float(text)
+
+
+def parse_labels(raw, err):
+    """Parse `a="b",c="d"` (no braces); return dict or None via err()."""
+    labels = {}
+    pos = 0
+    while pos < len(raw):
+        m = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', raw[pos:])
+        if not m:
+            err(f"malformed label pair at: {raw[pos:]!r}")
+            return None
+        name = m.group(1)
+        pos += m.end()
+        value = []
+        while pos < len(raw):
+            ch = raw[pos]
+            if ch == "\\":
+                if pos + 1 >= len(raw) or raw[pos + 1] not in ('\\', '"', "n"):
+                    err(f"illegal escape in label {name}")
+                    return None
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[raw[pos + 1]])
+                pos += 2
+            elif ch == '"':
+                pos += 1
+                break
+            else:
+                value.append(ch)
+                pos += 1
+        else:
+            err(f"unterminated label value for {name}")
+            return None
+        if name in labels:
+            err(f"duplicate label name {name}")
+            return None
+        labels[name] = "".join(value)
+        if pos < len(raw):
+            if raw[pos] != ",":
+                err(f"expected ',' between label pairs at: {raw[pos:]!r}")
+                return None
+            pos += 1
+    return labels
+
+
+def family_of(name, types):
+    """Map a sample name to its declared family, honoring suffixes."""
+    if name in types:
+        return name
+    for mtype, suffixes in TYPED_SUFFIXES.items():
+        for suffix in suffixes:
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == mtype:
+                return base
+    return None
+
+
+def check_text(text, path):
+    errors = []
+    types = {}  # family -> type
+    helps = set()
+    closed = set()  # families whose sample group has ended
+    seen_samples = set()  # (name, frozen labelset)
+    buckets = {}  # (family, labels sans le) -> [(lineno, le, count)]
+    counts = {}  # (family, labels) -> (lineno, _count value)
+    current = None
+
+    def err(lineno, msg):
+        errors.append(f"{path}:{lineno}: {msg}")
+
+    if text and not text.endswith("\n"):
+        errors.append(f"{path}: exposition does not end with a newline")
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = re.match(r"^# (HELP|TYPE) ([^ ]+)(?: (.*))?$", line)
+            if not m:
+                # Arbitrary comments are legal; HELP/TYPE lookalikes
+                # with broken structure are not.
+                if re.match(r"^#\s*(HELP|TYPE)\b", line):
+                    err(lineno, f"malformed {line.split()[1]} comment")
+                continue
+            kind, name, rest = m.group(1), m.group(2), m.group(3) or ""
+            if not METRIC_NAME_RE.match(name):
+                err(lineno, f"invalid metric name in # {kind}: {name}")
+                continue
+            if kind == "TYPE":
+                if rest not in TYPES:
+                    err(lineno, f"invalid type {rest!r} for {name}")
+                elif name in types:
+                    err(lineno, f"second # TYPE for {name}")
+                elif name in closed or any(s == name for s, _ in seen_samples):
+                    err(lineno, f"# TYPE {name} after its samples")
+                else:
+                    types[name] = rest
+            else:
+                if name in helps:
+                    err(lineno, f"second # HELP for {name}")
+                helps.add(name)
+            continue
+
+        m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)(\s+(-?\d+))?\s*$", line)
+        if not m:
+            err(lineno, f"unparseable sample line: {line!r}")
+            continue
+        name, raw_labels, value_text = m.group(1), m.group(3), m.group(4)
+        labels = parse_labels(raw_labels or "", lambda msg: err(lineno, msg))
+        if labels is None:
+            continue
+        for label in labels:
+            if not LABEL_NAME_RE.match(label) or label.startswith("__"):
+                err(lineno, f"invalid label name {label}")
+        value = parse_value(value_text)
+        if value is None:
+            err(lineno, f"invalid sample value {value_text!r}")
+            continue
+
+        family = family_of(name, types)
+        if family is None:
+            err(lineno, f"sample {name} has no preceding # TYPE")
+            family = name
+        if family in closed:
+            err(lineno, f"samples for {family} are not contiguous")
+        if current is not None and current != family:
+            closed.add(current)
+        current = family
+
+        key = (name, frozenset(labels.items()))
+        if key in seen_samples:
+            err(lineno, f"duplicate sample {name}{sorted(labels.items())}")
+        seen_samples.add(key)
+
+        if types.get(family) == "histogram":
+            if name == family + "_bucket":
+                if "le" not in labels:
+                    err(lineno, f"{name} without an le label")
+                else:
+                    le = parse_value(labels["le"])
+                    rest = frozenset((k, v) for k, v in labels.items() if k != "le")
+                    if le is None:
+                        err(lineno, f"unparseable le={labels['le']!r}")
+                    else:
+                        buckets.setdefault((family, rest), []).append((lineno, le, value))
+            elif name == family + "_count":
+                counts[(family, frozenset(labels.items()))] = (lineno, value)
+
+    for (family, rest), series in buckets.items():
+        at = dict(rest)
+        prev = None
+        for lineno, le, count in series:
+            if prev is not None and count < prev:
+                err(lineno, f"{family}_bucket{at} counts decrease at le={le}")
+            prev = count
+        if not any(le == float("inf") for _, le, _ in series):
+            err(series[-1][0], f"{family}{at} has no le=\"+Inf\" bucket")
+        elif (family, rest) in counts:
+            lineno, total = counts[(family, rest)]
+            inf = next(c for _, le, c in series if le == float("inf"))
+            if inf != total:
+                err(lineno, f"{family}_count{at} {total} != +Inf bucket {inf}")
+
+    return errors
+
+
+def main(argv):
+    paths = argv[1:] or ["-"]
+    errors = []
+    for path in paths:
+        if path == "-":
+            text = sys.stdin.read()
+        else:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        errors.extend(check_text(text, path))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(paths)} exposition(s): {len(errors)} error(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -210,7 +210,14 @@ fn route_relay_bench(model_path: &str, t: usize) -> Option<f64> {
             },
         )
         .ok()?;
-        let frontend = Frontend::bind(handle.clone(), "127.0.0.1:0").ok()?;
+        // Internal-hop mode: the router stamps tenant=/trace= on the
+        // relayed lines, which only an internal frontend accepts.
+        let frontend = Frontend::bind_with(
+            handle.clone(),
+            "127.0.0.1:0",
+            FrontendConfig { trust_tenant_assertion: true, ..Default::default() },
+        )
+        .ok()?;
         addrs.push(frontend.local_addr());
         backends.push((handle, frontend));
     }
@@ -276,14 +283,16 @@ fn usage() -> ExitCode {
          \x20              [--max-conns N] [--max-inflight N] [--poller auto|epoll|scan]\n\
          \x20              [--tenants <tenants.conf>] [--internal true]\n\
          \x20              [--log-level error|warn|info|debug|off] [--log-json true]\n\
-         \x20              [--metrics-json <path>]\n\
+         \x20              [--metrics-json <path>] [--http-addr HOST:PORT]\n\
          \x20              (pipelined line protocol — see docs/PROTOCOL.md; --internal true\n\
-         \x20               trusts tenant= assertions from a fronting router)\n\
+         \x20               trusts tenant= and trace= assertions from a fronting router;\n\
+         \x20               --http-addr serves /metrics /healthz /readyz /traces /logs)\n\
          route          --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT]\n\
          \x20              [--tenants <tenants.conf>] [--max-inflight N] [--gen-retries N]\n\
          \x20              [--retry-backoff-ms MS] [--dial-timeout-ms MS] [--seed-range N]\n\
          \x20              [--poller auto|epoll|scan]\n\
          \x20              [--log-level error|warn|info|debug|off] [--log-json true]\n\
+         \x20              [--metrics-json <path>] [--http-addr HOST:PORT]\n\
          \x20              (sharded front tier: terminates AUTH, consistent-hashes\n\
          \x20               (model, seed-range) onto the backends, relays replies\n\
          \x20               verbatim, retries idempotent GENs on backend failure;\n\
@@ -677,13 +686,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let frontend = match Frontend::bind_with(handle.clone(), addr.as_str(), frontend_cfg) {
-                Ok(f) => f,
-                Err(e) => {
-                    eprintln!("cannot bind {addr}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
+            let frontend =
+                match Frontend::bind_with(handle.clone(), addr.as_str(), frontend_cfg.clone()) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("cannot bind {addr}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
             let local = frontend.local_addr();
             // Log the full effective configuration at startup so a
             // deployment is auditable from its log output alone (the
@@ -747,6 +757,36 @@ fn main() -> ExitCode {
                     ),
                 )],
             );
+            // Optional HTTP observability listener: /metrics (identical
+            // to the wire METRICS payload), /healthz, /readyz, /traces,
+            // /logs — see docs/OPERATIONS.md.
+            let _http = match kv.get("http-addr") {
+                None => None,
+                Some(http_addr) => {
+                    let metrics_handle = handle.clone();
+                    let ready_handle = handle.clone();
+                    let endpoints = HttpEndpoints {
+                        metrics: Box::new(move || metrics_handle.metrics_text()),
+                        ready: Box::new(move || ready_handle.is_accepting()),
+                        spans: frontend.spans().clone(),
+                        logger: logger.clone(),
+                    };
+                    match HttpExpo::bind(http_addr.as_str(), endpoints) {
+                        Ok(expo) => {
+                            logger.info(
+                                "serve.cli",
+                                "http observability listening",
+                                &[("http_addr", expo.local_addr().to_string())],
+                            );
+                            Some(expo)
+                        }
+                        Err(e) => {
+                            eprintln!("cannot bind http {http_addr}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            };
             let metrics_json_path = kv.get("metrics-json").cloned();
             let dump_metrics = |handle: &ServeHandle| {
                 if let Some(path) = &metrics_json_path {
@@ -849,8 +889,11 @@ fn main() -> ExitCode {
                 }
             }
             let n_backends = backends.len();
+            // Behind an `Arc` so the HTTP endpoint closures can call
+            // into it from their own threads; the route loop below
+            // never exits, so the router is never shut down explicitly.
             let router = match Router::bind(addr.as_str(), backends, cfg) {
-                Ok(r) => r,
+                Ok(r) => std::sync::Arc::new(r),
                 Err(e) => {
                     eprintln!("cannot bind {addr}: {e}");
                     return ExitCode::FAILURE;
@@ -872,11 +915,59 @@ fn main() -> ExitCode {
                     ),
                 ],
             );
+            // Optional HTTP observability listener, same shape as the
+            // serve tier's: /metrics fans out to the backends exactly
+            // like the wire METRICS aggregate, /readyz demands >= 1
+            // backend up.
+            let _http = match kv.get("http-addr") {
+                None => None,
+                Some(http_addr) => {
+                    let metrics_router = std::sync::Arc::clone(&router);
+                    let ready_router = std::sync::Arc::clone(&router);
+                    let endpoints = HttpEndpoints {
+                        metrics: Box::new(move || metrics_router.metrics_text()),
+                        ready: Box::new(move || ready_router.ready()),
+                        spans: router.spans().clone(),
+                        logger: logger.clone(),
+                    };
+                    match HttpExpo::bind(http_addr.as_str(), endpoints) {
+                        Ok(expo) => {
+                            logger.info(
+                                "route.cli",
+                                "http observability listening",
+                                &[("http_addr", expo.local_addr().to_string())],
+                            );
+                            Some(expo)
+                        }
+                        Err(e) => {
+                            eprintln!("cannot bind http {http_addr}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            };
+            let metrics_json_path = kv.get("metrics-json").cloned();
+            let dump_metrics = || {
+                if let Some(path) = &metrics_json_path {
+                    if let Err(e) = std::fs::write(path, router.metrics().render_json()) {
+                        logger.warn(
+                            "route.cli",
+                            "metrics dump failed",
+                            &[("path", path.clone()), ("error", e.to_string())],
+                        );
+                    }
+                }
+            };
+            // Write the dump immediately so scrapers find the file
+            // without waiting out the first stats interval.
+            dump_metrics();
             // Route until killed; periodically surface the router's own
-            // metrics so an operator tailing the process sees traffic.
+            // metrics so an operator tailing the process sees traffic,
+            // and refresh the machine-readable metrics dump if asked.
             loop {
                 std::thread::sleep(std::time::Duration::from_secs(60));
                 print!("{}", router.metrics().render());
+                dump_metrics();
             }
         }
         "bench-check" => {

@@ -1,0 +1,261 @@
+//! End-to-end tests of the HTTP observability listener
+//! (`vrdag_serve::httpexpo`) over live loopback TCP, on both tiers.
+//! The load-bearing contract: `GET /metrics` is **byte-identical** to
+//! the wire `METRICS` payload of the same tier (one source of truth,
+//! two transports), `/readyz` tracks the tier's real readiness, and
+//! the request parser survives arbitrary bytes — this port is exactly
+//! where monitoring infrastructure pokes blindly.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use vrdag_suite::prelude::*;
+use vrdag_suite::serve::httpexpo::parse_request_line;
+use vrdag_suite::serve::protocol::{GenSpec, ReplyHeader, Request, WireFormat};
+
+fn fitted_model(seed: u64) -> Vrdag {
+    let g = datasets::generate(&datasets::tiny(), seed);
+    let mut cfg = VrdagConfig::test_small();
+    cfg.epochs = 2;
+    let mut model = Vrdag::new(cfg);
+    let mut rng = StdRng::seed_from_u64(seed);
+    model.fit(&g, &mut rng).unwrap();
+    model
+}
+
+fn serve_node(model: &Vrdag, internal: bool) -> (ServeHandle, Frontend) {
+    let registry = ModelRegistry::new();
+    registry.register("m", model).unwrap();
+    let handle = ServeHandle::with_config(
+        registry,
+        ServeConfig { workers: 1, logger: Logger::disabled(), ..Default::default() },
+    )
+    .unwrap();
+    let frontend = Frontend::bind_with(
+        handle.clone(),
+        "127.0.0.1:0",
+        FrontendConfig { trust_tenant_assertion: internal, ..Default::default() },
+    )
+    .unwrap();
+    (handle, frontend)
+}
+
+/// One `GET path` exchange: returns `(status line, body)`.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, Vec<u8>) {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes()).unwrap();
+    let mut reply = Vec::new();
+    conn.read_to_end(&mut reply).unwrap();
+    let split = reply.windows(4).position(|w| w == b"\r\n\r\n").expect("reply has a header block");
+    let head = String::from_utf8_lossy(&reply[..split]).to_string();
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, reply[split + 4..].to_vec())
+}
+
+/// The wire `METRICS` payload over an already-open connection (a fresh
+/// connection per fetch would advance the node's own connection
+/// counters and defeat the byte-identity comparison).
+fn wire_metrics(client: &mut LineClient) -> Vec<u8> {
+    let reply = client.request(&Request::Metrics { tag: None }).unwrap();
+    assert!(matches!(reply.header, ReplyHeader::Metrics { .. }), "got {:?}", reply.header);
+    reply.payload
+}
+
+/// Assert HTTP `/metrics` and wire `METRICS` agree byte-for-byte.
+/// Order matters: the wire fetch goes first, so the HTTP fetch (which
+/// never touches the reactor) reads the exact state the wire render
+/// saw once the exchange settled. `vrdag_uptime_seconds` ticks on the
+/// wall clock and the exchange can straddle an extra reactor wakeup,
+/// so the comparison retries before failing loudly.
+fn assert_metrics_byte_identical(http: std::net::SocketAddr, wire: &mut LineClient) {
+    let mut last = (Vec::new(), Vec::new());
+    for _ in 0..10 {
+        let via_wire = wire_metrics(wire);
+        let (status, via_http) = http_get(http, "/metrics");
+        assert!(status.starts_with("HTTP/1.1 200"), "got {status}");
+        if via_http == via_wire {
+            return;
+        }
+        last = (via_wire, via_http);
+    }
+    assert_eq!(
+        String::from_utf8_lossy(&last.0),
+        String::from_utf8_lossy(&last.1),
+        "GET /metrics must be byte-identical to the wire METRICS payload"
+    );
+}
+
+#[test]
+fn serve_tier_http_metrics_match_wire_and_readiness_tracks_shutdown() {
+    let model = fitted_model(37);
+    let (handle, frontend) = serve_node(&model, false);
+    let metrics_handle = handle.clone();
+    let ready_handle = handle.clone();
+    let mut expo = HttpExpo::bind(
+        "127.0.0.1:0",
+        HttpEndpoints {
+            metrics: Box::new(move || metrics_handle.metrics_text()),
+            ready: Box::new(move || ready_handle.is_accepting()),
+            spans: frontend.spans().clone(),
+            logger: Logger::disabled(),
+        },
+    )
+    .unwrap();
+
+    // Drive one job through the wire so the metrics carry real traffic
+    // and the span ring holds a real trace.
+    let mut client = LineClient::connect(frontend.local_addr()).unwrap();
+    let reply = client.gen(GenSpec::new("m", 2, 5, WireFormat::Tsv)).unwrap();
+    let trace = match &reply.header {
+        ReplyHeader::Gen { trace: Some(trace), .. } => trace.clone(),
+        other => panic!("expected OK GEN with trace=, got {other:?}"),
+    };
+
+    assert_metrics_byte_identical(expo.local_addr(), &mut client);
+
+    let (status, body) = http_get(expo.local_addr(), "/healthz");
+    assert!(status.starts_with("HTTP/1.1 200"), "got {status}");
+    assert_eq!(body, b"ok\n");
+    let (status, _) = http_get(expo.local_addr(), "/readyz");
+    assert!(status.starts_with("HTTP/1.1 200"), "accepting node must be ready, got {status}");
+
+    // The trace echoed to the client is queryable over /traces.
+    let (status, body) = http_get(expo.local_addr(), "/traces?limit=8");
+    assert!(status.starts_with("HTTP/1.1 200"), "got {status}");
+    let body = String::from_utf8(body).unwrap();
+    assert!(body.contains(&format!("\"trace\":\"{trace}\"")), "trace {trace} not in: {body}");
+    assert!(body.contains("\"tier\":\"serve\""), "got: {body}");
+
+    // Shutdown flips readiness to 503 while liveness stays 200 — the
+    // orchestrator drains the node instead of restarting it.
+    drop(client);
+    handle.shutdown();
+    let (status, _) = http_get(expo.local_addr(), "/readyz");
+    assert!(status.starts_with("HTTP/1.1 503"), "closed node must be unready, got {status}");
+    let (status, _) = http_get(expo.local_addr(), "/healthz");
+    assert!(status.starts_with("HTTP/1.1 200"), "liveness is not readiness, got {status}");
+    expo.shutdown();
+}
+
+#[test]
+fn route_tier_http_metrics_match_the_wire_aggregate() {
+    let model = fitted_model(41);
+    let (handle_a, frontend_a) = serve_node(&model, true);
+    let (handle_b, frontend_b) = serve_node(&model, true);
+    let router = std::sync::Arc::new(
+        Router::bind(
+            "127.0.0.1:0",
+            vec![frontend_a.local_addr(), frontend_b.local_addr()],
+            RouterConfig { logger: Logger::disabled(), ..Default::default() },
+        )
+        .unwrap(),
+    );
+    let metrics_router = std::sync::Arc::clone(&router);
+    let ready_router = std::sync::Arc::clone(&router);
+    let mut expo = HttpExpo::bind(
+        "127.0.0.1:0",
+        HttpEndpoints {
+            metrics: Box::new(move || metrics_router.metrics_text()),
+            ready: Box::new(move || ready_router.ready()),
+            spans: router.spans().clone(),
+            logger: Logger::disabled(),
+        },
+    )
+    .unwrap();
+
+    // Traffic through the relay so the aggregate is non-trivial.
+    let mut client = LineClient::connect(router.local_addr()).unwrap();
+    for seed in [0u64, 9000] {
+        let reply = client.gen(GenSpec::new("m", 2, seed, WireFormat::Tsv)).unwrap();
+        assert!(matches!(reply.header, ReplyHeader::Gen { .. }), "got {:?}", reply.header);
+    }
+
+    let (status, _) = http_get(expo.local_addr(), "/readyz");
+    assert!(status.starts_with("HTTP/1.1 200"), "router with live backends is ready: {status}");
+
+    // Live fleet: the HTTP payload is the same backend fan-out + merge
+    // the wire aggregate performs — backend families summed across the
+    // fleet, router-own families alongside. (The *backends'* payloads
+    // advance with every scrape — each fan-out is a connection they
+    // count — so live-fleet scrapes are compared structurally and the
+    // byte-identity pin below runs against the drained router.)
+    let (status, body) = http_get(expo.local_addr(), "/metrics");
+    assert!(status.starts_with("HTTP/1.1 200"), "got {status}");
+    let via_http = String::from_utf8(body).unwrap();
+    assert!(via_http.contains("vrdag_build_info"), "build info must merge in:\n{via_http}");
+    assert!(via_http.contains("vrdag_route_relay_seconds"), "router families:\n{via_http}");
+    assert!(via_http.contains("vrdag_jobs_completed_total 2"), "fleet sums:\n{via_http}");
+    let families = |text: &str| {
+        text.lines().filter(|l| l.starts_with("# TYPE")).map(str::to_string).collect::<Vec<_>>()
+    };
+    let via_wire = String::from_utf8(wire_metrics(&mut client)).unwrap();
+    assert_eq!(families(&via_http), families(&via_wire), "same families on both transports");
+
+    // Drained fleet: with every backend down both transports render
+    // the router's own registry alone, and the payloads must be
+    // byte-identical — this pins the shared merge + render path.
+    drop(frontend_a);
+    drop(frontend_b);
+    handle_a.shutdown();
+    handle_b.shutdown();
+    assert_metrics_byte_identical(expo.local_addr(), &mut client);
+    let (status, _) = http_get(expo.local_addr(), "/readyz");
+    assert!(status.starts_with("HTTP/1.1 503"), "backend-less router is unready: {status}");
+
+    expo.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The request-line parser is a total function: arbitrary junk
+    /// (including embedded NULs and non-ASCII) never panics, and
+    /// whatever it accepts is a well-formed GET/HEAD line.
+    #[test]
+    fn request_line_parser_never_panics(raw in prop::collection::vec(0u16..256, 0..200)) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let line = String::from_utf8_lossy(&bytes);
+        if let Some((method, target)) = parse_request_line(&line) {
+            prop_assert!(method == "GET" || method == "HEAD");
+            prop_assert!(target.starts_with('/'));
+        }
+    }
+
+    /// Adversarial-but-plausible request lines — real HTTP words glued
+    /// in random order with random spacing — never panic either, and
+    /// well-formed ones are accepted.
+    #[test]
+    fn request_line_token_soup_never_panics(
+        pieces in prop::collection::vec((0u16..12, 0u16..100), 0..12),
+    ) {
+        let vocab = [
+            "GET", "HEAD", "POST", "/metrics", "/traces?limit=", "HTTP/1.1", "HTTP/1.0",
+            "HTTP/2", "?", "=", "//", "\r",
+        ];
+        let mut line = String::new();
+        for &(word, num) in &pieces {
+            line.push_str(vocab[word as usize % vocab.len()]);
+            if num % 3 == 0 {
+                line.push_str(&num.to_string());
+            }
+            if num % 4 != 0 {
+                line.push(' ');
+            }
+        }
+        let _ = parse_request_line(&line);
+    }
+
+    /// Well-formed request lines round-trip through the parser.
+    #[test]
+    fn request_line_parser_accepts_valid_lines(
+        head in (0u8..2, 0u16..1000, 0u8..2),
+    ) {
+        let (head, path_salt, minor) = head;
+        let method = if head == 1 { "HEAD" } else { "GET" };
+        let target = format!("/p{path_salt}?limit={path_salt}");
+        let line = format!("{method} {target} HTTP/1.{minor}");
+        prop_assert_eq!(parse_request_line(&line), Some((method, target.as_str())));
+    }
+}

@@ -119,6 +119,7 @@ proptest! {
             priority,
             tag,
             tenant: None,
+            trace: (seed % 3 == 0).then(|| format!("{seed:x}-t")),
         };
         // GEN and SUB share the grammar; both round-trip.
         for req in [Request::Gen(spec.clone()), Request::Sub(spec)] {
@@ -203,6 +204,7 @@ proptest! {
             edges,
             cache_hit: flags >= 2,
             bytes,
+            trace: (flags == 3).then(|| format!("{id:x}-r")),
         };
         let line = header.to_line();
         let parsed = parse_reply(&line).unwrap();
@@ -237,6 +239,7 @@ proptest! {
                 status: if flags % 3 == 0 { EndStatus::Cancelled } else { EndStatus::Ok },
                 qms: (flags % 2 == 0).then_some(bytes as u64),
                 genms: (flags % 5 == 0).then_some(edges as u64),
+                trace: (flags % 4 == 0).then(|| format!("{snap:x}-s")),
             },
             ReplyHeader::Cancel { tag, found: flags % 2 == 0 },
         ];
@@ -378,6 +381,7 @@ proptest! {
                         status: EndStatus::Cancelled,
                         qms: None,
                         genms: None,
+                        trace: None,
                     },
                     _ => ReplyHeader::End {
                         tag: tag.clone(),
@@ -386,6 +390,7 @@ proptest! {
                         status: EndStatus::Ok,
                         qms: Some(i as u64),
                         genms: Some(2 * i as u64),
+                        trace: None,
                     },
                 };
                 frames.push((terminal, Vec::new()));

@@ -133,8 +133,8 @@ fn read_stream(client: &mut LineClient, tag: &str) -> Vec<(ReplyHeader, Vec<u8>)
 #[test]
 fn gen_and_sub_through_router_are_byte_identical_to_direct() {
     let model = fitted_model(11);
-    let a = backend(&model, 2, CacheBudget::entries(16), None, false);
-    let b = backend(&model, 2, CacheBudget::entries(16), None, false);
+    let a = backend(&model, 2, CacheBudget::entries(16), None, true);
+    let b = backend(&model, 2, CacheBudget::entries(16), None, true);
     let mut router = router(&[&a, &b], quiet_router_config());
     let mut client = LineClient::connect(router.local_addr()).unwrap();
 
@@ -204,8 +204,8 @@ fn gen_and_sub_through_router_are_byte_identical_to_direct() {
 #[test]
 fn cache_locality_same_key_misses_exactly_once_fleet_wide() {
     let model = fitted_model(13);
-    let a = backend(&model, 2, CacheBudget::entries(16), None, false);
-    let b = backend(&model, 2, CacheBudget::entries(16), None, false);
+    let a = backend(&model, 2, CacheBudget::entries(16), None, true);
+    let b = backend(&model, 2, CacheBudget::entries(16), None, true);
     let mut router = router(&[&a, &b], quiet_router_config());
 
     // The same (model, t, seed) key through two *separate* client
@@ -325,8 +325,8 @@ fn backend_death_retries_gens_and_fails_streams_cleanly() {
     let model = fitted_model(23);
     // Single-worker backends so one blocking job deterministically
     // pins a whole node; per-seed buckets so placement is probeable.
-    let a = backend(&model, 1, CacheBudget::entries(16), None, false);
-    let mut b = backend(&model, 1, CacheBudget::entries(16), None, false);
+    let a = backend(&model, 1, CacheBudget::entries(16), None, true);
+    let mut b = backend(&model, 1, CacheBudget::entries(16), None, true);
     let cfg = RouterConfig {
         seed_range: 1,
         retry_backoff: std::time::Duration::from_millis(10),
@@ -431,5 +431,152 @@ fn backend_death_retries_gens_and_fails_streams_cleanly() {
 
     release_tx.send(()).unwrap();
     let _ = blocker.wait();
+    router.shutdown();
+}
+
+#[test]
+fn trace_id_joins_client_router_and_owning_backend() {
+    let model = fitted_model(29);
+    let a = backend(&model, 2, CacheBudget::entries(16), None, true);
+    let b = backend(&model, 2, CacheBudget::entries(16), None, true);
+    let mut router = router(&[&a, &b], quiet_router_config());
+    let mut client = LineClient::connect(router.local_addr()).unwrap();
+
+    // A routed GEN's terminal frame echoes the trace id the router
+    // minted, so the client can quote it against /traces on any tier.
+    let reply = client.gen(GenSpec::new("m", 3, 11, WireFormat::Tsv).with_tag("t1")).unwrap();
+    let trace = match &reply.header {
+        ReplyHeader::Gen { trace: Some(trace), .. } => trace.clone(),
+        other => panic!("expected OK GEN with trace=, got {other:?}"),
+    };
+
+    // The router recorded a relay span under that id, naming the
+    // backend it placed the request on.
+    let route_span = router
+        .spans()
+        .recent(16)
+        .into_iter()
+        .find(|s| s.trace == trace)
+        .unwrap_or_else(|| panic!("trace {trace} missing from router spans"));
+    assert_eq!(route_span.tier, "route");
+    assert_eq!(route_span.parent, None, "the router minted the id itself");
+    assert_eq!(route_span.outcome, "ok");
+    assert_eq!(route_span.model, "m");
+    assert_eq!(route_span.seed, 11);
+    let placed = route_span.backend.clone().expect("route span names its backend");
+
+    // Exactly one backend holds the serve-tier span — the one the
+    // router says it placed the request on — parented to the router.
+    let serve_spans: Vec<_> = [&a, &b]
+        .iter()
+        .flat_map(|n| {
+            let addr = n.frontend.local_addr().to_string();
+            n.frontend.spans().recent(16).into_iter().map(move |s| (addr.clone(), s))
+        })
+        .filter(|(_, s)| s.trace == trace)
+        .collect();
+    assert_eq!(serve_spans.len(), 1, "the trace must appear on exactly one backend");
+    let (owner_addr, serve_span) = &serve_spans[0];
+    assert_eq!(*owner_addr, placed, "span owner must match the router's placement");
+    assert_eq!(serve_span.tier, "serve");
+    assert_eq!(serve_span.parent, Some("route"), "propagated ids are parented to the router");
+    assert_eq!(serve_span.outcome, "ok");
+    assert_eq!(serve_span.seed, 11);
+
+    // Stage timings are consistent: the backend's whole job ran inside
+    // the router's relay window, so its total cannot exceed the relay
+    // span's total (both are real monotonic durations on one machine).
+    let stage = |span: &vrdag_suite::obs::Span, name: &str| {
+        span.stages_ms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, ms)| *ms)
+            .unwrap_or_else(|| panic!("{} span lacks stage {name}", span.tier))
+    };
+    let serve_total = stage(serve_span, "total");
+    let route_total = stage(&route_span, "total");
+    assert!(
+        serve_total <= route_total,
+        "backend total ({serve_total:.3}ms) must nest inside the relay ({route_total:.3}ms)"
+    );
+    assert!(stage(&route_span, "dial") >= 0.0 && stage(&route_span, "relay") >= 0.0);
+
+    // Streams carry the id the same way: SUB's END frame echoes it and
+    // both tiers record spans under it.
+    client.send(&Request::Sub(GenSpec::new("m", 2, 12, WireFormat::Tsv).with_tag("s1"))).unwrap();
+    let frames = read_stream(&mut client, "s1");
+    let sub_trace = match &frames.last().unwrap().0 {
+        ReplyHeader::End { trace: Some(trace), .. } => trace.clone(),
+        other => panic!("expected END with trace=, got {other:?}"),
+    };
+    assert_ne!(sub_trace, trace, "each request gets its own id");
+    assert!(
+        router.spans().recent(16).iter().any(|s| s.trace == sub_trace),
+        "SUB relay span missing"
+    );
+    assert!(
+        [&a, &b].iter().any(|n| n.frontend.spans().recent(16).iter().any(|s| s.trace == sub_trace)),
+        "SUB serve span missing"
+    );
+    router.shutdown();
+}
+
+#[test]
+fn trace_assertion_is_refused_outside_the_internal_hop() {
+    let model = fitted_model(31);
+    let a = backend(&model, 1, CacheBudget::entries(4), None, true);
+    let mut router = router(&[&a], quiet_router_config());
+
+    // The router's client side is never an internal hop: a smuggled
+    // trace= is refused before any backend sees the request.
+    let mut client = LineClient::connect(router.local_addr()).unwrap();
+    for request in [
+        Request::Gen(GenSpec::new("m", 2, 0, WireFormat::Tsv).with_trace_id("deadbeef-1")),
+        Request::Sub(
+            GenSpec::new("m", 2, 0, WireFormat::Tsv).with_tag("s1").with_trace_id("deadbeef-2"),
+        ),
+    ] {
+        let reply = client.request(&request).unwrap();
+        match &reply.header {
+            ReplyHeader::Err { code: ErrorCode::InvalidRequest, message, .. } => {
+                assert!(message.contains("internal-hop"), "got {message:?}");
+            }
+            other => panic!("trace smuggling must be refused, got {other:?}"),
+        }
+    }
+    assert_eq!(a.handle.stats().submitted, 0, "no smuggled request may reach a backend");
+
+    // Same refusal direct to a *non-internal* frontend; an internal
+    // one (router-facing) accepts the assertion instead.
+    let plain = backend(&model, 1, CacheBudget::entries(4), None, false);
+    let mut direct = LineClient::connect(plain.frontend.local_addr()).unwrap();
+    let reply = direct
+        .request(&Request::Gen(
+            GenSpec::new("m", 2, 0, WireFormat::Tsv).with_trace_id("deadbeef-3"),
+        ))
+        .unwrap();
+    match &reply.header {
+        ReplyHeader::Err { code: ErrorCode::InvalidRequest, message, .. } => {
+            assert!(message.contains("internal-hop"), "got {message:?}");
+        }
+        other => panic!("trace smuggling must be refused, got {other:?}"),
+    }
+
+    let mut internal = LineClient::connect(a.frontend.local_addr()).unwrap();
+    let reply = internal
+        .request(&Request::Gen(GenSpec::new("m", 2, 0, WireFormat::Tsv).with_trace_id("cafe-77")))
+        .unwrap();
+    match &reply.header {
+        ReplyHeader::Gen { trace: Some(trace), .. } => assert_eq!(trace, "cafe-77"),
+        other => panic!("internal hop must accept and echo the asserted id, got {other:?}"),
+    }
+    let span = a
+        .frontend
+        .spans()
+        .recent(4)
+        .into_iter()
+        .find(|s| s.trace == "cafe-77")
+        .expect("asserted id recorded");
+    assert_eq!(span.parent, Some("route"), "propagated ids are parented to the upstream hop");
     router.shutdown();
 }
